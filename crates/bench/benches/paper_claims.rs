@@ -1,0 +1,53 @@
+//! One Criterion bench per §3 claim experiment: E4 (ranking), E5
+//! (instance closeness), E6 (MTJNT filtering).
+
+use cla_bench::paper;
+use cla_core::RankStrategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ranking_strategies(c: &mut Criterion) {
+    let h = paper::harness();
+    let mut group = c.benchmark_group("paper_claims/ranking");
+    for strategy in [
+        RankStrategy::RdbLength,
+        RankStrategy::ErLength,
+        RankStrategy::CloseFirst,
+        RankStrategy::InstanceCloseFirst,
+    ] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| black_box(paper::ranking_order(&h, strategy)))
+        });
+    }
+    group.finish();
+}
+
+fn instance_closeness(c: &mut Criterion) {
+    let h = paper::harness();
+    c.bench_function("paper_claims/instance_closeness", |b| {
+        b.iter(|| black_box(paper::instance_rows(&h)))
+    });
+}
+
+fn mtjnt_filter(c: &mut Criterion) {
+    let h = paper::harness();
+    c.bench_function("paper_claims/mtjnt_filter", |b| {
+        b.iter(|| black_box(paper::mtjnt_partition(&h)))
+    });
+}
+
+fn participation_fanout(c: &mut Criterion) {
+    let h = paper::harness();
+    c.bench_function("paper_claims/participation_fanout", |b| {
+        b.iter(|| black_box(paper::participation_rows(&h)))
+    });
+}
+
+criterion_group!(
+    benches,
+    ranking_strategies,
+    instance_closeness,
+    mtjnt_filter,
+    participation_fanout
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! One Criterion bench per paper figure/table: the cost of regenerating
+//! each artifact from scratch (F1, F2, T1, T2, T3).
+
+use cla_bench::paper;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn figure1_render(c: &mut Criterion) {
+    c.bench_function("paper_tables/figure1_render", |b| {
+        b.iter(|| {
+            let dot = paper::figure1_dot();
+            let ascii = paper::figure1_ascii();
+            black_box((dot, ascii))
+        })
+    });
+}
+
+fn figure2_mapping(c: &mut Criterion) {
+    // Full pipeline: ER schema → relational mapping → instance load →
+    // rendering (what Figure 2 shows).
+    c.bench_function("paper_tables/figure2_mapping", |b| {
+        b.iter(|| {
+            let h = paper::harness();
+            black_box(paper::figure2(&h))
+        })
+    });
+}
+
+fn table1_schema_paths(c: &mut Criterion) {
+    c.bench_function("paper_tables/table1_schema_paths", |b| {
+        b.iter(|| black_box(paper::table1()))
+    });
+}
+
+fn table2_connections(c: &mut Criterion) {
+    let h = paper::harness();
+    c.bench_function("paper_tables/table2_connections", |b| {
+        b.iter(|| black_box(paper::table2(&h)))
+    });
+}
+
+fn table3_annotations(c: &mut Criterion) {
+    let h = paper::harness();
+    c.bench_function("paper_tables/table3_annotations", |b| {
+        b.iter(|| black_box(paper::table3(&h)))
+    });
+}
+
+criterion_group!(
+    benches,
+    figure1_render,
+    figure2_mapping,
+    table1_schema_paths,
+    table2_connections,
+    table3_annotations
+);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Scaling benchmarks B1–B6 (extensions; the paper itself reports no
+//! performance numbers — see EXPERIMENTS.md for the measured shapes).
+
+use cla_bench::scale::{coverage, synthetic_engine};
+use cla_core::{Algorithm, EdgeWeighting, RankStrategy, SearchOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const QUERY: &str = "xml smith";
+const SEED: u64 = 7;
+
+/// B1: connection enumeration vs database size and length bound,
+/// including the ER-aware-pruning ablation (max length interpreted at
+/// the RDB level; a conceptual bound admits longer collapsed paths).
+fn enumerate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/enumerate");
+    for departments in [4usize, 8, 16] {
+        let engine = synthetic_engine(departments, SEED);
+        for max_len in [3usize, 4] {
+            let id = format!("dept{departments}_len{max_len}");
+            group.bench_with_input(
+                BenchmarkId::from_parameter(&id),
+                &max_len,
+                |b, &max_len| {
+                    let opts = SearchOptions {
+                        max_rdb_length: max_len,
+                        compute_instance: false,
+                        ..Default::default()
+                    };
+                    b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// B2: BANKS backward expansion vs DISCOVER MTJNT enumeration.
+fn banks_vs_discover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/banks_vs_discover");
+    for departments in [4usize, 8] {
+        let engine = synthetic_engine(departments, SEED);
+        for (name, algorithm) in
+            [("banks", Algorithm::Banks), ("discover", Algorithm::Discover)]
+        {
+            let id = format!("{name}_dept{departments}");
+            group.bench_function(BenchmarkId::from_parameter(&id), |b| {
+                let opts = SearchOptions {
+                    algorithm,
+                    max_rdb_length: 3,
+                    k: Some(20),
+                    compute_instance: false,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// B3: ranking-strategy overhead on a fixed result set.
+fn ranking_overhead(c: &mut Criterion) {
+    let engine = synthetic_engine(8, SEED);
+    let mut group = c.benchmark_group("scaling/ranking_overhead");
+    for strategy in [
+        RankStrategy::RdbLength,
+        RankStrategy::ErLength,
+        RankStrategy::CloseFirst,
+        RankStrategy::Combined { structure_weight: 1.0 },
+    ] {
+        group.bench_function(strategy.name(), |b| {
+            let opts = SearchOptions {
+                max_rdb_length: 4,
+                ranker: strategy,
+                compute_instance: false,
+                ..Default::default()
+            };
+            b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+/// B4: MTJNT coverage loss (also measures the filter's cost).
+fn mtjnt_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/mtjnt_coverage");
+    for departments in [4usize, 8] {
+        let engine = synthetic_engine(departments, SEED);
+        let stats = coverage(&engine, QUERY, 4);
+        // Shape reported alongside the timing: MTJNT keeps a strict
+        // subset of the connections.
+        eprintln!(
+            "mtjnt_coverage dept{departments}: total={} mtjnt={} loss={:.2}",
+            stats.total,
+            stats.mtjnt,
+            stats.loss_ratio()
+        );
+        group.bench_function(BenchmarkId::from_parameter(departments), |b| {
+            b.iter(|| black_box(coverage(&engine, QUERY, 4)))
+        });
+    }
+    group.finish();
+}
+
+/// B5: instance-closeness witness-search cost (on vs off).
+fn witness_cost(c: &mut Criterion) {
+    let engine = synthetic_engine(8, SEED);
+    let mut group = c.benchmark_group("scaling/witness_cost");
+    for (name, compute) in [("off", false), ("on", true)] {
+        group.bench_function(name, |b| {
+            let opts = SearchOptions {
+                max_rdb_length: 3,
+                compute_instance: compute,
+                ..Default::default()
+            };
+            b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+/// B6: index build and keyword lookup cost; also the ER-aware BANKS
+/// weighting ablation.
+fn index_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/index");
+    for departments in [4usize, 16] {
+        let engine = synthetic_engine(departments, SEED);
+        group.bench_function(
+            BenchmarkId::new("build", departments),
+            |b| b.iter(|| black_box(cla_index::InvertedIndex::build(engine.db()))),
+        );
+        group.bench_function(BenchmarkId::new("lookup", departments), |b| {
+            b.iter(|| black_box(engine.index().matching_tuples("xml").len()))
+        });
+    }
+    group.finish();
+
+    let engine = synthetic_engine(8, SEED);
+    let mut group = c.benchmark_group("scaling/banks_weighting");
+    for (name, weighting) in
+        [("uniform", EdgeWeighting::Uniform), ("er_aware", EdgeWeighting::ErAware)]
+    {
+        group.bench_function(name, |b| {
+            let opts = SearchOptions {
+                algorithm: Algorithm::Banks,
+                weighting,
+                k: Some(20),
+                compute_instance: false,
+                ..Default::default()
+            };
+            b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    enumerate_scaling,
+    banks_vs_discover,
+    ranking_overhead,
+    mtjnt_coverage,
+    witness_cost,
+    index_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerate every figure, table and §3 claim of the paper.
+//!
+//! ```text
+//! cargo run -p cla-bench --bin tables            # everything
+//! cargo run -p cla-bench --bin tables -- table2  # one artifact
+//! ```
+//!
+//! Artifacts: `figure1`, `figure2`, `table1`, `table2`, `table3`,
+//! `ranking` (E4), `instance` (E5), `mtjnt` (E6), `checks`.
+
+use cla_bench::paper;
+use cla_bench::tablefmt::render_checks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let h = paper::harness();
+
+    if want("figure1") {
+        println!("== Figure 1: ER schema (ASCII) ==");
+        println!("{}\n", paper::figure1_ascii());
+        println!("== Figure 1: ER schema (Graphviz DOT) ==");
+        println!("{}", paper::figure1_dot());
+    }
+    if want("figure2") {
+        println!("== Figure 2: relational schema and instance ==");
+        println!("{}", paper::figure2(&h));
+    }
+    if want("table1") {
+        println!("== Table 1: relationships and their cardinalities ==");
+        println!("{}", paper::table1_rendered());
+    }
+    if want("table2") {
+        println!("== Table 2: connections and lengths (RDB vs ER) ==");
+        println!("{}", paper::table2_rendered(&h));
+    }
+    if want("table3") {
+        println!("== Table 3: connections with relationships ==");
+        println!("{}", paper::table3_rendered(&h));
+    }
+    if want("ranking") {
+        println!("== E4: ranking strategies on connections 1-7 (\"Smith XML\") ==");
+        println!("{}", paper::ranking_rendered(&h));
+    }
+    if want("instance") {
+        println!("== E5: schema vs instance closeness ==");
+        println!("{}", paper::instance_rendered(&h));
+    }
+    if want("mtjnt") {
+        println!("== E6: the MTJNT loss claim ==");
+        println!("{}", paper::mtjnt_rendered(&h));
+    }
+    if want("participation") {
+        println!("== E7: participation fan-out (§4 extension) ==");
+        println!("{}", paper::participation_rendered(&h));
+    }
+    if want("checks") {
+        println!("== Paper-vs-measured checks ==");
+        let checks = paper::all_checks(&h);
+        println!("{}", render_checks(&checks));
+        let failed = checks.iter().filter(|c| !c.passed()).count();
+        println!(
+            "{} checks, {} passed, {} failed",
+            checks.len(),
+            checks.len() - failed,
+            failed
+        );
+        if failed > 0 {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal aligned-table formatting for experiment output.
+
+/// Format an aligned text table with a header row and a dashed rule.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .take(cols)
+            .map(|(i, c)| {
+                let pad = widths[i].saturating_sub(c.chars().count());
+                format!("{}{}", c, " ".repeat(pad))
+            })
+            .collect();
+        format!("| {} |", padded.join(" | ")).trim_end().to_owned()
+    };
+    let mut out = String::new();
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&render_row(&header_cells));
+    out.push('\n');
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|", rule.join("-|-")));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// A single pass/fail check comparing measured output to the paper.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being checked.
+    pub name: String,
+    /// The paper's value, rendered.
+    pub expected: String,
+    /// Our measured value, rendered.
+    pub actual: String,
+}
+
+impl Check {
+    /// Build a check.
+    pub fn new(name: impl Into<String>, expected: impl Into<String>, actual: impl Into<String>) -> Self {
+        Check { name: name.into(), expected: expected.into(), actual: actual.into() }
+    }
+
+    /// `true` when measured matches the paper.
+    pub fn passed(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+/// Render a list of checks with PASS/FAIL markers.
+pub fn render_checks(checks: &[Check]) -> String {
+    let rows: Vec<Vec<String>> = checks
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.expected.clone(),
+                c.actual.clone(),
+                if c.passed() { "PASS".into() } else { "FAIL".into() },
+            ]
+        })
+        .collect();
+    format_table(&["check", "paper", "measured", "status"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = format_table(
+            &["id", "value"],
+            &[
+                vec!["1".into(), "short".into()],
+                vec!["22".into(), "a longer cell".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| id"));
+        let pipes: Vec<usize> = lines
+            .iter()
+            .filter(|l| !l.starts_with("|-"))
+            .map(|l| l.matches('|').count())
+            .collect();
+        assert!(pipes.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn checks_report_status() {
+        let ok = Check::new("a", "1", "1");
+        let bad = Check::new("b", "1", "2");
+        assert!(ok.passed());
+        assert!(!bad.passed());
+        let s = render_checks(&[ok, bad]);
+        assert!(s.contains("PASS"));
+        assert!(s.contains("FAIL"));
+    }
+}

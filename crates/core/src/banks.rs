@@ -1,0 +1,375 @@
+//! BANKS-style Steiner-tree search (Aditya et al., VLDB 2002 — the
+//! paper's reference [1]).
+//!
+//! The classic backward-expansion idea: run a (multi-source) shortest-
+//! path expansion from every keyword's match set; any node reaching all
+//! sets is a candidate *root*, and the union of its shortest paths to
+//! one nearest match per set forms an answer tree whose weight is the
+//! sum of the path weights. We expand in the undirected view of the FK
+//! graph and expose pluggable edge weights:
+//!
+//! * [`EdgeWeighting::Uniform`] — every FK edge costs 1 (RDB length);
+//! * [`EdgeWeighting::ErAware`] — middle-relation edges cost 0.5, so a
+//!   collapsed N:M hop costs 1 in total: BANKS weights aligned with the
+//!   paper's *conceptual length* (an ablation in the benches).
+
+use crate::datagraph::{DataGraph, EdgeAnnotation};
+use cla_er::FkRole;
+use cla_graph::{dijkstra, EdgeId, NodeId};
+use cla_relational::TupleId;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Edge-weight schemes for the expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeWeighting {
+    /// Every foreign-key edge costs 1.
+    #[default]
+    Uniform,
+    /// Middle-relation edges cost ½ so an N:M hop totals 1 (conceptual
+    /// length).
+    ErAware,
+}
+
+impl EdgeWeighting {
+    /// The weight of one edge.
+    pub fn weight(self, annotation: &EdgeAnnotation) -> f64 {
+        match self {
+            EdgeWeighting::Uniform => 1.0,
+            EdgeWeighting::ErAware => match annotation.role {
+                FkRole::Middle { .. } => 0.5,
+                FkRole::Direct { .. } => 1.0,
+            },
+        }
+    }
+}
+
+/// Options for [`banks_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct BanksOptions {
+    /// Maximum number of answer trees to return.
+    pub k: usize,
+    /// Edge weighting scheme.
+    pub weighting: EdgeWeighting,
+    /// Maximum total tree weight (`f64::INFINITY` for unbounded).
+    pub max_weight: f64,
+}
+
+impl Default for BanksOptions {
+    fn default() -> Self {
+        BanksOptions { k: 10, weighting: EdgeWeighting::Uniform, max_weight: f64::INFINITY }
+    }
+}
+
+/// An answer tree: a connected set of tuples covering all keyword sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    /// The root (the connecting node where backward paths meet).
+    pub root: NodeId,
+    /// All tree nodes (root first, then discovery order, deduplicated).
+    pub nodes: Vec<NodeId>,
+    /// Tree edges as `(edge, parent-side node, child-side node)` triples,
+    /// oriented away from the root.
+    pub edges: Vec<(EdgeId, NodeId, NodeId)>,
+    /// One matched node per keyword set, in keyword order.
+    pub keyword_nodes: Vec<NodeId>,
+    /// Total weight under the chosen [`EdgeWeighting`].
+    pub weight: f64,
+}
+
+impl SteinerTree {
+    /// The distinct tuples of the tree.
+    pub fn tuple_set(&self, dg: &DataGraph) -> BTreeSet<TupleId> {
+        self.nodes.iter().map(|&n| dg.tuple_of(n)).collect()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the tree is a simple path (≤ 2 nodes of degree 1 and
+    /// no branching), which is always the case for two keyword sets.
+    pub fn is_path(&self) -> bool {
+        let mut degree: HashMap<NodeId, usize> = HashMap::new();
+        for &(_, a, b) in &self.edges {
+            *degree.entry(a).or_insert(0) += 1;
+            *degree.entry(b).or_insert(0) += 1;
+        }
+        degree.values().all(|&d| d <= 2)
+    }
+
+    /// Linearize a path-shaped tree into an ordered node/edge sequence
+    /// starting at `start` (must be an endpoint). Returns `None` if the
+    /// tree branches.
+    pub fn linearize(&self, start: NodeId) -> Option<(Vec<NodeId>, Vec<EdgeId>)> {
+        if !self.is_path() {
+            return None;
+        }
+        if self.edges.is_empty() {
+            return Some((vec![self.root], Vec::new()));
+        }
+        let mut adj: HashMap<NodeId, Vec<(EdgeId, NodeId)>> = HashMap::new();
+        for &(e, a, b) in &self.edges {
+            adj.entry(a).or_default().push((e, b));
+            adj.entry(b).or_default().push((e, a));
+        }
+        if adj.get(&start).map_or(0, Vec::len) != 1 {
+            return None;
+        }
+        let mut nodes = vec![start];
+        let mut edges = Vec::new();
+        let mut prev: Option<NodeId> = None;
+        let mut current = start;
+        loop {
+            let next = adj[&current]
+                .iter()
+                .find(|(_, m)| Some(*m) != prev)
+                .copied();
+            match next {
+                Some((e, m)) => {
+                    edges.push(e);
+                    nodes.push(m);
+                    prev = Some(current);
+                    current = m;
+                }
+                None => break,
+            }
+        }
+        Some((nodes, edges))
+    }
+}
+
+/// Run the backward-expansion search.
+///
+/// `keyword_sets` holds, per keyword, the nodes whose tuples match it.
+/// Returns up to `opts.k` trees ordered by ascending weight (ties broken
+/// by root id), deduplicated by tuple set. Empty if any keyword set is
+/// empty (conjunctive semantics).
+pub fn banks_search(
+    dg: &DataGraph,
+    keyword_sets: &[Vec<NodeId>],
+    opts: &BanksOptions,
+) -> Vec<SteinerTree> {
+    if keyword_sets.is_empty() || keyword_sets.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let g = dg.graph();
+    let weight_of = |e: EdgeId| opts.weighting.weight(g.edge(e).payload);
+
+    // Multi-source Dijkstra per keyword set, via a virtual source: run
+    // plain Dijkstra from each member and take the minimum. Sets are
+    // usually tiny (keyword selectivity), so this stays cheap; for large
+    // sets a virtual-source variant would be the optimization.
+    let mut dists: Vec<Vec<f64>> = Vec::with_capacity(keyword_sets.len());
+    let mut parents: Vec<Vec<Option<(NodeId, EdgeId)>>> = Vec::with_capacity(keyword_sets.len());
+    let mut origins: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(keyword_sets.len());
+    for set in keyword_sets {
+        let mut best = vec![f64::INFINITY; g.node_count()];
+        let mut par: Vec<Option<(NodeId, EdgeId)>> = vec![None; g.node_count()];
+        let mut org: Vec<Option<NodeId>> = vec![None; g.node_count()];
+        for &src in set {
+            let r = dijkstra(g, src, true, weight_of);
+            for n in g.nodes() {
+                if r.dist[n.index()] < best[n.index()] {
+                    best[n.index()] = r.dist[n.index()];
+                    par[n.index()] = r.parent[n.index()];
+                    org[n.index()] = Some(src);
+                }
+            }
+        }
+        dists.push(best);
+        parents.push(par);
+        origins.push(org);
+    }
+
+    // Candidate roots: finite distance to every set.
+    let mut candidates: Vec<(f64, NodeId)> = g
+        .nodes()
+        .filter_map(|n| {
+            let total: f64 = dists.iter().map(|d| d[n.index()]).sum();
+            (total.is_finite() && total <= opts.max_weight).then_some((total, n))
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+    let mut out = Vec::new();
+    let mut seen: HashSet<BTreeSet<NodeId>> = HashSet::new();
+    for (total, root) in candidates {
+        if out.len() >= opts.k {
+            break;
+        }
+        // Assemble the tree: walk each keyword set's parent chain from
+        // the root back to its nearest origin.
+        let mut nodes: Vec<NodeId> = vec![root];
+        let mut node_set: BTreeSet<NodeId> = [root].into();
+        let mut edges: Vec<(EdgeId, NodeId, NodeId)> = Vec::new();
+        let mut edge_set: HashSet<EdgeId> = HashSet::new();
+        let mut keyword_nodes = Vec::with_capacity(keyword_sets.len());
+        for ki in 0..keyword_sets.len() {
+            let mut current = root;
+            // Parent chains point from the origin outward; walk from the
+            // root back toward the origin.
+            while let Some((prev, e)) = parents[ki][current.index()] {
+                if edge_set.insert(e) {
+                    edges.push((e, current, prev));
+                }
+                if node_set.insert(prev) {
+                    nodes.push(prev);
+                }
+                current = prev;
+            }
+            keyword_nodes.push(origins[ki][root.index()].unwrap_or(current));
+        }
+        if seen.insert(node_set) {
+            out.push(SteinerTree { root, nodes, edges, keyword_nodes, weight: total });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_datagen::{company, CompanyDb};
+
+    fn setup() -> (CompanyDb, DataGraph) {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        (c, dg)
+    }
+
+    fn nodes_of(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Vec<NodeId> {
+        aliases
+            .iter()
+            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn two_keyword_trees_are_paths_between_matches() {
+        let (c, dg) = setup();
+        // "Smith": e1, e2; "XML": d1, d2, p1, p2.
+        let smith = nodes_of(&c, &dg, &["e1", "e2"]);
+        let xml = nodes_of(&c, &dg, &["d1", "d2", "p1", "p2"]);
+        let trees = banks_search(&dg, &[smith, xml], &BanksOptions::default());
+        assert!(!trees.is_empty());
+        for t in &trees {
+            assert!(t.is_path(), "two-keyword trees are paths");
+            assert_eq!(t.keyword_nodes.len(), 2);
+        }
+        // The cheapest trees have weight 1 (d1–e1 and d2–e2).
+        assert_eq!(trees[0].weight, 1.0);
+        assert_eq!(trees[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn weights_are_nondecreasing_and_sets_unique() {
+        let (c, dg) = setup();
+        let smith = nodes_of(&c, &dg, &["e1", "e2"]);
+        let xml = nodes_of(&c, &dg, &["d1", "d2", "p1", "p2"]);
+        let trees =
+            banks_search(&dg, &[smith, xml], &BanksOptions { k: 50, ..Default::default() });
+        for w in trees.windows(2) {
+            assert!(w[0].weight <= w[1].weight);
+        }
+        let mut sets: Vec<_> = trees.iter().map(|t| t.tuple_set(&dg)).collect();
+        let before = sets.len();
+        sets.dedup();
+        assert_eq!(sets.len(), before);
+    }
+
+    #[test]
+    fn er_aware_weighting_halves_middle_hops() {
+        let (c, dg) = setup();
+        // p1 to e1 via w_f1: uniform weight 2, ER-aware weight 1.
+        let p1 = nodes_of(&c, &dg, &["p1"]);
+        let e1 = nodes_of(&c, &dg, &["e1"]);
+        let uniform = banks_search(
+            &dg,
+            &[p1.clone(), e1.clone()],
+            &BanksOptions { k: 5, ..Default::default() },
+        );
+        // Two routes tie at uniform weight 2: via w_f1 and via d1.
+        assert_eq!(uniform[0].weight, 2.0);
+        let er = banks_search(
+            &dg,
+            &[p1, e1],
+            &BanksOptions { k: 1, weighting: EdgeWeighting::ErAware, ..Default::default() },
+        );
+        // ER-aware weighting makes the w_f1 bridge strictly cheaper…
+        assert_eq!(er[0].weight, 1.0);
+        let er_aliases: BTreeSet<String> =
+            er[0].tuple_set(&dg).iter().map(|&t| c.alias(t)).collect();
+        let expect: BTreeSet<String> =
+            ["e1", "p1", "w_f1"].iter().map(|s| (*s).to_string()).collect();
+        assert_eq!(er_aliases, expect);
+        // …while uniform weighting also finds that route among the ties.
+        assert!(uniform.iter().any(|t| t.tuple_set(&dg) == er[0].tuple_set(&dg)));
+    }
+
+    #[test]
+    fn three_keywords_produce_branching_tree() {
+        let (c, dg) = setup();
+        // Alice (t1), Miller (e3), Cs (d1): the tree d1–e3–t1 covers all.
+        let alice = nodes_of(&c, &dg, &["t1"]);
+        let miller = nodes_of(&c, &dg, &["e3"]);
+        let cs = nodes_of(&c, &dg, &["d1"]);
+        let trees = banks_search(&dg, &[alice, miller, cs], &BanksOptions::default());
+        assert!(!trees.is_empty());
+        let best = &trees[0];
+        assert_eq!(best.weight, 2.0);
+        let set = best.tuple_set(&dg);
+        let aliases: BTreeSet<String> = set.iter().map(|&t| c.alias(t)).collect();
+        let expect: BTreeSet<String> =
+            ["d1", "e3", "t1"].iter().map(|s| (*s).to_string()).collect();
+        assert_eq!(aliases, expect);
+    }
+
+    #[test]
+    fn empty_keyword_set_returns_nothing() {
+        let (c, dg) = setup();
+        let smith = nodes_of(&c, &dg, &["e1"]);
+        assert!(banks_search(&dg, &[smith, vec![]], &BanksOptions::default()).is_empty());
+        assert!(banks_search(&dg, &[], &BanksOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn max_weight_prunes() {
+        let (c, dg) = setup();
+        let smith = nodes_of(&c, &dg, &["e1", "e2"]);
+        let xml = nodes_of(&c, &dg, &["d1", "d2", "p1", "p2"]);
+        let trees = banks_search(
+            &dg,
+            &[smith, xml],
+            &BanksOptions { k: 100, max_weight: 1.0, ..Default::default() },
+        );
+        assert!(!trees.is_empty());
+        for t in &trees {
+            assert!(t.weight <= 1.0);
+        }
+    }
+
+    #[test]
+    fn linearize_path_tree() {
+        let (c, dg) = setup();
+        let p1 = nodes_of(&c, &dg, &["p1"]);
+        let e1 = nodes_of(&c, &dg, &["e1"]);
+        let trees = banks_search(&dg, &[p1.clone(), e1.clone()], &BanksOptions::default());
+        let t = &trees[0];
+        let (nodes, edges) = t.linearize(p1[0]).unwrap();
+        assert_eq!(nodes.first(), Some(&p1[0]));
+        assert_eq!(nodes.last(), Some(&e1[0]));
+        assert_eq!(edges.len(), nodes.len() - 1);
+    }
+
+    #[test]
+    fn keyword_in_same_tuple_gives_single_node_tree() {
+        let (c, dg) = setup();
+        // d1 matches both "teaching" and "xml" — the root is d1 itself.
+        let set = nodes_of(&c, &dg, &["d1"]);
+        let trees = banks_search(&dg, &[set.clone(), set], &BanksOptions::default());
+        assert_eq!(trees[0].weight, 0.0);
+        assert_eq!(trees[0].edge_count(), 0);
+        assert!(trees[0].is_path());
+    }
+}

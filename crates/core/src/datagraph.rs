@@ -1,0 +1,172 @@
+//! The tuple-level data graph.
+//!
+//! Nodes are tuples, edges are resolved foreign-key references (directed
+//! from the *referencing* tuple to the *referenced* tuple), each carrying
+//! its conceptual [`FkRole`] from the [`SchemaMapping`]. Middle-relation
+//! tuples are flagged so connections can collapse them when computing
+//! conceptual lengths (§3 of the paper).
+
+use crate::error::CoreError;
+use cla_er::{FkRole, SchemaMapping};
+use cla_graph::{EdgeId, Graph, NodeId};
+use cla_relational::{Database, TupleId};
+use std::collections::HashMap;
+
+/// Edge payload: which foreign key produced the edge, and its conceptual
+/// role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeAnnotation {
+    /// Index of the foreign key within the referencing relation.
+    pub fk_index: usize,
+    /// The conceptual role recorded by the ER→relational mapping.
+    pub role: FkRole,
+}
+
+/// The data graph over a database instance.
+#[derive(Debug, Clone)]
+pub struct DataGraph {
+    graph: Graph<TupleId, EdgeAnnotation>,
+    node_of: HashMap<TupleId, NodeId>,
+    middle: Vec<bool>,
+}
+
+impl DataGraph {
+    /// Build the graph from a database and its mapping provenance.
+    ///
+    /// Fails with [`CoreError::MissingFkRole`] if the catalog contains a
+    /// foreign key the mapping does not know about (the engine requires
+    /// catalogs produced by [`cla_er::map_to_relational`]).
+    pub fn build(db: &Database, mapping: &SchemaMapping) -> Result<Self, CoreError> {
+        let mut graph = Graph::with_capacity(db.total_tuples(), db.total_tuples());
+        let mut node_of = HashMap::with_capacity(db.total_tuples());
+        let mut middle = Vec::with_capacity(db.total_tuples());
+
+        for (rel, _) in db.catalog().iter() {
+            let is_middle = mapping.is_middle(rel);
+            for (id, _) in db.tuples(rel) {
+                let n = graph.add_node(id);
+                node_of.insert(id, n);
+                middle.push(is_middle);
+            }
+        }
+        for (rel, schema) in db.catalog().iter() {
+            for (id, _) in db.tuples(rel) {
+                for (fk_index, target) in db.references_from(id) {
+                    let role = mapping.fk_role(rel, fk_index).ok_or_else(|| {
+                        CoreError::MissingFkRole {
+                            relation: schema.name.clone(),
+                            fk_index,
+                        }
+                    })?;
+                    let from = node_of[&id];
+                    let to = node_of[&target];
+                    graph.add_edge(from, to, EdgeAnnotation { fk_index, role });
+                }
+            }
+        }
+        Ok(DataGraph { graph, node_of, middle })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph<TupleId, EdgeAnnotation> {
+        &self.graph
+    }
+
+    /// Node for tuple `t`, if present.
+    pub fn node_of(&self, t: TupleId) -> Option<NodeId> {
+        self.node_of.get(&t).copied()
+    }
+
+    /// Tuple stored at node `n`.
+    pub fn tuple_of(&self, n: NodeId) -> TupleId {
+        *self.graph.node(n)
+    }
+
+    /// Whether node `n` is a middle-relation tuple.
+    pub fn is_middle(&self, n: NodeId) -> bool {
+        self.middle[n.index()]
+    }
+
+    /// The annotation of edge `e`.
+    pub fn annotation(&self, e: EdgeId) -> EdgeAnnotation {
+        *self.graph.edge(e).payload
+    }
+
+    /// Number of tuple nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of reference edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_datagen::company;
+
+    #[test]
+    fn company_graph_has_all_tuples_and_references() {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        assert_eq!(dg.node_count(), 16);
+        // Edges: employees 4 (D_ID) + projects 3 (D_ID) + dependents 2
+        // (ESSN) + works_for 4×2 = 17.
+        assert_eq!(dg.edge_count(), 17);
+    }
+
+    #[test]
+    fn middle_flags_only_works_for() {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        for n in dg.graph().nodes() {
+            let t = dg.tuple_of(n);
+            let rel_name = &c.db.catalog().relation(t.relation).unwrap().name;
+            assert_eq!(dg.is_middle(n), rel_name == "WORKS_FOR", "{rel_name}");
+        }
+    }
+
+    #[test]
+    fn node_lookup_round_trips() {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        for t in c.db.all_tuple_ids() {
+            let n = dg.node_of(t).unwrap();
+            assert_eq!(dg.tuple_of(n), t);
+        }
+    }
+
+    #[test]
+    fn e1_connects_to_d1_w_f1() {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        let e1 = dg.node_of(c.tuple("e1").unwrap()).unwrap();
+        let neighbors: Vec<String> = dg
+            .graph()
+            .incident_edges(e1)
+            .map(|e| c.alias(dg.tuple_of(e.other(e1))))
+            .collect();
+        assert!(neighbors.contains(&"d1".to_owned()));
+        assert!(neighbors.contains(&"w_f1".to_owned()));
+        assert_eq!(neighbors.len(), 2);
+    }
+
+    #[test]
+    fn edge_annotations_carry_roles() {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        let mut direct = 0;
+        let mut middle = 0;
+        for e in dg.graph().edges() {
+            match e.payload.role {
+                FkRole::Direct { .. } => direct += 1,
+                FkRole::Middle { .. } => middle += 1,
+            }
+        }
+        assert_eq!(direct, 9); // 4 employees + 3 projects + 2 dependents
+        assert_eq!(middle, 8); // 4 works_for rows × 2
+    }
+}

@@ -1,0 +1,299 @@
+//! DISCOVER-style joining networks and the MTJNT semantics (Hristidis &
+//! Papakonstantinou, VLDB 2002 — the paper's reference [4]).
+//!
+//! A *joining network of tuples* is a set of tuples whose induced
+//! foreign-key subgraph is connected. For a keyword query it is
+//!
+//! * **total** iff every keyword is contained in at least one tuple of
+//!   the network, and
+//! * **minimal** iff no tuple can be removed such that the remaining
+//!   induced network is still connected and total.
+//!
+//! A **MTJNT** is a minimal total joining network of tuples. §3 of the
+//! paper shows this semantics *loses* informative connections: for
+//! "Smith XML" on the Figure 2 instance, connections 3, 4, 6 and 7 are
+//! all non-minimal (each contains the two-tuple network {department,
+//! employee} or a shorter project-based network as a sub-network) and
+//! are therefore never returned. [`is_mtjnt`] + [`mtjnt_filter`]
+//! reproduce that claim exactly; [`enumerate_joining_networks`] grows
+//! all connected total networks up to a size bound (the DISCOVER
+//! candidate-network parameter `T`).
+
+use crate::datagraph::DataGraph;
+use cla_graph::{is_connected_subset, NodeId};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// `true` iff `nodes` covers every keyword set (each set contributes at
+/// least one member).
+pub fn is_total(nodes: &BTreeSet<NodeId>, keyword_sets: &[HashSet<NodeId>]) -> bool {
+    keyword_sets.iter().all(|set| nodes.iter().any(|n| set.contains(n)))
+}
+
+/// `true` iff the induced subgraph on `nodes` is connected (the network
+/// is *joining*).
+pub fn is_joining(dg: &DataGraph, nodes: &BTreeSet<NodeId>) -> bool {
+    let set: HashSet<NodeId> = nodes.iter().copied().collect();
+    is_connected_subset(dg.graph(), &set)
+}
+
+/// The MTJNT test: total, joining, and minimal (no single tuple
+/// removable while staying total and joining — DISCOVER's definition).
+pub fn is_mtjnt(
+    dg: &DataGraph,
+    nodes: &BTreeSet<NodeId>,
+    keyword_sets: &[HashSet<NodeId>],
+) -> bool {
+    if nodes.is_empty() || !is_total(nodes, keyword_sets) || !is_joining(dg, nodes) {
+        return false;
+    }
+    for &n in nodes.iter() {
+        let mut reduced = nodes.clone();
+        reduced.remove(&n);
+        if !reduced.is_empty()
+            && is_total(&reduced, keyword_sets)
+            && is_joining(dg, &reduced)
+        {
+            return false; // n is removable → not minimal
+        }
+    }
+    true
+}
+
+/// Filter `networks`, keeping only MTJNTs.
+pub fn mtjnt_filter(
+    dg: &DataGraph,
+    networks: Vec<BTreeSet<NodeId>>,
+    keyword_sets: &[HashSet<NodeId>],
+) -> Vec<BTreeSet<NodeId>> {
+    networks
+        .into_iter()
+        .filter(|n| is_mtjnt(dg, n, keyword_sets))
+        .collect()
+}
+
+/// Enumerate every *connected, total* joining network with at most
+/// `max_tuples` tuples (DISCOVER's size bound `T`), by breadth-first
+/// growth from the members of the smallest keyword set.
+///
+/// Networks are returned deduplicated, in no particular order. The
+/// search space is exponential in `max_tuples`; intended for the small
+/// bounds DISCOVER uses in practice (T ≤ 5–7).
+pub fn enumerate_joining_networks(
+    dg: &DataGraph,
+    keyword_sets: &[HashSet<NodeId>],
+    max_tuples: usize,
+) -> Vec<BTreeSet<NodeId>> {
+    if keyword_sets.is_empty() || keyword_sets.iter().any(HashSet::is_empty) {
+        return Vec::new();
+    }
+    let seed_set = keyword_sets
+        .iter()
+        .min_by_key(|s| s.len())
+        .expect("non-empty list");
+
+    let mut results: Vec<BTreeSet<NodeId>> = Vec::new();
+    let mut recorded: HashSet<BTreeSet<NodeId>> = HashSet::new();
+    let mut visited: HashSet<BTreeSet<NodeId>> = HashSet::new();
+    let mut queue: VecDeque<BTreeSet<NodeId>> = VecDeque::new();
+
+    for &seed in seed_set.iter() {
+        let s: BTreeSet<NodeId> = [seed].into();
+        if visited.insert(s.clone()) {
+            queue.push_back(s);
+        }
+    }
+
+    while let Some(current) = queue.pop_front() {
+        if is_total(&current, keyword_sets) && recorded.insert(current.clone()) {
+            results.push(current.clone());
+            // A superset of a total network is only interesting for
+            // larger-T studies; keep growing so all ≤T totals appear.
+        }
+        if current.len() >= max_tuples {
+            continue;
+        }
+        // Expand by every neighbor of the current frontier.
+        let mut neighbors: BTreeSet<NodeId> = BTreeSet::new();
+        for &n in &current {
+            for e in dg.graph().incident_edges(n) {
+                let m = e.other(n);
+                if !current.contains(&m) {
+                    neighbors.insert(m);
+                }
+            }
+        }
+        for m in neighbors {
+            let mut next = current.clone();
+            next.insert(m);
+            if visited.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    results
+}
+
+/// Convenience: enumerate all MTJNTs up to `max_tuples`.
+pub fn enumerate_mtjnts(
+    dg: &DataGraph,
+    keyword_sets: &[HashSet<NodeId>],
+    max_tuples: usize,
+) -> Vec<BTreeSet<NodeId>> {
+    mtjnt_filter(dg, enumerate_joining_networks(dg, keyword_sets, max_tuples), keyword_sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_datagen::{company, CompanyDb};
+
+    fn setup() -> (CompanyDb, DataGraph) {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        (c, dg)
+    }
+
+    fn node(c: &CompanyDb, dg: &DataGraph, alias: &str) -> NodeId {
+        dg.node_of(c.tuple(alias).unwrap()).unwrap()
+    }
+
+    fn network(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> BTreeSet<NodeId> {
+        aliases.iter().map(|a| node(c, dg, a)).collect()
+    }
+
+    /// Keyword sets for "Smith XML" on the company instance.
+    fn smith_xml(c: &CompanyDb, dg: &DataGraph) -> Vec<HashSet<NodeId>> {
+        let smith: HashSet<NodeId> =
+            ["e1", "e2"].iter().map(|a| node(c, dg, a)).collect();
+        let xml: HashSet<NodeId> =
+            ["d1", "d2", "p1", "p2"].iter().map(|a| node(c, dg, a)).collect();
+        vec![smith, xml]
+    }
+
+    /// §3: "In the previous example connections 3, 4, 6 and 7 are lost,
+    /// if the MTJNT approach were followed."
+    #[test]
+    fn mtjnt_loses_connections_3_4_6_7() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        let lost: &[&[&str]] = &[
+            &["p1", "d1", "e1"],              // connection 3
+            &["d1", "p1", "w_f1", "e1"],      // connection 4
+            &["p2", "d2", "e2"],              // connection 6
+            &["d2", "p3", "w_f2", "e2"],      // connection 7
+        ];
+        for aliases in lost {
+            let n = network(&c, &dg, aliases);
+            assert!(is_total(&n, &kw), "{aliases:?} is total");
+            assert!(is_joining(&dg, &n), "{aliases:?} is joining");
+            assert!(!is_mtjnt(&dg, &n, &kw), "{aliases:?} must be lost by MTJNT");
+        }
+    }
+
+    /// Connections 1, 2 and 5 survive the MTJNT filter.
+    #[test]
+    fn mtjnt_keeps_connections_1_2_5() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        let kept: &[&[&str]] = &[
+            &["d1", "e1"],           // connection 1
+            &["p1", "w_f1", "e1"],   // connection 2
+            &["d2", "e2"],           // connection 5
+        ];
+        for aliases in kept {
+            let n = network(&c, &dg, aliases);
+            assert!(is_mtjnt(&dg, &n, &kw), "{aliases:?} must be a MTJNT");
+        }
+    }
+
+    #[test]
+    fn enumeration_finds_exactly_the_mtjnts() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        let mtjnts = enumerate_mtjnts(&dg, &kw, 4);
+        let mut rendered: Vec<Vec<String>> = mtjnts
+            .iter()
+            .map(|n| {
+                let mut v: Vec<String> =
+                    n.iter().map(|&x| c.alias(dg.tuple_of(x))).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        rendered.sort();
+        let mut expect = vec![
+            vec!["d1".to_owned(), "e1".to_owned()],
+            vec!["e1".to_owned(), "p1".to_owned(), "w_f1".to_owned()],
+            vec!["d2".to_owned(), "e2".to_owned()],
+        ];
+        expect.iter_mut().for_each(|v| v.sort());
+        expect.sort();
+        assert_eq!(rendered, expect);
+    }
+
+    #[test]
+    fn non_joining_network_rejected() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        // d1 and e2 are not adjacent (e2 works for d2).
+        let n = network(&c, &dg, &["d1", "e2"]);
+        assert!(is_total(&n, &kw));
+        assert!(!is_joining(&dg, &n));
+        assert!(!is_mtjnt(&dg, &n, &kw));
+    }
+
+    #[test]
+    fn non_total_network_rejected() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        let n = network(&c, &dg, &["d3", "e3"]); // no Smith, no XML
+        assert!(!is_total(&n, &kw));
+        assert!(!is_mtjnt(&dg, &n, &kw));
+    }
+
+    #[test]
+    fn single_tuple_covering_all_keywords_is_minimal() {
+        let (c, dg) = setup();
+        // Query "teaching xml": d1 alone covers both.
+        let teaching: HashSet<NodeId> =
+            ["d1", "d2", "d3"].iter().map(|a| node(&c, &dg, a)).collect();
+        let xml: HashSet<NodeId> =
+            ["d1", "d2", "p1", "p2"].iter().map(|a| node(&c, &dg, a)).collect();
+        let kw = vec![teaching, xml];
+        let n = network(&c, &dg, &["d1"]);
+        assert!(is_mtjnt(&dg, &n, &kw));
+    }
+
+    #[test]
+    fn enumeration_respects_size_bound() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        for bound in 1..=5 {
+            for n in enumerate_joining_networks(&dg, &kw, bound) {
+                assert!(n.len() <= bound);
+                assert!(is_total(&n, &kw));
+                assert!(is_joining(&dg, &n));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_with_empty_keyword_set_is_empty() {
+        let (c, dg) = setup();
+        let smith: HashSet<NodeId> = [node(&c, &dg, "e1")].into();
+        assert!(enumerate_joining_networks(&dg, &[smith, HashSet::new()], 4).is_empty());
+        assert!(enumerate_joining_networks(&dg, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn larger_bound_finds_superset_of_totals() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        let small = enumerate_joining_networks(&dg, &kw, 3);
+        let large = enumerate_joining_networks(&dg, &kw, 4);
+        let small_set: HashSet<_> = small.into_iter().collect();
+        let large_set: HashSet<_> = large.into_iter().collect();
+        assert!(small_set.is_subset(&large_set));
+        assert!(large_set.len() > small_set.len());
+    }
+}

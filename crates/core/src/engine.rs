@@ -1,0 +1,782 @@
+//! The search-engine façade tying the pipeline together: inverted index
+//! → keyword match sets → connection generation (path enumeration, BANKS
+//! or DISCOVER/MTJNT) → metrics → ranking.
+
+use crate::banks::{banks_search, BanksOptions, EdgeWeighting, SteinerTree};
+use crate::connection::Connection;
+use crate::datagraph::DataGraph;
+use crate::discover::{enumerate_mtjnts, is_mtjnt};
+use crate::error::CoreError;
+use crate::explain::explain_connection;
+use crate::instance::instance_closeness;
+use crate::ranking::{sort_by_strategy, ConnectionInfo, RankStrategy};
+use cla_er::{ErSchema, SchemaMapping};
+use cla_graph::{enumerate_simple_paths_undirected, NodeId, Path};
+use cla_index::{tuple_score, InvertedIndex, KeywordQuery};
+use cla_relational::{Database, TupleId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Which connection-generation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Bounded simple-path enumeration between keyword-tuple pairs (the
+    /// paper's §3 result model; two-keyword queries).
+    #[default]
+    Paths,
+    /// BANKS backward expansion (any number of keywords).
+    Banks,
+    /// DISCOVER-style MTJNT enumeration (the semantics the paper
+    /// criticizes).
+    Discover,
+}
+
+/// Options controlling [`SearchEngine::search`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Connection-generation algorithm.
+    pub algorithm: Algorithm,
+    /// Maximum connection length in foreign-key edges (for Discover:
+    /// maximum network size is `max_rdb_length + 1` tuples).
+    pub max_rdb_length: usize,
+    /// Ranking strategy.
+    pub ranker: RankStrategy,
+    /// Keep only the best `k` connections (`None` = all).
+    pub k: Option<usize>,
+    /// Post-filter connections to MTJNTs only (demonstrates the paper's
+    /// §3 loss claim when combined with `Paths`).
+    pub mtjnt_only: bool,
+    /// Compute instance-level closeness for every result.
+    pub compute_instance: bool,
+    /// Witness-path length bound for instance closeness.
+    pub max_witness_length: usize,
+    /// Edge weighting for the BANKS expansion.
+    pub weighting: EdgeWeighting,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            algorithm: Algorithm::Paths,
+            max_rdb_length: 4,
+            ranker: RankStrategy::CloseFirst,
+            k: None,
+            mtjnt_only: false,
+            compute_instance: true,
+            max_witness_length: 4,
+            weighting: EdgeWeighting::Uniform,
+        }
+    }
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone)]
+pub struct RankedConnection {
+    /// The connection itself.
+    pub connection: Connection,
+    /// Precomputed metrics used by the ranking.
+    pub info: ConnectionInfo,
+    /// Paper-notation rendering, e.g. `d1(XML) – e1(Smith)`.
+    pub rendering: String,
+    /// Natural-language reading (§3), e.g. `employee e1(Smith) works for
+    /// department d1(XML)`.
+    pub explanation: String,
+}
+
+/// The outcome of a search.
+#[derive(Debug, Clone)]
+pub struct SearchResults {
+    /// The normalized query.
+    pub query: KeywordQuery,
+    /// Display forms of the keywords (original casing).
+    pub display_keywords: Vec<String>,
+    /// Ranked connections (paths; the common case).
+    pub connections: Vec<RankedConnection>,
+    /// Branching answer trees, populated for ≥ 3-keyword BANKS searches.
+    pub trees: Vec<SteinerTree>,
+}
+
+impl SearchResults {
+    /// Number of path-shaped results.
+    pub fn len(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// `true` when the search produced nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.connections.is_empty() && self.trees.is_empty()
+    }
+}
+
+/// The keyword-search engine over one database snapshot.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    db: Database,
+    er_schema: ErSchema,
+    mapping: SchemaMapping,
+    index: InvertedIndex,
+    dg: DataGraph,
+    aliases: HashMap<TupleId, String>,
+}
+
+impl SearchEngine {
+    /// Build the engine: validates referential integrity, constructs the
+    /// inverted index and the data graph.
+    pub fn new(
+        db: Database,
+        er_schema: ErSchema,
+        mapping: SchemaMapping,
+    ) -> Result<Self, CoreError> {
+        db.validate_references()?;
+        let index = InvertedIndex::build(&db);
+        let dg = DataGraph::build(&db, &mapping)?;
+        Ok(SearchEngine { db, er_schema, mapping, index, dg, aliases: HashMap::new() })
+    }
+
+    /// Attach display aliases (`d1`, `e1`, …) for rendering.
+    pub fn with_aliases(mut self, aliases: HashMap<TupleId, String>) -> Self {
+        self.aliases = aliases;
+        self
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The ER schema.
+    pub fn er_schema(&self) -> &ErSchema {
+        &self.er_schema
+    }
+
+    /// The mapping provenance.
+    pub fn mapping(&self) -> &SchemaMapping {
+        &self.mapping
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The data graph.
+    pub fn data_graph(&self) -> &DataGraph {
+        &self.dg
+    }
+
+    /// Display aliases.
+    pub fn aliases(&self) -> &HashMap<TupleId, String> {
+        &self.aliases
+    }
+
+    /// Tuples matching each keyword of `query`, in keyword order.
+    pub fn keyword_matches(&self, query: &KeywordQuery) -> Vec<(String, Vec<TupleId>)> {
+        query
+            .keywords()
+            .iter()
+            .map(|kw| (kw.clone(), self.index.matching_tuples(kw)))
+            .collect()
+    }
+
+    /// Keyword markers per node for rendering: which display keywords
+    /// each matched tuple carries.
+    pub fn markers(
+        &self,
+        query: &KeywordQuery,
+        display_keywords: &[String],
+    ) -> HashMap<NodeId, Vec<String>> {
+        let mut markers: HashMap<NodeId, Vec<String>> = HashMap::new();
+        for (i, kw) in query.keywords().iter().enumerate() {
+            let display = display_keywords
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| kw.clone());
+            for t in self.index.matching_tuples(kw) {
+                if let Some(n) = self.dg.node_of(t) {
+                    markers.entry(n).or_default().push(display.clone());
+                }
+            }
+        }
+        markers
+    }
+
+    /// The connection following exactly the given tuple sequence, if the
+    /// corresponding foreign-key path exists. Used by the experiment
+    /// harness to address the paper's connections 1–9 by name.
+    pub fn connection_following(&self, tuples: &[TupleId]) -> Option<Connection> {
+        let want: Option<Vec<NodeId>> =
+            tuples.iter().map(|&t| self.dg.node_of(t)).collect();
+        let want = want?;
+        if want.is_empty() {
+            return None;
+        }
+        if want.len() == 1 {
+            return Some(Connection::single(want[0]));
+        }
+        let paths = enumerate_simple_paths_undirected(
+            self.dg.graph(),
+            want[0],
+            *want.last().expect("non-empty"),
+            want.len() - 1,
+            None,
+        );
+        paths
+            .iter()
+            .map(|p| Connection::from_path(p, &self.dg, &self.er_schema))
+            .find(|c| c.nodes() == want.as_slice())
+    }
+
+    /// Compute the ranking metrics of a connection for a query.
+    pub fn connection_info(
+        &self,
+        conn: &Connection,
+        query: &KeywordQuery,
+        compute_instance: bool,
+        max_witness_length: usize,
+    ) -> ConnectionInfo {
+        let er_chain = conn.er_chain(&self.dg, &self.er_schema, &self.mapping);
+        let text_score = conn
+            .nodes()
+            .iter()
+            .map(|&n| tuple_score(&self.index, self.dg.tuple_of(n), query))
+            .sum();
+        let instance_close = compute_instance.then(|| {
+            instance_closeness(
+                conn,
+                &self.dg,
+                &self.er_schema,
+                &self.mapping,
+                max_witness_length,
+            )
+            .is_close()
+        });
+        ConnectionInfo {
+            rdb_length: conn.rdb_length(),
+            er_length: er_chain.len(),
+            class: er_chain.classify(),
+            closeness: er_chain.closeness(),
+            nm_count: er_chain.transitive_nm_count(),
+            er_chain,
+            text_score,
+            instance_close,
+        }
+    }
+
+    /// Run a keyword search.
+    pub fn search(
+        &self,
+        raw_query: &str,
+        options: &SearchOptions,
+    ) -> Result<SearchResults, CoreError> {
+        let query = KeywordQuery::parse(raw_query);
+        if query.is_empty() {
+            return Err(CoreError::InvalidQuery("query has no keywords".into()));
+        }
+        let display_keywords = display_forms(raw_query, &query);
+
+        // Per-keyword node sets (conjunctive semantics: all must match).
+        let match_sets: Vec<Vec<NodeId>> = query
+            .keywords()
+            .iter()
+            .map(|kw| {
+                self.index
+                    .matching_tuples(kw)
+                    .into_iter()
+                    .filter_map(|t| self.dg.node_of(t))
+                    .collect()
+            })
+            .collect();
+        if match_sets.iter().any(Vec::is_empty) {
+            return Ok(SearchResults {
+                query,
+                display_keywords,
+                connections: Vec::new(),
+                trees: Vec::new(),
+            });
+        }
+
+        let mut connections: Vec<Connection> = Vec::new();
+        let mut trees: Vec<SteinerTree> = Vec::new();
+
+        // Tuples matching every keyword stand alone as zero-length
+        // connections.
+        let mut all: HashSet<NodeId> = match_sets[0].iter().copied().collect();
+        for set in &match_sets[1..] {
+            let s: HashSet<NodeId> = set.iter().copied().collect();
+            all.retain(|n| s.contains(n));
+        }
+        let mut singles: Vec<NodeId> = all.into_iter().collect();
+        singles.sort();
+        connections.extend(singles.into_iter().map(Connection::single));
+
+        match options.algorithm {
+            Algorithm::Paths => {
+                if query.len() > 2 {
+                    return Err(CoreError::InvalidQuery(format!(
+                        "the Paths algorithm handles at most 2 keywords, got {} — use Banks or Discover",
+                        query.len()
+                    )));
+                }
+                if query.len() == 2 {
+                    connections.extend(self.pair_paths(
+                        &match_sets[0],
+                        &match_sets[1],
+                        options.max_rdb_length,
+                    ));
+                }
+            }
+            Algorithm::Banks => {
+                let banks_opts = BanksOptions {
+                    k: options.k.unwrap_or(100),
+                    weighting: options.weighting,
+                    max_weight: f64::INFINITY,
+                };
+                for tree in banks_search(&self.dg, &match_sets, &banks_opts) {
+                    match self.tree_to_connection(&tree, &match_sets) {
+                        Some(conn) if conn.rdb_length() > 0 => connections.push(conn),
+                        Some(_) => {} // single nodes already collected
+                        None => trees.push(tree),
+                    }
+                }
+            }
+            Algorithm::Discover => {
+                let kw_sets: Vec<HashSet<NodeId>> = match_sets
+                    .iter()
+                    .map(|s| s.iter().copied().collect())
+                    .collect();
+                let networks =
+                    enumerate_mtjnts(&self.dg, &kw_sets, options.max_rdb_length + 1);
+                for network in networks {
+                    if network.len() == 1 {
+                        continue; // singles already collected
+                    }
+                    match self.network_to_connection(&network) {
+                        Some(conn) => connections.push(conn),
+                        None => {
+                            // Branching MTJNT (≥ 3 keywords): report as a
+                            // tree with pseudo-weight = edge count.
+                            if let Some(tree) = self.network_to_tree(&network, &kw_sets) {
+                                trees.push(tree);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Canonical orientation + dedup.
+        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut unique: Vec<Connection> = Vec::new();
+        for conn in connections {
+            let conn = if conn.end() < conn.start() { conn.reversed() } else { conn };
+            if seen.insert(conn.nodes().to_vec()) {
+                unique.push(conn);
+            }
+        }
+
+        // Optional MTJNT post-filter.
+        if options.mtjnt_only {
+            let kw_sets: Vec<HashSet<NodeId>> = match_sets
+                .iter()
+                .map(|s| s.iter().copied().collect())
+                .collect();
+            unique.retain(|conn| {
+                let set: BTreeSet<NodeId> = conn.nodes().iter().copied().collect();
+                is_mtjnt(&self.dg, &set, &kw_sets)
+            });
+        }
+
+        // Metrics, rendering, ranking.
+        let markers = self.markers(&query, &display_keywords);
+        let mut ranked: Vec<RankedConnection> = unique
+            .into_iter()
+            .map(|connection| {
+                let info = self.connection_info(
+                    &connection,
+                    &query,
+                    options.compute_instance,
+                    options.max_witness_length,
+                );
+                let rendering = connection.render(&self.dg, &self.aliases, &markers);
+                let explanation = explain_connection(
+                    &connection,
+                    &self.dg,
+                    &self.er_schema,
+                    &self.mapping,
+                    &self.aliases,
+                    &markers,
+                );
+                RankedConnection { connection, info, rendering, explanation }
+            })
+            .collect();
+        sort_by_strategy(&mut ranked, options.ranker, |r| &r.info, |r| r.rendering.clone());
+        if let Some(k) = options.k {
+            ranked.truncate(k);
+        }
+
+        Ok(SearchResults { query, display_keywords, connections: ranked, trees })
+    }
+
+    /// All simple paths between two keyword match sets.
+    fn pair_paths(
+        &self,
+        set_a: &[NodeId],
+        set_b: &[NodeId],
+        max_rdb: usize,
+    ) -> Vec<Connection> {
+        let mut out = Vec::new();
+        for &a in set_a {
+            for &b in set_b {
+                if a == b {
+                    continue;
+                }
+                for p in
+                    enumerate_simple_paths_undirected(self.dg.graph(), a, b, max_rdb, None)
+                {
+                    out.push(Connection::from_path(&p, &self.dg, &self.er_schema));
+                }
+            }
+        }
+        out
+    }
+
+    /// Convert a path-shaped Steiner tree into a connection; `None` if
+    /// it branches.
+    fn tree_to_connection(
+        &self,
+        tree: &SteinerTree,
+        match_sets: &[Vec<NodeId>],
+    ) -> Option<Connection> {
+        if tree.edges.is_empty() {
+            return Some(Connection::single(tree.root));
+        }
+        // Endpoints: degree-1 nodes. Prefer starting from a node in the
+        // first keyword set for stable orientation.
+        let mut degree: HashMap<NodeId, usize> = HashMap::new();
+        for &(_, a, b) in &tree.edges {
+            *degree.entry(a).or_insert(0) += 1;
+            *degree.entry(b).or_insert(0) += 1;
+        }
+        let endpoints: Vec<NodeId> =
+            degree.iter().filter(|(_, &d)| d == 1).map(|(&n, _)| n).collect();
+        let first_set: HashSet<NodeId> =
+            match_sets.first().map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let start = endpoints
+            .iter()
+            .copied()
+            .find(|n| first_set.contains(n))
+            .or_else(|| endpoints.iter().copied().min())?;
+        let (nodes, edges) = tree.linearize(start)?;
+        let path = Path { nodes, edges };
+        Some(Connection::from_path(&path, &self.dg, &self.er_schema))
+    }
+
+    /// Convert a path-shaped joining network (node set) into a
+    /// connection; `None` if the induced network branches.
+    fn network_to_connection(&self, network: &BTreeSet<NodeId>) -> Option<Connection> {
+        // Collect induced adjacency (lowest edge id per node pair).
+        let g = self.dg.graph();
+        let mut adj: HashMap<NodeId, Vec<(NodeId, cla_graph::EdgeId)>> = HashMap::new();
+        for &n in network {
+            for e in g.incident_edges(n) {
+                let m = e.other(n);
+                if network.contains(&m) && m != n {
+                    adj.entry(n).or_default().push((m, e.id));
+                }
+            }
+        }
+        for list in adj.values_mut() {
+            list.sort();
+            list.dedup_by_key(|(m, _)| *m); // keep lowest edge per neighbor
+        }
+        let endpoints: Vec<NodeId> = network
+            .iter()
+            .copied()
+            .filter(|n| adj.get(n).map_or(0, Vec::len) == 1)
+            .collect();
+        if network.len() == 1 {
+            return Some(Connection::single(*network.iter().next().expect("one")));
+        }
+        if endpoints.len() != 2 {
+            return None;
+        }
+        if network.iter().any(|n| adj.get(n).map_or(0, Vec::len) > 2) {
+            return None;
+        }
+        let start = endpoints[0].min(endpoints[1]);
+        let mut nodes = vec![start];
+        let mut edges = Vec::new();
+        let mut prev: Option<NodeId> = None;
+        let mut current = start;
+        while nodes.len() < network.len() {
+            let (next, e) = *adj[&current]
+                .iter()
+                .find(|(m, _)| Some(*m) != prev)?;
+            edges.push(e);
+            nodes.push(next);
+            prev = Some(current);
+            current = next;
+        }
+        let path = Path { nodes, edges };
+        Some(Connection::from_path(&path, &self.dg, &self.er_schema))
+    }
+
+    /// Wrap a branching joining network as a pseudo Steiner tree (for
+    /// uniform reporting of ≥ 3-keyword DISCOVER results).
+    fn network_to_tree(
+        &self,
+        network: &BTreeSet<NodeId>,
+        kw_sets: &[HashSet<NodeId>],
+    ) -> Option<SteinerTree> {
+        let g = self.dg.graph();
+        let root = *network.iter().next()?;
+        // Spanning tree of the induced subgraph via BFS.
+        let mut edges = Vec::new();
+        let mut seen: HashSet<NodeId> = [root].into();
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut nodes = vec![root];
+        while let Some(n) = queue.pop_front() {
+            for e in g.incident_edges(n) {
+                let m = e.other(n);
+                if network.contains(&m) && seen.insert(m) {
+                    edges.push((e.id, n, m));
+                    nodes.push(m);
+                    queue.push_back(m);
+                }
+            }
+        }
+        let keyword_nodes = kw_sets
+            .iter()
+            .map(|set| nodes.iter().copied().find(|n| set.contains(n)).unwrap_or(root))
+            .collect();
+        let weight = edges.len() as f64;
+        Some(SteinerTree { root, nodes, edges, keyword_nodes, weight })
+    }
+}
+
+/// Pair each normalized keyword with its first original-case occurrence
+/// in the raw query (`"Smith XML"` → `["Smith", "XML"]`).
+fn display_forms(raw: &str, query: &KeywordQuery) -> Vec<String> {
+    let originals: Vec<&str> = raw.split_whitespace().collect();
+    query
+        .keywords()
+        .iter()
+        .map(|kw| {
+            originals
+                .iter()
+                .find(|o| o.to_lowercase() == *kw)
+                .map(|o| (*o).to_owned())
+                .unwrap_or_else(|| kw.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_datagen::company;
+    use cla_er::Closeness;
+
+    fn engine() -> SearchEngine {
+        let c = company();
+        SearchEngine::new(c.db, c.er_schema, c.mapping)
+            .unwrap()
+            .with_aliases(c.aliases)
+    }
+
+    #[test]
+    fn smith_xml_finds_the_papers_connections() {
+        let e = engine();
+        let results = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        let renderings: Vec<&str> =
+            results.connections.iter().map(|r| r.rendering.as_str()).collect();
+        // All seven Table 2 connections for this query must be present.
+        // The engine canonicalizes orientation by ascending node id
+        // (departments < employees < projects in insertion order), so
+        // some connections read right-to-left relative to the paper.
+        for expect in [
+            "d1(XML) – e1(Smith)",
+            "e1(Smith) – w_f1 – p1(XML)",
+            "e1(Smith) – d1(XML) – p1(XML)",
+            "d1(XML) – p1(XML) – w_f1 – e1(Smith)",
+            "d2(XML) – e2(Smith)",
+            "e2(Smith) – d2(XML) – p2(XML)",
+            "d2(XML) – p3 – w_f2 – e2(Smith)",
+        ] {
+            assert!(renderings.contains(&expect), "missing {expect}; got {renderings:#?}");
+        }
+    }
+
+    #[test]
+    fn close_first_ranking_order_matches_paper() {
+        let e = engine();
+        let results = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        let close_count = results
+            .connections
+            .iter()
+            .take_while(|r| r.info.closeness == Closeness::Close)
+            .count();
+        // The three close connections (1, 2, 5) come first…
+        assert_eq!(close_count, 3);
+        // …and the transitive-N:M connections (3, 6) come last.
+        let last_two: Vec<usize> = results
+            .connections
+            .iter()
+            .rev()
+            .take(2)
+            .map(|r| r.info.nm_count)
+            .collect();
+        assert_eq!(last_two, vec![1, 1]);
+    }
+
+    #[test]
+    fn mtjnt_only_loses_3_4_6_7() {
+        let e = engine();
+        let opts = SearchOptions { mtjnt_only: true, ..Default::default() };
+        let results = e.search("Smith XML", &opts).unwrap();
+        let renderings: Vec<&str> =
+            results.connections.iter().map(|r| r.rendering.as_str()).collect();
+        assert_eq!(
+            renderings,
+            vec![
+                "d1(XML) – e1(Smith)",
+                "d2(XML) – e2(Smith)",
+                "e1(Smith) – w_f1 – p1(XML)",
+            ]
+        );
+    }
+
+    #[test]
+    fn discover_equals_paths_plus_mtjnt_filter() {
+        let e = engine();
+        let a = e
+            .search("Smith XML", &SearchOptions { mtjnt_only: true, ..Default::default() })
+            .unwrap();
+        let b = e
+            .search(
+                "Smith XML",
+                &SearchOptions { algorithm: Algorithm::Discover, ..Default::default() },
+            )
+            .unwrap();
+        let ra: Vec<&str> = a.connections.iter().map(|r| r.rendering.as_str()).collect();
+        let rb: Vec<&str> = b.connections.iter().map(|r| r.rendering.as_str()).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn banks_finds_short_connections_first() {
+        let e = engine();
+        let opts = SearchOptions { algorithm: Algorithm::Banks, ..Default::default() };
+        let results = e.search("Smith XML", &opts).unwrap();
+        assert!(!results.connections.is_empty());
+        // BANKS returns shortest-weight trees; the immediate connections
+        // must be among them.
+        let renderings: Vec<&str> =
+            results.connections.iter().map(|r| r.rendering.as_str()).collect();
+        assert!(renderings.contains(&"d1(XML) – e1(Smith)"));
+        assert!(renderings.contains(&"d2(XML) – e2(Smith)"));
+        assert!(results.trees.is_empty(), "two-keyword trees are paths");
+    }
+
+    #[test]
+    fn three_keyword_banks_query_produces_results() {
+        let e = engine();
+        let opts = SearchOptions { algorithm: Algorithm::Banks, ..Default::default() };
+        let results = e.search("Alice Miller teaching", &opts).unwrap();
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn single_keyword_returns_matching_tuples() {
+        let e = engine();
+        let results = e.search("XML", &SearchOptions::default()).unwrap();
+        let renderings: Vec<&str> =
+            results.connections.iter().map(|r| r.rendering.as_str()).collect();
+        // p2 mentions XML twice (name and description) and therefore
+        // wins the text-score tie-break; the rest tie and sort by
+        // rendering.
+        assert_eq!(renderings, vec!["p2(XML)", "d1(XML)", "d2(XML)", "p1(XML)"]);
+    }
+
+    #[test]
+    fn unmatched_keyword_gives_empty_results() {
+        let e = engine();
+        let results = e.search("Smith quantum", &SearchOptions::default()).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let e = engine();
+        assert!(e.search("   ", &SearchOptions::default()).is_err());
+    }
+
+    #[test]
+    fn paths_with_three_keywords_is_an_error() {
+        let e = engine();
+        // All three keywords match tuples, so the request reaches the
+        // algorithm check and is rejected for Paths.
+        let err = e.search("Smith XML Alice", &SearchOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let e = engine();
+        let opts = SearchOptions { k: Some(2), ..Default::default() };
+        let results = e.search("Smith XML", &opts).unwrap();
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn tuple_matching_both_keywords_stands_alone() {
+        let e = engine();
+        // d1's description contains both "teaching" and "xml".
+        let results = e.search("teaching XML", &SearchOptions::default()).unwrap();
+        let singles: Vec<&RankedConnection> = results
+            .connections
+            .iter()
+            .filter(|r| r.connection.rdb_length() == 0)
+            .collect();
+        assert!(!singles.is_empty());
+        assert!(singles.iter().any(|r| r.rendering.starts_with("d1(")));
+    }
+
+    #[test]
+    fn instance_closeness_annotated() {
+        let e = engine();
+        let results = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        for r in &results.connections {
+            assert!(r.info.instance_close.is_some());
+        }
+        // Connection 6 (p2–d2–e2, canonically e2-first) is loose at the
+        // instance level: Barbara does not work on p2.
+        let loose: Vec<&str> = results
+            .connections
+            .iter()
+            .filter(|r| r.info.instance_close == Some(false))
+            .map(|r| r.rendering.as_str())
+            .collect();
+        assert!(
+            loose.contains(&"e2(Smith) – d2(XML) – p2(XML)"),
+            "connection 6 must be instance-loose; loose set: {loose:#?}"
+        );
+    }
+
+    #[test]
+    fn display_keywords_keep_original_case() {
+        let e = engine();
+        let results = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        assert_eq!(results.display_keywords, vec!["Smith", "XML"]);
+    }
+
+    #[test]
+    fn connection_following_resolves_alias_paths() {
+        let c = company();
+        let tuples: Vec<TupleId> =
+            ["d1", "p1", "w_f1", "e1"].iter().map(|a| c.tuple(a).unwrap()).collect();
+        let e = SearchEngine::new(c.db, c.er_schema, c.mapping).unwrap();
+        let conn = e.connection_following(&tuples).unwrap();
+        assert_eq!(conn.rdb_length(), 3);
+        assert!(e.connection_following(&[]).is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the keyword-search core.
+
+use std::fmt;
+
+/// Errors raised by data-graph construction and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A foreign key in the catalog has no conceptual role in the
+    /// [`cla_er::SchemaMapping`]; the data graph needs full provenance.
+    MissingFkRole {
+        /// The relation owning the foreign key.
+        relation: String,
+        /// The foreign-key index within that relation.
+        fk_index: usize,
+    },
+    /// A tuple id was not found in the data graph.
+    UnknownTuple(String),
+    /// The query cannot be executed as requested.
+    InvalidQuery(String),
+    /// Wrapped relational error.
+    Relational(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingFkRole { relation, fk_index } => write!(
+                f,
+                "foreign key #{fk_index} of relation `{relation}` has no conceptual role in the schema mapping"
+            ),
+            CoreError::UnknownTuple(t) => write!(f, "tuple {t} is not in the data graph"),
+            CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::Relational(msg) => write!(f, "relational error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<cla_relational::RelationalError> for CoreError {
+    fn from(e: cla_relational::RelationalError) -> Self {
+        CoreError::Relational(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::MissingFkRole { relation: "R".into(), fk_index: 1 };
+        assert!(e.to_string().contains("R"));
+        assert!(e.to_string().contains("#1"));
+        assert!(CoreError::InvalidQuery("no keywords".into())
+            .to_string()
+            .contains("no keywords"));
+    }
+}

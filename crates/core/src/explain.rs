@@ -1,0 +1,204 @@
+//! Natural-language readings of connections (§3 of the paper).
+//!
+//! The paper reads its example connections as sentences:
+//!
+//! 1. "employee e1(Smith) works for department d1(XML)"
+//! 2. "employee e1(Smith) works on a project p1(XML)"
+//! 3. "employee e1(Smith) works for department d1(XML), that controls
+//!    project p1(XML)"
+//! 4. "employee e1(Smith) works on project p1(XML), that is controlled
+//!    by department d1(XML)"
+//!
+//! [`explain_connection`] reproduces this style: the connection is
+//! oriented so that as many conceptual steps as possible read in their
+//! relationship's left→right (active-verb) direction, then rendered as a
+//! main clause followed by ", that …" continuations. Forward steps use
+//! the relationship's `verb`, backward steps its `reverse_verb`.
+
+use crate::connection::Connection;
+use crate::datagraph::DataGraph;
+use cla_er::{ErSchema, SchemaMapping};
+use cla_graph::NodeId;
+use cla_relational::TupleId;
+use std::collections::HashMap;
+
+/// Render node `n` as `entity-type alias(markers)`, e.g.
+/// `department d1(XML)`.
+fn describe_node(
+    n: NodeId,
+    dg: &DataGraph,
+    mapping: &SchemaMapping,
+    schema: &ErSchema,
+    aliases: &HashMap<TupleId, String>,
+    markers: &HashMap<NodeId, Vec<String>>,
+) -> String {
+    let t = dg.tuple_of(n);
+    let kind = mapping
+        .relation_entity(t.relation)
+        .and_then(|e| schema.entity(e))
+        .map(|e| e.name.to_lowercase())
+        .unwrap_or_else(|| "record".to_owned());
+    let alias = aliases.get(&t).cloned().unwrap_or_else(|| t.to_string());
+    match markers.get(&n) {
+        Some(kws) if !kws.is_empty() => format!("{kind} {alias}({})", kws.join(", ")),
+        _ => format!("{kind} {alias}"),
+    }
+}
+
+/// Produce the paper-style sentence for a connection.
+///
+/// Single-tuple connections read as `department d1(XML)`. Middle tuples
+/// are invisible (collapsed into their N:M step); terminal middle tuples
+/// are described as `record <id>`.
+pub fn explain_connection(
+    conn: &Connection,
+    dg: &DataGraph,
+    schema: &ErSchema,
+    mapping: &SchemaMapping,
+    aliases: &HashMap<TupleId, String>,
+    markers: &HashMap<NodeId, Vec<String>>,
+) -> String {
+    if conn.rdb_length() == 0 {
+        return describe_node(conn.start(), dg, mapping, schema, aliases, markers);
+    }
+    // Orient for the most active-verb readings; ties go to the
+    // orientation that reads "specific → general" (first step not a
+    // 1:N fan-out), which reproduces the paper's employee-first style.
+    let votes = |c: &Connection| {
+        let steps = c.conceptual_steps(dg, schema, mapping);
+        let forward = steps.iter().filter(|s| s.forward).count();
+        let narrative_start = steps
+            .first()
+            .is_some_and(|s| s.cardinality != cla_er::Cardinality::ONE_TO_MANY);
+        (forward, usize::from(narrative_start))
+    };
+    let reversed = conn.reversed();
+    let oriented = if votes(&reversed) > votes(conn) { &reversed } else { conn };
+
+    let steps = oriented.conceptual_steps(dg, schema, mapping);
+    let mut out = String::new();
+    for (i, step) in steps.iter().enumerate() {
+        let rel = schema.relationship(step.relationship).expect("mapped relationship");
+        let verb = if step.forward { &rel.verb } else { &rel.reverse_verb };
+        let to_desc = describe_node(step.to, dg, mapping, schema, aliases, markers);
+        if i == 0 {
+            let from_desc = describe_node(step.from, dg, mapping, schema, aliases, markers);
+            out.push_str(&format!("{from_desc} {verb} {to_desc}"));
+        } else {
+            out.push_str(&format!(", that {verb} {to_desc}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_datagen::{company, CompanyDb};
+    use cla_graph::enumerate_simple_paths_undirected;
+
+    fn setup() -> (CompanyDb, DataGraph) {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        (c, dg)
+    }
+
+    fn conn(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Connection {
+        let want: Vec<NodeId> = aliases
+            .iter()
+            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
+            .collect();
+        enumerate_simple_paths_undirected(dg.graph(), want[0], *want.last().unwrap(), 6, None)
+            .iter()
+            .map(|p| Connection::from_path(p, dg, &c.er_schema))
+            .find(|cn| cn.nodes() == want.as_slice())
+            .expect("path exists")
+    }
+
+    fn markers(c: &CompanyDb, dg: &DataGraph, pairs: &[(&str, &str)]) -> HashMap<NodeId, Vec<String>> {
+        pairs
+            .iter()
+            .map(|(alias, kw)| {
+                (
+                    dg.node_of(c.tuple(alias).unwrap()).unwrap(),
+                    vec![(*kw).to_owned()],
+                )
+            })
+            .collect()
+    }
+
+    /// The paper's reading 1.
+    #[test]
+    fn reading_1() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["d1", "e1"]);
+        let m = markers(&c, &dg, &[("d1", "XML"), ("e1", "Smith")]);
+        assert_eq!(
+            explain_connection(&cn, &dg, &c.er_schema, &c.mapping, &c.aliases, &m),
+            "employee e1(Smith) works for department d1(XML)"
+        );
+    }
+
+    /// The paper's reading 2 (without the article).
+    #[test]
+    fn reading_2() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["p1", "w_f1", "e1"]);
+        let m = markers(&c, &dg, &[("p1", "XML"), ("e1", "Smith")]);
+        assert_eq!(
+            explain_connection(&cn, &dg, &c.er_schema, &c.mapping, &c.aliases, &m),
+            "employee e1(Smith) works on project p1(XML)"
+        );
+    }
+
+    /// The paper's reading 3.
+    #[test]
+    fn reading_3() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["p1", "d1", "e1"]);
+        let m = markers(&c, &dg, &[("p1", "XML"), ("d1", "XML"), ("e1", "Smith")]);
+        assert_eq!(
+            explain_connection(&cn, &dg, &c.er_schema, &c.mapping, &c.aliases, &m),
+            "employee e1(Smith) works for department d1(XML), that controls project p1(XML)"
+        );
+    }
+
+    /// The paper's reading 4.
+    #[test]
+    fn reading_4() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["d1", "p1", "w_f1", "e1"]);
+        let m = markers(&c, &dg, &[("p1", "XML"), ("d1", "XML"), ("e1", "Smith")]);
+        assert_eq!(
+            explain_connection(&cn, &dg, &c.er_schema, &c.mapping, &c.aliases, &m),
+            "employee e1(Smith) works on project p1(XML), that is controlled by department d1(XML)"
+        );
+    }
+
+    #[test]
+    fn dependent_connection_reads_naturally() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["d1", "e3", "t1"]);
+        let m = markers(&c, &dg, &[("t1", "Alice")]);
+        let s = explain_connection(&cn, &dg, &c.er_schema, &c.mapping, &c.aliases, &m);
+        // Both orientations have one forward step; the tie goes to the
+        // dependent-first reading (its first step is not a 1:N fan-out).
+        assert_eq!(
+            s,
+            "dependent t1(Alice) is dependent of employee e3, that works for department d1"
+        );
+    }
+
+    #[test]
+    fn single_tuple_reads_as_description() {
+        let (c, dg) = setup();
+        let n = dg.node_of(c.tuple("d1").unwrap()).unwrap();
+        let cn = Connection::single(n);
+        let mut m = HashMap::new();
+        m.insert(n, vec!["XML".to_owned(), "teaching".to_owned()]);
+        assert_eq!(
+            explain_connection(&cn, &dg, &c.er_schema, &c.mapping, &c.aliases, &m),
+            "department d1(XML, teaching)"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Instance-level closeness (§3–4 of the paper).
+//!
+//! A connection that is *loose at the schema level* may still associate
+//! its endpoint entities closely *on a given database instance*: the
+//! paper observes that connections 3 and 4 ("John Smith – XML") are close
+//! at the instance level because employee e1 really does work on project
+//! p1 and for department d1, whereas connection 6 stays loose — Barbara
+//! Smith does not work on project p2.
+//!
+//! We operationalize this as a *witness search*: a loose connection is
+//! corroborated close iff some schema-**close** connection (immediate or
+//! transitive functional at the ER level) links the same two endpoint
+//! tuples within a bounded length. The paper's §4 "more precise approach
+//! … analyzing the actual number of participating entities (tuples)"
+//! motivates exactly this instance-level check.
+
+use crate::connection::Connection;
+use crate::datagraph::DataGraph;
+use cla_er::{Closeness, ErSchema, SchemaMapping};
+use cla_graph::enumerate_simple_paths_undirected;
+
+/// The instance-level verdict for a connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceCloseness {
+    /// Already close at the schema level — no witness needed.
+    SchemaClose,
+    /// Loose at the schema level, but a close witness connection links
+    /// the same endpoints on this instance.
+    WitnessClose(Connection),
+    /// Loose at both levels.
+    Loose,
+}
+
+impl InstanceCloseness {
+    /// `true` unless the connection is loose at both levels.
+    pub fn is_close(&self) -> bool {
+        !matches!(self, InstanceCloseness::Loose)
+    }
+}
+
+/// Compute the instance-level closeness of `conn`, searching for witness
+/// paths of at most `max_witness_rdb` foreign-key edges.
+pub fn instance_closeness(
+    conn: &Connection,
+    dg: &DataGraph,
+    schema: &ErSchema,
+    mapping: &SchemaMapping,
+    max_witness_rdb: usize,
+) -> InstanceCloseness {
+    if conn.closeness(dg, schema, mapping) == Closeness::Close {
+        return InstanceCloseness::SchemaClose;
+    }
+    let paths = enumerate_simple_paths_undirected(
+        dg.graph(),
+        conn.start(),
+        conn.end(),
+        max_witness_rdb,
+        None,
+    );
+    for p in &paths {
+        let candidate = Connection::from_path(p, dg, schema);
+        if candidate.closeness(dg, schema, mapping) == Closeness::Close {
+            return InstanceCloseness::WitnessClose(candidate);
+        }
+    }
+    InstanceCloseness::Loose
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_datagen::{company, CompanyDb};
+    use cla_graph::NodeId;
+
+    fn setup() -> (CompanyDb, DataGraph) {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        (c, dg)
+    }
+
+    fn conn(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Connection {
+        let want: Vec<NodeId> = aliases
+            .iter()
+            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
+            .collect();
+        let paths = enumerate_simple_paths_undirected(
+            dg.graph(),
+            want[0],
+            *want.last().unwrap(),
+            6,
+            None,
+        );
+        paths
+            .iter()
+            .map(|p| Connection::from_path(p, dg, &c.er_schema))
+            .find(|cn| cn.nodes() == want.as_slice())
+            .expect("path exists")
+    }
+
+    /// §3: "in an instance level, also connections 3 and 4 have a close
+    /// association between the entities."
+    #[test]
+    fn connections_3_and_4_are_instance_close() {
+        let (c, dg) = setup();
+        for aliases in [&["p1", "d1", "e1"][..], &["d1", "p1", "w_f1", "e1"][..]] {
+            let cn = conn(&c, &dg, aliases);
+            let verdict = instance_closeness(&cn, &dg, &c.er_schema, &c.mapping, 4);
+            assert!(
+                matches!(verdict, InstanceCloseness::WitnessClose(_)),
+                "{aliases:?} should be witness-close, got {verdict:?}"
+            );
+        }
+    }
+
+    /// §3: Barbara "is associated with project p2 in connection 6
+    /// although she does not work in it" — loose at the instance level.
+    #[test]
+    fn connection_6_stays_loose() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["p2", "d2", "e2"]);
+        assert_eq!(
+            instance_closeness(&cn, &dg, &c.er_schema, &c.mapping, 4),
+            InstanceCloseness::Loose
+        );
+    }
+
+    /// Connection 7 keeps the close association (e2 really works on p3,
+    /// and d2 really controls p3; the endpoints d2–e2 are immediately
+    /// linked).
+    #[test]
+    fn connection_7_is_witness_close() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["d2", "p3", "w_f2", "e2"]);
+        let verdict = instance_closeness(&cn, &dg, &c.er_schema, &c.mapping, 4);
+        match verdict {
+            InstanceCloseness::WitnessClose(w) => {
+                // The witness is the immediate d2–e2 connection.
+                assert_eq!(w.rdb_length(), 1);
+                assert_eq!(w.start(), cn.start());
+                assert_eq!(w.end(), cn.end());
+            }
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    /// §3: "Connection 8 has a close association and connection 9 has a
+    /// loose association between entities in both the schema and
+    /// instance levels."
+    #[test]
+    fn connections_8_and_9_match_paper() {
+        let (c, dg) = setup();
+        let c8 = conn(&c, &dg, &["d1", "e3", "t1"]);
+        assert_eq!(
+            instance_closeness(&c8, &dg, &c.er_schema, &c.mapping, 4),
+            InstanceCloseness::SchemaClose
+        );
+        let c9 = conn(&c, &dg, &["d2", "p2", "w_f3", "e3", "t1"]);
+        assert_eq!(
+            instance_closeness(&c9, &dg, &c.er_schema, &c.mapping, 4),
+            InstanceCloseness::Loose
+        );
+    }
+
+    #[test]
+    fn is_close_predicate() {
+        let (c, dg) = setup();
+        let c8 = conn(&c, &dg, &["d1", "e3", "t1"]);
+        assert!(instance_closeness(&c8, &dg, &c.er_schema, &c.mapping, 4).is_close());
+        let c6 = conn(&c, &dg, &["p2", "d2", "e2"]);
+        assert!(!instance_closeness(&c6, &dg, &c.er_schema, &c.mapping, 4).is_close());
+    }
+
+    #[test]
+    fn witness_budget_zero_finds_nothing() {
+        let (c, dg) = setup();
+        let c3 = conn(&c, &dg, &["p1", "d1", "e1"]);
+        assert_eq!(
+            instance_closeness(&c3, &dg, &c.er_schema, &c.mapping, 0),
+            InstanceCloseness::Loose
+        );
+    }
+}

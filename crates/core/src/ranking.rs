@@ -1,0 +1,266 @@
+//! Ranking strategies for connections (§3–4 of the paper).
+//!
+//! The paper contrasts three rankings on the "Smith XML" example:
+//!
+//! * **RDB length** — the conventional shortest-connection-first order:
+//!   best {1, 5}, worst {4, 7};
+//! * **ER length** — conceptual length with middle relations collapsed;
+//! * **Close-first** — "if the length of the ER-model were followed and
+//!   the close associations were emphasized, the best connections are 1,
+//!   2 and 5 and the worst connections are 3 and 6", with 4 and 7 ranked
+//!   above 3 and 6 because their every hop is factual. We realize this as
+//!   the lexicographic key *(closeness, transitive-N:M count, ER length,
+//!   RDB length)*, the N:M count being the paper's §4 criterion.
+//!
+//! [`RankStrategy::Combined`] additionally mixes in tf·idf text scores
+//! (§1 cites attribute/tuple-level scoring work).
+
+use cla_er::{CardinalityChain, ChainClass, Closeness};
+use std::cmp::Ordering;
+
+/// Metrics of one connection, precomputed by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionInfo {
+    /// Foreign-key edge count (Table 2 "length in RDB").
+    pub rdb_length: usize,
+    /// Conceptual step count (Table 2 "length in ER").
+    pub er_length: usize,
+    /// The ER-level cardinality chain.
+    pub er_chain: CardinalityChain,
+    /// The paper's chain classification.
+    pub class: ChainClass,
+    /// Schema-level closeness.
+    pub closeness: Closeness,
+    /// Number of transitive N:M segments (the §4 ranking criterion).
+    pub nm_count: usize,
+    /// Summed tf·idf score of the connection's tuples for the query.
+    pub text_score: f64,
+    /// Instance-level closeness, when computed (`None` when disabled).
+    pub instance_close: Option<bool>,
+}
+
+/// A ranking strategy: a total preorder over [`ConnectionInfo`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankStrategy {
+    /// Shortest RDB length first (the conventional baseline).
+    RdbLength,
+    /// Shortest conceptual length first, RDB length as tie-break.
+    ErLength,
+    /// The paper's proposal: close associations first, then fewer
+    /// transitive N:M segments, then ER length, then RDB length.
+    CloseFirst,
+    /// CloseFirst, but connections corroborated close at the *instance*
+    /// level outrank schema-loose ones (§4's "more precise approach").
+    InstanceCloseFirst,
+    /// Weighted combination of structure and text relevance: ranks by
+    /// `structure_weight · penalty − text_score` ascending, where
+    /// `penalty = er_length + 2·nm_count + 1.5·[loose]`.
+    Combined {
+        /// Weight of the structural penalty relative to text score.
+        structure_weight: f64,
+    },
+}
+
+impl RankStrategy {
+    /// Compare two connections; `Ordering::Less` means `a` ranks better.
+    pub fn compare(&self, a: &ConnectionInfo, b: &ConnectionInfo) -> Ordering {
+        match self {
+            RankStrategy::RdbLength => a
+                .rdb_length
+                .cmp(&b.rdb_length)
+                .then_with(|| b.text_score.total_cmp(&a.text_score)),
+            RankStrategy::ErLength => a
+                .er_length
+                .cmp(&b.er_length)
+                .then_with(|| a.rdb_length.cmp(&b.rdb_length))
+                .then_with(|| b.text_score.total_cmp(&a.text_score)),
+            RankStrategy::CloseFirst => a
+                .closeness
+                .cmp(&b.closeness)
+                .then_with(|| a.nm_count.cmp(&b.nm_count))
+                .then_with(|| a.er_length.cmp(&b.er_length))
+                .then_with(|| a.rdb_length.cmp(&b.rdb_length))
+                .then_with(|| b.text_score.total_cmp(&a.text_score)),
+            RankStrategy::InstanceCloseFirst => {
+                // Effective closeness: instance corroboration upgrades.
+                let eff = |i: &ConnectionInfo| match (i.closeness, i.instance_close) {
+                    (Closeness::Close, _) => 0u8,
+                    (Closeness::Loose, Some(true)) => 1,
+                    (Closeness::Loose, _) => 2,
+                };
+                eff(a)
+                    .cmp(&eff(b))
+                    .then_with(|| a.nm_count.cmp(&b.nm_count))
+                    .then_with(|| a.er_length.cmp(&b.er_length))
+                    .then_with(|| a.rdb_length.cmp(&b.rdb_length))
+                    .then_with(|| b.text_score.total_cmp(&a.text_score))
+            }
+            RankStrategy::Combined { structure_weight } => {
+                let score = |i: &ConnectionInfo| {
+                    let loose = if i.closeness == Closeness::Loose { 1.5 } else { 0.0 };
+                    let penalty = i.er_length as f64 + 2.0 * i.nm_count as f64 + loose;
+                    structure_weight * penalty - i.text_score
+                };
+                score(a).total_cmp(&score(b))
+            }
+        }
+    }
+
+    /// A short human-readable name (used in experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankStrategy::RdbLength => "rdb-length",
+            RankStrategy::ErLength => "er-length",
+            RankStrategy::CloseFirst => "close-first",
+            RankStrategy::InstanceCloseFirst => "instance-close-first",
+            RankStrategy::Combined { .. } => "combined",
+        }
+    }
+}
+
+/// Sort `items` by `strategy` over the info selected by `info_of`,
+/// breaking remaining ties with `tiebreak` for full determinism.
+pub fn sort_by_strategy<T, F, G, K>(
+    items: &mut [T],
+    strategy: RankStrategy,
+    info_of: F,
+    tiebreak: G,
+) where
+    F: Fn(&T) -> &ConnectionInfo,
+    G: Fn(&T) -> K,
+    K: Ord,
+{
+    items.sort_by(|x, y| {
+        strategy
+            .compare(info_of(x), info_of(y))
+            .then_with(|| tiebreak(x).cmp(&tiebreak(y)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_er::Cardinality;
+
+    fn info(
+        rdb: usize,
+        er: usize,
+        chain: &[Cardinality],
+        text: f64,
+        instance_close: Option<bool>,
+    ) -> ConnectionInfo {
+        let er_chain = CardinalityChain::new(chain.to_vec());
+        ConnectionInfo {
+            rdb_length: rdb,
+            er_length: er,
+            class: er_chain.classify(),
+            closeness: er_chain.closeness(),
+            nm_count: er_chain.transitive_nm_count(),
+            er_chain,
+            text_score: text,
+            instance_close,
+        }
+    }
+
+    /// The nine Table 2 connections as ConnectionInfos (query "Smith
+    /// XML" rows 1–7; rows 8–9 belong to the Alice query).
+    fn paper_connections() -> Vec<(usize, ConnectionInfo)> {
+        use Cardinality as C;
+        vec![
+            (1, info(1, 1, &[C::ONE_TO_MANY], 0.0, Some(true))),
+            (2, info(2, 1, &[C::MANY_TO_MANY], 0.0, Some(true))),
+            (3, info(2, 2, &[C::MANY_TO_ONE, C::ONE_TO_MANY], 0.0, Some(true))),
+            (4, info(3, 2, &[C::ONE_TO_MANY, C::MANY_TO_MANY], 0.0, Some(true))),
+            (5, info(1, 1, &[C::ONE_TO_MANY], 0.0, Some(true))),
+            (6, info(2, 2, &[C::MANY_TO_ONE, C::ONE_TO_MANY], 0.0, Some(false))),
+            (7, info(3, 2, &[C::ONE_TO_MANY, C::MANY_TO_MANY], 0.0, Some(true))),
+        ]
+    }
+
+    #[test]
+    fn rdb_length_ranks_1_and_5_best_4_and_7_worst() {
+        let mut items = paper_connections();
+        sort_by_strategy(&mut items, RankStrategy::RdbLength, |x| &x.1, |x| x.0);
+        let order: Vec<usize> = items.iter().map(|x| x.0).collect();
+        assert_eq!(&order[..2], &[1, 5], "best are 1 and 5");
+        assert_eq!(&order[5..], &[4, 7], "worst are 4 and 7");
+    }
+
+    #[test]
+    fn close_first_matches_paper_order() {
+        let mut items = paper_connections();
+        sort_by_strategy(&mut items, RankStrategy::CloseFirst, |x| &x.1, |x| x.0);
+        let order: Vec<usize> = items.iter().map(|x| x.0).collect();
+        // Best: the close connections {1, 2, 5} (ER length 1).
+        let mut top: Vec<usize> = order[..3].to_vec();
+        top.sort_unstable();
+        assert_eq!(top, vec![1, 2, 5]);
+        // Then the loose-but-factual 4 and 7, then the transitive N:M
+        // 3 and 6 — "the worst connections are 3 and 6".
+        assert_eq!(&order[3..5], &[4, 7]);
+        assert_eq!(&order[5..], &[3, 6]);
+    }
+
+    #[test]
+    fn instance_close_first_promotes_corroborated() {
+        let mut items = paper_connections();
+        sort_by_strategy(&mut items, RankStrategy::InstanceCloseFirst, |x| &x.1, |x| x.0);
+        let order: Vec<usize> = items.iter().map(|x| x.0).collect();
+        // Connection 6 (Barbara doesn't work on p2) drops below 3
+        // (which is corroborated by w_f1).
+        assert_eq!(*order.last().unwrap(), 6);
+        let pos3 = order.iter().position(|&x| x == 3).unwrap();
+        let pos6 = order.iter().position(|&x| x == 6).unwrap();
+        assert!(pos3 < pos6);
+    }
+
+    #[test]
+    fn er_length_prefers_collapsed_connections() {
+        use Cardinality as C;
+        // Connection 2 (RDB 2, ER 1) must beat connection 3 (RDB 2, ER 2)
+        // and tie-break against 1 by RDB length.
+        let a = info(2, 1, &[C::MANY_TO_MANY], 0.0, None);
+        let b = info(2, 2, &[C::MANY_TO_ONE, C::ONE_TO_MANY], 0.0, None);
+        assert_eq!(RankStrategy::ErLength.compare(&a, &b), Ordering::Less);
+        let c = info(1, 1, &[C::ONE_TO_MANY], 0.0, None);
+        assert_eq!(RankStrategy::ErLength.compare(&c, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn text_score_breaks_ties() {
+        use Cardinality as C;
+        let hi = info(1, 1, &[C::ONE_TO_MANY], 5.0, None);
+        let lo = info(1, 1, &[C::ONE_TO_MANY], 1.0, None);
+        for strat in [RankStrategy::RdbLength, RankStrategy::ErLength, RankStrategy::CloseFirst] {
+            assert_eq!(strat.compare(&hi, &lo), Ordering::Less, "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn combined_trades_structure_for_text() {
+        use Cardinality as C;
+        let short_dull = info(1, 1, &[C::ONE_TO_MANY], 0.0, None);
+        let long_rich = info(3, 2, &[C::ONE_TO_MANY, C::MANY_TO_MANY], 10.0, None);
+        // With a small structure weight, text wins.
+        let strat = RankStrategy::Combined { structure_weight: 1.0 };
+        assert_eq!(strat.compare(&long_rich, &short_dull), Ordering::Less);
+        // With a huge structure weight, structure wins.
+        let strat = RankStrategy::Combined { structure_weight: 100.0 };
+        assert_eq!(strat.compare(&short_dull, &long_rich), Ordering::Less);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            RankStrategy::RdbLength.name(),
+            RankStrategy::ErLength.name(),
+            RankStrategy::CloseFirst.name(),
+            RankStrategy::InstanceCloseFirst.name(),
+            RankStrategy::Combined { structure_weight: 1.0 }.name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

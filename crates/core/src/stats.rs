@@ -1,0 +1,188 @@
+//! Ranking-comparison statistics: quantify how much two strategies
+//! disagree, and how a result list distributes over closeness classes.
+//!
+//! Used by the experiment harness to report, e.g., that close-first and
+//! RDB-length orders have low rank correlation on the paper's example —
+//! the measurable form of the paper's argument that "the shortest
+//! connection is not always the best".
+
+use crate::ranking::ConnectionInfo;
+use cla_er::Closeness;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Kendall rank-correlation coefficient τ between two orderings of the
+/// same item set, in `[-1, 1]` (1 = identical order, -1 = reversed).
+///
+/// Items present in only one list are ignored. Returns `None` when
+/// fewer than two common items exist.
+pub fn kendall_tau<T: Eq + Hash>(a: &[T], b: &[T]) -> Option<f64> {
+    let pos_b: HashMap<&T, usize> = b.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let ranks: Vec<usize> = a.iter().filter_map(|x| pos_b.get(x).copied()).collect();
+    let n = ranks.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            if ranks[i] < ranks[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / pairs)
+}
+
+/// Overlap@k: |top-k(a) ∩ top-k(b)| / k.
+pub fn overlap_at_k<T: Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+    let k = k.min(a.len()).min(b.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let top_b: std::collections::HashSet<&T> = b.iter().take(k).collect();
+    let hits = a.iter().take(k).filter(|x| top_b.contains(x)).count();
+    hits as f64 / k as f64
+}
+
+/// Distribution of a result list over closeness classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClosenessProfile {
+    /// Schema-close connections.
+    pub close: usize,
+    /// Loose connections without transitive-N:M segments.
+    pub loose_factual: usize,
+    /// Loose connections with ≥ 1 transitive-N:M segment.
+    pub loose_nm: usize,
+}
+
+impl ClosenessProfile {
+    /// Profile a slice of connection metrics.
+    pub fn of(infos: &[&ConnectionInfo]) -> Self {
+        let mut p = ClosenessProfile::default();
+        for i in infos {
+            match (i.closeness, i.nm_count) {
+                (Closeness::Close, _) => p.close += 1,
+                (Closeness::Loose, 0) => p.loose_factual += 1,
+                (Closeness::Loose, _) => p.loose_nm += 1,
+            }
+        }
+        p
+    }
+
+    /// Total counted connections.
+    pub fn total(&self) -> usize {
+        self.close + self.loose_factual + self.loose_nm
+    }
+
+    /// Fraction of close connections (0 when empty).
+    pub fn close_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.close as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Precision-of-closeness@k: the fraction of the first `k` results that
+/// are schema-close — how well a ranking surfaces unambiguous
+/// associations early.
+pub fn close_precision_at_k(infos: &[&ConnectionInfo], k: usize) -> f64 {
+    let k = k.min(infos.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let close = infos
+        .iter()
+        .take(k)
+        .filter(|i| i.closeness == Closeness::Close)
+        .count();
+    close as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_er::{Cardinality, CardinalityChain};
+
+    fn info(chain: &[Cardinality]) -> ConnectionInfo {
+        let er_chain = CardinalityChain::new(chain.to_vec());
+        ConnectionInfo {
+            rdb_length: chain.len(),
+            er_length: chain.len(),
+            class: er_chain.classify(),
+            closeness: er_chain.closeness(),
+            nm_count: er_chain.transitive_nm_count(),
+            er_chain,
+            text_score: 0.0,
+            instance_close: None,
+        }
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = [1, 2, 3, 4];
+        assert_eq!(kendall_tau(&a, &a), Some(1.0));
+        let rev = [4, 3, 2, 1];
+        assert_eq!(kendall_tau(&a, &rev), Some(-1.0));
+        assert_eq!(kendall_tau::<i32>(&[], &[]), None);
+        assert_eq!(kendall_tau(&[1], &[1]), None);
+    }
+
+    #[test]
+    fn kendall_tau_partial_agreement() {
+        let a = [1, 2, 3, 4];
+        let b = [2, 1, 3, 4];
+        let tau = kendall_tau(&a, &b).unwrap();
+        assert!(tau > 0.0 && tau < 1.0);
+        // One swapped pair among six: τ = (5 - 1) / 6.
+        assert!((tau - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_tau_ignores_non_common_items() {
+        let a = [1, 2, 9];
+        let b = [2, 1, 7];
+        let tau = kendall_tau(&a, &b).unwrap();
+        assert_eq!(tau, -1.0); // only {1,2} common, and they swap
+    }
+
+    #[test]
+    fn overlap_at_k_counts_shared_prefix_items() {
+        let a = [1, 2, 3, 4];
+        let b = [2, 1, 9, 8];
+        assert_eq!(overlap_at_k(&a, &b, 2), 1.0);
+        assert_eq!(overlap_at_k(&a, &b, 4), 0.5);
+        assert_eq!(overlap_at_k(&a, &b, 0), 0.0);
+    }
+
+    #[test]
+    fn closeness_profile_partitions() {
+        use Cardinality as C;
+        let close = info(&[C::ONE_TO_MANY]);
+        let factual = info(&[C::ONE_TO_MANY, C::MANY_TO_MANY]);
+        let nm = info(&[C::MANY_TO_ONE, C::ONE_TO_MANY]);
+        let p = ClosenessProfile::of(&[&close, &factual, &nm, &nm]);
+        assert_eq!(p.close, 1);
+        assert_eq!(p.loose_factual, 1);
+        assert_eq!(p.loose_nm, 2);
+        assert_eq!(p.total(), 4);
+        assert!((p.close_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_precision_measures_prefix() {
+        use Cardinality as C;
+        let close = info(&[C::ONE_TO_MANY]);
+        let nm = info(&[C::MANY_TO_ONE, C::ONE_TO_MANY]);
+        let list = [&close, &close, &nm, &nm];
+        assert_eq!(close_precision_at_k(&list, 2), 1.0);
+        assert_eq!(close_precision_at_k(&list, 4), 0.5);
+        assert_eq!(close_precision_at_k(&[], 3), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests for the keyword-search core, driven by random
+//! synthetic databases.
+
+use cla_core::{
+    banks_search, enumerate_joining_networks, is_joining, is_mtjnt, is_total, BanksOptions,
+    Connection, DataGraph, SearchEngine, SearchOptions,
+};
+use cla_datagen::{generate_synthetic, SyntheticConfig};
+use cla_er::Closeness;
+use cla_graph::{enumerate_simple_paths_undirected, NodeId};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+
+fn small_config(seed: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        departments: 3,
+        employees_per_department: 3,
+        projects_per_department: 2,
+        works_on_per_employee: 2,
+        dependent_probability: 0.4,
+        xml_selectivity: 0.4,
+        smith_selectivity: 0.3,
+        alice_selectivity: 0.5,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ER length never exceeds RDB length, and both are consistent with
+    /// the chain lengths; closeness matches the class partition.
+    #[test]
+    fn er_length_bounded_by_rdb_length(seed in 0u64..500) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let nodes: Vec<NodeId> = dg.graph().nodes().collect();
+        prop_assume!(nodes.len() >= 2);
+        // Sample a handful of node pairs deterministically.
+        for (i, &a) in nodes.iter().enumerate().step_by(7) {
+            let b = nodes[(i * 13 + 5) % nodes.len()];
+            if a == b {
+                continue;
+            }
+            for p in enumerate_simple_paths_undirected(dg.graph(), a, b, 4, Some(20)) {
+                let conn = Connection::from_path(&p, &dg, &s.er_schema);
+                let er = conn.er_length(&dg, &s.er_schema, &s.mapping);
+                prop_assert!(er <= conn.rdb_length());
+                prop_assert!(er >= conn.rdb_length().div_ceil(2));
+                let chain = conn.er_chain(&dg, &s.er_schema, &s.mapping);
+                prop_assert_eq!(chain.len(), er);
+                prop_assert_eq!(chain.closeness(), conn.closeness(&dg, &s.er_schema, &s.mapping));
+                // Reversal invariance.
+                let rev = conn.reversed();
+                prop_assert_eq!(rev.er_length(&dg, &s.er_schema, &s.mapping), er);
+                prop_assert_eq!(
+                    rev.closeness(&dg, &s.er_schema, &s.mapping),
+                    conn.closeness(&dg, &s.er_schema, &s.mapping)
+                );
+            }
+        }
+    }
+
+    /// Functional ER chains are close; chains with N:M segments loose.
+    #[test]
+    fn closeness_definition_holds_on_instances(seed in 0u64..500) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let nodes: Vec<NodeId> = dg.graph().nodes().collect();
+        prop_assume!(nodes.len() >= 2);
+        let a = nodes[0];
+        let b = nodes[nodes.len() - 1];
+        for p in enumerate_simple_paths_undirected(dg.graph(), a, b, 5, Some(30)) {
+            let conn = Connection::from_path(&p, &dg, &s.er_schema);
+            let chain = conn.er_chain(&dg, &s.er_schema, &s.mapping);
+            if chain.is_functional() || chain.len() <= 1 {
+                prop_assert_eq!(chain.closeness(), Closeness::Close);
+            }
+            if chain.transitive_nm_count() > 0 {
+                prop_assert_eq!(chain.closeness(), Closeness::Loose);
+            }
+        }
+    }
+
+    /// DISCOVER's single-removal minimality equals brute-force
+    /// subset-minimality (DESIGN.md §6 ablation: the two definitions
+    /// coincide because a connected superset of a connected total core
+    /// always has a removable spanning-tree leaf).
+    #[test]
+    fn mtjnt_minimality_equals_bruteforce(seed in 0u64..300) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let engine = SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+            .unwrap();
+        let q = cla_index::KeywordQuery::parse("xml smith");
+        let sets: Vec<HashSet<NodeId>> = q
+            .keywords()
+            .iter()
+            .map(|kw| {
+                engine
+                    .index()
+                    .matching_tuples(kw)
+                    .into_iter()
+                    .filter_map(|t| dg.node_of(t))
+                    .collect()
+            })
+            .collect();
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let networks = enumerate_joining_networks(&dg, &sets, 4);
+        for n in networks.iter().take(60) {
+            let fast = is_mtjnt(&dg, n, &sets);
+            let brute = bruteforce_minimal(&dg, n, &sets);
+            prop_assert_eq!(fast, brute, "network {:?}", n);
+        }
+    }
+
+    /// BANKS answer trees are connected, cover every keyword set, and
+    /// come out in non-decreasing weight order.
+    #[test]
+    fn banks_trees_are_wellformed(seed in 0u64..500) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let engine = SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+            .unwrap();
+        let kws = ["xml", "smith", "alice"];
+        let sets: Vec<Vec<NodeId>> = kws
+            .iter()
+            .map(|kw| {
+                engine
+                    .index()
+                    .matching_tuples(kw)
+                    .into_iter()
+                    .filter_map(|t| dg.node_of(t))
+                    .collect()
+            })
+            .collect();
+        prop_assume!(sets.iter().all(|s: &Vec<NodeId>| !s.is_empty()));
+        let trees = banks_search(&dg, &sets, &BanksOptions { k: 10, ..Default::default() });
+        let mut last = 0.0f64;
+        for t in &trees {
+            prop_assert!(t.weight >= last);
+            last = t.weight;
+            // Covers every set.
+            for (ki, set) in sets.iter().enumerate() {
+                let covered = set.contains(&t.keyword_nodes[ki])
+                    && t.nodes.contains(&t.keyword_nodes[ki]);
+                prop_assert!(covered, "keyword {ki} uncovered");
+            }
+            // Tree shape: |edges| = |nodes| - 1 and connected.
+            prop_assert_eq!(t.edges.len(), t.nodes.len() - 1);
+            let set: BTreeSet<NodeId> = t.nodes.iter().copied().collect();
+            prop_assert!(is_joining(&dg, &set));
+        }
+    }
+
+    /// The engine is deterministic: same database, same query, same
+    /// options → identical result renderings.
+    #[test]
+    fn search_is_deterministic(seed in 0u64..200) {
+        let s = generate_synthetic(&small_config(seed));
+        let mk = || {
+            SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+                .unwrap()
+                .with_aliases(s.aliases.clone())
+        };
+        let opts = SearchOptions { max_rdb_length: 3, ..Default::default() };
+        let a = mk().search("xml smith", &opts).unwrap();
+        let b = mk().search("xml smith", &opts).unwrap();
+        let ra: Vec<String> = a.connections.iter().map(|r| r.rendering.clone()).collect();
+        let rb: Vec<String> = b.connections.iter().map(|r| r.rendering.clone()).collect();
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// The schema-level candidate-network pipeline and the
+    /// instance-level growth enumeration agree on the MTJNT set for
+    /// random synthetic instances — two independent implementations of
+    /// DISCOVER's semantics.
+    #[test]
+    fn candidate_networks_agree_with_growth(seed in 0u64..120) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let index = cla_index::InvertedIndex::build(&s.db);
+        let matches = vec![
+            index.matching_tuples("xml"),
+            index.matching_tuples("smith"),
+        ];
+        prop_assume!(matches.iter().all(|m| !m.is_empty()));
+        let via_cn =
+            cla_core::mtjnts_via_candidate_networks(&s.db, &dg, &matches, 3);
+        let sets: Vec<HashSet<NodeId>> = matches
+            .iter()
+            .map(|v| v.iter().filter_map(|&t| dg.node_of(t)).collect())
+            .collect();
+        let mut via_growth = cla_core::enumerate_mtjnts(&dg, &sets, 3);
+        via_growth.sort();
+        prop_assert_eq!(via_cn, via_growth);
+    }
+
+    /// MTJNT filtering never *adds* results and every kept network is
+    /// total and joining.
+    #[test]
+    fn mtjnt_results_subset_of_all(seed in 0u64..200) {
+        let s = generate_synthetic(&small_config(seed));
+        let engine = SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+            .unwrap()
+            .with_aliases(s.aliases.clone());
+        let opts = SearchOptions { max_rdb_length: 3, ..Default::default() };
+        let all = engine.search("xml smith", &opts).unwrap();
+        let filtered = engine
+            .search(
+                "xml smith",
+                &SearchOptions { mtjnt_only: true, max_rdb_length: 3, ..Default::default() },
+            )
+            .unwrap();
+        prop_assert!(filtered.len() <= all.len());
+        let all_renderings: HashSet<String> =
+            all.connections.iter().map(|r| r.rendering.clone()).collect();
+        for r in &filtered.connections {
+            prop_assert!(all_renderings.contains(&r.rendering));
+        }
+    }
+}
+
+/// Brute force: minimal iff no proper non-empty subset is total+joining.
+fn bruteforce_minimal(
+    dg: &DataGraph,
+    nodes: &BTreeSet<NodeId>,
+    keyword_sets: &[HashSet<NodeId>],
+) -> bool {
+    if !is_total(nodes, keyword_sets) || !is_joining(dg, nodes) {
+        return false;
+    }
+    let v: Vec<NodeId> = nodes.iter().copied().collect();
+    let n = v.len();
+    if n > 12 {
+        panic!("brute force only for small networks");
+    }
+    for mask in 1..(1u32 << n) - 1 {
+        let subset: BTreeSet<NodeId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| v[i])
+            .collect();
+        if is_total(&subset, keyword_sets) && is_joining(dg, &subset) {
+            return false;
+        }
+    }
+    true
+}

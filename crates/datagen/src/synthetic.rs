@@ -1,0 +1,326 @@
+//! Scalable, deterministic company-shaped databases.
+//!
+//! The generator reuses the exact Figure 1 ER schema (via
+//! [`crate::company_er_schema`]) and populates it at configurable scale:
+//! departments with employees and projects, an N:M WORKS_ON membership
+//! with Zipf-skewed project popularity, and dependents. Query keywords
+//! are planted into description texts and employee surnames with
+//! configurable selectivity, so benchmark queries have known, tunable
+//! match-set sizes.
+
+use crate::company::company_er_schema;
+use crate::text::TextGenerator;
+use crate::zipf::Zipf;
+use cla_er::{map_to_relational, ErSchema, SchemaMapping};
+use cla_relational::{Database, TupleId, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Configuration for [`generate_synthetic`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of departments.
+    pub departments: usize,
+    /// Employees per department.
+    pub employees_per_department: usize,
+    /// Projects per department.
+    pub projects_per_department: usize,
+    /// WORKS_ON memberships per employee (deduplicated; the realized
+    /// count may be slightly lower on tiny databases).
+    pub works_on_per_employee: usize,
+    /// Probability that an employee has a dependent (one per success,
+    /// sampled twice).
+    pub dependent_probability: f64,
+    /// Zipf exponent for project popularity in WORKS_ON (0 = uniform).
+    pub project_skew: f64,
+    /// Probability of planting the keyword `xml` in a department or
+    /// project description.
+    pub xml_selectivity: f64,
+    /// Probability of an employee having the surname `Smith`.
+    pub smith_selectivity: f64,
+    /// Probability of a dependent being called `Alice`.
+    pub alice_selectivity: f64,
+    /// RNG seed; equal seeds give identical databases.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            departments: 5,
+            employees_per_department: 10,
+            projects_per_department: 4,
+            works_on_per_employee: 2,
+            dependent_probability: 0.3,
+            project_skew: 1.0,
+            xml_selectivity: 0.2,
+            smith_selectivity: 0.1,
+            alice_selectivity: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A convenience scale knob: multiplies departments while keeping
+    /// per-department shape, giving ~linear tuple growth.
+    pub fn at_scale(mut self, departments: usize) -> Self {
+        self.departments = departments;
+        self
+    }
+
+    /// Expected total tuple count (upper bound; WORKS_ON dedup may trim).
+    pub fn expected_tuples(&self) -> usize {
+        let d = self.departments;
+        let e = d * self.employees_per_department;
+        let p = d * self.projects_per_department;
+        let w = e * self.works_on_per_employee;
+        // Dependents are probabilistic; bound with 2 draws per employee.
+        d + e + p + w + 2 * e
+    }
+}
+
+/// A generated synthetic database with provenance.
+#[derive(Debug, Clone)]
+pub struct SyntheticDb {
+    /// The (company) ER schema.
+    pub er_schema: ErSchema,
+    /// Mapping provenance.
+    pub mapping: SchemaMapping,
+    /// The generated instance.
+    pub db: Database,
+    /// Tuple aliases (`d7`, `e123`, `w_f55`, `t9`) for debugging output.
+    pub aliases: HashMap<TupleId, String>,
+    /// The configuration that produced this database.
+    pub config: SyntheticConfig,
+}
+
+const SURNAMES: &[&str] = &[
+    "Miller", "Walker", "Johnson", "Brown", "Davis", "Wilson", "Clark",
+    "Lewis", "Young", "Hall", "King", "Wright", "Lopez", "Hill", "Scott",
+];
+const FIRST_NAMES: &[&str] = &[
+    "John", "Barbara", "Melina", "Alice", "Theodore", "Maria", "James",
+    "Linda", "Robert", "Patricia", "Michael", "Jennifer", "David", "Susan",
+];
+const DEPENDENT_NAMES: &[&str] =
+    &["Theodore", "Emma", "Oliver", "Sophia", "Liam", "Mia", "Noah", "Ava"];
+const DEPT_NAMES: &[&str] = &[
+    "Cs", "inf", "history", "math", "physics", "biology", "chemistry",
+    "economics", "law", "medicine", "arts", "music",
+];
+
+/// Generate a database according to `config`. Deterministic in the seed.
+pub fn generate_synthetic(config: &SyntheticConfig) -> SyntheticDb {
+    let er_schema = company_er_schema();
+    let mapping = map_to_relational(&er_schema).expect("company schema maps");
+    let mut db = Database::new(mapping.catalog().clone()).expect("catalog valid");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let dept = db.catalog().relation_id("DEPARTMENT").expect("exists");
+    let proj = db.catalog().relation_id("PROJECT").expect("exists");
+    let wf = db.catalog().relation_id("WORKS_FOR").expect("exists");
+    let emp = db.catalog().relation_id("EMPLOYEE").expect("exists");
+    let dep = db.catalog().relation_id("DEPENDENT").expect("exists");
+
+    let desc_gen = TextGenerator::new().plant("xml", config.xml_selectivity);
+    let mut aliases = HashMap::new();
+
+    // Departments.
+    let mut dept_ids = Vec::with_capacity(config.departments);
+    for i in 0..config.departments {
+        let id = format!("d{}", i + 1);
+        let name = DEPT_NAMES[i % DEPT_NAMES.len()];
+        let desc = desc_gen.generate(&mut rng);
+        let t = db
+            .insert(dept, vec![id.as_str().into(), name.into(), desc.into()])
+            .expect("unique dept id");
+        aliases.insert(t, id.clone());
+        dept_ids.push(id);
+    }
+
+    // Projects.
+    let mut project_ids = Vec::new();
+    for (di, d) in dept_ids.iter().enumerate() {
+        for j in 0..config.projects_per_department {
+            let id = format!("p{}", project_ids.len() + 1);
+            let name = format!("project-{}-{}", di + 1, j + 1);
+            let desc = desc_gen.generate(&mut rng);
+            let t = db
+                .insert(
+                    proj,
+                    vec![id.as_str().into(), d.as_str().into(), name.into(), desc.into()],
+                )
+                .expect("unique project id");
+            aliases.insert(t, id.clone());
+            project_ids.push(id);
+        }
+    }
+
+    // Employees.
+    let mut employee_ids = Vec::new();
+    for d in &dept_ids {
+        for _ in 0..config.employees_per_department {
+            let id = format!("e{}", employee_ids.len() + 1);
+            let surname = if rng.random::<f64>() < config.smith_selectivity {
+                "Smith".to_owned()
+            } else {
+                SURNAMES[rng.random_range(0..SURNAMES.len())].to_owned()
+            };
+            let first = FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())];
+            let t = db
+                .insert(
+                    emp,
+                    vec![id.as_str().into(), surname.into(), first.into(), d.as_str().into()],
+                )
+                .expect("unique employee id");
+            aliases.insert(t, id.clone());
+            employee_ids.push(id);
+        }
+    }
+
+    // WORKS_ON memberships with Zipf-skewed project popularity.
+    if !project_ids.is_empty() {
+        let zipf = Zipf::new(project_ids.len(), config.project_skew.max(0.0));
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let mut wf_count = 0usize;
+        for (ei, e) in employee_ids.iter().enumerate() {
+            for _ in 0..config.works_on_per_employee {
+                let pi = zipf.sample(&mut rng) - 1;
+                if !seen.insert((ei, pi)) {
+                    continue; // duplicate membership, skip
+                }
+                let hours = rng.random_range(5..80i64);
+                let t = db
+                    .insert(
+                        wf,
+                        vec![
+                            e.as_str().into(),
+                            project_ids[pi].as_str().into(),
+                            Value::from(hours),
+                        ],
+                    )
+                    .expect("pair is unique by construction");
+                wf_count += 1;
+                aliases.insert(t, format!("w_f{wf_count}"));
+            }
+        }
+    }
+
+    // Dependents.
+    let mut dep_count = 0usize;
+    for e in &employee_ids {
+        for _ in 0..2 {
+            if rng.random::<f64>() < config.dependent_probability {
+                dep_count += 1;
+                let id = format!("t{dep_count}");
+                let name = if rng.random::<f64>() < config.alice_selectivity {
+                    "Alice".to_owned()
+                } else {
+                    DEPENDENT_NAMES[rng.random_range(0..DEPENDENT_NAMES.len())].to_owned()
+                };
+                let t = db
+                    .insert(dep, vec![id.as_str().into(), e.as_str().into(), name.into()])
+                    .expect("unique dependent id");
+                aliases.insert(t, id);
+            }
+        }
+    }
+
+    db.validate_references().expect("generator produces consistent references");
+
+    SyntheticDb { er_schema, mapping, db, aliases, config: config.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SyntheticConfig::default();
+        let a = generate_synthetic(&cfg);
+        let b = generate_synthetic(&cfg);
+        assert_eq!(a.db.total_tuples(), b.db.total_tuples());
+        // Spot-check: identical employee tuples.
+        let emp = a.db.catalog().relation_id("EMPLOYEE").unwrap();
+        let rows_a: Vec<_> = a.db.tuples(emp).map(|(_, t)| t.clone()).collect();
+        let rows_b: Vec<_> = b.db.tuples(emp).map(|(_, t)| t.clone()).collect();
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_synthetic(&SyntheticConfig { seed: 1, ..Default::default() });
+        let b = generate_synthetic(&SyntheticConfig { seed: 2, ..Default::default() });
+        let emp = a.db.catalog().relation_id("EMPLOYEE").unwrap();
+        let rows_a: Vec<_> = a.db.tuples(emp).map(|(_, t)| t.clone()).collect();
+        let rows_b: Vec<_> = b.db.tuples(emp).map(|(_, t)| t.clone()).collect();
+        assert_ne!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = SyntheticConfig {
+            departments: 3,
+            employees_per_department: 5,
+            projects_per_department: 2,
+            ..Default::default()
+        };
+        let s = generate_synthetic(&cfg);
+        let count = |n: &str| s.db.tuple_count(s.db.catalog().relation_id(n).unwrap());
+        assert_eq!(count("DEPARTMENT"), 3);
+        assert_eq!(count("EMPLOYEE"), 15);
+        assert_eq!(count("PROJECT"), 6);
+        assert!(count("WORKS_FOR") <= 15 * cfg.works_on_per_employee);
+        assert!(s.db.total_tuples() <= cfg.expected_tuples());
+    }
+
+    #[test]
+    fn references_validate_at_scale() {
+        let cfg = SyntheticConfig::default().at_scale(20);
+        let s = generate_synthetic(&cfg);
+        s.db.validate_references().unwrap();
+        assert!(s.db.total_tuples() > 400);
+    }
+
+    #[test]
+    fn keyword_selectivity_zero_and_one() {
+        let cfg = SyntheticConfig {
+            xml_selectivity: 0.0,
+            smith_selectivity: 1.0,
+            ..Default::default()
+        };
+        let s = generate_synthetic(&cfg);
+        let emp = s.db.catalog().relation_id("EMPLOYEE").unwrap();
+        for (_, t) in s.db.tuples(emp) {
+            assert_eq!(t.get(1), Some(&Value::from("Smith")));
+        }
+        let dept = s.db.catalog().relation_id("DEPARTMENT").unwrap();
+        for (_, t) in s.db.tuples(dept) {
+            assert!(!t.get(2).unwrap().to_string().contains("xml"));
+        }
+    }
+
+    #[test]
+    fn zero_membership_config_is_fine() {
+        let cfg = SyntheticConfig {
+            works_on_per_employee: 0,
+            dependent_probability: 0.0,
+            ..Default::default()
+        };
+        let s = generate_synthetic(&cfg);
+        let wf = s.db.catalog().relation_id("WORKS_FOR").unwrap();
+        let dep = s.db.catalog().relation_id("DEPENDENT").unwrap();
+        assert_eq!(s.db.tuple_count(wf), 0);
+        assert_eq!(s.db.tuple_count(dep), 0);
+    }
+
+    #[test]
+    fn aliases_cover_all_tuples() {
+        let s = generate_synthetic(&SyntheticConfig::default());
+        assert_eq!(s.aliases.len(), s.db.total_tuples());
+    }
+}

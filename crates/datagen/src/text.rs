@@ -1,0 +1,141 @@
+//! Deterministic description-text generation with keyword planting.
+
+use rand::RngExt;
+
+/// Default topic vocabulary for department/project descriptions.
+const TOPICS: &[&str] = &[
+    "programming", "databases", "retrieval", "algorithms", "networks",
+    "statistics", "linguistics", "graphics", "compilers", "security",
+    "optimization", "visualization", "logic", "semantics", "indexing",
+    "storage", "concurrency", "transactions", "ontologies", "archives",
+];
+
+/// Generates short description sentences from a topic vocabulary, with a
+/// configurable probability of planting each *query keyword*.
+///
+/// Planting controls keyword selectivity in synthetic databases: a
+/// benchmark can ask for, say, `xml` in 5% of project descriptions.
+#[derive(Debug, Clone)]
+pub struct TextGenerator {
+    /// Keywords and their planting probability per generated text.
+    plants: Vec<(String, f64)>,
+    /// Words sampled for the body of each sentence.
+    vocabulary: Vec<String>,
+    /// Number of body words per sentence.
+    words_per_text: usize,
+}
+
+impl TextGenerator {
+    /// A generator over the default vocabulary with no planted keywords.
+    pub fn new() -> Self {
+        TextGenerator {
+            plants: Vec::new(),
+            vocabulary: TOPICS.iter().map(|s| (*s).to_owned()).collect(),
+            words_per_text: 6,
+        }
+    }
+
+    /// Plant `keyword` with probability `p` per generated text.
+    pub fn plant(mut self, keyword: &str, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
+        self.plants.push((keyword.to_lowercase(), p));
+        self
+    }
+
+    /// Replace the body vocabulary.
+    pub fn with_vocabulary<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.vocabulary = words.into_iter().map(Into::into).collect();
+        assert!(!self.vocabulary.is_empty(), "vocabulary must be non-empty");
+        self
+    }
+
+    /// Words per sentence body.
+    pub fn with_words_per_text(mut self, n: usize) -> Self {
+        self.words_per_text = n;
+        self
+    }
+
+    /// Generate one description sentence.
+    pub fn generate<R: RngExt + ?Sized>(&self, rng: &mut R) -> String {
+        let mut words = Vec::with_capacity(self.words_per_text + self.plants.len() + 4);
+        words.push("The".to_owned());
+        words.push("main".to_owned());
+        words.push("topics".to_owned());
+        words.push("are".to_owned());
+        for _ in 0..self.words_per_text {
+            let i = rng.random_range(0..self.vocabulary.len());
+            words.push(self.vocabulary[i].clone());
+        }
+        for (kw, p) in &self.plants {
+            if rng.random::<f64>() < *p {
+                // Insert at a random position after the preamble.
+                let pos = rng.random_range(4..=words.len());
+                words.insert(pos, kw.clone());
+            }
+        }
+        let mut s = words.join(" ");
+        s.push('.');
+        s
+    }
+}
+
+impl Default for TextGenerator {
+    fn default() -> Self {
+        TextGenerator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = TextGenerator::new().plant("xml", 0.5);
+        let a = g.generate(&mut StdRng::seed_from_u64(3));
+        let b = g.generate(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plant_probability_one_always_plants() {
+        let g = TextGenerator::new().plant("xml", 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert!(s.contains("xml"), "{s}");
+        }
+    }
+
+    #[test]
+    fn plant_probability_zero_never_plants() {
+        let g = TextGenerator::new().plant("zebra", 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert!(!g.generate(&mut rng).contains("zebra"));
+        }
+    }
+
+    #[test]
+    fn plant_rate_is_roughly_respected() {
+        let g = TextGenerator::new().plant("xml", 0.3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..2000).filter(|_| g.generate(&mut rng).contains("xml")).count();
+        assert!((400..=800).contains(&hits), "expected ~600 plants, got {hits}");
+    }
+
+    #[test]
+    fn custom_vocabulary_is_used() {
+        let g = TextGenerator::new()
+            .with_vocabulary(["qqq"])
+            .with_words_per_text(3);
+        let s = g.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(s, "The main topics are qqq qqq qqq.");
+    }
+}

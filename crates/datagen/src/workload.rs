@@ -1,0 +1,88 @@
+//! Keyword-query workload generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`generate_workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries to produce.
+    pub num_queries: usize,
+    /// Keywords per query.
+    pub keywords_per_query: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { num_queries: 20, keywords_per_query: 2, seed: 7 }
+    }
+}
+
+/// Default keyword pool matching what [`crate::generate_synthetic`]
+/// plants (plus always-present structural words).
+pub const DEFAULT_KEYWORD_POOL: &[&str] =
+    &["xml", "smith", "alice", "databases", "retrieval", "programming", "topics"];
+
+/// Generate `config.num_queries` raw query strings by sampling distinct
+/// keywords from `pool` (falls back to [`DEFAULT_KEYWORD_POOL`] when
+/// `pool` is empty). Deterministic in the seed.
+pub fn generate_workload(config: &WorkloadConfig, pool: &[&str]) -> Vec<String> {
+    let pool: Vec<&str> = if pool.is_empty() { DEFAULT_KEYWORD_POOL.to_vec() } else { pool.to_vec() };
+    let per_query = config.keywords_per_query.min(pool.len()).max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.num_queries);
+    for _ in 0..config.num_queries {
+        let mut chosen: Vec<&str> = Vec::with_capacity(per_query);
+        while chosen.len() < per_query {
+            let k = pool[rng.random_range(0..pool.len())];
+            if !chosen.contains(&k) {
+                chosen.push(k);
+            }
+        }
+        out.push(chosen.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_count_and_arity() {
+        let cfg = WorkloadConfig { num_queries: 10, keywords_per_query: 2, seed: 1 };
+        let qs = generate_workload(&cfg, &[]);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            let kws: Vec<&str> = q.split_whitespace().collect();
+            assert_eq!(kws.len(), 2);
+            assert_ne!(kws[0], kws[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(generate_workload(&cfg, &[]), generate_workload(&cfg, &[]));
+    }
+
+    #[test]
+    fn respects_custom_pool() {
+        let cfg = WorkloadConfig { num_queries: 5, keywords_per_query: 1, seed: 3 };
+        let qs = generate_workload(&cfg, &["only"]);
+        for q in qs {
+            assert_eq!(q, "only");
+        }
+    }
+
+    #[test]
+    fn arity_clamped_to_pool_size() {
+        let cfg = WorkloadConfig { num_queries: 3, keywords_per_query: 10, seed: 3 };
+        let qs = generate_workload(&cfg, &["a", "b"]);
+        for q in qs {
+            assert_eq!(q.split_whitespace().count(), 2);
+        }
+    }
+}

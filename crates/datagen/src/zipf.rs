@@ -1,0 +1,111 @@
+//! A small Zipf(α) sampler over `1..=n` (no external distribution crate).
+
+use rand::RngExt;
+
+/// Zipf-distributed sampler: `P(k) ∝ 1 / k^alpha` for `k ∈ 1..=n`.
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF;
+/// construction is O(n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `1..=n` with exponent `alpha ≥ 0`.
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs n >= 1");
+        assert!(alpha.is_finite() && alpha >= 0.0, "Zipf needs finite alpha >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of categories.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a value in `1..=n`.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform_ish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1500, "uniform-ish counts, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_prefers_small_ranks() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0usize;
+        let total = 5000;
+        for _ in 0..total {
+            if z.sample(&mut rng) <= 3 {
+                head += 1;
+            }
+        }
+        assert!(head > total / 2, "top-3 ranks should dominate, got {head}/{total}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> =
+            (0..20).scan(StdRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
+        let b: Vec<usize> =
+            (0..20).scan(StdRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn zero_n_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn n_reports_categories() {
+        assert_eq!(Zipf::new(7, 1.0).n(), 7);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the synthetic generators.
+
+use cla_datagen::{generate_synthetic, generate_workload, SyntheticConfig, WorkloadConfig, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any configuration produces a referentially consistent database
+    /// with the configured relation counts.
+    #[test]
+    fn generated_databases_are_consistent(
+        departments in 1usize..6,
+        employees in 0usize..6,
+        projects in 0usize..4,
+        works_on in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SyntheticConfig {
+            departments,
+            employees_per_department: employees,
+            projects_per_department: projects,
+            works_on_per_employee: works_on,
+            seed,
+            ..Default::default()
+        };
+        let s = generate_synthetic(&cfg);
+        s.db.validate_references().unwrap();
+        let count = |n: &str| s.db.tuple_count(s.db.catalog().relation_id(n).unwrap());
+        prop_assert_eq!(count("DEPARTMENT"), departments);
+        prop_assert_eq!(count("EMPLOYEE"), departments * employees);
+        prop_assert_eq!(count("PROJECT"), departments * projects);
+        prop_assert!(count("WORKS_FOR") <= departments * employees * works_on);
+        prop_assert!(s.db.total_tuples() <= cfg.expected_tuples());
+        prop_assert_eq!(s.aliases.len(), s.db.total_tuples());
+    }
+
+    /// Same seed → identical database; the generator is a pure function
+    /// of its configuration.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000) {
+        let cfg = SyntheticConfig { seed, ..Default::default() };
+        let a = generate_synthetic(&cfg);
+        let b = generate_synthetic(&cfg);
+        for (rel, _) in a.db.catalog().iter() {
+            let ra: Vec<_> = a.db.tuples(rel).map(|(_, t)| t.clone()).collect();
+            let rb: Vec<_> = b.db.tuples(rel).map(|(_, t)| t.clone()).collect();
+            prop_assert_eq!(ra, rb);
+        }
+    }
+
+    /// Workloads have the requested shape and contain only pool words.
+    #[test]
+    fn workloads_are_wellformed(
+        n in 1usize..30,
+        arity in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = WorkloadConfig { num_queries: n, keywords_per_query: arity, seed };
+        let pool = ["alpha", "beta", "gamma", "delta"];
+        let qs = generate_workload(&cfg, &pool);
+        prop_assert_eq!(qs.len(), n);
+        for q in qs {
+            let kws: Vec<&str> = q.split_whitespace().collect();
+            prop_assert_eq!(kws.len(), arity.min(pool.len()));
+            for k in &kws {
+                prop_assert!(pool.contains(k));
+            }
+            let mut dedup = kws.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), kws.len());
+        }
+    }
+
+    /// Zipf sampling stays in range and is monotone-biased: rank 1 is
+    /// sampled at least as often as rank n for positive skew.
+    #[test]
+    fn zipf_is_ranged_and_biased(n in 2usize..40, seed in 0u64..500) {
+        let z = Zipf::new(n, 1.2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut first = 0usize;
+        let mut last = 0usize;
+        for _ in 0..400 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+            if k == 1 { first += 1; }
+            if k == n { last += 1; }
+        }
+        prop_assert!(first >= last);
+    }
+}

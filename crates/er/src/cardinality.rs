@@ -1,0 +1,153 @@
+//! Cardinality constraints of binary ER relationships.
+
+use std::fmt;
+
+/// One side of a cardinality constraint: `1` or `N`/`M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// Exactly/at most one participating instance.
+    One,
+    /// Arbitrarily many participating instances.
+    Many,
+}
+
+impl Side {
+    /// `true` iff this side is `1`.
+    pub fn is_one(self) -> bool {
+        matches!(self, Side::One)
+    }
+
+    /// `true` iff this side is `N`/`M`.
+    pub fn is_many(self) -> bool {
+        matches!(self, Side::Many)
+    }
+}
+
+/// A cardinality constraint `X:Y` on an *ordered* pair of entity types
+/// `(A, B)`: `X` annotates A's side, `Y` annotates B's side.
+///
+/// `department 1:N employee` reads: one department relates to many
+/// employees, and each employee relates to one department. Traversing the
+/// relationship from B to A therefore sees the [reversed](Self::reversed)
+/// constraint `Y:X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cardinality {
+    /// Annotation on the left (first) entity type.
+    pub left: Side,
+    /// Annotation on the right (second) entity type.
+    pub right: Side,
+}
+
+impl Cardinality {
+    /// `1:1`.
+    pub const ONE_TO_ONE: Cardinality = Cardinality { left: Side::One, right: Side::One };
+    /// `1:N`.
+    pub const ONE_TO_MANY: Cardinality = Cardinality { left: Side::One, right: Side::Many };
+    /// `N:1`.
+    pub const MANY_TO_ONE: Cardinality = Cardinality { left: Side::Many, right: Side::One };
+    /// `N:M`.
+    pub const MANY_TO_MANY: Cardinality = Cardinality { left: Side::Many, right: Side::Many };
+
+    /// Construct from explicit sides.
+    pub fn new(left: Side, right: Side) -> Self {
+        Cardinality { left, right }
+    }
+
+    /// The constraint as seen when traversing right-to-left.
+    pub fn reversed(self) -> Self {
+        Cardinality { left: self.right, right: self.left }
+    }
+
+    /// `true` for `N:M`.
+    pub fn is_many_to_many(self) -> bool {
+        self.left.is_many() && self.right.is_many()
+    }
+
+    /// `true` if following the relationship left→right reaches at most
+    /// one right instance per left instance (i.e. `right` is `1`).
+    ///
+    /// A chain of steps that are all functional-forward (or all
+    /// functional-backward) is the paper's *transitive functional*
+    /// relationship.
+    pub fn functional_forward(self) -> bool {
+        self.right.is_one()
+    }
+
+    /// `true` if following the relationship right→left reaches at most
+    /// one left instance per right instance (i.e. `left` is `1`).
+    pub fn functional_backward(self) -> bool {
+        self.left.is_one()
+    }
+
+    /// All four constraints, for exhaustive tests.
+    pub fn all() -> [Cardinality; 4] {
+        [
+            Cardinality::ONE_TO_ONE,
+            Cardinality::ONE_TO_MANY,
+            Cardinality::MANY_TO_ONE,
+            Cardinality::MANY_TO_MANY,
+        ]
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper prints N:M for the many-many case and N for a lone
+        // many side, e.g. "1:N" and "N:1".
+        let (l, r) = match (self.left, self.right) {
+            (Side::One, Side::One) => ("1", "1"),
+            (Side::One, Side::Many) => ("1", "N"),
+            (Side::Many, Side::One) => ("N", "1"),
+            (Side::Many, Side::Many) => ("N", "M"),
+        };
+        write!(f, "{l}:{r}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Cardinality::ONE_TO_ONE.to_string(), "1:1");
+        assert_eq!(Cardinality::ONE_TO_MANY.to_string(), "1:N");
+        assert_eq!(Cardinality::MANY_TO_ONE.to_string(), "N:1");
+        assert_eq!(Cardinality::MANY_TO_MANY.to_string(), "N:M");
+    }
+
+    #[test]
+    fn reversal_swaps_sides_and_is_involutive() {
+        for c in Cardinality::all() {
+            assert_eq!(c.reversed().reversed(), c);
+            assert_eq!(c.reversed().left, c.right);
+            assert_eq!(c.reversed().right, c.left);
+        }
+        assert_eq!(Cardinality::ONE_TO_MANY.reversed(), Cardinality::MANY_TO_ONE);
+        assert_eq!(Cardinality::MANY_TO_MANY.reversed(), Cardinality::MANY_TO_MANY);
+    }
+
+    #[test]
+    fn functional_directions() {
+        assert!(Cardinality::MANY_TO_ONE.functional_forward());
+        assert!(!Cardinality::MANY_TO_ONE.functional_backward());
+        assert!(Cardinality::ONE_TO_MANY.functional_backward());
+        assert!(!Cardinality::ONE_TO_MANY.functional_forward());
+        assert!(Cardinality::ONE_TO_ONE.functional_forward());
+        assert!(Cardinality::ONE_TO_ONE.functional_backward());
+        assert!(!Cardinality::MANY_TO_MANY.functional_forward());
+        assert!(!Cardinality::MANY_TO_MANY.functional_backward());
+    }
+
+    #[test]
+    fn many_to_many_detection() {
+        assert!(Cardinality::MANY_TO_MANY.is_many_to_many());
+        assert!(!Cardinality::ONE_TO_MANY.is_many_to_many());
+    }
+
+    #[test]
+    fn sides_predicates() {
+        assert!(Side::One.is_one() && !Side::One.is_many());
+        assert!(Side::Many.is_many() && !Side::Many.is_one());
+    }
+}

@@ -1,0 +1,390 @@
+//! Cardinality chains and the paper's close/loose classification (§2).
+//!
+//! A *transitive relationship* between two entity types is a sequence of
+//! immediate relationships; its semantics are captured by the chain of
+//! cardinality constraints `X1:Y1, …, Xn:Yn` oriented along the traversal.
+//! The paper classifies chains as follows:
+//!
+//! * **immediate** (`n = 1`): the entities are connected directly — no
+//!   ambiguity, a *close* association;
+//! * **transitive functional**: `∀i. Xi = 1` or `∀i. Yi = 1` — the
+//!   connection is (inverse) functional and therefore unambiguous: a
+//!   *close* association. 1:1 constraints may participate on either side;
+//! * **transitive N:M**: `X1 ≠ 1 ∧ Yn ≠ 1` — several start entities may
+//!   be connected to several end entities through a middle entity (e.g.
+//!   `project N:1 department 1:N employee` associates an employee with
+//!   every project of her department, whether or not she works on them):
+//!   a *loose* association;
+//! * chains **containing** a transitive N:M sub-chain (e.g. relationship 6
+//!   of Table 1, `department 1:N project N:M employee 1:N dependent`,
+//!   whose `N:M · 1:N` sub-chain is transitive N:M): also *loose*;
+//! * remaining non-functional chains (e.g. relationship 4,
+//!   `department 1:N project N:M employee`): every hop is factual but the
+//!   start–end association has several readings — *loose*, yet without
+//!   any transitive-N:M segment. The paper ranks such connections above
+//!   connections with transitive-N:M segments (§3: connections 4 and 7
+//!   rank before 3 and 6).
+//!
+//! The §4 ranking criterion — "the number of transitive N:M relationships
+//! in a connection" — is implemented by
+//! [`CardinalityChain::transitive_nm_count`], counting disjoint
+//! transitive-N:M segments greedily from the left.
+
+use crate::cardinality::{Cardinality, Side};
+use std::fmt;
+
+/// The paper's classification of a cardinality chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainClass {
+    /// A single immediate relationship (`n = 1`).
+    Immediate,
+    /// `n ≥ 2` and all `Xi = 1`, or all `Yi = 1`.
+    TransitiveFunctional,
+    /// `n ≥ 2`, `X1 ≠ 1` and `Yn ≠ 1` — the whole chain is transitive N:M.
+    TransitiveNM,
+    /// Not transitive N:M as a whole, but contains a transitive N:M
+    /// sub-chain of length ≥ 2.
+    ContainsTransitiveNM,
+    /// Non-functional with no transitive N:M segment (e.g. `1:N · N:M`).
+    TransitiveMixed,
+}
+
+impl ChainClass {
+    /// The close/loose verdict the paper derives from the class (§2:
+    /// "the immediate relationships and transitive functional
+    /// relationships determine a close connection").
+    pub fn closeness(self) -> Closeness {
+        match self {
+            ChainClass::Immediate | ChainClass::TransitiveFunctional => Closeness::Close,
+            ChainClass::TransitiveNM
+            | ChainClass::ContainsTransitiveNM
+            | ChainClass::TransitiveMixed => Closeness::Loose,
+        }
+    }
+}
+
+impl fmt::Display for ChainClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChainClass::Immediate => "immediate",
+            ChainClass::TransitiveFunctional => "transitive functional",
+            ChainClass::TransitiveNM => "transitive N:M",
+            ChainClass::ContainsTransitiveNM => "contains transitive N:M",
+            ChainClass::TransitiveMixed => "transitive mixed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Schema-level closeness of an association.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Closeness {
+    /// The entities are associated unambiguously.
+    Close,
+    /// The association admits broader readings.
+    Loose,
+}
+
+impl fmt::Display for Closeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Closeness::Close => "close",
+            Closeness::Loose => "loose",
+        })
+    }
+}
+
+/// A chain of cardinality constraints oriented along a traversal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CardinalityChain {
+    steps: Vec<Cardinality>,
+}
+
+impl CardinalityChain {
+    /// Wrap a sequence of oriented constraints.
+    pub fn new(steps: Vec<Cardinality>) -> Self {
+        CardinalityChain { steps }
+    }
+
+    /// The empty chain (an entity associated with itself).
+    pub fn empty() -> Self {
+        CardinalityChain::default()
+    }
+
+    /// Append one constraint.
+    pub fn push(&mut self, c: Cardinality) {
+        self.steps.push(c);
+    }
+
+    /// Number of immediate relationships in the chain.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff the chain has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The constraints in traversal order.
+    pub fn steps(&self) -> &[Cardinality] {
+        &self.steps
+    }
+
+    /// The chain as seen when traversing in the opposite direction:
+    /// reversed order with every constraint reversed.
+    pub fn reversed(&self) -> Self {
+        CardinalityChain {
+            steps: self.steps.iter().rev().map(|c| c.reversed()).collect(),
+        }
+    }
+
+    /// `∀i. Xi = 1` or `∀i. Yi = 1` — the paper's functional test. The
+    /// connection "can be represented in both directions", so inverse
+    /// functional (all `1:N`) counts as functional too.
+    ///
+    /// Defined for chains of any length; `classify` reports length-1
+    /// chains as [`ChainClass::Immediate`] instead.
+    pub fn is_functional(&self) -> bool {
+        !self.steps.is_empty()
+            && (self.steps.iter().all(|c| c.left == Side::One)
+                || self.steps.iter().all(|c| c.right == Side::One))
+    }
+
+    /// `X1 ≠ 1 ∧ Yn ≠ 1` with `n ≥ 2` — the paper's transitive N:M test.
+    pub fn is_transitive_nm(&self) -> bool {
+        self.steps.len() >= 2
+            && self.steps.first().is_some_and(|c| c.left == Side::Many)
+            && self.steps.last().is_some_and(|c| c.right == Side::Many)
+    }
+
+    /// Number of *disjoint* transitive N:M segments: contiguous sub-chains
+    /// of length ≥ 2 whose first constraint has `X ≠ 1` and whose last
+    /// has `Y ≠ 1`, counted greedily from the left.
+    ///
+    /// This is the paper's §4 ranking criterion ("the number of
+    /// transitive N:M relationships in a connection"). Examples:
+    ///
+    /// * `N:1 · 1:N` → 1 (the classic sibling fan-out through a more
+    ///   general entity);
+    /// * `1:N · N:M` → 0 (loose, but every hop factual);
+    /// * `1:N · N:M · 1:N` → 1 (`N:M · 1:N` is transitive N:M);
+    /// * `N:1 · 1:N · N:1 · 1:N` → 2.
+    pub fn transitive_nm_count(&self) -> usize {
+        let n = self.steps.len();
+        let mut count = 0;
+        let mut i = 0;
+        while i < n {
+            if self.steps[i].left == Side::Many {
+                // Find the earliest j > i closing a transitive segment.
+                if let Some(j) =
+                    (i + 1..n).find(|&j| self.steps[j].right == Side::Many)
+                {
+                    count += 1;
+                    i = j + 1;
+                    continue;
+                }
+                break; // no closing step exists anywhere to the right
+            }
+            i += 1;
+        }
+        count
+    }
+
+    /// `true` iff the chain contains a transitive N:M sub-chain.
+    pub fn contains_transitive_nm(&self) -> bool {
+        self.transitive_nm_count() > 0
+    }
+
+    /// Classify the chain per §2 of the paper.
+    ///
+    /// Empty chains (an entity standing alone, e.g. a single-tuple query
+    /// result) classify as [`ChainClass::Immediate`]: there is no
+    /// ambiguity to speak of.
+    pub fn classify(&self) -> ChainClass {
+        if self.steps.len() <= 1 {
+            return ChainClass::Immediate;
+        }
+        if self.is_functional() {
+            return ChainClass::TransitiveFunctional;
+        }
+        if self.is_transitive_nm() {
+            return ChainClass::TransitiveNM;
+        }
+        if self.contains_transitive_nm() {
+            return ChainClass::ContainsTransitiveNM;
+        }
+        ChainClass::TransitiveMixed
+    }
+
+    /// Shorthand for `classify().closeness()`.
+    pub fn closeness(&self) -> Closeness {
+        self.classify().closeness()
+    }
+}
+
+impl fmt::Display for CardinalityChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.steps.iter().map(ToString::to_string).collect();
+        f.write_str(&parts.join(" "))
+    }
+}
+
+impl FromIterator<Cardinality> for CardinalityChain {
+    fn from_iter<I: IntoIterator<Item = Cardinality>>(iter: I) -> Self {
+        CardinalityChain::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Cardinality as C;
+
+    fn chain(cs: &[Cardinality]) -> CardinalityChain {
+        CardinalityChain::new(cs.to_vec())
+    }
+
+    /// Table 1 of the paper, rows 1–6.
+    #[test]
+    fn table1_classifications() {
+        // 1. department 1:N employee — immediate.
+        let r1 = chain(&[C::ONE_TO_MANY]);
+        assert_eq!(r1.classify(), ChainClass::Immediate);
+        assert_eq!(r1.closeness(), Closeness::Close);
+        // 2. project N:M employee — immediate.
+        let r2 = chain(&[C::MANY_TO_MANY]);
+        assert_eq!(r2.classify(), ChainClass::Immediate);
+        assert_eq!(r2.closeness(), Closeness::Close);
+        // 3. department 1:N employee 1:N dependent — transitive functional.
+        let r3 = chain(&[C::ONE_TO_MANY, C::ONE_TO_MANY]);
+        assert_eq!(r3.classify(), ChainClass::TransitiveFunctional);
+        assert_eq!(r3.closeness(), Closeness::Close);
+        // 4. department 1:N project N:M employee — loose but no
+        //    transitive N:M segment.
+        let r4 = chain(&[C::ONE_TO_MANY, C::MANY_TO_MANY]);
+        assert_eq!(r4.classify(), ChainClass::TransitiveMixed);
+        assert_eq!(r4.closeness(), Closeness::Loose);
+        assert_eq!(r4.transitive_nm_count(), 0);
+        // 5. project N:1 department 1:N employee — transitive N:M.
+        let r5 = chain(&[C::MANY_TO_ONE, C::ONE_TO_MANY]);
+        assert_eq!(r5.classify(), ChainClass::TransitiveNM);
+        assert_eq!(r5.closeness(), Closeness::Loose);
+        assert_eq!(r5.transitive_nm_count(), 1);
+        // 6. department 1:N project N:M employee 1:N dependent — contains
+        //    the transitive N:M sub-chain `N:M · 1:N`.
+        let r6 = chain(&[C::ONE_TO_MANY, C::MANY_TO_MANY, C::ONE_TO_MANY]);
+        assert_eq!(r6.classify(), ChainClass::ContainsTransitiveNM);
+        assert_eq!(r6.closeness(), Closeness::Loose);
+        assert_eq!(r6.transitive_nm_count(), 1);
+    }
+
+    #[test]
+    fn functional_accepts_one_to_one_links() {
+        // The paper: "A functional relationship may also contain 1:1
+        // relationships."
+        let c = chain(&[C::MANY_TO_ONE, C::ONE_TO_ONE, C::MANY_TO_ONE]);
+        assert!(c.is_functional());
+        assert_eq!(c.classify(), ChainClass::TransitiveFunctional);
+        let c = chain(&[C::ONE_TO_MANY, C::ONE_TO_ONE]);
+        assert!(c.is_functional());
+    }
+
+    #[test]
+    fn reversal_preserves_class_and_counts() {
+        let chains = [
+            chain(&[C::ONE_TO_MANY]),
+            chain(&[C::ONE_TO_MANY, C::ONE_TO_MANY]),
+            chain(&[C::MANY_TO_ONE, C::ONE_TO_MANY]),
+            chain(&[C::ONE_TO_MANY, C::MANY_TO_MANY, C::ONE_TO_MANY]),
+        ];
+        for c in chains {
+            assert_eq!(c.classify(), c.reversed().classify(), "chain {c}");
+            assert_eq!(
+                c.transitive_nm_count(),
+                c.reversed().transitive_nm_count(),
+                "chain {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_chain_reversal_stays_loose() {
+        // `1:N · N:M` reversed is `N:M · N:1`; both are loose with zero
+        // transitive N:M segments even though the class label differs
+        // in neither case.
+        let c = chain(&[C::ONE_TO_MANY, C::MANY_TO_MANY]);
+        let r = c.reversed();
+        assert_eq!(r.steps(), &[C::MANY_TO_MANY, C::MANY_TO_ONE]);
+        assert_eq!(c.closeness(), r.closeness());
+        assert_eq!(r.transitive_nm_count(), 0);
+    }
+
+    #[test]
+    fn disjoint_segment_counting() {
+        // Two sibling fan-outs in a row.
+        let c = chain(&[C::MANY_TO_ONE, C::ONE_TO_MANY, C::MANY_TO_ONE, C::ONE_TO_MANY]);
+        assert_eq!(c.transitive_nm_count(), 2);
+        assert_eq!(c.classify(), ChainClass::TransitiveNM);
+        // Fan-out first then fan-in: no segment.
+        let c = chain(&[C::ONE_TO_MANY, C::ONE_TO_MANY, C::MANY_TO_ONE, C::MANY_TO_ONE]);
+        assert_eq!(c.transitive_nm_count(), 0);
+        assert_eq!(c.classify(), ChainClass::TransitiveMixed);
+        // N:M everywhere: one greedy segment of length 2, then another.
+        let c = chain(&[C::MANY_TO_MANY, C::MANY_TO_MANY, C::MANY_TO_MANY, C::MANY_TO_MANY]);
+        assert_eq!(c.transitive_nm_count(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_chains_are_immediate_and_close() {
+        assert_eq!(CardinalityChain::empty().classify(), ChainClass::Immediate);
+        assert_eq!(CardinalityChain::empty().closeness(), Closeness::Close);
+        for c in Cardinality::all() {
+            assert_eq!(chain(&[c]).classify(), ChainClass::Immediate);
+        }
+    }
+
+    #[test]
+    fn exhaustive_length_two_classification() {
+        use ChainClass::*;
+        // All 16 two-step chains, checked against the paper's definitions.
+        let expect = |a: Cardinality, b: Cardinality| -> ChainClass {
+            let c = chain(&[a, b]);
+            if (a.left.is_one() && b.left.is_one()) || (a.right.is_one() && b.right.is_one()) {
+                return TransitiveFunctional;
+            }
+            if a.left.is_many() && b.right.is_many() {
+                return TransitiveNM;
+            }
+            // Length-2 chains cannot merely *contain* a transitive N:M.
+            let _ = c;
+            TransitiveMixed
+        };
+        for a in Cardinality::all() {
+            for b in Cardinality::all() {
+                assert_eq!(chain(&[a, b]).classify(), expect(a, b), "{a} then {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_joins_with_spaces() {
+        let c = chain(&[C::ONE_TO_MANY, C::MANY_TO_MANY]);
+        assert_eq!(c.to_string(), "1:N N:M");
+    }
+
+    #[test]
+    fn push_and_from_iterator() {
+        let mut c = CardinalityChain::empty();
+        assert!(c.is_empty());
+        c.push(C::ONE_TO_MANY);
+        assert_eq!(c.len(), 1);
+        let d: CardinalityChain = [C::ONE_TO_MANY].into_iter().collect();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn closeness_orders_close_before_loose() {
+        assert!(Closeness::Close < Closeness::Loose);
+    }
+}

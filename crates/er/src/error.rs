@@ -1,0 +1,63 @@
+//! Error type for the ER substrate.
+
+use std::fmt;
+
+/// Errors raised by ER schema construction and mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    /// An entity type name was looked up but does not exist.
+    UnknownEntity(String),
+    /// Two entity types with the same name were declared.
+    DuplicateEntity(String),
+    /// A relationship name was looked up but does not exist.
+    UnknownRelationship(String),
+    /// Two relationships with the same name were declared.
+    DuplicateRelationship(String),
+    /// The ER schema is structurally invalid.
+    InvalidSchema(String),
+    /// The ER→relational mapping failed (wraps the relational error).
+    Mapping(String),
+}
+
+impl fmt::Display for ErError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErError::UnknownEntity(n) => write!(f, "unknown entity type `{n}`"),
+            ErError::DuplicateEntity(n) => write!(f, "entity type `{n}` is already defined"),
+            ErError::UnknownRelationship(n) => write!(f, "unknown relationship `{n}`"),
+            ErError::DuplicateRelationship(n) => {
+                write!(f, "relationship `{n}` is already defined")
+            }
+            ErError::InvalidSchema(msg) => write!(f, "invalid ER schema: {msg}"),
+            ErError::Mapping(msg) => write!(f, "ER-to-relational mapping failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ErError {}
+
+impl From<cla_relational::RelationalError> for ErError {
+    fn from(e: cla_relational::RelationalError) -> Self {
+        ErError::Mapping(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(
+            ErError::UnknownEntity("X".into()).to_string(),
+            "unknown entity type `X`"
+        );
+        assert!(ErError::Mapping("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn relational_error_converts() {
+        let e: ErError = cla_relational::RelationalError::InvalidSchema("bad".into()).into();
+        assert!(matches!(e, ErError::Mapping(_)));
+    }
+}

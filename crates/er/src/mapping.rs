@@ -1,0 +1,642 @@
+//! ER→relational mapping (§3 ¶1 of the paper) with provenance.
+//!
+//! Mapping rules, exactly as the paper states them:
+//!
+//! * for each entity type a relation is created (key attributes form the
+//!   primary key);
+//! * for each 1:N relationship a foreign key is inserted on the N-side
+//!   relation (1:1 relationships place the foreign key on the *right*
+//!   entity's relation by convention);
+//! * for each N:M relationship a *middle relation* is created holding
+//!   foreign keys to both participating relations (its primary key is the
+//!   combination of both foreign keys); relationship attributes (such as
+//!   `HOURS`) become attributes of the middle relation.
+//!
+//! The returned [`SchemaMapping`] records which relational artifact
+//! implements which conceptual relationship ([`FkRole`]); `cla-core` uses
+//! this provenance to collapse middle-relation hops when computing the
+//! *conceptual* length of a connection and to annotate data-graph edges
+//! with cardinalities.
+
+use crate::cardinality::{Cardinality, Side};
+use crate::error::ErError;
+use crate::model::{EntityTypeId, ErSchema, RelationshipId};
+use crate::Result;
+use cla_relational::{AttributeDef, Catalog, ForeignKeyDef, RelationId, RelationSchema};
+use std::collections::HashMap;
+
+/// Re-export of the hint structure declared next to [`crate::RelationshipType`].
+pub use crate::model::MappingHintsDecl as MappingHints;
+
+/// The conceptual role of one foreign key in the mapped schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FkRole {
+    /// A foreign key on an entity relation implementing a 1:1, 1:N or N:1
+    /// relationship directly.
+    Direct {
+        /// The implemented relationship.
+        relationship: RelationshipId,
+        /// Whether the relation *owning* the FK is the relationship's
+        /// left entity (for 1:N the owner is always the N-side).
+        owner_is_left: bool,
+    },
+    /// A foreign key from the middle relation of an N:M relationship to
+    /// one of its endpoints.
+    Middle {
+        /// The implemented relationship.
+        relationship: RelationshipId,
+        /// Whether the referenced endpoint is the left entity.
+        to_left: bool,
+    },
+}
+
+impl FkRole {
+    /// The relationship this foreign key implements.
+    pub fn relationship(&self) -> RelationshipId {
+        match self {
+            FkRole::Direct { relationship, .. } | FkRole::Middle { relationship, .. } => {
+                *relationship
+            }
+        }
+    }
+}
+
+/// Result of mapping an [`ErSchema`] to a relational [`Catalog`], with
+/// full provenance.
+#[derive(Debug, Clone)]
+pub struct SchemaMapping {
+    catalog: Catalog,
+    entity_relation: Vec<RelationId>,
+    relation_entity: HashMap<RelationId, EntityTypeId>,
+    middle_relation: HashMap<RelationshipId, RelationId>,
+    relation_middle: HashMap<RelationId, RelationshipId>,
+    fk_roles: HashMap<(RelationId, usize), FkRole>,
+}
+
+impl SchemaMapping {
+    /// The mapped relational catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The relation implementing entity type `e`.
+    pub fn entity_relation(&self, e: EntityTypeId) -> Option<RelationId> {
+        self.entity_relation.get(e.index()).copied()
+    }
+
+    /// The entity type a relation implements, if it is an entity relation.
+    pub fn relation_entity(&self, r: RelationId) -> Option<EntityTypeId> {
+        self.relation_entity.get(&r).copied()
+    }
+
+    /// The middle relation implementing N:M relationship `rel`, if any.
+    pub fn middle_relation(&self, rel: RelationshipId) -> Option<RelationId> {
+        self.middle_relation.get(&rel).copied()
+    }
+
+    /// `true` iff `r` is a middle relation. The paper (§3): "in
+    /// conceptual approach middle relations should not be taken into
+    /// account when calculating the length of a connection".
+    pub fn is_middle(&self, r: RelationId) -> bool {
+        self.relation_middle.contains_key(&r)
+    }
+
+    /// The N:M relationship a middle relation implements.
+    pub fn middle_relationship(&self, r: RelationId) -> Option<RelationshipId> {
+        self.relation_middle.get(&r).copied()
+    }
+
+    /// The conceptual role of foreign key `fk_idx` of relation `r`.
+    pub fn fk_role(&self, r: RelationId, fk_idx: usize) -> Option<FkRole> {
+        self.fk_roles.get(&(r, fk_idx)).copied()
+    }
+
+    /// Iterate over all `(relation, fk index, role)` triples.
+    pub fn fk_roles(&self) -> impl Iterator<Item = (RelationId, usize, FkRole)> + '_ {
+        self.fk_roles.iter().map(|(&(r, i), &role)| (r, i, role))
+    }
+}
+
+/// Working copy of one relation under construction.
+struct PendingRelation {
+    name: String,
+    attributes: Vec<AttributeDef>,
+    pk_names: Vec<String>,
+    fks: Vec<(ForeignKeyDefByName, FkRole)>,
+}
+
+/// Foreign key with names, resolved to indices at the end.
+struct ForeignKeyDefByName {
+    name: String,
+    attributes: Vec<String>,
+    target: RelationId,
+}
+
+fn default_fk_columns(schema: &ErSchema, target: EntityTypeId) -> Vec<String> {
+    let entity = schema.entity(target).expect("validated entity");
+    entity
+        .attributes
+        .iter()
+        .filter(|a| a.key)
+        .map(|a| format!("{}_{}", entity.name, a.name))
+        .collect()
+}
+
+/// Map an ER schema to a relational catalog, returning the catalog plus
+/// provenance. See the module docs for the rules.
+pub fn map_to_relational(schema: &ErSchema) -> Result<SchemaMapping> {
+    let entity_count = schema.entity_count();
+
+    // Phase 1: entity relations, in entity-id order.
+    let mut pending: Vec<PendingRelation> = Vec::with_capacity(entity_count);
+    for (_, entity) in schema.entities() {
+        let attributes = entity
+            .attributes
+            .iter()
+            .map(|a| AttributeDef {
+                name: a.name.clone(),
+                data_type: a.data_type,
+                nullable: a.nullable && !a.key,
+            })
+            .collect();
+        pending.push(PendingRelation {
+            name: entity.name.clone(),
+            attributes,
+            pk_names: entity
+                .attributes
+                .iter()
+                .filter(|a| a.key)
+                .map(|a| a.name.clone())
+                .collect(),
+            fks: Vec::new(),
+        });
+    }
+
+    // Phase 2: relationships. Direct FKs mutate entity relations; N:M
+    // relationships append middle relations after the entity relations.
+    let mut middle_relation = HashMap::new();
+    let mut relation_middle = HashMap::new();
+    let mut next_middle_id = entity_count;
+
+    for (rid, rel) in schema.relationships() {
+        match (rel.cardinality.left, rel.cardinality.right) {
+            (Side::Many, Side::Many) => {
+                let middle_rel_id = RelationId(next_middle_id as u32);
+                next_middle_id += 1;
+                middle_relation.insert(rid, middle_rel_id);
+                relation_middle.insert(middle_rel_id, rid);
+
+                let name = rel
+                    .hints
+                    .middle_relation_name
+                    .clone()
+                    .unwrap_or_else(|| rel.name.clone());
+                let left_cols = rel
+                    .hints
+                    .middle_left_columns
+                    .clone()
+                    .unwrap_or_else(|| default_fk_columns(schema, rel.left));
+                let right_cols = rel
+                    .hints
+                    .middle_right_columns
+                    .clone()
+                    .unwrap_or_else(|| default_fk_columns(schema, rel.right));
+                check_fk_arity(schema, rel.left, &left_cols, &rel.name)?;
+                check_fk_arity(schema, rel.right, &right_cols, &rel.name)?;
+
+                let mut attributes: Vec<AttributeDef> = Vec::new();
+                for (cols, target) in [(&left_cols, rel.left), (&right_cols, rel.right)] {
+                    let target_entity = schema.entity(target).expect("validated");
+                    for (col, key_attr) in
+                        cols.iter().zip(target_entity.attributes.iter().filter(|a| a.key))
+                    {
+                        attributes.push(AttributeDef {
+                            name: col.clone(),
+                            data_type: key_attr.data_type,
+                            nullable: false,
+                        });
+                    }
+                }
+                for a in &rel.attributes {
+                    attributes.push(AttributeDef {
+                        name: a.name.clone(),
+                        data_type: a.data_type,
+                        nullable: a.nullable,
+                    });
+                }
+                let pk_names: Vec<String> =
+                    left_cols.iter().chain(right_cols.iter()).cloned().collect();
+                let fks = vec![
+                    (
+                        ForeignKeyDefByName {
+                            name: format!("{}_left", rel.name.to_lowercase()),
+                            attributes: left_cols,
+                            target: RelationId(rel.left.0),
+                        },
+                        FkRole::Middle { relationship: rid, to_left: true },
+                    ),
+                    (
+                        ForeignKeyDefByName {
+                            name: format!("{}_right", rel.name.to_lowercase()),
+                            attributes: right_cols,
+                            target: RelationId(rel.right.0),
+                        },
+                        FkRole::Middle { relationship: rid, to_left: false },
+                    ),
+                ];
+                pending.push(PendingRelation { name, attributes, pk_names, fks });
+            }
+            (l, r) => {
+                // Direct FK. Owner is the Many side; for 1:1 the right side.
+                let (owner, target, owner_is_left) = match (l, r) {
+                    (Side::One, Side::Many) => (rel.right, rel.left, false),
+                    (Side::Many, Side::One) => (rel.left, rel.right, true),
+                    (Side::One, Side::One) => (rel.right, rel.left, false),
+                    (Side::Many, Side::Many) => unreachable!("handled above"),
+                };
+                let cols = rel
+                    .hints
+                    .fk_column_names
+                    .clone()
+                    .unwrap_or_else(|| default_fk_columns(schema, target));
+                check_fk_arity(schema, target, &cols, &rel.name)?;
+                let target_entity = schema.entity(target).expect("validated");
+                let new_attrs: Vec<AttributeDef> = cols
+                    .iter()
+                    .zip(target_entity.attributes.iter().filter(|a| a.key))
+                    .map(|(col, key_attr)| AttributeDef {
+                        name: col.clone(),
+                        data_type: key_attr.data_type,
+                        nullable: rel.hints.nullable_fk,
+                    })
+                    .collect();
+                let owner_pending = &mut pending[owner.index()];
+                for a in &new_attrs {
+                    if owner_pending.attributes.iter().any(|x| x.name == a.name) {
+                        return Err(ErError::Mapping(format!(
+                            "foreign-key column `{}` of relationship `{}` collides with an existing attribute of `{}`",
+                            a.name, rel.name, owner_pending.name
+                        )));
+                    }
+                }
+                let pos = rel
+                    .hints
+                    .fk_position
+                    .unwrap_or(owner_pending.attributes.len())
+                    .min(owner_pending.attributes.len());
+                for (offset, a) in new_attrs.into_iter().enumerate() {
+                    owner_pending.attributes.insert(pos + offset, a);
+                }
+                owner_pending.fks.push((
+                    ForeignKeyDefByName {
+                        name: rel.name.to_lowercase(),
+                        attributes: cols,
+                        target: RelationId(target.0),
+                    },
+                    FkRole::Direct { relationship: rid, owner_is_left },
+                ));
+            }
+        }
+    }
+
+    // Phase 3: resolve names to indices and build the catalog.
+    let mut catalog = Catalog::new();
+    let mut fk_roles = HashMap::new();
+    // Primary keys of every pending relation, resolved, for FK targets.
+    let pk_positions: Vec<Vec<usize>> = pending
+        .iter()
+        .map(|p| {
+            p.pk_names
+                .iter()
+                .map(|n| {
+                    p.attributes
+                        .iter()
+                        .position(|a| &a.name == n)
+                        .expect("pk attribute exists by construction")
+                })
+                .collect()
+        })
+        .collect();
+
+    for (rel_idx, p) in pending.iter().enumerate() {
+        let rel_id = RelationId(rel_idx as u32);
+        let mut foreign_keys = Vec::with_capacity(p.fks.len());
+        for (fk_idx, (fk, role)) in p.fks.iter().enumerate() {
+            let attributes: Vec<usize> = fk
+                .attributes
+                .iter()
+                .map(|n| {
+                    p.attributes
+                        .iter()
+                        .position(|a| &a.name == n)
+                        .expect("fk attribute exists by construction")
+                })
+                .collect();
+            foreign_keys.push(ForeignKeyDef {
+                name: fk.name.clone(),
+                attributes,
+                target: fk.target,
+                target_attributes: pk_positions[fk.target.index()].clone(),
+            });
+            fk_roles.insert((rel_id, fk_idx), *role);
+        }
+        let assigned = catalog.add_relation(RelationSchema {
+            name: p.name.clone(),
+            attributes: p.attributes.clone(),
+            primary_key: pk_positions[rel_idx].clone(),
+            foreign_keys,
+        })?;
+        debug_assert_eq!(assigned, rel_id);
+    }
+    catalog.validate()?;
+
+    let entity_relation: Vec<RelationId> =
+        (0..entity_count).map(|i| RelationId(i as u32)).collect();
+    let relation_entity: HashMap<RelationId, EntityTypeId> = entity_relation
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, EntityTypeId(i as u32)))
+        .collect();
+
+    Ok(SchemaMapping {
+        catalog,
+        entity_relation,
+        relation_entity,
+        middle_relation,
+        relation_middle,
+        fk_roles,
+    })
+}
+
+fn check_fk_arity(
+    schema: &ErSchema,
+    target: EntityTypeId,
+    cols: &[String],
+    rel_name: &str,
+) -> Result<()> {
+    let key_count = schema
+        .entity(target)
+        .map(|e| e.attributes.iter().filter(|a| a.key).count())
+        .unwrap_or(0);
+    if cols.len() != key_count {
+        return Err(ErError::Mapping(format!(
+            "relationship `{rel_name}`: {} foreign-key column(s) given but target entity has {key_count} key attribute(s)",
+            cols.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Convenience: the cardinality constraint observed when traversing a
+/// foreign-key edge `owner → target` at the *relational* level, given its
+/// conceptual role.
+///
+/// * Direct FKs expose the relationship's constraint oriented
+///   owner→target (for 1:N that is always N:1 — many owners per target —
+///   and for 1:1 it stays 1:1).
+/// * Middle-relation FKs expose N:1 (many middle tuples per endpoint),
+///   matching the paper's Table 3 annotations such as
+///   `p1(XML) 1:N w_f1 N:1 e1(Smith)`.
+pub fn rdb_edge_cardinality(schema: &ErSchema, role: FkRole) -> Cardinality {
+    match role {
+        FkRole::Direct { relationship, owner_is_left } => {
+            let rel = schema.relationship(relationship).expect("validated");
+            if owner_is_left {
+                rel.cardinality
+            } else {
+                rel.cardinality.reversed()
+            }
+        }
+        FkRole::Middle { .. } => Cardinality::MANY_TO_ONE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ErSchemaBuilder;
+    use cla_relational::{DataType, Database, Value};
+
+    /// The paper's Figure 1 schema, with the Figure 2 attribute layout.
+    fn company() -> ErSchema {
+        ErSchemaBuilder::new()
+            .entity("DEPARTMENT", |e| {
+                e.key("ID", DataType::Text)
+                    .attr("D_NAME", DataType::Text)
+                    .attr("D_DESCRIPTION", DataType::Text)
+            })
+            .entity("EMPLOYEE", |e| {
+                e.key("SSN", DataType::Text)
+                    .attr("L_NAME", DataType::Text)
+                    .attr("S_NAME", DataType::Text)
+            })
+            .entity("PROJECT", |e| {
+                e.key("ID", DataType::Text)
+                    .attr("P_NAME", DataType::Text)
+                    .attr("P_DESCRIPTION", DataType::Text)
+            })
+            .entity("DEPENDENT", |e| {
+                e.key("ID", DataType::Text).attr("DEPENDENT_NAME", DataType::Text)
+            })
+            .relationship(
+                "WORKS_FOR_REL", "DEPARTMENT", "EMPLOYEE", Cardinality::ONE_TO_MANY,
+                |r| r.verb("works for").fk_columns(&["D_ID"]),
+            )
+            .relationship(
+                "CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY,
+                |r| r.verb("controls").fk_columns(&["D_ID"]).fk_position(1),
+            )
+            .relationship(
+                "WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY,
+                |r| {
+                    r.verb("works on")
+                        .attr("HOURS", DataType::Int)
+                        .middle_name("WORKS_FOR")
+                        .middle_left_columns(&["ESSN"])
+                        .middle_right_columns(&["P_ID"])
+                },
+            )
+            .relationship(
+                "DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY,
+                |r| r.verb("has dependent").fk_columns(&["ESSN"]).fk_position(1),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure2_relation_layout() {
+        let schema = company();
+        let mapping = map_to_relational(&schema).unwrap();
+        let cat = mapping.catalog();
+
+        let dept = cat.relation_by_name("DEPARTMENT").unwrap();
+        let names: Vec<&str> = dept.attributes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["ID", "D_NAME", "D_DESCRIPTION"]);
+
+        let proj = cat.relation_by_name("PROJECT").unwrap();
+        let names: Vec<&str> = proj.attributes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["ID", "D_ID", "P_NAME", "P_DESCRIPTION"]);
+
+        let emp = cat.relation_by_name("EMPLOYEE").unwrap();
+        let names: Vec<&str> = emp.attributes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["SSN", "L_NAME", "S_NAME", "D_ID"]);
+
+        let wf = cat.relation_by_name("WORKS_FOR").unwrap();
+        let names: Vec<&str> = wf.attributes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["ESSN", "P_ID", "HOURS"]);
+        assert_eq!(wf.primary_key, vec![0, 1]);
+
+        let dep = cat.relation_by_name("DEPENDENT").unwrap();
+        let names: Vec<&str> = dep.attributes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["ID", "ESSN", "DEPENDENT_NAME"]);
+    }
+
+    #[test]
+    fn provenance_identifies_middle_relation() {
+        let schema = company();
+        let mapping = map_to_relational(&schema).unwrap();
+        let wf_rel = mapping.catalog().relation_id("WORKS_FOR").unwrap();
+        let works_on = schema.relationship_id("WORKS_ON").unwrap();
+        assert!(mapping.is_middle(wf_rel));
+        assert_eq!(mapping.middle_relationship(wf_rel), Some(works_on));
+        assert_eq!(mapping.middle_relation(works_on), Some(wf_rel));
+        let emp_rel = mapping.catalog().relation_id("EMPLOYEE").unwrap();
+        assert!(!mapping.is_middle(emp_rel));
+        assert_eq!(mapping.relation_entity(emp_rel), schema.entity_id("EMPLOYEE"));
+        assert_eq!(
+            mapping.entity_relation(schema.entity_id("EMPLOYEE").unwrap()),
+            Some(emp_rel)
+        );
+    }
+
+    #[test]
+    fn fk_roles_cover_every_foreign_key() {
+        let schema = company();
+        let mapping = map_to_relational(&schema).unwrap();
+        let mut count = 0;
+        for (rel_id, rel) in mapping.catalog().iter() {
+            for fk_idx in 0..rel.foreign_keys.len() {
+                let role = mapping.fk_role(rel_id, fk_idx).expect("role recorded");
+                count += 1;
+                match role {
+                    FkRole::Direct { .. } => assert!(!mapping.is_middle(rel_id)),
+                    FkRole::Middle { .. } => assert!(mapping.is_middle(rel_id)),
+                }
+            }
+        }
+        // WORKS_FOR_REL, CONTROLS, DEPENDENTS direct + 2 middle FKs.
+        assert_eq!(count, 5);
+        assert_eq!(mapping.fk_roles().count(), 5);
+    }
+
+    #[test]
+    fn rdb_edge_cardinalities_match_table3() {
+        let schema = company();
+        let mapping = map_to_relational(&schema).unwrap();
+        // EMPLOYEE → DEPARTMENT (direct, owner is N-side): N:1.
+        let emp_rel = mapping.catalog().relation_id("EMPLOYEE").unwrap();
+        let role = mapping.fk_role(emp_rel, 0).unwrap();
+        assert_eq!(rdb_edge_cardinality(&schema, role), Cardinality::MANY_TO_ONE);
+        // Middle relation edges: N:1 toward each endpoint.
+        let wf_rel = mapping.catalog().relation_id("WORKS_FOR").unwrap();
+        for fk_idx in 0..2 {
+            let role = mapping.fk_role(wf_rel, fk_idx).unwrap();
+            assert_eq!(rdb_edge_cardinality(&schema, role), Cardinality::MANY_TO_ONE);
+        }
+    }
+
+    #[test]
+    fn mapped_catalog_accepts_figure2_data() {
+        let schema = company();
+        let mapping = map_to_relational(&schema).unwrap();
+        let mut db = Database::new(mapping.catalog().clone()).unwrap();
+        let cat = db.catalog().clone();
+        let dept = cat.relation_id("DEPARTMENT").unwrap();
+        let emp = cat.relation_id("EMPLOYEE").unwrap();
+        let wf = cat.relation_id("WORKS_FOR").unwrap();
+        let proj = cat.relation_id("PROJECT").unwrap();
+        db.insert(dept, vec!["d1".into(), "Cs".into(), "programming".into()]).unwrap();
+        db.insert(proj, vec!["p1".into(), "d1".into(), "DB".into(), "models".into()])
+            .unwrap();
+        db.insert(emp, vec!["e1".into(), "Smith".into(), "John".into(), "d1".into()])
+            .unwrap();
+        db.insert(wf, vec!["e1".into(), "p1".into(), Value::from(40i64)]).unwrap();
+        db.validate_references().unwrap();
+    }
+
+    #[test]
+    fn default_column_names_when_no_hints() {
+        let schema = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .relationship("R", "A", "B", Cardinality::ONE_TO_MANY, |r| r)
+            .relationship("S", "A", "B", Cardinality::MANY_TO_MANY, |r| r)
+            .build()
+            .unwrap();
+        let mapping = map_to_relational(&schema).unwrap();
+        let b = mapping.catalog().relation_by_name("B").unwrap();
+        assert!(b.attributes.iter().any(|a| a.name == "A_ID"));
+        let s = mapping.catalog().relation_by_name("S").unwrap();
+        let names: Vec<&str> = s.attributes.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["A_ID", "B_ID"]);
+    }
+
+    #[test]
+    fn one_to_one_places_fk_on_right() {
+        let schema = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .relationship("R", "A", "B", Cardinality::ONE_TO_ONE, |r| r)
+            .build()
+            .unwrap();
+        let mapping = map_to_relational(&schema).unwrap();
+        let b_rel = mapping.catalog().relation_id("B").unwrap();
+        let role = mapping.fk_role(b_rel, 0).unwrap();
+        assert!(matches!(role, FkRole::Direct { owner_is_left: false, .. }));
+        // Traversed owner→target a 1:1 stays 1:1.
+        assert_eq!(rdb_edge_cardinality(&schema, role), Cardinality::ONE_TO_ONE);
+    }
+
+    #[test]
+    fn colliding_fk_column_rejected() {
+        let schema = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int).attr("A_ID", DataType::Int))
+            .relationship("R", "A", "B", Cardinality::ONE_TO_MANY, |r| r)
+            .build()
+            .unwrap();
+        let err = map_to_relational(&schema).unwrap_err();
+        assert!(matches!(err, ErError::Mapping(_)));
+    }
+
+    #[test]
+    fn wrong_fk_arity_rejected() {
+        let schema = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int).key("ID2", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .relationship("R", "A", "B", Cardinality::ONE_TO_MANY, |r| {
+                // B is the N-side; FK references A's two-column key but we
+                // provide a single column.
+                r.fk_columns(&["A_REF"])
+            })
+            .build()
+            .unwrap();
+        let err = map_to_relational(&schema).unwrap_err();
+        assert!(matches!(err, ErError::Mapping(_)));
+    }
+
+    #[test]
+    fn nullable_fk_hint_respected() {
+        let schema = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .relationship("R", "A", "B", Cardinality::ONE_TO_MANY, |r| r.nullable_fk())
+            .build()
+            .unwrap();
+        let mapping = map_to_relational(&schema).unwrap();
+        let b = mapping.catalog().relation_by_name("B").unwrap();
+        let fk_attr = b.attributes.iter().find(|a| a.name == "A_ID").unwrap();
+        assert!(fk_attr.nullable);
+    }
+}

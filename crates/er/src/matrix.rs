@@ -1,0 +1,233 @@
+//! All-pairs schema-level closeness summary.
+//!
+//! The paper's §4 suggests using the classification to steer ranking;
+//! a precomputed *closeness matrix* answers, for every ordered pair of
+//! entity types, whether a close (immediate or transitive functional)
+//! association exists within a length bound, and what the loosest and
+//! tightest available chains look like. Search engines can use it to
+//! prune hopeless witness searches and to explain why a pair of
+//! keywords can only be loosely associated.
+
+use crate::chain::Closeness;
+use crate::model::{EntityTypeId, ErSchema};
+use crate::path::{enumerate_schema_paths, SchemaPath};
+
+/// Summary of the schema paths between one ordered entity-type pair.
+#[derive(Debug, Clone)]
+pub struct PairSummary {
+    /// Start entity type.
+    pub from: EntityTypeId,
+    /// End entity type.
+    pub to: EntityTypeId,
+    /// Total simple paths within the bound.
+    pub path_count: usize,
+    /// Shortest close path, if any.
+    pub best_close: Option<SchemaPath>,
+    /// Shortest loose path, if any.
+    pub best_loose: Option<SchemaPath>,
+}
+
+impl PairSummary {
+    /// `true` when some close association exists within the bound.
+    pub fn has_close(&self) -> bool {
+        self.best_close.is_some()
+    }
+
+    /// The best available closeness (close beats loose), `None` when
+    /// the pair is unreachable within the bound.
+    pub fn best_closeness(&self) -> Option<Closeness> {
+        if self.best_close.is_some() {
+            Some(Closeness::Close)
+        } else if self.best_loose.is_some() {
+            Some(Closeness::Loose)
+        } else {
+            None
+        }
+    }
+}
+
+/// The all-pairs closeness matrix of a schema, bounded by `max_steps`
+/// relationships per path.
+#[derive(Debug, Clone)]
+pub struct ClosenessMatrix {
+    entities: usize,
+    max_steps: usize,
+    cells: Vec<Option<PairSummary>>,
+}
+
+impl ClosenessMatrix {
+    /// Compute the matrix for `schema`.
+    pub fn compute(schema: &ErSchema, max_steps: usize) -> Self {
+        let n = schema.entity_count();
+        let mut cells: Vec<Option<PairSummary>> = Vec::with_capacity(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    cells.push(None);
+                    continue;
+                }
+                let from = EntityTypeId(a as u32);
+                let to = EntityTypeId(b as u32);
+                let paths = enumerate_schema_paths(schema, from, to, max_steps);
+                let mut best_close: Option<SchemaPath> = None;
+                let mut best_loose: Option<SchemaPath> = None;
+                for p in &paths {
+                    let chain = p.cardinality_chain(schema).expect("valid enumeration");
+                    let slot = match chain.closeness() {
+                        Closeness::Close => &mut best_close,
+                        Closeness::Loose => &mut best_loose,
+                    };
+                    if slot.as_ref().is_none_or(|cur| p.len() < cur.len()) {
+                        *slot = Some(p.clone());
+                    }
+                }
+                cells.push(Some(PairSummary {
+                    from,
+                    to,
+                    path_count: paths.len(),
+                    best_close,
+                    best_loose,
+                }));
+            }
+        }
+        ClosenessMatrix { entities: n, max_steps, cells }
+    }
+
+    /// The length bound the matrix was computed with.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    /// The summary for an ordered pair (`None` on the diagonal).
+    pub fn pair(&self, from: EntityTypeId, to: EntityTypeId) -> Option<&PairSummary> {
+        self.cells
+            .get(from.index() * self.entities + to.index())
+            .and_then(Option::as_ref)
+    }
+
+    /// Render the matrix compactly: `C` close available, `L` loose
+    /// only, `.` unreachable, `-` diagonal.
+    pub fn render(&self, schema: &ErSchema) -> String {
+        let names: Vec<String> = schema
+            .entities()
+            .map(|(_, e)| e.name.chars().take(4).collect::<String>())
+            .collect();
+        let mut out = String::from("      ");
+        for n in &names {
+            out.push_str(&format!("{n:<6}"));
+        }
+        out.push('\n');
+        for (a, name) in names.iter().enumerate() {
+            out.push_str(&format!("{name:<6}"));
+            for b in 0..self.entities {
+                let mark = if a == b {
+                    '-'
+                } else {
+                    match self
+                        .pair(EntityTypeId(a as u32), EntityTypeId(b as u32))
+                        .and_then(PairSummary::best_closeness)
+                    {
+                        Some(Closeness::Close) => 'C',
+                        Some(Closeness::Loose) => 'L',
+                        None => '.',
+                    }
+                };
+                out.push_str(&format!("{mark:<6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::Cardinality;
+    use crate::model::ErSchemaBuilder;
+    use cla_relational::DataType;
+
+    fn company() -> ErSchema {
+        ErSchemaBuilder::new()
+            .entity("DEPARTMENT", |e| e.key("ID", DataType::Text))
+            .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
+            .entity("PROJECT", |e| e.key("ID", DataType::Text))
+            .entity("DEPENDENT", |e| e.key("ID", DataType::Text))
+            .relationship("WORKS_FOR", "EMPLOYEE", "DEPARTMENT", Cardinality::MANY_TO_ONE, |r| r)
+            .relationship("CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY, |r| r)
+            .relationship("WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY, |r| r)
+            .relationship("DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY, |r| r)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn department_employee_has_close_association() {
+        let s = company();
+        let m = ClosenessMatrix::compute(&s, 3);
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let e = s.entity_id("EMPLOYEE").unwrap();
+        let pair = m.pair(d, e).unwrap();
+        assert!(pair.has_close());
+        assert_eq!(pair.best_close.as_ref().unwrap().len(), 1);
+        // Table 1 rows 1 and 4: two paths within 2 steps… within 3 the
+        // loose CONTROLS·WORKS_ON route also exists.
+        assert!(pair.path_count >= 2);
+        assert!(pair.best_loose.is_some());
+    }
+
+    #[test]
+    fn project_dependent_is_loose_only_at_small_bounds() {
+        let s = company();
+        let m = ClosenessMatrix::compute(&s, 2);
+        let p = s.entity_id("PROJECT").unwrap();
+        let t = s.entity_id("DEPENDENT").unwrap();
+        let pair = m.pair(p, t).unwrap();
+        // project → employee → dependent crosses N:M first: loose.
+        assert_eq!(pair.best_closeness(), Some(Closeness::Loose));
+        assert!(!pair.has_close());
+    }
+
+    #[test]
+    fn diagonal_is_empty_and_symmetric_reachability() {
+        let s = company();
+        let m = ClosenessMatrix::compute(&s, 3);
+        for (a, _) in s.entities() {
+            assert!(m.pair(a, a).is_none());
+            for (b, _) in s.entities() {
+                if a != b {
+                    let ab = m.pair(a, b).unwrap().best_closeness();
+                    let ba = m.pair(b, a).unwrap().best_closeness();
+                    // Closeness is direction-invariant (chains reverse).
+                    assert_eq!(ab, ba);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_render_as_dots() {
+        let s = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .build()
+            .unwrap();
+        let m = ClosenessMatrix::compute(&s, 3);
+        let a = s.entity_id("A").unwrap();
+        let b = s.entity_id("B").unwrap();
+        assert_eq!(m.pair(a, b).unwrap().best_closeness(), None);
+        let rendered = m.render(&s);
+        assert!(rendered.contains('.'));
+        assert!(rendered.contains('-'));
+    }
+
+    #[test]
+    fn render_marks_close_pairs() {
+        let s = company();
+        let m = ClosenessMatrix::compute(&s, 3);
+        let rendered = m.render(&s);
+        assert!(rendered.contains('C'));
+        assert!(rendered.lines().count() == s.entity_count() + 1);
+        assert_eq!(m.max_steps(), 3);
+    }
+}

@@ -1,0 +1,617 @@
+//! ER schema model: entity types and binary relationship types.
+
+use crate::cardinality::Cardinality;
+use crate::error::ErError;
+use crate::Result;
+use cla_relational::DataType;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an entity type within an [`ErSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityTypeId(pub u32);
+
+impl EntityTypeId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// Identifier of a relationship type within an [`ErSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationshipId(pub u32);
+
+impl RelationshipId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelationshipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// An attribute of an entity type or relationship type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Data type (shared with the relational layer).
+    pub data_type: DataType,
+    /// Whether this attribute is part of the entity key.
+    pub key: bool,
+    /// Whether NULL is allowed in the relational mapping.
+    pub nullable: bool,
+}
+
+impl ErAttribute {
+    /// A key attribute (non-nullable by construction).
+    pub fn key(name: impl Into<String>, data_type: DataType) -> Self {
+        ErAttribute { name: name.into(), data_type, key: true, nullable: false }
+    }
+
+    /// A plain non-key attribute.
+    pub fn plain(name: impl Into<String>, data_type: DataType) -> Self {
+        ErAttribute { name: name.into(), data_type, key: false, nullable: false }
+    }
+
+    /// A nullable non-key attribute.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        ErAttribute { name: name.into(), data_type, key: false, nullable: true }
+    }
+}
+
+/// An entity type with attributes (at least one key attribute is required
+/// for the relational mapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityType {
+    /// Entity type name, unique in the schema.
+    pub name: String,
+    /// Attributes in declaration order.
+    pub attributes: Vec<ErAttribute>,
+}
+
+impl EntityType {
+    /// Positions of the key attributes.
+    pub fn key_positions(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.key)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Hints controlling how a relationship maps to the relational schema.
+///
+/// All fields are optional; defaults derive names from the entity types.
+/// See [`crate::map_to_relational`] for the mapping rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MappingHintsDecl {
+    /// Column name(s) for a direct foreign key (1:1, 1:N, N:1). One name
+    /// per key attribute of the referenced entity.
+    pub fk_column_names: Option<Vec<String>>,
+    /// Insertion position of the direct FK columns in the owning relation
+    /// (purely cosmetic; the paper's Figure 2 puts `D_ID` second in
+    /// `PROJECT`). `None` appends.
+    pub fk_position: Option<usize>,
+    /// Whether the direct FK columns are nullable (partial participation).
+    pub nullable_fk: bool,
+    /// Name of the middle relation implementing an N:M relationship.
+    pub middle_relation_name: Option<String>,
+    /// Column name(s) of the middle-relation FK to the *left* entity.
+    pub middle_left_columns: Option<Vec<String>>,
+    /// Column name(s) of the middle-relation FK to the *right* entity.
+    pub middle_right_columns: Option<Vec<String>>,
+}
+
+/// A binary relationship type with a cardinality constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationshipType {
+    /// Relationship name, unique in the schema (e.g. `WORKS_ON`).
+    pub name: String,
+    /// Verb phrase used when explaining connections (e.g. `works on`).
+    /// Read left→right: `left verb right`.
+    pub verb: String,
+    /// Verb phrase for the right→left reading (e.g. `is controlled by`).
+    pub reverse_verb: String,
+    /// Left entity type.
+    pub left: EntityTypeId,
+    /// Right entity type.
+    pub right: EntityTypeId,
+    /// Cardinality constraint, `left:right` (e.g. DEPARTMENT 1:N EMPLOYEE
+    /// has `left = DEPARTMENT`, `cardinality = 1:N`).
+    pub cardinality: Cardinality,
+    /// Relationship attributes (e.g. `HOURS` on WORKS_ON); only N:M
+    /// relationships can carry attributes in this model.
+    pub attributes: Vec<ErAttribute>,
+    /// Mapping hints.
+    pub hints: MappingHintsDecl,
+}
+
+impl RelationshipType {
+    /// The entity on the other side of the relationship, given one side.
+    /// Returns `None` if `side` does not participate. For reflexive
+    /// relationships (`left == right`) returns that same entity.
+    pub fn other(&self, side: EntityTypeId) -> Option<EntityTypeId> {
+        if side == self.left {
+            Some(self.right)
+        } else if side == self.right {
+            Some(self.left)
+        } else {
+            None
+        }
+    }
+
+    /// The cardinality oriented for a traversal starting at `from`:
+    /// left→right yields the declared constraint, right→left the
+    /// reversed one.
+    pub fn oriented_cardinality(&self, from: EntityTypeId) -> Option<Cardinality> {
+        if from == self.left {
+            Some(self.cardinality)
+        } else if from == self.right {
+            Some(self.cardinality.reversed())
+        } else {
+            None
+        }
+    }
+}
+
+/// A complete ER schema.
+#[derive(Debug, Clone, Default)]
+pub struct ErSchema {
+    entities: Vec<EntityType>,
+    relationships: Vec<RelationshipType>,
+    entity_by_name: HashMap<String, EntityTypeId>,
+    relationship_by_name: HashMap<String, RelationshipId>,
+}
+
+impl ErSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        ErSchema::default()
+    }
+
+    /// Add an entity type. Requires a unique name and ≥ 1 key attribute.
+    pub fn add_entity(&mut self, entity: EntityType) -> Result<EntityTypeId> {
+        if self.entity_by_name.contains_key(&entity.name) {
+            return Err(ErError::DuplicateEntity(entity.name.clone()));
+        }
+        if entity.key_positions().is_empty() {
+            return Err(ErError::InvalidSchema(format!(
+                "entity type `{}` has no key attribute",
+                entity.name
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &entity.attributes {
+            if !seen.insert(&a.name) {
+                return Err(ErError::InvalidSchema(format!(
+                    "entity type `{}` declares attribute `{}` twice",
+                    entity.name, a.name
+                )));
+            }
+        }
+        let id = EntityTypeId(self.entities.len() as u32);
+        self.entity_by_name.insert(entity.name.clone(), id);
+        self.entities.push(entity);
+        Ok(id)
+    }
+
+    /// Add a relationship type between existing entity types.
+    pub fn add_relationship(&mut self, rel: RelationshipType) -> Result<RelationshipId> {
+        if self.relationship_by_name.contains_key(&rel.name) {
+            return Err(ErError::DuplicateRelationship(rel.name.clone()));
+        }
+        for side in [rel.left, rel.right] {
+            if side.index() >= self.entities.len() {
+                return Err(ErError::InvalidSchema(format!(
+                    "relationship `{}` references unknown entity {side}",
+                    rel.name
+                )));
+            }
+        }
+        if !rel.attributes.is_empty() && !rel.cardinality.is_many_to_many() {
+            return Err(ErError::InvalidSchema(format!(
+                "relationship `{}` carries attributes but is not N:M; attach them to the N-side entity instead",
+                rel.name
+            )));
+        }
+        let id = RelationshipId(self.relationships.len() as u32);
+        self.relationship_by_name.insert(rel.name.clone(), id);
+        self.relationships.push(rel);
+        Ok(id)
+    }
+
+    /// The entity type with id `id`.
+    pub fn entity(&self, id: EntityTypeId) -> Option<&EntityType> {
+        self.entities.get(id.index())
+    }
+
+    /// The relationship type with id `id`.
+    pub fn relationship(&self, id: RelationshipId) -> Option<&RelationshipType> {
+        self.relationships.get(id.index())
+    }
+
+    /// Entity type id by name.
+    pub fn entity_id(&self, name: &str) -> Option<EntityTypeId> {
+        self.entity_by_name.get(name).copied()
+    }
+
+    /// Relationship id by name.
+    pub fn relationship_id(&self, name: &str) -> Option<RelationshipId> {
+        self.relationship_by_name.get(name).copied()
+    }
+
+    /// Number of entity types.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relationship types.
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+
+    /// Iterate `(id, entity)` pairs in id order.
+    pub fn entities(&self) -> impl Iterator<Item = (EntityTypeId, &EntityType)> {
+        self.entities
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EntityTypeId(i as u32), e))
+    }
+
+    /// Iterate `(id, relationship)` pairs in id order.
+    pub fn relationships(&self) -> impl Iterator<Item = (RelationshipId, &RelationshipType)> {
+        self.relationships
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelationshipId(i as u32), r))
+    }
+
+    /// Relationships in which entity `e` participates, with ids.
+    pub fn relationships_of(
+        &self,
+        e: EntityTypeId,
+    ) -> impl Iterator<Item = (RelationshipId, &RelationshipType)> {
+        self.relationships()
+            .filter(move |(_, r)| r.left == e || r.right == e)
+    }
+}
+
+/// Builder for one entity type, used inside [`ErSchemaBuilder::entity`].
+#[derive(Debug, Clone, Default)]
+pub struct EntityBuilder {
+    attributes: Vec<ErAttribute>,
+}
+
+impl EntityBuilder {
+    /// Add a key attribute.
+    pub fn key(mut self, name: &str, data_type: DataType) -> Self {
+        self.attributes.push(ErAttribute::key(name, data_type));
+        self
+    }
+
+    /// Add a plain attribute.
+    pub fn attr(mut self, name: &str, data_type: DataType) -> Self {
+        self.attributes.push(ErAttribute::plain(name, data_type));
+        self
+    }
+
+    /// Add a nullable attribute.
+    pub fn attr_nullable(mut self, name: &str, data_type: DataType) -> Self {
+        self.attributes.push(ErAttribute::nullable(name, data_type));
+        self
+    }
+}
+
+/// Builder for one relationship, used inside [`ErSchemaBuilder::relationship`].
+#[derive(Debug, Clone, Default)]
+pub struct RelationshipBuilder {
+    verb: Option<String>,
+    reverse_verb: Option<String>,
+    attributes: Vec<ErAttribute>,
+    hints: MappingHintsDecl,
+}
+
+impl RelationshipBuilder {
+    /// Verb phrase for explanations (defaults to the lowercased name).
+    pub fn verb(mut self, verb: &str) -> Self {
+        self.verb = Some(verb.to_owned());
+        self
+    }
+
+    /// Verb phrase for the right→left reading (defaults to
+    /// `is associated (<verb>) with`).
+    pub fn reverse_verb(mut self, verb: &str) -> Self {
+        self.reverse_verb = Some(verb.to_owned());
+        self
+    }
+
+    /// Add a relationship attribute (N:M relationships only).
+    pub fn attr(mut self, name: &str, data_type: DataType) -> Self {
+        self.attributes.push(ErAttribute::plain(name, data_type));
+        self
+    }
+
+    /// Set direct-FK column names (1:1 / 1:N / N:1 relationships).
+    pub fn fk_columns(mut self, names: &[&str]) -> Self {
+        self.hints.fk_column_names = Some(names.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Set the cosmetic insertion position of direct-FK columns.
+    pub fn fk_position(mut self, pos: usize) -> Self {
+        self.hints.fk_position = Some(pos);
+        self
+    }
+
+    /// Make the direct FK nullable (partial participation).
+    pub fn nullable_fk(mut self) -> Self {
+        self.hints.nullable_fk = true;
+        self
+    }
+
+    /// Set the middle-relation name (N:M relationships).
+    pub fn middle_name(mut self, name: &str) -> Self {
+        self.hints.middle_relation_name = Some(name.to_owned());
+        self
+    }
+
+    /// Set the middle-relation column names referencing the left entity.
+    pub fn middle_left_columns(mut self, names: &[&str]) -> Self {
+        self.hints.middle_left_columns =
+            Some(names.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Set the middle-relation column names referencing the right entity.
+    pub fn middle_right_columns(mut self, names: &[&str]) -> Self {
+        self.hints.middle_right_columns =
+            Some(names.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+}
+
+/// Fluent builder for a whole [`ErSchema`].
+///
+/// ```
+/// use cla_er::{Cardinality, ErSchemaBuilder};
+/// use cla_relational::DataType;
+///
+/// let schema = ErSchemaBuilder::new()
+///     .entity("DEPARTMENT", |e| e.key("ID", DataType::Text))
+///     .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
+///     .relationship(
+///         "WORKS_FOR", "DEPARTMENT", "EMPLOYEE", Cardinality::ONE_TO_MANY,
+///         |r| r.verb("works for").fk_columns(&["D_ID"]),
+///     )
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.entity_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ErSchemaBuilder {
+    entities: Vec<(String, EntityBuilder)>,
+    relationships: Vec<(String, String, String, Cardinality, RelationshipBuilder)>,
+}
+
+impl ErSchemaBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ErSchemaBuilder::default()
+    }
+
+    /// Add an entity type configured by `f`.
+    pub fn entity<F>(mut self, name: &str, f: F) -> Self
+    where
+        F: FnOnce(EntityBuilder) -> EntityBuilder,
+    {
+        self.entities.push((name.to_owned(), f(EntityBuilder::default())));
+        self
+    }
+
+    /// Add a relationship `left —cardinality— right` configured by `f`.
+    pub fn relationship<F>(
+        mut self,
+        name: &str,
+        left: &str,
+        right: &str,
+        cardinality: Cardinality,
+        f: F,
+    ) -> Self
+    where
+        F: FnOnce(RelationshipBuilder) -> RelationshipBuilder,
+    {
+        self.relationships.push((
+            name.to_owned(),
+            left.to_owned(),
+            right.to_owned(),
+            cardinality,
+            f(RelationshipBuilder::default()),
+        ));
+        self
+    }
+
+    /// Produce the validated [`ErSchema`].
+    pub fn build(self) -> Result<ErSchema> {
+        let mut schema = ErSchema::new();
+        for (name, eb) in self.entities {
+            schema.add_entity(EntityType { name, attributes: eb.attributes })?;
+        }
+        for (name, left, right, cardinality, rb) in self.relationships {
+            let left_id = schema
+                .entity_id(&left)
+                .ok_or_else(|| ErError::UnknownEntity(left.clone()))?;
+            let right_id = schema
+                .entity_id(&right)
+                .ok_or_else(|| ErError::UnknownEntity(right.clone()))?;
+            let verb = rb.verb.unwrap_or_else(|| name.to_lowercase().replace('_', " "));
+            let reverse_verb = rb
+                .reverse_verb
+                .unwrap_or_else(|| format!("is associated ({verb}) with"));
+            schema.add_relationship(RelationshipType {
+                name,
+                verb,
+                reverse_verb,
+                left: left_id,
+                right: right_id,
+                cardinality,
+                attributes: rb.attributes,
+                hints: rb.hints,
+            })?;
+        }
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_entity_schema() -> ErSchema {
+        ErSchemaBuilder::new()
+            .entity("DEPARTMENT", |e| e.key("ID", DataType::Text).attr("NAME", DataType::Text))
+            .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
+            .relationship(
+                "WORKS_FOR",
+                "DEPARTMENT",
+                "EMPLOYEE",
+                Cardinality::ONE_TO_MANY,
+                |r| r.verb("works for"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let s = two_entity_schema();
+        assert_eq!(s.entity_count(), 2);
+        assert_eq!(s.relationship_count(), 1);
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let e = s.entity_id("EMPLOYEE").unwrap();
+        let wf = s.relationship_id("WORKS_FOR").unwrap();
+        let rel = s.relationship(wf).unwrap();
+        assert_eq!(rel.left, d);
+        assert_eq!(rel.right, e);
+        assert_eq!(rel.verb, "works for");
+        assert_eq!(s.entity(d).unwrap().key_positions(), vec![0]);
+    }
+
+    #[test]
+    fn oriented_cardinality_follows_traversal() {
+        let s = two_entity_schema();
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let e = s.entity_id("EMPLOYEE").unwrap();
+        let rel = s.relationship(s.relationship_id("WORKS_FOR").unwrap()).unwrap();
+        assert_eq!(rel.oriented_cardinality(d), Some(Cardinality::ONE_TO_MANY));
+        assert_eq!(rel.oriented_cardinality(e), Some(Cardinality::MANY_TO_ONE));
+        assert_eq!(rel.oriented_cardinality(EntityTypeId(99)), None);
+        assert_eq!(rel.other(d), Some(e));
+        assert_eq!(rel.other(e), Some(d));
+        assert_eq!(rel.other(EntityTypeId(99)), None);
+    }
+
+    #[test]
+    fn duplicate_entity_rejected() {
+        let err = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::DuplicateEntity(_)));
+    }
+
+    #[test]
+    fn entity_requires_key() {
+        let err = ErSchemaBuilder::new()
+            .entity("A", |e| e.attr("X", DataType::Int))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int).attr("ID", DataType::Text))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn relationship_to_unknown_entity_rejected() {
+        let err = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .relationship("R", "A", "MISSING", Cardinality::ONE_TO_MANY, |r| r)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn attributes_only_on_nm_relationships() {
+        let err = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .relationship("R", "A", "B", Cardinality::ONE_TO_MANY, |r| {
+                r.attr("X", DataType::Int)
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::InvalidSchema(_)));
+
+        ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .relationship("R", "A", "B", Cardinality::MANY_TO_MANY, |r| {
+                r.attr("X", DataType::Int)
+            })
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn default_verb_derived_from_name() {
+        let s = ErSchemaBuilder::new()
+            .entity("A", |e| e.key("ID", DataType::Int))
+            .entity("B", |e| e.key("ID", DataType::Int))
+            .relationship("WORKS_ON", "A", "B", Cardinality::MANY_TO_MANY, |r| r)
+            .build()
+            .unwrap();
+        let r = s.relationship(s.relationship_id("WORKS_ON").unwrap()).unwrap();
+        assert_eq!(r.verb, "works on");
+    }
+
+    #[test]
+    fn reflexive_relationship_supported() {
+        let s = ErSchemaBuilder::new()
+            .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
+            .relationship(
+                "SUPERVISES",
+                "EMPLOYEE",
+                "EMPLOYEE",
+                Cardinality::ONE_TO_MANY,
+                |r| r.nullable_fk(),
+            )
+            .build()
+            .unwrap();
+        let e = s.entity_id("EMPLOYEE").unwrap();
+        let r = s.relationship(s.relationship_id("SUPERVISES").unwrap()).unwrap();
+        assert_eq!(r.other(e), Some(e));
+        assert_eq!(s.relationships_of(e).count(), 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Schema-level paths between entity types (the rows of Table 1).
+//!
+//! A [`SchemaPath`] is a sequence of relationship traversals connecting
+//! entity types. Its [`CardinalityChain`](crate::CardinalityChain) is
+//! obtained by orienting each relationship's constraint along the
+//! traversal, which is exactly the "Cardinality" column of the paper's
+//! Table 1.
+
+use crate::chain::CardinalityChain;
+use crate::model::{EntityTypeId, ErSchema, RelationshipId};
+
+/// One traversal step: a relationship crossed forward (left→right) or
+/// backward (right→left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemaStep {
+    /// The relationship being crossed.
+    pub relationship: RelationshipId,
+    /// `true` for left→right traversal.
+    pub forward: bool,
+}
+
+/// A path through the ER schema: a start entity type plus traversal steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchemaPath {
+    /// The entity type the path starts from.
+    pub start: EntityTypeId,
+    /// Traversal steps in order.
+    pub steps: Vec<SchemaStep>,
+}
+
+impl SchemaPath {
+    /// A zero-step path anchored at `start`.
+    pub fn trivial(start: EntityTypeId) -> Self {
+        SchemaPath { start, steps: Vec::new() }
+    }
+
+    /// Number of relationships crossed.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The entity type the path ends at.
+    ///
+    /// Returns `None` if a step references an unknown relationship or a
+    /// relationship not incident to the current entity (schema mismatch).
+    pub fn end(&self, schema: &ErSchema) -> Option<EntityTypeId> {
+        self.entities(schema).map(|es| *es.last().expect("non-empty"))
+    }
+
+    /// The sequence of visited entity types, starting with `start`.
+    pub fn entities(&self, schema: &ErSchema) -> Option<Vec<EntityTypeId>> {
+        let mut out = Vec::with_capacity(self.steps.len() + 1);
+        out.push(self.start);
+        let mut current = self.start;
+        for step in &self.steps {
+            let rel = schema.relationship(step.relationship)?;
+            let (from, to) = if step.forward {
+                (rel.left, rel.right)
+            } else {
+                (rel.right, rel.left)
+            };
+            if from != current {
+                return None;
+            }
+            current = to;
+            out.push(current);
+        }
+        Some(out)
+    }
+
+    /// The cardinality chain oriented along the traversal: forward steps
+    /// contribute the declared constraint, backward steps the reversed
+    /// one.
+    pub fn cardinality_chain(&self, schema: &ErSchema) -> Option<CardinalityChain> {
+        let mut chain = CardinalityChain::empty();
+        for step in &self.steps {
+            let rel = schema.relationship(step.relationship)?;
+            let c = if step.forward { rel.cardinality } else { rel.cardinality.reversed() };
+            chain.push(c);
+        }
+        Some(chain)
+    }
+
+    /// Render in the paper's Table 1 notation, e.g.
+    /// `department 1:N employee 1:N dependent` (entity names lowercased).
+    pub fn render(&self, schema: &ErSchema) -> String {
+        let Some(entities) = self.entities(schema) else {
+            return "<invalid path>".to_owned();
+        };
+        let Some(chain) = self.cardinality_chain(schema) else {
+            return "<invalid path>".to_owned();
+        };
+        let mut out = String::new();
+        for (i, e) in entities.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+                out.push_str(&chain.steps()[i - 1].to_string());
+                out.push(' ');
+            }
+            let name = schema.entity(*e).map_or("?", |et| et.name.as_str());
+            out.push_str(&name.to_lowercase());
+        }
+        out
+    }
+
+    /// Render the entity sequence with dashes, e.g.
+    /// `department – employee – dependent` (Table 1's "Relationship"
+    /// column).
+    pub fn render_entities(&self, schema: &ErSchema) -> String {
+        let Some(entities) = self.entities(schema) else {
+            return "<invalid path>".to_owned();
+        };
+        entities
+            .iter()
+            .map(|e| schema.entity(*e).map_or("?".to_owned(), |et| et.name.to_lowercase()))
+            .collect::<Vec<_>>()
+            .join(" – ")
+    }
+}
+
+/// Enumerate all simple schema paths from `from` to `to` crossing at most
+/// `max_steps` relationships. *Simple* means no entity type is visited
+/// twice; every relationship may be crossed in either direction.
+///
+/// Paths are returned in ascending length, ties in depth-first discovery
+/// order, which matches the reading order of the paper's Table 1.
+pub fn enumerate_schema_paths(
+    schema: &ErSchema,
+    from: EntityTypeId,
+    to: EntityTypeId,
+    max_steps: usize,
+) -> Vec<SchemaPath> {
+    let mut out = Vec::new();
+    let mut steps: Vec<SchemaStep> = Vec::new();
+    let mut visited: Vec<EntityTypeId> = vec![from];
+    dfs(schema, from, to, max_steps, &mut steps, &mut visited, &mut out);
+    out.sort_by_key(|p| p.len());
+    out
+}
+
+fn dfs(
+    schema: &ErSchema,
+    current: EntityTypeId,
+    to: EntityTypeId,
+    budget: usize,
+    steps: &mut Vec<SchemaStep>,
+    visited: &mut Vec<EntityTypeId>,
+    out: &mut Vec<SchemaPath>,
+) {
+    if current == to && !steps.is_empty() {
+        out.push(SchemaPath { start: visited[0], steps: steps.clone() });
+        // Longer paths through `to` would revisit it; stop this branch.
+        return;
+    }
+    if budget == 0 {
+        return;
+    }
+    for (rid, rel) in schema.relationships() {
+        let candidates: &[(EntityTypeId, EntityTypeId, bool)] = &[
+            (rel.left, rel.right, true),
+            (rel.right, rel.left, false),
+        ];
+        for &(s, t, forward) in candidates {
+            if s != current || visited.contains(&t) {
+                continue;
+            }
+            steps.push(SchemaStep { relationship: rid, forward });
+            visited.push(t);
+            dfs(schema, t, to, budget - 1, steps, visited, out);
+            visited.pop();
+            steps.pop();
+        }
+    }
+}
+
+/// Enumerate simple schema paths between *every ordered pair* of distinct
+/// entity types, up to `max_steps` relationships.
+pub fn enumerate_all_schema_paths(schema: &ErSchema, max_steps: usize) -> Vec<SchemaPath> {
+    let mut out = Vec::new();
+    for (a, _) in schema.entities() {
+        for (b, _) in schema.entities() {
+            if a != b {
+                out.extend(enumerate_schema_paths(schema, a, b, max_steps));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::Cardinality;
+    use crate::chain::{ChainClass, Closeness};
+    use crate::model::ErSchemaBuilder;
+    use cla_relational::DataType;
+
+    /// The paper's Figure 1 schema (attributes elided).
+    fn company() -> ErSchema {
+        ErSchemaBuilder::new()
+            .entity("DEPARTMENT", |e| e.key("ID", DataType::Text))
+            .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
+            .entity("PROJECT", |e| e.key("ID", DataType::Text))
+            .entity("DEPENDENT", |e| e.key("ID", DataType::Text))
+            .relationship(
+                "WORKS_FOR", "DEPARTMENT", "EMPLOYEE", Cardinality::ONE_TO_MANY,
+                |r| r.verb("works for"),
+            )
+            .relationship(
+                "CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY,
+                |r| r.verb("controls"),
+            )
+            .relationship(
+                "WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY,
+                |r| r.verb("works on"),
+            )
+            .relationship(
+                "DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY,
+                |r| r.verb("has dependent"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn department_to_employee_paths_match_table1() {
+        let s = company();
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let e = s.entity_id("EMPLOYEE").unwrap();
+        let paths = enumerate_schema_paths(&s, d, e, 2);
+        // Table 1 rows 1 and 4: the immediate WORKS_FOR path and the
+        // CONTROLS·WORKS_ON path.
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].render(&s), "department 1:N employee");
+        assert_eq!(paths[1].render(&s), "department 1:N project N:M employee");
+        assert_eq!(paths[0].cardinality_chain(&s).unwrap().closeness(), Closeness::Close);
+        assert_eq!(paths[1].cardinality_chain(&s).unwrap().closeness(), Closeness::Loose);
+    }
+
+    #[test]
+    fn department_to_dependent_paths_match_table1() {
+        let s = company();
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let t = s.entity_id("DEPENDENT").unwrap();
+        let paths = enumerate_schema_paths(&s, d, t, 3);
+        assert_eq!(paths.len(), 2);
+        // Row 3: department 1:N employee 1:N dependent — functional.
+        assert_eq!(paths[0].render(&s), "department 1:N employee 1:N dependent");
+        assert_eq!(
+            paths[0].cardinality_chain(&s).unwrap().classify(),
+            ChainClass::TransitiveFunctional
+        );
+        // Row 6: department 1:N project N:M employee 1:N dependent.
+        assert_eq!(
+            paths[1].render(&s),
+            "department 1:N project N:M employee 1:N dependent"
+        );
+        assert_eq!(
+            paths[1].cardinality_chain(&s).unwrap().classify(),
+            ChainClass::ContainsTransitiveNM
+        );
+    }
+
+    #[test]
+    fn project_to_employee_paths_match_table1() {
+        let s = company();
+        let p = s.entity_id("PROJECT").unwrap();
+        let e = s.entity_id("EMPLOYEE").unwrap();
+        let paths = enumerate_schema_paths(&s, p, e, 2);
+        assert_eq!(paths.len(), 2);
+        // Row 2: the immediate N:M path (traversed project→employee).
+        assert_eq!(paths[0].render(&s), "project N:M employee");
+        // Row 5: project N:1 department 1:N employee — transitive N:M.
+        assert_eq!(paths[1].render(&s), "project N:1 department 1:N employee");
+        assert_eq!(
+            paths[1].cardinality_chain(&s).unwrap().classify(),
+            ChainClass::TransitiveNM
+        );
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        let s = company();
+        for p in enumerate_all_schema_paths(&s, 4) {
+            let entities = p.entities(&s).unwrap();
+            let mut dedup = entities.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), entities.len(), "path revisits an entity");
+        }
+    }
+
+    #[test]
+    fn max_steps_bounds_length() {
+        let s = company();
+        for p in enumerate_all_schema_paths(&s, 2) {
+            assert!(p.len() <= 2);
+            assert!(!p.is_empty());
+        }
+    }
+
+    #[test]
+    fn end_and_entities_agree() {
+        let s = company();
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let t = s.entity_id("DEPENDENT").unwrap();
+        for p in enumerate_schema_paths(&s, d, t, 3) {
+            assert_eq!(p.end(&s), Some(t));
+            assert_eq!(p.entities(&s).unwrap().first(), Some(&d));
+        }
+    }
+
+    #[test]
+    fn trivial_path_has_no_steps() {
+        let s = company();
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let p = SchemaPath::trivial(d);
+        assert!(p.is_empty());
+        assert_eq!(p.end(&s), Some(d));
+        assert_eq!(p.render(&s), "department");
+    }
+
+    #[test]
+    fn mismatched_step_detected() {
+        let s = company();
+        let p = SchemaPath {
+            start: s.entity_id("DEPENDENT").unwrap(),
+            steps: vec![SchemaStep {
+                relationship: s.relationship_id("CONTROLS").unwrap(),
+                forward: true,
+            }],
+        };
+        assert_eq!(p.entities(&s), None);
+        assert_eq!(p.render(&s), "<invalid path>");
+    }
+
+    #[test]
+    fn render_entities_uses_dashes() {
+        let s = company();
+        let d = s.entity_id("DEPARTMENT").unwrap();
+        let t = s.entity_id("DEPENDENT").unwrap();
+        let p = &enumerate_schema_paths(&s, d, t, 2)[0];
+        assert_eq!(p.render_entities(&s), "department – employee – dependent");
+    }
+}

@@ -1,0 +1,138 @@
+//! Rendering ER schemas (the paper's Figure 1) as Graphviz DOT or ASCII.
+
+use crate::cardinality::Side;
+use crate::model::ErSchema;
+
+fn side_label(side: Side) -> &'static str {
+    match side {
+        Side::One => "1",
+        Side::Many => "N",
+    }
+}
+
+fn side_label_right(side: Side, left: Side) -> &'static str {
+    // The paper writes N:M when both sides are many.
+    match (left, side) {
+        (Side::Many, Side::Many) => "M",
+        (_, Side::Many) => "N",
+        (_, Side::One) => "1",
+    }
+}
+
+/// Render the schema as a Graphviz DOT graph: entity types as boxes,
+/// relationship types as diamonds, edges labeled with the cardinality
+/// annotation of the adjacent side — the classic ER diagram layout of the
+/// paper's Figure 1.
+pub fn render_dot(schema: &ErSchema) -> String {
+    let mut out = String::from("graph er {\n");
+    out.push_str("  rankdir=LR;\n");
+    out.push_str("  node [fontname=\"Helvetica\"];\n\n");
+    for (_, e) in schema.entities() {
+        out.push_str(&format!("  \"{}\" [shape=box];\n", e.name));
+    }
+    out.push('\n');
+    for (_, r) in schema.relationships() {
+        let left = schema.entity(r.left).expect("validated").name.as_str();
+        let right = schema.entity(r.right).expect("validated").name.as_str();
+        let diamond = format!("rel_{}", r.name);
+        out.push_str(&format!("  \"{diamond}\" [shape=diamond, label=\"{}\"];\n", r.name));
+        out.push_str(&format!(
+            "  \"{left}\" -- \"{diamond}\" [label=\"{}\"];\n",
+            side_label(r.cardinality.left)
+        ));
+        out.push_str(&format!(
+            "  \"{diamond}\" -- \"{right}\" [label=\"{}\"];\n",
+            side_label_right(r.cardinality.right, r.cardinality.left)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the schema as compact ASCII, one relationship per line:
+///
+/// ```text
+/// DEPARTMENT 1 --WORKS_FOR-- N EMPLOYEE
+/// EMPLOYEE   N --WORKS_ON--  M PROJECT
+/// ```
+pub fn render_ascii(schema: &ErSchema) -> String {
+    let mut lines = Vec::new();
+    let width = schema
+        .entities()
+        .map(|(_, e)| e.name.len())
+        .max()
+        .unwrap_or(0);
+    for (_, r) in schema.relationships() {
+        let left = schema.entity(r.left).expect("validated").name.as_str();
+        let right = schema.entity(r.right).expect("validated").name.as_str();
+        lines.push(format!(
+            "{:<width$} {} --{}-- {} {}",
+            left,
+            side_label(r.cardinality.left),
+            r.name,
+            side_label_right(r.cardinality.right, r.cardinality.left),
+            right,
+            width = width
+        ));
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::Cardinality;
+    use crate::model::ErSchemaBuilder;
+    use cla_relational::DataType;
+
+    fn schema() -> ErSchema {
+        ErSchemaBuilder::new()
+            .entity("DEPARTMENT", |e| e.key("ID", DataType::Text))
+            .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
+            .entity("PROJECT", |e| e.key("ID", DataType::Text))
+            .relationship(
+                "WORKS_FOR", "DEPARTMENT", "EMPLOYEE", Cardinality::ONE_TO_MANY,
+                |r| r.verb("works for"),
+            )
+            .relationship(
+                "WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY,
+                |r| r.verb("works on"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_entities_and_relationships() {
+        let dot = render_dot(&schema());
+        assert!(dot.starts_with("graph er {"));
+        assert!(dot.contains("\"DEPARTMENT\" [shape=box]"));
+        assert!(dot.contains("\"rel_WORKS_FOR\" [shape=diamond"));
+        assert!(dot.contains("\"DEPARTMENT\" -- \"rel_WORKS_FOR\" [label=\"1\"]"));
+        assert!(dot.contains("\"rel_WORKS_FOR\" -- \"EMPLOYEE\" [label=\"N\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_labels_nm_as_n_and_m() {
+        let dot = render_dot(&schema());
+        assert!(dot.contains("\"EMPLOYEE\" -- \"rel_WORKS_ON\" [label=\"N\"]"));
+        assert!(dot.contains("\"rel_WORKS_ON\" -- \"PROJECT\" [label=\"M\"]"));
+    }
+
+    #[test]
+    fn ascii_one_line_per_relationship() {
+        let ascii = render_ascii(&schema());
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("DEPARTMENT 1 --WORKS_FOR-- N EMPLOYEE"));
+        assert!(lines[1].contains("N --WORKS_ON-- M PROJECT"));
+    }
+
+    #[test]
+    fn empty_schema_renders() {
+        let s = ErSchemaBuilder::new().build().unwrap();
+        assert!(render_ascii(&s).is_empty());
+        assert!(render_dot(&s).contains("graph er"));
+    }
+}

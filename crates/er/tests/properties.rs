@@ -1,0 +1,145 @@
+//! Property-based tests for cardinality chains and schema paths.
+
+use cla_er::{
+    enumerate_all_schema_paths, Cardinality, CardinalityChain, ChainClass, Closeness,
+    ErSchemaBuilder, Side,
+};
+use cla_relational::DataType;
+use proptest::prelude::*;
+
+fn arb_cardinality() -> impl Strategy<Value = Cardinality> {
+    prop_oneof![
+        Just(Cardinality::ONE_TO_ONE),
+        Just(Cardinality::ONE_TO_MANY),
+        Just(Cardinality::MANY_TO_ONE),
+        Just(Cardinality::MANY_TO_MANY),
+    ]
+}
+
+fn arb_chain(max: usize) -> impl Strategy<Value = CardinalityChain> {
+    proptest::collection::vec(arb_cardinality(), 0..max).prop_map(CardinalityChain::new)
+}
+
+proptest! {
+    /// Closeness is direction-independent: the paper argues a connection
+    /// "can be represented in both directions".
+    #[test]
+    fn closeness_invariant_under_reversal(chain in arb_chain(8)) {
+        prop_assert_eq!(chain.closeness(), chain.reversed().closeness());
+        prop_assert_eq!(chain.classify(), chain.reversed().classify());
+        prop_assert_eq!(
+            chain.transitive_nm_count(),
+            chain.reversed().transitive_nm_count()
+        );
+    }
+
+    /// Reversal is an involution.
+    #[test]
+    fn reversal_is_involutive(chain in arb_chain(8)) {
+        prop_assert_eq!(chain.reversed().reversed(), chain);
+    }
+
+    /// Functional chains are always close; chains with any transitive
+    /// N:M segment are always loose.
+    #[test]
+    fn functional_implies_close(chain in arb_chain(8)) {
+        if chain.is_functional() {
+            prop_assert_eq!(chain.closeness(), Closeness::Close);
+            prop_assert_eq!(chain.transitive_nm_count(), 0);
+        }
+        if chain.transitive_nm_count() > 0 {
+            prop_assert_eq!(chain.closeness(), Closeness::Loose);
+        }
+    }
+
+    /// Extending a chain never decreases the transitive N:M count by more
+    /// than zero: looseness is monotone under prefix extension on the
+    /// right with a closing Many side.
+    #[test]
+    fn nm_count_monotone_under_extension(chain in arb_chain(6), c in arb_cardinality()) {
+        let mut longer = chain.clone();
+        longer.push(c);
+        prop_assert!(longer.transitive_nm_count() + 1 >= chain.transitive_nm_count());
+        // Appending cannot invalidate previously closed segments: the
+        // greedy scan closes segments at the earliest position, so all
+        // segments of `chain` that closed before the end survive.
+        if chain.transitive_nm_count() > 0 {
+            prop_assert!(longer.transitive_nm_count() >= chain.transitive_nm_count() ||
+                         longer.transitive_nm_count() + 1 == chain.transitive_nm_count());
+        }
+    }
+
+    /// The whole-chain transitive N:M test implies at least one segment.
+    #[test]
+    fn transitive_nm_has_a_segment(chain in arb_chain(8)) {
+        if chain.is_transitive_nm() {
+            prop_assert!(chain.transitive_nm_count() >= 1);
+            prop_assert_eq!(chain.classify(), ChainClass::TransitiveNM);
+        }
+    }
+
+    /// Chains made only of functional-forward constraints (X:1) are
+    /// functional, as are chains made only of 1:Y constraints.
+    #[test]
+    fn uniform_one_sides_are_functional(
+        n in 1usize..6,
+        right_one in any::<bool>(),
+        manys in proptest::collection::vec(any::<bool>(), 6)
+    ) {
+        let steps: Vec<Cardinality> = (0..n)
+            .map(|i| {
+                let free = if manys[i] { Side::Many } else { Side::One };
+                if right_one {
+                    Cardinality::new(free, Side::One)
+                } else {
+                    Cardinality::new(Side::One, free)
+                }
+            })
+            .collect();
+        let chain = CardinalityChain::new(steps);
+        prop_assert!(chain.is_functional());
+        prop_assert_eq!(chain.closeness(), Closeness::Close);
+    }
+
+    /// Random small ER schemas: every enumerated path is simple, bounded,
+    /// consistent end-to-end, and its cardinality chain has one constraint
+    /// per step.
+    #[test]
+    fn schema_paths_are_wellformed(
+        n_entities in 2usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6, 0usize..4), 1..10),
+        max_steps in 1usize..4,
+    ) {
+        let mut builder = ErSchemaBuilder::new();
+        for i in 0..n_entities {
+            let name = format!("E{i}");
+            builder = builder.entity(&name, |e| e.key("ID", DataType::Int));
+        }
+        let mut added = 0;
+        for (k, (a, b, c)) in edges.iter().enumerate() {
+            let (a, b) = (a % n_entities, b % n_entities);
+            if a == b {
+                continue; // keep schemas irreflexive for simple paths
+            }
+            let card = Cardinality::all()[c % 4];
+            let name = format!("R{k}");
+            let left = format!("E{a}");
+            let right = format!("E{b}");
+            builder = builder.relationship(&name, &left, &right, card, |r| r);
+            added += 1;
+        }
+        prop_assume!(added > 0);
+        let schema = builder.build().unwrap();
+        for p in enumerate_all_schema_paths(&schema, max_steps) {
+            prop_assert!(!p.is_empty() && p.len() <= max_steps);
+            let entities = p.entities(&schema).unwrap();
+            prop_assert_eq!(entities.len(), p.len() + 1);
+            let mut sorted = entities.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), entities.len());
+            let chain = p.cardinality_chain(&schema).unwrap();
+            prop_assert_eq!(chain.len(), p.len());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Dijkstra shortest paths with pluggable non-negative edge weights.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// `dist[n]` is the weighted distance from the start (`f64::INFINITY`
+    /// when unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[n]` is the `(predecessor, edge)` on a shortest path.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl DijkstraResult {
+    /// Reconstruct the shortest path to `target`, if reachable.
+    pub fn path_to(&self, target: NodeId) -> Option<(Vec<NodeId>, Vec<EdgeId>)> {
+        if self.dist[target.index()].is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut current = target;
+        while let Some((prev, edge)) = self.parent[current.index()] {
+            nodes.push(prev);
+            edges.push(edge);
+            current = prev;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some((nodes, edges))
+    }
+}
+
+/// Max-heap entry ordered by reversed distance (so the heap pops the
+/// minimum).
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on distance for a min-heap; tie-break on node for
+        // determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra from `start`. `weight` maps each edge to a non-negative
+/// weight (panics in debug builds on negative weights); `undirected`
+/// selects whether edges may be crossed against their direction.
+pub fn dijkstra<N, E, W>(
+    g: &Graph<N, E>,
+    start: NodeId,
+    undirected: bool,
+    weight: W,
+) -> DijkstraResult
+where
+    W: Fn(EdgeId) -> f64,
+{
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    let mut parent = vec![None; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[start.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: start });
+
+    while let Some(HeapEntry { dist: d, node: n }) = heap.pop() {
+        if d > dist[n.index()] {
+            continue; // stale entry
+        }
+        let relax = |e: crate::graph::EdgeRef<'_, E>,
+                     m: NodeId,
+                     dist: &mut Vec<f64>,
+                     parent: &mut Vec<Option<(NodeId, EdgeId)>>,
+                     heap: &mut BinaryHeap<HeapEntry>| {
+            let w = weight(e.id);
+            debug_assert!(w >= 0.0, "negative edge weight {w} on edge {}", e.id);
+            let nd = d + w;
+            if nd < dist[m.index()] {
+                dist[m.index()] = nd;
+                parent[m.index()] = Some((n, e.id));
+                heap.push(HeapEntry { dist: nd, node: m });
+            }
+        };
+        if undirected {
+            for e in g.incident_edges(n) {
+                let m = e.other(n);
+                relax(e, m, &mut dist, &mut parent, &mut heap);
+            }
+        } else {
+            for e in g.out_edges(n) {
+                let m = e.to;
+                relax(e, m, &mut dist, &mut parent, &mut heap);
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs_distances_undirected;
+
+    /// Weighted diamond: a→b (1), b→d (1), a→c (5), c→d (1), a→d (10).
+    fn graph() -> (Graph<(), f64>, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, d, 1.0);
+        g.add_edge(a, c, 5.0);
+        g.add_edge(c, d, 1.0);
+        g.add_edge(a, d, 10.0);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn picks_cheapest_route() {
+        let (g, ns) = graph();
+        let r = dijkstra(&g, ns[0], false, |e| *g.edge(e).payload);
+        assert_eq!(r.dist[ns[3].index()], 2.0);
+        let (nodes, edges) = r.path_to(ns[3]).unwrap();
+        assert_eq!(nodes, vec![ns[0], ns[1], ns[3]]);
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn directed_respects_direction() {
+        let (g, ns) = graph();
+        // No directed path d → a.
+        let r = dijkstra(&g, ns[3], false, |e| *g.edge(e).payload);
+        assert!(r.dist[ns[0].index()].is_infinite());
+        assert!(r.path_to(ns[0]).is_none());
+        // Undirected: reachable.
+        let r = dijkstra(&g, ns[3], true, |e| *g.edge(e).payload);
+        assert_eq!(r.dist[ns[0].index()], 2.0);
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let (g, ns) = graph();
+        let r = dijkstra(&g, ns[0], true, |_| 1.0);
+        let bfs = bfs_distances_undirected(&g, ns[0]);
+        for n in g.nodes() {
+            assert_eq!(r.dist[n.index()] as u32, bfs[n.index()].unwrap());
+        }
+        let _ = ns;
+    }
+
+    #[test]
+    fn start_has_zero_distance_and_no_parent() {
+        let (g, ns) = graph();
+        let r = dijkstra(&g, ns[0], true, |_| 1.0);
+        assert_eq!(r.dist[ns[0].index()], 0.0);
+        assert!(r.parent[ns[0].index()].is_none());
+        let (nodes, edges) = r.path_to(ns[0]).unwrap();
+        assert_eq!(nodes, vec![ns[0]]);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let r = dijkstra(&g, a, false, |_| 0.0);
+        assert_eq!(r.dist[b.index()], 0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! The directed multigraph container.
+
+use std::fmt;
+
+/// Dense node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Dense edge identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EdgeRecord<E> {
+    from: NodeId,
+    to: NodeId,
+    payload: E,
+}
+
+/// A borrowed view of one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef<'g, E> {
+    /// The edge id.
+    pub id: EdgeId,
+    /// Source node (the *referencing* side for FK edges).
+    pub from: NodeId,
+    /// Target node (the *referenced* side for FK edges).
+    pub to: NodeId,
+    /// The edge payload.
+    pub payload: &'g E,
+}
+
+impl<'g, E> EdgeRef<'g, E> {
+    /// The endpoint different from `n` (either endpoint of a self-loop).
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if self.from == n {
+            self.to
+        } else {
+            self.from
+        }
+    }
+}
+
+/// A directed multigraph with typed payloads and stable dense ids.
+///
+/// Parallel edges and self-loops are permitted; the keyword-search data
+/// graph uses parallel edges when two different foreign keys connect the
+/// same pair of tuples.
+#[derive(Debug, Clone)]
+pub struct Graph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeRecord<E>>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl<N, E> Default for Graph<N, E> {
+    fn default() -> Self {
+        Graph { nodes: Vec::new(), edges: Vec::new(), out_edges: Vec::new(), in_edges: Vec::new() }
+    }
+}
+
+impl<N, E> Graph<N, E> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// An empty graph with node capacity reserved.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out_edges: Vec::with_capacity(nodes),
+            in_edges: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(payload);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Add a directed edge `from → to`, returning its id.
+    ///
+    /// Panics if either endpoint does not exist (a logic error: ids come
+    /// from [`Graph::add_node`] of the same graph).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, payload: E) -> EdgeId {
+        assert!(from.index() < self.nodes.len(), "edge source {from} out of bounds");
+        assert!(to.index() < self.nodes.len(), "edge target {to} out of bounds");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeRecord { from, to, payload });
+        self.out_edges[from.index()].push(id);
+        self.in_edges[to.index()].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The payload of node `n`.
+    pub fn node(&self, n: NodeId) -> &N {
+        &self.nodes[n.index()]
+    }
+
+    /// Mutable payload of node `n`.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut N {
+        &mut self.nodes[n.index()]
+    }
+
+    /// A borrowed view of edge `e`.
+    pub fn edge(&self, e: EdgeId) -> EdgeRef<'_, E> {
+        let rec = &self.edges[e.index()];
+        EdgeRef { id: e, from: rec.from, to: rec.to, payload: &rec.payload }
+    }
+
+    /// `(from, to)` endpoints of edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let rec = &self.edges[e.index()];
+        (rec.from, rec.to)
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over all edges as [`EdgeRef`]s.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, E>> {
+        self.edges.iter().enumerate().map(|(i, rec)| EdgeRef {
+            id: EdgeId(i as u32),
+            from: rec.from,
+            to: rec.to,
+            payload: &rec.payload,
+        })
+    }
+
+    /// Outgoing edges of `n`.
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
+        self.out_edges[n.index()].iter().map(move |&e| self.edge(e))
+    }
+
+    /// Incoming edges of `n`.
+    pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
+        self.in_edges[n.index()].iter().map(move |&e| self.edge(e))
+    }
+
+    /// All edges incident to `n` in the undirected view (self-loops are
+    /// reported once per direction they were stored in).
+    pub fn incident_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
+        self.out_edges(n).chain(
+            self.in_edges[n.index()]
+                .iter()
+                .map(move |&e| self.edge(e))
+                .filter(move |er| er.from != n), // avoid double-reporting loops
+        )
+    }
+
+    /// Undirected degree of `n` (self-loops count once).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.incident_edges(n).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph<&'static str, u32>, Vec<NodeId>) {
+        // a → b, a → c, b → d, c → d
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, d, 3);
+        g.add_edge(c, d, 4);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_payloads() {
+        let (g, ns) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(*g.node(ns[0]), "a");
+        assert_eq!(g.edges().map(|e| *e.payload).sum::<u32>(), 10);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (g, ns) = diamond();
+        let (a, b, _c, d) = (ns[0], ns[1], ns[2], ns[3]);
+        assert_eq!(g.out_edges(a).count(), 2);
+        assert_eq!(g.in_edges(a).count(), 0);
+        assert_eq!(g.in_edges(d).count(), 2);
+        assert_eq!(g.out_edges(d).count(), 0);
+        assert_eq!(g.degree(b), 2);
+        let out_of_a: Vec<NodeId> = g.out_edges(a).map(|e| e.to).collect();
+        assert!(out_of_a.contains(&b));
+    }
+
+    #[test]
+    fn incident_edges_cover_both_directions() {
+        let (g, ns) = diamond();
+        let b = ns[1];
+        let incident: Vec<EdgeId> = g.incident_edges(b).map(|e| e.id).collect();
+        assert_eq!(incident.len(), 2);
+        let others: Vec<NodeId> = g.incident_edges(b).map(|e| e.other(b)).collect();
+        assert!(others.contains(&ns[0]) && others.contains(&ns[3]));
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g: Graph<(), u8> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        g.add_edge(b, a, 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.incident_edges(a).count(), 3);
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_incident() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert_eq!(g.incident_edges(a).count(), 1);
+        assert_eq!(g.degree(a), 1);
+        let e = g.incident_edges(a).next().unwrap();
+        assert_eq!(e.other(a), a);
+    }
+
+    #[test]
+    fn node_mut_updates_payload() {
+        let mut g: Graph<u32, ()> = Graph::new();
+        let a = g.add_node(1);
+        *g.node_mut(a) += 10;
+        assert_eq!(*g.node(a), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn edge_to_missing_node_panics() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId(9), ());
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let g: Graph<(), ()> = Graph::with_capacity(16, 32);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # cla-graph — generic graph substrate
+//!
+//! A small, dependency-free directed multigraph with typed node and edge
+//! payloads, plus the traversal toolkit the keyword-search layer needs:
+//!
+//! * [`Graph`] — adjacency-list multigraph with dense `u32` ids;
+//! * BFS distances/parents and connected components
+//!   ([`bfs_distances_undirected`], [`connected_components_undirected`],
+//!   [`is_connected_subset`]);
+//! * bounded **simple-path enumeration** in the undirected view
+//!   ([`enumerate_simple_paths_undirected`]) — the workhorse behind the
+//!   paper's connection enumeration (§3);
+//! * Dijkstra shortest paths with pluggable edge weights ([`dijkstra`]) —
+//!   used by the BANKS-style backward expansion;
+//! * a [`UnionFind`] for fast connectivity checks.
+//!
+//! The crate is deliberately generic: `cla-core` instantiates it with
+//! tuple payloads and foreign-key edge annotations, the benches with
+//! synthetic payloads.
+//!
+//! ## Why not `petgraph`?
+//!
+//! The sanctioned dependency set for this reproduction excludes graph
+//! crates; the algorithms needed are small and benefit from
+//! domain-specific shapes (undirected views over directed FK edges,
+//! multi-edges with annotations), so the substrate is implemented here
+//! from scratch.
+
+mod dijkstra;
+mod graph;
+mod paths;
+mod traversal;
+mod unionfind;
+
+pub use dijkstra::{dijkstra, DijkstraResult};
+pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
+pub use paths::{enumerate_simple_paths_undirected, shortest_path_undirected, Path};
+pub use traversal::{
+    bfs_distances_undirected, bfs_tree_undirected, connected_components_undirected,
+    is_connected_subset, BfsTree,
+};
+pub use unionfind::UnionFind;

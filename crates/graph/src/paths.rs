@@ -1,0 +1,230 @@
+//! Bounded simple-path enumeration and shortest paths (undirected view).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::traversal::bfs_tree_undirected;
+
+/// A path through the graph: `nodes.len() == edges.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Visited nodes in order.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges in order (directionless: each edge may have been
+    /// crossed against its stored direction).
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` for a single-node path.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First node.
+    pub fn start(&self) -> NodeId {
+        *self.nodes.first().expect("paths are non-empty")
+    }
+
+    /// Last node.
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+}
+
+/// Enumerate all *simple* paths (no repeated node) between `from` and
+/// `to` in the undirected view, with at most `max_edges` edges.
+///
+/// Parallel edges yield distinct paths (they represent different join
+/// conditions in the keyword-search data graph). Results are sorted by
+/// length, then lexicographically by edge ids, so output order is
+/// deterministic. `limit` caps the number of returned paths (`None` for
+/// unlimited); enumeration stops early once reached, exploring
+/// shortest-first is *not* guaranteed under a limit.
+pub fn enumerate_simple_paths_undirected<N, E>(
+    g: &Graph<N, E>,
+    from: NodeId,
+    to: NodeId,
+    max_edges: usize,
+    limit: Option<usize>,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    if from == to {
+        out.push(Path { nodes: vec![from], edges: Vec::new() });
+        return out;
+    }
+    let cap = limit.unwrap_or(usize::MAX);
+    if cap == 0 || max_edges == 0 {
+        return out;
+    }
+    let mut nodes = vec![from];
+    let mut edges: Vec<EdgeId> = Vec::new();
+    let mut on_path = vec![false; g.node_count()];
+    on_path[from.index()] = true;
+    dfs(g, from, to, max_edges, cap, &mut nodes, &mut edges, &mut on_path, &mut out);
+    out.sort_by(|a, b| a.edges.len().cmp(&b.edges.len()).then_with(|| a.edges.cmp(&b.edges)));
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<N, E>(
+    g: &Graph<N, E>,
+    current: NodeId,
+    to: NodeId,
+    budget: usize,
+    cap: usize,
+    nodes: &mut Vec<NodeId>,
+    edges: &mut Vec<EdgeId>,
+    on_path: &mut [bool],
+    out: &mut Vec<Path>,
+) {
+    for e in g.incident_edges(current) {
+        if out.len() >= cap {
+            return;
+        }
+        let next = e.other(current);
+        if next == to {
+            edges.push(e.id);
+            nodes.push(next);
+            out.push(Path { nodes: nodes.clone(), edges: edges.clone() });
+            nodes.pop();
+            edges.pop();
+            if out.len() >= cap {
+                return;
+            }
+            continue;
+        }
+        if budget > 1 && !on_path[next.index()] {
+            on_path[next.index()] = true;
+            nodes.push(next);
+            edges.push(e.id);
+            dfs(g, next, to, budget - 1, cap, nodes, edges, on_path, out);
+            edges.pop();
+            nodes.pop();
+            on_path[next.index()] = false;
+        }
+    }
+}
+
+/// One shortest path between `from` and `to` in the undirected view, via
+/// BFS. Returns `None` if unreachable.
+pub fn shortest_path_undirected<N, E>(
+    g: &Graph<N, E>,
+    from: NodeId,
+    to: NodeId,
+) -> Option<Path> {
+    let tree = bfs_tree_undirected(g, from);
+    let (nodes, edges) = tree.path_to(to)?;
+    Some(Path { nodes, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond with an extra long way round:
+    /// a–b–d, a–c–d, a–d (direct), plus tail d–e.
+    fn graph() -> (Graph<(), ()>, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        let e = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, d, ());
+        g.add_edge(a, c, ());
+        g.add_edge(c, d, ());
+        g.add_edge(a, d, ());
+        g.add_edge(d, e, ());
+        (g, vec![a, b, c, d, e])
+    }
+
+    #[test]
+    fn enumerates_all_simple_paths() {
+        let (g, ns) = graph();
+        let paths = enumerate_simple_paths_undirected(&g, ns[0], ns[3], 4, None);
+        // a–d, a–b–d, a–c–d.
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].len(), 1);
+        assert_eq!(paths[1].len(), 2);
+        assert_eq!(paths[2].len(), 2);
+        for p in &paths {
+            assert_eq!(p.start(), ns[0]);
+            assert_eq!(p.end(), ns[3]);
+            assert_eq!(p.nodes.len(), p.edges.len() + 1);
+        }
+    }
+
+    #[test]
+    fn max_edges_bounds_results() {
+        let (g, ns) = graph();
+        let paths = enumerate_simple_paths_undirected(&g, ns[0], ns[3], 1, None);
+        assert_eq!(paths.len(), 1);
+        let paths = enumerate_simple_paths_undirected(&g, ns[0], ns[3], 0, None);
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let (g, ns) = graph();
+        let paths = enumerate_simple_paths_undirected(&g, ns[0], ns[3], 4, Some(2));
+        assert_eq!(paths.len(), 2);
+        let paths = enumerate_simple_paths_undirected(&g, ns[0], ns[3], 4, Some(0));
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn same_node_yields_trivial_path() {
+        let (g, ns) = graph();
+        let paths = enumerate_simple_paths_undirected(&g, ns[0], ns[0], 3, None);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_give_distinct_paths() {
+        let mut g: Graph<(), u8> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 2);
+        let paths = enumerate_simple_paths_undirected(&g, a, b, 1, None);
+        assert_eq!(paths.len(), 2);
+        assert_ne!(paths[0].edges, paths[1].edges);
+    }
+
+    #[test]
+    fn unreachable_yields_no_paths() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let paths = enumerate_simple_paths_undirected(&g, a, b, 5, None);
+        assert!(paths.is_empty());
+        assert!(shortest_path_undirected(&g, a, b).is_none());
+    }
+
+    #[test]
+    fn shortest_path_is_minimal() {
+        let (g, ns) = graph();
+        let p = shortest_path_undirected(&g, ns[0], ns[4]).unwrap();
+        assert_eq!(p.len(), 2); // a–d–e
+        assert_eq!(p.nodes, vec![ns[0], ns[3], ns[4]]);
+        let all = enumerate_simple_paths_undirected(&g, ns[0], ns[4], 5, None);
+        assert!(all.iter().all(|q| q.len() >= p.len()));
+    }
+
+    #[test]
+    fn paths_never_repeat_nodes() {
+        let (g, ns) = graph();
+        for p in enumerate_simple_paths_undirected(&g, ns[0], ns[4], 5, None) {
+            let mut sorted = p.nodes.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.nodes.len());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Breadth-first traversal, components, and subset connectivity.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::{HashSet, VecDeque};
+
+/// Result of a BFS from a start node in the undirected view.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// `dist[n]` is the hop distance from the start, or `None` if
+    /// unreachable.
+    pub dist: Vec<Option<u32>>,
+    /// `parent[n]` is the `(predecessor, edge)` used to first reach `n`.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl BfsTree {
+    /// Reconstruct the node path from the BFS start to `target`, if
+    /// reachable (inclusive of both endpoints).
+    pub fn path_to(&self, target: NodeId) -> Option<(Vec<NodeId>, Vec<EdgeId>)> {
+        self.dist[target.index()]?;
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut current = target;
+        while let Some((prev, edge)) = self.parent[current.index()] {
+            nodes.push(prev);
+            edges.push(edge);
+            current = prev;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some((nodes, edges))
+    }
+}
+
+/// BFS hop distances from `start`, ignoring edge direction.
+pub fn bfs_distances_undirected<N, E>(g: &Graph<N, E>, start: NodeId) -> Vec<Option<u32>> {
+    bfs_tree_undirected(g, start).dist
+}
+
+/// Full BFS tree (distances + parents) from `start` in the undirected
+/// view.
+pub fn bfs_tree_undirected<N, E>(g: &Graph<N, E>, start: NodeId) -> BfsTree {
+    let mut dist = vec![None; g.node_count()];
+    let mut parent = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.index()].expect("queued nodes have distances");
+        for e in g.incident_edges(n) {
+            let m = e.other(n);
+            if dist[m.index()].is_none() {
+                dist[m.index()] = Some(d + 1);
+                parent[m.index()] = Some((n, e.id));
+                queue.push_back(m);
+            }
+        }
+    }
+    BfsTree { dist, parent }
+}
+
+/// Connected components of the undirected view: returns
+/// `(component id per node, number of components)`.
+pub fn connected_components_undirected<N, E>(g: &Graph<N, E>) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.node_count()];
+    let mut next = 0u32;
+    for start in g.nodes() {
+        if comp[start.index()] != u32::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[start.index()] = next;
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            for e in g.incident_edges(n) {
+                let m = e.other(n);
+                if comp[m.index()] == u32::MAX {
+                    comp[m.index()] = next;
+                    queue.push_back(m);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Whether the subgraph *induced* by `nodes` is connected in the
+/// undirected view (edges with both endpoints in `nodes`).
+///
+/// The empty set is considered connected; singletons always are. This is
+/// the connectivity test behind the MTJNT minimality check: removing a
+/// tuple from a joining network must leave the *induced* network
+/// connected for the removal to be admissible.
+pub fn is_connected_subset<N, E>(g: &Graph<N, E>, nodes: &HashSet<NodeId>) -> bool {
+    let Some(&start) = nodes.iter().next() else {
+        return true;
+    };
+    let mut seen: HashSet<NodeId> = HashSet::with_capacity(nodes.len());
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for e in g.incident_edges(n) {
+            let m = e.other(n);
+            if nodes.contains(&m) && seen.insert(m) {
+                queue.push_back(m);
+            }
+        }
+    }
+    seen.len() == nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two components: a path a–b–c (directed arbitrarily) and isolated d.
+    fn two_components() -> (Graph<(), ()>, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(b, a, ()); // direction must not matter
+        g.add_edge(b, c, ());
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn bfs_ignores_direction() {
+        let (g, ns) = two_components();
+        let dist = bfs_distances_undirected(&g, ns[0]);
+        assert_eq!(dist[ns[0].index()], Some(0));
+        assert_eq!(dist[ns[1].index()], Some(1));
+        assert_eq!(dist[ns[2].index()], Some(2));
+        assert_eq!(dist[ns[3].index()], None);
+    }
+
+    #[test]
+    fn bfs_path_reconstruction() {
+        let (g, ns) = two_components();
+        let tree = bfs_tree_undirected(&g, ns[0]);
+        let (nodes, edges) = tree.path_to(ns[2]).unwrap();
+        assert_eq!(nodes, vec![ns[0], ns[1], ns[2]]);
+        assert_eq!(edges.len(), 2);
+        assert!(tree.path_to(ns[3]).is_none());
+        let (nodes, edges) = tree.path_to(ns[0]).unwrap();
+        assert_eq!(nodes, vec![ns[0]]);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn components_counted() {
+        let (g, ns) = two_components();
+        let (comp, count) = connected_components_undirected(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[ns[0].index()], comp[ns[1].index()]);
+        assert_eq!(comp[ns[1].index()], comp[ns[2].index()]);
+        assert_ne!(comp[ns[0].index()], comp[ns[3].index()]);
+    }
+
+    #[test]
+    fn subset_connectivity_uses_induced_edges() {
+        let (g, ns) = two_components();
+        let set: HashSet<NodeId> = [ns[0], ns[1], ns[2]].into_iter().collect();
+        assert!(is_connected_subset(&g, &set));
+        // a and c are connected only THROUGH b; without b the induced
+        // subgraph is disconnected.
+        let set: HashSet<NodeId> = [ns[0], ns[2]].into_iter().collect();
+        assert!(!is_connected_subset(&g, &set));
+        let set: HashSet<NodeId> = [ns[3]].into_iter().collect();
+        assert!(is_connected_subset(&g, &set));
+        assert!(is_connected_subset(&g, &HashSet::new()));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g: Graph<(), ()> = Graph::new();
+        let (comp, count) = connected_components_undirected(&g);
+        assert!(comp.is_empty());
+        assert_eq!(count, 0);
+    }
+}

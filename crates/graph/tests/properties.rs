@@ -1,0 +1,129 @@
+//! Property-based tests for the graph substrate.
+
+use cla_graph::{
+    bfs_distances_undirected, connected_components_undirected, dijkstra,
+    enumerate_simple_paths_undirected, is_connected_subset, shortest_path_undirected, Graph,
+    NodeId, UnionFind,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Build a graph from a node count and an edge list (indices mod n).
+fn build(n: usize, edges: &[(usize, usize)]) -> Graph<(), ()> {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for &(a, b) in edges {
+        g.add_edge(ids[a % n], ids[b % n], ());
+    }
+    g
+}
+
+proptest! {
+    /// Union-find connectivity agrees with BFS component labels.
+    #[test]
+    fn unionfind_agrees_with_bfs(
+        n in 1usize..20,
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..40)
+    ) {
+        let g = build(n, &edges);
+        let mut uf = UnionFind::new(n);
+        for e in g.edges() {
+            uf.union(e.from.index(), e.to.index());
+        }
+        let (comp, count) = connected_components_undirected(&g);
+        prop_assert_eq!(uf.component_count(), count);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(uf.connected(a, b), comp[a] == comp[b]);
+            }
+        }
+    }
+
+    /// BFS distance equals the length of the shortest enumerated simple
+    /// path, whenever one exists.
+    #[test]
+    fn bfs_matches_shortest_enumerated_path(
+        n in 2usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..16)
+    ) {
+        let g = build(n, &edges);
+        let from = NodeId(0);
+        let to = NodeId(n as u32 - 1);
+        let dist = bfs_distances_undirected(&g, from);
+        let paths = enumerate_simple_paths_undirected(&g, from, to, n, None);
+        match dist[to.index()] {
+            None => prop_assert!(paths.is_empty()),
+            Some(d) => {
+                prop_assert!(!paths.is_empty());
+                prop_assert_eq!(paths[0].len() as u32, d);
+                let sp = shortest_path_undirected(&g, from, to).unwrap();
+                prop_assert_eq!(sp.len() as u32, d);
+            }
+        }
+    }
+
+    /// Every enumerated path is simple, within bounds, uses existing
+    /// consecutive edges, and paths are pairwise distinct.
+    #[test]
+    fn enumerated_paths_are_wellformed(
+        n in 2usize..7,
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 1..14),
+        max in 1usize..5
+    ) {
+        let g = build(n, &edges);
+        let from = NodeId(0);
+        let to = NodeId(n as u32 - 1);
+        let paths = enumerate_simple_paths_undirected(&g, from, to, max, None);
+        let mut seen = HashSet::new();
+        for p in &paths {
+            prop_assert!(p.len() <= max);
+            prop_assert_eq!(p.nodes.len(), p.edges.len() + 1);
+            prop_assert_eq!(p.start(), from);
+            prop_assert_eq!(p.end(), to);
+            let mut uniq = p.nodes.clone();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), p.nodes.len(), "path revisits a node");
+            for (i, &e) in p.edges.iter().enumerate() {
+                let (a, b) = g.endpoints(e);
+                let (x, y) = (p.nodes[i], p.nodes[i + 1]);
+                prop_assert!((a == x && b == y) || (a == y && b == x));
+            }
+            prop_assert!(seen.insert(p.edges.clone()), "duplicate path");
+        }
+    }
+
+    /// Dijkstra with unit weights equals BFS hop distance.
+    #[test]
+    fn dijkstra_unit_weights_match_bfs(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..24)
+    ) {
+        let g = build(n, &edges);
+        let start = NodeId(0);
+        let bfs = bfs_distances_undirected(&g, start);
+        let dj = dijkstra(&g, start, true, |_| 1.0);
+        for v in g.nodes() {
+            match bfs[v.index()] {
+                None => prop_assert!(dj.dist[v.index()].is_infinite()),
+                Some(d) => prop_assert_eq!(dj.dist[v.index()], f64::from(d)),
+            }
+        }
+    }
+
+    /// A full component is a connected subset; removing a cut vertex from
+    /// a path graph disconnects it.
+    #[test]
+    fn connected_subset_sanity(n in 3usize..12) {
+        // Path graph 0–1–…–(n-1).
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = build(n, &edges);
+        let all: HashSet<NodeId> = g.nodes().collect();
+        prop_assert!(is_connected_subset(&g, &all));
+        // Remove the middle node.
+        let mid = NodeId((n / 2) as u32);
+        let mut set = all.clone();
+        set.remove(&mid);
+        prop_assert!(!is_connected_subset(&g, &set));
+    }
+}

@@ -1,0 +1,261 @@
+//! The inverted index over tuple text attributes.
+
+use crate::tokenize::Tokenizer;
+use cla_relational::{Database, TupleId};
+use std::collections::HashMap;
+
+/// One posting: a keyword occurrence inside a tuple attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The tuple containing the keyword.
+    pub tuple: TupleId,
+    /// The attribute position within the tuple.
+    pub attribute: usize,
+    /// Number of occurrences of the term in that attribute value.
+    pub frequency: u32,
+}
+
+/// Term → postings index over every text attribute of a database.
+///
+/// Two kinds of terms are indexed per attribute value:
+///
+/// * every word token (via [`Tokenizer::tokenize`]);
+/// * the normalized *whole value* (via [`Tokenizer::normalize_value`]),
+///   when it differs from the single token it would otherwise produce —
+///   this implements the paper's "a keyword may match the whole attribute
+///   value".
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    tokenizer: Tokenizer,
+    indexed_tuples: usize,
+}
+
+impl InvertedIndex {
+    /// Build the index over all text attributes of `db` with the default
+    /// tokenizer.
+    pub fn build(db: &Database) -> Self {
+        Self::build_with(db, Tokenizer::new())
+    }
+
+    /// Build with a custom tokenizer.
+    pub fn build_with(db: &Database, tokenizer: Tokenizer) -> Self {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut indexed_tuples = 0usize;
+        for (rel, schema) in db.catalog().iter() {
+            let text_attrs = schema.text_attributes();
+            if text_attrs.is_empty() {
+                continue;
+            }
+            for (id, tuple) in db.tuples(rel) {
+                indexed_tuples += 1;
+                for &attr in &text_attrs {
+                    let Some(value) = tuple.get(attr).and_then(|v| v.as_text()) else {
+                        continue;
+                    };
+                    let tokens = tokenizer.tokenize(value);
+                    let mut counts: HashMap<String, u32> = HashMap::new();
+                    for tok in &tokens {
+                        *counts.entry(tok.clone()).or_insert(0) += 1;
+                    }
+                    let whole = tokenizer.normalize_value(value);
+                    if !whole.is_empty() && !counts.contains_key(&whole) {
+                        counts.insert(whole, 1);
+                    }
+                    for (term, frequency) in counts {
+                        postings.entry(term).or_default().push(Posting {
+                            tuple: id,
+                            attribute: attr,
+                            frequency,
+                        });
+                    }
+                }
+            }
+        }
+        // Deterministic posting order.
+        for list in postings.values_mut() {
+            list.sort_by_key(|p| (p.tuple, p.attribute));
+        }
+        InvertedIndex { postings, tokenizer, indexed_tuples }
+    }
+
+    /// The tokenizer used at build time (queries must normalize the same
+    /// way).
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Postings for `keyword` (normalized before lookup). Empty slice if
+    /// the keyword does not occur.
+    pub fn lookup(&self, keyword: &str) -> &[Posting] {
+        let normalized = keyword.trim().to_lowercase();
+        self.postings.get(&normalized).map_or(&[], Vec::as_slice)
+    }
+
+    /// Distinct tuples containing `keyword`, sorted.
+    pub fn matching_tuples(&self, keyword: &str) -> Vec<TupleId> {
+        let mut out: Vec<TupleId> = self.lookup(keyword).iter().map(|p| p.tuple).collect();
+        out.dedup(); // postings are sorted by tuple
+        out
+    }
+
+    /// Number of distinct tuples containing `keyword` (document
+    /// frequency).
+    pub fn document_frequency(&self, keyword: &str) -> usize {
+        self.matching_tuples(keyword).len()
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of tuples that were scanned for indexing (tuples of
+    /// relations with at least one text attribute).
+    pub fn indexed_tuples(&self) -> usize {
+        self.indexed_tuples
+    }
+
+    /// Total frequency of `keyword` inside tuple `t` across attributes
+    /// (0 when absent).
+    pub fn frequency_in(&self, keyword: &str, t: TupleId) -> u32 {
+        self.lookup(keyword)
+            .iter()
+            .filter(|p| p.tuple == t)
+            .map(|p| p.frequency)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_relational::{DataType, SchemaBuilder, Value};
+
+    /// A fragment of the paper's Figure 2 database.
+    fn db() -> Database {
+        let catalog = SchemaBuilder::new()
+            .relation("DEPARTMENT", |r| {
+                r.attr("ID", DataType::Text)
+                    .attr("D_NAME", DataType::Text)
+                    .attr("D_DESCRIPTION", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .relation("EMPLOYEE", |r| {
+                r.attr("SSN", DataType::Text)
+                    .attr("L_NAME", DataType::Text)
+                    .attr("S_NAME", DataType::Text)
+                    .primary_key(&["SSN"])
+            })
+            .relation("HOURS_ONLY", |r| {
+                r.attr("ID", DataType::Int).attr("H", DataType::Int).primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        let h = db.catalog().relation_id("HOURS_ONLY").unwrap();
+        db.insert(dept, vec![
+            "d1".into(), "Cs".into(),
+            "The main topics of teaching are programming, databases and XML.".into(),
+        ]).unwrap();
+        db.insert(dept, vec![
+            "d2".into(), "inf".into(),
+            "The main topics of teaching are information retrieval and XML.".into(),
+        ]).unwrap();
+        db.insert(emp, vec!["e1".into(), "Smith".into(), "John".into()]).unwrap();
+        db.insert(emp, vec!["e2".into(), "Smith".into(), "Barbara".into()]).unwrap();
+        db.insert(h, vec![Value::from(1i64), Value::from(40i64)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn keyword_matches_word_in_text_attribute() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.matching_tuples("XML").len(), 2);
+        assert_eq!(idx.matching_tuples("xml").len(), 2);
+        assert_eq!(idx.document_frequency("databases"), 1);
+    }
+
+    #[test]
+    fn keyword_matches_whole_attribute_value() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.matching_tuples("Smith").len(), 2);
+        assert_eq!(idx.matching_tuples("Cs").len(), 1);
+    }
+
+    #[test]
+    fn missing_keyword_yields_nothing() {
+        let idx = InvertedIndex::build(&db());
+        assert!(idx.lookup("quantum").is_empty());
+        assert!(idx.matching_tuples("quantum").is_empty());
+        assert_eq!(idx.document_frequency("quantum"), 0);
+    }
+
+    #[test]
+    fn postings_carry_attribute_and_frequency() {
+        let idx = InvertedIndex::build(&db());
+        let posts = idx.lookup("teaching");
+        assert_eq!(posts.len(), 2);
+        for p in posts {
+            assert_eq!(p.attribute, 2); // D_DESCRIPTION
+            assert_eq!(p.frequency, 1);
+        }
+    }
+
+    #[test]
+    fn frequency_counts_repeats() {
+        let catalog = SchemaBuilder::new()
+            .relation("R", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr("T", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let r = db.catalog().relation_id("R").unwrap();
+        let t = db.insert(r, vec![1i64.into(), "xml loves xml and XML".into()]).unwrap();
+        let idx = InvertedIndex::build(&db);
+        assert_eq!(idx.frequency_in("xml", t), 3);
+        assert_eq!(idx.frequency_in("loves", t), 1);
+        assert_eq!(idx.frequency_in("nothing", t), 0);
+    }
+
+    #[test]
+    fn non_text_relations_do_not_contribute() {
+        let idx = InvertedIndex::build(&db());
+        assert!(idx.matching_tuples("40").is_empty());
+        // 2 departments + 2 employees indexed; HOURS_ONLY skipped.
+        assert_eq!(idx.indexed_tuples(), 4);
+    }
+
+    #[test]
+    fn whole_value_term_includes_punctuated_values() {
+        let catalog = SchemaBuilder::new()
+            .relation("P", |r| {
+                r.attr("ID", DataType::Text)
+                    .attr("P_NAME", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let p = db.catalog().relation_id("P").unwrap();
+        db.insert(p, vec!["p1".into(), "DB-project".into()]).unwrap();
+        let idx = InvertedIndex::build(&db);
+        assert_eq!(idx.matching_tuples("db-project").len(), 1);
+        assert_eq!(idx.matching_tuples("db").len(), 1);
+        assert_eq!(idx.matching_tuples("project").len(), 1);
+    }
+
+    #[test]
+    fn term_count_is_positive_and_stable() {
+        let idx = InvertedIndex::build(&db());
+        let n = idx.term_count();
+        assert!(n > 10);
+        let idx2 = InvertedIndex::build(&db());
+        assert_eq!(idx2.term_count(), n);
+    }
+}

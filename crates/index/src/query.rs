@@ -1,0 +1,103 @@
+//! Keyword queries.
+
+use std::fmt;
+
+/// How multiple keywords combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatchSemantics {
+    /// Every keyword must be covered by the result (the paper's model:
+    /// "keyword search … to find the top ranked connections of tuples
+    /// that contain all … of the keywords").
+    #[default]
+    Conjunctive,
+    /// Any keyword suffices (classic IR OR-semantics).
+    Disjunctive,
+}
+
+/// A parsed keyword query: whitespace-separated keywords, normalized to
+/// lowercase, duplicates removed (keeping first occurrence).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeywordQuery {
+    keywords: Vec<String>,
+}
+
+impl KeywordQuery {
+    /// Parse a raw query string, e.g. `"Smith XML"`.
+    pub fn parse(raw: &str) -> Self {
+        let mut keywords: Vec<String> = Vec::new();
+        for k in raw.split_whitespace() {
+            let k = k.to_lowercase();
+            if !keywords.contains(&k) {
+                keywords.push(k);
+            }
+        }
+        KeywordQuery { keywords }
+    }
+
+    /// Build from pre-normalized keywords (normalizes again defensively).
+    pub fn from_keywords<I, S>(kws: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let joined: Vec<String> = kws.into_iter().map(|k| k.as_ref().to_owned()).collect();
+        KeywordQuery::parse(&joined.join(" "))
+    }
+
+    /// The normalized keywords in query order.
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+
+    /// Number of distinct keywords.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// `true` iff the query has no keywords.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+}
+
+impl fmt::Display for KeywordQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.keywords.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let q = KeywordQuery::parse("Smith XML");
+        assert_eq!(q.keywords(), &["smith", "xml"]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.to_string(), "smith xml");
+    }
+
+    #[test]
+    fn deduplicates_preserving_order() {
+        let q = KeywordQuery::parse("xml Smith XML smith");
+        assert_eq!(q.keywords(), &["xml", "smith"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_queries() {
+        assert!(KeywordQuery::parse("").is_empty());
+        assert!(KeywordQuery::parse("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn from_keywords_round_trips() {
+        let q = KeywordQuery::from_keywords(["Alice", "XML"]);
+        assert_eq!(q, KeywordQuery::parse("alice xml"));
+    }
+
+    #[test]
+    fn default_semantics_is_conjunctive() {
+        assert_eq!(MatchSemantics::default(), MatchSemantics::Conjunctive);
+    }
+}

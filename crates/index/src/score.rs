@@ -1,0 +1,113 @@
+//! tf·idf attribute/tuple scoring.
+//!
+//! The paper ranks connections primarily by structure (length, closeness)
+//! but notes that attribute/tuple/edge-level scores can be combined
+//! (§1, citing [6–8]). These helpers provide the standard text component
+//! for `cla-core`'s combined ranker.
+
+use crate::inverted::InvertedIndex;
+use crate::query::KeywordQuery;
+use cla_relational::TupleId;
+
+/// Sub-linear term-frequency weight: `1 + ln(f)` for `f > 0`, else 0.
+pub fn tf(frequency: u32) -> f64 {
+    if frequency == 0 {
+        0.0
+    } else {
+        1.0 + f64::from(frequency).ln()
+    }
+}
+
+/// Smoothed inverse document frequency: `ln(1 + N / df)`; 0 when the
+/// term is absent (`df = 0`).
+pub fn idf(document_frequency: usize, total_documents: usize) -> f64 {
+    if document_frequency == 0 {
+        0.0
+    } else {
+        (1.0 + total_documents as f64 / document_frequency as f64).ln()
+    }
+}
+
+/// tf·idf score of tuple `t` for `query`: the sum over the query's
+/// keywords of `tf(f_kw,t) · idf(df_kw, N)` where `N` is the number of
+/// indexed tuples.
+pub fn tuple_score(index: &InvertedIndex, t: TupleId, query: &KeywordQuery) -> f64 {
+    let n = index.indexed_tuples();
+    query
+        .keywords()
+        .iter()
+        .map(|kw| {
+            let f = index.frequency_in(kw, t);
+            if f == 0 {
+                0.0
+            } else {
+                tf(f) * idf(index.document_frequency(kw), n)
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_relational::{DataType, Database, SchemaBuilder};
+
+    fn db() -> Database {
+        let catalog = SchemaBuilder::new()
+            .relation("R", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr("T", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let r = db.catalog().relation_id("R").unwrap();
+        db.insert(r, vec![1i64.into(), "xml xml databases".into()]).unwrap();
+        db.insert(r, vec![2i64.into(), "xml retrieval".into()]).unwrap();
+        db.insert(r, vec![3i64.into(), "history of scandinavia".into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn tf_is_sublinear_and_zero_safe() {
+        assert_eq!(tf(0), 0.0);
+        assert_eq!(tf(1), 1.0);
+        assert!(tf(2) > tf(1));
+        assert!(tf(10) - tf(1) < 9.0);
+    }
+
+    #[test]
+    fn idf_prefers_rare_terms() {
+        assert!(idf(1, 100) > idf(50, 100));
+        assert_eq!(idf(0, 100), 0.0);
+        assert!(idf(100, 100) > 0.0);
+    }
+
+    #[test]
+    fn tuple_score_orders_by_relevance() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let r = db.catalog().relation_id("R").unwrap();
+        let ids: Vec<TupleId> = db.tuples(r).map(|(id, _)| id).collect();
+        let q = KeywordQuery::parse("xml databases");
+        let s0 = tuple_score(&idx, ids[0], &q);
+        let s1 = tuple_score(&idx, ids[1], &q);
+        let s2 = tuple_score(&idx, ids[2], &q);
+        assert!(s0 > s1, "two matching keywords beat one");
+        assert!(s1 > 0.0);
+        assert_eq!(s2, 0.0);
+    }
+
+    #[test]
+    fn rare_keyword_contributes_more() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let r = db.catalog().relation_id("R").unwrap();
+        let ids: Vec<TupleId> = db.tuples(r).map(|(id, _)| id).collect();
+        // "databases" (df=1) must outweigh "xml" (df=2) at equal tf.
+        let s_rare = tuple_score(&idx, ids[0], &KeywordQuery::parse("databases"));
+        let s_common = tuple_score(&idx, ids[1], &KeywordQuery::parse("xml"));
+        assert!(s_rare > s_common);
+    }
+}

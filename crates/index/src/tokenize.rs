@@ -1,0 +1,108 @@
+//! Text tokenization.
+
+use std::collections::HashSet;
+
+/// Lowercasing tokenizer splitting on non-alphanumeric characters, with
+/// an optional stopword list and minimum token length.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    stopwords: HashSet<String>,
+    min_len: usize,
+}
+
+impl Tokenizer {
+    /// A tokenizer with no stopwords and no length threshold.
+    pub fn new() -> Self {
+        Tokenizer::default()
+    }
+
+    /// Add stopwords (compared lowercase).
+    pub fn with_stopwords<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.stopwords
+            .extend(words.into_iter().map(|w| w.into().to_lowercase()));
+        self
+    }
+
+    /// Drop tokens shorter than `min_len` characters.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    /// Tokenize `text` into lowercase alphanumeric runs.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(str::to_lowercase)
+            .filter(|t| t.chars().count() >= self.min_len && !self.stopwords.contains(t))
+            .collect()
+    }
+
+    /// Normalize a whole attribute value for whole-value matching:
+    /// lowercased and trimmed.
+    pub fn normalize_value(&self, text: &str) -> String {
+        text.trim().to_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        let t = Tokenizer::new();
+        assert_eq!(
+            t.tokenize("Different data models are integrated, such as relational, object and XML"),
+            vec![
+                "different", "data", "models", "are", "integrated", "such", "as",
+                "relational", "object", "and", "xml"
+            ]
+        );
+        assert_eq!(t.tokenize("DB-project"), vec!["db", "project"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("--- !!! ...").is_empty());
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        let t = Tokenizer::new().with_stopwords(["The", "and", "are"]);
+        assert_eq!(
+            t.tokenize("The main topics of teaching are history and XML"),
+            vec!["main", "topics", "of", "teaching", "history", "xml"]
+        );
+    }
+
+    #[test]
+    fn min_len_filters_short_tokens() {
+        let t = Tokenizer::new().with_min_len(3);
+        assert_eq!(t.tokenize("an IR task"), vec!["task"]);
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("Kekäläinen müller"), vec!["kekäläinen", "müller"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("project 42"), vec!["project", "42"]);
+    }
+
+    #[test]
+    fn normalize_value_trims_and_lowercases() {
+        let t = Tokenizer::new();
+        assert_eq!(t.normalize_value("  DB-Project "), "db-project");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the text substrate.
+
+use cla_index::{idf, tf, InvertedIndex, KeywordQuery, Tokenizer};
+use cla_relational::{DataType, Database, SchemaBuilder};
+use proptest::prelude::*;
+
+fn text_db(rows: &[String]) -> Database {
+    let catalog = SchemaBuilder::new()
+        .relation("R", |r| {
+            r.attr("ID", DataType::Int)
+                .attr("T", DataType::Text)
+                .primary_key(&["ID"])
+        })
+        .build()
+        .unwrap();
+    let mut db = Database::new(catalog).unwrap();
+    let r = db.catalog().relation_id("R").unwrap();
+    for (i, t) in rows.iter().enumerate() {
+        db.insert(r, vec![(i as i64).into(), t.as_str().into()]).unwrap();
+    }
+    db
+}
+
+proptest! {
+    /// Every token produced by the tokenizer is findable through the
+    /// index, and lookups are case-insensitive.
+    #[test]
+    fn all_tokens_are_indexed(rows in proptest::collection::vec("[a-zA-Z ]{0,30}", 1..10)) {
+        let db = text_db(&rows);
+        let index = InvertedIndex::build(&db);
+        let tok = Tokenizer::new();
+        for (i, row) in rows.iter().enumerate() {
+            for t in tok.tokenize(row) {
+                let hits = index.matching_tuples(&t);
+                prop_assert!(!hits.is_empty(), "token {t} of row {i} not indexed");
+                let upper = t.to_uppercase();
+                prop_assert_eq!(index.matching_tuples(&upper), hits);
+            }
+        }
+    }
+
+    /// Document frequency never exceeds the number of tuples, and
+    /// frequency_in sums are consistent with posting frequencies.
+    #[test]
+    fn df_and_frequencies_are_bounded(rows in proptest::collection::vec("[a-z ]{0,20}", 1..8)) {
+        let db = text_db(&rows);
+        let index = InvertedIndex::build(&db);
+        let tok = Tokenizer::new();
+        for row in &rows {
+            for t in tok.tokenize(row) {
+                prop_assert!(index.document_frequency(&t) <= rows.len());
+                let total: u32 = index.lookup(&t).iter().map(|p| p.frequency).sum();
+                prop_assert!(total >= 1);
+            }
+        }
+    }
+
+    /// Queries normalize idempotently and deduplicate.
+    #[test]
+    fn query_parse_is_idempotent(raw in "[a-zA-Z ]{0,40}") {
+        let q1 = KeywordQuery::parse(&raw);
+        let q2 = KeywordQuery::parse(&q1.to_string());
+        prop_assert_eq!(q1.keywords(), q2.keywords());
+        let mut sorted = q1.keywords().to_vec();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), q1.len());
+    }
+
+    /// tf and idf are monotone in the expected directions.
+    #[test]
+    fn tf_idf_monotonicity(f in 1u32..1000, df in 1usize..100, n in 100usize..1000) {
+        prop_assert!(tf(f + 1) > tf(f));
+        if df < n {
+            prop_assert!(idf(df, n) > idf(df + 1, n));
+        }
+        prop_assert!(idf(df, n) > 0.0);
+        prop_assert!(tf(f) >= 1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Fluent builders for catalogs and relation schemas.
+//!
+//! Foreign-key targets are referenced *by name* and resolved when the
+//! whole catalog is built, so relations can reference each other in any
+//! declaration order (including forward references).
+
+use crate::error::RelationalError;
+use crate::schema::{AttributeDef, Catalog, ForeignKeyDef, RelationSchema};
+use crate::value::DataType;
+use crate::Result;
+
+/// Pending foreign key with names instead of resolved indices.
+#[derive(Debug, Clone)]
+struct PendingFk {
+    name: String,
+    attributes: Vec<String>,
+    target_relation: String,
+    target_attributes: Vec<String>,
+}
+
+/// Builder for one relation, used inside [`SchemaBuilder::relation`].
+#[derive(Debug, Clone, Default)]
+pub struct RelationBuilder {
+    attributes: Vec<AttributeDef>,
+    primary_key: Vec<String>,
+    foreign_keys: Vec<PendingFk>,
+}
+
+impl RelationBuilder {
+    /// Add a non-nullable attribute.
+    pub fn attr(mut self, name: &str, data_type: DataType) -> Self {
+        self.attributes.push(AttributeDef::required(name, data_type));
+        self
+    }
+
+    /// Add a nullable attribute.
+    pub fn attr_nullable(mut self, name: &str, data_type: DataType) -> Self {
+        self.attributes.push(AttributeDef::nullable(name, data_type));
+        self
+    }
+
+    /// Declare the primary key by attribute names.
+    pub fn primary_key(mut self, names: &[&str]) -> Self {
+        self.primary_key = names.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Declare a foreign key: `attributes` of this relation reference
+    /// `target_attributes` of `target_relation`.
+    pub fn foreign_key(
+        mut self,
+        name: &str,
+        attributes: &[&str],
+        target_relation: &str,
+        target_attributes: &[&str],
+    ) -> Self {
+        self.foreign_keys.push(PendingFk {
+            name: name.to_owned(),
+            attributes: attributes.iter().map(|s| (*s).to_owned()).collect(),
+            target_relation: target_relation.to_owned(),
+            target_attributes: target_attributes.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        self
+    }
+}
+
+/// Builder for a whole [`Catalog`].
+///
+/// ```
+/// use cla_relational::{SchemaBuilder, DataType};
+/// let catalog = SchemaBuilder::new()
+///     .relation("A", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+///     .build()
+///     .unwrap();
+/// assert_eq!(catalog.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SchemaBuilder {
+    relations: Vec<(String, RelationBuilder)>,
+}
+
+impl SchemaBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Add a relation configured by `f`.
+    pub fn relation<F>(mut self, name: &str, f: F) -> Self
+    where
+        F: FnOnce(RelationBuilder) -> RelationBuilder,
+    {
+        self.relations.push((name.to_owned(), f(RelationBuilder::default())));
+        self
+    }
+
+    /// Resolve names and produce a validated [`Catalog`].
+    pub fn build(self) -> Result<Catalog> {
+        // First pass: assign ids by declaration order so FK targets can be
+        // resolved even for forward references.
+        let mut name_to_id = std::collections::HashMap::new();
+        for (i, (name, _)) in self.relations.iter().enumerate() {
+            if name_to_id.insert(name.clone(), i).is_some() {
+                return Err(RelationalError::DuplicateRelation(name.clone()));
+            }
+        }
+
+        let mut catalog = Catalog::new();
+        for (name, rb) in &self.relations {
+            let find_attr = |attr: &str| -> Result<usize> {
+                rb.attributes
+                    .iter()
+                    .position(|a| a.name == *attr)
+                    .ok_or_else(|| RelationalError::UnknownAttribute {
+                        relation: name.clone(),
+                        attribute: attr.to_owned(),
+                    })
+            };
+            let primary_key = rb
+                .primary_key
+                .iter()
+                .map(|a| find_attr(a))
+                .collect::<Result<Vec<_>>>()?;
+            let mut foreign_keys = Vec::with_capacity(rb.foreign_keys.len());
+            for fk in &rb.foreign_keys {
+                let target_idx = *name_to_id.get(&fk.target_relation).ok_or_else(|| {
+                    RelationalError::UnknownRelation(fk.target_relation.clone())
+                })?;
+                let (_, target_rb) = &self.relations[target_idx];
+                let target_find = |attr: &str| -> Result<usize> {
+                    target_rb
+                        .attributes
+                        .iter()
+                        .position(|a| a.name == *attr)
+                        .ok_or_else(|| RelationalError::UnknownAttribute {
+                            relation: fk.target_relation.clone(),
+                            attribute: attr.to_owned(),
+                        })
+                };
+                foreign_keys.push(ForeignKeyDef {
+                    name: fk.name.clone(),
+                    attributes: fk
+                        .attributes
+                        .iter()
+                        .map(|a| find_attr(a))
+                        .collect::<Result<Vec<_>>>()?,
+                    target: crate::tuple::RelationId(target_idx as u32),
+                    target_attributes: fk
+                        .target_attributes
+                        .iter()
+                        .map(|a| target_find(a))
+                        .collect::<Result<Vec<_>>>()?,
+                });
+            }
+            catalog.add_relation(RelationSchema {
+                name: name.clone(),
+                attributes: rb.attributes.clone(),
+                primary_key,
+                foreign_keys,
+            })?;
+        }
+        catalog.validate()?;
+        Ok(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_catalog() {
+        let cat = SchemaBuilder::new()
+            .relation("A", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+            .build()
+            .unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.relation_by_name("A").unwrap().primary_key, vec![0]);
+    }
+
+    #[test]
+    fn forward_reference_is_allowed() {
+        let cat = SchemaBuilder::new()
+            .relation("EMPLOYEE", |r| {
+                r.attr("SSN", DataType::Text)
+                    .attr("D_ID", DataType::Text)
+                    .primary_key(&["SSN"])
+                    .foreign_key("wf", &["D_ID"], "DEPARTMENT", &["ID"])
+            })
+            .relation("DEPARTMENT", |r| {
+                r.attr("ID", DataType::Text).primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let emp = cat.relation_by_name("EMPLOYEE").unwrap();
+        let dept_id = cat.relation_id("DEPARTMENT").unwrap();
+        assert_eq!(emp.foreign_keys[0].target, dept_id);
+    }
+
+    #[test]
+    fn unknown_pk_attribute_errors() {
+        let err = SchemaBuilder::new()
+            .relation("A", |r| r.attr("ID", DataType::Int).primary_key(&["NOPE"]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn unknown_fk_target_relation_errors() {
+        let err = SchemaBuilder::new()
+            .relation("A", |r| {
+                r.attr("ID", DataType::Int)
+                    .primary_key(&["ID"])
+                    .foreign_key("f", &["ID"], "MISSING", &["ID"])
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn unknown_fk_target_attribute_errors() {
+        let err = SchemaBuilder::new()
+            .relation("A", |r| {
+                r.attr("ID", DataType::Int)
+                    .primary_key(&["ID"])
+                    .foreign_key("f", &["ID"], "B", &["NOPE"])
+            })
+            .relation("B", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn duplicate_relation_name_errors() {
+        let err = SchemaBuilder::new()
+            .relation("A", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+            .relation("A", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn self_referencing_relation_builds() {
+        let cat = SchemaBuilder::new()
+            .relation("EMPLOYEE", |r| {
+                r.attr("SSN", DataType::Text)
+                    .attr_nullable("SUPERVISOR", DataType::Text)
+                    .primary_key(&["SSN"])
+                    .foreign_key("supervision", &["SUPERVISOR"], "EMPLOYEE", &["SSN"])
+            })
+            .build()
+            .unwrap();
+        let emp = cat.relation_by_name("EMPLOYEE").unwrap();
+        assert_eq!(emp.foreign_keys[0].target, cat.relation_id("EMPLOYEE").unwrap());
+    }
+}

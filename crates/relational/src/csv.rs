@@ -1,0 +1,314 @@
+//! Minimal CSV-style import/export for database instances.
+//!
+//! Keeps synthetic datasets inspectable and lets downstream users load
+//! their own data without another dependency. The dialect is
+//! deliberately simple: comma separator, `"`-quoting with doubled
+//! quotes for escapes, one header row, an empty unquoted field is NULL.
+
+use crate::database::Database;
+use crate::error::RelationalError;
+use crate::tuple::RelationId;
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// Serialize one relation to CSV (header row + one row per tuple).
+pub fn to_csv(db: &Database, rel: RelationId) -> Result<String> {
+    let schema = db
+        .catalog()
+        .relation(rel)
+        .ok_or_else(|| RelationalError::UnknownRelation(rel.to_string()))?;
+    let mut out = String::new();
+    let header: Vec<String> =
+        schema.attributes.iter().map(|a| quote(&a.name)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (_, tuple) in db.tuples(rel) {
+        let row: Vec<String> = tuple
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Text(s) => quote(s),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parse CSV produced by [`to_csv`] (or compatible) and insert the rows
+/// into relation `rel`. The header row must name the relation's
+/// attributes in schema order. Returns the number of inserted rows.
+pub fn from_csv(db: &mut Database, rel: RelationId, csv: &str) -> Result<usize> {
+    let schema = db
+        .catalog()
+        .relation(rel)
+        .ok_or_else(|| RelationalError::UnknownRelation(rel.to_string()))?
+        .clone();
+    let mut lines = split_records(csv).into_iter();
+    let header = lines.next().ok_or_else(|| {
+        RelationalError::InvalidSchema("CSV input has no header row".into())
+    })?;
+    let names = parse_record(&header)?;
+    let expected: Vec<&str> = schema.attributes.iter().map(|a| a.name.as_str()).collect();
+    if names.iter().map(String::as_str).collect::<Vec<_>>() != expected {
+        return Err(RelationalError::InvalidSchema(format!(
+            "CSV header {names:?} does not match relation `{}` attributes {expected:?}",
+            schema.name
+        )));
+    }
+    let mut inserted = 0;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line)?;
+        if fields.len() != schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: schema.name.clone(),
+                expected: schema.arity(),
+                got: fields.len(),
+            });
+        }
+        let values: Vec<Value> = fields
+            .iter()
+            .zip(&schema.attributes)
+            .map(|(f, a)| parse_value(f, a.data_type))
+            .collect::<Result<_>>()?;
+        db.insert(rel, values)?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.is_empty() {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Split into records, honoring newlines inside quoted fields.
+fn split_records(csv: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for ch in csv.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(ch);
+            }
+            '\n' if !in_quotes => {
+                records.push(std::mem::take(&mut current));
+            }
+            '\r' if !in_quotes => {}
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        records.push(current);
+    }
+    records
+}
+
+/// Parse one record into raw fields (quotes resolved). `None`-ness is
+/// encoded as an empty *unquoted* field, represented here as the
+/// sentinel `"\0"`… instead we return the unquoted-empty marker via an
+/// empty string and let `parse_value` treat it as NULL, while a quoted
+/// empty string parses as empty text.
+fn parse_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    let mut was_quoted = false;
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if !quoted && current.is_empty() => {
+                quoted = true;
+                was_quoted = true;
+            }
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            ',' if !quoted => {
+                fields.push(finish_field(std::mem::take(&mut current), was_quoted));
+                was_quoted = false;
+            }
+            _ => current.push(ch),
+        }
+    }
+    if quoted {
+        return Err(RelationalError::InvalidSchema(format!(
+            "unterminated quoted field in CSV record `{line}`"
+        )));
+    }
+    fields.push(finish_field(current, was_quoted));
+    Ok(fields)
+}
+
+/// Mark quoted-empty fields so they parse as empty text, not NULL.
+fn finish_field(content: String, was_quoted: bool) -> String {
+    if content.is_empty() && was_quoted {
+        "\u{0}".to_owned() // sentinel: quoted empty string
+    } else {
+        content
+    }
+}
+
+fn parse_value(field: &str, ty: DataType) -> Result<Value> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    let text = if field == "\u{0}" { "" } else { field };
+    let bad = |why: &str| RelationalError::TypeMismatch {
+        relation: "<csv>".into(),
+        attribute: "<field>".into(),
+        expected: ty.to_string(),
+        got: format!("{field:?} ({why})"),
+    };
+    match ty {
+        DataType::Text => Ok(Value::Text(text.to_owned())),
+        DataType::Int => text
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| bad("not an integer")),
+        DataType::Float => text
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| bad("not a float")),
+        DataType::Bool => match text {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(bad("not a boolean")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    fn db() -> (Database, RelationId) {
+        let catalog = SchemaBuilder::new()
+            .relation("R", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr_nullable("NAME", DataType::Text)
+                    .attr_nullable("SCORE", DataType::Float)
+                    .attr_nullable("OK", DataType::Bool)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let r = db.catalog().relation_id("R").unwrap();
+        db.insert(r, vec![1i64.into(), "plain".into(), 1.5.into(), true.into()]).unwrap();
+        db.insert(r, vec![2i64.into(), "with, comma".into(), Value::Null, false.into()])
+            .unwrap();
+        db.insert(r, vec![3i64.into(), "say \"hi\"".into(), (-0.5).into(), Value::Null])
+            .unwrap();
+        db.insert(r, vec![4i64.into(), Value::Null, 0.0.into(), true.into()]).unwrap();
+        (db, r)
+    }
+
+    #[test]
+    fn round_trip_preserves_all_values() {
+        let (db, r) = db();
+        let csv = to_csv(&db, r).unwrap();
+        let catalog = db.catalog().clone();
+        let mut db2 = Database::new(catalog).unwrap();
+        let n = from_csv(&mut db2, r, &csv).unwrap();
+        assert_eq!(n, 4);
+        let rows1: Vec<_> = db.tuples(r).map(|(_, t)| t.clone()).collect();
+        let rows2: Vec<_> = db2.tuples(r).map(|(_, t)| t.clone()).collect();
+        assert_eq!(rows1, rows2);
+    }
+
+    #[test]
+    fn quoting_handles_commas_and_quotes() {
+        let (db, r) = db();
+        let csv = to_csv(&db, r).unwrap();
+        assert!(csv.contains("\"with, comma\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn null_is_empty_unquoted_field() {
+        let (db, r) = db();
+        let csv = to_csv(&db, r).unwrap();
+        let line = csv.lines().nth(2).unwrap(); // row with NULL score
+        assert!(line.contains(",,") || line.ends_with(','), "{line}");
+    }
+
+    #[test]
+    fn quoted_empty_string_is_not_null() {
+        let catalog = SchemaBuilder::new()
+            .relation("S", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr_nullable("T", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let s = db.catalog().relation_id("S").unwrap();
+        from_csv(&mut db, s, "ID,T\n1,\"\"\n2,\n").unwrap();
+        let rows: Vec<_> = db.tuples(s).map(|(_, t)| t.clone()).collect();
+        assert_eq!(rows[0].get(1), Some(&Value::Text(String::new())));
+        assert_eq!(rows[1].get(1), Some(&Value::Null));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let (db, r) = db();
+        let mut db2 = Database::new(db.catalog().clone()).unwrap();
+        let err = from_csv(&mut db2, r, "WRONG,HEADER,X,Y\n").unwrap_err();
+        assert!(matches!(err, RelationalError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn bad_types_rejected() {
+        let (db, r) = db();
+        let mut db2 = Database::new(db.catalog().clone()).unwrap();
+        let err = from_csv(&mut db2, r, "ID,NAME,SCORE,OK\nnot_an_int,a,1.0,true\n");
+        assert!(matches!(err, Err(RelationalError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let (db, r) = db();
+        let mut db2 = Database::new(db.catalog().clone()).unwrap();
+        let err = from_csv(&mut db2, r, "ID,NAME,SCORE,OK\n1,\"oops,1.0,true\n");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn newline_inside_quotes_survives() {
+        let catalog = SchemaBuilder::new()
+            .relation("S", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr("T", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let s = db.catalog().relation_id("S").unwrap();
+        db.insert(s, vec![1i64.into(), "two\nlines".into()]).unwrap();
+        let csv = to_csv(&db, s).unwrap();
+        let mut db2 = Database::new(db.catalog().clone()).unwrap();
+        from_csv(&mut db2, s, &csv).unwrap();
+        let (_, t) = db2.tuples(s).next().unwrap();
+        assert_eq!(t.get(1), Some(&Value::from("two\nlines")));
+    }
+}

@@ -1,0 +1,351 @@
+//! The database instance: catalog + stored relations + reference navigation.
+
+use crate::error::RelationalError;
+use crate::schema::Catalog;
+use crate::storage::RelationData;
+use crate::tuple::{RelationId, Tuple, TupleId};
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// An in-memory relational database instance.
+///
+/// Inserts are checked for arity, attribute types, NULL constraints and
+/// primary-key uniqueness. Foreign-key references are validated lazily via
+/// [`Database::validate_references`] so that data can be loaded in any
+/// relation order (the paper's Figure 2 lists `PROJECT` before
+/// `EMPLOYEE`, for example, even though `WORKS_FOR` references both).
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    data: Vec<RelationData>,
+}
+
+impl Database {
+    /// Create an empty database over `catalog`.
+    ///
+    /// Fails if the catalog does not pass [`Catalog::validate`].
+    pub fn new(catalog: Catalog) -> Result<Self> {
+        catalog.validate()?;
+        let data = (0..catalog.len()).map(|_| RelationData::new()).collect();
+        Ok(Database { catalog, data })
+    }
+
+    /// The catalog describing this database.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Insert a row into relation `rel`.
+    ///
+    /// Checks arity, types, NULL constraints and PK uniqueness; foreign
+    /// keys are *not* checked here (see [`Database::validate_references`]).
+    pub fn insert(&mut self, rel: RelationId, values: Vec<Value>) -> Result<TupleId> {
+        let schema = self
+            .catalog
+            .relation(rel)
+            .ok_or_else(|| RelationalError::UnknownRelation(rel.to_string()))?;
+        if values.len() != schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: schema.name.clone(),
+                expected: schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (attr, value) in schema.attributes.iter().zip(&values) {
+            if value.is_null() {
+                if !attr.nullable {
+                    return Err(RelationalError::NullViolation {
+                        relation: schema.name.clone(),
+                        attribute: attr.name.clone(),
+                    });
+                }
+            } else if !value.matches_type(attr.data_type) {
+                return Err(RelationalError::TypeMismatch {
+                    relation: schema.name.clone(),
+                    attribute: attr.name.clone(),
+                    expected: attr.data_type.to_string(),
+                    got: format!("{value:?}"),
+                });
+            }
+        }
+        let key: Vec<Value> = schema.primary_key.iter().map(|&i| values[i].clone()).collect();
+        let relation_name = schema.name.clone();
+        let store = &mut self.data[rel.index()];
+        if store.pk_index.contains_key(&key) {
+            return Err(RelationalError::DuplicateKey {
+                relation: relation_name,
+                key: format!("{key:?}"),
+            });
+        }
+        let row = store.tuples.len() as u32;
+        store.pk_index.insert(key, row);
+        store.tuples.push(Tuple::new(values));
+        Ok(TupleId::new(rel, row))
+    }
+
+    /// The tuple with id `id`, if it exists.
+    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.data
+            .get(id.relation.index())
+            .and_then(|d| d.tuples.get(id.row as usize))
+    }
+
+    /// Number of tuples in relation `rel` (0 for unknown relations).
+    pub fn tuple_count(&self, rel: RelationId) -> usize {
+        self.data.get(rel.index()).map_or(0, RelationData::len)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.data.iter().map(RelationData::len).sum()
+    }
+
+    /// Iterate over `(id, tuple)` for every tuple of relation `rel`.
+    pub fn tuples(&self, rel: RelationId) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.data
+            .get(rel.index())
+            .into_iter()
+            .flat_map(move |d| {
+                d.tuples
+                    .iter()
+                    .enumerate()
+                    .map(move |(row, t)| (TupleId::new(rel, row as u32), t))
+            })
+    }
+
+    /// Iterate over every tuple id in the database, relation by relation.
+    pub fn all_tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.catalog
+            .iter()
+            .flat_map(move |(rel, _)| self.tuples(rel).map(|(id, _)| id))
+    }
+
+    /// Look up a tuple by its primary-key values.
+    pub fn lookup_pk(&self, rel: RelationId, key: &[Value]) -> Option<TupleId> {
+        self.data
+            .get(rel.index())?
+            .pk_index
+            .get(key)
+            .map(|&row| TupleId::new(rel, row))
+    }
+
+    /// Resolve foreign key number `fk_idx` of tuple `id`.
+    ///
+    /// Returns `Ok(None)` when any referencing attribute is NULL (a
+    /// dangling optional reference), `Ok(Some(target))` when the reference
+    /// resolves, and an error when it dangles on non-NULL values.
+    pub fn fk_target(&self, id: TupleId, fk_idx: usize) -> Result<Option<TupleId>> {
+        let schema = self
+            .catalog
+            .relation(id.relation)
+            .ok_or_else(|| RelationalError::UnknownRelation(id.relation.to_string()))?;
+        let fk = schema.foreign_keys.get(fk_idx).ok_or_else(|| {
+            RelationalError::InvalidSchema(format!(
+                "relation `{}` has no foreign key #{fk_idx}",
+                schema.name
+            ))
+        })?;
+        let tuple = self.tuple(id).ok_or_else(|| {
+            RelationalError::InvalidSchema(format!("tuple {id} does not exist"))
+        })?;
+        let key: Vec<Value> = fk.attributes.iter().map(|&i| tuple.values()[i].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            return Ok(None);
+        }
+        match self.lookup_pk(fk.target, &key) {
+            Some(t) => Ok(Some(t)),
+            None => Err(RelationalError::ForeignKeyViolation {
+                relation: schema.name.clone(),
+                foreign_key: fk.name.clone(),
+                detail: format!("no tuple with key {key:?} in target relation"),
+            }),
+        }
+    }
+
+    /// All outgoing resolved references of tuple `id` as
+    /// `(fk index, target tuple)` pairs. Dangling or NULL references are
+    /// skipped (use [`Database::validate_references`] to detect dangling
+    /// ones).
+    pub fn references_from(&self, id: TupleId) -> Vec<(usize, TupleId)> {
+        let Some(schema) = self.catalog.relation(id.relation) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(schema.foreign_keys.len());
+        for fk_idx in 0..schema.foreign_keys.len() {
+            if let Ok(Some(target)) = self.fk_target(id, fk_idx) {
+                out.push((fk_idx, target));
+            }
+        }
+        out
+    }
+
+    /// Check referential integrity of the whole instance.
+    pub fn validate_references(&self) -> Result<()> {
+        for (rel, schema) in self.catalog.iter() {
+            for fk_idx in 0..schema.foreign_keys.len() {
+                for (id, _) in self.tuples(rel) {
+                    self.fk_target(id, fk_idx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the reverse reference index (referenced → referencing).
+    pub fn build_reference_index(&self) -> ReferenceIndex {
+        let mut incoming: HashMap<TupleId, Vec<(TupleId, usize)>> = HashMap::new();
+        for (rel, _) in self.catalog.iter() {
+            for (id, _) in self.tuples(rel) {
+                for (fk_idx, target) in self.references_from(id) {
+                    incoming.entry(target).or_default().push((id, fk_idx));
+                }
+            }
+        }
+        ReferenceIndex { incoming }
+    }
+}
+
+/// Reverse foreign-key index: for each tuple, the tuples referencing it.
+///
+/// Built once per database snapshot with
+/// [`Database::build_reference_index`]; `cla-core` uses it to construct
+/// the undirected data graph.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceIndex {
+    incoming: HashMap<TupleId, Vec<(TupleId, usize)>>,
+}
+
+impl ReferenceIndex {
+    /// Tuples referencing `id`, as `(source tuple, fk index in source)`.
+    pub fn references_to(&self, id: TupleId) -> &[(TupleId, usize)] {
+        self.incoming.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of stored reference edges.
+    pub fn edge_count(&self) -> usize {
+        self.incoming.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn two_relation_db() -> (Database, RelationId, RelationId) {
+        let catalog = SchemaBuilder::new()
+            .relation("DEPARTMENT", |r| {
+                r.attr("ID", DataType::Text)
+                    .attr("D_NAME", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .relation("EMPLOYEE", |r| {
+                r.attr("SSN", DataType::Text)
+                    .attr("L_NAME", DataType::Text)
+                    .attr_nullable("D_ID", DataType::Text)
+                    .primary_key(&["SSN"])
+                    .foreign_key("works_for", &["D_ID"], "DEPARTMENT", &["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        db.insert(dept, vec!["d1".into(), "Cs".into()]).unwrap();
+        db.insert(dept, vec!["d2".into(), "inf".into()]).unwrap();
+        db.insert(emp, vec!["e1".into(), "Smith".into(), "d1".into()]).unwrap();
+        db.insert(emp, vec!["e2".into(), "Smith".into(), "d2".into()]).unwrap();
+        (db, dept, emp)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (db, dept, emp) = two_relation_db();
+        assert_eq!(db.tuple_count(dept), 2);
+        assert_eq!(db.tuple_count(emp), 2);
+        assert_eq!(db.total_tuples(), 4);
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        assert_eq!(db.tuple(d1).unwrap().get(1), Some(&Value::from("Cs")));
+        assert!(db.lookup_pk(dept, &[Value::from("zz")]).is_none());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (mut db, dept, _) = two_relation_db();
+        let err = db.insert(dept, vec!["d9".into()]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn types_checked() {
+        let (mut db, dept, _) = two_relation_db();
+        let err = db.insert(dept, vec!["d9".into(), Value::from(42i64)]).unwrap_err();
+        assert!(matches!(err, RelationalError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_constraint_checked() {
+        let (mut db, dept, emp) = two_relation_db();
+        let err = db.insert(dept, vec![Value::Null, "x".into()]).unwrap_err();
+        assert!(matches!(err, RelationalError::NullViolation { .. }));
+        // Nullable FK attribute accepts NULL.
+        db.insert(emp, vec!["e9".into(), "Miller".into(), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn duplicate_pk_rejected_and_store_unchanged() {
+        let (mut db, dept, _) = two_relation_db();
+        let before = db.tuple_count(dept);
+        let err = db.insert(dept, vec!["d1".into(), "again".into()]).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateKey { .. }));
+        assert_eq!(db.tuple_count(dept), before);
+        // The original tuple is still reachable through the PK index.
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        assert_eq!(db.tuple(d1).unwrap().get(1), Some(&Value::from("Cs")));
+    }
+
+    #[test]
+    fn fk_navigation_forward() {
+        let (db, dept, emp) = two_relation_db();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        assert_eq!(db.fk_target(e1, 0).unwrap(), Some(d1));
+        assert_eq!(db.references_from(e1), vec![(0, d1)]);
+    }
+
+    #[test]
+    fn null_fk_resolves_to_none() {
+        let (mut db, _, emp) = two_relation_db();
+        let e9 = db.insert(emp, vec!["e9".into(), "Ng".into(), Value::Null]).unwrap();
+        assert_eq!(db.fk_target(e9, 0).unwrap(), None);
+        assert!(db.references_from(e9).is_empty());
+        db.validate_references().unwrap();
+    }
+
+    #[test]
+    fn dangling_fk_detected() {
+        let (mut db, _, emp) = two_relation_db();
+        db.insert(emp, vec!["e9".into(), "Ng".into(), "d99".into()]).unwrap();
+        let err = db.validate_references().unwrap_err();
+        assert!(matches!(err, RelationalError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn reference_index_reverses_edges() {
+        let (db, dept, emp) = two_relation_db();
+        let idx = db.build_reference_index();
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        assert_eq!(idx.references_to(d1), &[(e1, 0)]);
+        assert_eq!(idx.edge_count(), 2);
+        assert!(idx.references_to(e1).is_empty());
+    }
+
+    #[test]
+    fn all_tuple_ids_covers_every_relation() {
+        let (db, _, _) = two_relation_db();
+        assert_eq!(db.all_tuple_ids().count(), db.total_tuples());
+    }
+}

@@ -1,0 +1,123 @@
+//! Pretty-printing of relations and whole databases.
+//!
+//! `render_database` reproduces the layout of the paper's Figure 2: one
+//! aligned table per relation, headed by the relation name.
+
+use crate::database::Database;
+use crate::tuple::RelationId;
+
+/// Render relation `rel` as an aligned text table.
+///
+/// Returns an empty string for unknown relations.
+pub fn render_relation(db: &Database, rel: RelationId) -> String {
+    let Some(schema) = db.catalog().relation(rel) else {
+        return String::new();
+    };
+    let mut widths: Vec<usize> = schema.attributes.iter().map(|a| a.name.len()).collect();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(db.tuple_count(rel));
+    for (_, tuple) in db.tuples(rel) {
+        let row: Vec<String> = tuple.values().iter().map(ToString::to_string).collect();
+        for (w, cell) in widths.iter_mut().zip(&row) {
+            *w = (*w).max(cell.len());
+        }
+        rows.push(row);
+    }
+
+    let mut out = String::new();
+    out.push_str(&schema.name);
+    out.push('\n');
+    let header: Vec<String> = schema
+        .attributes
+        .iter()
+        .zip(&widths)
+        .map(|(a, w)| format!("{:<width$}", a.name, width = w))
+        .collect();
+    out.push_str("  ");
+    out.push_str(header.join(" | ").trim_end());
+    out.push('\n');
+    let rule_len = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+    out.push_str("  ");
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{:<width$}", cell, width = w))
+            .collect();
+        out.push_str("  ");
+        out.push_str(line.join(" | ").trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render every relation of the database, in catalog order.
+pub fn render_database(db: &Database) -> String {
+    let mut out = String::new();
+    for (rel, _) in db.catalog().iter() {
+        out.push_str(&render_relation(db, rel));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let catalog = SchemaBuilder::new()
+            .relation("DEPARTMENT", |r| {
+                r.attr("ID", DataType::Text)
+                    .attr("D_NAME", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        db.insert(dept, vec!["d1".into(), "Cs".into()]).unwrap();
+        db.insert(dept, vec!["d2".into(), "information".into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn renders_header_and_rows() {
+        let db = db();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let s = render_relation(&db, dept);
+        assert!(s.starts_with("DEPARTMENT\n"));
+        assert!(s.contains("ID | D_NAME"));
+        assert!(s.contains("d1 | Cs"));
+        assert!(s.contains("d2 | information"));
+    }
+
+    #[test]
+    fn columns_are_aligned() {
+        let db = db();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let s = render_relation(&db, dept);
+        let pipe_cols: Vec<usize> = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.find('|').unwrap())
+            .collect();
+        assert!(pipe_cols.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn database_rendering_includes_all_relations() {
+        let db = db();
+        let s = render_database(&db);
+        assert!(s.contains("DEPARTMENT"));
+    }
+
+    #[test]
+    fn unknown_relation_renders_empty() {
+        let db = db();
+        assert_eq!(render_relation(&db, RelationId(99)), "");
+    }
+}

@@ -1,0 +1,138 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema construction, inserts and integrity checks.
+///
+/// The crate does not depend on `thiserror`/`anyhow`; the enum implements
+/// [`std::error::Error`] manually so it composes with any error stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation name was looked up but does not exist in the catalog.
+    UnknownRelation(String),
+    /// Two relations with the same name were added to one catalog.
+    DuplicateRelation(String),
+    /// An attribute name does not exist in the given relation.
+    UnknownAttribute {
+        /// Relation in which the lookup happened.
+        relation: String,
+        /// The attribute that was not found.
+        attribute: String,
+    },
+    /// An inserted row has the wrong number of values.
+    ArityMismatch {
+        /// Relation being inserted into.
+        relation: String,
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// An inserted value does not match the declared attribute type.
+    TypeMismatch {
+        /// Relation being inserted into.
+        relation: String,
+        /// Attribute whose type was violated.
+        attribute: String,
+        /// The declared type, as text.
+        expected: String,
+        /// The supplied value, as text.
+        got: String,
+    },
+    /// NULL was supplied for a non-nullable attribute.
+    NullViolation {
+        /// Relation being inserted into.
+        relation: String,
+        /// The non-nullable attribute.
+        attribute: String,
+    },
+    /// A primary-key value is already present in the relation.
+    DuplicateKey {
+        /// Relation being inserted into.
+        relation: String,
+        /// Rendered key values.
+        key: String,
+    },
+    /// A foreign-key reference does not resolve to an existing tuple.
+    ForeignKeyViolation {
+        /// Relation holding the dangling reference.
+        relation: String,
+        /// Name of the violated foreign key.
+        foreign_key: String,
+        /// Human-readable details (offending key values).
+        detail: String,
+    },
+    /// The catalog is structurally invalid (bad indices, empty PK, ...).
+    InvalidSchema(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is already defined")
+            }
+            RelationalError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            RelationalError::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "relation `{relation}` has {expected} attributes but {got} values were supplied"
+            ),
+            RelationalError::TypeMismatch { relation, attribute, expected, got } => write!(
+                f,
+                "attribute `{relation}.{attribute}` expects {expected} but got {got}"
+            ),
+            RelationalError::NullViolation { relation, attribute } => {
+                write!(f, "attribute `{relation}.{attribute}` is not nullable")
+            }
+            RelationalError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate primary key {key} in relation `{relation}`")
+            }
+            RelationalError::ForeignKeyViolation { relation, foreign_key, detail } => write!(
+                f,
+                "foreign key `{foreign_key}` of relation `{relation}` violated: {detail}"
+            ),
+            RelationalError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = RelationalError::UnknownRelation("X".into());
+        assert_eq!(e.to_string(), "unknown relation `X`");
+
+        let e = RelationalError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("3 attributes"));
+        assert!(e.to_string().contains("2 values"));
+
+        let e = RelationalError::TypeMismatch {
+            relation: "R".into(),
+            attribute: "a".into(),
+            expected: "Int".into(),
+            got: "Text(\"x\")".into(),
+        };
+        assert!(e.to_string().contains("R.a"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(RelationalError::InvalidSchema("broken".into()));
+        assert!(e.to_string().contains("broken"));
+    }
+}

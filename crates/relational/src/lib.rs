@@ -1,0 +1,73 @@
+//! # cla-relational — in-memory relational database substrate
+//!
+//! This crate implements the relational layer that the paper *Close and
+//! Loose Associations in Keyword Search from Structural Data* (EDBT 2017
+//! workshops) assumes: relations with typed attributes, primary keys and
+//! foreign-key references, an instance store of tuples, and just enough
+//! query machinery (selection, projection, equi-joins, joins along foreign
+//! keys) to evaluate joining networks of tuples.
+//!
+//! It deliberately stays small and dependency-free: the keyword-search
+//! layer (`cla-core`) only relies on
+//!
+//! * a [`Catalog`] describing relation schemas and their foreign keys,
+//! * a [`Database`] instance with constraint-checked inserts,
+//! * navigation along foreign keys in both directions
+//!   ([`Database::references_from`] and [`ReferenceIndex`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use cla_relational::{SchemaBuilder, DataType, Database, Value};
+//!
+//! let catalog = SchemaBuilder::new()
+//!     .relation("DEPARTMENT", |r| {
+//!         r.attr("ID", DataType::Text)
+//!             .attr("D_NAME", DataType::Text)
+//!             .primary_key(&["ID"])
+//!     })
+//!     .relation("EMPLOYEE", |r| {
+//!         r.attr("SSN", DataType::Text)
+//!             .attr("L_NAME", DataType::Text)
+//!             .attr("D_ID", DataType::Text)
+//!             .primary_key(&["SSN"])
+//!             .foreign_key("works_for", &["D_ID"], "DEPARTMENT", &["ID"])
+//!     })
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut db = Database::new(catalog).unwrap();
+//! let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+//! let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+//! db.insert(dept, vec!["d1".into(), "Cs".into()]).unwrap();
+//! db.insert(emp, vec!["e1".into(), "Smith".into(), "d1".into()]).unwrap();
+//! db.validate_references().unwrap();
+//!
+//! let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+//! let (_fk, target) = db.references_from(e1)[0];
+//! assert_eq!(db.tuple(target).unwrap().get(1), Some(&Value::from("Cs")));
+//! ```
+
+mod builder;
+mod csv;
+mod database;
+mod display;
+mod error;
+mod query;
+mod schema;
+mod storage;
+mod tuple;
+mod value;
+
+pub use builder::{RelationBuilder, SchemaBuilder};
+pub use csv::{from_csv, to_csv};
+pub use database::{Database, ReferenceIndex};
+pub use display::{render_database, render_relation};
+pub use error::RelationalError;
+pub use query::{hash_join, join_along_fk, project, select, select_all, RowSet};
+pub use schema::{AttributeDef, Catalog, ForeignKeyDef, RelationSchema};
+pub use tuple::{RelationId, Tuple, TupleId};
+pub use value::{DataType, Value};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationalError>;

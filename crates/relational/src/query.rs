@@ -1,0 +1,271 @@
+//! Minimal query machinery: selection, projection, equi-joins.
+//!
+//! The keyword-search layer mostly navigates foreign keys tuple-by-tuple,
+//! but evaluating DISCOVER-style candidate networks needs set-oriented
+//! joins, which this module provides.
+
+use crate::database::Database;
+use crate::error::RelationalError;
+use crate::tuple::{RelationId, Tuple, TupleId};
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A materialized result table: named columns plus rows of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl RowSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Ids of the tuples in `rel` satisfying `predicate`.
+pub fn select<F>(db: &Database, rel: RelationId, predicate: F) -> Vec<TupleId>
+where
+    F: Fn(&Tuple) -> bool,
+{
+    db.tuples(rel)
+        .filter(|(_, t)| predicate(t))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// All tuple ids of relation `rel`.
+pub fn select_all(db: &Database, rel: RelationId) -> Vec<TupleId> {
+    db.tuples(rel).map(|(id, _)| id).collect()
+}
+
+/// Project relation `rel` onto the named attributes.
+pub fn project(db: &Database, rel: RelationId, attributes: &[&str]) -> Result<RowSet> {
+    let schema = db
+        .catalog()
+        .relation(rel)
+        .ok_or_else(|| RelationalError::UnknownRelation(rel.to_string()))?;
+    let mut indices = Vec::with_capacity(attributes.len());
+    for name in attributes {
+        let idx = schema.attribute_index(name).ok_or_else(|| {
+            RelationalError::UnknownAttribute {
+                relation: schema.name.clone(),
+                attribute: (*name).to_owned(),
+            }
+        })?;
+        indices.push(idx);
+    }
+    let rows = db.tuples(rel).map(|(_, t)| t.project(&indices)).collect();
+    Ok(RowSet {
+        columns: attributes.iter().map(|s| (*s).to_owned()).collect(),
+        rows,
+    })
+}
+
+/// Hash equi-join of two relations on single named attributes.
+///
+/// Returns the matching `(left tuple, right tuple)` id pairs. NULL never
+/// joins with NULL (SQL semantics).
+pub fn hash_join(
+    db: &Database,
+    left: RelationId,
+    left_attr: &str,
+    right: RelationId,
+    right_attr: &str,
+) -> Result<Vec<(TupleId, TupleId)>> {
+    let lschema = db
+        .catalog()
+        .relation(left)
+        .ok_or_else(|| RelationalError::UnknownRelation(left.to_string()))?;
+    let rschema = db
+        .catalog()
+        .relation(right)
+        .ok_or_else(|| RelationalError::UnknownRelation(right.to_string()))?;
+    let li = lschema.attribute_index(left_attr).ok_or_else(|| {
+        RelationalError::UnknownAttribute {
+            relation: lschema.name.clone(),
+            attribute: left_attr.to_owned(),
+        }
+    })?;
+    let ri = rschema.attribute_index(right_attr).ok_or_else(|| {
+        RelationalError::UnknownAttribute {
+            relation: rschema.name.clone(),
+            attribute: right_attr.to_owned(),
+        }
+    })?;
+
+    // Build on the smaller side.
+    let (build_rel, build_idx, probe_rel, probe_idx, build_is_left) =
+        if db.tuple_count(left) <= db.tuple_count(right) {
+            (left, li, right, ri, true)
+        } else {
+            (right, ri, left, li, false)
+        };
+
+    let mut table: HashMap<&Value, Vec<TupleId>> = HashMap::new();
+    for (id, t) in db.tuples(build_rel) {
+        let v = &t.values()[build_idx];
+        if !v.is_null() {
+            table.entry(v).or_default().push(id);
+        }
+    }
+    let mut out = Vec::new();
+    for (pid, t) in db.tuples(probe_rel) {
+        let v = &t.values()[probe_idx];
+        if v.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(v) {
+            for &bid in matches {
+                if build_is_left {
+                    out.push((bid, pid));
+                } else {
+                    out.push((pid, bid));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Join every tuple of `source` with the tuple its foreign key `fk_idx`
+/// references. Tuples with NULL references are skipped; dangling
+/// references are errors.
+pub fn join_along_fk(
+    db: &Database,
+    source: RelationId,
+    fk_idx: usize,
+) -> Result<Vec<(TupleId, TupleId)>> {
+    let mut out = Vec::new();
+    for (id, _) in db.tuples(source) {
+        if let Some(target) = db.fk_target(id, fk_idx)? {
+            out.push((id, target));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let catalog = SchemaBuilder::new()
+            .relation("DEPARTMENT", |r| {
+                r.attr("ID", DataType::Text)
+                    .attr("NAME", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .relation("EMPLOYEE", |r| {
+                r.attr("SSN", DataType::Text)
+                    .attr("NAME", DataType::Text)
+                    .attr_nullable("D_ID", DataType::Text)
+                    .primary_key(&["SSN"])
+                    .foreign_key("works_for", &["D_ID"], "DEPARTMENT", &["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        db.insert(dept, vec!["d1".into(), "Cs".into()]).unwrap();
+        db.insert(dept, vec!["d2".into(), "inf".into()]).unwrap();
+        db.insert(emp, vec!["e1".into(), "Smith".into(), "d1".into()]).unwrap();
+        db.insert(emp, vec!["e2".into(), "Smith".into(), "d2".into()]).unwrap();
+        db.insert(emp, vec!["e3".into(), "Miller".into(), "d1".into()]).unwrap();
+        db.insert(emp, vec!["e4".into(), "Ng".into(), Value::Null]).unwrap();
+        db
+    }
+
+    #[test]
+    fn select_filters_by_predicate() {
+        let db = db();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        let smiths = select(&db, emp, |t| t.get(1) == Some(&Value::from("Smith")));
+        assert_eq!(smiths.len(), 2);
+        assert_eq!(select_all(&db, emp).len(), 4);
+    }
+
+    #[test]
+    fn project_returns_named_columns() {
+        let db = db();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let rs = project(&db, dept, &["NAME", "ID"]).unwrap();
+        assert_eq!(rs.columns, vec!["NAME", "ID"]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::from("Cs"), Value::from("d1")]);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn project_unknown_attribute_errors() {
+        let db = db();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        assert!(project(&db, dept, &["NOPE"]).is_err());
+    }
+
+    #[test]
+    fn hash_join_matches_fk_join() {
+        let db = db();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        let mut hj = hash_join(&db, emp, "D_ID", dept, "ID").unwrap();
+        let mut fj = join_along_fk(&db, emp, 0).unwrap();
+        hj.sort();
+        fj.sort();
+        assert_eq!(hj, fj);
+        assert_eq!(hj.len(), 3); // e4 has NULL D_ID
+    }
+
+    #[test]
+    fn hash_join_is_symmetric_in_size() {
+        let db = db();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        // Joining in the other argument order swaps pair orientation.
+        let a = hash_join(&db, emp, "D_ID", dept, "ID").unwrap();
+        let b = hash_join(&db, dept, "ID", emp, "D_ID").unwrap();
+        let mut a_rev: Vec<_> = a.into_iter().map(|(l, r)| (r, l)).collect();
+        let mut b = b;
+        a_rev.sort();
+        b.sort();
+        assert_eq!(a_rev, b);
+    }
+
+    #[test]
+    fn null_never_joins() {
+        let catalog = SchemaBuilder::new()
+            .relation("A", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr_nullable("X", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .relation("B", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr_nullable("X", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let a = db.catalog().relation_id("A").unwrap();
+        let b = db.catalog().relation_id("B").unwrap();
+        db.insert(a, vec![1i64.into(), Value::Null]).unwrap();
+        db.insert(b, vec![1i64.into(), Value::Null]).unwrap();
+        db.insert(a, vec![2i64.into(), "k".into()]).unwrap();
+        db.insert(b, vec![2i64.into(), "k".into()]).unwrap();
+        let pairs = hash_join(&db, a, "X", b, "X").unwrap();
+        assert_eq!(pairs.len(), 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! Relation schemas, foreign keys, and the catalog.
+
+use crate::error::RelationalError;
+use crate::tuple::RelationId;
+use crate::value::DataType;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Definition of a single attribute (column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// Declared data type.
+    pub data_type: DataType,
+    /// Whether NULL is permitted.
+    pub nullable: bool,
+}
+
+impl AttributeDef {
+    /// A non-nullable attribute.
+    pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
+        AttributeDef { name: name.into(), data_type, nullable: false }
+    }
+
+    /// A nullable attribute.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        AttributeDef { name: name.into(), data_type, nullable: true }
+    }
+}
+
+/// A foreign-key constraint: `attributes` of the owning relation reference
+/// `target_attributes` of relation `target`.
+///
+/// In the paper's terms this is the arrow "from a foreign key to the
+/// related primary key" (§3). The *direction* of the reference carries the
+/// cardinality information the paper builds on: the referencing side is
+/// the N-side of a 1:N relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKeyDef {
+    /// Constraint name, unique within the owning relation.
+    pub name: String,
+    /// Positions of the referencing attributes in the owning relation.
+    pub attributes: Vec<usize>,
+    /// The referenced relation.
+    pub target: RelationId,
+    /// Positions of the referenced attributes in the target relation.
+    /// Must form the target's primary key for reference resolution.
+    pub target_attributes: Vec<usize>,
+}
+
+/// Schema of one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, unique within the catalog.
+    pub name: String,
+    /// Attribute definitions in column order.
+    pub attributes: Vec<AttributeDef>,
+    /// Positions of the primary-key attributes.
+    pub primary_key: Vec<usize>,
+    /// Outgoing foreign keys.
+    pub foreign_keys: Vec<ForeignKeyDef>,
+}
+
+impl RelationSchema {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of the attribute called `name`, if any.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// The attribute definition at `idx`.
+    pub fn attribute(&self, idx: usize) -> Option<&AttributeDef> {
+        self.attributes.get(idx)
+    }
+
+    /// Positions of all text attributes (the ones keyword search indexes).
+    pub fn text_attributes(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.data_type == DataType::Text)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The set of relation schemas making up a database schema.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelationId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Add a relation schema, returning its id.
+    ///
+    /// The schema's internal indices are validated; foreign-key targets
+    /// may reference relations added later, so cross-relation validation
+    /// happens in [`Catalog::validate`].
+    pub fn add_relation(&mut self, schema: RelationSchema) -> Result<RelationId> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(RelationalError::DuplicateRelation(schema.name.clone()));
+        }
+        Self::validate_local(&schema)?;
+        let id = RelationId(self.relations.len() as u32);
+        self.by_name.insert(schema.name.clone(), id);
+        self.relations.push(schema);
+        Ok(id)
+    }
+
+    fn validate_local(schema: &RelationSchema) -> Result<()> {
+        let arity = schema.arity();
+        if arity == 0 {
+            return Err(RelationalError::InvalidSchema(format!(
+                "relation `{}` has no attributes",
+                schema.name
+            )));
+        }
+        let mut seen = HashMap::new();
+        for (i, a) in schema.attributes.iter().enumerate() {
+            if let Some(prev) = seen.insert(a.name.clone(), i) {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "relation `{}` declares attribute `{}` twice (positions {prev} and {i})",
+                    schema.name, a.name
+                )));
+            }
+        }
+        if schema.primary_key.is_empty() {
+            return Err(RelationalError::InvalidSchema(format!(
+                "relation `{}` has no primary key",
+                schema.name
+            )));
+        }
+        for &k in &schema.primary_key {
+            if k >= arity {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "relation `{}` primary key index {k} out of range",
+                    schema.name
+                )));
+            }
+            if schema.attributes[k].nullable {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "relation `{}` primary-key attribute `{}` must not be nullable",
+                    schema.name, schema.attributes[k].name
+                )));
+            }
+        }
+        let mut fk_names = HashMap::new();
+        for (i, fk) in schema.foreign_keys.iter().enumerate() {
+            if let Some(prev) = fk_names.insert(fk.name.clone(), i) {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "relation `{}` declares foreign key `{}` twice (positions {prev} and {i})",
+                    schema.name, fk.name
+                )));
+            }
+            if fk.attributes.is_empty() || fk.attributes.len() != fk.target_attributes.len() {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "foreign key `{}` of relation `{}` has mismatched attribute lists",
+                    fk.name, schema.name
+                )));
+            }
+            for &a in &fk.attributes {
+                if a >= arity {
+                    return Err(RelationalError::InvalidSchema(format!(
+                        "foreign key `{}` of relation `{}` references attribute index {a} out of range",
+                        fk.name, schema.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-relation validation: every foreign key must point at an
+    /// existing relation, target the full primary key of that relation,
+    /// and have matching attribute types.
+    pub fn validate(&self) -> Result<()> {
+        for schema in &self.relations {
+            for fk in &schema.foreign_keys {
+                let target = self.relations.get(fk.target.index()).ok_or_else(|| {
+                    RelationalError::InvalidSchema(format!(
+                        "foreign key `{}` of relation `{}` targets unknown relation {}",
+                        fk.name, schema.name, fk.target
+                    ))
+                })?;
+                if fk.target_attributes != target.primary_key {
+                    return Err(RelationalError::InvalidSchema(format!(
+                        "foreign key `{}` of relation `{}` must target the primary key of `{}`",
+                        fk.name, schema.name, target.name
+                    )));
+                }
+                for (&a, &b) in fk.attributes.iter().zip(&fk.target_attributes) {
+                    let at = schema.attributes[a].data_type;
+                    let bt = target.attributes[b].data_type;
+                    if at != bt {
+                        return Err(RelationalError::InvalidSchema(format!(
+                            "foreign key `{}` of relation `{}`: attribute `{}` has type {at} but target `{}` has type {bt}",
+                            fk.name, schema.name, schema.attributes[a].name, target.attributes[b].name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The schema of relation `id`.
+    pub fn relation(&self, id: RelationId) -> Option<&RelationSchema> {
+        self.relations.get(id.index())
+    }
+
+    /// Look up a relation id by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a relation schema by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<&RelationSchema> {
+        self.relation_id(name).and_then(|id| self.relation(id))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` iff the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate over `(id, schema)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelationId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelationId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dept_schema() -> RelationSchema {
+        RelationSchema {
+            name: "DEPARTMENT".into(),
+            attributes: vec![
+                AttributeDef::required("ID", DataType::Text),
+                AttributeDef::nullable("D_NAME", DataType::Text),
+            ],
+            primary_key: vec![0],
+            foreign_keys: vec![],
+        }
+    }
+
+    fn emp_schema(dept: RelationId) -> RelationSchema {
+        RelationSchema {
+            name: "EMPLOYEE".into(),
+            attributes: vec![
+                AttributeDef::required("SSN", DataType::Text),
+                AttributeDef::required("D_ID", DataType::Text),
+            ],
+            primary_key: vec![0],
+            foreign_keys: vec![ForeignKeyDef {
+                name: "works_for".into(),
+                attributes: vec![1],
+                target: dept,
+                target_attributes: vec![0],
+            }],
+        }
+    }
+
+    #[test]
+    fn add_and_lookup_relations() {
+        let mut cat = Catalog::new();
+        let d = cat.add_relation(dept_schema()).unwrap();
+        let e = cat.add_relation(emp_schema(d)).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.relation_id("DEPARTMENT"), Some(d));
+        assert_eq!(cat.relation_id("EMPLOYEE"), Some(e));
+        assert_eq!(cat.relation(d).unwrap().name, "DEPARTMENT");
+        assert!(cat.relation_by_name("NOPE").is_none());
+        cat.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_relation(dept_schema()).unwrap();
+        let err = cat.add_relation(dept_schema()).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn empty_relation_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat
+            .add_relation(RelationSchema {
+                name: "E".into(),
+                attributes: vec![],
+                primary_key: vec![],
+                foreign_keys: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn pk_must_exist_and_be_non_nullable() {
+        let mut cat = Catalog::new();
+        let mut s = dept_schema();
+        s.primary_key = vec![9];
+        assert!(cat.add_relation(s).is_err());
+
+        let mut s = dept_schema();
+        s.primary_key = vec![1]; // D_NAME is nullable
+        assert!(cat.add_relation(s).is_err());
+
+        let mut s = dept_schema();
+        s.primary_key = vec![];
+        assert!(cat.add_relation(s).is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut cat = Catalog::new();
+        let mut s = dept_schema();
+        s.attributes.push(AttributeDef::required("ID", DataType::Int));
+        assert!(cat.add_relation(s).is_err());
+    }
+
+    #[test]
+    fn fk_must_target_primary_key() {
+        let mut cat = Catalog::new();
+        let d = cat.add_relation(dept_schema()).unwrap();
+        let mut s = emp_schema(d);
+        s.foreign_keys[0].target_attributes = vec![1]; // not the PK
+        cat.add_relation(s).unwrap();
+        assert!(cat.validate().is_err());
+    }
+
+    #[test]
+    fn fk_type_mismatch_detected() {
+        let mut cat = Catalog::new();
+        let d = cat.add_relation(dept_schema()).unwrap();
+        let mut s = emp_schema(d);
+        s.attributes[1] = AttributeDef::required("D_ID", DataType::Int);
+        cat.add_relation(s).unwrap();
+        assert!(cat.validate().is_err());
+    }
+
+    #[test]
+    fn fk_to_unknown_relation_detected() {
+        let mut cat = Catalog::new();
+        let d = RelationId(7);
+        cat.add_relation(emp_schema(d)).unwrap();
+        assert!(cat.validate().is_err());
+    }
+
+    #[test]
+    fn text_attribute_positions() {
+        let mut s = dept_schema();
+        s.attributes.push(AttributeDef::required("BUDGET", DataType::Int));
+        assert_eq!(s.text_attributes(), vec![0, 1]);
+        assert_eq!(s.attribute_index("BUDGET"), Some(2));
+        assert_eq!(s.attribute_index("missing"), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! Physical row storage for one relation.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Row store plus primary-key hash index for a single relation.
+///
+/// The store is insert-only; row indices are stable and double as the
+/// `row` component of [`crate::TupleId`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RelationData {
+    /// Stored rows in insertion order.
+    pub tuples: Vec<Tuple>,
+    /// Primary-key values → row index.
+    pub pk_index: HashMap<Vec<Value>, u32>,
+}
+
+impl RelationData {
+    pub(crate) fn new() -> Self {
+        RelationData::default()
+    }
+
+    /// Number of stored rows.
+    pub(crate) fn len(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let d = RelationData::new();
+        assert_eq!(d.len(), 0);
+        assert!(d.pk_index.is_empty());
+    }
+}

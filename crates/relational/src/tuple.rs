@@ -1,0 +1,124 @@
+//! Tuple storage units and identifiers.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Identifier of a relation inside a [`crate::Catalog`].
+///
+/// `RelationId`s are dense indices assigned in insertion order, which lets
+/// downstream crates use them directly as `Vec` indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifier of a tuple: the relation it lives in plus its row index.
+///
+/// Row indices are stable — the substrate is insert-only, which matches
+/// the paper's read-only search workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// The relation the tuple belongs to.
+    pub relation: RelationId,
+    /// Zero-based row index within the relation.
+    pub row: u32,
+}
+
+impl TupleId {
+    /// Construct a tuple id.
+    pub fn new(relation: RelationId, row: u32) -> Self {
+        TupleId { relation, row }
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.relation, self.row)
+    }
+}
+
+/// A stored tuple: one value per attribute, in schema order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Wrap a row of values. The caller (the [`crate::Database`]) is
+    /// responsible for arity/type checking.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Value at attribute position `idx`.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Project the tuple onto the given attribute positions.
+    ///
+    /// Panics if any index is out of bounds; callers obtain indices from
+    /// the schema, so a violation is a logic error.
+    pub fn project(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_accessors() {
+        let t = Tuple::new(vec!["e1".into(), "Smith".into(), 40i64.into()]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::from("e1")));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.values().len(), 3);
+    }
+
+    #[test]
+    fn tuple_projection_reorders_and_repeats() {
+        let t = Tuple::new(vec!["a".into(), "b".into()]);
+        let p = t.project(&[1, 0, 1]);
+        assert_eq!(
+            p,
+            vec![Value::from("b"), Value::from("a"), Value::from("b")]
+        );
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        let tid = TupleId::new(RelationId(2), 7);
+        assert_eq!(tid.to_string(), "R2#7");
+    }
+
+    #[test]
+    fn tuple_ids_order_by_relation_then_row() {
+        let a = TupleId::new(RelationId(0), 9);
+        let b = TupleId::new(RelationId(1), 0);
+        let c = TupleId::new(RelationId(1), 3);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the relational substrate.
+
+use cla_relational::{DataType, Database, RelationalError, SchemaBuilder, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        any::<f64>().prop_map(Value::from),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::from),
+    ]
+}
+
+proptest! {
+    /// `Value` ordering is a total order: antisymmetric and transitive on
+    /// arbitrary triples, and consistent with equality.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        prop_assert_eq!(a.cmp(&b) == Ordering::Equal, a == b);
+    }
+
+    /// Equal values must hash equally (HashMap key requirement).
+    #[test]
+    fn value_hash_consistent_with_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Inserting n distinct keys yields n tuples, all retrievable by PK,
+    /// and re-inserting any of them fails with DuplicateKey while leaving
+    /// the store unchanged.
+    #[test]
+    fn pk_index_is_exact(keys in proptest::collection::hash_set("[a-z]{1,8}", 1..40)) {
+        let catalog = SchemaBuilder::new()
+            .relation("R", |r| {
+                r.attr("K", DataType::Text)
+                    .attr_nullable("P", DataType::Int)
+                    .primary_key(&["K"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let rel = db.catalog().relation_id("R").unwrap();
+        let keys: Vec<String> = keys.into_iter().collect();
+        for (i, k) in keys.iter().enumerate() {
+            db.insert(rel, vec![k.as_str().into(), (i as i64).into()]).unwrap();
+        }
+        prop_assert_eq!(db.tuple_count(rel), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            let id = db.lookup_pk(rel, &[Value::from(k.as_str())]).unwrap();
+            prop_assert_eq!(db.tuple(id).unwrap().get(1), Some(&Value::from(i as i64)));
+        }
+        let dup = db.insert(rel, vec![keys[0].as_str().into(), Value::Null]);
+        let is_duplicate = matches!(dup, Err(RelationalError::DuplicateKey { .. }));
+        prop_assert!(is_duplicate);
+        prop_assert_eq!(db.tuple_count(rel), keys.len());
+    }
+
+    /// Parent/child inserts always pass referential validation, and the
+    /// reverse reference index agrees edge-for-edge with forward
+    /// navigation.
+    #[test]
+    fn reference_index_matches_forward_navigation(
+        links in proptest::collection::vec(0u8..5, 1..30)
+    ) {
+        let catalog = SchemaBuilder::new()
+            .relation("PARENT", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+            .relation("CHILD", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr("P", DataType::Int)
+                    .primary_key(&["ID"])
+                    .foreign_key("fk", &["P"], "PARENT", &["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let parent = db.catalog().relation_id("PARENT").unwrap();
+        let child = db.catalog().relation_id("CHILD").unwrap();
+        for p in 0..5i64 {
+            db.insert(parent, vec![p.into()]).unwrap();
+        }
+        for (i, &p) in links.iter().enumerate() {
+            db.insert(child, vec![(i as i64).into(), i64::from(p).into()]).unwrap();
+        }
+        db.validate_references().unwrap();
+
+        let idx = db.build_reference_index();
+        let mut forward = Vec::new();
+        for (id, _) in db.tuples(child) {
+            for (fk, target) in db.references_from(id) {
+                forward.push((target, id, fk));
+            }
+        }
+        let mut reverse = Vec::new();
+        for (id, _) in db.tuples(parent) {
+            for &(src, fk) in idx.references_to(id) {
+                reverse.push((id, src, fk));
+            }
+        }
+        forward.sort();
+        reverse.sort();
+        prop_assert_eq!(forward, reverse);
+        prop_assert_eq!(idx.edge_count(), links.len());
+    }
+
+    /// hash_join on the FK attribute equals join_along_fk for valid data.
+    #[test]
+    fn hash_join_agrees_with_fk_join(links in proptest::collection::vec(0u8..4, 0..25)) {
+        let catalog = SchemaBuilder::new()
+            .relation("PARENT", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+            .relation("CHILD", |r| {
+                r.attr("ID", DataType::Int)
+                    .attr("P", DataType::Int)
+                    .primary_key(&["ID"])
+                    .foreign_key("fk", &["P"], "PARENT", &["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let parent = db.catalog().relation_id("PARENT").unwrap();
+        let child = db.catalog().relation_id("CHILD").unwrap();
+        for p in 0..4i64 {
+            db.insert(parent, vec![p.into()]).unwrap();
+        }
+        for (i, &p) in links.iter().enumerate() {
+            db.insert(child, vec![(i as i64).into(), i64::from(p).into()]).unwrap();
+        }
+        let mut a = cla_relational::hash_join(&db, child, "P", parent, "ID").unwrap();
+        let mut b = cla_relational::join_along_fk(&db, child, 0).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! Walk through the paper end to end: Figure 1, Figure 2, Tables 1–3,
+//! and the §3 claims (ranking, instance closeness, MTJNT loss), each
+//! regenerated live and checked against the paper's stated values.
+//!
+//! ```text
+//! cargo run --example paper_walkthrough
+//! ```
+
+use cla_bench::paper;
+use cla_bench::tablefmt::render_checks;
+
+fn main() {
+    let h = paper::harness();
+
+    println!("### Figure 1 — the ER schema (§2)\n");
+    println!("{}\n", paper::figure1_ascii());
+
+    println!("### Figure 2 — the relational database (§3)\n");
+    println!("{}", paper::figure2(&h));
+
+    println!("### Table 1 — relationships and their cardinalities (§2)\n");
+    println!("{}", paper::table1_rendered());
+
+    println!("### Table 2 — connections for \"Smith XML\" / \"Alice\" (§3)\n");
+    println!("{}", paper::table2_rendered(&h));
+
+    println!("### Table 3 — connections with relationships (§3)\n");
+    println!("{}", paper::table3_rendered(&h));
+
+    println!("### E4 — ranking strategies (§3)\n");
+    println!("{}", paper::ranking_rendered(&h));
+
+    println!("### E5 — schema vs instance closeness (§2–3)\n");
+    println!("{}", paper::instance_rendered(&h));
+
+    println!("### E6 — what MTJNT loses (§3)\n");
+    println!("{}", paper::mtjnt_rendered(&h));
+
+    println!("### E7 — participation fan-out (§4 extension)\n");
+    println!("{}", paper::participation_rendered(&h));
+
+    println!("### Verification against the paper\n");
+    let checks = paper::all_checks(&h);
+    let failed = checks.iter().filter(|c| !c.passed()).count();
+    println!("{}", render_checks(&checks));
+    println!(
+        "{} checks, {} passed, {} failed",
+        checks.len(),
+        checks.len() - failed,
+        failed
+    );
+}

@@ -1,0 +1,70 @@
+//! Compare ranking strategies side by side: the conventional RDB-length
+//! order vs the paper's conceptual-length and close-first orders, on
+//! both the paper's database and a larger synthetic one.
+//!
+//! ```text
+//! cargo run --example ranking_comparison
+//! ```
+
+use close_loose_ks::core::{RankStrategy, SearchEngine, SearchOptions};
+use close_loose_ks::datagen::{company, generate_synthetic, SyntheticConfig};
+
+fn show(engine: &SearchEngine, query: &str, title: &str) {
+    println!("== {title}: query \"{query}\" ==\n");
+    let strategies = [
+        RankStrategy::RdbLength,
+        RankStrategy::ErLength,
+        RankStrategy::CloseFirst,
+        RankStrategy::InstanceCloseFirst,
+        RankStrategy::Combined { structure_weight: 1.0 },
+    ];
+    for strategy in strategies {
+        let results = engine
+            .search(
+                query,
+                &SearchOptions { ranker: strategy, k: Some(5), ..Default::default() },
+            )
+            .expect("query runs");
+        println!("{} (top {}):", strategy.name(), results.len());
+        for (i, r) in results.connections.iter().enumerate() {
+            println!(
+                "  {}. {:<45} rdb={} er={} {}{}",
+                i + 1,
+                r.rendering,
+                r.info.rdb_length,
+                r.info.er_length,
+                r.info.closeness,
+                if r.info.nm_count > 0 {
+                    format!(" ({} transitive N:M)", r.info.nm_count)
+                } else {
+                    String::new()
+                },
+            );
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let c = company();
+    let engine = SearchEngine::new(c.db, c.er_schema, c.mapping)
+        .expect("valid")
+        .with_aliases(c.aliases);
+    show(&engine, "Smith XML", "paper database (Figure 2)");
+
+    let s = generate_synthetic(&SyntheticConfig {
+        departments: 6,
+        seed: 7,
+        ..Default::default()
+    });
+    let engine = SearchEngine::new(s.db, s.er_schema, s.mapping)
+        .expect("valid")
+        .with_aliases(s.aliases);
+    show(&engine, "xml smith", "synthetic database (6 departments)");
+
+    println!(
+        "Note how close-first pushes the sibling-fan-out connections\n\
+         (project N:1 department 1:N employee) to the bottom while keeping\n\
+         longer-but-factual connections above them — §3 of the paper."
+    );
+}

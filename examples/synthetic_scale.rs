@@ -1,0 +1,83 @@
+//! Scale study: generate synthetic company databases of increasing
+//! size, run a keyword workload with each algorithm, and report result
+//! counts, MTJNT losses and wall-clock timings.
+//!
+//! ```text
+//! cargo run --release --example synthetic_scale
+//! ```
+
+use close_loose_ks::core::{Algorithm, SearchEngine, SearchOptions};
+use close_loose_ks::datagen::{
+    generate_synthetic, generate_workload, SyntheticConfig, WorkloadConfig,
+};
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:>5} {:>7} {:>9} {:>9} {:>9} {:>8} {:>10} {:>10}",
+        "depts", "tuples", "paths", "mtjnt", "loss%", "banks", "t_paths", "t_banks"
+    );
+    for departments in [2usize, 4, 8, 16, 32] {
+        let config = SyntheticConfig {
+            departments,
+            employees_per_department: 8,
+            projects_per_department: 3,
+            xml_selectivity: 0.15,
+            smith_selectivity: 0.1,
+            seed: 7,
+            ..Default::default()
+        };
+        let s = generate_synthetic(&config);
+        let tuples = s.db.total_tuples();
+        let engine = SearchEngine::new(s.db, s.er_schema, s.mapping)
+            .expect("valid")
+            .with_aliases(s.aliases);
+
+        let workload = generate_workload(
+            &WorkloadConfig { num_queries: 5, keywords_per_query: 2, seed: 13 },
+            &["xml", "smith", "alice", "databases", "retrieval"],
+        );
+
+        let mut paths_total = 0usize;
+        let mut mtjnt_total = 0usize;
+        let mut banks_total = 0usize;
+        let t0 = Instant::now();
+        for q in &workload {
+            let opts = SearchOptions {
+                max_rdb_length: 3,
+                compute_instance: false,
+                ..Default::default()
+            };
+            paths_total += engine.search(q, &opts).map(|r| r.len()).unwrap_or(0);
+            let opts = SearchOptions { mtjnt_only: true, ..opts };
+            mtjnt_total += engine.search(q, &opts).map(|r| r.len()).unwrap_or(0);
+        }
+        let t_paths = t0.elapsed();
+        let t0 = Instant::now();
+        for q in &workload {
+            let opts = SearchOptions {
+                algorithm: Algorithm::Banks,
+                k: Some(20),
+                compute_instance: false,
+                ..Default::default()
+            };
+            banks_total += engine.search(q, &opts).map(|r| r.len()).unwrap_or(0);
+        }
+        let t_banks = t0.elapsed();
+
+        let loss = if paths_total == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - mtjnt_total as f64 / paths_total as f64)
+        };
+        println!(
+            "{:>5} {:>7} {:>9} {:>9} {:>8.1}% {:>8} {:>9.2?} {:>9.2?}",
+            departments, tuples, paths_total, mtjnt_total, loss, banks_total, t_paths, t_banks
+        );
+    }
+    println!(
+        "\nShapes to observe: MTJNT keeps a strict subset of the\n\
+         enumerated connections (the paper's §3 loss, now at scale), and\n\
+         BANKS with a top-k bound stays fast as the database grows."
+    );
+}

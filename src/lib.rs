@@ -1,0 +1,44 @@
+//! # close-loose-ks — workspace façade
+//!
+//! A production-quality Rust reproduction of *Close and Loose
+//! Associations in Keyword Search from Structural Data* (Vainio,
+//! Junkkari, Kekäläinen; EDBT/ICDT 2017 workshops).
+//!
+//! This crate re-exports the whole workspace under stable module names;
+//! see the individual crates for details:
+//!
+//! * [`relational`] — in-memory relational engine (schemas, PK/FK,
+//!   joins);
+//! * [`er`] — ER model, cardinality chains, close/loose classification,
+//!   ER→relational mapping;
+//! * [`graph`] — graph substrate (traversal, path enumeration,
+//!   Dijkstra);
+//! * [`index`] — tokenizer, inverted index, keyword queries, tf·idf;
+//! * [`core`] — the paper's contribution: connections, conceptual
+//!   length, closeness ranking, BANKS and DISCOVER/MTJNT search;
+//! * [`datagen`] — the paper's Figure 1/2 fixture and synthetic
+//!   generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use close_loose_ks::core::{SearchEngine, SearchOptions};
+//! use close_loose_ks::datagen::company;
+//!
+//! let c = company();
+//! let engine = SearchEngine::new(c.db, c.er_schema, c.mapping)
+//!     .unwrap()
+//!     .with_aliases(c.aliases);
+//! let results = engine.search("Smith XML", &SearchOptions::default()).unwrap();
+//! for r in &results.connections {
+//!     println!("{:<40} rdb={} er={} {}", r.rendering,
+//!              r.info.rdb_length, r.info.er_length, r.info.closeness);
+//! }
+//! ```
+
+pub use cla_core as core;
+pub use cla_datagen as datagen;
+pub use cla_er as er;
+pub use cla_graph as graph;
+pub use cla_index as index;
+pub use cla_relational as relational;

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: datagen → relational → er mapping →
+//! index → core engine, exercised together on synthetic databases.
+
+use close_loose_ks::core::{Algorithm, RankStrategy, SearchEngine, SearchOptions};
+use close_loose_ks::datagen::{
+    generate_synthetic, generate_workload, SyntheticConfig, WorkloadConfig,
+};
+use close_loose_ks::er::Closeness;
+use std::collections::HashSet;
+
+fn engine(departments: usize, seed: u64) -> SearchEngine {
+    let s = generate_synthetic(&SyntheticConfig {
+        departments,
+        xml_selectivity: 0.3,
+        smith_selectivity: 0.2,
+        alice_selectivity: 0.3,
+        seed,
+        ..Default::default()
+    });
+    SearchEngine::new(s.db, s.er_schema, s.mapping)
+        .expect("synthetic database is consistent")
+        .with_aliases(s.aliases)
+}
+
+#[test]
+fn full_pipeline_produces_ranked_results() {
+    let engine = engine(4, 42);
+    let results = engine
+        .search("xml smith", &SearchOptions { max_rdb_length: 3, ..Default::default() })
+        .unwrap();
+    assert!(!results.is_empty(), "planted keywords must connect");
+    // Close-first invariant: no loose connection before a close one of
+    // smaller-or-equal N:M count… simplest check: closeness values are
+    // non-decreasing down the list.
+    let ranks: Vec<Closeness> =
+        results.connections.iter().map(|r| r.info.closeness).collect();
+    let mut sorted = ranks.clone();
+    sorted.sort();
+    assert_eq!(ranks, sorted, "close connections must rank above loose ones");
+}
+
+#[test]
+fn discover_results_are_a_subset_of_path_results() {
+    let engine = engine(4, 42);
+    let base = SearchOptions { max_rdb_length: 3, compute_instance: false, ..Default::default() };
+    let paths = engine.search("xml smith", &base).unwrap();
+    let discover = engine
+        .search("xml smith", &SearchOptions { algorithm: Algorithm::Discover, ..base })
+        .unwrap();
+    let all: HashSet<String> =
+        paths.connections.iter().map(|r| r.rendering.clone()).collect();
+    for r in &discover.connections {
+        assert!(
+            all.contains(&r.rendering),
+            "MTJNT result {} missing from full enumeration",
+            r.rendering
+        );
+    }
+    assert!(discover.len() <= paths.len());
+}
+
+#[test]
+fn banks_results_are_valid_connections() {
+    let engine = engine(6, 7);
+    let results = engine
+        .search(
+            "xml smith",
+            &SearchOptions {
+                algorithm: Algorithm::Banks,
+                k: Some(10),
+                compute_instance: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    for r in &results.connections {
+        // Endpoints must match both keywords between them.
+        let info = &r.info;
+        assert!(info.er_length <= info.rdb_length);
+        assert_eq!(info.er_chain.len(), info.er_length);
+    }
+}
+
+#[test]
+fn every_workload_query_runs_on_every_algorithm() {
+    let engine = engine(5, 11);
+    let workload = generate_workload(
+        &WorkloadConfig { num_queries: 8, keywords_per_query: 2, seed: 3 },
+        &[],
+    );
+    for q in &workload {
+        for algorithm in [Algorithm::Paths, Algorithm::Banks, Algorithm::Discover] {
+            let opts = SearchOptions {
+                algorithm,
+                max_rdb_length: 3,
+                k: Some(10),
+                compute_instance: false,
+                ..Default::default()
+            };
+            let results = engine.search(q, &opts).unwrap();
+            // Sanity: every rendered connection mentions at least one
+            // tuple alias.
+            for r in &results.connections {
+                assert!(!r.rendering.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn rankers_agree_on_the_single_best_close_connection() {
+    // When a direct (immediate) connection exists it must be ranked
+    // first by RDB length, ER length and close-first alike.
+    let engine = engine(3, 19);
+    for strategy in
+        [RankStrategy::RdbLength, RankStrategy::ErLength, RankStrategy::CloseFirst]
+    {
+        let results = engine
+            .search(
+                "xml smith",
+                &SearchOptions { ranker: strategy, max_rdb_length: 3, ..Default::default() },
+            )
+            .unwrap();
+        if let Some(best) = results.connections.first() {
+            assert!(
+                best.info.rdb_length <= 2,
+                "{}: unexpected best {:?}",
+                strategy.name(),
+                best.rendering
+            );
+        }
+    }
+}
+
+#[test]
+fn three_keyword_queries_work_through_banks() {
+    let engine = engine(5, 23);
+    let results = engine.search(
+        "xml smith alice",
+        &SearchOptions {
+            algorithm: Algorithm::Banks,
+            k: Some(5),
+            compute_instance: false,
+            ..Default::default()
+        },
+    );
+    // Depending on the seed the keywords may or may not connect; the
+    // call itself must always succeed.
+    let results = results.unwrap();
+    for t in &results.trees {
+        assert_eq!(t.keyword_nodes.len(), 3);
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    use close_loose_ks::index::KeywordQuery;
+    use close_loose_ks::relational::Value;
+
+    let c = close_loose_ks::datagen::company();
+    let q = KeywordQuery::parse("Smith");
+    assert_eq!(q.keywords(), &["smith"]);
+    let emp = c.db.catalog().relation_id("EMPLOYEE").unwrap();
+    let e1 = c.db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+    assert_eq!(c.alias(e1), "e1");
+}

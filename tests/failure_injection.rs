@@ -1,0 +1,120 @@
+//! Failure-injection tests: broken inputs must fail loudly and
+//! precisely at every layer.
+
+use close_loose_ks::core::{CoreError, SearchEngine, SearchOptions};
+use close_loose_ks::datagen::{company, company_er_schema};
+use close_loose_ks::er::map_to_relational;
+use close_loose_ks::relational::{Database, RelationalError, Value};
+
+#[test]
+fn dangling_reference_is_rejected_at_engine_build() {
+    let c = company();
+    let mut db = c.db.clone();
+    let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+    // An employee pointing at a department that does not exist.
+    db.insert(emp, vec!["e99".into(), "Ghost".into(), "Casper".into(), "d99".into()])
+        .unwrap();
+    let err = SearchEngine::new(db, c.er_schema, c.mapping).unwrap_err();
+    assert!(matches!(err, CoreError::Relational(_)), "{err}");
+    assert!(err.to_string().contains("works_for"), "{err}");
+}
+
+#[test]
+fn type_violations_fail_at_insert() {
+    let c = company();
+    let mut db = c.db.clone();
+    let wf = db.catalog().relation_id("WORKS_FOR").unwrap();
+    // HOURS is an integer; a text value must be rejected.
+    let err = db
+        .insert(wf, vec!["e1".into(), "p2".into(), "forty".into()])
+        .unwrap_err();
+    assert!(matches!(err, RelationalError::TypeMismatch { .. }));
+}
+
+#[test]
+fn duplicate_membership_fails_on_composite_key() {
+    let c = company();
+    let mut db = c.db.clone();
+    let wf = db.catalog().relation_id("WORKS_FOR").unwrap();
+    let err = db
+        .insert(wf, vec!["e1".into(), "p1".into(), Value::from(1i64)])
+        .unwrap_err();
+    assert!(matches!(err, RelationalError::DuplicateKey { .. }));
+}
+
+#[test]
+fn mapping_rejects_colliding_columns() {
+    use close_loose_ks::er::{Cardinality, ErSchemaBuilder};
+    use close_loose_ks::relational::DataType;
+    let schema = ErSchemaBuilder::new()
+        .entity("A", |e| e.key("ID", DataType::Int))
+        .entity("B", |e| e.key("ID", DataType::Int).attr("A_ID", DataType::Int))
+        .relationship("R", "A", "B", Cardinality::ONE_TO_MANY, |r| r)
+        .build()
+        .unwrap();
+    assert!(map_to_relational(&schema).is_err());
+}
+
+#[test]
+fn searching_a_foreign_catalog_fails_with_missing_roles() {
+    // A database built over a hand-made catalog (not produced by the
+    // mapper) has no FK provenance; the engine must refuse it.
+    use close_loose_ks::relational::{DataType, SchemaBuilder};
+    let catalog = SchemaBuilder::new()
+        .relation("A", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
+        .relation("B", |r| {
+            // Two foreign keys: more than the company mapping records
+            // for the relation at this position, so the provenance
+            // lookup must fail.
+            r.attr("ID", DataType::Int)
+                .attr("A_REF", DataType::Int)
+                .attr("A_REF2", DataType::Int)
+                .primary_key(&["ID"])
+                .foreign_key("f1", &["A_REF"], "A", &["ID"])
+                .foreign_key("f2", &["A_REF2"], "A", &["ID"])
+        })
+        .build()
+        .unwrap();
+    let mut db = Database::new(catalog).unwrap();
+    let a = db.catalog().relation_id("A").unwrap();
+    let b = db.catalog().relation_id("B").unwrap();
+    db.insert(a, vec![1i64.into()]).unwrap();
+    db.insert(b, vec![1i64.into(), 1i64.into(), 1i64.into()]).unwrap();
+
+    // Pair the foreign catalog with the (unrelated) company mapping.
+    let er_schema = company_er_schema();
+    let mapping = map_to_relational(&er_schema).unwrap();
+    let err = SearchEngine::new(db, er_schema, mapping).unwrap_err();
+    assert!(
+        matches!(err, CoreError::MissingFkRole { .. } | CoreError::Relational(_)),
+        "{err}"
+    );
+}
+
+#[test]
+fn empty_and_overlong_queries_error_cleanly() {
+    let c = company();
+    let engine = SearchEngine::new(c.db, c.er_schema, c.mapping).unwrap();
+    assert!(matches!(
+        engine.search("", &SearchOptions::default()),
+        Err(CoreError::InvalidQuery(_))
+    ));
+    assert!(matches!(
+        engine.search("Smith XML Alice", &SearchOptions::default()),
+        Err(CoreError::InvalidQuery(_))
+    ));
+}
+
+#[test]
+fn csv_round_trip_of_the_company_instance() {
+    use close_loose_ks::relational::{from_csv, to_csv};
+    let c = company();
+    let mut db2 = Database::new(c.db.catalog().clone()).unwrap();
+    for (rel, _) in c.db.catalog().iter() {
+        let csv = to_csv(&c.db, rel).unwrap();
+        let n = from_csv(&mut db2, rel, &csv).unwrap();
+        assert_eq!(n, c.db.tuple_count(rel));
+    }
+    db2.validate_references().unwrap();
+    assert_eq!(db2.total_tuples(), c.db.total_tuples());
+}
