@@ -9,27 +9,32 @@ use std::hint::black_box;
 const QUERY: &str = "xml smith";
 const SEED: u64 = 7;
 
-/// B1: connection enumeration vs database size and length bound,
-/// including the ER-aware-pruning ablation (max length interpreted at
-/// the RDB level; a conceptual bound admits longer collapsed paths).
+/// B1: connection enumeration vs database size and length bound. Each
+/// configuration runs twice: the default distance-pruned multi-target
+/// enumeration, and the `_naive` per-(source, target)-pair seed path —
+/// the before/after pair recorded in EXPERIMENTS.md.
 fn enumerate_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/enumerate");
     for departments in [4usize, 8, 16] {
         let engine = synthetic_engine(departments, SEED);
         for max_len in [3usize, 4] {
-            let id = format!("dept{departments}_len{max_len}");
-            group.bench_with_input(
-                BenchmarkId::from_parameter(&id),
-                &max_len,
-                |b, &max_len| {
-                    let opts = SearchOptions {
-                        max_rdb_length: max_len,
-                        compute_instance: false,
-                        ..Default::default()
-                    };
-                    b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
-                },
-            );
+            for naive in [false, true] {
+                let suffix = if naive { "_naive" } else { "" };
+                let id = format!("dept{departments}_len{max_len}{suffix}");
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(&id),
+                    &max_len,
+                    |b, &max_len| {
+                        let opts = SearchOptions {
+                            max_rdb_length: max_len,
+                            compute_instance: false,
+                            naive_enumeration: naive,
+                            ..Default::default()
+                        };
+                        b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+                    },
+                );
+            }
         }
     }
     group.finish();
@@ -103,7 +108,9 @@ fn mtjnt_coverage(c: &mut Criterion) {
     group.finish();
 }
 
-/// B5: instance-closeness witness-search cost (on vs off).
+/// B5: instance-closeness witness-search cost: disabled, the default
+/// short-circuiting + batched search, and the naive materialize-all
+/// witness scan applied to the same result set (the seed behavior).
 fn witness_cost(c: &mut Criterion) {
     let engine = synthetic_engine(8, SEED);
     let mut group = c.benchmark_group("scaling/witness_cost");
@@ -117,6 +124,32 @@ fn witness_cost(c: &mut Criterion) {
             b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
         });
     }
+    group.bench_function("on_naive", |b| {
+        let opts = SearchOptions {
+            max_rdb_length: 3,
+            compute_instance: false,
+            ..Default::default()
+        };
+        let results = engine.search(QUERY, &opts).unwrap();
+        let dg = engine.data_graph();
+        b.iter(|| {
+            let verdicts: usize = results
+                .connections
+                .iter()
+                .filter(|r| {
+                    cla_core::instance_closeness_naive(
+                        &r.connection,
+                        dg,
+                        engine.er_schema(),
+                        engine.mapping(),
+                        4,
+                    )
+                    .is_close()
+                })
+                .count();
+            black_box(verdicts)
+        })
+    });
     group.finish();
 }
 
@@ -126,10 +159,9 @@ fn index_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/index");
     for departments in [4usize, 16] {
         let engine = synthetic_engine(departments, SEED);
-        group.bench_function(
-            BenchmarkId::new("build", departments),
-            |b| b.iter(|| black_box(cla_index::InvertedIndex::build(engine.db()))),
-        );
+        group.bench_function(BenchmarkId::new("build", departments), |b| {
+            b.iter(|| black_box(cla_index::InvertedIndex::build(engine.db())))
+        });
         group.bench_function(BenchmarkId::new("lookup", departments), |b| {
             b.iter(|| black_box(engine.index().matching_tuples("xml").len()))
         });

@@ -37,10 +37,7 @@ impl Harness {
     /// The connection following the given aliases (paper's connection
     /// notation, e.g. `["p1", "w_f1", "e1"]`).
     pub fn connection(&self, aliases: &[&str]) -> Connection {
-        let tuples: Vec<TupleId> = aliases
-            .iter()
-            .map(|a| self.by_alias[*a])
-            .collect();
+        let tuples: Vec<TupleId> = aliases.iter().map(|a| self.by_alias[*a]).collect();
         self.engine
             .connection_following(&tuples)
             .unwrap_or_else(|| panic!("no FK path through {aliases:?}"))
@@ -119,11 +116,7 @@ pub fn figure2(h: &Harness) -> String {
 pub fn figure_checks(h: &Harness) -> Vec<Check> {
     let schema = company_er_schema();
     let db = h.engine.db();
-    let count = |name: &str| {
-        db.catalog()
-            .relation_id(name)
-            .map_or(0, |r| db.tuple_count(r))
-    };
+    let count = |name: &str| db.catalog().relation_id(name).map_or(0, |r| db.tuple_count(r));
     vec![
         Check::new("F1 entity types", "4", schema.entity_count().to_string()),
         Check::new("F1 relationships", "4", schema.relationship_count().to_string()),
@@ -173,22 +166,38 @@ pub fn table1() -> Vec<Table1Row> {
     let rows: Vec<(usize, SchemaPath)> = vec![
         (1, SchemaPath { start: dept, steps: vec![step(works_for, false)] }),
         (2, SchemaPath { start: proj, steps: vec![step(works_on, false)] }),
-        (3, SchemaPath {
-            start: dept,
-            steps: vec![step(works_for, false), step(dependents, true)],
-        }),
-        (4, SchemaPath {
-            start: dept,
-            steps: vec![step(controls, true), step(works_on, false)],
-        }),
-        (5, SchemaPath {
-            start: proj,
-            steps: vec![step(controls, false), step(works_for, false)],
-        }),
-        (6, SchemaPath {
-            start: dept,
-            steps: vec![step(controls, true), step(works_on, false), step(dependents, true)],
-        }),
+        (
+            3,
+            SchemaPath {
+                start: dept,
+                steps: vec![step(works_for, false), step(dependents, true)],
+            },
+        ),
+        (
+            4,
+            SchemaPath {
+                start: dept,
+                steps: vec![step(controls, true), step(works_on, false)],
+            },
+        ),
+        (
+            5,
+            SchemaPath {
+                start: proj,
+                steps: vec![step(controls, false), step(works_for, false)],
+            },
+        ),
+        (
+            6,
+            SchemaPath {
+                start: dept,
+                steps: vec![
+                    step(controls, true),
+                    step(works_on, false),
+                    step(dependents, true),
+                ],
+            },
+        ),
     ];
     let _ = (emp, dependent);
     rows.into_iter()
@@ -280,11 +289,7 @@ pub fn table2(h: &Harness) -> Vec<Table2Row> {
             let markers = h.markers(query);
             Table2Row {
                 id: *id,
-                rendering: conn.render(
-                    h.engine.data_graph(),
-                    h.engine.aliases(),
-                    &markers,
-                ),
+                rendering: conn.render(h.engine.data_graph(), h.engine.aliases(), &markers),
                 rdb_length: conn.rdb_length(),
                 er_length: conn.er_length(
                     h.engine.data_graph(),
@@ -361,21 +366,15 @@ pub fn table3_checks(h: &Harness) -> Vec<Check> {
         .map(|((id, aliases, _), (eid, chain))| {
             debug_assert_eq!(*id, eid);
             let conn = h.connection(aliases);
-            Check::new(
-                format!("T3 conn {id} chain"),
-                chain,
-                conn.rdb_chain().to_string(),
-            )
+            Check::new(format!("T3 conn {id} chain"), chain, conn.rdb_chain().to_string())
         })
         .collect()
 }
 
 /// Render Table 3 as text.
 pub fn table3_rendered(h: &Harness) -> String {
-    let rows: Vec<Vec<String>> = table3(h)
-        .into_iter()
-        .map(|(id, s)| vec![id.to_string(), s])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        table3(h).into_iter().map(|(id, s)| vec![id.to_string(), s]).collect();
     format_table(&["#", "connection with relationships"], &rows)
 }
 
@@ -394,7 +393,7 @@ pub fn ranking_order(h: &Harness, strategy: RankStrategy) -> Vec<usize> {
             (*id, h.engine.connection_info(&conn, &q, true, 4))
         })
         .collect();
-    cla_core::sort_by_strategy(&mut items, strategy, |x| &x.1, |x| x.0);
+    cla_core::sort_by_strategy(&mut items, strategy, |x| &x.1, |a, b| a.0.cmp(&b.0));
     items.into_iter().map(|(id, _)| id).collect()
 }
 
@@ -426,12 +425,7 @@ pub fn ranking_rendered(h: &Harness) -> String {
     ];
     let rows: Vec<Vec<String>> = strategies
         .iter()
-        .map(|s| {
-            vec![
-                s.name().to_owned(),
-                format!("{:?}", ranking_order(h, *s)),
-            ]
-        })
+        .map(|s| vec![s.name().to_owned(), format!("{:?}", ranking_order(h, *s))])
         .collect();
     format_table(&["strategy", "connection order (ids 1-7)"], &rows)
 }
@@ -468,7 +462,7 @@ pub fn instance_rows(h: &Harness) -> Vec<(usize, Closeness, bool)> {
 pub const INSTANCE_EXPECTED: [(usize, bool, bool); 9] = [
     (1, true, true),
     (2, true, true),
-    (3, false, true),  // "in an instance level, also connections 3 and 4…"
+    (3, false, true), // "in an instance level, also connections 3 and 4…"
     (4, false, true),
     (5, true, true),
     (6, false, false), // Barbara does not work on p2
@@ -514,10 +508,9 @@ pub fn instance_rendered(h: &Harness) -> String {
                 instance_closeness(&conn, dg, h.engine.er_schema(), h.engine.mapping(), 4);
             let (instance, witness) = match &verdict {
                 InstanceCloseness::SchemaClose => ("close".to_owned(), "—".to_owned()),
-                InstanceCloseness::WitnessClose(w) => (
-                    "close".to_owned(),
-                    w.render(dg, h.engine.aliases(), &markers),
-                ),
+                InstanceCloseness::WitnessClose(w) => {
+                    ("close".to_owned(), w.render(dg, h.engine.aliases(), &markers))
+                }
                 InstanceCloseness::Loose => ("loose".to_owned(), "—".to_owned()),
             };
             vec![

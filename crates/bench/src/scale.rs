@@ -55,11 +55,7 @@ pub fn coverage(engine: &SearchEngine, query: &str, max_rdb_length: usize) -> Co
     let all = engine
         .search(
             query,
-            &SearchOptions {
-                max_rdb_length,
-                compute_instance: false,
-                ..Default::default()
-            },
+            &SearchOptions { max_rdb_length, compute_instance: false, ..Default::default() },
         )
         .map(|r| r.len())
         .unwrap_or(0);

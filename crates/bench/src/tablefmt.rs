@@ -48,7 +48,11 @@ pub struct Check {
 
 impl Check {
     /// Build a check.
-    pub fn new(name: impl Into<String>, expected: impl Into<String>, actual: impl Into<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Self {
         Check { name: name.into(), expected: expected.into(), actual: actual.into() }
     }
 
@@ -82,10 +86,7 @@ mod tests {
     fn table_is_aligned() {
         let s = format_table(
             &["id", "value"],
-            &[
-                vec!["1".into(), "short".into()],
-                vec!["22".into(), "a longer cell".into()],
-            ],
+            &[vec!["1".into(), "short".into()], vec!["22".into(), "a longer cell".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -15,7 +15,7 @@
 
 use crate::datagraph::{DataGraph, EdgeAnnotation};
 use cla_er::FkRole;
-use cla_graph::{dijkstra, EdgeId, NodeId};
+use cla_graph::{dijkstra_csr, EdgeId, NodeId};
 use cla_relational::TupleId;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -121,10 +121,7 @@ impl SteinerTree {
         let mut prev: Option<NodeId> = None;
         let mut current = start;
         loop {
-            let next = adj[&current]
-                .iter()
-                .find(|(_, m)| Some(*m) != prev)
-                .copied();
+            let next = adj[&current].iter().find(|(_, m)| Some(*m) != prev).copied();
             match next {
                 Some((e, m)) => {
                     edges.push(e);
@@ -154,21 +151,23 @@ pub fn banks_search(
         return Vec::new();
     }
     let g = dg.graph();
+    let csr = dg.csr();
     let weight_of = |e: EdgeId| opts.weighting.weight(g.edge(e).payload);
 
     // Multi-source Dijkstra per keyword set, via a virtual source: run
-    // plain Dijkstra from each member and take the minimum. Sets are
+    // CSR Dijkstra from each member and take the minimum. Sets are
     // usually tiny (keyword selectivity), so this stays cheap; for large
     // sets a virtual-source variant would be the optimization.
     let mut dists: Vec<Vec<f64>> = Vec::with_capacity(keyword_sets.len());
-    let mut parents: Vec<Vec<Option<(NodeId, EdgeId)>>> = Vec::with_capacity(keyword_sets.len());
+    let mut parents: Vec<Vec<Option<(NodeId, EdgeId)>>> =
+        Vec::with_capacity(keyword_sets.len());
     let mut origins: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(keyword_sets.len());
     for set in keyword_sets {
         let mut best = vec![f64::INFINITY; g.node_count()];
         let mut par: Vec<Option<(NodeId, EdgeId)>> = vec![None; g.node_count()];
         let mut org: Vec<Option<NodeId>> = vec![None; g.node_count()];
         for &src in set {
-            let r = dijkstra(g, src, true, weight_of);
+            let r = dijkstra_csr(csr, src, weight_of);
             for n in g.nodes() {
                 if r.dist[n.index()] < best[n.index()] {
                     best[n.index()] = r.dist[n.index()];
@@ -239,10 +238,7 @@ mod tests {
     }
 
     fn nodes_of(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Vec<NodeId> {
-        aliases
-            .iter()
-            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
-            .collect()
+        aliases.iter().map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap()).collect()
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl CandidateNetwork {
             degree[e.from] += 1;
             degree[e.to] += 1;
         }
-        self.nodes
-            .iter()
-            .zip(&degree)
-            .all(|(n, &d)| d != 1 || !n.keywords.is_empty())
+        self.nodes.iter().zip(&degree).all(|(n, &d)| d != 1 || !n.keywords.is_empty())
             && (self.nodes.len() > 1 || !self.nodes[0].keywords.is_empty())
     }
 
@@ -121,7 +118,11 @@ impl KeywordRelationMap {
 
     /// Tuples of `r` matching ALL keyword indices in `kws` (free → all
     /// tuples, resolved by the caller).
-    pub fn tuples_matching(&self, r: RelationId, kws: &BTreeSet<usize>) -> Option<Vec<TupleId>> {
+    pub fn tuples_matching(
+        &self,
+        r: RelationId,
+        kws: &BTreeSet<usize>,
+    ) -> Option<Vec<TupleId>> {
         let mut iter = kws.iter();
         let first = iter.next()?;
         let mut out: Vec<TupleId> =
@@ -280,11 +281,8 @@ pub fn evaluate_candidate_network(
                     if other >= partial.len() && other != idx {
                         return true; // other side not yet assigned
                     }
-                    let (owner_t, target_t) = if a == idx {
-                        (t, partial[b])
-                    } else {
-                        (partial[a], t)
-                    };
+                    let (owner_t, target_t) =
+                        if a == idx { (t, partial[b]) } else { (partial[a], t) };
                     matches!(db.fk_target(owner_t, e.fk_index), Ok(Some(x)) if x == target_t)
                 });
                 if ok {
@@ -347,10 +345,7 @@ mod tests {
         let c = company();
         let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
         let index = InvertedIndex::build(&c.db);
-        let matches = vec![
-            index.matching_tuples("smith"),
-            index.matching_tuples("xml"),
-        ];
+        let matches = vec![index.matching_tuples("smith"), index.matching_tuples("xml")];
         (c, dg, matches)
     }
 
@@ -417,15 +412,12 @@ mod tests {
         let c = company();
         let index = InvertedIndex::build(&c.db);
         // d1 matches both "teaching" and "xml".
-        let matches =
-            vec![index.matching_tuples("teaching"), index.matching_tuples("xml")];
+        let matches = vec![index.matching_tuples("teaching"), index.matching_tuples("xml")];
         let cns = generate_candidate_networks(&c.db, &matches, 1);
         assert!(!cns.is_empty());
         let dept = c.db.catalog().relation_id("DEPARTMENT").unwrap();
         assert!(cns.iter().any(|cn| {
-            cn.size() == 1
-                && cn.nodes[0].relation == dept
-                && cn.nodes[0].keywords.len() == 2
+            cn.size() == 1 && cn.nodes[0].relation == dept && cn.nodes[0].keywords.len() == 2
         }));
     }
 

@@ -170,11 +170,14 @@ impl Connection {
                 {
                     if ra == rb && t.from == s.to {
                         let rel = schema.relationship(ra).expect("mapped relationship");
-                        let from_entity = mapping
-                            .relation_entity(dg.tuple_of(s.from).relation);
+                        let from_entity =
+                            mapping.relation_entity(dg.tuple_of(s.from).relation);
                         let forward = from_entity == Some(rel.left);
-                        let cardinality =
-                            if forward { rel.cardinality } else { rel.cardinality.reversed() };
+                        let cardinality = if forward {
+                            rel.cardinality
+                        } else {
+                            rel.cardinality.reversed()
+                        };
                         out.push(ConceptualStep {
                             from: s.from,
                             to: t.to,
@@ -224,7 +227,12 @@ impl Connection {
     }
 
     /// The paper's "length in ER": number of conceptual steps.
-    pub fn er_length(&self, dg: &DataGraph, schema: &ErSchema, mapping: &SchemaMapping) -> usize {
+    pub fn er_length(
+        &self,
+        dg: &DataGraph,
+        schema: &ErSchema,
+        mapping: &SchemaMapping,
+    ) -> usize {
         self.conceptual_steps(dg, schema, mapping).len()
     }
 
@@ -235,10 +243,7 @@ impl Connection {
         schema: &ErSchema,
         mapping: &SchemaMapping,
     ) -> CardinalityChain {
-        self.conceptual_steps(dg, schema, mapping)
-            .iter()
-            .map(|s| s.cardinality)
-            .collect()
+        self.conceptual_steps(dg, schema, mapping).iter().map(|s| s.cardinality).collect()
     }
 
     /// The paper's §2 classification of the ER chain.
@@ -271,11 +276,29 @@ impl Connection {
         aliases: &HashMap<TupleId, String>,
         markers: &HashMap<NodeId, Vec<String>>,
     ) -> String {
-        self.nodes
-            .iter()
-            .map(|&n| render_node(n, dg, aliases, markers))
-            .collect::<Vec<_>>()
-            .join(" – ")
+        self.render_cached(dg, aliases, markers, &mut HashMap::new())
+    }
+
+    /// [`Connection::render`] with node labels memoized across calls —
+    /// result sets label the same matched tuples in many connections,
+    /// so the engine shares one cache per search.
+    pub fn render_cached(
+        &self,
+        dg: &DataGraph,
+        aliases: &HashMap<TupleId, String>,
+        markers: &HashMap<NodeId, Vec<String>>,
+        cache: &mut HashMap<NodeId, String>,
+    ) -> String {
+        let mut out = String::with_capacity(self.nodes.len() * 12);
+        for (i, &n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" – ");
+            }
+            let label =
+                cache.entry(n).or_insert_with(|| render_node(n, dg, aliases, markers));
+            out.push_str(label);
+        }
+        out
     }
 
     /// Render with RDB-level cardinalities interleaved, the paper's
@@ -323,10 +346,8 @@ mod tests {
 
     /// Build the connection following the given aliases in order.
     fn conn(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Connection {
-        let want: Vec<NodeId> = aliases
-            .iter()
-            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
-            .collect();
+        let want: Vec<NodeId> =
+            aliases.iter().map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap()).collect();
         let from = want[0];
         let to = *want.last().unwrap();
         let paths = enumerate_simple_paths_undirected(dg.graph(), from, to, 6, None);
@@ -388,12 +409,8 @@ mod tests {
     #[test]
     fn closeness_classification() {
         let (c, dg) = setup();
-        let close: &[&[&str]] = &[
-            &["d1", "e1"],
-            &["p1", "w_f1", "e1"],
-            &["d2", "e2"],
-            &["d1", "e3", "t1"],
-        ];
+        let close: &[&[&str]] =
+            &[&["d1", "e1"], &["p1", "w_f1", "e1"], &["d2", "e2"], &["d1", "e3", "t1"]];
         let loose: &[&[&str]] = &[
             &["p1", "d1", "e1"],
             &["d1", "p1", "w_f1", "e1"],

@@ -8,7 +8,7 @@
 
 use crate::error::CoreError;
 use cla_er::{FkRole, SchemaMapping};
-use cla_graph::{EdgeId, Graph, NodeId};
+use cla_graph::{CsrAdjacency, EdgeId, Graph, NodeId};
 use cla_relational::{Database, TupleId};
 use std::collections::HashMap;
 
@@ -26,6 +26,10 @@ pub struct EdgeAnnotation {
 #[derive(Debug, Clone)]
 pub struct DataGraph {
     graph: Graph<TupleId, EdgeAnnotation>,
+    /// Flat undirected adjacency, built once — every traversal-heavy
+    /// algorithm (path enumeration, BFS frontiers, BANKS expansion,
+    /// MTJNT growth) walks this instead of the nested edge lists.
+    csr: CsrAdjacency,
     node_of: HashMap<TupleId, NodeId>,
     middle: Vec<bool>,
 }
@@ -53,10 +57,7 @@ impl DataGraph {
             for (id, _) in db.tuples(rel) {
                 for (fk_index, target) in db.references_from(id) {
                     let role = mapping.fk_role(rel, fk_index).ok_or_else(|| {
-                        CoreError::MissingFkRole {
-                            relation: schema.name.clone(),
-                            fk_index,
-                        }
+                        CoreError::MissingFkRole { relation: schema.name.clone(), fk_index }
                     })?;
                     let from = node_of[&id];
                     let to = node_of[&target];
@@ -64,12 +65,18 @@ impl DataGraph {
                 }
             }
         }
-        Ok(DataGraph { graph, node_of, middle })
+        let csr = CsrAdjacency::build(&graph);
+        Ok(DataGraph { graph, csr, node_of, middle })
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph<TupleId, EdgeAnnotation> {
         &self.graph
+    }
+
+    /// The flat undirected adjacency (built once at construction).
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
     }
 
     /// Node for tuple `t`, if present.
@@ -152,6 +159,18 @@ mod tests {
         assert!(neighbors.contains(&"d1".to_owned()));
         assert!(neighbors.contains(&"w_f1".to_owned()));
         assert_eq!(neighbors.len(), 2);
+    }
+
+    #[test]
+    fn csr_mirrors_graph_adjacency() {
+        let c = company();
+        let dg = DataGraph::build(&c.db, &c.mapping).unwrap();
+        assert_eq!(dg.csr().node_count(), dg.node_count());
+        for n in dg.graph().nodes() {
+            let expect: Vec<_> =
+                dg.graph().incident_edges(n).map(|e| (e.other(n), e.id)).collect();
+            assert_eq!(dg.csr().neighbors(n), expect.as_slice());
+        }
     }
 
     #[test]

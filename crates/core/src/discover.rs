@@ -20,7 +20,7 @@
 //! candidate-network parameter `T`).
 
 use crate::datagraph::DataGraph;
-use cla_graph::{is_connected_subset, NodeId};
+use cla_graph::{is_connected_subset_sorted, NodeId};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
 /// `true` iff `nodes` covers every keyword set (each set contributes at
@@ -32,8 +32,10 @@ pub fn is_total(nodes: &BTreeSet<NodeId>, keyword_sets: &[HashSet<NodeId>]) -> b
 /// `true` iff the induced subgraph on `nodes` is connected (the network
 /// is *joining*).
 pub fn is_joining(dg: &DataGraph, nodes: &BTreeSet<NodeId>) -> bool {
-    let set: HashSet<NodeId> = nodes.iter().copied().collect();
-    is_connected_subset(dg.graph(), &set)
+    // A BTreeSet iterates in ascending order — exactly the sorted slice
+    // the CSR connectivity check wants, no hashing required.
+    let sorted: Vec<NodeId> = nodes.iter().copied().collect();
+    is_connected_subset_sorted(dg.csr(), &sorted)
 }
 
 /// The MTJNT test: total, joining, and minimal (no single tuple
@@ -46,14 +48,20 @@ pub fn is_mtjnt(
     if nodes.is_empty() || !is_total(nodes, keyword_sets) || !is_joining(dg, nodes) {
         return false;
     }
-    for &n in nodes.iter() {
-        let mut reduced = nodes.clone();
-        reduced.remove(&n);
-        if !reduced.is_empty()
-            && is_total(&reduced, keyword_sets)
-            && is_joining(dg, &reduced)
-        {
-            return false; // n is removable → not minimal
+    // One sorted scratch vector; each removal check drops one element
+    // in place instead of cloning a `BTreeSet` per candidate.
+    let sorted: Vec<NodeId> = nodes.iter().copied().collect();
+    let mut reduced: Vec<NodeId> = Vec::with_capacity(sorted.len() - 1);
+    for skip in 0..sorted.len() {
+        if sorted.len() == 1 {
+            break; // the empty reduction is never admissible
+        }
+        reduced.clear();
+        reduced
+            .extend(sorted.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, &n)| n));
+        let total = keyword_sets.iter().all(|set| reduced.iter().any(|n| set.contains(n)));
+        if total && is_connected_subset_sorted(dg.csr(), &reduced) {
+            return false; // the skipped tuple is removable → not minimal
         }
     }
     true
@@ -65,10 +73,7 @@ pub fn mtjnt_filter(
     networks: Vec<BTreeSet<NodeId>>,
     keyword_sets: &[HashSet<NodeId>],
 ) -> Vec<BTreeSet<NodeId>> {
-    networks
-        .into_iter()
-        .filter(|n| is_mtjnt(dg, n, keyword_sets))
-        .collect()
+    networks.into_iter().filter(|n| is_mtjnt(dg, n, keyword_sets)).collect()
 }
 
 /// Enumerate every *connected, total* joining network with at most
@@ -86,26 +91,33 @@ pub fn enumerate_joining_networks(
     if keyword_sets.is_empty() || keyword_sets.iter().any(HashSet::is_empty) {
         return Vec::new();
     }
-    let seed_set = keyword_sets
-        .iter()
-        .min_by_key(|s| s.len())
-        .expect("non-empty list");
+    let seed_set = keyword_sets.iter().min_by_key(|s| s.len()).expect("non-empty list");
+    let csr = dg.csr();
 
+    // Networks are keyed by their canonical signature: the sorted node
+    // vector. One flat allocation per candidate beats cloning whole
+    // `BTreeSet`s, and growth keeps vectors sorted by inserting each new
+    // node in place. Since `visited` admits each signature exactly once,
+    // a network can be dequeued (and therefore recorded) at most once —
+    // no second `recorded` set is needed.
     let mut results: Vec<BTreeSet<NodeId>> = Vec::new();
-    let mut recorded: HashSet<BTreeSet<NodeId>> = HashSet::new();
-    let mut visited: HashSet<BTreeSet<NodeId>> = HashSet::new();
-    let mut queue: VecDeque<BTreeSet<NodeId>> = VecDeque::new();
+    let mut visited: HashSet<Box<[NodeId]>> = HashSet::new();
+    let mut queue: VecDeque<Vec<NodeId>> = VecDeque::new();
 
     for &seed in seed_set.iter() {
-        let s: BTreeSet<NodeId> = [seed].into();
-        if visited.insert(s.clone()) {
+        let s = vec![seed];
+        if visited.insert(s.clone().into_boxed_slice()) {
             queue.push_back(s);
         }
     }
 
+    let is_total_sorted = |nodes: &[NodeId]| {
+        keyword_sets.iter().all(|set| nodes.iter().any(|n| set.contains(n)))
+    };
+
     while let Some(current) = queue.pop_front() {
-        if is_total(&current, keyword_sets) && recorded.insert(current.clone()) {
-            results.push(current.clone());
+        if is_total_sorted(&current) {
+            results.push(current.iter().copied().collect());
             // A superset of a total network is only interesting for
             // larger-T studies; keep growing so all ≤T totals appear.
         }
@@ -115,17 +127,17 @@ pub fn enumerate_joining_networks(
         // Expand by every neighbor of the current frontier.
         let mut neighbors: BTreeSet<NodeId> = BTreeSet::new();
         for &n in &current {
-            for e in dg.graph().incident_edges(n) {
-                let m = e.other(n);
-                if !current.contains(&m) {
+            for &(m, _) in csr.neighbors(n) {
+                if current.binary_search(&m).is_err() {
                     neighbors.insert(m);
                 }
             }
         }
         for m in neighbors {
             let mut next = current.clone();
-            next.insert(m);
-            if visited.insert(next.clone()) {
+            let at = next.binary_search(&m).unwrap_err();
+            next.insert(at, m);
+            if visited.insert(next.clone().into_boxed_slice()) {
                 queue.push_back(next);
             }
         }
@@ -163,8 +175,7 @@ mod tests {
 
     /// Keyword sets for "Smith XML" on the company instance.
     fn smith_xml(c: &CompanyDb, dg: &DataGraph) -> Vec<HashSet<NodeId>> {
-        let smith: HashSet<NodeId> =
-            ["e1", "e2"].iter().map(|a| node(c, dg, a)).collect();
+        let smith: HashSet<NodeId> = ["e1", "e2"].iter().map(|a| node(c, dg, a)).collect();
         let xml: HashSet<NodeId> =
             ["d1", "d2", "p1", "p2"].iter().map(|a| node(c, dg, a)).collect();
         vec![smith, xml]
@@ -177,10 +188,10 @@ mod tests {
         let (c, dg) = setup();
         let kw = smith_xml(&c, &dg);
         let lost: &[&[&str]] = &[
-            &["p1", "d1", "e1"],              // connection 3
-            &["d1", "p1", "w_f1", "e1"],      // connection 4
-            &["p2", "d2", "e2"],              // connection 6
-            &["d2", "p3", "w_f2", "e2"],      // connection 7
+            &["p1", "d1", "e1"],         // connection 3
+            &["d1", "p1", "w_f1", "e1"], // connection 4
+            &["p2", "d2", "e2"],         // connection 6
+            &["d2", "p3", "w_f2", "e2"], // connection 7
         ];
         for aliases in lost {
             let n = network(&c, &dg, aliases);
@@ -196,9 +207,9 @@ mod tests {
         let (c, dg) = setup();
         let kw = smith_xml(&c, &dg);
         let kept: &[&[&str]] = &[
-            &["d1", "e1"],           // connection 1
-            &["p1", "w_f1", "e1"],   // connection 2
-            &["d2", "e2"],           // connection 5
+            &["d1", "e1"],         // connection 1
+            &["p1", "w_f1", "e1"], // connection 2
+            &["d2", "e2"],         // connection 5
         ];
         for aliases in kept {
             let n = network(&c, &dg, aliases);
@@ -214,8 +225,7 @@ mod tests {
         let mut rendered: Vec<Vec<String>> = mtjnts
             .iter()
             .map(|n| {
-                let mut v: Vec<String> =
-                    n.iter().map(|&x| c.alias(dg.tuple_of(x))).collect();
+                let mut v: Vec<String> = n.iter().map(|&x| c.alias(dg.tuple_of(x))).collect();
                 v.sort();
                 v
             })

@@ -7,14 +7,17 @@ use crate::connection::Connection;
 use crate::datagraph::DataGraph;
 use crate::discover::{enumerate_mtjnts, is_mtjnt};
 use crate::error::CoreError;
-use crate::explain::explain_connection;
-use crate::instance::instance_closeness;
+use crate::instance::{instance_closeness_with_cache, WitnessCache};
 use crate::ranking::{sort_by_strategy, ConnectionInfo, RankStrategy};
 use cla_er::{ErSchema, SchemaMapping};
-use cla_graph::{enumerate_simple_paths_undirected, NodeId, Path};
+use cla_graph::{
+    enumerate_simple_paths_undirected, for_each_path_to_targets, multi_source_bfs_distances,
+    NodeId, Path,
+};
 use cla_index::{tuple_score, InvertedIndex, KeywordQuery};
 use cla_relational::{Database, TupleId};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
 
 /// Which connection-generation algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +54,11 @@ pub struct SearchOptions {
     pub max_witness_length: usize,
     /// Edge weighting for the BANKS expansion.
     pub weighting: EdgeWeighting,
+    /// Use the unpruned per-(source, target)-pair enumeration instead of
+    /// the distance-pruned multi-target DFS. The results are identical;
+    /// this exists as the A/B switch for the before/after benchmarks and
+    /// equivalence tests (see EXPERIMENTS.md B1).
+    pub naive_enumeration: bool,
 }
 
 impl Default for SearchOptions {
@@ -64,6 +72,7 @@ impl Default for SearchOptions {
             compute_instance: true,
             max_witness_length: 4,
             weighting: EdgeWeighting::Uniform,
+            naive_enumeration: false,
         }
     }
 }
@@ -184,13 +193,24 @@ impl SearchEngine {
         query: &KeywordQuery,
         display_keywords: &[String],
     ) -> HashMap<NodeId, Vec<String>> {
+        let keyword_tuples: Vec<Vec<TupleId>> =
+            query.keywords().iter().map(|kw| self.index.matching_tuples(kw)).collect();
+        self.markers_from_matches(query, &keyword_tuples, display_keywords)
+    }
+
+    /// [`SearchEngine::markers`] over already-fetched per-keyword match
+    /// lists, so `search` resolves each keyword against the index once
+    /// and reuses the lists for both match sets and markers.
+    fn markers_from_matches(
+        &self,
+        query: &KeywordQuery,
+        keyword_tuples: &[Vec<TupleId>],
+        display_keywords: &[String],
+    ) -> HashMap<NodeId, Vec<String>> {
         let mut markers: HashMap<NodeId, Vec<String>> = HashMap::new();
         for (i, kw) in query.keywords().iter().enumerate() {
-            let display = display_keywords
-                .get(i)
-                .cloned()
-                .unwrap_or_else(|| kw.clone());
-            for t in self.index.matching_tuples(kw) {
+            let display = display_keywords.get(i).cloned().unwrap_or_else(|| kw.clone());
+            for &t in &keyword_tuples[i] {
                 if let Some(n) = self.dg.node_of(t) {
                     markers.entry(n).or_default().push(display.clone());
                 }
@@ -203,8 +223,7 @@ impl SearchEngine {
     /// corresponding foreign-key path exists. Used by the experiment
     /// harness to address the paper's connections 1–9 by name.
     pub fn connection_following(&self, tuples: &[TupleId]) -> Option<Connection> {
-        let want: Option<Vec<NodeId>> =
-            tuples.iter().map(|&t| self.dg.node_of(t)).collect();
+        let want: Option<Vec<NodeId>> = tuples.iter().map(|&t| self.dg.node_of(t)).collect();
         let want = want?;
         if want.is_empty() {
             return None;
@@ -233,19 +252,77 @@ impl SearchEngine {
         compute_instance: bool,
         max_witness_length: usize,
     ) -> ConnectionInfo {
+        self.connection_info_cached(
+            conn,
+            query,
+            compute_instance,
+            max_witness_length,
+            None,
+            &mut WitnessCache::new(),
+        )
+    }
+
+    /// Per-tuple tf·idf contributions of `query`, computed once per
+    /// search so scoring a connection is one map probe per node instead
+    /// of re-hashing keyword strings for every (node, keyword) pair.
+    /// `keyword_tuples[i]` must be the match list of keyword `i`.
+    fn text_score_map(
+        &self,
+        query: &KeywordQuery,
+        keyword_tuples: &[Vec<TupleId>],
+    ) -> HashMap<TupleId, f64> {
+        let total = self.index.indexed_tuples();
+        let mut scores: HashMap<TupleId, f64> = HashMap::new();
+        let mut per_tuple: HashMap<TupleId, u32> = HashMap::new();
+        for (i, kw) in query.keywords().iter().enumerate() {
+            // `frequency_in` semantics: occurrences summed across the
+            // tuple's attributes, tf applied to the sum.
+            per_tuple.clear();
+            for p in self.index.lookup(kw) {
+                *per_tuple.entry(p.tuple).or_insert(0) += p.frequency;
+            }
+            let idf_kw = cla_index::idf(keyword_tuples[i].len(), total);
+            for (&t, &f) in &per_tuple {
+                *scores.entry(t).or_insert(0.0) += cla_index::tf(f) * idf_kw;
+            }
+        }
+        scores
+    }
+
+    /// [`SearchEngine::connection_info`] with the instance-closeness
+    /// witness search batched through `cache` (connections sharing an
+    /// endpoint pair in one result set share one witness search) and
+    /// text scores read from a per-search [`Self::text_score_map`].
+    fn connection_info_cached(
+        &self,
+        conn: &Connection,
+        query: &KeywordQuery,
+        compute_instance: bool,
+        max_witness_length: usize,
+        text_scores: Option<&HashMap<TupleId, f64>>,
+        cache: &mut WitnessCache,
+    ) -> ConnectionInfo {
         let er_chain = conn.er_chain(&self.dg, &self.er_schema, &self.mapping);
-        let text_score = conn
-            .nodes()
-            .iter()
-            .map(|&n| tuple_score(&self.index, self.dg.tuple_of(n), query))
-            .sum();
+        let text_score = match text_scores {
+            Some(scores) => conn
+                .nodes()
+                .iter()
+                .map(|&n| scores.get(&self.dg.tuple_of(n)).copied().unwrap_or(0.0))
+                .sum(),
+            None => conn
+                .nodes()
+                .iter()
+                .map(|&n| tuple_score(&self.index, self.dg.tuple_of(n), query))
+                .sum(),
+        };
         let instance_close = compute_instance.then(|| {
-            instance_closeness(
+            instance_closeness_with_cache(
                 conn,
                 &self.dg,
                 &self.er_schema,
                 &self.mapping,
                 max_witness_length,
+                cache,
             )
             .is_close()
         });
@@ -273,17 +350,15 @@ impl SearchEngine {
         }
         let display_keywords = display_forms(raw_query, &query);
 
+        // One index probe per keyword; the tuple lists feed both the
+        // match sets and the rendering markers below.
+        let keyword_tuples: Vec<Vec<TupleId>> =
+            query.keywords().iter().map(|kw| self.index.matching_tuples(kw)).collect();
+
         // Per-keyword node sets (conjunctive semantics: all must match).
-        let match_sets: Vec<Vec<NodeId>> = query
-            .keywords()
+        let match_sets: Vec<Vec<NodeId>> = keyword_tuples
             .iter()
-            .map(|kw| {
-                self.index
-                    .matching_tuples(kw)
-                    .into_iter()
-                    .filter_map(|t| self.dg.node_of(t))
-                    .collect()
-            })
+            .map(|tuples| tuples.iter().filter_map(|&t| self.dg.node_of(t)).collect())
             .collect();
         if match_sets.iter().any(Vec::is_empty) {
             return Ok(SearchResults {
@@ -317,11 +392,20 @@ impl SearchEngine {
                     )));
                 }
                 if query.len() == 2 {
-                    connections.extend(self.pair_paths(
-                        &match_sets[0],
-                        &match_sets[1],
-                        options.max_rdb_length,
-                    ));
+                    let pairs = if options.naive_enumeration {
+                        self.pair_connections_naive(
+                            &match_sets[0],
+                            &match_sets[1],
+                            options.max_rdb_length,
+                        )
+                    } else {
+                        self.pair_connections(
+                            &match_sets[0],
+                            &match_sets[1],
+                            options.max_rdb_length,
+                        )
+                    };
+                    connections.extend(pairs);
                 }
             }
             Algorithm::Banks => {
@@ -339,10 +423,8 @@ impl SearchEngine {
                 }
             }
             Algorithm::Discover => {
-                let kw_sets: Vec<HashSet<NodeId>> = match_sets
-                    .iter()
-                    .map(|s| s.iter().copied().collect())
-                    .collect();
+                let kw_sets: Vec<HashSet<NodeId>> =
+                    match_sets.iter().map(|s| s.iter().copied().collect()).collect();
                 let networks =
                     enumerate_mtjnts(&self.dg, &kw_sets, options.max_rdb_length + 1);
                 for network in networks {
@@ -375,40 +457,58 @@ impl SearchEngine {
 
         // Optional MTJNT post-filter.
         if options.mtjnt_only {
-            let kw_sets: Vec<HashSet<NodeId>> = match_sets
-                .iter()
-                .map(|s| s.iter().copied().collect())
-                .collect();
+            let kw_sets: Vec<HashSet<NodeId>> =
+                match_sets.iter().map(|s| s.iter().copied().collect()).collect();
             unique.retain(|conn| {
                 let set: BTreeSet<NodeId> = conn.nodes().iter().copied().collect();
                 is_mtjnt(&self.dg, &set, &kw_sets)
             });
         }
 
-        // Metrics, rendering, ranking.
-        let markers = self.markers(&query, &display_keywords);
+        // Metrics, rendering, ranking. Witness searches for instance
+        // closeness are shared across connections with equal endpoints.
+        let markers = self.markers_from_matches(&query, &keyword_tuples, &display_keywords);
+        let text_scores = self.text_score_map(&query, &keyword_tuples);
+        let mut witness_cache = WitnessCache::new();
+        // Node labels and descriptions repeat across the result set;
+        // memoize them once per search.
+        let mut label_cache: HashMap<NodeId, String> = HashMap::new();
+        let mut desc_cache: HashMap<NodeId, String> = HashMap::new();
         let mut ranked: Vec<RankedConnection> = unique
             .into_iter()
             .map(|connection| {
-                let info = self.connection_info(
+                let info = self.connection_info_cached(
                     &connection,
                     &query,
                     options.compute_instance,
                     options.max_witness_length,
+                    Some(&text_scores),
+                    &mut witness_cache,
                 );
-                let rendering = connection.render(&self.dg, &self.aliases, &markers);
-                let explanation = explain_connection(
+                let rendering = connection.render_cached(
+                    &self.dg,
+                    &self.aliases,
+                    &markers,
+                    &mut label_cache,
+                );
+                let explanation = crate::explain::explain_connection_cached(
                     &connection,
                     &self.dg,
                     &self.er_schema,
                     &self.mapping,
                     &self.aliases,
                     &markers,
+                    &mut desc_cache,
                 );
                 RankedConnection { connection, info, rendering, explanation }
             })
             .collect();
-        sort_by_strategy(&mut ranked, options.ranker, |r| &r.info, |r| r.rendering.clone());
+        sort_by_strategy(
+            &mut ranked,
+            options.ranker,
+            |r| &r.info,
+            |a, b| a.rendering.cmp(&b.rendering),
+        );
         if let Some(k) = options.k {
             ranked.truncate(k);
         }
@@ -416,8 +516,54 @@ impl SearchEngine {
         Ok(SearchResults { query, display_keywords, connections: ranked, trees })
     }
 
-    /// All simple paths between two keyword match sets.
-    fn pair_paths(
+    /// All simple-path connections between two keyword match sets, by
+    /// distance-pruned multi-target enumeration: one BFS distance map
+    /// from the target set, then one pruned DFS per **source** (instead
+    /// of one unpruned DFS per (source, target) pair). Produces exactly
+    /// the connections of [`SearchEngine::pair_connections_naive`].
+    pub fn pair_connections(
+        &self,
+        set_a: &[NodeId],
+        set_b: &[NodeId],
+        max_rdb: usize,
+    ) -> Vec<Connection> {
+        let csr = self.dg.csr();
+        let mut is_target = vec![false; csr.node_count()];
+        for &b in set_b {
+            is_target[b.index()] = true;
+        }
+        let dist = multi_source_bfs_distances(csr, set_b);
+        let mut out = Vec::new();
+        let mut paths: Vec<Path> = Vec::new();
+        for &a in set_a {
+            paths.clear();
+            let _ = for_each_path_to_targets(
+                csr,
+                a,
+                &is_target,
+                &dist,
+                max_rdb,
+                |nodes, edges| {
+                    paths.push(Path { nodes: nodes.to_vec(), edges: edges.to_vec() });
+                    ControlFlow::Continue(())
+                },
+            );
+            // Canonical order per source, so downstream node-sequence
+            // dedup picks the same representative among parallel-edge
+            // variants as the per-pair enumeration.
+            paths.sort_by(Path::canonical_cmp);
+            out.extend(
+                paths.iter().map(|p| Connection::from_path(p, &self.dg, &self.er_schema)),
+            );
+        }
+        out
+    }
+
+    /// The seed implementation of [`SearchEngine::pair_connections`]:
+    /// one unpruned DFS per (source, target) pair. Kept as the
+    /// equivalence oracle for property tests and the B1 before/after
+    /// benchmark.
+    pub fn pair_connections_naive(
         &self,
         set_a: &[NodeId],
         set_b: &[NodeId],
@@ -474,13 +620,12 @@ impl SearchEngine {
     /// connection; `None` if the induced network branches.
     fn network_to_connection(&self, network: &BTreeSet<NodeId>) -> Option<Connection> {
         // Collect induced adjacency (lowest edge id per node pair).
-        let g = self.dg.graph();
+        let csr = self.dg.csr();
         let mut adj: HashMap<NodeId, Vec<(NodeId, cla_graph::EdgeId)>> = HashMap::new();
         for &n in network {
-            for e in g.incident_edges(n) {
-                let m = e.other(n);
+            for &(m, e) in csr.neighbors(n) {
                 if network.contains(&m) && m != n {
-                    adj.entry(n).or_default().push((m, e.id));
+                    adj.entry(n).or_default().push((m, e));
                 }
             }
         }
@@ -488,11 +633,8 @@ impl SearchEngine {
             list.sort();
             list.dedup_by_key(|(m, _)| *m); // keep lowest edge per neighbor
         }
-        let endpoints: Vec<NodeId> = network
-            .iter()
-            .copied()
-            .filter(|n| adj.get(n).map_or(0, Vec::len) == 1)
-            .collect();
+        let endpoints: Vec<NodeId> =
+            network.iter().copied().filter(|n| adj.get(n).map_or(0, Vec::len) == 1).collect();
         if network.len() == 1 {
             return Some(Connection::single(*network.iter().next().expect("one")));
         }
@@ -508,9 +650,7 @@ impl SearchEngine {
         let mut prev: Option<NodeId> = None;
         let mut current = start;
         while nodes.len() < network.len() {
-            let (next, e) = *adj[&current]
-                .iter()
-                .find(|(m, _)| Some(*m) != prev)?;
+            let (next, e) = *adj[&current].iter().find(|(m, _)| Some(*m) != prev)?;
             edges.push(e);
             nodes.push(next);
             prev = Some(current);
@@ -527,7 +667,7 @@ impl SearchEngine {
         network: &BTreeSet<NodeId>,
         kw_sets: &[HashSet<NodeId>],
     ) -> Option<SteinerTree> {
-        let g = self.dg.graph();
+        let csr = self.dg.csr();
         let root = *network.iter().next()?;
         // Spanning tree of the induced subgraph via BFS.
         let mut edges = Vec::new();
@@ -535,10 +675,9 @@ impl SearchEngine {
         let mut queue = std::collections::VecDeque::from([root]);
         let mut nodes = vec![root];
         while let Some(n) = queue.pop_front() {
-            for e in g.incident_edges(n) {
-                let m = e.other(n);
+            for &(m, e) in csr.neighbors(n) {
                 if network.contains(&m) && seen.insert(m) {
-                    edges.push((e.id, n, m));
+                    edges.push((e, n, m));
                     nodes.push(m);
                     queue.push_back(m);
                 }
@@ -578,9 +717,7 @@ mod tests {
 
     fn engine() -> SearchEngine {
         let c = company();
-        SearchEngine::new(c.db, c.er_schema, c.mapping)
-            .unwrap()
-            .with_aliases(c.aliases)
+        SearchEngine::new(c.db, c.er_schema, c.mapping).unwrap().with_aliases(c.aliases)
     }
 
     #[test]
@@ -618,13 +755,8 @@ mod tests {
         // The three close connections (1, 2, 5) come first…
         assert_eq!(close_count, 3);
         // …and the transitive-N:M connections (3, 6) come last.
-        let last_two: Vec<usize> = results
-            .connections
-            .iter()
-            .rev()
-            .take(2)
-            .map(|r| r.info.nm_count)
-            .collect();
+        let last_two: Vec<usize> =
+            results.connections.iter().rev().take(2).map(|r| r.info.nm_count).collect();
         assert_eq!(last_two, vec![1, 1]);
     }
 
@@ -637,11 +769,7 @@ mod tests {
             results.connections.iter().map(|r| r.rendering.as_str()).collect();
         assert_eq!(
             renderings,
-            vec![
-                "d1(XML) – e1(Smith)",
-                "d2(XML) – e2(Smith)",
-                "e1(Smith) – w_f1 – p1(XML)",
-            ]
+            vec!["d1(XML) – e1(Smith)", "d2(XML) – e2(Smith)", "e1(Smith) – w_f1 – p1(XML)",]
         );
     }
 
@@ -732,11 +860,8 @@ mod tests {
         let e = engine();
         // d1's description contains both "teaching" and "xml".
         let results = e.search("teaching XML", &SearchOptions::default()).unwrap();
-        let singles: Vec<&RankedConnection> = results
-            .connections
-            .iter()
-            .filter(|r| r.connection.rdb_length() == 0)
-            .collect();
+        let singles: Vec<&RankedConnection> =
+            results.connections.iter().filter(|r| r.connection.rdb_length() == 0).collect();
         assert!(!singles.is_empty());
         assert!(singles.iter().any(|r| r.rendering.starts_with("d1(")));
     }

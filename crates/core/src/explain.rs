@@ -58,34 +58,95 @@ pub fn explain_connection(
     aliases: &HashMap<TupleId, String>,
     markers: &HashMap<NodeId, Vec<String>>,
 ) -> String {
+    explain_connection_cached(
+        conn,
+        dg,
+        schema,
+        mapping,
+        aliases,
+        markers,
+        &mut HashMap::new(),
+    )
+}
+
+/// [`explain_connection`] with node descriptions memoized across calls;
+/// the engine shares one cache per search since every connection of a
+/// result set describes nodes against the same markers.
+pub(crate) fn explain_connection_cached(
+    conn: &Connection,
+    dg: &DataGraph,
+    schema: &ErSchema,
+    mapping: &SchemaMapping,
+    aliases: &HashMap<TupleId, String>,
+    markers: &HashMap<NodeId, Vec<String>>,
+    cache: &mut HashMap<NodeId, String>,
+) -> String {
+    let mut describe = |n: NodeId| -> String {
+        cache
+            .entry(n)
+            .or_insert_with(|| describe_node(n, dg, mapping, schema, aliases, markers))
+            .clone()
+    };
     if conn.rdb_length() == 0 {
-        return describe_node(conn.start(), dg, mapping, schema, aliases, markers);
+        return describe(conn.start());
     }
     // Orient for the most active-verb readings; ties go to the
     // orientation that reads "specific → general" (first step not a
     // 1:N fan-out), which reproduces the paper's employee-first style.
-    let votes = |c: &Connection| {
-        let steps = c.conceptual_steps(dg, schema, mapping);
-        let forward = steps.iter().filter(|s| s.forward).count();
-        let narrative_start = steps
-            .first()
-            .is_some_and(|s| s.cardinality != cla_er::Cardinality::ONE_TO_MANY);
+    // Both orientations' votes derive from ONE conceptual-steps pass:
+    // reversing a connection flips each step's direction and walks them
+    // back to front.
+    let mut steps = conn.conceptual_steps(dg, schema, mapping);
+    let votes = |steps: &[crate::connection::ConceptualStep], reversed: bool| {
+        let forward = steps.iter().filter(|s| s.forward != reversed).count();
+        let boundary = if reversed { steps.last() } else { steps.first() };
+        let narrative_start = boundary.is_some_and(|s| {
+            let card = if reversed { s.cardinality.reversed() } else { s.cardinality };
+            card != cla_er::Cardinality::ONE_TO_MANY
+        });
         (forward, usize::from(narrative_start))
     };
-    let reversed = conn.reversed();
-    let oriented = if votes(&reversed) > votes(conn) { &reversed } else { conn };
-
-    let steps = oriented.conceptual_steps(dg, schema, mapping);
+    if votes(&steps, true) > votes(&steps, false) {
+        steps.reverse();
+        for s in &mut steps {
+            // Collapsed N:M steps orient by which endpoint is the
+            // relationship's left entity — recompute rather than negate,
+            // so self-referential relationships (left == right) keep
+            // reading forward in both directions, exactly like
+            // `Connection::reversed().conceptual_steps(..)`.
+            let forward = if s.via.is_some() {
+                let rel = schema.relationship(s.relationship).expect("mapped relationship");
+                mapping.relation_entity(dg.tuple_of(s.to).relation) == Some(rel.left)
+            } else {
+                !s.forward
+            };
+            *s = crate::connection::ConceptualStep {
+                from: s.to,
+                to: s.from,
+                via: s.via,
+                relationship: s.relationship,
+                forward,
+                cardinality: s.cardinality.reversed(),
+            };
+        }
+    }
     let mut out = String::new();
     for (i, step) in steps.iter().enumerate() {
         let rel = schema.relationship(step.relationship).expect("mapped relationship");
         let verb = if step.forward { &rel.verb } else { &rel.reverse_verb };
-        let to_desc = describe_node(step.to, dg, mapping, schema, aliases, markers);
+        let to_desc = describe(step.to);
         if i == 0 {
-            let from_desc = describe_node(step.from, dg, mapping, schema, aliases, markers);
-            out.push_str(&format!("{from_desc} {verb} {to_desc}"));
+            let from_desc = describe(step.from);
+            out.push_str(&from_desc);
+            out.push(' ');
+            out.push_str(verb);
+            out.push(' ');
+            out.push_str(&to_desc);
         } else {
-            out.push_str(&format!(", that {verb} {to_desc}"));
+            out.push_str(", that ");
+            out.push_str(verb);
+            out.push(' ');
+            out.push_str(&to_desc);
         }
     }
     out
@@ -104,10 +165,8 @@ mod tests {
     }
 
     fn conn(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Connection {
-        let want: Vec<NodeId> = aliases
-            .iter()
-            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
-            .collect();
+        let want: Vec<NodeId> =
+            aliases.iter().map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap()).collect();
         enumerate_simple_paths_undirected(dg.graph(), want[0], *want.last().unwrap(), 6, None)
             .iter()
             .map(|p| Connection::from_path(p, dg, &c.er_schema))
@@ -115,14 +174,15 @@ mod tests {
             .expect("path exists")
     }
 
-    fn markers(c: &CompanyDb, dg: &DataGraph, pairs: &[(&str, &str)]) -> HashMap<NodeId, Vec<String>> {
+    fn markers(
+        c: &CompanyDb,
+        dg: &DataGraph,
+        pairs: &[(&str, &str)],
+    ) -> HashMap<NodeId, Vec<String>> {
         pairs
             .iter()
             .map(|(alias, kw)| {
-                (
-                    dg.node_of(c.tuple(alias).unwrap()).unwrap(),
-                    vec![(*kw).to_owned()],
-                )
+                (dg.node_of(c.tuple(alias).unwrap()).unwrap(), vec![(*kw).to_owned()])
             })
             .collect()
     }

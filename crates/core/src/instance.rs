@@ -17,7 +17,8 @@
 use crate::connection::Connection;
 use crate::datagraph::DataGraph;
 use cla_er::{Closeness, ErSchema, SchemaMapping};
-use cla_graph::enumerate_simple_paths_undirected;
+use cla_graph::{enumerate_simple_paths_undirected, NodeId, Path};
+use std::collections::HashMap;
 
 /// The instance-level verdict for a connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,9 +39,71 @@ impl InstanceCloseness {
     }
 }
 
+/// Cache of witness-search outcomes per `(start, end)` endpoint pair.
+///
+/// The witness search depends only on the connection's endpoints and the
+/// length bound, so duplicate endpoint pairs in one result set (common:
+/// many connections link the same two matched tuples) share one search.
+pub type WitnessCache = HashMap<(NodeId, NodeId), Option<Connection>>;
+
 /// Compute the instance-level closeness of `conn`, searching for witness
 /// paths of at most `max_witness_rdb` foreign-key edges.
+///
+/// The witness search is a short-circuiting, distance-pruned DFS: it
+/// tests closeness per candidate path and stops at the **first** close
+/// witness (searching shorter paths first), instead of materializing
+/// every bounded path between the endpoints and converting each to a
+/// [`Connection`]. Verdicts are identical to
+/// [`instance_closeness_naive`]; any returned witness has minimal RDB
+/// length among close witnesses.
 pub fn instance_closeness(
+    conn: &Connection,
+    dg: &DataGraph,
+    schema: &ErSchema,
+    mapping: &SchemaMapping,
+    max_witness_rdb: usize,
+) -> InstanceCloseness {
+    instance_closeness_with_cache(
+        conn,
+        dg,
+        schema,
+        mapping,
+        max_witness_rdb,
+        &mut WitnessCache::new(),
+    )
+}
+
+/// [`instance_closeness`] with witness results shared through `cache`.
+/// One cache must only ever see a single `(dg, max_witness_rdb)`
+/// combination — the engine keeps one per search.
+pub fn instance_closeness_with_cache(
+    conn: &Connection,
+    dg: &DataGraph,
+    schema: &ErSchema,
+    mapping: &SchemaMapping,
+    max_witness_rdb: usize,
+    cache: &mut WitnessCache,
+) -> InstanceCloseness {
+    if conn.closeness(dg, schema, mapping) == Closeness::Close {
+        return InstanceCloseness::SchemaClose;
+    }
+    let witness = cache
+        .entry((conn.start(), conn.end()))
+        .or_insert_with(|| {
+            find_close_witness(dg, schema, mapping, conn.start(), conn.end(), max_witness_rdb)
+        })
+        .clone();
+    match witness {
+        Some(w) => InstanceCloseness::WitnessClose(w),
+        None => InstanceCloseness::Loose,
+    }
+}
+
+/// The seed implementation: enumerate **all** bounded paths between the
+/// endpoints, sorted by `(length, edge ids)`, and return the first close
+/// one. Kept as the equivalence oracle for property tests and the
+/// before/after benchmarks.
+pub fn instance_closeness_naive(
     conn: &Connection,
     dg: &DataGraph,
     schema: &ErSchema,
@@ -66,6 +129,116 @@ pub fn instance_closeness(
     InstanceCloseness::Loose
 }
 
+/// Find one schema-close connection linking `start` and `end` within
+/// `max_rdb` foreign-key edges, or `None`.
+///
+/// Iterative-deepening DFS over the CSR adjacency: depth level `d`
+/// judges only complete `start → end` paths of exactly `d` edges and
+/// stops at the first close one, so the returned witness always has
+/// minimal RDB length and — in the common case of an immediate close
+/// link — the search touches a handful of nodes instead of
+/// materializing the whole bounded path set. Deepening ends as soon as
+/// a level runs to completion without being cut by its budget (no
+/// longer simple path can exist).
+fn find_close_witness(
+    dg: &DataGraph,
+    schema: &ErSchema,
+    mapping: &SchemaMapping,
+    start: NodeId,
+    end: NodeId,
+    max_rdb: usize,
+) -> Option<Connection> {
+    if start == end || max_rdb == 0 {
+        // Endpoint pairs of real connections are distinct (a zero-length
+        // connection is schema-close and never reaches the search).
+        return None;
+    }
+    let csr = dg.csr();
+    let mut search = WitnessDfs {
+        dg,
+        schema,
+        mapping,
+        end,
+        nodes: vec![start],
+        edges: Vec::new(),
+        on_path: vec![false; csr.node_count()],
+        truncated: false,
+        witness: None,
+    };
+    search.on_path[start.index()] = true;
+    for depth in 1..=max_rdb {
+        search.truncated = false;
+        search.dfs(csr, start, depth);
+        if search.witness.is_some() {
+            return search.witness;
+        }
+        if !search.truncated {
+            return None; // the level was exhaustive; deeper finds nothing
+        }
+    }
+    None
+}
+
+/// State of one iterative-deepening witness search.
+struct WitnessDfs<'a> {
+    dg: &'a DataGraph,
+    schema: &'a ErSchema,
+    mapping: &'a SchemaMapping,
+    end: NodeId,
+    nodes: Vec<NodeId>,
+    edges: Vec<cla_graph::EdgeId>,
+    on_path: Vec<bool>,
+    /// Whether this level declined to descend somewhere due to budget —
+    /// if not, deeper levels cannot find new paths.
+    truncated: bool,
+    witness: Option<Connection>,
+}
+
+impl WitnessDfs<'_> {
+    /// Explore paths with exactly `budget` more edges; record the first
+    /// close `…end` completion into `self.witness` and unwind.
+    fn dfs(&mut self, csr: &cla_graph::CsrAdjacency, current: NodeId, budget: usize) {
+        for &(next, e) in csr.neighbors(current) {
+            if self.on_path[next.index()] {
+                continue;
+            }
+            if budget == 1 {
+                if next == self.end {
+                    self.edges.push(e);
+                    self.nodes.push(next);
+                    let path = Path { nodes: self.nodes.clone(), edges: self.edges.clone() };
+                    let candidate = Connection::from_path(&path, self.dg, self.schema);
+                    self.nodes.pop();
+                    self.edges.pop();
+                    if candidate.closeness(self.dg, self.schema, self.mapping)
+                        == Closeness::Close
+                    {
+                        self.witness = Some(candidate);
+                        return;
+                    }
+                } else {
+                    // A longer simple path may continue through here.
+                    self.truncated = true;
+                }
+                continue;
+            }
+            if next == self.end {
+                continue; // exact-depth levels only; shorter paths were judged
+            }
+            self.on_path[next.index()] = true;
+            self.nodes.push(next);
+            self.edges.push(e);
+            self.dfs(csr, next, budget - 1);
+            self.edges.pop();
+            self.nodes.pop();
+            self.on_path[next.index()] = false;
+            if self.witness.is_some() {
+                return;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,10 +252,8 @@ mod tests {
     }
 
     fn conn(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Connection {
-        let want: Vec<NodeId> = aliases
-            .iter()
-            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
-            .collect();
+        let want: Vec<NodeId> =
+            aliases.iter().map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap()).collect();
         let paths = enumerate_simple_paths_undirected(
             dg.graph(),
             want[0],
@@ -178,5 +349,70 @@ mod tests {
             instance_closeness(&c3, &dg, &c.er_schema, &c.mapping, 0),
             InstanceCloseness::Loose
         );
+    }
+
+    /// The short-circuit search agrees with the exhaustive seed
+    /// implementation on every paper connection and budget.
+    #[test]
+    fn pruned_verdicts_match_naive() {
+        let (c, dg) = setup();
+        let all: &[&[&str]] = &[
+            &["d1", "e1"],
+            &["p1", "w_f1", "e1"],
+            &["p1", "d1", "e1"],
+            &["d1", "p1", "w_f1", "e1"],
+            &["d2", "e2"],
+            &["p2", "d2", "e2"],
+            &["d2", "p3", "w_f2", "e2"],
+            &["d1", "e3", "t1"],
+            &["d2", "p2", "w_f3", "e3", "t1"],
+        ];
+        for aliases in all {
+            let cn = conn(&c, &dg, aliases);
+            for budget in 0..=5 {
+                let fast = instance_closeness(&cn, &dg, &c.er_schema, &c.mapping, budget);
+                let slow =
+                    instance_closeness_naive(&cn, &dg, &c.er_schema, &c.mapping, budget);
+                assert_eq!(
+                    std::mem::discriminant(&fast),
+                    std::mem::discriminant(&slow),
+                    "{aliases:?} at budget {budget}: {fast:?} vs {slow:?}"
+                );
+                assert_eq!(fast.is_close(), slow.is_close());
+                // Both witnesses (when present) are minimal-length close
+                // connections between the same endpoints.
+                if let (
+                    InstanceCloseness::WitnessClose(a),
+                    InstanceCloseness::WitnessClose(b),
+                ) = (&fast, &slow)
+                {
+                    assert_eq!(a.rdb_length(), b.rdb_length(), "{aliases:?}");
+                    assert_eq!((a.start(), a.end()), (b.start(), b.end()));
+                }
+            }
+        }
+    }
+
+    /// A shared cache returns the same verdicts as fresh searches.
+    #[test]
+    fn cached_verdicts_match_uncached() {
+        let (c, dg) = setup();
+        let mut cache = WitnessCache::new();
+        let conns: &[&[&str]] =
+            &[&["p1", "d1", "e1"], &["p2", "d2", "e2"], &["p1", "d1", "e1"]];
+        for aliases in conns {
+            let cn = conn(&c, &dg, aliases);
+            let cached = instance_closeness_with_cache(
+                &cn,
+                &dg,
+                &c.er_schema,
+                &c.mapping,
+                4,
+                &mut cache,
+            );
+            let fresh = instance_closeness(&cn, &dg, &c.er_schema, &c.mapping, 4);
+            assert_eq!(cached, fresh, "{aliases:?}");
+        }
+        assert_eq!(cache.len(), 2, "duplicate endpoint pair shares one entry");
     }
 }

@@ -57,16 +57,19 @@ pub use candidates::{
 pub use connection::{ConceptualStep, Connection, ConnectionStep};
 pub use datagraph::{DataGraph, EdgeAnnotation};
 pub use discover::{
-    enumerate_joining_networks, enumerate_mtjnts, is_joining, is_mtjnt, is_total, mtjnt_filter,
+    enumerate_joining_networks, enumerate_mtjnts, is_joining, is_mtjnt, is_total,
+    mtjnt_filter,
 };
 pub use engine::{Algorithm, RankedConnection, SearchEngine, SearchOptions, SearchResults};
 pub use error::CoreError;
 pub use explain::explain_connection;
-pub use instance::{instance_closeness, InstanceCloseness};
+pub use instance::{
+    instance_closeness, instance_closeness_naive, instance_closeness_with_cache,
+    InstanceCloseness, WitnessCache,
+};
 pub use participation::{
-    move_sequence, participation_degree, participation_fanout, reachable_set, RelationshipMove,
+    move_sequence, participation_degree, participation_fanout, reachable_set,
+    RelationshipMove,
 };
 pub use ranking::{sort_by_strategy, ConnectionInfo, RankStrategy};
-pub use stats::{
-    close_precision_at_k, kendall_tau, overlap_at_k, ClosenessProfile,
-};
+pub use stats::{close_precision_at_k, kendall_tau, overlap_at_k, ClosenessProfile};

@@ -167,10 +167,8 @@ mod tests {
     }
 
     fn conn(c: &CompanyDb, dg: &DataGraph, aliases: &[&str]) -> Connection {
-        let want: Vec<NodeId> = aliases
-            .iter()
-            .map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap())
-            .collect();
+        let want: Vec<NodeId> =
+            aliases.iter().map(|a| dg.node_of(c.tuple(a).unwrap()).unwrap()).collect();
         enumerate_simple_paths_undirected(dg.graph(), want[0], *want.last().unwrap(), 6, None)
             .iter()
             .map(|p| Connection::from_path(p, dg, &c.er_schema))
@@ -185,10 +183,7 @@ mod tests {
         let cn = conn(&c, &dg, &["d1", "e1"]);
         assert_eq!(participation_fanout(&cn, &dg, &c.er_schema, &c.mapping), 2);
         // In the reverse direction employee→department it is functional.
-        assert_eq!(
-            participation_fanout(&cn.reversed(), &dg, &c.er_schema, &c.mapping),
-            1
-        );
+        assert_eq!(participation_fanout(&cn.reversed(), &dg, &c.er_schema, &c.mapping), 1);
     }
 
     #[test]
@@ -209,7 +204,7 @@ mod tests {
         let c6 = conn(&c, &dg, &["p2", "d2", "e2"]);
         let fan6 = participation_fanout(&c6, &dg, &c.er_schema, &c.mapping);
         assert_eq!(fan6, 2); // e2 and e4
-        // Connection 2 (the factual membership) reaches only e1.
+                             // Connection 2 (the factual membership) reaches only e1.
         let c2 = conn(&c, &dg, &["p1", "w_f1", "e1"]);
         let fan2 = participation_fanout(&c2, &dg, &c.er_schema, &c.mapping);
         assert_eq!(fan2, 1);

@@ -119,21 +119,20 @@ impl RankStrategy {
 }
 
 /// Sort `items` by `strategy` over the info selected by `info_of`,
-/// breaking remaining ties with `tiebreak` for full determinism.
-pub fn sort_by_strategy<T, F, G, K>(
+/// breaking remaining ties with the `tiebreak` comparator for full
+/// determinism. `tiebreak` compares borrowed items directly, so key
+/// material (e.g. rendering strings) is never cloned per comparison.
+pub fn sort_by_strategy<T, F, G>(
     items: &mut [T],
     strategy: RankStrategy,
     info_of: F,
     tiebreak: G,
 ) where
     F: Fn(&T) -> &ConnectionInfo,
-    G: Fn(&T) -> K,
-    K: Ord,
+    G: Fn(&T, &T) -> Ordering,
 {
     items.sort_by(|x, y| {
-        strategy
-            .compare(info_of(x), info_of(y))
-            .then_with(|| tiebreak(x).cmp(&tiebreak(y)))
+        strategy.compare(info_of(x), info_of(y)).then_with(|| tiebreak(x, y))
     });
 }
 
@@ -180,7 +179,7 @@ mod tests {
     #[test]
     fn rdb_length_ranks_1_and_5_best_4_and_7_worst() {
         let mut items = paper_connections();
-        sort_by_strategy(&mut items, RankStrategy::RdbLength, |x| &x.1, |x| x.0);
+        sort_by_strategy(&mut items, RankStrategy::RdbLength, |x| &x.1, |a, b| a.0.cmp(&b.0));
         let order: Vec<usize> = items.iter().map(|x| x.0).collect();
         assert_eq!(&order[..2], &[1, 5], "best are 1 and 5");
         assert_eq!(&order[5..], &[4, 7], "worst are 4 and 7");
@@ -189,7 +188,12 @@ mod tests {
     #[test]
     fn close_first_matches_paper_order() {
         let mut items = paper_connections();
-        sort_by_strategy(&mut items, RankStrategy::CloseFirst, |x| &x.1, |x| x.0);
+        sort_by_strategy(
+            &mut items,
+            RankStrategy::CloseFirst,
+            |x| &x.1,
+            |a, b| a.0.cmp(&b.0),
+        );
         let order: Vec<usize> = items.iter().map(|x| x.0).collect();
         // Best: the close connections {1, 2, 5} (ER length 1).
         let mut top: Vec<usize> = order[..3].to_vec();
@@ -204,7 +208,12 @@ mod tests {
     #[test]
     fn instance_close_first_promotes_corroborated() {
         let mut items = paper_connections();
-        sort_by_strategy(&mut items, RankStrategy::InstanceCloseFirst, |x| &x.1, |x| x.0);
+        sort_by_strategy(
+            &mut items,
+            RankStrategy::InstanceCloseFirst,
+            |x| &x.1,
+            |a, b| a.0.cmp(&b.0),
+        );
         let order: Vec<usize> = items.iter().map(|x| x.0).collect();
         // Connection 6 (Barbara doesn't work on p2) drops below 3
         // (which is corroborated by w_f1).
@@ -231,7 +240,9 @@ mod tests {
         use Cardinality as C;
         let hi = info(1, 1, &[C::ONE_TO_MANY], 5.0, None);
         let lo = info(1, 1, &[C::ONE_TO_MANY], 1.0, None);
-        for strat in [RankStrategy::RdbLength, RankStrategy::ErLength, RankStrategy::CloseFirst] {
+        for strat in
+            [RankStrategy::RdbLength, RankStrategy::ErLength, RankStrategy::CloseFirst]
+        {
             assert_eq!(strat.compare(&hi, &lo), Ordering::Less, "{}", strat.name());
         }
     }

@@ -97,11 +97,7 @@ pub fn close_precision_at_k(infos: &[&ConnectionInfo], k: usize) -> f64 {
     if k == 0 {
         return 0.0;
     }
-    let close = infos
-        .iter()
-        .take(k)
-        .filter(|i| i.closeness == Closeness::Close)
-        .count();
+    let close = infos.iter().take(k).filter(|i| i.closeness == Closeness::Close).count();
     close as f64 / k as f64
 }
 

@@ -2,12 +2,13 @@
 //! synthetic databases.
 
 use cla_core::{
-    banks_search, enumerate_joining_networks, is_joining, is_mtjnt, is_total, BanksOptions,
-    Connection, DataGraph, SearchEngine, SearchOptions,
+    banks_search, enumerate_joining_networks, instance_closeness, instance_closeness_naive,
+    is_joining, is_mtjnt, is_total, BanksOptions, Connection, DataGraph, SearchEngine,
+    SearchOptions,
 };
 use cla_datagen::{generate_synthetic, SyntheticConfig};
 use cla_er::Closeness;
-use cla_graph::{enumerate_simple_paths_undirected, NodeId};
+use cla_graph::{enumerate_simple_paths_undirected, EdgeId, NodeId};
 use proptest::prelude::*;
 use std::collections::{BTreeSet, HashSet};
 
@@ -197,6 +198,107 @@ proptest! {
         prop_assert_eq!(via_cn, via_growth);
     }
 
+    /// The distance-pruned multi-target pair enumeration produces
+    /// exactly the connections of the per-(source, target)-pair loop on
+    /// random synthetic databases, across every length bound.
+    #[test]
+    fn pruned_pair_connections_match_naive(seed in 0u64..150) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let engine = SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+            .unwrap();
+        let sets: Vec<Vec<NodeId>> = ["xml", "smith"]
+            .iter()
+            .map(|kw| {
+                engine
+                    .index()
+                    .matching_tuples(kw)
+                    .into_iter()
+                    .filter_map(|t| dg.node_of(t))
+                    .collect()
+            })
+            .collect();
+        prop_assume!(sets.iter().all(|s: &Vec<NodeId>| !s.is_empty()));
+        for max_rdb in 0..=4usize {
+            let key = |c: &Connection| -> (Vec<NodeId>, Vec<EdgeId>) {
+                (
+                    c.nodes().to_vec(),
+                    c.steps().iter().map(|s| s.edge).collect(),
+                )
+            };
+            let mut pruned: Vec<_> = engine
+                .pair_connections(&sets[0], &sets[1], max_rdb)
+                .iter()
+                .map(key)
+                .collect();
+            let mut naive: Vec<_> = engine
+                .pair_connections_naive(&sets[0], &sets[1], max_rdb)
+                .iter()
+                .map(key)
+                .collect();
+            pruned.sort();
+            naive.sort();
+            prop_assert_eq!(pruned, naive, "max_rdb {}", max_rdb);
+        }
+    }
+
+    /// End-to-end: a search with `naive_enumeration` renders the same
+    /// ranked results as the pruned default.
+    #[test]
+    fn pruned_search_equals_naive_search(seed in 0u64..100) {
+        let s = generate_synthetic(&small_config(seed));
+        let engine = SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+            .unwrap()
+            .with_aliases(s.aliases.clone());
+        let pruned_opts = SearchOptions { max_rdb_length: 4, ..Default::default() };
+        let naive_opts =
+            SearchOptions { naive_enumeration: true, ..pruned_opts };
+        let a = engine.search("xml smith", &pruned_opts).unwrap();
+        let b = engine.search("xml smith", &naive_opts).unwrap();
+        let ra: Vec<String> = a.connections.iter().map(|r| r.rendering.clone()).collect();
+        let rb: Vec<String> = b.connections.iter().map(|r| r.rendering.clone()).collect();
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// The short-circuiting witness search agrees with the exhaustive
+    /// seed implementation of instance closeness on sampled connections
+    /// of random synthetic databases.
+    #[test]
+    fn pruned_instance_closeness_matches_naive(seed in 0u64..100) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let nodes: Vec<NodeId> = dg.graph().nodes().collect();
+        prop_assume!(nodes.len() >= 2);
+        let mut checked = 0;
+        for (i, &a) in nodes.iter().enumerate().step_by(5) {
+            let b = nodes[(i * 11 + 3) % nodes.len()];
+            if a == b {
+                continue;
+            }
+            for p in enumerate_simple_paths_undirected(dg.graph(), a, b, 4, Some(8)) {
+                let conn = Connection::from_path(&p, &dg, &s.er_schema);
+                for budget in [0usize, 2, 4] {
+                    let fast =
+                        instance_closeness(&conn, &dg, &s.er_schema, &s.mapping, budget);
+                    let slow = instance_closeness_naive(
+                        &conn, &dg, &s.er_schema, &s.mapping, budget,
+                    );
+                    prop_assert_eq!(
+                        std::mem::discriminant(&fast),
+                        std::mem::discriminant(&slow),
+                        "budget {}: {:?} vs {:?}",
+                        budget,
+                        fast,
+                        slow
+                    );
+                    prop_assert_eq!(fast.is_close(), slow.is_close());
+                }
+                checked += 1;
+            }
+        }
+        prop_assume!(checked > 0);
+    }
+
     /// MTJNT filtering never *adds* results and every kept network is
     /// total and joining.
     #[test]
@@ -237,10 +339,8 @@ fn bruteforce_minimal(
         panic!("brute force only for small networks");
     }
     for mask in 1..(1u32 << n) - 1 {
-        let subset: BTreeSet<NodeId> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| v[i])
-            .collect();
+        let subset: BTreeSet<NodeId> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| v[i]).collect();
         if is_total(&subset, keyword_sets) && is_joining(dg, &subset) {
             return false;
         }

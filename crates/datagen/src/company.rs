@@ -65,38 +65,29 @@ pub fn company_er_schema() -> ErSchema {
             // left→right ("employee … works for department …", the
             // paper's reading 1); the constraint is the same
             // DEPARTMENT 1:N EMPLOYEE of Figure 1, seen from the N-side.
-            "WORKS_FOR", "EMPLOYEE", "DEPARTMENT", Cardinality::MANY_TO_ONE,
+            "WORKS_FOR",
+            "EMPLOYEE",
+            "DEPARTMENT",
+            Cardinality::MANY_TO_ONE,
             |r| r.verb("works for").reverse_verb("employs").fk_columns(&["D_ID"]),
         )
-        .relationship(
-            "CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY,
-            |r| {
-                r.verb("controls")
-                    .reverse_verb("is controlled by")
-                    .fk_columns(&["D_ID"])
-                    .fk_position(1)
-            },
-        )
-        .relationship(
-            "WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY,
-            |r| {
-                r.verb("works on")
-                    .reverse_verb("is worked on by")
-                    .attr("HOURS", DataType::Int)
-                    .middle_name("WORKS_FOR")
-                    .middle_left_columns(&["ESSN"])
-                    .middle_right_columns(&["P_ID"])
-            },
-        )
-        .relationship(
-            "DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY,
-            |r| {
-                r.verb("has")
-                    .reverse_verb("is dependent of")
-                    .fk_columns(&["ESSN"])
-                    .fk_position(1)
-            },
-        )
+        .relationship("CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY, |r| {
+            r.verb("controls")
+                .reverse_verb("is controlled by")
+                .fk_columns(&["D_ID"])
+                .fk_position(1)
+        })
+        .relationship("WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY, |r| {
+            r.verb("works on")
+                .reverse_verb("is worked on by")
+                .attr("HOURS", DataType::Int)
+                .middle_name("WORKS_FOR")
+                .middle_left_columns(&["ESSN"])
+                .middle_right_columns(&["P_ID"])
+        })
+        .relationship("DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY, |r| {
+            r.verb("has").reverse_verb("is dependent of").fk_columns(&["ESSN"]).fk_position(1)
+        })
         .build()
         .expect("the company schema is statically valid")
 }
@@ -115,7 +106,9 @@ pub fn company() -> CompanyDb {
 
     let mut aliases = HashMap::new();
     let mut by_alias = HashMap::new();
-    let name = |t: TupleId, alias: &str, aliases: &mut HashMap<TupleId, String>,
+    let name = |t: TupleId,
+                alias: &str,
+                aliases: &mut HashMap<TupleId, String>,
                 by_alias: &mut HashMap<String, TupleId>| {
         aliases.insert(t, alias.to_owned());
         by_alias.insert(alias.to_owned(), t);
@@ -135,7 +128,9 @@ pub fn company() -> CompanyDb {
     // PROJECT: ID, D_ID, P_NAME, P_DESCRIPTION.
     let rows: [(&str, &str, &str, &str); 3] = [
         (
-            "p1", "d1", "DB-project",
+            "p1",
+            "d1",
+            "DB-project",
             "Different data models are integrated, such as relational, object and XML",
         ),
         ("p2", "d2", "XML and IR", "XML offers a notation for structured documents."),
@@ -219,8 +214,10 @@ mod tests {
     #[test]
     fn aliases_round_trip() {
         let c = company();
-        for alias in ["d1", "d2", "d3", "p1", "p2", "p3", "e1", "e2", "e3", "e4",
-                      "w_f1", "w_f2", "w_f3", "w_f4", "t1", "t2"] {
+        for alias in [
+            "d1", "d2", "d3", "p1", "p2", "p3", "e1", "e2", "e3", "e4", "w_f1", "w_f2",
+            "w_f3", "w_f4", "t1", "t2",
+        ] {
             let t = c.tuple(alias).unwrap_or_else(|| panic!("alias {alias} missing"));
             assert_eq!(c.alias(t), alias);
         }
@@ -244,12 +241,11 @@ mod tests {
         let cat = c.db.catalog();
         let emp = cat.relation_id("EMPLOYEE").unwrap();
         // "Smith" matches the two first employees.
-        let smiths: Vec<_> = c
-            .db
-            .tuples(emp)
-            .filter(|(_, t)| t.get(1) == Some(&Value::from("Smith")))
-            .map(|(id, _)| c.alias(id))
-            .collect();
+        let smiths: Vec<_> =
+            c.db.tuples(emp)
+                .filter(|(_, t)| t.get(1) == Some(&Value::from("Smith")))
+                .map(|(id, _)| c.alias(id))
+                .collect();
         assert_eq!(smiths, vec!["e1", "e2"]);
         // "XML" occurs in d1, d2, p1, p2 (two departments, two projects).
         for (alias, attr) in [("d1", 2usize), ("d2", 2), ("p1", 3), ("p2", 3)] {

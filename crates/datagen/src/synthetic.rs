@@ -98,18 +98,28 @@ pub struct SyntheticDb {
 }
 
 const SURNAMES: &[&str] = &[
-    "Miller", "Walker", "Johnson", "Brown", "Davis", "Wilson", "Clark",
-    "Lewis", "Young", "Hall", "King", "Wright", "Lopez", "Hill", "Scott",
+    "Miller", "Walker", "Johnson", "Brown", "Davis", "Wilson", "Clark", "Lewis", "Young",
+    "Hall", "King", "Wright", "Lopez", "Hill", "Scott",
 ];
 const FIRST_NAMES: &[&str] = &[
-    "John", "Barbara", "Melina", "Alice", "Theodore", "Maria", "James",
-    "Linda", "Robert", "Patricia", "Michael", "Jennifer", "David", "Susan",
+    "John", "Barbara", "Melina", "Alice", "Theodore", "Maria", "James", "Linda", "Robert",
+    "Patricia", "Michael", "Jennifer", "David", "Susan",
 ];
 const DEPENDENT_NAMES: &[&str] =
     &["Theodore", "Emma", "Oliver", "Sophia", "Liam", "Mia", "Noah", "Ava"];
 const DEPT_NAMES: &[&str] = &[
-    "Cs", "inf", "history", "math", "physics", "biology", "chemistry",
-    "economics", "law", "medicine", "arts", "music",
+    "Cs",
+    "inf",
+    "history",
+    "math",
+    "physics",
+    "biology",
+    "chemistry",
+    "economics",
+    "law",
+    "medicine",
+    "arts",
+    "music",
 ];
 
 /// Generate a database according to `config`. Deterministic in the seed.

@@ -4,10 +4,26 @@ use rand::RngExt;
 
 /// Default topic vocabulary for department/project descriptions.
 const TOPICS: &[&str] = &[
-    "programming", "databases", "retrieval", "algorithms", "networks",
-    "statistics", "linguistics", "graphics", "compilers", "security",
-    "optimization", "visualization", "logic", "semantics", "indexing",
-    "storage", "concurrency", "transactions", "ontologies", "archives",
+    "programming",
+    "databases",
+    "retrieval",
+    "algorithms",
+    "networks",
+    "statistics",
+    "linguistics",
+    "graphics",
+    "compilers",
+    "security",
+    "optimization",
+    "visualization",
+    "logic",
+    "semantics",
+    "indexing",
+    "storage",
+    "concurrency",
+    "transactions",
+    "ontologies",
+    "archives",
 ];
 
 /// Generates short description sentences from a topic vocabulary, with a
@@ -132,9 +148,7 @@ mod tests {
 
     #[test]
     fn custom_vocabulary_is_used() {
-        let g = TextGenerator::new()
-            .with_vocabulary(["qqq"])
-            .with_words_per_text(3);
+        let g = TextGenerator::new().with_vocabulary(["qqq"]).with_words_per_text(3);
         let s = g.generate(&mut StdRng::seed_from_u64(7));
         assert_eq!(s, "The main topics are qqq qqq qqq.");
     }

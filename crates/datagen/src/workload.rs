@@ -29,7 +29,8 @@ pub const DEFAULT_KEYWORD_POOL: &[&str] =
 /// keywords from `pool` (falls back to [`DEFAULT_KEYWORD_POOL`] when
 /// `pool` is empty). Deterministic in the seed.
 pub fn generate_workload(config: &WorkloadConfig, pool: &[&str]) -> Vec<String> {
-    let pool: Vec<&str> = if pool.is_empty() { DEFAULT_KEYWORD_POOL.to_vec() } else { pool.to_vec() };
+    let pool: Vec<&str> =
+        if pool.is_empty() { DEFAULT_KEYWORD_POOL.to_vec() } else { pool.to_vec() };
     let per_query = config.keywords_per_query.min(pool.len()).max(1);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut out = Vec::with_capacity(config.num_queries);

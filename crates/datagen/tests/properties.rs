@@ -1,6 +1,8 @@
 //! Property-based tests for the synthetic generators.
 
-use cla_datagen::{generate_synthetic, generate_workload, SyntheticConfig, WorkloadConfig, Zipf};
+use cla_datagen::{
+    generate_synthetic, generate_workload, SyntheticConfig, WorkloadConfig, Zipf,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -134,9 +134,7 @@ impl CardinalityChain {
     /// The chain as seen when traversing in the opposite direction:
     /// reversed order with every constraint reversed.
     pub fn reversed(&self) -> Self {
-        CardinalityChain {
-            steps: self.steps.iter().rev().map(|c| c.reversed()).collect(),
-        }
+        CardinalityChain { steps: self.steps.iter().rev().map(|c| c.reversed()).collect() }
     }
 
     /// `∀i. Xi = 1` or `∀i. Yi = 1` — the paper's functional test. The
@@ -177,9 +175,7 @@ impl CardinalityChain {
         while i < n {
             if self.steps[i].left == Side::Many {
                 // Find the earliest j > i closing a transitive segment.
-                if let Some(j) =
-                    (i + 1..n).find(|&j| self.steps[j].right == Side::Many)
-                {
+                if let Some(j) = (i + 1..n).find(|&j| self.steps[j].right == Side::Many) {
                     count += 1;
                     i = j + 1;
                     continue;
@@ -350,7 +346,8 @@ mod tests {
         // All 16 two-step chains, checked against the paper's definitions.
         let expect = |a: Cardinality, b: Cardinality| -> ChainClass {
             let c = chain(&[a, b]);
-            if (a.left.is_one() && b.left.is_one()) || (a.right.is_one() && b.right.is_one()) {
+            if (a.left.is_one() && b.left.is_one()) || (a.right.is_one() && b.right.is_one())
+            {
                 return TransitiveFunctional;
             }
             if a.left.is_many() && b.right.is_many() {

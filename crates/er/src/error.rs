@@ -48,10 +48,7 @@ mod tests {
 
     #[test]
     fn displays_are_stable() {
-        assert_eq!(
-            ErError::UnknownEntity("X".into()).to_string(),
-            "unknown entity type `X`"
-        );
+        assert_eq!(ErError::UnknownEntity("X".into()).to_string(), "unknown entity type `X`");
         assert!(ErError::Mapping("boom".into()).to_string().contains("boom"));
     }
 

@@ -55,7 +55,9 @@ mod render;
 pub use cardinality::{Cardinality, Side};
 pub use chain::{CardinalityChain, ChainClass, Closeness};
 pub use error::ErError;
-pub use mapping::{map_to_relational, rdb_edge_cardinality, FkRole, MappingHints, SchemaMapping};
+pub use mapping::{
+    map_to_relational, rdb_edge_cardinality, FkRole, MappingHints, SchemaMapping,
+};
 pub use matrix::{ClosenessMatrix, PairSummary};
 pub use model::{
     EntityBuilder, EntityType, EntityTypeId, ErAttribute, ErSchema, ErSchemaBuilder,

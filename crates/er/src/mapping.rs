@@ -439,25 +439,31 @@ mod tests {
                 e.key("ID", DataType::Text).attr("DEPENDENT_NAME", DataType::Text)
             })
             .relationship(
-                "WORKS_FOR_REL", "DEPARTMENT", "EMPLOYEE", Cardinality::ONE_TO_MANY,
+                "WORKS_FOR_REL",
+                "DEPARTMENT",
+                "EMPLOYEE",
+                Cardinality::ONE_TO_MANY,
                 |r| r.verb("works for").fk_columns(&["D_ID"]),
             )
             .relationship(
-                "CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY,
+                "CONTROLS",
+                "DEPARTMENT",
+                "PROJECT",
+                Cardinality::ONE_TO_MANY,
                 |r| r.verb("controls").fk_columns(&["D_ID"]).fk_position(1),
             )
+            .relationship("WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY, |r| {
+                r.verb("works on")
+                    .attr("HOURS", DataType::Int)
+                    .middle_name("WORKS_FOR")
+                    .middle_left_columns(&["ESSN"])
+                    .middle_right_columns(&["P_ID"])
+            })
             .relationship(
-                "WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY,
-                |r| {
-                    r.verb("works on")
-                        .attr("HOURS", DataType::Int)
-                        .middle_name("WORKS_FOR")
-                        .middle_left_columns(&["ESSN"])
-                        .middle_right_columns(&["P_ID"])
-                },
-            )
-            .relationship(
-                "DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY,
+                "DEPENDENTS",
+                "EMPLOYEE",
+                "DEPENDENT",
+                Cardinality::ONE_TO_MANY,
                 |r| r.verb("has dependent").fk_columns(&["ESSN"]).fk_position(1),
             )
             .build()

@@ -100,9 +100,7 @@ impl ClosenessMatrix {
 
     /// The summary for an ordered pair (`None` on the diagonal).
     pub fn pair(&self, from: EntityTypeId, to: EntityTypeId) -> Option<&PairSummary> {
-        self.cells
-            .get(from.index() * self.entities + to.index())
-            .and_then(Option::as_ref)
+        self.cells.get(from.index() * self.entities + to.index()).and_then(Option::as_ref)
     }
 
     /// Render the matrix compactly: `C` close available, `L` loose
@@ -153,10 +151,28 @@ mod tests {
             .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
             .entity("PROJECT", |e| e.key("ID", DataType::Text))
             .entity("DEPENDENT", |e| e.key("ID", DataType::Text))
-            .relationship("WORKS_FOR", "EMPLOYEE", "DEPARTMENT", Cardinality::MANY_TO_ONE, |r| r)
-            .relationship("CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY, |r| r)
+            .relationship(
+                "WORKS_FOR",
+                "EMPLOYEE",
+                "DEPARTMENT",
+                Cardinality::MANY_TO_ONE,
+                |r| r,
+            )
+            .relationship(
+                "CONTROLS",
+                "DEPARTMENT",
+                "PROJECT",
+                Cardinality::ONE_TO_MANY,
+                |r| r,
+            )
             .relationship("WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY, |r| r)
-            .relationship("DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY, |r| r)
+            .relationship(
+                "DEPENDENTS",
+                "EMPLOYEE",
+                "DEPENDENT",
+                Cardinality::ONE_TO_MANY,
+                |r| r,
+            )
             .build()
             .unwrap()
     }

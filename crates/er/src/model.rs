@@ -84,12 +84,7 @@ pub struct EntityType {
 impl EntityType {
     /// Positions of the key attributes.
     pub fn key_positions(&self) -> Vec<usize> {
-        self.attributes
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.key)
-            .map(|(i, _)| i)
-            .collect()
+        self.attributes.iter().enumerate().filter(|(_, a)| a.key).map(|(i, _)| i).collect()
     }
 }
 
@@ -266,18 +261,12 @@ impl ErSchema {
 
     /// Iterate `(id, entity)` pairs in id order.
     pub fn entities(&self) -> impl Iterator<Item = (EntityTypeId, &EntityType)> {
-        self.entities
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (EntityTypeId(i as u32), e))
+        self.entities.iter().enumerate().map(|(i, e)| (EntityTypeId(i as u32), e))
     }
 
     /// Iterate `(id, relationship)` pairs in id order.
     pub fn relationships(&self) -> impl Iterator<Item = (RelationshipId, &RelationshipType)> {
-        self.relationships
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RelationshipId(i as u32), r))
+        self.relationships.iter().enumerate().map(|(i, r)| (RelationshipId(i as u32), r))
     }
 
     /// Relationships in which entity `e` participates, with ids.
@@ -285,8 +274,7 @@ impl ErSchema {
         &self,
         e: EntityTypeId,
     ) -> impl Iterator<Item = (RelationshipId, &RelationshipType)> {
-        self.relationships()
-            .filter(move |(_, r)| r.left == e || r.right == e)
+        self.relationships().filter(move |(_, r)| r.left == e || r.right == e)
     }
 }
 
@@ -458,9 +446,8 @@ impl ErSchemaBuilder {
                 .entity_id(&right)
                 .ok_or_else(|| ErError::UnknownEntity(right.clone()))?;
             let verb = rb.verb.unwrap_or_else(|| name.to_lowercase().replace('_', " "));
-            let reverse_verb = rb
-                .reverse_verb
-                .unwrap_or_else(|| format!("is associated ({verb}) with"));
+            let reverse_verb =
+                rb.reverse_verb.unwrap_or_else(|| format!("is associated ({verb}) with"));
             schema.add_relationship(RelationshipType {
                 name,
                 verb,
@@ -482,7 +469,9 @@ mod tests {
 
     fn two_entity_schema() -> ErSchema {
         ErSchemaBuilder::new()
-            .entity("DEPARTMENT", |e| e.key("ID", DataType::Text).attr("NAME", DataType::Text))
+            .entity("DEPARTMENT", |e| {
+                e.key("ID", DataType::Text).attr("NAME", DataType::Text)
+            })
             .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
             .relationship(
                 "WORKS_FOR",

@@ -59,11 +59,8 @@ impl SchemaPath {
         let mut current = self.start;
         for step in &self.steps {
             let rel = schema.relationship(step.relationship)?;
-            let (from, to) = if step.forward {
-                (rel.left, rel.right)
-            } else {
-                (rel.right, rel.left)
-            };
+            let (from, to) =
+                if step.forward { (rel.left, rel.right) } else { (rel.right, rel.left) };
             if from != current {
                 return None;
             }
@@ -161,10 +158,8 @@ fn dfs(
         return;
     }
     for (rid, rel) in schema.relationships() {
-        let candidates: &[(EntityTypeId, EntityTypeId, bool)] = &[
-            (rel.left, rel.right, true),
-            (rel.right, rel.left, false),
-        ];
+        let candidates: &[(EntityTypeId, EntityTypeId, bool)] =
+            &[(rel.left, rel.right, true), (rel.right, rel.left, false)];
         for &(s, t, forward) in candidates {
             if s != current || visited.contains(&t) {
                 continue;
@@ -208,19 +203,27 @@ mod tests {
             .entity("PROJECT", |e| e.key("ID", DataType::Text))
             .entity("DEPENDENT", |e| e.key("ID", DataType::Text))
             .relationship(
-                "WORKS_FOR", "DEPARTMENT", "EMPLOYEE", Cardinality::ONE_TO_MANY,
+                "WORKS_FOR",
+                "DEPARTMENT",
+                "EMPLOYEE",
+                Cardinality::ONE_TO_MANY,
                 |r| r.verb("works for"),
             )
             .relationship(
-                "CONTROLS", "DEPARTMENT", "PROJECT", Cardinality::ONE_TO_MANY,
+                "CONTROLS",
+                "DEPARTMENT",
+                "PROJECT",
+                Cardinality::ONE_TO_MANY,
                 |r| r.verb("controls"),
             )
+            .relationship("WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY, |r| {
+                r.verb("works on")
+            })
             .relationship(
-                "WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY,
-                |r| r.verb("works on"),
-            )
-            .relationship(
-                "DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality::ONE_TO_MANY,
+                "DEPENDENTS",
+                "EMPLOYEE",
+                "DEPENDENT",
+                Cardinality::ONE_TO_MANY,
                 |r| r.verb("has dependent"),
             )
             .build()
@@ -256,10 +259,7 @@ mod tests {
             ChainClass::TransitiveFunctional
         );
         // Row 6: department 1:N project N:M employee 1:N dependent.
-        assert_eq!(
-            paths[1].render(&s),
-            "department 1:N project N:M employee 1:N dependent"
-        );
+        assert_eq!(paths[1].render(&s), "department 1:N project N:M employee 1:N dependent");
         assert_eq!(
             paths[1].cardinality_chain(&s).unwrap().classify(),
             ChainClass::ContainsTransitiveNM

@@ -57,11 +57,7 @@ pub fn render_dot(schema: &ErSchema) -> String {
 /// ```
 pub fn render_ascii(schema: &ErSchema) -> String {
     let mut lines = Vec::new();
-    let width = schema
-        .entities()
-        .map(|(_, e)| e.name.len())
-        .max()
-        .unwrap_or(0);
+    let width = schema.entities().map(|(_, e)| e.name.len()).max().unwrap_or(0);
     for (_, r) in schema.relationships() {
         let left = schema.entity(r.left).expect("validated").name.as_str();
         let right = schema.entity(r.right).expect("validated").name.as_str();
@@ -91,13 +87,15 @@ mod tests {
             .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
             .entity("PROJECT", |e| e.key("ID", DataType::Text))
             .relationship(
-                "WORKS_FOR", "DEPARTMENT", "EMPLOYEE", Cardinality::ONE_TO_MANY,
+                "WORKS_FOR",
+                "DEPARTMENT",
+                "EMPLOYEE",
+                Cardinality::ONE_TO_MANY,
                 |r| r.verb("works for"),
             )
-            .relationship(
-                "WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY,
-                |r| r.verb("works on"),
-            )
+            .relationship("WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY, |r| {
+                r.verb("works on")
+            })
             .build()
             .unwrap()
     }

@@ -1,5 +1,6 @@
 //! Dijkstra shortest paths with pluggable non-negative edge weights.
 
+use crate::csr::CsrAdjacency;
 use crate::graph::{EdgeId, Graph, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -56,10 +57,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse on distance for a min-heap; tie-break on node for
         // determinism.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -108,6 +106,38 @@ where
             for e in g.out_edges(n) {
                 let m = e.to;
                 relax(e, m, &mut dist, &mut parent, &mut heap);
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
+
+/// Dijkstra over a CSR adjacency (always the undirected view — the CSR
+/// *is* the undirected incidence). Same results as
+/// [`dijkstra`]`(g, start, true, weight)` without per-step adjacency
+/// indirection; the BANKS backward expansion runs on this.
+pub fn dijkstra_csr<W>(csr: &CsrAdjacency, start: NodeId, weight: W) -> DijkstraResult
+where
+    W: Fn(EdgeId) -> f64,
+{
+    let mut dist = vec![f64::INFINITY; csr.node_count()];
+    let mut parent = vec![None; csr.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[start.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: start });
+
+    while let Some(HeapEntry { dist: d, node: n }) = heap.pop() {
+        if d > dist[n.index()] {
+            continue; // stale entry
+        }
+        for &(m, e) in csr.neighbors(n) {
+            let w = weight(e);
+            debug_assert!(w >= 0.0, "negative edge weight {w} on edge {e}");
+            let nd = d + w;
+            if nd < dist[m.index()] {
+                dist[m.index()] = nd;
+                parent[m.index()] = Some((n, e));
+                heap.push(HeapEntry { dist: nd, node: m });
             }
         }
     }
@@ -176,6 +206,18 @@ mod tests {
         let (nodes, edges) = r.path_to(ns[0]).unwrap();
         assert_eq!(nodes, vec![ns[0]]);
         assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn csr_dijkstra_matches_undirected_dijkstra() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        let on_graph = dijkstra(&g, ns[0], true, |e| *g.edge(e).payload);
+        let on_csr = dijkstra_csr(&csr, ns[0], |e| *g.edge(e).payload);
+        assert_eq!(on_graph.dist, on_csr.dist);
+        for n in g.nodes() {
+            assert_eq!(on_graph.path_to(n), on_csr.path_to(n));
+        }
     }
 
     #[test]

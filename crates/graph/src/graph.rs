@@ -82,7 +82,12 @@ pub struct Graph<N, E> {
 
 impl<N, E> Default for Graph<N, E> {
     fn default() -> Self {
-        Graph { nodes: Vec::new(), edges: Vec::new(), out_edges: Vec::new(), in_edges: Vec::new() }
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        }
     }
 }
 

@@ -4,14 +4,20 @@
 //! payloads, plus the traversal toolkit the keyword-search layer needs:
 //!
 //! * [`Graph`] — adjacency-list multigraph with dense `u32` ids;
+//! * [`CsrAdjacency`] — a flat, build-once CSR view of the undirected
+//!   incidence, the substrate of every search hot path;
 //! * BFS distances/parents and connected components
-//!   ([`bfs_distances_undirected`], [`connected_components_undirected`],
-//!   [`is_connected_subset`]);
+//!   ([`bfs_distances_undirected`], [`multi_source_bfs_distances`],
+//!   [`connected_components_undirected`], [`is_connected_subset`],
+//!   [`is_connected_subset_sorted`]);
 //! * bounded **simple-path enumeration** in the undirected view
 //!   ([`enumerate_simple_paths_undirected`]) — the workhorse behind the
-//!   paper's connection enumeration (§3);
-//! * Dijkstra shortest paths with pluggable edge weights ([`dijkstra`]) —
-//!   used by the BANKS-style backward expansion;
+//!   paper's connection enumeration (§3) — and its distance-pruned
+//!   multi-target form ([`for_each_path_to_targets`],
+//!   [`enumerate_paths_to_targets`]), which runs one frontier-aware DFS
+//!   per source instead of one unpruned DFS per (source, target) pair;
+//! * Dijkstra shortest paths with pluggable edge weights ([`dijkstra`],
+//!   [`dijkstra_csr`]) — used by the BANKS-style backward expansion;
 //! * a [`UnionFind`] for fast connectivity checks.
 //!
 //! The crate is deliberately generic: `cla-core` instantiates it with
@@ -26,17 +32,23 @@
 //! multi-edges with annotations), so the substrate is implemented here
 //! from scratch.
 
+mod csr;
 mod dijkstra;
 mod graph;
 mod paths;
 mod traversal;
 mod unionfind;
 
-pub use dijkstra::{dijkstra, DijkstraResult};
+pub use csr::CsrAdjacency;
+pub use dijkstra::{dijkstra, dijkstra_csr, DijkstraResult};
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
-pub use paths::{enumerate_simple_paths_undirected, shortest_path_undirected, Path};
+pub use paths::{
+    enumerate_paths_to_targets, enumerate_simple_paths_undirected, for_each_path_to_targets,
+    shortest_path_undirected, Path,
+};
 pub use traversal::{
-    bfs_distances_undirected, bfs_tree_undirected, connected_components_undirected,
-    is_connected_subset, BfsTree,
+    bfs_distances_csr, bfs_distances_undirected, bfs_tree_undirected,
+    connected_components_undirected, is_connected_subset, is_connected_subset_sorted,
+    multi_source_bfs_distances, BfsTree,
 };
 pub use unionfind::UnionFind;

@@ -1,7 +1,9 @@
 //! Bounded simple-path enumeration and shortest paths (undirected view).
 
+use crate::csr::CsrAdjacency;
 use crate::graph::{EdgeId, Graph, NodeId};
-use crate::traversal::bfs_tree_undirected;
+use crate::traversal::{bfs_tree_undirected, multi_source_bfs_distances};
+use std::ops::ControlFlow;
 
 /// A path through the graph: `nodes.len() == edges.len() + 1`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -32,6 +34,15 @@ impl Path {
     /// Last node.
     pub fn end(&self) -> NodeId {
         *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// The canonical enumeration order: by edge count, then
+    /// lexicographically by edge ids. Every sorted path listing in the
+    /// workspace uses this one comparator — downstream dedup picks
+    /// representatives among parallel-edge variants by it, so all
+    /// enumeration sites must agree.
+    pub fn canonical_cmp(&self, other: &Path) -> std::cmp::Ordering {
+        self.edges.len().cmp(&other.edges.len()).then_with(|| self.edges.cmp(&other.edges))
     }
 }
 
@@ -65,7 +76,7 @@ pub fn enumerate_simple_paths_undirected<N, E>(
     let mut on_path = vec![false; g.node_count()];
     on_path[from.index()] = true;
     dfs(g, from, to, max_edges, cap, &mut nodes, &mut edges, &mut on_path, &mut out);
-    out.sort_by(|a, b| a.edges.len().cmp(&b.edges.len()).then_with(|| a.edges.cmp(&b.edges)));
+    out.sort_by(Path::canonical_cmp);
     out
 }
 
@@ -107,6 +118,147 @@ fn dfs<N, E>(
             on_path[next.index()] = false;
         }
     }
+}
+
+/// Distance-pruned multi-target path enumeration: visit every simple
+/// path of `1..=max_edges` edges that starts at `source` and ends at a
+/// node with `is_target[end]`, in DFS discovery order.
+///
+/// This replaces the quadratic per-(source, target) loop of repeated
+/// [`enumerate_simple_paths_undirected`] calls with **one** DFS per
+/// source against the whole target set. `dist_to_target[n]` must be the
+/// unweighted distance from `n` to the *nearest* target (from
+/// [`multi_source_bfs_distances`] over the targets, computed once and
+/// shared across sources); any branch with
+/// `depth + 1 + dist_to_target[next] > max_edges` is cut — it cannot
+/// complete within budget even in the unconstrained graph, so pruning
+/// never loses a path. Exploration cost drops from `O(b^max_edges)`
+/// dead-end wandering to near-output-sensitive work.
+///
+/// Paths passing *through* one target on the way to another are
+/// visited once per target endpoint, exactly like the per-pair union.
+/// The visitor receives each path's nodes and edges (borrowed scratch
+/// buffers; copy to keep) and can stop the whole search by returning
+/// [`ControlFlow::Break`]. Returns whether the search was broken.
+pub fn for_each_path_to_targets<F>(
+    csr: &CsrAdjacency,
+    source: NodeId,
+    is_target: &[bool],
+    dist_to_target: &[u32],
+    max_edges: usize,
+    mut visit: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId], &[EdgeId]) -> ControlFlow<()>,
+{
+    assert_eq!(is_target.len(), csr.node_count(), "target mask size mismatch");
+    assert_eq!(dist_to_target.len(), csr.node_count(), "distance map size mismatch");
+    if max_edges == 0 || dist_to_target[source.index()] as usize > max_edges {
+        return ControlFlow::Continue(());
+    }
+    let mut nodes = vec![source];
+    let mut edges: Vec<EdgeId> = Vec::new();
+    let mut on_path = vec![false; csr.node_count()];
+    on_path[source.index()] = true;
+    dfs_to_targets(
+        csr,
+        source,
+        is_target,
+        dist_to_target,
+        max_edges,
+        &mut nodes,
+        &mut edges,
+        &mut on_path,
+        &mut visit,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_to_targets<F>(
+    csr: &CsrAdjacency,
+    current: NodeId,
+    is_target: &[bool],
+    dist_to_target: &[u32],
+    budget: usize,
+    nodes: &mut Vec<NodeId>,
+    edges: &mut Vec<EdgeId>,
+    on_path: &mut [bool],
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId], &[EdgeId]) -> ControlFlow<()>,
+{
+    for &(next, e) in csr.neighbors(current) {
+        if on_path[next.index()] {
+            continue;
+        }
+        if is_target[next.index()] {
+            edges.push(e);
+            nodes.push(next);
+            let flow = visit(nodes, edges);
+            nodes.pop();
+            edges.pop();
+            flow?;
+        }
+        // Descend only if some target is still reachable within the
+        // remaining budget (admissible lower bound ⇒ lossless cut).
+        if budget > 1 && (dist_to_target[next.index()] as usize) < budget {
+            on_path[next.index()] = true;
+            nodes.push(next);
+            edges.push(e);
+            let flow = dfs_to_targets(
+                csr,
+                next,
+                is_target,
+                dist_to_target,
+                budget - 1,
+                nodes,
+                edges,
+                on_path,
+                visit,
+            );
+            edges.pop();
+            nodes.pop();
+            on_path[next.index()] = false;
+            flow?;
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Collect the paths [`for_each_path_to_targets`] visits for one source,
+/// sorted by length then edge ids (the [`enumerate_simple_paths_undirected`]
+/// order). Builds the target mask and distance map itself — use the
+/// visitor API directly to share them across many sources.
+///
+/// Equivalent to the union over `t ∈ targets, t ≠ source` of
+/// `enumerate_simple_paths_undirected(g, source, t, max_edges, None)`,
+/// computed in one pruned traversal.
+pub fn enumerate_paths_to_targets(
+    csr: &CsrAdjacency,
+    source: NodeId,
+    targets: &[NodeId],
+    max_edges: usize,
+) -> Vec<Path> {
+    let mut is_target = vec![false; csr.node_count()];
+    for &t in targets {
+        is_target[t.index()] = true;
+    }
+    let dist = multi_source_bfs_distances(csr, targets);
+    let mut out = Vec::new();
+    let _ = for_each_path_to_targets(
+        csr,
+        source,
+        &is_target,
+        &dist,
+        max_edges,
+        |nodes, edges| {
+            out.push(Path { nodes: nodes.to_vec(), edges: edges.to_vec() });
+            ControlFlow::Continue(())
+        },
+    );
+    out.sort_by(Path::canonical_cmp);
+    out
 }
 
 /// One shortest path between `from` and `to` in the undirected view, via
@@ -215,6 +367,98 @@ mod tests {
         assert_eq!(p.nodes, vec![ns[0], ns[3], ns[4]]);
         let all = enumerate_simple_paths_undirected(&g, ns[0], ns[4], 5, None);
         assert!(all.iter().all(|q| q.len() >= p.len()));
+    }
+
+    /// Multi-target enumeration equals the union of per-pair runs.
+    fn per_pair_union(
+        g: &Graph<(), ()>,
+        from: NodeId,
+        targets: &[NodeId],
+        max: usize,
+    ) -> Vec<Path> {
+        let mut out: Vec<Path> = targets
+            .iter()
+            .filter(|&&t| t != from)
+            .flat_map(|&t| enumerate_simple_paths_undirected(g, from, t, max, None))
+            .collect();
+        out.sort_by(|a, b| a.canonical_cmp(b));
+        out
+    }
+
+    #[test]
+    fn multi_target_matches_per_pair_union() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        for max in 0..=5 {
+            let targets = [ns[3], ns[4]];
+            let pruned = enumerate_paths_to_targets(&csr, ns[0], &targets, max);
+            assert_eq!(pruned, per_pair_union(&g, ns[0], &targets, max), "max={max}");
+        }
+    }
+
+    #[test]
+    fn multi_target_with_source_in_targets_skips_trivial_path() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        // Source a is itself a target: only paths to OTHER targets count;
+        // no zero-length path is reported.
+        let targets = [ns[0], ns[3]];
+        let paths = enumerate_paths_to_targets(&csr, ns[0], &targets, 4);
+        assert!(paths.iter().all(|p| !p.is_empty()));
+        assert_eq!(paths, per_pair_union(&g, ns[0], &targets, 4));
+    }
+
+    #[test]
+    fn multi_target_visits_paths_through_targets() {
+        // Chain a–b–c with both b and c targets: a–b and a–b–c must both
+        // be found even though a–b–c passes through target b.
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let csr = CsrAdjacency::build(&g);
+        let paths = enumerate_paths_to_targets(&csr, a, &[b, c], 4);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].end(), b);
+        assert_eq!(paths[1].end(), c);
+    }
+
+    #[test]
+    fn pruning_cuts_unreachable_branches_without_losing_paths() {
+        // A long dead-end tail that cannot reach the target within the
+        // budget must not change results.
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(a, t, ());
+        let mut prev = a;
+        for _ in 0..6 {
+            let n = g.add_node(());
+            g.add_edge(prev, n, ());
+            prev = n;
+        }
+        let csr = CsrAdjacency::build(&g);
+        let paths = enumerate_paths_to_targets(&csr, a, &[t], 3);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths, per_pair_union(&g, a, &[t], 3));
+    }
+
+    #[test]
+    fn visitor_break_stops_enumeration() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        let mut is_target = vec![false; csr.node_count()];
+        is_target[ns[3].index()] = true;
+        let dist = multi_source_bfs_distances(&csr, &[ns[3]]);
+        let mut count = 0;
+        let flow = for_each_path_to_targets(&csr, ns[0], &is_target, &dist, 4, |_, _| {
+            count += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(count, 1);
+        assert!(flow.is_break());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Breadth-first traversal, components, and subset connectivity.
 
+use crate::csr::CsrAdjacency;
 use crate::graph::{EdgeId, Graph, NodeId};
 use std::collections::{HashSet, VecDeque};
 
@@ -57,6 +58,72 @@ pub fn bfs_tree_undirected<N, E>(g: &Graph<N, E>, start: NodeId) -> BfsTree {
         }
     }
     BfsTree { dist, parent }
+}
+
+/// Multi-source BFS over a CSR adjacency: `dist[n]` is the hop distance
+/// from `n` to the **nearest** source (`u32::MAX` when unreachable).
+///
+/// This is the frontier map behind distance-pruned path enumeration
+/// ([`crate::for_each_path_to_targets`]): run it once from the target
+/// set, then share the map across every enumeration source.
+pub fn multi_source_bfs_distances(csr: &CsrAdjacency, sources: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; csr.node_count()];
+    let mut queue = VecDeque::with_capacity(sources.len());
+    for &s in sources {
+        if dist[s.index()] == u32::MAX {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.index()];
+        for &(m, _) in csr.neighbors(n) {
+            if dist[m.index()] == u32::MAX {
+                dist[m.index()] = d + 1;
+                queue.push_back(m);
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source BFS hop distances over a CSR adjacency
+/// (`u32::MAX` when unreachable). CSR port of
+/// [`bfs_distances_undirected`].
+pub fn bfs_distances_csr(csr: &CsrAdjacency, start: NodeId) -> Vec<u32> {
+    multi_source_bfs_distances(csr, &[start])
+}
+
+/// Whether the subgraph induced by the **sorted, deduplicated** node
+/// slice is connected in the undirected view. CSR port of
+/// [`is_connected_subset`], keyed by binary search instead of hashing —
+/// the MTJNT minimality check calls this once per removable tuple, so
+/// the tiny sorted slices beat `HashSet` construction.
+pub fn is_connected_subset_sorted(csr: &CsrAdjacency, nodes: &[NodeId]) -> bool {
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "slice must be sorted + dedup'd");
+    let Some(&start) = nodes.first() else {
+        return true;
+    };
+    let mut seen = vec![false; nodes.len()];
+    seen[0] = true;
+    let mut reached = 1;
+    let mut queue = VecDeque::with_capacity(nodes.len());
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for &(m, _) in csr.neighbors(n) {
+            if let Ok(i) = nodes.binary_search(&m) {
+                if !seen[i] {
+                    seen[i] = true;
+                    reached += 1;
+                    if reached == nodes.len() {
+                        return true;
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    reached == nodes.len()
 }
 
 /// Connected components of the undirected view: returns
@@ -172,6 +239,53 @@ mod tests {
         let set: HashSet<NodeId> = [ns[3]].into_iter().collect();
         assert!(is_connected_subset(&g, &set));
         assert!(is_connected_subset(&g, &HashSet::new()));
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_nearest_source() {
+        let (g, ns) = two_components();
+        let csr = CsrAdjacency::build(&g);
+        let dist = multi_source_bfs_distances(&csr, &[ns[0], ns[2]]);
+        assert_eq!(dist[ns[0].index()], 0);
+        assert_eq!(dist[ns[1].index()], 1); // adjacent to both sources
+        assert_eq!(dist[ns[2].index()], 0);
+        assert_eq!(dist[ns[3].index()], u32::MAX);
+        // Single source matches the Graph-based BFS.
+        let csr_dist = bfs_distances_csr(&csr, ns[0]);
+        let g_dist = bfs_distances_undirected(&g, ns[0]);
+        for n in g.nodes() {
+            match g_dist[n.index()] {
+                Some(d) => assert_eq!(csr_dist[n.index()], d),
+                None => assert_eq!(csr_dist[n.index()], u32::MAX),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_bfs_handles_duplicate_and_empty_sources() {
+        let (g, ns) = two_components();
+        let csr = CsrAdjacency::build(&g);
+        let dist = multi_source_bfs_distances(&csr, &[ns[0], ns[0]]);
+        assert_eq!(dist[ns[0].index()], 0);
+        let dist = multi_source_bfs_distances(&csr, &[]);
+        assert!(dist.iter().all(|&d| d == u32::MAX));
+    }
+
+    #[test]
+    fn sorted_subset_connectivity_matches_hashset_version() {
+        let (g, ns) = two_components();
+        let csr = CsrAdjacency::build(&g);
+        let cases: &[&[usize]] = &[&[0, 1, 2], &[0, 2], &[3], &[], &[0, 1], &[1, 2, 3]];
+        for idxs in cases {
+            let mut sorted: Vec<NodeId> = idxs.iter().map(|&i| ns[i]).collect();
+            sorted.sort();
+            let set: HashSet<NodeId> = sorted.iter().copied().collect();
+            assert_eq!(
+                is_connected_subset_sorted(&csr, &sorted),
+                is_connected_subset(&g, &set),
+                "{idxs:?}"
+            );
+        }
     }
 
     #[test]

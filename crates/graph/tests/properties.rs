@@ -1,9 +1,10 @@
 //! Property-based tests for the graph substrate.
 
 use cla_graph::{
-    bfs_distances_undirected, connected_components_undirected, dijkstra,
-    enumerate_simple_paths_undirected, is_connected_subset, shortest_path_undirected, Graph,
-    NodeId, UnionFind,
+    bfs_distances_csr, bfs_distances_undirected, connected_components_undirected, dijkstra,
+    dijkstra_csr, enumerate_paths_to_targets, enumerate_simple_paths_undirected,
+    is_connected_subset, is_connected_subset_sorted, multi_source_bfs_distances,
+    shortest_path_undirected, CsrAdjacency, Graph, NodeId, Path, UnionFind,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -109,6 +110,94 @@ proptest! {
                 Some(d) => prop_assert_eq!(dj.dist[v.index()], f64::from(d)),
             }
         }
+    }
+
+    /// The distance-pruned multi-target enumeration returns exactly the
+    /// same path set as the union of per-pair enumerations over every
+    /// target — the equivalence behind replacing the engine's
+    /// |A|·|B| pair loop with one pruned DFS per source.
+    #[test]
+    fn multi_target_equals_per_pair_union(
+        n in 2usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..20),
+        targets in proptest::collection::vec(0usize..8, 1..5),
+        max in 1usize..5
+    ) {
+        let g = build(n, &edges);
+        let csr = CsrAdjacency::build(&g);
+        let from = NodeId(0);
+        let targets: Vec<NodeId> = {
+            let mut t: Vec<NodeId> = targets.iter().map(|&i| NodeId((i % n) as u32)).collect();
+            t.sort();
+            t.dedup();
+            t
+        };
+        let pruned = enumerate_paths_to_targets(&csr, from, &targets, max);
+        let mut union: Vec<Path> = targets
+            .iter()
+            .filter(|&&t| t != from)
+            .flat_map(|&t| enumerate_simple_paths_undirected(&g, from, t, max, None))
+            .collect();
+        union.sort_by(|a, b| {
+            a.canonical_cmp(b)
+        });
+        prop_assert_eq!(pruned, union);
+    }
+
+    /// CSR traversals agree with their adjacency-list counterparts:
+    /// BFS distances (single- and multi-source) and Dijkstra.
+    #[test]
+    fn csr_traversals_match_graph_traversals(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..24),
+        sources in proptest::collection::vec(0usize..12, 1..4)
+    ) {
+        let g = build(n, &edges);
+        let csr = CsrAdjacency::build(&g);
+        let start = NodeId(0);
+        let bfs = bfs_distances_undirected(&g, start);
+        let bfs_csr = bfs_distances_csr(&csr, start);
+        for v in g.nodes() {
+            match bfs[v.index()] {
+                Some(d) => prop_assert_eq!(bfs_csr[v.index()], d),
+                None => prop_assert_eq!(bfs_csr[v.index()], u32::MAX),
+            }
+        }
+        // Multi-source distance = min over single-source distances.
+        let sources: Vec<NodeId> =
+            sources.iter().map(|&i| NodeId((i % n) as u32)).collect();
+        let multi = multi_source_bfs_distances(&csr, &sources);
+        for v in g.nodes() {
+            let best = sources
+                .iter()
+                .filter_map(|&s| bfs_distances_undirected(&g, s)[v.index()])
+                .min();
+            prop_assert_eq!(multi[v.index()], best.unwrap_or(u32::MAX));
+        }
+        let dj = dijkstra(&g, start, true, |_| 1.0);
+        let djc = dijkstra_csr(&csr, start, |_| 1.0);
+        prop_assert_eq!(dj.dist, djc.dist);
+    }
+
+    /// Sorted-slice subset connectivity agrees with the hash-set
+    /// implementation on arbitrary subsets.
+    #[test]
+    fn sorted_subset_connectivity_matches(
+        n in 1usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
+        members in proptest::collection::vec(any::<bool>(), 10)
+    ) {
+        let g = build(n, &edges);
+        let csr = CsrAdjacency::build(&g);
+        let sorted: Vec<NodeId> = (0..n)
+            .filter(|&i| members[i])
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let set: HashSet<NodeId> = sorted.iter().copied().collect();
+        prop_assert_eq!(
+            is_connected_subset_sorted(&csr, &sorted),
+            is_connected_subset(&g, &set)
+        );
     }
 
     /// A full component is a connected subset; removing a cut vertex from

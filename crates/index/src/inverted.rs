@@ -119,11 +119,7 @@ impl InvertedIndex {
     /// Total frequency of `keyword` inside tuple `t` across attributes
     /// (0 when absent).
     pub fn frequency_in(&self, keyword: &str, t: TupleId) -> u32 {
-        self.lookup(keyword)
-            .iter()
-            .filter(|p| p.tuple == t)
-            .map(|p| p.frequency)
-            .sum()
+        self.lookup(keyword).iter().filter(|p| p.tuple == t).map(|p| p.frequency).sum()
     }
 }
 
@@ -156,14 +152,24 @@ mod tests {
         let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
         let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
         let h = db.catalog().relation_id("HOURS_ONLY").unwrap();
-        db.insert(dept, vec![
-            "d1".into(), "Cs".into(),
-            "The main topics of teaching are programming, databases and XML.".into(),
-        ]).unwrap();
-        db.insert(dept, vec![
-            "d2".into(), "inf".into(),
-            "The main topics of teaching are information retrieval and XML.".into(),
-        ]).unwrap();
+        db.insert(
+            dept,
+            vec![
+                "d1".into(),
+                "Cs".into(),
+                "The main topics of teaching are programming, databases and XML.".into(),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            dept,
+            vec![
+                "d2".into(),
+                "inf".into(),
+                "The main topics of teaching are information retrieval and XML.".into(),
+            ],
+        )
+        .unwrap();
         db.insert(emp, vec!["e1".into(), "Smith".into(), "John".into()]).unwrap();
         db.insert(emp, vec!["e2".into(), "Smith".into(), "Barbara".into()]).unwrap();
         db.insert(h, vec![Value::from(1i64), Value::from(40i64)]).unwrap();
@@ -208,9 +214,7 @@ mod tests {
     fn frequency_counts_repeats() {
         let catalog = SchemaBuilder::new()
             .relation("R", |r| {
-                r.attr("ID", DataType::Int)
-                    .attr("T", DataType::Text)
-                    .primary_key(&["ID"])
+                r.attr("ID", DataType::Int).attr("T", DataType::Text).primary_key(&["ID"])
             })
             .build()
             .unwrap();

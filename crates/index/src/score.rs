@@ -55,9 +55,7 @@ mod tests {
     fn db() -> Database {
         let catalog = SchemaBuilder::new()
             .relation("R", |r| {
-                r.attr("ID", DataType::Int)
-                    .attr("T", DataType::Text)
-                    .primary_key(&["ID"])
+                r.attr("ID", DataType::Int).attr("T", DataType::Text).primary_key(&["ID"])
             })
             .build()
             .unwrap();

@@ -22,8 +22,7 @@ impl Tokenizer {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.stopwords
-            .extend(words.into_iter().map(|w| w.into().to_lowercase()));
+        self.stopwords.extend(words.into_iter().map(|w| w.into().to_lowercase()));
         self
     }
 
@@ -57,10 +56,21 @@ mod tests {
     fn splits_on_punctuation_and_lowercases() {
         let t = Tokenizer::new();
         assert_eq!(
-            t.tokenize("Different data models are integrated, such as relational, object and XML"),
+            t.tokenize(
+                "Different data models are integrated, such as relational, object and XML"
+            ),
             vec![
-                "different", "data", "models", "are", "integrated", "such", "as",
-                "relational", "object", "and", "xml"
+                "different",
+                "data",
+                "models",
+                "are",
+                "integrated",
+                "such",
+                "as",
+                "relational",
+                "object",
+                "and",
+                "xml"
             ]
         );
         assert_eq!(t.tokenize("DB-project"), vec!["db", "project"]);

@@ -7,9 +7,7 @@ use proptest::prelude::*;
 fn text_db(rows: &[String]) -> Database {
     let catalog = SchemaBuilder::new()
         .relation("R", |r| {
-            r.attr("ID", DataType::Int)
-                .attr("T", DataType::Text)
-                .primary_key(&["ID"])
+            r.attr("ID", DataType::Int).attr("T", DataType::Text).primary_key(&["ID"])
         })
         .build()
         .unwrap();

@@ -108,19 +108,15 @@ impl SchemaBuilder {
         let mut catalog = Catalog::new();
         for (name, rb) in &self.relations {
             let find_attr = |attr: &str| -> Result<usize> {
-                rb.attributes
-                    .iter()
-                    .position(|a| a.name == *attr)
-                    .ok_or_else(|| RelationalError::UnknownAttribute {
+                rb.attributes.iter().position(|a| a.name == *attr).ok_or_else(|| {
+                    RelationalError::UnknownAttribute {
                         relation: name.clone(),
                         attribute: attr.to_owned(),
-                    })
+                    }
+                })
             };
-            let primary_key = rb
-                .primary_key
-                .iter()
-                .map(|a| find_attr(a))
-                .collect::<Result<Vec<_>>>()?;
+            let primary_key =
+                rb.primary_key.iter().map(|a| find_attr(a)).collect::<Result<Vec<_>>>()?;
             let mut foreign_keys = Vec::with_capacity(rb.foreign_keys.len());
             for fk in &rb.foreign_keys {
                 let target_idx = *name_to_id.get(&fk.target_relation).ok_or_else(|| {
@@ -128,14 +124,12 @@ impl SchemaBuilder {
                 })?;
                 let (_, target_rb) = &self.relations[target_idx];
                 let target_find = |attr: &str| -> Result<usize> {
-                    target_rb
-                        .attributes
-                        .iter()
-                        .position(|a| a.name == *attr)
-                        .ok_or_else(|| RelationalError::UnknownAttribute {
+                    target_rb.attributes.iter().position(|a| a.name == *attr).ok_or_else(
+                        || RelationalError::UnknownAttribute {
                             relation: fk.target_relation.clone(),
                             attribute: attr.to_owned(),
-                        })
+                        },
+                    )
                 };
                 foreign_keys.push(ForeignKeyDef {
                     name: fk.name.clone(),
@@ -187,9 +181,7 @@ mod tests {
                     .primary_key(&["SSN"])
                     .foreign_key("wf", &["D_ID"], "DEPARTMENT", &["ID"])
             })
-            .relation("DEPARTMENT", |r| {
-                r.attr("ID", DataType::Text).primary_key(&["ID"])
-            })
+            .relation("DEPARTMENT", |r| r.attr("ID", DataType::Text).primary_key(&["ID"]))
             .build()
             .unwrap();
         let emp = cat.relation_by_name("EMPLOYEE").unwrap();
@@ -210,9 +202,12 @@ mod tests {
     fn unknown_fk_target_relation_errors() {
         let err = SchemaBuilder::new()
             .relation("A", |r| {
-                r.attr("ID", DataType::Int)
-                    .primary_key(&["ID"])
-                    .foreign_key("f", &["ID"], "MISSING", &["ID"])
+                r.attr("ID", DataType::Int).primary_key(&["ID"]).foreign_key(
+                    "f",
+                    &["ID"],
+                    "MISSING",
+                    &["ID"],
+                )
             })
             .build()
             .unwrap_err();
@@ -223,9 +218,12 @@ mod tests {
     fn unknown_fk_target_attribute_errors() {
         let err = SchemaBuilder::new()
             .relation("A", |r| {
-                r.attr("ID", DataType::Int)
-                    .primary_key(&["ID"])
-                    .foreign_key("f", &["ID"], "B", &["NOPE"])
+                r.attr("ID", DataType::Int).primary_key(&["ID"]).foreign_key(
+                    "f",
+                    &["ID"],
+                    "B",
+                    &["NOPE"],
+                )
             })
             .relation("B", |r| r.attr("ID", DataType::Int).primary_key(&["ID"]))
             .build()

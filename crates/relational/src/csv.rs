@@ -18,8 +18,7 @@ pub fn to_csv(db: &Database, rel: RelationId) -> Result<String> {
         .relation(rel)
         .ok_or_else(|| RelationalError::UnknownRelation(rel.to_string()))?;
     let mut out = String::new();
-    let header: Vec<String> =
-        schema.attributes.iter().map(|a| quote(&a.name)).collect();
+    let header: Vec<String> = schema.attributes.iter().map(|a| quote(&a.name)).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for (_, tuple) in db.tuples(rel) {
@@ -178,14 +177,12 @@ fn parse_value(field: &str, ty: DataType) -> Result<Value> {
     };
     match ty {
         DataType::Text => Ok(Value::Text(text.to_owned())),
-        DataType::Int => text
-            .parse::<i64>()
-            .map(Value::Int)
-            .map_err(|_| bad("not an integer")),
-        DataType::Float => text
-            .parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| bad("not a float")),
+        DataType::Int => {
+            text.parse::<i64>().map(Value::Int).map_err(|_| bad("not an integer"))
+        }
+        DataType::Float => {
+            text.parse::<f64>().map(Value::Float).map_err(|_| bad("not a float"))
+        }
         DataType::Bool => match text {
             "true" => Ok(Value::Bool(true)),
             "false" => Ok(Value::Bool(false)),
@@ -296,9 +293,7 @@ mod tests {
     fn newline_inside_quotes_survives() {
         let catalog = SchemaBuilder::new()
             .relation("S", |r| {
-                r.attr("ID", DataType::Int)
-                    .attr("T", DataType::Text)
-                    .primary_key(&["ID"])
+                r.attr("ID", DataType::Int).attr("T", DataType::Text).primary_key(&["ID"])
             })
             .build()
             .unwrap();

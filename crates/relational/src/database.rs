@@ -86,9 +86,7 @@ impl Database {
 
     /// The tuple with id `id`, if it exists.
     pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
-        self.data
-            .get(id.relation.index())
-            .and_then(|d| d.tuples.get(id.row as usize))
+        self.data.get(id.relation.index()).and_then(|d| d.tuples.get(id.row as usize))
     }
 
     /// Number of tuples in relation `rel` (0 for unknown relations).
@@ -103,31 +101,22 @@ impl Database {
 
     /// Iterate over `(id, tuple)` for every tuple of relation `rel`.
     pub fn tuples(&self, rel: RelationId) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.data
-            .get(rel.index())
-            .into_iter()
-            .flat_map(move |d| {
-                d.tuples
-                    .iter()
-                    .enumerate()
-                    .map(move |(row, t)| (TupleId::new(rel, row as u32), t))
-            })
+        self.data.get(rel.index()).into_iter().flat_map(move |d| {
+            d.tuples
+                .iter()
+                .enumerate()
+                .map(move |(row, t)| (TupleId::new(rel, row as u32), t))
+        })
     }
 
     /// Iterate over every tuple id in the database, relation by relation.
     pub fn all_tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
-        self.catalog
-            .iter()
-            .flat_map(move |(rel, _)| self.tuples(rel).map(|(id, _)| id))
+        self.catalog.iter().flat_map(move |(rel, _)| self.tuples(rel).map(|(id, _)| id))
     }
 
     /// Look up a tuple by its primary-key values.
     pub fn lookup_pk(&self, rel: RelationId, key: &[Value]) -> Option<TupleId> {
-        self.data
-            .get(rel.index())?
-            .pk_index
-            .get(key)
-            .map(|&row| TupleId::new(rel, row))
+        self.data.get(rel.index())?.pk_index.get(key).map(|&row| TupleId::new(rel, row))
     }
 
     /// Resolve foreign key number `fk_idx` of tuple `id`.
@@ -149,7 +138,8 @@ impl Database {
         let tuple = self.tuple(id).ok_or_else(|| {
             RelationalError::InvalidSchema(format!("tuple {id} does not exist"))
         })?;
-        let key: Vec<Value> = fk.attributes.iter().map(|&i| tuple.values()[i].clone()).collect();
+        let key: Vec<Value> =
+            fk.attributes.iter().map(|&i| tuple.values()[i].clone()).collect();
         if key.iter().any(Value::is_null) {
             return Ok(None);
         }

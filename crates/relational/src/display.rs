@@ -100,11 +100,8 @@ mod tests {
         let db = db();
         let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
         let s = render_relation(&db, dept);
-        let pipe_cols: Vec<usize> = s
-            .lines()
-            .filter(|l| l.contains('|'))
-            .map(|l| l.find('|').unwrap())
-            .collect();
+        let pipe_cols: Vec<usize> =
+            s.lines().filter(|l| l.contains('|')).map(|l| l.find('|').unwrap()).collect();
         assert!(pipe_cols.windows(2).all(|w| w[0] == w[1]));
     }
 

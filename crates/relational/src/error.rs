@@ -112,11 +112,7 @@ mod tests {
         let e = RelationalError::UnknownRelation("X".into());
         assert_eq!(e.to_string(), "unknown relation `X`");
 
-        let e = RelationalError::ArityMismatch {
-            relation: "R".into(),
-            expected: 3,
-            got: 2,
-        };
+        let e = RelationalError::ArityMismatch { relation: "R".into(), expected: 3, got: 2 };
         assert!(e.to_string().contains("3 attributes"));
         assert!(e.to_string().contains("2 values"));
 

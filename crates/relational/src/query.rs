@@ -37,10 +37,7 @@ pub fn select<F>(db: &Database, rel: RelationId, predicate: F) -> Vec<TupleId>
 where
     F: Fn(&Tuple) -> bool,
 {
-    db.tuples(rel)
-        .filter(|(_, t)| predicate(t))
-        .map(|(id, _)| id)
-        .collect()
+    db.tuples(rel).filter(|(_, t)| predicate(t)).map(|(id, _)| id).collect()
 }
 
 /// All tuple ids of relation `rel`.
@@ -65,10 +62,7 @@ pub fn project(db: &Database, rel: RelationId, attributes: &[&str]) -> Result<Ro
         indices.push(idx);
     }
     let rows = db.tuples(rel).map(|(_, t)| t.project(&indices)).collect();
-    Ok(RowSet {
-        columns: attributes.iter().map(|s| (*s).to_owned()).collect(),
-        rows,
-    })
+    Ok(RowSet { columns: attributes.iter().map(|s| (*s).to_owned()).collect(), rows })
 }
 
 /// Hash equi-join of two relations on single named attributes.
@@ -163,9 +157,7 @@ mod tests {
     fn db() -> Database {
         let catalog = SchemaBuilder::new()
             .relation("DEPARTMENT", |r| {
-                r.attr("ID", DataType::Text)
-                    .attr("NAME", DataType::Text)
-                    .primary_key(&["ID"])
+                r.attr("ID", DataType::Text).attr("NAME", DataType::Text).primary_key(&["ID"])
             })
             .relation("EMPLOYEE", |r| {
                 r.attr("SSN", DataType::Text)

@@ -241,10 +241,7 @@ impl Catalog {
 
     /// Iterate over `(id, schema)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (RelationId, &RelationSchema)> {
-        self.relations
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (RelationId(i as u32), s))
+        self.relations.iter().enumerate().map(|(i, s)| (RelationId(i as u32), s))
     }
 }
 

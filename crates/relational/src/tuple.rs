@@ -102,10 +102,7 @@ mod tests {
     fn tuple_projection_reorders_and_repeats() {
         let t = Tuple::new(vec!["a".into(), "b".into()]);
         let p = t.project(&[1, 0, 1]);
-        assert_eq!(
-            p,
-            vec![Value::from("b"), Value::from("a"), Value::from("b")]
-        );
+        assert_eq!(p, vec![Value::from("b"), Value::from("a"), Value::from("b")]);
     }
 
     #[test]

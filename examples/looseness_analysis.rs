@@ -27,9 +27,7 @@ fn main() {
 
     // 2. Instance-level: participation fan-out of each result.
     println!("== \"Smith XML\" with participation fan-outs (§4) ==\n");
-    let results = engine
-        .search("Smith XML", &SearchOptions::default())
-        .expect("query runs");
+    let results = engine.search("Smith XML", &SearchOptions::default()).expect("query runs");
     for r in &results.connections {
         let fanout = participation_fanout(
             &r.connection,
@@ -57,11 +55,9 @@ fn main() {
             .collect::<Vec<_>>()
     };
     let reference = order(RankStrategy::CloseFirst);
-    for strategy in [
-        RankStrategy::RdbLength,
-        RankStrategy::ErLength,
-        RankStrategy::InstanceCloseFirst,
-    ] {
+    for strategy in
+        [RankStrategy::RdbLength, RankStrategy::ErLength, RankStrategy::InstanceCloseFirst]
+    {
         let tau = kendall_tau(&order(strategy), &reference).unwrap_or(f64::NAN);
         println!("{:<22} tau = {tau:+.3}", strategy.name());
     }

@@ -43,10 +43,5 @@ fn main() {
     let checks = paper::all_checks(&h);
     let failed = checks.iter().filter(|c| !c.passed()).count();
     println!("{}", render_checks(&checks));
-    println!(
-        "{} checks, {} passed, {} failed",
-        checks.len(),
-        checks.len() - failed,
-        failed
-    );
+    println!("{} checks, {} passed, {} failed", checks.len(), checks.len() - failed, failed);
 }

@@ -1,0 +1,149 @@
+//! Quick profiling probe for the connection-generation hot path: times
+//! the pruned vs naive pair enumeration and the full search pipeline at
+//! the B1 dept16/len4 shape. Used to sanity-check EXPERIMENTS.md
+//! numbers outside the bench harness.
+
+use close_loose_ks::core::{SearchEngine, SearchOptions};
+use close_loose_ks::datagen::{generate_synthetic, SyntheticConfig};
+use close_loose_ks::graph::NodeId;
+use std::time::Instant;
+
+fn engine(departments: usize) -> SearchEngine {
+    let config = SyntheticConfig {
+        departments,
+        employees_per_department: 8,
+        projects_per_department: 3,
+        works_on_per_employee: 2,
+        dependent_probability: 0.3,
+        xml_selectivity: 0.15,
+        smith_selectivity: 0.1,
+        alice_selectivity: 0.25,
+        project_skew: 1.0,
+        seed: 7,
+    };
+    let s = generate_synthetic(&config);
+    SearchEngine::new(s.db, s.er_schema, s.mapping).unwrap().with_aliases(s.aliases)
+}
+
+fn time<T>(label: &str, reps: u32, mut f: impl FnMut() -> T) {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    println!(
+        "{label:<28} {:>10.1} µs/rep",
+        start.elapsed().as_secs_f64() * 1e6 / f64::from(reps)
+    );
+}
+
+fn main() {
+    let engine = engine(16);
+    let sets: Vec<Vec<NodeId>> = ["xml", "smith"]
+        .iter()
+        .map(|kw| {
+            engine
+                .index()
+                .matching_tuples(kw)
+                .into_iter()
+                .filter_map(|t| engine.data_graph().node_of(t))
+                .collect()
+        })
+        .collect();
+    println!(
+        "dept16: |xml|={} |smith|={} nodes={} edges={}",
+        sets[0].len(),
+        sets[1].len(),
+        engine.data_graph().node_count(),
+        engine.data_graph().edge_count()
+    );
+    let max = 4;
+    println!(
+        "paths: pruned={} naive={}",
+        engine.pair_connections(&sets[0], &sets[1], max).len(),
+        engine.pair_connections_naive(&sets[0], &sets[1], max).len()
+    );
+    let reps = 50;
+    time("pair_connections (pruned)", reps, || {
+        engine.pair_connections(&sets[0], &sets[1], max).len()
+    });
+    time("pair_connections (naive)", reps, || {
+        engine.pair_connections_naive(&sets[0], &sets[1], max).len()
+    });
+    let pruned_opts =
+        SearchOptions { max_rdb_length: max, compute_instance: false, ..Default::default() };
+    let naive_opts = SearchOptions { naive_enumeration: true, ..pruned_opts };
+    time("search (pruned)", reps, || engine.search("xml smith", &pruned_opts).unwrap().len());
+    time("search (naive)", reps, || engine.search("xml smith", &naive_opts).unwrap().len());
+    let witness_opts = SearchOptions { compute_instance: true, ..pruned_opts };
+    time("search+witness (pruned)", reps, || {
+        engine.search("xml smith", &witness_opts).unwrap().len()
+    });
+    let results = engine.search("xml smith", &pruned_opts).unwrap();
+    time("witness naive (results)", reps, || {
+        results
+            .connections
+            .iter()
+            .filter(|r| {
+                close_loose_ks::core::instance_closeness_naive(
+                    &r.connection,
+                    engine.data_graph(),
+                    engine.er_schema(),
+                    engine.mapping(),
+                    4,
+                )
+                .is_close()
+            })
+            .count()
+    });
+    time("witness pruned (results)", reps, || {
+        let mut cache = close_loose_ks::core::WitnessCache::new();
+        results
+            .connections
+            .iter()
+            .filter(|r| {
+                close_loose_ks::core::instance_closeness_with_cache(
+                    &r.connection,
+                    engine.data_graph(),
+                    engine.er_schema(),
+                    engine.mapping(),
+                    4,
+                    &mut cache,
+                )
+                .is_close()
+            })
+            .count()
+    });
+
+    // Post-enumeration stage breakdown.
+    let conns = engine.pair_connections(&sets[0], &sets[1], max);
+    let query = close_loose_ks::index::KeywordQuery::parse("xml smith");
+    time("stage: connection_info x87", reps, || {
+        conns
+            .iter()
+            .map(|c| engine.connection_info(c, &query, false, 4).er_length)
+            .sum::<usize>()
+    });
+    let markers = engine.markers(&query, &["xml".into(), "smith".into()]);
+    time("stage: render x87", reps, || {
+        conns
+            .iter()
+            .map(|c| c.render(engine.data_graph(), engine.aliases(), &markers).len())
+            .sum::<usize>()
+    });
+    time("stage: explain x87", reps, || {
+        conns
+            .iter()
+            .map(|c| {
+                close_loose_ks::core::explain_connection(
+                    c,
+                    engine.data_graph(),
+                    engine.er_schema(),
+                    engine.mapping(),
+                    engine.aliases(),
+                    &markers,
+                )
+                .len()
+            })
+            .sum::<usize>()
+    });
+}

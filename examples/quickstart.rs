@@ -18,9 +18,8 @@ fn main() {
 
     // Default options: bounded path enumeration, close-first ranking,
     // instance-closeness annotation.
-    let results = engine
-        .search("Smith XML", &SearchOptions::default())
-        .expect("query is well-formed");
+    let results =
+        engine.search("Smith XML", &SearchOptions::default()).expect("query is well-formed");
 
     println!("query: {}\n", results.query);
     println!(

@@ -72,7 +72,14 @@ fn main() {
         };
         println!(
             "{:>5} {:>7} {:>9} {:>9} {:>8.1}% {:>8} {:>9.2?} {:>9.2?}",
-            departments, tuples, paths_total, mtjnt_total, loss, banks_total, t_paths, t_banks
+            departments,
+            tuples,
+            paths_total,
+            mtjnt_total,
+            loss,
+            banks_total,
+            t_paths,
+            t_banks
         );
     }
     println!(

@@ -42,7 +42,8 @@ fn full_pipeline_produces_ranked_results() {
 #[test]
 fn discover_results_are_a_subset_of_path_results() {
     let engine = engine(4, 42);
-    let base = SearchOptions { max_rdb_length: 3, compute_instance: false, ..Default::default() };
+    let base =
+        SearchOptions { max_rdb_length: 3, compute_instance: false, ..Default::default() };
     let paths = engine.search("xml smith", &base).unwrap();
     let discover = engine
         .search("xml smith", &SearchOptions { algorithm: Algorithm::Discover, ..base })

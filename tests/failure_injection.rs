@@ -25,9 +25,7 @@ fn type_violations_fail_at_insert() {
     let mut db = c.db.clone();
     let wf = db.catalog().relation_id("WORKS_FOR").unwrap();
     // HOURS is an integer; a text value must be rejected.
-    let err = db
-        .insert(wf, vec!["e1".into(), "p2".into(), "forty".into()])
-        .unwrap_err();
+    let err = db.insert(wf, vec!["e1".into(), "p2".into(), "forty".into()]).unwrap_err();
     assert!(matches!(err, RelationalError::TypeMismatch { .. }));
 }
 
@@ -36,9 +34,7 @@ fn duplicate_membership_fails_on_composite_key() {
     let c = company();
     let mut db = c.db.clone();
     let wf = db.catalog().relation_id("WORKS_FOR").unwrap();
-    let err = db
-        .insert(wf, vec!["e1".into(), "p1".into(), Value::from(1i64)])
-        .unwrap_err();
+    let err = db.insert(wf, vec!["e1".into(), "p1".into(), Value::from(1i64)]).unwrap_err();
     assert!(matches!(err, RelationalError::DuplicateKey { .. }));
 }
 

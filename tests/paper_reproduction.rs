@@ -106,9 +106,7 @@ fn mtjnt_loss_claim_holds_under_the_search_api() {
     let engine = cla_core::SearchEngine::new(c.db, c.er_schema, c.mapping)
         .unwrap()
         .with_aliases(c.aliases);
-    let all = engine
-        .search("Smith XML", &cla_core::SearchOptions::default())
-        .unwrap();
+    let all = engine.search("Smith XML", &cla_core::SearchOptions::default()).unwrap();
     let filtered = engine
         .search(
             "Smith XML",

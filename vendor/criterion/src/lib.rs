@@ -1,0 +1,271 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace ships a
+//! small wall-clock benchmarking harness with the API surface its benches
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], `b.iter(..)`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Method: per benchmark, warm up for `CRITERION_WARMUP_MS` (default
+//! 200 ms), size a batch to roughly 20 ms, then time
+//! `CRITERION_SAMPLES` (default 15) batches and report the min / median
+//! / max per-iteration times in a criterion-like format. Positional CLI
+//! arguments filter benchmarks by substring (flags are ignored). When
+//! `CRITERION_JSON` names a file, one JSON line per benchmark is
+//! appended for machine-readable baselines.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export convenience; benches in
+/// this workspace use `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id (the group name provides the rest).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure under test; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly; per-iteration times are recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup = env_ms("CRITERION_WARMUP_MS", 200);
+        let sample_count = env_usize("CRITERION_SAMPLES", 15);
+
+        // Warm-up, also estimating one iteration's cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < warmup {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        // Batch size targeting ~20ms so Instant overhead stays invisible.
+        let batch = ((0.02 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from CLI arguments: positional args filter by substring.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" || a.starts_with("--") && !a.contains('=') {
+                // Flags from `cargo bench` / criterion CLI compat: skip
+                // the ones that take a value.
+                if matches!(
+                    a.as_str(),
+                    "--sample-size" | "--warm-up-time" | "--measurement-time"
+                ) {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            if !a.starts_with('-') {
+                filter = Some(a);
+            }
+        }
+        Criterion { filter }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if self.matches(&id.id) {
+            let mut b = Bencher { samples_ns: Vec::new() };
+            f(&mut b);
+            report(&id.id, &mut b.samples_ns);
+        }
+        self
+    }
+
+    /// Start a named group; benchmark ids are prefixed `group/...`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.bench_function(full.as_str(), f);
+        self
+    }
+
+    /// Run one benchmark that receives an input by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (formatting no-op, API compatibility).
+    pub fn finish(self) {}
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms),
+    )
+}
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default).max(1)
+}
+
+fn report(id: &str, samples_ns: &mut [f64]) {
+    samples_ns.sort_by(f64::total_cmp);
+    let min = samples_ns.first().copied().unwrap_or(0.0);
+    let max = samples_ns.last().copied().unwrap_or(0.0);
+    let median = samples_ns[samples_ns.len() / 2];
+    println!("{id:<50} time:   [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                fh,
+                "{{\"id\":\"{id}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1}}}"
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("build", 16).id, "build/16");
+        assert_eq!(BenchmarkId::from_parameter("dept4_len3").id, "dept4_len3");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_SAMPLES", "3");
+        let mut b = Bencher { samples_ns: Vec::new() };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+        std::env::remove_var("CRITERION_WARMUP_MS");
+        std::env::remove_var("CRITERION_SAMPLES");
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.3e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,606 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace ships a
+//! minimal property-testing harness with the combinator surface its test
+//! suites use: range/tuple/`Just`/`prop_oneof!`/`prop_map` strategies,
+//! `proptest::collection::{vec, hash_set}`, simple `[class]{m,n}` string
+//! patterns, `any::<T>()` for primitives, and the `proptest!` /
+//! `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * sampling is purely random (deterministic per test name and case
+//!   index) — there is **no shrinking**; a failure reports the case
+//!   index so it can be replayed;
+//! * the default case count is 64 (upstream: 256) to keep `cargo test`
+//!   fast; override per block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * `any::<f64>()` generates finite values only.
+
+pub mod test_runner {
+    //! Deterministic case generation and the pass/fail/reject protocol.
+
+    /// Configuration for one `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+
+    /// Deterministic splitmix64 generator, seeded per (test, case).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for case `case` of the named test.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name keeps streams independent
+            // between tests; the case index advances the stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound > 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategies: deterministic value generators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of one type.
+    ///
+    /// Object safe (so `prop_oneof!` can box alternatives); the
+    /// combinator methods are `Self: Sized`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `prop_map` combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        parts: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union of the given non-empty alternatives.
+        pub fn new(parts: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!parts.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { parts }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.parts.len() as u64) as usize;
+            self.parts[i].sample(rng)
+        }
+    }
+
+    /// Helper with an explicit signature so `prop_oneof!`'s `vec![]`
+    /// elements coerce to boxed trait objects.
+    pub fn union_of<T>(parts: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        Union::new(parts)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// `&'static str` patterns of the restricted form `[class]{m,n}`
+    /// (character class with ranges and literals, bounded repetition).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_pattern(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+        }
+    }
+
+    /// Parse `[class]{m,n}` into (alphabet, m, n). Panics on anything
+    /// fancier — extend here if a test needs more regex.
+    fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        fn unsupported(pat: &str) -> ! {
+            panic!("unsupported string pattern {pat:?}; this stub handles `[class]{{m,n}}`")
+        }
+        let rest = pat.strip_prefix('[').unwrap_or_else(|| unsupported(pat));
+        let (class, rest) = rest.split_once(']').unwrap_or_else(|| unsupported(pat));
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported(pat));
+        let (lo, hi) = counts.split_once(',').unwrap_or_else(|| unsupported(pat));
+        let lo: usize = lo.trim().parse().unwrap_or_else(|_| unsupported(pat));
+        let hi: usize = hi.trim().parse().unwrap_or_else(|_| unsupported(pat));
+        assert!(lo <= hi, "empty repetition in pattern {pat:?}");
+        let chars: Vec<char> = class.chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i], chars[i + 2]);
+                assert!(a <= b, "inverted class range in {pat:?}");
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty character class in {pat:?}");
+        (alphabet, lo, hi)
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Sample one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        /// Finite values across many magnitudes (no NaN/infinities).
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            let mantissa = rng.next_u64() as i64 as f64;
+            let scale = [1.0, 1e-3, 1e3, 1e-9, 1e9][rng.below(5) as usize];
+            mantissa * scale
+        }
+    }
+
+    /// The strategy behind [`crate::any`].
+    pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for AnyStrategy<T> {
+        fn default() -> Self {
+            AnyStrategy(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The whole-domain strategy for a primitive type.
+pub fn any<T: strategy::Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy::default()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`] / [`hash_set`]: a `usize` (exact) or a
+    /// half-open `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// The equivalent half-open range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let size = size.into_size_range();
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `HashSet`s aiming for `size` distinct elements (best effort: the
+    /// set may come out smaller if the element domain is too narrow).
+    pub fn hash_set<S>(element: S, size: impl IntoSizeRange) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        let size = size.into_size_range();
+        assert!(size.start < size.end, "empty hash_set size range");
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let want = self.size.start + rng.below(span) as usize;
+            let mut out = HashSet::with_capacity(want);
+            for _ in 0..want.saturating_mul(8).max(16) {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union_of(vec![$(::std::boxed::Box::new($strat)),+])
+    };
+}
+
+/// Define property tests. Each test runs `cases` accepted cases with
+/// inputs sampled deterministically per (test name, case index).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut rejected: u64 = 0;
+            let mut case: u64 = 0;
+            let reject_budget = u64::from(config.cases) * 16 + 64;
+            while accepted < config.cases {
+                if rejected > reject_budget {
+                    // Heavily-rejecting assumption: accept what ran.
+                    break;
+                }
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                case += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => rejected += 1,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case #{}: {}",
+                            stringify!($name),
+                            case - 1,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_sample_within_spec() {
+        let mut rng = TestRng::for_case("pat", 0);
+        for case in 0..200 {
+            let mut rng2 = TestRng::for_case("pat", case);
+            let s = "[a-z0-9 ]{1,8}".sample(&mut rng2);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+        let empty_ok = "[a-z]{0,3}".sample(&mut rng);
+        assert!(empty_ok.len() <= 3);
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), (3u32..10).prop_map(|x| x * 10)];
+        for case in 0..100 {
+            let mut rng = TestRng::for_case("oneof", case);
+            let v = strat.sample(&mut rng);
+            assert!(v == 1 || v == 2 || (30..100).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        for case in 0..50 {
+            let mut rng = TestRng::for_case("coll", case);
+            let v = crate::collection::vec(0usize..5, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let s = crate::collection::hash_set(0usize..100, 1..10).sample(&mut rng);
+            assert!(s.len() < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: args bind, assume rejects, asserts pass.
+        #[test]
+        fn macro_smoke(a in 0usize..10, b in 5u64..6) {
+            prop_assume!(a != 3);
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert_ne!(a, 10);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace ships a
+//! minimal, dependency-free implementation of exactly the surface the
+//! generators use: [`RngExt`] (`random`, `random_range`),
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] (a splitmix64
+//! generator — deterministic, fast, and statistically fine for synthetic
+//! data generation; it makes no cryptographic claims).
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit output.
+pub trait Random {
+    /// Sample one value.
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for i64 {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Integer types usable as `random_range` bounds.
+pub trait RangeSample: Copy + PartialOrd {
+    /// Uniform value in `[lo, hi)`; `lo < hi` must hold.
+    fn sample_below<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_below<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                debug_assert!(span > 0, "empty random_range");
+                // Multiply-shift bounded sampling; the tiny modulo bias of
+                // the fallback would also be acceptable for datagen.
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Sample uniformly from the range.
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: RangeSample> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        if hi == usize::MAX {
+            // Avoid overflow on hi + 1; good enough for a stub.
+            return usize::sample_below(rng, lo, hi);
+        }
+        usize::sample_below(rng, lo, hi + 1)
+    }
+}
+
+impl SampleRange<i64> for core::ops::RangeInclusive<i64> {
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        i64::sample_below(rng, lo, hi.saturating_add(1))
+    }
+}
+
+/// The convenience sampling surface (`rand` 0.9 spelling: `random`,
+/// `random_range`).
+pub trait RngExt {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of `T` (uniform over its natural domain).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64). Not the upstream
+    /// `StdRng` algorithm, but the workspace only relies on determinism
+    /// per seed, never on a specific stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.random_range(5..=8usize);
+            assert!((5..=8).contains(&w));
+            let x = rng.random_range(-5i64..80);
+            assert!((-5..80).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.random_range(0usize..4)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "bucket too empty: {counts:?}");
+        }
+    }
+}
