@@ -1,4 +1,4 @@
-//! Scaling benchmarks B1–B6 (extensions; the paper itself reports no
+//! Scaling benchmarks B1–B7 (extensions; the paper itself reports no
 //! performance numbers — see EXPERIMENTS.md for the measured shapes).
 
 use cla_bench::scale::{coverage, synthetic_engine};
@@ -40,7 +40,53 @@ fn enumerate_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// B2: BANKS backward expansion vs DISCOVER MTJNT enumeration.
+/// B2: the PR 2 executor — source fan-out across worker threads and
+/// streaming top-k early termination, at the B1 acceptance shape
+/// (dept16/len4). `parallel/` sweeps the thread knob on the full-result
+/// search; `topk/` compares `k: None` full enumeration against the
+/// streaming `k` modes (identical ranked prefixes, verified by the
+/// property suite). DFS node-expansion counts are printed alongside so
+/// the early-termination claim stays visible in bench logs.
+fn parallel_and_topk(c: &mut Criterion) {
+    let engine = synthetic_engine(16, SEED);
+    let base = SearchOptions {
+        max_rdb_length: 4,
+        compute_instance: false,
+        threads: 1,
+        ..Default::default()
+    };
+    let full = engine.search(QUERY, &base).unwrap();
+    for k in [3usize, 10] {
+        let stream = engine.search(QUERY, &SearchOptions { k: Some(k), ..base }).unwrap();
+        eprintln!(
+            "topk dept16_len4 k={k}: expansions {} vs full {} (early_terminated={})",
+            stream.stats.dfs_expansions,
+            full.stats.dfs_expansions,
+            stream.stats.early_terminated
+        );
+    }
+
+    let mut group = c.benchmark_group("scaling/parallel");
+    for threads in [1usize, 2, 4] {
+        let id = format!("dept16_len4_t{threads}");
+        group.bench_function(BenchmarkId::from_parameter(&id), |b| {
+            let opts = SearchOptions { threads, ..base };
+            b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling/topk");
+    for (name, k) in [("full", None), ("k10", Some(10)), ("k3", Some(3))] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let opts = SearchOptions { k, ..base };
+            b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+/// B7: BANKS backward expansion vs DISCOVER MTJNT enumeration.
 fn banks_vs_discover(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/banks_vs_discover");
     for departments in [4usize, 8] {
@@ -190,6 +236,7 @@ fn index_scaling(c: &mut Criterion) {
 criterion_group!(
     benches,
     enumerate_scaling,
+    parallel_and_topk,
     banks_vs_discover,
     ranking_overhead,
     mtjnt_coverage,

@@ -14,8 +14,9 @@
 //!   paper's *conceptual length* (an ablation in the benches).
 
 use crate::datagraph::{DataGraph, EdgeAnnotation};
+use crate::ranking::f64_sort_bits_asc;
 use cla_er::FkRole;
-use cla_graph::{dijkstra_csr, EdgeId, NodeId};
+use cla_graph::{multi_source_dijkstra_csr, EdgeId, MultiSourceDijkstra, NodeId};
 use cla_relational::TupleId;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -46,8 +47,9 @@ impl EdgeWeighting {
 /// Options for [`banks_search`].
 #[derive(Debug, Clone, Copy)]
 pub struct BanksOptions {
-    /// Maximum number of answer trees to return.
-    pub k: usize,
+    /// Maximum number of answer trees to return (`None` = every
+    /// candidate root's tree).
+    pub k: Option<usize>,
     /// Edge weighting scheme.
     pub weighting: EdgeWeighting,
     /// Maximum total tree weight (`f64::INFINITY` for unbounded).
@@ -56,7 +58,11 @@ pub struct BanksOptions {
 
 impl Default for BanksOptions {
     fn default() -> Self {
-        BanksOptions { k: 10, weighting: EdgeWeighting::Uniform, max_weight: f64::INFINITY }
+        BanksOptions {
+            k: Some(10),
+            weighting: EdgeWeighting::Uniform,
+            max_weight: f64::INFINITY,
+        }
     }
 }
 
@@ -139,9 +145,20 @@ impl SteinerTree {
 /// Run the backward-expansion search.
 ///
 /// `keyword_sets` holds, per keyword, the nodes whose tuples match it.
-/// Returns up to `opts.k` trees ordered by ascending weight (ties broken
-/// by root id), deduplicated by tuple set. Empty if any keyword set is
-/// empty (conjunctive semantics).
+/// Returns up to `opts.k` trees (all of them for `k: None`) ordered by
+/// ascending weight (ties broken by root id), deduplicated by node set.
+/// Empty if any keyword set is empty (conjunctive semantics).
+///
+/// Each keyword set's expansion is one **multi-source Dijkstra forest**
+/// ([`multi_source_dijkstra_csr`]): walking the parent chain from a root
+/// stays inside a single source's shortest-path tree, so the assembled
+/// edges really form the claimed paths. (The previous per-source-run
+/// min-merge could hand a root a chain spliced from two different
+/// sources' trees: its edge weights no longer summed to the claimed
+/// tree weight and `keyword_nodes` could name a match the walk never
+/// reached.) A tree's `weight` is the sum over its *distinct* edges —
+/// chains from different keyword sets that share a segment pay for it
+/// once.
 pub fn banks_search(
     dg: &DataGraph,
     keyword_sets: &[Vec<NodeId>],
@@ -154,61 +171,63 @@ pub fn banks_search(
     let csr = dg.csr();
     let weight_of = |e: EdgeId| opts.weighting.weight(g.edge(e).payload);
 
-    // Multi-source Dijkstra per keyword set, via a virtual source: run
-    // CSR Dijkstra from each member and take the minimum. Sets are
-    // usually tiny (keyword selectivity), so this stays cheap; for large
-    // sets a virtual-source variant would be the optimization.
-    let mut dists: Vec<Vec<f64>> = Vec::with_capacity(keyword_sets.len());
-    let mut parents: Vec<Vec<Option<(NodeId, EdgeId)>>> =
-        Vec::with_capacity(keyword_sets.len());
-    let mut origins: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(keyword_sets.len());
-    for set in keyword_sets {
-        let mut best = vec![f64::INFINITY; g.node_count()];
-        let mut par: Vec<Option<(NodeId, EdgeId)>> = vec![None; g.node_count()];
-        let mut org: Vec<Option<NodeId>> = vec![None; g.node_count()];
-        for &src in set {
-            let r = dijkstra_csr(csr, src, weight_of);
-            for n in g.nodes() {
-                if r.dist[n.index()] < best[n.index()] {
-                    best[n.index()] = r.dist[n.index()];
-                    par[n.index()] = r.parent[n.index()];
-                    org[n.index()] = Some(src);
-                }
-            }
-        }
-        dists.push(best);
-        parents.push(par);
-        origins.push(org);
-    }
+    let runs: Vec<MultiSourceDijkstra> = keyword_sets
+        .iter()
+        .map(|set| multi_source_dijkstra_csr(csr, set, weight_of))
+        .collect();
 
-    // Candidate roots: finite distance to every set.
+    // Candidate roots: finite distance to every set, visited in
+    // ascending order of summed path distance (the classic BANKS
+    // priority) so node-set dedup keeps the cheapest assembly.
     let mut candidates: Vec<(f64, NodeId)> = g
         .nodes()
         .filter_map(|n| {
-            let total: f64 = dists.iter().map(|d| d[n.index()]).sum();
-            (total.is_finite() && total <= opts.max_weight).then_some((total, n))
+            let total: f64 = runs.iter().map(|r| r.dist[n.index()]).sum();
+            total.is_finite().then_some((total, n))
         })
         .collect();
     candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
 
+    if opts.k == Some(0) {
+        return Vec::new();
+    }
     let mut out = Vec::new();
     let mut seen: HashSet<BTreeSet<NodeId>> = HashSet::new();
+    // Worst of the best k weights collected so far, kept as a max-heap
+    // of order-preserving f64 bit images (comparisons happen directly in
+    // bit space) — the early-exit bound below.
+    let mut best_k: std::collections::BinaryHeap<u64> = std::collections::BinaryHeap::new();
     for (total, root) in candidates {
-        if out.len() >= opts.k {
+        // Early exit: each per-set chain is a subset of the tree's
+        // distinct edges, so `weight >= total / num_sets`, and
+        // candidates come in ascending `total` order. Once that lower
+        // bound exceeds `max_weight`, every remaining candidate would be
+        // filtered; once it strictly exceeds the k-th best weight held,
+        // no remaining candidate can enter the top k — not even on a
+        // tie, hence the strict comparison.
+        let weight_floor = f64_sort_bits_asc(total / keyword_sets.len() as f64);
+        if weight_floor > f64_sort_bits_asc(opts.max_weight) {
             break;
         }
+        if let Some(k) = opts.k {
+            if best_k.len() >= k
+                && weight_floor > *best_k.peek().expect("k >= 1 and heap at capacity")
+            {
+                break;
+            }
+        }
         // Assemble the tree: walk each keyword set's parent chain from
-        // the root back to its nearest origin.
+        // the root back to its origin in that set.
         let mut nodes: Vec<NodeId> = vec![root];
         let mut node_set: BTreeSet<NodeId> = [root].into();
         let mut edges: Vec<(EdgeId, NodeId, NodeId)> = Vec::new();
         let mut edge_set: HashSet<EdgeId> = HashSet::new();
         let mut keyword_nodes = Vec::with_capacity(keyword_sets.len());
-        for ki in 0..keyword_sets.len() {
+        for run in &runs {
             let mut current = root;
             // Parent chains point from the origin outward; walk from the
             // root back toward the origin.
-            while let Some((prev, e)) = parents[ki][current.index()] {
+            while let Some((prev, e)) = run.parent[current.index()] {
                 if edge_set.insert(e) {
                     edges.push((e, current, prev));
                 }
@@ -217,11 +236,32 @@ pub fn banks_search(
                 }
                 current = prev;
             }
-            keyword_nodes.push(origins[ki][root.index()].unwrap_or(current));
+            debug_assert_eq!(
+                run.origin[root.index()],
+                Some(current),
+                "consistent forests end every chain at the recorded origin"
+            );
+            keyword_nodes.push(current);
+        }
+        // Distinct-edge weight: shared chain segments are counted once,
+        // so the weight always equals the assembled tree's edge sum.
+        let weight: f64 = edges.iter().map(|&(e, _, _)| weight_of(e)).sum();
+        if weight > opts.max_weight {
+            continue;
         }
         if seen.insert(node_set) {
-            out.push(SteinerTree { root, nodes, edges, keyword_nodes, weight: total });
+            if let Some(k) = opts.k {
+                best_k.push(f64_sort_bits_asc(weight));
+                if best_k.len() > k {
+                    best_k.pop();
+                }
+            }
+            out.push(SteinerTree { root, nodes, edges, keyword_nodes, weight });
         }
+    }
+    out.sort_by(|a, b| a.weight.total_cmp(&b.weight).then_with(|| a.root.cmp(&b.root)));
+    if let Some(k) = opts.k {
+        out.truncate(k);
     }
     out
 }
@@ -263,8 +303,11 @@ mod tests {
         let (c, dg) = setup();
         let smith = nodes_of(&c, &dg, &["e1", "e2"]);
         let xml = nodes_of(&c, &dg, &["d1", "d2", "p1", "p2"]);
-        let trees =
-            banks_search(&dg, &[smith, xml], &BanksOptions { k: 50, ..Default::default() });
+        let trees = banks_search(
+            &dg,
+            &[smith, xml],
+            &BanksOptions { k: Some(50), ..Default::default() },
+        );
         for w in trees.windows(2) {
             assert!(w[0].weight <= w[1].weight);
         }
@@ -283,14 +326,18 @@ mod tests {
         let uniform = banks_search(
             &dg,
             &[p1.clone(), e1.clone()],
-            &BanksOptions { k: 5, ..Default::default() },
+            &BanksOptions { k: Some(5), ..Default::default() },
         );
         // Two routes tie at uniform weight 2: via w_f1 and via d1.
         assert_eq!(uniform[0].weight, 2.0);
         let er = banks_search(
             &dg,
             &[p1, e1],
-            &BanksOptions { k: 1, weighting: EdgeWeighting::ErAware, ..Default::default() },
+            &BanksOptions {
+                k: Some(1),
+                weighting: EdgeWeighting::ErAware,
+                ..Default::default()
+            },
         );
         // ER-aware weighting makes the w_f1 bridge strictly cheaper…
         assert_eq!(er[0].weight, 1.0);
@@ -337,7 +384,7 @@ mod tests {
         let trees = banks_search(
             &dg,
             &[smith, xml],
-            &BanksOptions { k: 100, max_weight: 1.0, ..Default::default() },
+            &BanksOptions { k: Some(100), max_weight: 1.0, ..Default::default() },
         );
         assert!(!trees.is_empty());
         for t in &trees {
@@ -367,5 +414,80 @@ mod tests {
         assert_eq!(trees[0].weight, 0.0);
         assert_eq!(trees[0].edge_count(), 0);
         assert!(trees[0].is_path());
+    }
+
+    #[test]
+    fn k_none_returns_every_candidate_tree() {
+        let (c, dg) = setup();
+        let smith = nodes_of(&c, &dg, &["e1", "e2"]);
+        let xml = nodes_of(&c, &dg, &["d1", "d2", "p1", "p2"]);
+        let all = banks_search(
+            &dg,
+            &[smith.clone(), xml.clone()],
+            &BanksOptions { k: None, ..Default::default() },
+        );
+        let capped = banks_search(
+            &dg,
+            &[smith, xml],
+            &BanksOptions { k: Some(3), ..Default::default() },
+        );
+        assert!(all.len() > capped.len(), "{} vs {}", all.len(), capped.len());
+        assert_eq!(capped.len(), 3);
+        // The capped run is exactly the prefix of the unbounded one.
+        for (a, b) in capped.iter().zip(&all) {
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    /// The invariants the spliced min-merge used to violate: weights
+    /// recompute from the assembled edges, and every keyword node lies
+    /// on the walked tree.
+    #[test]
+    fn tree_weight_equals_assembled_edge_sum() {
+        let (c, dg) = setup();
+        let smith = nodes_of(&c, &dg, &["e1", "e2"]);
+        let xml = nodes_of(&c, &dg, &["d1", "d2", "p1", "p2"]);
+        let alice = nodes_of(&c, &dg, &["t1", "t2"]);
+        let opts = BanksOptions { k: None, ..Default::default() };
+        let g = dg.graph();
+        for sets in [vec![smith.clone(), xml.clone()], vec![smith, xml, alice]] {
+            for t in banks_search(&dg, &sets, &opts) {
+                let sum: f64 = t
+                    .edges
+                    .iter()
+                    .map(|&(e, _, _)| opts.weighting.weight(g.edge(e).payload))
+                    .sum();
+                assert_eq!(t.weight, sum, "root {}", t.root);
+                for (ki, kn) in t.keyword_nodes.iter().enumerate() {
+                    assert!(t.nodes.contains(kn), "keyword {ki} off-tree");
+                    assert!(sets[ki].contains(kn), "keyword {ki} not a match");
+                }
+            }
+        }
+    }
+
+    /// Overlapping keyword sets share whole chains; the shared edges are
+    /// paid for once, so the weight stays the assembled edge sum.
+    #[test]
+    fn overlapping_sets_count_shared_edges_once() {
+        let (c, dg) = setup();
+        // Both sets contain e1; set 2 additionally reaches from d1.
+        let set1 = nodes_of(&c, &dg, &["e1"]);
+        let set2 = nodes_of(&c, &dg, &["e1", "d1"]);
+        let trees =
+            banks_search(&dg, &[set1, set2], &BanksOptions { k: None, ..Default::default() });
+        // Best tree: e1 alone covers both sets at weight 0.
+        assert_eq!(trees[0].weight, 0.0);
+        assert_eq!(trees[0].edge_count(), 0);
+        let g = dg.graph();
+        for t in &trees {
+            let sum: f64 = t
+                .edges
+                .iter()
+                .map(|&(e, _, _)| EdgeWeighting::Uniform.weight(g.edge(e).payload))
+                .sum();
+            assert_eq!(t.weight, sum);
+        }
     }
 }

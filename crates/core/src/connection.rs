@@ -88,6 +88,51 @@ impl Connection {
         Connection { nodes: path.nodes.clone(), steps }
     }
 
+    /// [`Connection::from_path`] against a precomputed per-edge
+    /// owner→target cardinality table (`edge_cards[e.index()]`,
+    /// `rdb_edge_cardinality` evaluated once per edge at engine build),
+    /// over borrowed node/edge slices — the search pipeline's
+    /// enumeration visitor hands its scratch buffers straight in,
+    /// skipping both the per-step schema probe and the intermediate
+    /// [`Path`] allocation.
+    pub fn from_slices_with_edge_cards(
+        nodes: &[NodeId],
+        edges: &[EdgeId],
+        dg: &DataGraph,
+        edge_cards: &[Cardinality],
+    ) -> Self {
+        debug_assert_eq!(nodes.len(), edges.len() + 1);
+        let mut steps = Vec::with_capacity(edges.len());
+        for (i, &edge) in edges.iter().enumerate() {
+            let (from, to) = (nodes[i], nodes[i + 1]);
+            let er = dg.graph().edge(edge);
+            let along_fk = er.from == from;
+            let owner_to_target = edge_cards[edge.index()];
+            let cardinality =
+                if along_fk { owner_to_target } else { owner_to_target.reversed() };
+            steps.push(ConnectionStep {
+                edge,
+                from,
+                to,
+                role: er.payload.role,
+                along_fk,
+                cardinality,
+            });
+        }
+        Connection { nodes: nodes.to_vec(), steps }
+    }
+
+    /// The canonical enumeration order on connections — the same
+    /// comparator as [`Path::canonical_cmp`] (edge count, then
+    /// lexicographically by traversed edge ids), so connection-level
+    /// sorting picks the same parallel-edge representatives as
+    /// path-level sorting.
+    pub fn canonical_cmp(&self, other: &Connection) -> std::cmp::Ordering {
+        self.steps.len().cmp(&other.steps.len()).then_with(|| {
+            self.steps.iter().map(|s| s.edge).cmp(other.steps.iter().map(|s| s.edge))
+        })
+    }
+
     /// A single-tuple connection (a tuple covering every keyword alone).
     pub fn single(node: NodeId) -> Self {
         Connection { nodes: vec![node], steps: Vec::new() }
@@ -155,6 +200,23 @@ impl Connection {
         mapping: &SchemaMapping,
     ) -> Vec<ConceptualStep> {
         let mut out = Vec::with_capacity(self.steps.len());
+        self.conceptual_steps_into(&mut out, dg, schema, mapping);
+        out
+    }
+
+    /// [`Connection::conceptual_steps`] into a caller-owned buffer
+    /// (cleared first), so the per-connection metric stage of a search
+    /// reuses one allocation across the whole result set — and one
+    /// conceptual pass feeds both the ER chain and the explanation.
+    pub fn conceptual_steps_into(
+        &self,
+        out: &mut Vec<ConceptualStep>,
+        dg: &DataGraph,
+        schema: &ErSchema,
+        mapping: &SchemaMapping,
+    ) {
+        out.clear();
+        out.reserve(self.steps.len());
         let mut i = 0;
         while i < self.steps.len() {
             let s = &self.steps[i];
@@ -223,7 +285,6 @@ impl Connection {
             });
             i += 1;
         }
-        out
     }
 
     /// The paper's "length in ER": number of conceptual steps.
@@ -276,26 +337,28 @@ impl Connection {
         aliases: &HashMap<TupleId, String>,
         markers: &HashMap<NodeId, Vec<String>>,
     ) -> String {
-        self.render_cached(dg, aliases, markers, &mut HashMap::new())
+        self.render_cached(dg, aliases, markers, &mut vec![None; dg.node_count()])
     }
 
-    /// [`Connection::render`] with node labels memoized across calls —
-    /// result sets label the same matched tuples in many connections,
-    /// so the engine shares one cache per search.
+    /// [`Connection::render`] with node labels memoized across calls in
+    /// a node-indexed cache (`cache.len() == dg.node_count()`) — result
+    /// sets label the same matched tuples in many connections, so the
+    /// engine shares one cache per search and every repeat label is a
+    /// direct slot read.
     pub fn render_cached(
         &self,
         dg: &DataGraph,
         aliases: &HashMap<TupleId, String>,
         markers: &HashMap<NodeId, Vec<String>>,
-        cache: &mut HashMap<NodeId, String>,
+        cache: &mut [Option<String>],
     ) -> String {
-        let mut out = String::with_capacity(self.nodes.len() * 12);
+        let mut out = String::with_capacity(self.nodes.len() * 16 + 16);
         for (i, &n) in self.nodes.iter().enumerate() {
             if i > 0 {
                 out.push_str(" – ");
             }
             let label =
-                cache.entry(n).or_insert_with(|| render_node(n, dg, aliases, markers));
+                cache[n.index()].get_or_insert_with(|| render_node(n, dg, aliases, markers));
             out.push_str(label);
         }
         out

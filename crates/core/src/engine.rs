@@ -3,21 +3,23 @@
 //! or DISCOVER/MTJNT) → metrics → ranking.
 
 use crate::banks::{banks_search, BanksOptions, EdgeWeighting, SteinerTree};
-use crate::connection::Connection;
+use crate::connection::{ConceptualStep, Connection};
 use crate::datagraph::DataGraph;
 use crate::discover::{enumerate_mtjnts, is_mtjnt};
 use crate::error::CoreError;
 use crate::instance::{instance_closeness_with_cache, WitnessCache};
-use crate::ranking::{sort_by_strategy, ConnectionInfo, RankStrategy};
-use cla_er::{ErSchema, SchemaMapping};
+use crate::ranking::{ConnectionInfo, RankStrategy};
+use cla_er::{rdb_edge_cardinality, Cardinality, CardinalityChain, ErSchema, SchemaMapping};
 use cla_graph::{
-    enumerate_simple_paths_undirected, for_each_path_to_targets, multi_source_bfs_distances,
-    NodeId, Path,
+    enumerate_simple_paths_undirected, for_each_path_to_targets_counted,
+    multi_source_bfs_distances, NodeId, Path,
 };
 use cla_index::{tuple_score, InvertedIndex, KeywordQuery};
 use cla_relational::{Database, TupleId};
+use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::thread;
 
 /// Which connection-generation algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,7 +45,17 @@ pub struct SearchOptions {
     pub max_rdb_length: usize,
     /// Ranking strategy.
     pub ranker: RankStrategy,
-    /// Keep only the best `k` connections (`None` = all).
+    /// Result budget: `None` returns everything, `Some(k)` at most `k`
+    /// results **in total** — ranked connections first, any remaining
+    /// budget going to branching answer trees. With a length-monotone
+    /// ranker on the `Paths` algorithm, a set `k` also switches the
+    /// engine into streaming top-k mode: connections are enumerated
+    /// length level by length level and the search stops as soon as the
+    /// held top `k` provably dominates every unexplored level (see
+    /// [`RankStrategy::dominates_all_longer`]), skipping both the deeper
+    /// DFS exploration and the metric/rendering work for results that
+    /// could never rank. The returned prefix is identical to running the
+    /// full enumeration and truncating.
     pub k: Option<usize>,
     /// Post-filter connections to MTJNTs only (demonstrates the paper's
     /// §3 loss claim when combined with `Paths`).
@@ -59,6 +71,15 @@ pub struct SearchOptions {
     /// this exists as the A/B switch for the before/after benchmarks and
     /// equivalence tests (see EXPERIMENTS.md B1).
     pub naive_enumeration: bool,
+    /// Worker threads for the parallelizable pipeline stages (the
+    /// per-source enumeration fan-out and the per-connection
+    /// metric/rendering stage). `1` runs fully sequential; `0` (the
+    /// default) resolves to the `CLA_SEARCH_THREADS` environment
+    /// variable if set (the CI determinism knob), else the machine's
+    /// available parallelism. Ranked output is byte-identical across
+    /// thread counts: work is split into contiguous chunks and merged
+    /// back in order.
+    pub threads: usize,
 }
 
 impl Default for SearchOptions {
@@ -73,8 +94,160 @@ impl Default for SearchOptions {
             max_witness_length: 4,
             weighting: EdgeWeighting::Uniform,
             naive_enumeration: false,
+            threads: 0,
         }
     }
+}
+
+/// Resolve a [`SearchOptions::threads`] request to a concrete count.
+fn resolved_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    // Resolved once per process: `available_parallelism` inspects
+    // cgroup quotas on Linux (file reads, ~10 µs) — far too slow to
+    // re-run on every search.
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Some(n) =
+            std::env::var("CLA_SEARCH_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+        thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
+/// Traversal-work accounting for one search, filled in by the
+/// distance-pruned `Paths` pipeline (zero for the naive enumeration and
+/// the other algorithms). This is how the streaming top-k mode *proves*
+/// its early termination: with `k` set it must expand strictly fewer DFS
+/// nodes than the full enumeration while returning the identical ranked
+/// prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes pushed onto a DFS path during connection enumeration,
+    /// summed across sources (and worker threads).
+    pub dfs_expansions: u64,
+    /// The highest length budget (in FK edges) the enumeration ran
+    /// with: the full `max_rdb_length` for the batch pipeline, the last
+    /// streamed level for top-k (pruning may keep the DFS from ever
+    /// reaching this depth; `dfs_expansions` counts the actual work).
+    pub max_length_enumerated: usize,
+    /// `true` when streaming top-k stopped before the full
+    /// `max_rdb_length` budget because the held top `k` dominated every
+    /// unexplored length level.
+    pub early_terminated: bool,
+}
+
+/// Shared read-only inputs of the per-connection metric stage.
+struct RankContext<'a> {
+    /// Per-node tf·idf scores for the query.
+    text_scores: &'a [f64],
+    /// Keyword markers for rendering.
+    markers: &'a HashMap<NodeId, Vec<String>>,
+    /// Whether to run the instance-closeness witness search.
+    compute_instance: bool,
+    /// Witness-path length bound.
+    max_witness_length: usize,
+}
+
+/// Per-worker mutable state of the metric stage: reusable buffers and
+/// memoization caches. Caches only affect cost, never results, so each
+/// worker thread owning its own scratch keeps parallel output identical
+/// to sequential.
+struct RankScratch {
+    witness: WitnessCache,
+    /// Node-indexed rendering labels.
+    labels: Vec<Option<String>>,
+    /// Node-indexed explanation descriptions.
+    descs: Vec<Option<String>>,
+    /// Conceptual-steps buffer, reused across connections.
+    csteps: Vec<ConceptualStep>,
+}
+
+impl RankScratch {
+    fn new(node_count: usize) -> Self {
+        RankScratch {
+            witness: WitnessCache::new(),
+            labels: vec![None; node_count],
+            descs: vec![None; node_count],
+            csteps: Vec::new(),
+        }
+    }
+}
+
+/// The deterministic final tie-break under any ranking strategy: the
+/// rendering string, then the node sequence (unique after dedup, making
+/// the full comparator a total order — a requirement for the streaming
+/// top-k mode to return exactly the batch pipeline's prefix).
+fn final_tiebreak(a: &RankedConnection, b: &RankedConnection) -> Ordering {
+    a.rendering.cmp(&b.rendering).then_with(|| a.connection.nodes().cmp(b.connection.nodes()))
+}
+
+/// FNV-1a, the dedup seen-set's hasher: the keys are short `NodeId`
+/// slices, where FNV beats SipHash's per-call setup without inviting the
+/// HashDoS concerns of user-controlled strings.
+#[derive(Default)]
+struct Fnv1a(u64);
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Orient every connection canonically (ascending endpoints) and keep
+/// the first occurrence of each node sequence, preserving order. The
+/// seen-set borrows the node slices instead of allocating a key per
+/// connection, and the compaction is in place.
+fn dedup_canonical(mut connections: Vec<Connection>) -> Vec<Connection> {
+    for c in &mut connections {
+        if c.end() < c.start() {
+            *c = c.reversed();
+        }
+    }
+    let mut keep = vec![false; connections.len()];
+    {
+        let mut seen: HashSet<&[NodeId], std::hash::BuildHasherDefault<Fnv1a>> =
+            HashSet::with_capacity_and_hasher(connections.len() * 2, Default::default());
+        for (i, c) in connections.iter().enumerate() {
+            keep[i] = seen.insert(c.nodes());
+        }
+    }
+    let mut i = 0;
+    connections.retain(|_| {
+        i += 1;
+        keep[i - 1]
+    });
+    connections
+}
+
+/// Sort a ranked result set by `strategy` using precomputed packed sort
+/// keys ([`RankStrategy::sort_key`]), falling back to the full
+/// comparison plus [`final_tiebreak`] on key ties. Ordering is identical
+/// to `sort_by_strategy(.., final_tiebreak)`, just cheaper per
+/// comparison.
+fn sort_ranked(ranked: &mut Vec<RankedConnection>, strategy: RankStrategy) {
+    let mut keyed: Vec<((u128, u64), RankedConnection)> =
+        ranked.drain(..).map(|r| (strategy.sort_key(&r.info), r)).collect();
+    keyed.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| strategy.compare(&a.1.info, &b.1.info))
+            .then_with(|| final_tiebreak(&a.1, &b.1))
+    });
+    ranked.extend(keyed.into_iter().map(|(_, r)| r));
 }
 
 /// One ranked search result.
@@ -102,6 +275,8 @@ pub struct SearchResults {
     pub connections: Vec<RankedConnection>,
     /// Branching answer trees, populated for ≥ 3-keyword BANKS searches.
     pub trees: Vec<SteinerTree>,
+    /// Traversal-work accounting for this search.
+    pub stats: SearchStats,
 }
 
 impl SearchResults {
@@ -125,6 +300,10 @@ pub struct SearchEngine {
     index: InvertedIndex,
     dg: DataGraph,
     aliases: HashMap<TupleId, String>,
+    /// Per-edge owner→target RDB cardinality (`rdb_edge_cardinality`
+    /// evaluated once per edge), so converting enumerated paths into
+    /// connections never probes the schema.
+    edge_cards: Vec<Cardinality>,
 }
 
 impl SearchEngine {
@@ -138,7 +317,20 @@ impl SearchEngine {
         db.validate_references()?;
         let index = InvertedIndex::build(&db);
         let dg = DataGraph::build(&db, &mapping)?;
-        Ok(SearchEngine { db, er_schema, mapping, index, dg, aliases: HashMap::new() })
+        let edge_cards = dg
+            .graph()
+            .edges()
+            .map(|e| rdb_edge_cardinality(&er_schema, e.payload.role))
+            .collect();
+        Ok(SearchEngine {
+            db,
+            er_schema,
+            mapping,
+            index,
+            dg,
+            aliases: HashMap::new(),
+            edge_cards,
+        })
     }
 
     /// Attach display aliases (`d1`, `e1`, …) for rendering.
@@ -207,7 +399,8 @@ impl SearchEngine {
         keyword_tuples: &[Vec<TupleId>],
         display_keywords: &[String],
     ) -> HashMap<NodeId, Vec<String>> {
-        let mut markers: HashMap<NodeId, Vec<String>> = HashMap::new();
+        let mut markers: HashMap<NodeId, Vec<String>> =
+            HashMap::with_capacity(keyword_tuples.iter().map(Vec::len).sum());
         for (i, kw) in query.keywords().iter().enumerate() {
             let display = display_keywords.get(i).cloned().unwrap_or_else(|| kw.clone());
             for &t in &keyword_tuples[i] {
@@ -252,27 +445,33 @@ impl SearchEngine {
         compute_instance: bool,
         max_witness_length: usize,
     ) -> ConnectionInfo {
-        self.connection_info_cached(
+        let text_score = conn
+            .nodes()
+            .iter()
+            .map(|&n| tuple_score(&self.index, self.dg.tuple_of(n), query))
+            .sum();
+        let mut csteps = Vec::new();
+        self.info_with(
             conn,
-            query,
+            &mut csteps,
+            text_score,
             compute_instance,
             max_witness_length,
-            None,
             &mut WitnessCache::new(),
         )
     }
 
-    /// Per-tuple tf·idf contributions of `query`, computed once per
-    /// search so scoring a connection is one map probe per node instead
+    /// Per-node tf·idf contributions of `query`, computed once per
+    /// search so scoring a connection is one slot read per node instead
     /// of re-hashing keyword strings for every (node, keyword) pair.
     /// `keyword_tuples[i]` must be the match list of keyword `i`.
-    fn text_score_map(
+    fn text_scores_by_node(
         &self,
         query: &KeywordQuery,
         keyword_tuples: &[Vec<TupleId>],
-    ) -> HashMap<TupleId, f64> {
+    ) -> Vec<f64> {
         let total = self.index.indexed_tuples();
-        let mut scores: HashMap<TupleId, f64> = HashMap::new();
+        let mut scores = vec![0.0; self.dg.node_count()];
         let mut per_tuple: HashMap<TupleId, u32> = HashMap::new();
         for (i, kw) in query.keywords().iter().enumerate() {
             // `frequency_in` semantics: occurrences summed across the
@@ -283,38 +482,30 @@ impl SearchEngine {
             }
             let idf_kw = cla_index::idf(keyword_tuples[i].len(), total);
             for (&t, &f) in &per_tuple {
-                *scores.entry(t).or_insert(0.0) += cla_index::tf(f) * idf_kw;
+                if let Some(n) = self.dg.node_of(t) {
+                    scores[n.index()] += cla_index::tf(f) * idf_kw;
+                }
             }
         }
         scores
     }
 
-    /// [`SearchEngine::connection_info`] with the instance-closeness
-    /// witness search batched through `cache` (connections sharing an
-    /// endpoint pair in one result set share one witness search) and
-    /// text scores read from a per-search [`Self::text_score_map`].
-    fn connection_info_cached(
+    /// Assemble a [`ConnectionInfo`]: one conceptual pass (left in
+    /// `csteps` for reuse by the explanation stage), the ER chain
+    /// derived from it, and the optional witness search batched through
+    /// `witness` (connections sharing an endpoint pair in one result set
+    /// share one search).
+    fn info_with(
         &self,
         conn: &Connection,
-        query: &KeywordQuery,
+        csteps: &mut Vec<ConceptualStep>,
+        text_score: f64,
         compute_instance: bool,
         max_witness_length: usize,
-        text_scores: Option<&HashMap<TupleId, f64>>,
-        cache: &mut WitnessCache,
+        witness: &mut WitnessCache,
     ) -> ConnectionInfo {
-        let er_chain = conn.er_chain(&self.dg, &self.er_schema, &self.mapping);
-        let text_score = match text_scores {
-            Some(scores) => conn
-                .nodes()
-                .iter()
-                .map(|&n| scores.get(&self.dg.tuple_of(n)).copied().unwrap_or(0.0))
-                .sum(),
-            None => conn
-                .nodes()
-                .iter()
-                .map(|&n| tuple_score(&self.index, self.dg.tuple_of(n), query))
-                .sum(),
-        };
+        conn.conceptual_steps_into(csteps, &self.dg, &self.er_schema, &self.mapping);
+        let er_chain: CardinalityChain = csteps.iter().map(|s| s.cardinality).collect();
         let instance_close = compute_instance.then(|| {
             instance_closeness_with_cache(
                 conn,
@@ -322,20 +513,108 @@ impl SearchEngine {
                 &self.er_schema,
                 &self.mapping,
                 max_witness_length,
-                cache,
+                witness,
             )
             .is_close()
         });
+        let class = er_chain.classify();
         ConnectionInfo {
             rdb_length: conn.rdb_length(),
             er_length: er_chain.len(),
-            class: er_chain.classify(),
-            closeness: er_chain.closeness(),
+            class,
+            closeness: class.closeness(),
             nm_count: er_chain.transitive_nm_count(),
             er_chain,
             text_score,
             instance_close,
         }
+    }
+
+    /// Compute metrics, rendering and explanation for one connection,
+    /// reusing the per-worker scratch buffers and caches.
+    fn rank_one(
+        &self,
+        connection: Connection,
+        ctx: &RankContext<'_>,
+        scratch: &mut RankScratch,
+    ) -> RankedConnection {
+        let text_score = connection.nodes().iter().map(|&n| ctx.text_scores[n.index()]).sum();
+        let info = self.info_with(
+            &connection,
+            &mut scratch.csteps,
+            text_score,
+            ctx.compute_instance,
+            ctx.max_witness_length,
+            &mut scratch.witness,
+        );
+        let rendering = connection.render_cached(
+            &self.dg,
+            &self.aliases,
+            ctx.markers,
+            &mut scratch.labels,
+        );
+        let explanation = crate::explain::explain_connection_from_steps(
+            &connection,
+            &mut scratch.csteps,
+            &self.dg,
+            &self.er_schema,
+            &self.mapping,
+            &self.aliases,
+            ctx.markers,
+            &mut scratch.descs,
+        );
+        RankedConnection { connection, info, rendering, explanation }
+    }
+
+    /// The per-connection metric/rendering stage over a batch of
+    /// connections, fanned out over `threads` scoped worker threads in
+    /// contiguous chunks and merged back in order — each connection's
+    /// result is independent of the others (caches only affect cost), so
+    /// the output is identical to the sequential pass.
+    fn rank_stage(
+        &self,
+        conns: Vec<Connection>,
+        ctx: &RankContext<'_>,
+        threads: usize,
+    ) -> Vec<RankedConnection> {
+        let threads = threads.clamp(1, conns.len().max(1));
+        // Spawning threads costs more than ranking a handful of
+        // connections; small batches stay sequential (the result is the
+        // same either way).
+        if threads == 1 || conns.len() < 4 * threads {
+            let mut scratch = RankScratch::new(self.dg.node_count());
+            return conns.into_iter().map(|c| self.rank_one(c, ctx, &mut scratch)).collect();
+        }
+        let chunk = conns.len().div_ceil(threads);
+        let mut parts: Vec<Vec<Connection>> = Vec::with_capacity(threads);
+        let mut rest = conns;
+        while rest.len() > chunk {
+            let tail = rest.split_off(chunk);
+            parts.push(rest);
+            rest = tail;
+        }
+        parts.push(rest);
+        let mut parts = parts.into_iter();
+        let head_part = parts.next().expect("at least one chunk");
+        let mut out = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut scratch = RankScratch::new(self.dg.node_count());
+                        part.into_iter()
+                            .map(|c| self.rank_one(c, ctx, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut scratch = RankScratch::new(self.dg.node_count());
+            out.extend(head_part.into_iter().map(|c| self.rank_one(c, ctx, &mut scratch)));
+            for h in handles {
+                out.extend(h.join().expect("metric worker panicked"));
+            }
+        });
+        out
     }
 
     /// Run a keyword search.
@@ -366,9 +645,21 @@ impl SearchEngine {
                 display_keywords,
                 connections: Vec::new(),
                 trees: Vec::new(),
+                stats: SearchStats::default(),
             });
         }
 
+        let threads = resolved_threads(options.threads);
+        let markers = self.markers_from_matches(&query, &keyword_tuples, &display_keywords);
+        let text_scores = self.text_scores_by_node(&query, &keyword_tuples);
+        let ctx = RankContext {
+            text_scores: &text_scores,
+            markers: &markers,
+            compute_instance: options.compute_instance,
+            max_witness_length: options.max_witness_length,
+        };
+
+        let mut stats = SearchStats::default();
         let mut connections: Vec<Connection> = Vec::new();
         let mut trees: Vec<SteinerTree> = Vec::new();
 
@@ -391,26 +682,57 @@ impl SearchEngine {
                         query.len()
                     )));
                 }
+                // Streaming top-k: enumerate length level by length
+                // level and stop once the held top k dominates every
+                // unexplored level. Only sound for rankers with a
+                // length-monotone bound; the returned prefix is exactly
+                // the full pipeline's.
+                if let Some(k) = options.k {
+                    if query.len() == 2
+                        && !options.naive_enumeration
+                        && options.ranker.supports_streaming_topk()
+                    {
+                        let (ranked, stats) = self.stream_topk_paths(
+                            k,
+                            &match_sets,
+                            options,
+                            &ctx,
+                            threads,
+                            connections,
+                        );
+                        return Ok(SearchResults {
+                            query,
+                            display_keywords,
+                            connections: ranked,
+                            trees,
+                            stats,
+                        });
+                    }
+                }
                 if query.len() == 2 {
-                    let pairs = if options.naive_enumeration {
-                        self.pair_connections_naive(
+                    if options.naive_enumeration {
+                        connections.extend(self.pair_connections_naive(
                             &match_sets[0],
                             &match_sets[1],
                             options.max_rdb_length,
-                        )
+                        ));
                     } else {
-                        self.pair_connections(
+                        let (pairs, expansions) = self.pair_enumeration(
                             &match_sets[0],
                             &match_sets[1],
                             options.max_rdb_length,
-                        )
-                    };
-                    connections.extend(pairs);
+                            None,
+                            threads,
+                        );
+                        stats.dfs_expansions = expansions;
+                        stats.max_length_enumerated = options.max_rdb_length;
+                        connections.extend(pairs);
+                    }
                 }
             }
             Algorithm::Banks => {
                 let banks_opts = BanksOptions {
-                    k: options.k.unwrap_or(100),
+                    k: options.k,
                     weighting: options.weighting,
                     max_weight: f64::INFINITY,
                 };
@@ -446,14 +768,7 @@ impl SearchEngine {
         }
 
         // Canonical orientation + dedup.
-        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
-        let mut unique: Vec<Connection> = Vec::new();
-        for conn in connections {
-            let conn = if conn.end() < conn.start() { conn.reversed() } else { conn };
-            if seen.insert(conn.nodes().to_vec()) {
-                unique.push(conn);
-            }
-        }
+        let mut unique = dedup_canonical(connections);
 
         // Optional MTJNT post-filter.
         if options.mtjnt_only {
@@ -465,55 +780,106 @@ impl SearchEngine {
             });
         }
 
-        // Metrics, rendering, ranking. Witness searches for instance
-        // closeness are shared across connections with equal endpoints.
-        let markers = self.markers_from_matches(&query, &keyword_tuples, &display_keywords);
-        let text_scores = self.text_score_map(&query, &keyword_tuples);
-        let mut witness_cache = WitnessCache::new();
-        // Node labels and descriptions repeat across the result set;
-        // memoize them once per search.
-        let mut label_cache: HashMap<NodeId, String> = HashMap::new();
-        let mut desc_cache: HashMap<NodeId, String> = HashMap::new();
-        let mut ranked: Vec<RankedConnection> = unique
-            .into_iter()
-            .map(|connection| {
-                let info = self.connection_info_cached(
-                    &connection,
-                    &query,
-                    options.compute_instance,
-                    options.max_witness_length,
-                    Some(&text_scores),
-                    &mut witness_cache,
-                );
-                let rendering = connection.render_cached(
-                    &self.dg,
-                    &self.aliases,
-                    &markers,
-                    &mut label_cache,
-                );
-                let explanation = crate::explain::explain_connection_cached(
-                    &connection,
-                    &self.dg,
-                    &self.er_schema,
-                    &self.mapping,
-                    &self.aliases,
-                    &markers,
-                    &mut desc_cache,
-                );
-                RankedConnection { connection, info, rendering, explanation }
-            })
-            .collect();
-        sort_by_strategy(
-            &mut ranked,
-            options.ranker,
-            |r| &r.info,
-            |a, b| a.rendering.cmp(&b.rendering),
-        );
+        // Metrics, rendering, ranking — fanned out across worker threads
+        // for large result sets. Witness searches for instance closeness
+        // are shared across connections with equal endpoints (per
+        // worker).
+        let mut ranked = self.rank_stage(unique, &ctx, threads);
+        sort_ranked(&mut ranked, options.ranker);
+        // One k-budget shared across connections and trees: ranked
+        // connections first, the remainder to branching answer trees.
         if let Some(k) = options.k {
             ranked.truncate(k);
+            trees.truncate(k.saturating_sub(ranked.len()));
         }
 
-        Ok(SearchResults { query, display_keywords, connections: ranked, trees })
+        Ok(SearchResults { query, display_keywords, connections: ranked, trees, stats })
+    }
+
+    /// Streaming top-k for the two-keyword `Paths` pipeline: per length
+    /// level, fan the per-source exact-length enumeration out over the
+    /// worker threads, push the survivors of dedup/filter through the
+    /// metric stage into a bounded best-k buffer (the "worst-of-heap" —
+    /// a sorted, truncated vector, since k is small), and stop as soon
+    /// as the k-th best connection dominates every unexplored level.
+    /// Items that fall off the buffer can never re-enter the top k
+    /// (later levels only add candidates, never improve dropped ones),
+    /// so the result equals the full enumeration's ranked prefix — the
+    /// equivalence the property tests pin down.
+    fn stream_topk_paths(
+        &self,
+        k: usize,
+        match_sets: &[Vec<NodeId>],
+        options: &SearchOptions,
+        ctx: &RankContext<'_>,
+        threads: usize,
+        singles: Vec<Connection>,
+    ) -> (Vec<RankedConnection>, SearchStats) {
+        if k == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
+        let (set_a, set_b) = (&match_sets[0], &match_sets[1]);
+        let (is_target, dist) = self.target_mask_and_dist(set_b);
+        let kw_sets: Option<Vec<HashSet<NodeId>>> = options
+            .mtjnt_only
+            .then(|| match_sets.iter().map(|s| s.iter().copied().collect()).collect());
+
+        let mut stats = SearchStats::default();
+        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut acc: Vec<RankedConnection> = Vec::new();
+        // Sequential mode keeps one scratch alive across all levels, so
+        // label/description/witness memoization carries over instead of
+        // being rebuilt per level.
+        let mut level_scratch =
+            (threads == 1).then(|| RankScratch::new(self.dg.node_count()));
+        let mut absorb = |acc: &mut Vec<RankedConnection>,
+                          seen: &mut HashSet<Vec<NodeId>>,
+                          conns: Vec<Connection>| {
+            let mut fresh: Vec<Connection> = conns
+                .into_iter()
+                .map(|c| if c.end() < c.start() { c.reversed() } else { c })
+                .filter(|c| seen.insert(c.nodes().to_vec()))
+                .collect();
+            if let Some(kw) = &kw_sets {
+                fresh.retain(|conn| {
+                    let set: BTreeSet<NodeId> = conn.nodes().iter().copied().collect();
+                    is_mtjnt(&self.dg, &set, kw)
+                });
+            }
+            match &mut level_scratch {
+                Some(scratch) => {
+                    acc.extend(fresh.into_iter().map(|c| self.rank_one(c, ctx, scratch)));
+                }
+                None => acc.extend(self.rank_stage(fresh, ctx, threads)),
+            }
+            sort_ranked(acc, options.ranker);
+            acc.truncate(k);
+        };
+
+        // Level 0: the singles.
+        absorb(&mut acc, &mut seen, singles);
+        for level in 1..=options.max_rdb_length {
+            // Any connection still to come has RDB length >= level; if
+            // the k-th best already beats the best conceivable such
+            // connection, deeper enumeration cannot change the top k.
+            if acc.len() == k && options.ranker.dominates_all_longer(&acc[k - 1].info, level)
+            {
+                stats.early_terminated = true;
+                break;
+            }
+            let (conns, expansions) = self.fan_out_connections(
+                set_a,
+                &is_target,
+                &dist,
+                level,
+                Some(level),
+                threads,
+            );
+            stats.dfs_expansions += expansions;
+            stats.max_length_enumerated = level;
+            absorb(&mut acc, &mut seen, conns);
+        }
+        (acc, stats)
     }
 
     /// All simple-path connections between two keyword match sets, by
@@ -527,36 +893,139 @@ impl SearchEngine {
         set_b: &[NodeId],
         max_rdb: usize,
     ) -> Vec<Connection> {
+        self.pair_connections_threaded(set_a, set_b, max_rdb, 1)
+    }
+
+    /// [`SearchEngine::pair_connections`] with the independent
+    /// per-source DFS runs fanned out over `threads` scoped worker
+    /// threads (contiguous source chunks, merged back in source order).
+    /// Output is byte-identical to the sequential call for every thread
+    /// count.
+    pub fn pair_connections_threaded(
+        &self,
+        set_a: &[NodeId],
+        set_b: &[NodeId],
+        max_rdb: usize,
+        threads: usize,
+    ) -> Vec<Connection> {
+        self.pair_enumeration(set_a, set_b, max_rdb, None, threads).0
+    }
+
+    /// The target mask and shared multi-source BFS distance map for one
+    /// target set — computed once per search and shared across every
+    /// enumeration source (and, in streaming mode, across levels).
+    fn target_mask_and_dist(&self, set_b: &[NodeId]) -> (Vec<bool>, Vec<u32>) {
         let csr = self.dg.csr();
         let mut is_target = vec![false; csr.node_count()];
         for &b in set_b {
             is_target[b.index()] = true;
         }
-        let dist = multi_source_bfs_distances(csr, set_b);
+        (is_target, multi_source_bfs_distances(csr, set_b))
+    }
+
+    /// Build the target mask + shared BFS distance map for `set_b` and
+    /// run the (optionally exact-length) fan-out from `set_a`.
+    fn pair_enumeration(
+        &self,
+        set_a: &[NodeId],
+        set_b: &[NodeId],
+        max_rdb: usize,
+        exact: Option<usize>,
+        threads: usize,
+    ) -> (Vec<Connection>, u64) {
+        let (is_target, dist) = self.target_mask_and_dist(set_b);
+        self.fan_out_connections(set_a, &is_target, &dist, max_rdb, exact, threads)
+    }
+
+    /// One distance-pruned DFS per source over an immutable CSR + shared
+    /// distance map — embarrassingly parallel, so sources are split into
+    /// contiguous chunks across `threads` scoped worker threads and the
+    /// per-chunk results concatenated back in source order. The merge is
+    /// deterministic: each source's paths are canonically sorted inside
+    /// its chunk, so the output is byte-identical to the sequential
+    /// loop's.
+    fn fan_out_connections(
+        &self,
+        sources: &[NodeId],
+        is_target: &[bool],
+        dist: &[u32],
+        max_edges: usize,
+        exact: Option<usize>,
+        threads: usize,
+    ) -> (Vec<Connection>, u64) {
+        let threads = threads.clamp(1, sources.len().max(1));
+        if threads == 1 {
+            return self.enumerate_chunk(sources, is_target, dist, max_edges, exact);
+        }
+        let chunk = sources.len().div_ceil(threads);
+        let mut chunks = sources.chunks(chunk);
+        let head = chunks.next().unwrap_or(&[]);
         let mut out = Vec::new();
-        let mut paths: Vec<Path> = Vec::new();
-        for &a in set_a {
-            paths.clear();
-            let _ = for_each_path_to_targets(
+        let mut expansions = 0u64;
+        thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .map(|c| {
+                    s.spawn(move || {
+                        self.enumerate_chunk(c, is_target, dist, max_edges, exact)
+                    })
+                })
+                .collect();
+            let (conns, exp) = self.enumerate_chunk(head, is_target, dist, max_edges, exact);
+            out.extend(conns);
+            expansions += exp;
+            for h in handles {
+                let (conns, exp) = h.join().expect("enumeration worker panicked");
+                out.extend(conns);
+                expansions += exp;
+            }
+        });
+        (out, expansions)
+    }
+
+    /// The sequential enumeration kernel: one pruned DFS per source in
+    /// `sources`, collecting every target-ending path (or, with
+    /// `exact = Some(l)`, only paths of exactly `l` edges — the
+    /// streaming top-k level shape), canonically sorted per source and
+    /// converted to connections against the precomputed edge-cardinality
+    /// table. Returns the connections and the DFS expansion count.
+    fn enumerate_chunk(
+        &self,
+        sources: &[NodeId],
+        is_target: &[bool],
+        dist: &[u32],
+        max_edges: usize,
+        exact: Option<usize>,
+    ) -> (Vec<Connection>, u64) {
+        let csr = self.dg.csr();
+        let mut out: Vec<Connection> = Vec::new();
+        let mut expansions = 0u64;
+        for &a in sources {
+            let start = out.len();
+            let _ = for_each_path_to_targets_counted(
                 csr,
                 a,
-                &is_target,
-                &dist,
-                max_rdb,
+                is_target,
+                dist,
+                max_edges,
+                &mut expansions,
                 |nodes, edges| {
-                    paths.push(Path { nodes: nodes.to_vec(), edges: edges.to_vec() });
+                    if exact.is_none_or(|l| edges.len() == l) {
+                        out.push(Connection::from_slices_with_edge_cards(
+                            nodes,
+                            edges,
+                            &self.dg,
+                            &self.edge_cards,
+                        ));
+                    }
                     ControlFlow::Continue(())
                 },
             );
             // Canonical order per source, so downstream node-sequence
             // dedup picks the same representative among parallel-edge
             // variants as the per-pair enumeration.
-            paths.sort_by(Path::canonical_cmp);
-            out.extend(
-                paths.iter().map(|p| Connection::from_path(p, &self.dg, &self.er_schema)),
-            );
+            out[start..].sort_by(Connection::canonical_cmp);
         }
-        out
+        (out, expansions)
     }
 
     /// The seed implementation of [`SearchEngine::pair_connections`]:
@@ -853,6 +1322,73 @@ mod tests {
         let opts = SearchOptions { k: Some(2), ..Default::default() };
         let results = e.search("Smith XML", &opts).unwrap();
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let e = engine();
+        for ranker in
+            [RankStrategy::CloseFirst, RankStrategy::Combined { structure_weight: 1.0 }]
+        {
+            let opts = SearchOptions { k: Some(0), ranker, ..Default::default() };
+            let results = e.search("Smith XML", &opts).unwrap();
+            assert!(results.connections.is_empty());
+            assert!(results.trees.is_empty());
+        }
+    }
+
+    #[test]
+    fn thread_counts_produce_identical_results() {
+        let e = engine();
+        let base = SearchOptions { threads: 1, ..Default::default() };
+        let seq = e.search("Smith XML", &base).unwrap();
+        for threads in [2usize, 3, 4] {
+            let par = e.search("Smith XML", &SearchOptions { threads, ..base }).unwrap();
+            assert_eq!(seq.connections.len(), par.connections.len());
+            for (a, b) in seq.connections.iter().zip(&par.connections) {
+                assert_eq!(a.rendering, b.rendering, "threads {threads}");
+                assert_eq!(a.explanation, b.explanation, "threads {threads}");
+            }
+            assert_eq!(seq.stats, par.stats);
+        }
+    }
+
+    #[test]
+    fn streaming_topk_terminates_early_and_matches_prefix() {
+        let e = engine();
+        let base = SearchOptions { threads: 1, ..Default::default() };
+        let full = e.search("Smith XML", &base).unwrap();
+        let stream = e.search("Smith XML", &SearchOptions { k: Some(1), ..base }).unwrap();
+        assert!(stream.stats.early_terminated);
+        assert!(stream.stats.dfs_expansions < full.stats.dfs_expansions);
+        assert_eq!(stream.connections[0].rendering, full.connections[0].rendering);
+        // `Combined` has no length bound, so it takes the batch path and
+        // still returns the same best result.
+        let combined = RankStrategy::Combined { structure_weight: 1.0 };
+        let batch = e
+            .search("Smith XML", &SearchOptions { k: Some(1), ranker: combined, ..base })
+            .unwrap();
+        assert_eq!(batch.connections.len(), 1);
+        assert!(!batch.stats.early_terminated);
+    }
+
+    #[test]
+    fn k_budget_is_shared_between_connections_and_trees() {
+        let e = engine();
+        for k in [1usize, 2, 4] {
+            let opts = SearchOptions {
+                algorithm: Algorithm::Banks,
+                k: Some(k),
+                ..Default::default()
+            };
+            let results = e.search("Alice Miller teaching", &opts).unwrap();
+            assert!(
+                results.connections.len() + results.trees.len() <= k,
+                "k={k}: {} connections + {} trees",
+                results.connections.len(),
+                results.trees.len()
+            );
+        }
     }
 
     #[test]

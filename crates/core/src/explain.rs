@@ -15,7 +15,7 @@
 //! main clause followed by ", that …" continuations. Forward steps use
 //! the relationship's `verb`, backward steps its `reverse_verb`.
 
-use crate::connection::Connection;
+use crate::connection::{ConceptualStep, Connection};
 use crate::datagraph::DataGraph;
 use cla_er::{ErSchema, SchemaMapping};
 use cla_graph::NodeId;
@@ -58,37 +58,41 @@ pub fn explain_connection(
     aliases: &HashMap<TupleId, String>,
     markers: &HashMap<NodeId, Vec<String>>,
 ) -> String {
-    explain_connection_cached(
+    let mut steps = conn.conceptual_steps(dg, schema, mapping);
+    explain_connection_from_steps(
         conn,
+        &mut steps,
         dg,
         schema,
         mapping,
         aliases,
         markers,
-        &mut HashMap::new(),
+        &mut vec![None; dg.node_count()],
     )
 }
 
-/// [`explain_connection`] with node descriptions memoized across calls;
-/// the engine shares one cache per search since every connection of a
-/// result set describes nodes against the same markers.
-pub(crate) fn explain_connection_cached(
+/// [`explain_connection`] over an already-computed conceptual-steps
+/// buffer (which it may reverse in place) with node descriptions
+/// memoized in a node-indexed cache; the engine computes one conceptual
+/// pass per connection that feeds both the ER chain and this, and shares
+/// one description cache per search since every connection of a result
+/// set describes nodes against the same markers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explain_connection_from_steps(
     conn: &Connection,
+    steps: &mut [ConceptualStep],
     dg: &DataGraph,
     schema: &ErSchema,
     mapping: &SchemaMapping,
     aliases: &HashMap<TupleId, String>,
     markers: &HashMap<NodeId, Vec<String>>,
-    cache: &mut HashMap<NodeId, String>,
+    cache: &mut [Option<String>],
 ) -> String {
-    let mut describe = |n: NodeId| -> String {
-        cache
-            .entry(n)
-            .or_insert_with(|| describe_node(n, dg, mapping, schema, aliases, markers))
-            .clone()
-    };
     if conn.rdb_length() == 0 {
-        return describe(conn.start());
+        let n = conn.start();
+        return cache[n.index()]
+            .get_or_insert_with(|| describe_node(n, dg, mapping, schema, aliases, markers))
+            .clone();
     }
     // Orient for the most active-verb readings; ties go to the
     // orientation that reads "specific → general" (first step not a
@@ -96,7 +100,6 @@ pub(crate) fn explain_connection_cached(
     // Both orientations' votes derive from ONE conceptual-steps pass:
     // reversing a connection flips each step's direction and walks them
     // back to front.
-    let mut steps = conn.conceptual_steps(dg, schema, mapping);
     let votes = |steps: &[crate::connection::ConceptualStep], reversed: bool| {
         let forward = steps.iter().filter(|s| s.forward != reversed).count();
         let boundary = if reversed { steps.last() } else { steps.first() };
@@ -106,9 +109,9 @@ pub(crate) fn explain_connection_cached(
         });
         (forward, usize::from(narrative_start))
     };
-    if votes(&steps, true) > votes(&steps, false) {
+    if votes(steps, true) > votes(steps, false) {
         steps.reverse();
-        for s in &mut steps {
+        for s in steps.iter_mut() {
             // Collapsed N:M steps orient by which endpoint is the
             // relationship's left entity — recompute rather than negate,
             // so self-referential relationships (left == right) keep
@@ -130,24 +133,26 @@ pub(crate) fn explain_connection_cached(
             };
         }
     }
-    let mut out = String::new();
+    let mut out = String::with_capacity(32 * (steps.len() + 1));
+    let mut describe_into = |out: &mut String, n: NodeId| {
+        let label = cache[n.index()]
+            .get_or_insert_with(|| describe_node(n, dg, mapping, schema, aliases, markers));
+        out.push_str(label);
+    };
     for (i, step) in steps.iter().enumerate() {
         let rel = schema.relationship(step.relationship).expect("mapped relationship");
         let verb = if step.forward { &rel.verb } else { &rel.reverse_verb };
-        let to_desc = describe(step.to);
         if i == 0 {
-            let from_desc = describe(step.from);
-            out.push_str(&from_desc);
+            describe_into(&mut out, step.from);
             out.push(' ');
             out.push_str(verb);
             out.push(' ');
-            out.push_str(&to_desc);
         } else {
             out.push_str(", that ");
             out.push_str(verb);
             out.push(' ');
-            out.push_str(&to_desc);
         }
+        describe_into(&mut out, step.to);
     }
     out
 }

@@ -60,7 +60,9 @@ pub use discover::{
     enumerate_joining_networks, enumerate_mtjnts, is_joining, is_mtjnt, is_total,
     mtjnt_filter,
 };
-pub use engine::{Algorithm, RankedConnection, SearchEngine, SearchOptions, SearchResults};
+pub use engine::{
+    Algorithm, RankedConnection, SearchEngine, SearchOptions, SearchResults, SearchStats,
+};
 pub use error::CoreError;
 pub use explain::explain_connection;
 pub use instance::{

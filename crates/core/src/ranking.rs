@@ -106,6 +106,118 @@ impl RankStrategy {
         }
     }
 
+    /// The most favorable [`ConnectionInfo`] that *any* connection with
+    /// `rdb_length >= min_rdb` could present: schema-close, zero
+    /// transitive-N:M segments, the minimum ER length a path of that RDB
+    /// length can have (`ceil(min_rdb / 2)` — at best two RDB hops
+    /// collapse into one conceptual step), instance-corroborated, and an
+    /// unbounded text score. Every ranking criterion is monotone
+    /// (non-improving) in RDB length against this bound.
+    pub fn best_possible_info(min_rdb: usize) -> ConnectionInfo {
+        let er_chain = CardinalityChain::empty();
+        ConnectionInfo {
+            rdb_length: min_rdb,
+            er_length: min_rdb.div_ceil(2),
+            class: er_chain.classify(),
+            closeness: Closeness::Close,
+            nm_count: 0,
+            er_chain,
+            text_score: f64::INFINITY,
+            instance_close: Some(true),
+        }
+    }
+
+    /// `true` when a connection ranking at `held` strictly outranks
+    /// every connection of RDB length `>= min_rdb` that enumeration
+    /// could still produce under this strategy — the early-termination
+    /// test of the engine's streaming top-k mode: once the k-th best
+    /// held result dominates all unexplored length levels, deeper
+    /// enumeration cannot change the top k.
+    ///
+    /// Conservative by construction: the comparison runs against
+    /// [`RankStrategy::best_possible_info`], whose unbounded text score
+    /// makes this always `false` for strategies without a length-monotone
+    /// primary criterion (e.g. [`RankStrategy::Combined`]) — those
+    /// strategies simply never stop early.
+    pub fn dominates_all_longer(&self, held: &ConnectionInfo, min_rdb: usize) -> bool {
+        self.compare(held, &Self::best_possible_info(min_rdb)) == Ordering::Less
+    }
+
+    /// Whether the strategy can ever terminate a streaming top-k search
+    /// early, i.e. whether [`RankStrategy::dominates_all_longer`] can
+    /// return `true` for some held connection. `Combined` mixes an
+    /// unbounded text score into a single scalar, so no held result ever
+    /// dominates an unexplored level and level-by-level streaming would
+    /// only add overhead.
+    pub fn supports_streaming_topk(&self) -> bool {
+        !matches!(self, RankStrategy::Combined { .. })
+    }
+
+    /// Pack the strategy's comparison criteria into a pair of integers
+    /// whose ascending order agrees with [`RankStrategy::compare`]
+    /// wherever the keys differ — the engine sorts result sets by these
+    /// precomputed keys instead of re-reading five fields per
+    /// comparison, falling back to `compare` on key ties. Count-like
+    /// fields get 32 bits each in the `u128`: a connection is a simple
+    /// path over `u32` node ids, so its RDB length (and a fortiori ER
+    /// length and N:M count) is always below `u32::MAX` and the packing
+    /// is exact for every representable connection (debug-asserted;
+    /// hand-built infos beyond that clamp).
+    pub fn sort_key(&self, info: &ConnectionInfo) -> (u128, u64) {
+        fn field(x: usize) -> u128 {
+            debug_assert!(
+                x < u32::MAX as usize,
+                "connection metrics exceed u32 — not reachable from a simple path"
+            );
+            x.min(u32::MAX as usize) as u128
+        }
+        // Ties on every strategy break toward *higher* text scores.
+        let text_desc = !f64_sort_bits_asc(info.text_score);
+        match self {
+            RankStrategy::RdbLength => (field(info.rdb_length), text_desc),
+            RankStrategy::ErLength => {
+                (field(info.er_length) << 32 | field(info.rdb_length), text_desc)
+            }
+            RankStrategy::CloseFirst => {
+                let close = match info.closeness {
+                    Closeness::Close => 0u128,
+                    Closeness::Loose => 1,
+                };
+                (
+                    close << 96
+                        | field(info.nm_count) << 64
+                        | field(info.er_length) << 32
+                        | field(info.rdb_length),
+                    text_desc,
+                )
+            }
+            RankStrategy::InstanceCloseFirst => {
+                let eff = match (info.closeness, info.instance_close) {
+                    (Closeness::Close, _) => 0u128,
+                    (Closeness::Loose, Some(true)) => 1,
+                    (Closeness::Loose, _) => 2,
+                };
+                (
+                    eff << 96
+                        | field(info.nm_count) << 64
+                        | field(info.er_length) << 32
+                        | field(info.rdb_length),
+                    text_desc,
+                )
+            }
+            RankStrategy::Combined { structure_weight } => {
+                let loose = if info.closeness == Closeness::Loose { 1.5 } else { 0.0 };
+                let penalty = info.er_length as f64 + 2.0 * info.nm_count as f64 + loose;
+                (
+                    u128::from(f64_sort_bits_asc(
+                        structure_weight * penalty - info.text_score,
+                    )),
+                    0,
+                )
+            }
+        }
+    }
+
     /// A short human-readable name (used in experiment output).
     pub fn name(&self) -> &'static str {
         match self {
@@ -115,6 +227,19 @@ impl RankStrategy {
             RankStrategy::InstanceCloseFirst => "instance-close-first",
             RankStrategy::Combined { .. } => "combined",
         }
+    }
+}
+
+/// Ascending-order-preserving bit image of an `f64`: comparing the
+/// returned integers equals `f64::total_cmp` on the inputs (sign bit
+/// flipped for non-negatives, all bits flipped for negatives). Shared
+/// by the packed ranking sort keys and the BANKS top-k weight heap.
+pub(crate) fn f64_sort_bits_asc(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
     }
 }
 
@@ -221,6 +346,73 @@ mod tests {
         let pos3 = order.iter().position(|&x| x == 3).unwrap();
         let pos6 = order.iter().position(|&x| x == 6).unwrap();
         assert!(pos3 < pos6);
+    }
+
+    #[test]
+    fn sort_keys_agree_with_compare() {
+        use Cardinality as C;
+        // A varied pool: the paper's connections plus text-score and
+        // instance-closeness variants.
+        let mut pool: Vec<ConnectionInfo> =
+            paper_connections().into_iter().map(|(_, i)| i).collect();
+        pool.push(info(1, 1, &[C::ONE_TO_MANY], 3.5, Some(false)));
+        pool.push(info(1, 1, &[C::ONE_TO_MANY], -1.0, None));
+        pool.push(info(4, 2, &[C::MANY_TO_MANY, C::MANY_TO_MANY], 0.25, Some(true)));
+        for strat in [
+            RankStrategy::RdbLength,
+            RankStrategy::ErLength,
+            RankStrategy::CloseFirst,
+            RankStrategy::InstanceCloseFirst,
+            RankStrategy::Combined { structure_weight: 1.0 },
+        ] {
+            for a in &pool {
+                for b in &pool {
+                    let (ka, kb) = (strat.sort_key(a), strat.sort_key(b));
+                    // Wherever the packed keys differ they must order
+                    // exactly like the comparator; key ties defer to it.
+                    if ka != kb {
+                        assert_eq!(
+                            ka.cmp(&kb),
+                            strat.compare(a, b),
+                            "{} on {a:?} vs {b:?}",
+                            strat.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domination_bound_is_sound_and_triggers() {
+        use Cardinality as C;
+        // A direct close connection dominates everything of length >= 2
+        // under every length-bounded strategy…
+        let direct = info(1, 1, &[C::ONE_TO_MANY], 0.0, Some(true));
+        for strat in [
+            RankStrategy::RdbLength,
+            RankStrategy::ErLength,
+            RankStrategy::CloseFirst,
+            RankStrategy::InstanceCloseFirst,
+        ] {
+            assert!(strat.supports_streaming_topk());
+            assert!(strat.dominates_all_longer(&direct, 2), "{}", strat.name());
+            // …and the bound is sound: any realizable info of RDB length
+            // >= 2 really ranks worse.
+            let best_len2 = info(2, 1, &[C::MANY_TO_MANY], 1e6, Some(true));
+            assert_eq!(strat.compare(&direct, &best_len2), Ordering::Less);
+            // Never dominate the level the connection itself sits on:
+            // a same-length rival could still win the text tie-break.
+            assert!(!strat.dominates_all_longer(&direct, 1), "{}", strat.name());
+        }
+        // A loose connection never lets CloseFirst stop (a longer close
+        // connection could outrank it).
+        let loose = info(2, 2, &[C::MANY_TO_ONE, C::ONE_TO_MANY], 0.0, Some(true));
+        assert!(!RankStrategy::CloseFirst.dominates_all_longer(&loose, 3));
+        // Combined has no length bound at all.
+        let combined = RankStrategy::Combined { structure_weight: 1.0 };
+        assert!(!combined.supports_streaming_topk());
+        assert!(!combined.dominates_all_longer(&direct, 4));
     }
 
     #[test]

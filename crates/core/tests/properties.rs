@@ -3,8 +3,8 @@
 
 use cla_core::{
     banks_search, enumerate_joining_networks, instance_closeness, instance_closeness_naive,
-    is_joining, is_mtjnt, is_total, BanksOptions, Connection, DataGraph, SearchEngine,
-    SearchOptions,
+    is_joining, is_mtjnt, is_total, BanksOptions, Connection, DataGraph, RankStrategy,
+    SearchEngine, SearchOptions,
 };
 use cla_datagen::{generate_synthetic, SyntheticConfig};
 use cla_er::Closeness;
@@ -137,7 +137,7 @@ proptest! {
             })
             .collect();
         prop_assume!(sets.iter().all(|s: &Vec<NodeId>| !s.is_empty()));
-        let trees = banks_search(&dg, &sets, &BanksOptions { k: 10, ..Default::default() });
+        let trees = banks_search(&dg, &sets, &BanksOptions { k: Some(10), ..Default::default() });
         let mut last = 0.0f64;
         for t in &trees {
             prop_assert!(t.weight >= last);
@@ -299,6 +299,143 @@ proptest! {
         prop_assume!(checked > 0);
     }
 
+    /// BANKS invariants on random synthetic databases, including
+    /// overlapping keyword sets (the configuration under which the old
+    /// per-source min-merge spliced parent chains): every returned
+    /// tree's recomputed edge-weight sum equals `weight`, and every
+    /// `keyword_nodes[ki]` lies on the tree and matches keyword `ki`.
+    #[test]
+    fn banks_weight_and_keyword_invariants(seed in 0u64..300) {
+        let s = generate_synthetic(&small_config(seed));
+        let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+        let index = cla_index::InvertedIndex::build(&s.db);
+        // "alice" overlaps heavily with "xml"/"smith" at these
+        // selectivities, so chains frequently share segments and ties
+        // abound (uniform weights).
+        for kws in [&["xml", "smith"][..], &["xml", "smith", "alice"][..]] {
+            let sets: Vec<Vec<NodeId>> = kws
+                .iter()
+                .map(|kw| {
+                    index
+                        .matching_tuples(kw)
+                        .into_iter()
+                        .filter_map(|t| dg.node_of(t))
+                        .collect()
+                })
+                .collect();
+            if sets.iter().any(|s: &Vec<NodeId>| s.is_empty()) {
+                continue;
+            }
+            let opts = BanksOptions { k: None, ..Default::default() };
+            let g = dg.graph();
+            for t in banks_search(&dg, &sets, &opts) {
+                let sum: f64 = t
+                    .edges
+                    .iter()
+                    .map(|&(e, _, _)| opts.weighting.weight(g.edge(e).payload))
+                    .sum();
+                prop_assert_eq!(t.weight, sum, "root {} of {:?}", t.root, kws);
+                prop_assert_eq!(t.keyword_nodes.len(), sets.len());
+                for (ki, kn) in t.keyword_nodes.iter().enumerate() {
+                    prop_assert!(t.nodes.contains(kn), "keyword {} off-tree", ki);
+                    prop_assert!(sets[ki].contains(kn), "keyword {} not a match", ki);
+                }
+                // Edge triples are oriented away from the root and form
+                // a connected tree.
+                prop_assert_eq!(t.edges.len(), t.nodes.len() - 1);
+                let set: BTreeSet<NodeId> = t.nodes.iter().copied().collect();
+                prop_assert!(is_joining(&dg, &set));
+            }
+        }
+    }
+
+    /// Multi-threaded search returns byte-identical results to the
+    /// sequential path, for both the raw enumeration and the full ranked
+    /// pipeline.
+    #[test]
+    fn parallel_search_matches_sequential(seed in 0u64..120) {
+        let s = generate_synthetic(&small_config(seed));
+        let engine = SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+            .unwrap()
+            .with_aliases(s.aliases.clone());
+        let sets: Vec<Vec<NodeId>> = ["xml", "smith"]
+            .iter()
+            .map(|kw| {
+                engine
+                    .index()
+                    .matching_tuples(kw)
+                    .into_iter()
+                    .filter_map(|t| engine.data_graph().node_of(t))
+                    .collect()
+            })
+            .collect();
+        prop_assume!(sets.iter().all(|s: &Vec<NodeId>| !s.is_empty()));
+        let sequential = engine.pair_connections(&sets[0], &sets[1], 4);
+        for threads in [2usize, 4] {
+            let parallel = engine.pair_connections_threaded(&sets[0], &sets[1], 4, threads);
+            prop_assert_eq!(&parallel, &sequential, "threads {}", threads);
+        }
+        let base = SearchOptions { max_rdb_length: 4, threads: 1, ..Default::default() };
+        let seq = engine.search("xml smith", &base).unwrap();
+        let par = engine
+            .search("xml smith", &SearchOptions { threads: 4, ..base })
+            .unwrap();
+        prop_assert_eq!(seq.connections.len(), par.connections.len());
+        for (a, b) in seq.connections.iter().zip(&par.connections) {
+            prop_assert_eq!(&a.rendering, &b.rendering);
+            prop_assert_eq!(&a.explanation, &b.explanation);
+            prop_assert_eq!(a.connection.nodes(), b.connection.nodes());
+        }
+        prop_assert_eq!(seq.stats, par.stats);
+    }
+
+    /// Streaming top-k returns exactly the full enumeration's ranked
+    /// prefix, never expands more DFS nodes, and its work accounting is
+    /// consistent, across rankers with a length bound.
+    #[test]
+    fn streaming_topk_matches_full_enumeration(seed in 0u64..100, k in 1usize..12) {
+        let s = generate_synthetic(&small_config(seed));
+        let engine = SearchEngine::new(s.db.clone(), s.er_schema.clone(), s.mapping.clone())
+            .unwrap()
+            .with_aliases(s.aliases.clone());
+        for ranker in [RankStrategy::RdbLength, RankStrategy::CloseFirst] {
+            let base = SearchOptions {
+                max_rdb_length: 4,
+                ranker,
+                threads: 1,
+                ..Default::default()
+            };
+            let full = engine.search("xml smith", &base).unwrap();
+            let stream = engine
+                .search("xml smith", &SearchOptions { k: Some(k), ..base })
+                .unwrap();
+            let want: Vec<&str> = full
+                .connections
+                .iter()
+                .take(k)
+                .map(|r| r.rendering.as_str())
+                .collect();
+            let got: Vec<&str> =
+                stream.connections.iter().map(|r| r.rendering.as_str()).collect();
+            prop_assert_eq!(got, want, "ranker {} k {}", ranker.name(), k);
+            prop_assert!(stream.stats.max_length_enumerated <= full.stats.max_length_enumerated);
+            // Early termination must stop before the budget; iterative
+            // deepening that runs to the *full* budget may legitimately
+            // re-expand shallow prefixes (the classic IDDFS trade), so
+            // the strictly-fewer-expansions claim applies exactly when
+            // the search stopped early.
+            if stream.stats.early_terminated {
+                prop_assert!(stream.stats.max_length_enumerated < base.max_rdb_length);
+                prop_assert!(
+                    stream.stats.dfs_expansions < full.stats.dfs_expansions,
+                    "early-terminated streaming must expand fewer nodes: {} vs {}",
+                    stream.stats.dfs_expansions,
+                    full.stats.dfs_expansions
+                );
+            }
+        }
+    }
+
     /// MTJNT filtering never *adds* results and every kept network is
     /// total and joining.
     #[test]
@@ -322,6 +459,82 @@ proptest! {
             prop_assert!(all_renderings.contains(&r.rendering));
         }
     }
+}
+
+/// The B1 acceptance shape (dept16, seed 7 — the EXPERIMENTS.md bench
+/// database).
+fn b1_config() -> SyntheticConfig {
+    SyntheticConfig {
+        departments: 16,
+        employees_per_department: 8,
+        projects_per_department: 3,
+        works_on_per_employee: 2,
+        dependent_probability: 0.3,
+        xml_selectivity: 0.15,
+        smith_selectivity: 0.1,
+        alice_selectivity: 0.25,
+        project_skew: 1.0,
+        seed: 7,
+    }
+}
+
+/// At the B1 bench shape, streaming top-k must terminate early and
+/// expand strictly fewer DFS nodes than the full enumeration, while
+/// returning the identical top-k — the PR's acceptance criterion, pinned
+/// as a test.
+#[test]
+fn streaming_topk_expands_strictly_less_at_b1_shape() {
+    let s = generate_synthetic(&b1_config());
+    let engine =
+        SearchEngine::new(s.db, s.er_schema, s.mapping).unwrap().with_aliases(s.aliases);
+    let base = SearchOptions {
+        max_rdb_length: 4,
+        compute_instance: false,
+        threads: 1,
+        ..Default::default()
+    };
+    let full = engine.search("xml smith", &base).unwrap();
+    assert!(full.stats.dfs_expansions > 0);
+    assert_eq!(full.stats.max_length_enumerated, 4);
+    for k in [3usize, 10] {
+        let stream =
+            engine.search("xml smith", &SearchOptions { k: Some(k), ..base }).unwrap();
+        assert!(
+            stream.stats.dfs_expansions < full.stats.dfs_expansions,
+            "k={k}: streaming expanded {} nodes, full enumeration {}",
+            stream.stats.dfs_expansions,
+            full.stats.dfs_expansions
+        );
+        assert!(stream.stats.early_terminated, "k={k} must stop before the length budget");
+        let want: Vec<&str> =
+            full.connections.iter().take(k).map(|r| r.rendering.as_str()).collect();
+        let got: Vec<&str> =
+            stream.connections.iter().map(|r| r.rendering.as_str()).collect();
+        assert_eq!(got, want, "k={k}");
+    }
+}
+
+/// `k: None` means *unbounded*: on a graph with more than 100 candidate
+/// answer trees BANKS returns them all — the seed's silent
+/// `unwrap_or(100)` cap is gone.
+#[test]
+fn banks_k_none_returns_more_than_100_trees() {
+    let s = generate_synthetic(&b1_config());
+    let dg = DataGraph::build(&s.db, &s.mapping).unwrap();
+    let index = cla_index::InvertedIndex::build(&s.db);
+    let sets: Vec<Vec<NodeId>> = ["xml", "smith"]
+        .iter()
+        .map(|kw| {
+            index.matching_tuples(kw).into_iter().filter_map(|t| dg.node_of(t)).collect()
+        })
+        .collect();
+    assert!(sets.iter().all(|s| !s.is_empty()));
+    let trees = banks_search(&dg, &sets, &BanksOptions { k: None, ..Default::default() });
+    assert!(trees.len() > 100, "expected > 100 trees, got {}", trees.len());
+    // The old default-capped behavior is still reachable explicitly.
+    let capped =
+        banks_search(&dg, &sets, &BanksOptions { k: Some(100), ..Default::default() });
+    assert_eq!(capped.len(), 100);
 }
 
 /// Brute force: minimal iff no proper non-empty subset is total+joining.

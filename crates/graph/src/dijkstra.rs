@@ -112,6 +112,98 @@ where
     DijkstraResult { dist, parent }
 }
 
+/// Result of a multi-source Dijkstra run: one shortest-path **forest**
+/// rooted at the sources.
+///
+/// Unlike taking the per-node minimum over independent single-source
+/// runs, the forest is internally consistent: following `parent` from
+/// any reachable node walks a real shortest path whose edge weights
+/// telescope to exactly `dist`, ending at `origin[n]` — never a chain
+/// spliced from two different sources' trees.
+#[derive(Debug, Clone)]
+pub struct MultiSourceDijkstra {
+    /// `dist[n]` is the weighted distance to the nearest source
+    /// (`f64::INFINITY` when unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[n]` is the `(predecessor, edge)` on the shortest path
+    /// back toward `origin[n]` (`None` at sources and unreachable nodes).
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+    /// `origin[n]` is the source whose tree contains `n` (`None` when
+    /// unreachable).
+    pub origin: Vec<Option<NodeId>>,
+}
+
+impl MultiSourceDijkstra {
+    /// Reconstruct the path from `origin[target]` to `target`, if
+    /// reachable.
+    pub fn path_to(&self, target: NodeId) -> Option<(Vec<NodeId>, Vec<EdgeId>)> {
+        if self.dist[target.index()].is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut current = target;
+        while let Some((prev, edge)) = self.parent[current.index()] {
+            nodes.push(prev);
+            edges.push(edge);
+            current = prev;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some((nodes, edges))
+    }
+}
+
+/// Multi-source Dijkstra over a CSR adjacency: shortest distance from
+/// every node to its nearest source, as one consistent forest (the
+/// "virtual source" formulation — all sources start on the heap at
+/// distance 0). Deterministic: heap ties break by node id, relaxations
+/// keep the first-found parent among equal distances.
+///
+/// This is what a per-keyword-set BANKS expansion needs: taking the
+/// per-node **minimum** over single-source runs instead produces parent
+/// pointers from *different* sources' trees, so a walked parent chain
+/// can splice two trees together and its edge weights no longer sum to
+/// `dist` (and the chain may end at a different source than the claimed
+/// nearest one). Duplicate source entries are ignored.
+pub fn multi_source_dijkstra_csr<W>(
+    csr: &CsrAdjacency,
+    sources: &[NodeId],
+    weight: W,
+) -> MultiSourceDijkstra
+where
+    W: Fn(EdgeId) -> f64,
+{
+    let mut dist = vec![f64::INFINITY; csr.node_count()];
+    let mut parent = vec![None; csr.node_count()];
+    let mut origin: Vec<Option<NodeId>> = vec![None; csr.node_count()];
+    let mut heap = BinaryHeap::new();
+    for &s in sources {
+        if origin[s.index()].is_none() {
+            dist[s.index()] = 0.0;
+            origin[s.index()] = Some(s);
+            heap.push(HeapEntry { dist: 0.0, node: s });
+        }
+    }
+    while let Some(HeapEntry { dist: d, node: n }) = heap.pop() {
+        if d > dist[n.index()] {
+            continue; // stale entry
+        }
+        for &(m, e) in csr.neighbors(n) {
+            let w = weight(e);
+            debug_assert!(w >= 0.0, "negative edge weight {w} on edge {e}");
+            let nd = d + w;
+            if nd < dist[m.index()] {
+                dist[m.index()] = nd;
+                parent[m.index()] = Some((n, e));
+                origin[m.index()] = origin[n.index()];
+                heap.push(HeapEntry { dist: nd, node: m });
+            }
+        }
+    }
+    MultiSourceDijkstra { dist, parent, origin }
+}
+
 /// Dijkstra over a CSR adjacency (always the undirected view — the CSR
 /// *is* the undirected incidence). Same results as
 /// [`dijkstra`]`(g, start, true, weight)` without per-step adjacency
@@ -218,6 +310,62 @@ mod tests {
         for n in g.nodes() {
             assert_eq!(on_graph.path_to(n), on_csr.path_to(n));
         }
+    }
+
+    #[test]
+    fn multi_source_matches_min_over_single_sources() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        let weight = |e: EdgeId| *g.edge(e).payload;
+        let sources = [ns[1], ns[2]];
+        let ms = multi_source_dijkstra_csr(&csr, &sources, weight);
+        for n in g.nodes() {
+            let best = sources
+                .iter()
+                .map(|&s| dijkstra_csr(&csr, s, weight).dist[n.index()])
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(ms.dist[n.index()], best, "node {n}");
+        }
+    }
+
+    #[test]
+    fn multi_source_chains_are_consistent() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        let weight = |e: EdgeId| *g.edge(e).payload;
+        let ms = multi_source_dijkstra_csr(&csr, &[ns[1], ns[2]], weight);
+        for n in g.nodes() {
+            let Some((nodes, edges)) = ms.path_to(n) else { continue };
+            // The walked chain starts at the recorded origin and its edge
+            // weights telescope to exactly the reported distance.
+            assert_eq!(Some(nodes[0]), ms.origin[n.index()]);
+            assert_eq!(*nodes.last().unwrap(), n);
+            let sum: f64 = edges.iter().map(|&e| weight(e)).sum();
+            assert_eq!(sum, ms.dist[n.index()], "node {n}");
+        }
+    }
+
+    #[test]
+    fn multi_source_sources_have_zero_distance_and_self_origin() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        // Duplicate source entries are ignored.
+        let ms = multi_source_dijkstra_csr(&csr, &[ns[0], ns[0]], |_| 1.0);
+        assert_eq!(ms.dist[ns[0].index()], 0.0);
+        assert_eq!(ms.origin[ns[0].index()], Some(ns[0]));
+        assert!(ms.parent[ns[0].index()].is_none());
+    }
+
+    #[test]
+    fn multi_source_unreachable_nodes_have_no_origin() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let csr = CsrAdjacency::build(&g);
+        let ms = multi_source_dijkstra_csr(&csr, &[a], |_| 1.0);
+        assert!(ms.dist[b.index()].is_infinite());
+        assert_eq!(ms.origin[b.index()], None);
+        assert!(ms.path_to(b).is_none());
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   [`enumerate_paths_to_targets`]), which runs one frontier-aware DFS
 //!   per source instead of one unpruned DFS per (source, target) pair;
 //! * Dijkstra shortest paths with pluggable edge weights ([`dijkstra`],
-//!   [`dijkstra_csr`]) — used by the BANKS-style backward expansion;
+//!   [`dijkstra_csr`]), and the multi-source **forest** variant
+//!   ([`multi_source_dijkstra_csr`]) whose parent chains are guaranteed
+//!   consistent — the substrate of the BANKS-style backward expansion;
 //! * a [`UnionFind`] for fast connectivity checks.
 //!
 //! The crate is deliberately generic: `cla-core` instantiates it with
@@ -40,11 +42,13 @@ mod traversal;
 mod unionfind;
 
 pub use csr::CsrAdjacency;
-pub use dijkstra::{dijkstra, dijkstra_csr, DijkstraResult};
+pub use dijkstra::{
+    dijkstra, dijkstra_csr, multi_source_dijkstra_csr, DijkstraResult, MultiSourceDijkstra,
+};
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
 pub use paths::{
     enumerate_paths_to_targets, enumerate_simple_paths_undirected, for_each_path_to_targets,
-    shortest_path_undirected, Path,
+    for_each_path_to_targets_counted, shortest_path_undirected, Path,
 };
 pub use traversal::{
     bfs_distances_csr, bfs_distances_undirected, bfs_tree_undirected,

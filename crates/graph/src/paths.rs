@@ -146,6 +146,35 @@ pub fn for_each_path_to_targets<F>(
     is_target: &[bool],
     dist_to_target: &[u32],
     max_edges: usize,
+    visit: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId], &[EdgeId]) -> ControlFlow<()>,
+{
+    let mut expansions = 0;
+    for_each_path_to_targets_counted(
+        csr,
+        source,
+        is_target,
+        dist_to_target,
+        max_edges,
+        &mut expansions,
+        visit,
+    )
+}
+
+/// [`for_each_path_to_targets`] with work accounting: every DFS descent
+/// (a node pushed onto the path under exploration) increments
+/// `*expansions`. The counter is how the engine's streaming top-k mode
+/// *proves* its early termination does less traversal work than full
+/// enumeration — see `SearchStats` in `cla-core`.
+pub fn for_each_path_to_targets_counted<F>(
+    csr: &CsrAdjacency,
+    source: NodeId,
+    is_target: &[bool],
+    dist_to_target: &[u32],
+    max_edges: usize,
+    expansions: &mut u64,
     mut visit: F,
 ) -> ControlFlow<()>
 where
@@ -160,6 +189,7 @@ where
     let mut edges: Vec<EdgeId> = Vec::new();
     let mut on_path = vec![false; csr.node_count()];
     on_path[source.index()] = true;
+    *expansions += 1; // the source itself
     dfs_to_targets(
         csr,
         source,
@@ -169,6 +199,7 @@ where
         &mut nodes,
         &mut edges,
         &mut on_path,
+        expansions,
         &mut visit,
     )
 }
@@ -183,6 +214,7 @@ fn dfs_to_targets<F>(
     nodes: &mut Vec<NodeId>,
     edges: &mut Vec<EdgeId>,
     on_path: &mut [bool],
+    expansions: &mut u64,
     visit: &mut F,
 ) -> ControlFlow<()>
 where
@@ -206,6 +238,7 @@ where
             on_path[next.index()] = true;
             nodes.push(next);
             edges.push(e);
+            *expansions += 1;
             let flow = dfs_to_targets(
                 csr,
                 next,
@@ -215,6 +248,7 @@ where
                 nodes,
                 edges,
                 on_path,
+                expansions,
                 visit,
             );
             edges.pop();
@@ -459,6 +493,49 @@ mod tests {
         });
         assert_eq!(count, 1);
         assert!(flow.is_break());
+    }
+
+    #[test]
+    fn expansion_counter_tracks_descents_and_shrinks_with_budget() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        let mut is_target = vec![false; csr.node_count()];
+        is_target[ns[4].index()] = true;
+        let dist = multi_source_bfs_distances(&csr, &[ns[4]]);
+        let count = |max: usize| {
+            let mut expansions = 0;
+            let _ = for_each_path_to_targets_counted(
+                &csr,
+                ns[0],
+                &is_target,
+                &dist,
+                max,
+                &mut expansions,
+                |_, _| ControlFlow::Continue(()),
+            );
+            expansions
+        };
+        let deep = count(5);
+        let shallow = count(2);
+        assert!(
+            deep > shallow,
+            "tighter budgets must expand fewer nodes ({deep} vs {shallow})"
+        );
+        assert!(shallow >= 1, "the source itself counts as an expansion");
+        // A source that cannot reach any target within budget expands
+        // nothing at all.
+        let mut expansions = 0;
+        let far = multi_source_bfs_distances(&csr, &[ns[4]]);
+        let _ = for_each_path_to_targets_counted(
+            &csr,
+            ns[0],
+            &is_target,
+            &far,
+            1,
+            &mut expansions,
+            |_, _| ControlFlow::Continue(()),
+        );
+        assert_eq!(expansions, 0);
     }
 
     #[test]

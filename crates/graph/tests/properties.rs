@@ -4,7 +4,8 @@ use cla_graph::{
     bfs_distances_csr, bfs_distances_undirected, connected_components_undirected, dijkstra,
     dijkstra_csr, enumerate_paths_to_targets, enumerate_simple_paths_undirected,
     is_connected_subset, is_connected_subset_sorted, multi_source_bfs_distances,
-    shortest_path_undirected, CsrAdjacency, Graph, NodeId, Path, UnionFind,
+    multi_source_dijkstra_csr, shortest_path_undirected, CsrAdjacency, EdgeId, Graph, NodeId,
+    Path, UnionFind,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -177,6 +178,51 @@ proptest! {
         let dj = dijkstra(&g, start, true, |_| 1.0);
         let djc = dijkstra_csr(&csr, start, |_| 1.0);
         prop_assert_eq!(dj.dist, djc.dist);
+    }
+
+    /// The multi-source Dijkstra forest reports the same distances as
+    /// the minimum over single-source runs, and its parent chains are
+    /// internally consistent: each chain's edge weights telescope to the
+    /// reported distance and end at the recorded origin. (The per-node
+    /// minimum over independent runs satisfies the first property but
+    /// not the second — chains can splice two sources' trees together.)
+    #[test]
+    fn multi_source_dijkstra_is_a_consistent_forest(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..30),
+        sources in proptest::collection::vec(0usize..12, 1..5)
+    ) {
+        let g = build(n, &edges);
+        let csr = CsrAdjacency::build(&g);
+        // Deterministic pseudo-random positive weights, with plenty of
+        // ties to stress the splice-prone case.
+        let weight = |e: EdgeId| f64::from(e.0 % 3) * 0.5 + 0.5;
+        let sources: Vec<NodeId> =
+            sources.iter().map(|&i| NodeId((i % n) as u32)).collect();
+        let ms = multi_source_dijkstra_csr(&csr, &sources, weight);
+        for v in g.nodes() {
+            let best = sources
+                .iter()
+                .map(|&s| dijkstra_csr(&csr, s, weight).dist[v.index()])
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(ms.dist[v.index()], best);
+            match ms.path_to(v) {
+                None => prop_assert!(ms.dist[v.index()].is_infinite()),
+                Some((nodes, chain_edges)) => {
+                    prop_assert_eq!(Some(nodes[0]), ms.origin[v.index()]);
+                    prop_assert!(sources.contains(&nodes[0]));
+                    prop_assert_eq!(*nodes.last().unwrap(), v);
+                    let sum: f64 = chain_edges.iter().map(|&e| weight(e)).sum();
+                    prop_assert_eq!(sum, ms.dist[v.index()]);
+                    // Consecutive chain entries are joined by the edge.
+                    for (i, &e) in chain_edges.iter().enumerate() {
+                        let (a, b) = g.endpoints(e);
+                        let (x, y) = (nodes[i], nodes[i + 1]);
+                        prop_assert!((a == x && b == y) || (a == y && b == x));
+                    }
+                }
+            }
+        }
     }
 
     /// Sorted-slice subset connectivity agrees with the hash-set
