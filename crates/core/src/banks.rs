@@ -16,7 +16,7 @@
 use crate::datagraph::{DataGraph, EdgeAnnotation};
 use crate::ranking::f64_sort_bits_asc;
 use cla_er::FkRole;
-use cla_graph::{multi_source_dijkstra_csr, EdgeId, MultiSourceDijkstra, NodeId};
+use cla_graph::{multi_source_dijkstra_csr_by_key, EdgeId, MultiSourceDijkstra, NodeId};
 use cla_relational::TupleId;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -146,8 +146,13 @@ impl SteinerTree {
 ///
 /// `keyword_sets` holds, per keyword, the nodes whose tuples match it.
 /// Returns up to `opts.k` trees (all of them for `k: None`) ordered by
-/// ascending weight (ties broken by root id), deduplicated by node set.
-/// Empty if any keyword set is empty (conjunctive semantics).
+/// ascending weight (ties broken by the root's tuple id), deduplicated
+/// by node set. Empty if any keyword set is empty (conjunctive
+/// semantics). All tie-breaking — the Dijkstra forests', the candidate
+/// visit order's and the final sort's — keys on tuple ids rather than
+/// node ids, so the returned trees depend only on graph *content*: an
+/// incrementally patched [`DataGraph`] (different node numbering, same
+/// tuples and edges) yields exactly the trees a freshly built one does.
 ///
 /// Each keyword set's expansion is one **multi-source Dijkstra forest**
 /// ([`multi_source_dijkstra_csr`]): walking the parent chain from a root
@@ -173,7 +178,7 @@ pub fn banks_search(
 
     let runs: Vec<MultiSourceDijkstra> = keyword_sets
         .iter()
-        .map(|set| multi_source_dijkstra_csr(csr, set, weight_of))
+        .map(|set| multi_source_dijkstra_csr_by_key(csr, set, weight_of, |n| dg.tuple_of(n)))
         .collect();
 
     // Candidate roots: finite distance to every set, visited in
@@ -186,7 +191,9 @@ pub fn banks_search(
             total.is_finite().then_some((total, n))
         })
         .collect();
-    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    candidates.sort_by(|a, b| {
+        a.0.total_cmp(&b.0).then_with(|| dg.tuple_of(a.1).cmp(&dg.tuple_of(b.1)))
+    });
 
     if opts.k == Some(0) {
         return Vec::new();
@@ -259,7 +266,11 @@ pub fn banks_search(
             out.push(SteinerTree { root, nodes, edges, keyword_nodes, weight });
         }
     }
-    out.sort_by(|a, b| a.weight.total_cmp(&b.weight).then_with(|| a.root.cmp(&b.root)));
+    out.sort_by(|a, b| {
+        a.weight
+            .total_cmp(&b.weight)
+            .then_with(|| dg.tuple_of(a.root).cmp(&dg.tuple_of(b.root)))
+    });
     if let Some(k) = opts.k {
         out.truncate(k);
     }

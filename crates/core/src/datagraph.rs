@@ -9,8 +9,15 @@
 use crate::error::CoreError;
 use cla_er::{FkRole, SchemaMapping};
 use cla_graph::{CsrAdjacency, EdgeId, Graph, NodeId};
-use cla_relational::{Database, TupleId};
+use cla_relational::{ChangeSet, Database, TupleId};
 use std::collections::HashMap;
+
+/// Pending CSR edge edits tolerated before [`DataGraph::apply`] folds
+/// the patch overlay back into flat arrays (see
+/// [`CsrAdjacency::compact`]). Small enough that the overlay hash probe
+/// stays rare on the traversal hot path, large enough that a burst of
+/// single-tuple updates pays for one `O(V + E)` repack instead of many.
+const CSR_COMPACT_THRESHOLD: usize = 128;
 
 /// Edge payload: which foreign key produced the edge, and its conceptual
 /// role.
@@ -69,6 +76,163 @@ impl DataGraph {
         Ok(DataGraph { graph, csr, node_of, middle })
     }
 
+    /// Patch the graph in place with a batch of database mutations,
+    /// instead of rebuilding node maps, adjacency and CSR from scratch.
+    ///
+    /// * **Deletes** detach the tuple's node: every incident edge is
+    ///   removed from the graph and from the CSR (through its patch
+    ///   overlay), and the node is tombstoned. Incoming references
+    ///   cannot exist at delete time — the database enforces restrict
+    ///   semantics — so a deleted node's incident edges are exactly its
+    ///   own resolved references plus references from tuples deleted
+    ///   earlier in the same batch (already detached).
+    /// * **Inserts** append a node slot and resolve the tuple's
+    ///   references against `db` *at apply time* (the whole batch is
+    ///   present by then, so references to tuples inserted later in the
+    ///   batch resolve — the change-time snapshot in the log may lag).
+    ///   A reference that still dangles is reported as the same
+    ///   [`cla_relational::RelationalError::ForeignKeyViolation`] a full
+    ///   rebuild's validation would raise.
+    /// * Insert-then-delete pairs within the batch cancel.
+    ///
+    /// The CSR absorbs edits through its sparse overlay; once the edits
+    /// pending since the last fold exceed a threshold, the overlay is
+    /// compacted back into flat arrays (`O(V + E)`, amortized over many
+    /// updates — the *deferred rebuild*). Traversals are oblivious:
+    /// [`CsrAdjacency::neighbors`] consults the overlay transparently.
+    ///
+    /// Returns the ids of the edges added, so callers maintaining
+    /// edge-indexed side tables (the engine's cardinality table) can
+    /// extend them.
+    pub fn apply(
+        &mut self,
+        db: &Database,
+        mapping: &SchemaMapping,
+        changes: &ChangeSet,
+    ) -> Result<Vec<EdgeId>, CoreError> {
+        let net_ops = changes.net_ops();
+        // Phase 1: create every inserted tuple's node before wiring any
+        // edges, so an insert may reference a tuple inserted *later* in
+        // the same batch (references are validated lazily — batches can
+        // arrive in any relation order, like initial loads). Edge
+        // resolution below then always finds its target node: an edge
+        // can never point at a tuple deleted in the same batch (the
+        // delete would have been restricted by the live referencer).
+        for op in &net_ops {
+            if op.is_insert() {
+                let change = op.change();
+                let n = self.graph.add_node(change.id);
+                let csr_n = self.csr.push_node();
+                debug_assert_eq!(n, csr_n, "graph and CSR slots advance in lockstep");
+                self.node_of.insert(change.id, n);
+                self.middle.push(mapping.is_middle(change.id.relation));
+            }
+        }
+        // Phase 2: detach deletes. Deletes and inserts commute within a
+        // batch — a delete's incident edges are all pre-existing (an
+        // insert-added edge pointing at it would have restricted the
+        // delete, and inserted nodes were net-cancelled), so detaching
+        // first cannot drop an edge phase 3 is about to add.
+        for op in &net_ops {
+            if op.is_insert() {
+                continue;
+            }
+            let change = op.change();
+            let n = *self
+                .node_of
+                .get(&change.id)
+                .ok_or_else(|| CoreError::UnknownTuple(change.id.to_string()))?;
+            let incident = self.csr.neighbors(n).to_vec();
+            for &(m, e) in &incident {
+                self.graph.remove_edge(e);
+                if m != n {
+                    let adj_m: Vec<_> = self
+                        .csr
+                        .neighbors(m)
+                        .iter()
+                        .copied()
+                        .filter(|&(_, me)| me != e)
+                        .collect();
+                    self.csr.patch(m, adj_m, 1);
+                }
+            }
+            self.csr.patch(n, Vec::new(), incident.len());
+            self.graph.remove_node(n);
+            self.node_of.remove(&change.id);
+        }
+        // Phase 3: wire insert edges — each inserted node's own
+        // out-edges first (3a), every in-edge appended afterwards (3b),
+        // preserving a rebuilt CSR's per-node out-before-in layout even
+        // when a batch references a node inserted later in it. (Relative
+        // order *among* a pre-existing node's appended in-edges follows
+        // batch op order rather than the rebuild's relation-iteration
+        // order; every order-sensitive consumer therefore keys on graph
+        // content — tuple ids — not on adjacency position.)
+        let mut added_edges = Vec::new();
+        let mut in_patches: Vec<(NodeId, NodeId, EdgeId)> = Vec::new();
+        for op in net_ops {
+            if !op.is_insert() {
+                continue;
+            }
+            let change = op.change();
+            let rel = change.id.relation;
+            let n = self.node_of[&change.id];
+            let mut adj_n = self.csr.neighbors(n).to_vec();
+            let before = adj_n.len();
+            for fk_index in
+                0..db.catalog().relation(rel).map_or(0, |schema| schema.foreign_keys.len())
+            {
+                let Some(target) = db.fk_target(change.id, fk_index)? else {
+                    continue; // NULL reference
+                };
+                let role = mapping.fk_role(rel, fk_index).ok_or_else(|| {
+                    CoreError::MissingFkRole {
+                        relation: db
+                            .catalog()
+                            .relation(rel)
+                            .map(|s| s.name.clone())
+                            .unwrap_or_else(|| rel.to_string()),
+                        fk_index,
+                    }
+                })?;
+                let to = *self
+                    .node_of
+                    .get(&target)
+                    .ok_or_else(|| CoreError::UnknownTuple(target.to_string()))?;
+                let e = self.graph.add_edge(n, to, EdgeAnnotation { fk_index, role });
+                added_edges.push(e);
+                adj_n.push((to, e));
+                if to != n {
+                    in_patches.push((to, n, e));
+                } else {
+                    // A self-loop appears once in the CSR (matching
+                    // `incident_edges`), as the out-entry just pushed.
+                }
+            }
+            let edits = adj_n.len() - before;
+            if edits > 0 {
+                self.csr.patch(n, adj_n, edits);
+            }
+        }
+        for (to, n, e) in in_patches {
+            let mut adj_to = self.csr.neighbors(to).to_vec();
+            adj_to.push((n, e));
+            self.csr.patch(to, adj_to, 1);
+        }
+        if self.csr.pending_edits() >= CSR_COMPACT_THRESHOLD {
+            self.csr.compact();
+        }
+        Ok(added_edges)
+    }
+
+    /// Fold any pending CSR patches into flat arrays now, regardless of
+    /// the deferred-rebuild threshold (adjacency is unchanged; only its
+    /// storage moves). Exposed for tests and benchmarks that want to
+    /// measure or pin down both representations.
+    pub fn compact_csr(&mut self) {
+        self.csr.compact();
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &Graph<TupleId, EdgeAnnotation> {
         &self.graph
@@ -99,12 +263,20 @@ impl DataGraph {
         *self.graph.edge(e).payload
     }
 
-    /// Number of tuple nodes.
+    /// Number of tuple-node **slots** (live nodes plus tombstones left by
+    /// deletes) — the bound for node-indexed buffers. Equals the live
+    /// count on a graph that was never patched;
+    /// [`DataGraph::alive_node_count`] always counts live nodes.
     pub fn node_count(&self) -> usize {
         self.graph.node_count()
     }
 
-    /// Number of reference edges.
+    /// Number of live tuple nodes.
+    pub fn alive_node_count(&self) -> usize {
+        self.graph.alive_node_count()
+    }
+
+    /// Number of live reference edges.
     pub fn edge_count(&self) -> usize {
         self.graph.edge_count()
     }
@@ -171,6 +343,125 @@ mod tests {
                 dg.graph().incident_edges(n).map(|e| (e.other(n), e.id)).collect();
             assert_eq!(dg.csr().neighbors(n), expect.as_slice());
         }
+    }
+
+    /// Tuple-level adjacency view for rebuild-equivalence comparisons
+    /// (node numbering differs between a patched and a rebuilt graph, so
+    /// equivalence is stated on tuple ids and edge annotations).
+    fn tuple_adjacency(
+        db: &cla_relational::Database,
+        dg: &DataGraph,
+    ) -> Vec<(cla_relational::TupleId, Vec<(cla_relational::TupleId, usize)>)> {
+        let mut out: Vec<_> = db
+            .all_tuple_ids()
+            .map(|t| {
+                let n = dg.node_of(t).expect("live tuple has a node");
+                let mut adj: Vec<_> = dg
+                    .csr()
+                    .neighbors(n)
+                    .iter()
+                    .map(|&(m, e)| (dg.tuple_of(m), dg.annotation(e).fk_index))
+                    .collect();
+                adj.sort();
+                (t, adj)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn apply_matches_rebuild_on_insert_and_delete() {
+        let c = company();
+        let mut db = c.db.clone();
+        let mut dg = DataGraph::build(&db, &c.mapping).unwrap();
+        db.take_changes();
+
+        let dep = db.catalog().relation_id("DEPENDENT").unwrap();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        // New dependent referencing e1; delete the existing dependent t1.
+        db.insert(dep, vec!["t9".into(), "e1".into(), "Zoe".into()]).unwrap();
+        let t1 = c.tuple("t1").unwrap();
+        db.delete(t1).unwrap();
+        // Same-batch references in both orders: a dependent of an
+        // employee inserted earlier in the batch…
+        db.insert(emp, vec!["e9".into(), "New".into(), "Kid".into(), "d1".into()]).unwrap();
+        db.insert(dep, vec!["t10".into(), "e9".into(), "Ada".into()]).unwrap();
+        // …and a *forward* reference: a dependent inserted before the
+        // employee it references (legal — references validate lazily, so
+        // batches can arrive in any relation order like initial loads).
+        db.insert(dep, vec!["t11".into(), "e10".into(), "Bo".into()]).unwrap();
+        db.insert(emp, vec!["e10".into(), "Late".into(), "Arr".into(), "d1".into()]).unwrap();
+
+        let changes = db.take_changes();
+        dg.apply(&db, &c.mapping, &changes).unwrap();
+
+        let fresh = DataGraph::build(&db, &c.mapping).unwrap();
+        assert_eq!(tuple_adjacency(&db, &dg), tuple_adjacency(&db, &fresh));
+        assert_eq!(dg.alive_node_count(), fresh.alive_node_count());
+        assert_eq!(dg.edge_count(), fresh.edge_count());
+        assert!(dg.node_of(t1).is_none());
+
+        // Order-sensitive check the sorted comparison above would mask:
+        // e10 was *referenced* (by t11) before it was inserted, yet its
+        // patched adjacency must still list its own out-edge (→ d1)
+        // before the in-edge (← t11) — the rebuilt CSR's out-before-in
+        // per-node layout.
+        let e10 =
+            db.lookup_pk(emp, &[cla_relational::Value::from("e10")]).expect("e10 inserted");
+        let n_e10 = dg.node_of(e10).unwrap();
+        let neighbor_tuples: Vec<String> = dg
+            .csr()
+            .neighbors(n_e10)
+            .iter()
+            .map(|&(m, _)| {
+                let t = dg.tuple_of(m);
+                db.catalog().relation(t.relation).unwrap().name.clone()
+            })
+            .collect();
+        assert_eq!(
+            neighbor_tuples,
+            vec!["DEPARTMENT".to_owned(), "DEPENDENT".to_owned()],
+            "out-edge (department) must precede the forward in-edge (dependent)"
+        );
+
+        // Compaction folds the overlay without changing adjacency.
+        let before = tuple_adjacency(&db, &dg);
+        dg.compact_csr();
+        assert!(!dg.csr().has_pending_patches());
+        assert_eq!(tuple_adjacency(&db, &dg), before);
+    }
+
+    #[test]
+    fn apply_cancels_insert_then_delete() {
+        let c = company();
+        let mut db = c.db.clone();
+        let mut dg = DataGraph::build(&db, &c.mapping).unwrap();
+        db.take_changes();
+        let nodes_before = dg.node_count();
+
+        let dep = db.catalog().relation_id("DEPENDENT").unwrap();
+        let t = db.insert(dep, vec!["tz".into(), "e1".into(), "Ghost".into()]).unwrap();
+        db.delete(t).unwrap();
+        let changes = db.take_changes();
+        let added = dg.apply(&db, &c.mapping, &changes).unwrap();
+        assert!(added.is_empty());
+        assert_eq!(dg.node_count(), nodes_before, "cancelled pair adds no slots");
+        let fresh = DataGraph::build(&db, &c.mapping).unwrap();
+        assert_eq!(tuple_adjacency(&db, &dg), tuple_adjacency(&db, &fresh));
+    }
+
+    #[test]
+    fn apply_reports_dangling_insert() {
+        let c = company();
+        let mut db = c.db.clone();
+        let mut dg = DataGraph::build(&db, &c.mapping).unwrap();
+        db.take_changes();
+        let dep = db.catalog().relation_id("DEPENDENT").unwrap();
+        db.insert(dep, vec!["tz".into(), "e-nonexistent".into(), "Ghost".into()]).unwrap();
+        let changes = db.take_changes();
+        let err = dg.apply(&db, &c.mapping, &changes).unwrap_err();
+        assert!(matches!(err, CoreError::Relational(_)), "got {err:?}");
     }
 
     #[test]

@@ -180,11 +180,20 @@ impl RankScratch {
 }
 
 /// The deterministic final tie-break under any ranking strategy: the
-/// rendering string, then the node sequence (unique after dedup, making
-/// the full comparator a total order — a requirement for the streaming
-/// top-k mode to return exactly the batch pipeline's prefix).
-fn final_tiebreak(a: &RankedConnection, b: &RankedConnection) -> Ordering {
-    a.rendering.cmp(&b.rendering).then_with(|| a.connection.nodes().cmp(b.connection.nodes()))
+/// rendering string, then the **tuple** sequence (unique after dedup,
+/// making the full comparator a total order — a requirement for the
+/// streaming top-k mode to return exactly the batch pipeline's prefix).
+/// Tuples, not node ids: node numbering reflects insertion history on an
+/// incrementally patched graph, while tuple ids are stable — so a
+/// patched engine and a freshly rebuilt one order ties identically.
+fn final_tiebreak(a: &RankedConnection, b: &RankedConnection, dg: &DataGraph) -> Ordering {
+    a.rendering.cmp(&b.rendering).then_with(|| {
+        a.connection
+            .nodes()
+            .iter()
+            .map(|&n| dg.tuple_of(n))
+            .cmp(b.connection.nodes().iter().map(|&n| dg.tuple_of(n)))
+    })
 }
 
 /// FNV-1a, the dedup seen-set's hasher: the keys are short `NodeId`
@@ -208,16 +217,27 @@ impl std::hash::Hasher for Fnv1a {
     }
 }
 
-/// Orient every connection canonically (ascending endpoints) and keep
+/// The one canonical orientation rule: a connection runs from its
+/// smaller endpoint **tuple** to its larger (tuple ids, not node ids, so
+/// orientation survives node renumbering between a patched and a
+/// rebuilt graph). Shared by the batch dedup and the streaming top-k
+/// accumulator — both must pick identical representatives for the
+/// streamed prefix to equal the batch pipeline's.
+fn canonical_orient(c: Connection, dg: &DataGraph) -> Connection {
+    if dg.tuple_of(c.end()) < dg.tuple_of(c.start()) {
+        c.reversed()
+    } else {
+        c
+    }
+}
+
+/// Orient every connection canonically ([`canonical_orient`]) and keep
 /// the first occurrence of each node sequence, preserving order. The
 /// seen-set borrows the node slices instead of allocating a key per
 /// connection, and the compaction is in place.
-fn dedup_canonical(mut connections: Vec<Connection>) -> Vec<Connection> {
-    for c in &mut connections {
-        if c.end() < c.start() {
-            *c = c.reversed();
-        }
-    }
+fn dedup_canonical(connections: Vec<Connection>, dg: &DataGraph) -> Vec<Connection> {
+    let mut connections: Vec<Connection> =
+        connections.into_iter().map(|c| canonical_orient(c, dg)).collect();
     let mut keep = vec![false; connections.len()];
     {
         let mut seen: HashSet<&[NodeId], std::hash::BuildHasherDefault<Fnv1a>> =
@@ -239,13 +259,13 @@ fn dedup_canonical(mut connections: Vec<Connection>) -> Vec<Connection> {
 /// comparison plus [`final_tiebreak`] on key ties. Ordering is identical
 /// to `sort_by_strategy(.., final_tiebreak)`, just cheaper per
 /// comparison.
-fn sort_ranked(ranked: &mut Vec<RankedConnection>, strategy: RankStrategy) {
+fn sort_ranked(ranked: &mut Vec<RankedConnection>, strategy: RankStrategy, dg: &DataGraph) {
     let mut keyed: Vec<((u128, u64), RankedConnection)> =
         ranked.drain(..).map(|r| (strategy.sort_key(&r.info), r)).collect();
     keyed.sort_by(|a, b| {
         a.0.cmp(&b.0)
             .then_with(|| strategy.compare(&a.1.info, &b.1.info))
-            .then_with(|| final_tiebreak(&a.1, &b.1))
+            .then_with(|| final_tiebreak(&a.1, &b.1, dg))
     });
     ranked.extend(keyed.into_iter().map(|(_, r)| r));
 }
@@ -291,7 +311,14 @@ impl SearchResults {
     }
 }
 
-/// The keyword-search engine over one database snapshot.
+/// The keyword-search engine over one database.
+///
+/// The engine owns its database; mutate it through
+/// [`SearchEngine::db_mut`] and then call [`SearchEngine::apply`] to
+/// patch the inverted index, data graph, CSR and side tables in place —
+/// no rebuild. Until `apply` runs, [`SearchEngine::search`] refuses with
+/// [`CoreError::StaleEngine`] instead of silently answering from stale
+/// structures (dangling nodes, missing postings, wrong df counts).
 #[derive(Debug, Clone)]
 pub struct SearchEngine {
     db: Database,
@@ -301,20 +328,31 @@ pub struct SearchEngine {
     dg: DataGraph,
     aliases: HashMap<TupleId, String>,
     /// Per-edge owner→target RDB cardinality (`rdb_edge_cardinality`
-    /// evaluated once per edge), so converting enumerated paths into
-    /// connections never probes the schema.
+    /// evaluated once per edge slot), so converting enumerated paths
+    /// into connections never probes the schema. Indexed by
+    /// `EdgeId::index()`; extended by [`SearchEngine::apply`] as edges
+    /// are added (tombstoned slots keep their stale entry, which is
+    /// never read — traversals only surface live edges).
     edge_cards: Vec<Cardinality>,
+    /// The database version the index/graph structures reflect.
+    version: u64,
+    /// Set when an `apply` failed mid-patch; the engine then refuses
+    /// both searching and further applies (rebuild to recover).
+    poisoned: bool,
 }
 
 impl SearchEngine {
     /// Build the engine: validates referential integrity, constructs the
     /// inverted index and the data graph.
     pub fn new(
-        db: Database,
+        mut db: Database,
         er_schema: ErSchema,
         mapping: SchemaMapping,
     ) -> Result<Self, CoreError> {
         db.validate_references()?;
+        // The load-time change log is subsumed by the fresh build.
+        db.take_changes();
+        let version = db.version();
         let index = InvertedIndex::build(&db);
         let dg = DataGraph::build(&db, &mapping)?;
         let edge_cards = dg
@@ -330,6 +368,8 @@ impl SearchEngine {
             dg,
             aliases: HashMap::new(),
             edge_cards,
+            version,
+            poisoned: false,
         })
     }
 
@@ -337,6 +377,87 @@ impl SearchEngine {
     pub fn with_aliases(mut self, aliases: HashMap<TupleId, String>) -> Self {
         self.aliases = aliases;
         self
+    }
+
+    /// Mutable access to the owned database, for inserts and deletes.
+    /// Any mutation version-stamps the database ahead of the engine;
+    /// call [`SearchEngine::apply`] afterwards (searching meanwhile
+    /// returns [`CoreError::StaleEngine`]).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// `true` when the engine's structures reflect the database's
+    /// current version.
+    pub fn is_fresh(&self) -> bool {
+        !self.poisoned && self.version == self.db.version()
+    }
+
+    /// `true` when a previous [`SearchEngine::apply`] failed partway and
+    /// left the structures half-patched. A poisoned engine refuses both
+    /// searching and further applies with [`CoreError::EnginePoisoned`];
+    /// rebuild with [`SearchEngine::new`] to recover.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Drain the database's pending mutations and patch every derived
+    /// structure in place: inverted-index postings (insert-sorted,
+    /// df-consistent), data-graph nodes/adjacency with its deferred CSR
+    /// rebuild, and the per-edge cardinality table. After a successful
+    /// apply the engine answers exactly like a freshly built
+    /// [`SearchEngine::new`] over the mutated database — the
+    /// rebuild-equivalence property the mutation test suite pins down —
+    /// at per-tuple instead of whole-database cost.
+    ///
+    /// On error (e.g. a dangling reference that a full rebuild's
+    /// validation would also reject) the engine is **poisoned**: the
+    /// drained changes were partially applied, so searching and further
+    /// applies both fail fast with [`CoreError::EnginePoisoned`] rather
+    /// than serving (or stamping fresh) a half-patched state. Rebuild
+    /// with [`SearchEngine::new`] to recover.
+    pub fn apply(&mut self) -> Result<(), CoreError> {
+        if self.poisoned {
+            return Err(CoreError::EnginePoisoned);
+        }
+        let changes = self.db.take_changes();
+        // Every mutation logs exactly one op, so the log must account
+        // for the whole version delta. A shortfall means someone called
+        // `take_changes` on the engine's database directly — those ops
+        // are unrecoverable, and stamping the engine fresh anyway would
+        // silently serve results missing them.
+        let expected_ops = self.db.version() - self.version;
+        if changes.len() as u64 != expected_ops {
+            self.poisoned = true;
+            return Err(CoreError::ChangeLogDrained {
+                expected_ops,
+                found_ops: changes.len(),
+            });
+        }
+        self.index.apply(&self.db, &changes);
+        let added_edges = match self.dg.apply(&self.db, &self.mapping, &changes) {
+            Ok(added) => added,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+        // Extend the slot-indexed cardinality table with the edges the
+        // patch added (new edges occupy the next slots, in order).
+        for e in added_edges {
+            debug_assert_eq!(e.index(), self.edge_cards.len(), "edge slots are sequential");
+            let role = self.dg.annotation(e).role;
+            self.edge_cards.push(rdb_edge_cardinality(&self.er_schema, role));
+        }
+        self.version = self.db.version();
+        Ok(())
+    }
+
+    /// Fold any pending CSR patch overlay into flat arrays now, without
+    /// waiting for the deferred-rebuild threshold. Purely a storage
+    /// operation — adjacency (and therefore search output) is unchanged.
+    pub fn compact_csr(&mut self) {
+        self.dg.compact_csr();
     }
 
     /// The underlying database.
@@ -370,7 +491,14 @@ impl SearchEngine {
     }
 
     /// Tuples matching each keyword of `query`, in keyword order.
+    ///
+    /// Like every read path, answers from the engine's built structures:
+    /// after a [`SearchEngine::db_mut`] mutation the result reflects the
+    /// pre-mutation state until [`SearchEngine::apply`] runs
+    /// (debug-asserted; [`SearchEngine::search`] is the checked entry
+    /// point and refuses with [`CoreError::StaleEngine`]).
     pub fn keyword_matches(&self, query: &KeywordQuery) -> Vec<(String, Vec<TupleId>)> {
+        debug_assert!(self.is_fresh(), "keyword_matches on a stale engine — apply() first");
         query
             .keywords()
             .iter()
@@ -385,6 +513,7 @@ impl SearchEngine {
         query: &KeywordQuery,
         display_keywords: &[String],
     ) -> HashMap<NodeId, Vec<String>> {
+        debug_assert!(self.is_fresh(), "markers on a stale engine — apply() first");
         let keyword_tuples: Vec<Vec<TupleId>> =
             query.keywords().iter().map(|kw| self.index.matching_tuples(kw)).collect();
         self.markers_from_matches(query, &keyword_tuples, display_keywords)
@@ -414,8 +543,14 @@ impl SearchEngine {
 
     /// The connection following exactly the given tuple sequence, if the
     /// corresponding foreign-key path exists. Used by the experiment
-    /// harness to address the paper's connections 1–9 by name.
+    /// harness to address the paper's connections 1–9 by name. Answers
+    /// from the built structures — stale after an un-applied mutation
+    /// (debug-asserted; see [`SearchEngine::apply`]).
     pub fn connection_following(&self, tuples: &[TupleId]) -> Option<Connection> {
+        debug_assert!(
+            self.is_fresh(),
+            "connection_following on a stale engine — apply() first"
+        );
         let want: Option<Vec<NodeId>> = tuples.iter().map(|&t| self.dg.node_of(t)).collect();
         let want = want?;
         if want.is_empty() {
@@ -438,6 +573,10 @@ impl SearchEngine {
     }
 
     /// Compute the ranking metrics of a connection for a query.
+    ///
+    /// Reads postings/df and graph annotations from the built
+    /// structures — stale after an un-applied mutation (debug-asserted;
+    /// [`SearchEngine::search`] is the checked entry point).
     pub fn connection_info(
         &self,
         conn: &Connection,
@@ -445,6 +584,7 @@ impl SearchEngine {
         compute_instance: bool,
         max_witness_length: usize,
     ) -> ConnectionInfo {
+        debug_assert!(self.is_fresh(), "connection_info on a stale engine — apply() first");
         let text_score = conn
             .nodes()
             .iter()
@@ -618,11 +758,26 @@ impl SearchEngine {
     }
 
     /// Run a keyword search.
+    ///
+    /// Fails with [`CoreError::StaleEngine`] when the database was
+    /// mutated (through [`SearchEngine::db_mut`]) without a subsequent
+    /// [`SearchEngine::apply`] — searching stale structures would return
+    /// silently wrong results (dangling or missing nodes, stale postings
+    /// and cardinalities), so the engine refuses instead.
     pub fn search(
         &self,
         raw_query: &str,
         options: &SearchOptions,
     ) -> Result<SearchResults, CoreError> {
+        if self.poisoned {
+            return Err(CoreError::EnginePoisoned);
+        }
+        if !self.is_fresh() {
+            return Err(CoreError::StaleEngine {
+                engine_version: self.version,
+                db_version: self.db.version(),
+            });
+        }
         let query = KeywordQuery::parse(raw_query);
         if query.is_empty() {
             return Err(CoreError::InvalidQuery("query has no keywords".into()));
@@ -768,7 +923,7 @@ impl SearchEngine {
         }
 
         // Canonical orientation + dedup.
-        let mut unique = dedup_canonical(connections);
+        let mut unique = dedup_canonical(connections, &self.dg);
 
         // Optional MTJNT post-filter.
         if options.mtjnt_only {
@@ -785,7 +940,7 @@ impl SearchEngine {
         // are shared across connections with equal endpoints (per
         // worker).
         let mut ranked = self.rank_stage(unique, &ctx, threads);
-        sort_ranked(&mut ranked, options.ranker);
+        sort_ranked(&mut ranked, options.ranker, &self.dg);
         // One k-budget shared across connections and trees: ranked
         // connections first, the remainder to branching answer trees.
         if let Some(k) = options.k {
@@ -837,7 +992,7 @@ impl SearchEngine {
                           conns: Vec<Connection>| {
             let mut fresh: Vec<Connection> = conns
                 .into_iter()
-                .map(|c| if c.end() < c.start() { c.reversed() } else { c })
+                .map(|c| canonical_orient(c, &self.dg))
                 .filter(|c| seen.insert(c.nodes().to_vec()))
                 .collect();
             if let Some(kw) = &kw_sets {
@@ -852,7 +1007,7 @@ impl SearchEngine {
                 }
                 None => acc.extend(self.rank_stage(fresh, ctx, threads)),
             }
-            sort_ranked(acc, options.ranker);
+            sort_ranked(acc, options.ranker, &self.dg);
             acc.truncate(k);
         };
 
@@ -1071,15 +1226,19 @@ impl SearchEngine {
             *degree.entry(a).or_insert(0) += 1;
             *degree.entry(b).or_insert(0) += 1;
         }
-        let endpoints: Vec<NodeId> =
+        // Endpoint choice is deterministic in graph *content*: sort by
+        // tuple id (HashMap iteration order and node numbering both vary
+        // across patched vs rebuilt engines).
+        let mut endpoints: Vec<NodeId> =
             degree.iter().filter(|(_, &d)| d == 1).map(|(&n, _)| n).collect();
+        endpoints.sort_by_key(|&n| self.dg.tuple_of(n));
         let first_set: HashSet<NodeId> =
             match_sets.first().map(|s| s.iter().copied().collect()).unwrap_or_default();
         let start = endpoints
             .iter()
             .copied()
             .find(|n| first_set.contains(n))
-            .or_else(|| endpoints.iter().copied().min())?;
+            .or_else(|| endpoints.first().copied())?;
         let (nodes, edges) = tree.linearize(start)?;
         let path = Path { nodes, edges };
         Some(Connection::from_path(&path, &self.dg, &self.er_schema))
@@ -1113,7 +1272,13 @@ impl SearchEngine {
         if network.iter().any(|n| adj.get(n).map_or(0, Vec::len) > 2) {
             return None;
         }
-        let start = endpoints[0].min(endpoints[1]);
+        // Orient from the endpoint with the smaller tuple id (stable
+        // across node renumbering).
+        let start = if self.dg.tuple_of(endpoints[0]) <= self.dg.tuple_of(endpoints[1]) {
+            endpoints[0]
+        } else {
+            endpoints[1]
+        };
         let mut nodes = vec![start];
         let mut edges = Vec::new();
         let mut prev: Option<NodeId> = None;
@@ -1137,15 +1302,26 @@ impl SearchEngine {
         kw_sets: &[HashSet<NodeId>],
     ) -> Option<SteinerTree> {
         let csr = self.dg.csr();
-        let root = *network.iter().next()?;
-        // Spanning tree of the induced subgraph via BFS.
+        let root = network.iter().copied().min_by_key(|&n| self.dg.tuple_of(n))?;
+        // Spanning tree of the induced subgraph via BFS. Neighbors are
+        // visited in tuple order, not CSR position: adjacency-list
+        // position differs between a patched and a rebuilt graph, and
+        // which cycle edge the spanning tree drops must not.
         let mut edges = Vec::new();
         let mut seen: HashSet<NodeId> = [root].into();
         let mut queue = std::collections::VecDeque::from([root]);
         let mut nodes = vec![root];
         while let Some(n) = queue.pop_front() {
-            for &(m, e) in csr.neighbors(n) {
-                if network.contains(&m) && seen.insert(m) {
+            let mut adjacent: Vec<(NodeId, cla_graph::EdgeId)> = csr
+                .neighbors(n)
+                .iter()
+                .copied()
+                .filter(|&(m, _)| m != n && network.contains(&m))
+                .collect();
+            adjacent
+                .sort_by_key(|&(m, e)| (self.dg.tuple_of(m), self.dg.annotation(e).fk_index));
+            for (m, e) in adjacent {
+                if seen.insert(m) {
                     edges.push((e, n, m));
                     nodes.push(m);
                     queue.push_back(m);
@@ -1428,6 +1604,119 @@ mod tests {
         let e = engine();
         let results = e.search("Smith XML", &SearchOptions::default()).unwrap();
         assert_eq!(results.display_keywords, vec!["Smith", "XML"]);
+    }
+
+    #[test]
+    fn stale_engine_refuses_to_search_until_applied() {
+        let mut e = engine();
+        assert!(e.is_fresh());
+        let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
+            .unwrap();
+        assert!(!e.is_fresh());
+        let err = e.search("Smith XML", &SearchOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::StaleEngine { .. }), "got {err:?}");
+        e.apply().unwrap();
+        assert!(e.is_fresh());
+        let results = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        // The new Smith in d1 contributes (at least) the immediate
+        // d1(XML) – e9 connection.
+        assert!(
+            results.connections.iter().any(|r| r.rendering == "d1(XML) – R1#4(Smith)"),
+            "freshly inserted tuple must be searchable: {:#?}",
+            results.connections.iter().map(|r| &r.rendering).collect::<Vec<_>>()
+        );
+    }
+
+    /// After a batch of inserts and deletes, the patched engine must
+    /// answer exactly like an engine rebuilt from scratch — for every
+    /// algorithm.
+    #[test]
+    fn apply_matches_rebuild_end_to_end() {
+        let c = company();
+        let mut e = SearchEngine::new(c.db.clone(), c.er_schema.clone(), c.mapping.clone())
+            .unwrap()
+            .with_aliases(c.aliases.clone());
+        let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
+        let wf = e.db().catalog().relation_id("WORKS_FOR").unwrap();
+        // New Smith employee in d2, working on p1; remove w_f2 (e2–p3).
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Ada".into(), "d2".into()])
+            .unwrap();
+        e.db_mut().insert(wf, vec!["e9".into(), "p1".into(), 12i64.into()]).unwrap();
+        e.db_mut().delete(c.tuple("w_f2").unwrap()).unwrap();
+        e.apply().unwrap();
+
+        let rebuilt =
+            SearchEngine::new(e.db().clone(), c.er_schema.clone(), c.mapping.clone())
+                .unwrap()
+                .with_aliases(c.aliases.clone());
+        for algorithm in [Algorithm::Paths, Algorithm::Banks, Algorithm::Discover] {
+            let opts = SearchOptions { algorithm, ..Default::default() };
+            let a = e.search("Smith XML", &opts).unwrap();
+            let b = rebuilt.search("Smith XML", &opts).unwrap();
+            let ra: Vec<(&str, &str)> = a
+                .connections
+                .iter()
+                .map(|r| (r.rendering.as_str(), r.explanation.as_str()))
+                .collect();
+            let rb: Vec<(&str, &str)> = b
+                .connections
+                .iter()
+                .map(|r| (r.rendering.as_str(), r.explanation.as_str()))
+                .collect();
+            assert_eq!(ra, rb, "{algorithm:?}");
+            for (x, y) in a.connections.iter().zip(&b.connections) {
+                assert_eq!(x.info, y.info, "{algorithm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn externally_drained_change_log_is_detected() {
+        let mut e = engine();
+        let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
+            .unwrap();
+        // A caller draining the log directly would leave apply() with
+        // nothing to patch; stamping the engine fresh anyway would
+        // silently drop the insert — so apply must refuse.
+        let stolen = e.db_mut().take_changes();
+        assert_eq!(stolen.len(), 1);
+        let err = e.apply().unwrap_err();
+        assert!(
+            matches!(err, CoreError::ChangeLogDrained { expected_ops: 1, found_ops: 0 }),
+            "got {err:?}"
+        );
+        // The engine stays unusable, and says so distinctly (rebuild is
+        // the recovery path — retrying apply would spin forever if the
+        // error still read as merely stale).
+        assert!(!e.is_fresh());
+        assert!(e.is_poisoned());
+        assert!(matches!(
+            e.search("Smith XML", &SearchOptions::default()),
+            Err(CoreError::EnginePoisoned)
+        ));
+    }
+
+    #[test]
+    fn failed_apply_poisons_the_engine() {
+        let mut e = engine();
+        let dep = e.db().catalog().relation_id("DEPENDENT").unwrap();
+        // Dangling ESSN: the patch must fail like a rebuild's validation.
+        e.db_mut().insert(dep, vec!["t9".into(), "e-missing".into(), "X".into()]).unwrap();
+        assert!(e.apply().is_err());
+        assert!(!e.is_fresh());
+        assert!(e.is_poisoned());
+        assert!(matches!(
+            e.search("Smith XML", &SearchOptions::default()),
+            Err(CoreError::EnginePoisoned)
+        ));
+        // Further applies refuse distinctly too — a retry-on-stale loop
+        // must not spin; rebuild is the recovery path.
+        assert!(matches!(e.apply(), Err(CoreError::EnginePoisoned)));
     }
 
     #[test]

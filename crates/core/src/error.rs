@@ -19,6 +19,32 @@ pub enum CoreError {
     InvalidQuery(String),
     /// Wrapped relational error.
     Relational(String),
+    /// The database was mutated after the engine's index and data graph
+    /// were built (or last patched); searching would silently return
+    /// wrong results. Call `SearchEngine::apply` to patch the engine up
+    /// to the database's current version.
+    StaleEngine {
+        /// The database version the engine structures reflect.
+        engine_version: u64,
+        /// The database's current version.
+        db_version: u64,
+    },
+    /// The database's change log no longer accounts for every mutation
+    /// since the engine last synced — someone called
+    /// `Database::take_changes` on the engine's database directly, so
+    /// the drained operations can never be patched in. Rebuild the
+    /// engine to recover.
+    ChangeLogDrained {
+        /// Mutations since the engine's last sync (version delta).
+        expected_ops: u64,
+        /// Operations actually present in the log.
+        found_ops: usize,
+    },
+    /// A previous `SearchEngine::apply` failed partway, leaving the
+    /// engine's structures half-patched. Unlike
+    /// [`CoreError::StaleEngine`], another `apply` cannot recover —
+    /// rebuild the engine with `SearchEngine::new`.
+    EnginePoisoned,
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +57,21 @@ impl fmt::Display for CoreError {
             CoreError::UnknownTuple(t) => write!(f, "tuple {t} is not in the data graph"),
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             CoreError::Relational(msg) => write!(f, "relational error: {msg}"),
+            CoreError::StaleEngine { engine_version, db_version } => write!(
+                f,
+                "stale engine: database is at version {db_version} but the engine reflects \
+                 version {engine_version} — call SearchEngine::apply before searching"
+            ),
+            CoreError::ChangeLogDrained { expected_ops, found_ops } => write!(
+                f,
+                "change log drained externally: {expected_ops} mutations since the last \
+                 sync but only {found_ops} logged operations remain — rebuild the engine"
+            ),
+            CoreError::EnginePoisoned => write!(
+                f,
+                "engine poisoned by a failed apply (structures are half-patched) — \
+                 rebuild it with SearchEngine::new"
+            ),
         }
     }
 }

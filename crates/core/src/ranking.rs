@@ -161,49 +161,57 @@ impl RankStrategy {
     /// fields get 32 bits each in the `u128`: a connection is a simple
     /// path over `u32` node ids, so its RDB length (and a fortiori ER
     /// length and N:M count) is always below `u32::MAX` and the packing
-    /// is exact for every representable connection (debug-asserted;
-    /// hand-built infos beyond that clamp).
+    /// is exact for every representable connection.
+    ///
+    /// Hand-built infos beyond that bound degrade *gracefully* rather
+    /// than panicking or mis-sorting: fields saturate **stickily** at
+    /// `u32::MAX` — once one field clamps, every lower-priority field
+    /// and the text component collapse to constants. Two keys that
+    /// differ then always order exactly like `compare` (the clamped
+    /// field itself still resolves consistently against any exact
+    /// value), and keys that collide fall back to the full comparator
+    /// (every key consumer chains `.then_with(compare)`), which reads
+    /// the unclamped fields and keeps the total order correct at and
+    /// beyond the boundary — property-tested in
+    /// `saturated_sort_keys_stay_consistent`. Without the stickiness a
+    /// plain per-field clamp would let the packed *text* bits decide
+    /// between two connections whose distinct lengths clamped equal —
+    /// contradicting the comparator.
     pub fn sort_key(&self, info: &ConnectionInfo) -> (u128, u64) {
-        fn field(x: usize) -> u128 {
-            debug_assert!(
-                x < u32::MAX as usize,
-                "connection metrics exceed u32 — not reachable from a simple path"
-            );
-            x.min(u32::MAX as usize) as u128
+        const CAP: usize = u32::MAX as usize;
+        /// Pack `fields` (priority order, 32 bits each) with sticky
+        /// saturation; returns the packed word and whether anything
+        /// clamped.
+        fn pack(fields: &[usize]) -> (u128, bool) {
+            let mut acc = 0u128;
+            let mut saturated = false;
+            for &f in fields {
+                saturated |= f >= CAP;
+                acc = acc << 32 | if saturated { CAP as u128 } else { f as u128 };
+            }
+            (acc, saturated)
         }
         // Ties on every strategy break toward *higher* text scores.
-        let text_desc = !f64_sort_bits_asc(info.text_score);
+        let keyed = |(packed, saturated): (u128, bool)| {
+            (packed, if saturated { 0 } else { !f64_sort_bits_asc(info.text_score) })
+        };
         match self {
-            RankStrategy::RdbLength => (field(info.rdb_length), text_desc),
-            RankStrategy::ErLength => {
-                (field(info.er_length) << 32 | field(info.rdb_length), text_desc)
-            }
+            RankStrategy::RdbLength => keyed(pack(&[info.rdb_length])),
+            RankStrategy::ErLength => keyed(pack(&[info.er_length, info.rdb_length])),
             RankStrategy::CloseFirst => {
                 let close = match info.closeness {
-                    Closeness::Close => 0u128,
+                    Closeness::Close => 0usize,
                     Closeness::Loose => 1,
                 };
-                (
-                    close << 96
-                        | field(info.nm_count) << 64
-                        | field(info.er_length) << 32
-                        | field(info.rdb_length),
-                    text_desc,
-                )
+                keyed(pack(&[close, info.nm_count, info.er_length, info.rdb_length]))
             }
             RankStrategy::InstanceCloseFirst => {
                 let eff = match (info.closeness, info.instance_close) {
-                    (Closeness::Close, _) => 0u128,
+                    (Closeness::Close, _) => 0usize,
                     (Closeness::Loose, Some(true)) => 1,
                     (Closeness::Loose, _) => 2,
                 };
-                (
-                    eff << 96
-                        | field(info.nm_count) << 64
-                        | field(info.er_length) << 32
-                        | field(info.rdb_length),
-                    text_desc,
-                )
+                keyed(pack(&[eff, info.nm_count, info.er_length, info.rdb_length]))
             }
             RankStrategy::Combined { structure_weight } => {
                 let loose = if info.closeness == Closeness::Loose { 1.5 } else { 0.0 };
@@ -380,6 +388,65 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// Saturation boundary (fields at, around and far beyond
+    /// `u32::MAX`): packed keys must never *contradict* the comparator,
+    /// and the engine's actual sort chain — key, then comparator — must
+    /// produce exactly the comparator's total order.
+    #[test]
+    fn saturated_sort_keys_stay_consistent() {
+        use Cardinality as C;
+        let max = u32::MAX as usize;
+        let mut pool: Vec<ConnectionInfo> = Vec::new();
+        for &len in &[0usize, 1, max - 1, max, max + 1, max * 2 + 7, usize::MAX / 2] {
+            pool.push(info(len, len.div_ceil(2).max(1), &[C::ONE_TO_MANY], 0.0, Some(true)));
+            pool.push(info(len, len.max(1), &[C::MANY_TO_MANY], 1.5, Some(false)));
+        }
+        // N:M count at the boundary too.
+        let mut nm_heavy = info(max + 3, max + 3, &[C::MANY_TO_MANY], 0.0, None);
+        nm_heavy.nm_count = max + 2;
+        pool.push(nm_heavy);
+        for strat in [
+            RankStrategy::RdbLength,
+            RankStrategy::ErLength,
+            RankStrategy::CloseFirst,
+            RankStrategy::InstanceCloseFirst,
+            RankStrategy::Combined { structure_weight: 1.0 },
+        ] {
+            // Pairwise: keys either agree with compare or tie (and a tie
+            // defers to compare in every consumer).
+            for a in &pool {
+                for b in &pool {
+                    let (ka, kb) = (strat.sort_key(a), strat.sort_key(b));
+                    if ka != kb {
+                        assert_eq!(
+                            ka.cmp(&kb),
+                            strat.compare(a, b),
+                            "{} keys contradict compare on {a:?} vs {b:?}",
+                            strat.name()
+                        );
+                    }
+                }
+            }
+            // End to end: the key-then-comparator chain (the engine's
+            // `sort_ranked` shape) equals the comparator-only sort.
+            let tiebreak =
+                |x: &ConnectionInfo, y: &ConnectionInfo| x.rdb_length.cmp(&y.rdb_length);
+            let mut by_chain = pool.clone();
+            by_chain.sort_by(|a, b| {
+                strat
+                    .sort_key(a)
+                    .cmp(&strat.sort_key(b))
+                    .then_with(|| strat.compare(a, b))
+                    .then_with(|| tiebreak(a, b))
+            });
+            let mut by_compare = pool.clone();
+            by_compare.sort_by(|a, b| strat.compare(a, b).then_with(|| tiebreak(a, b)));
+            let lens =
+                |v: &[ConnectionInfo]| v.iter().map(|i| i.rdb_length).collect::<Vec<_>>();
+            assert_eq!(lens(&by_chain), lens(&by_compare), "{}", strat.name());
         }
     }
 

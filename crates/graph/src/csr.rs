@@ -12,16 +12,34 @@
 //! in insertion order, then in-edges excluding self-loops), so CSR-based
 //! traversals visit edges in the same order as the adjacency-list based
 //! ones and produce identical results.
+//!
+//! ## Incremental edits
+//!
+//! A CSR's flat arrays are cheap to read and expensive to splice, so
+//! mutations go through a sparse **overlay**: [`CsrAdjacency::patch`]
+//! records a node's replacement adjacency in a side map consulted by
+//! [`CsrAdjacency::neighbors`] before the flat arrays (one branch on the
+//! hot path while the overlay is empty). Each patch counts its edge
+//! edits into [`CsrAdjacency::pending_edits`]; when the count crosses a
+//! caller-chosen threshold, [`CsrAdjacency::compact`] folds the overlay
+//! back into freshly packed flat arrays in `O(V + E)` — the *deferred
+//! rebuild* that amortizes CSR reconstruction over many small updates.
 
 use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::HashMap;
 
-/// Immutable flat adjacency of the undirected view of a [`Graph`].
+/// Flat adjacency of the undirected view of a [`Graph`], with a sparse
+/// patch overlay for incremental edits.
 #[derive(Debug, Clone)]
 pub struct CsrAdjacency {
     /// `offsets[n]..offsets[n + 1]` indexes `neighbors` for node `n`.
     offsets: Vec<u32>,
     /// `(other endpoint, edge)` pairs, grouped by node.
     neighbors: Vec<(NodeId, EdgeId)>,
+    /// Overlay: nodes whose adjacency diverged from the flat arrays.
+    patched: HashMap<u32, Vec<(NodeId, EdgeId)>>,
+    /// Edge edits accumulated since the last compaction.
+    pending_edits: usize,
 }
 
 impl CsrAdjacency {
@@ -38,18 +56,24 @@ impl CsrAdjacency {
             }
             offsets.push(neighbors.len() as u32);
         }
-        CsrAdjacency { offsets, neighbors }
+        CsrAdjacency { offsets, neighbors, patched: HashMap::new(), pending_edits: 0 }
     }
 
-    /// Number of nodes.
+    /// Number of node slots.
     pub fn node_count(&self) -> usize {
         self.offsets.len() - 1
     }
 
     /// The `(neighbor, edge)` pairs incident to `n`, in
-    /// [`Graph::incident_edges`] order.
+    /// [`Graph::incident_edges`] order. Patched nodes read from the
+    /// overlay; everything else from the flat arrays.
     #[inline]
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        if !self.patched.is_empty() {
+            if let Some(list) = self.patched.get(&(n.index() as u32)) {
+                return list;
+            }
+        }
         let lo = self.offsets[n.index()] as usize;
         let hi = self.offsets[n.index() + 1] as usize;
         &self.neighbors[lo..hi]
@@ -58,6 +82,56 @@ impl CsrAdjacency {
     /// Undirected degree of `n` (self-loops count once).
     pub fn degree(&self, n: NodeId) -> usize {
         self.neighbors(n).len()
+    }
+
+    /// Append one node slot with empty adjacency (mirrors
+    /// [`Graph::add_node`]). Cheap: extends the offset array only.
+    pub fn push_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count() as u32);
+        self.offsets.push(*self.offsets.last().expect("offsets are never empty"));
+        id
+    }
+
+    /// Replace node `n`'s adjacency through the overlay, accounting
+    /// `edits` edge edits (additions + removals) toward the deferred
+    /// compaction threshold.
+    pub fn patch(&mut self, n: NodeId, adjacency: Vec<(NodeId, EdgeId)>, edits: usize) {
+        assert!(n.index() < self.node_count(), "patch of unknown node {n}");
+        self.patched.insert(n.index() as u32, adjacency);
+        self.pending_edits += edits;
+    }
+
+    /// Edge edits accumulated since the last [`CsrAdjacency::compact`]
+    /// (0 while the overlay is empty).
+    pub fn pending_edits(&self) -> usize {
+        self.pending_edits
+    }
+
+    /// `true` while any node reads from the overlay.
+    pub fn has_pending_patches(&self) -> bool {
+        !self.patched.is_empty()
+    }
+
+    /// Fold the overlay into freshly packed flat arrays (`O(V + E)`),
+    /// clearing the patch map and the pending-edit counter. Neighbor
+    /// lists are unchanged — only their storage moves, so traversal
+    /// results are identical before and after.
+    pub fn compact(&mut self) {
+        if self.patched.is_empty() {
+            self.pending_edits = 0;
+            return;
+        }
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        let mut neighbors = Vec::with_capacity(self.neighbors.len());
+        offsets.push(0);
+        for n in 0..self.node_count() {
+            neighbors.extend_from_slice(self.neighbors(NodeId(n as u32)));
+            offsets.push(neighbors.len() as u32);
+        }
+        self.offsets = offsets;
+        self.neighbors = neighbors;
+        self.patched.clear();
+        self.pending_edits = 0;
     }
 }
 
@@ -119,5 +193,58 @@ mod tests {
         let csr = CsrAdjacency::build(&g);
         assert_eq!(csr.node_count(), 1);
         assert!(csr.neighbors(a).is_empty());
+    }
+
+    #[test]
+    fn patch_overlays_and_compact_folds_in() {
+        let (g, ns) = diamond();
+        let mut csr = CsrAdjacency::build(&g);
+        let (a, b) = (ns[0], ns[1]);
+        // Drop the a–b edge from both endpoints through the overlay.
+        let ab = csr.neighbors(a).iter().find(|(m, _)| *m == b).unwrap().1;
+        let new_a: Vec<_> =
+            csr.neighbors(a).iter().copied().filter(|&(_, e)| e != ab).collect();
+        let new_b: Vec<_> =
+            csr.neighbors(b).iter().copied().filter(|&(_, e)| e != ab).collect();
+        csr.patch(a, new_a.clone(), 1);
+        csr.patch(b, new_b.clone(), 1);
+        assert!(csr.has_pending_patches());
+        assert_eq!(csr.pending_edits(), 2);
+        assert_eq!(csr.neighbors(a), new_a.as_slice());
+        assert_eq!(csr.neighbors(b), new_b.as_slice());
+        // Unpatched nodes still read the flat arrays.
+        assert_eq!(csr.degree(ns[3]), 2);
+
+        let before: Vec<Vec<(NodeId, EdgeId)>> =
+            g.nodes().map(|n| csr.neighbors(n).to_vec()).collect();
+        csr.compact();
+        assert!(!csr.has_pending_patches());
+        assert_eq!(csr.pending_edits(), 0);
+        let after: Vec<Vec<(NodeId, EdgeId)>> =
+            g.nodes().map(|n| csr.neighbors(n).to_vec()).collect();
+        assert_eq!(before, after, "compaction must not change adjacency");
+    }
+
+    #[test]
+    fn push_node_extends_with_empty_adjacency() {
+        let (g, _) = diamond();
+        let mut csr = CsrAdjacency::build(&g);
+        let n = csr.push_node();
+        assert_eq!(n.index(), 4);
+        assert_eq!(csr.node_count(), 5);
+        assert!(csr.neighbors(n).is_empty());
+        // Patching the fresh node works like any other.
+        csr.patch(n, vec![(NodeId(0), EdgeId(99))], 1);
+        assert_eq!(csr.degree(n), 1);
+        csr.compact();
+        assert_eq!(csr.neighbors(n), &[(NodeId(0), EdgeId(99))]);
+    }
+
+    #[test]
+    fn compact_on_clean_csr_is_a_noop() {
+        let (g, ns) = diamond();
+        let mut csr = CsrAdjacency::build(&g);
+        csr.compact();
+        assert_eq!(csr.degree(ns[0]), 2);
     }
 }

@@ -174,18 +174,45 @@ pub fn multi_source_dijkstra_csr<W>(
 where
     W: Fn(EdgeId) -> f64,
 {
+    multi_source_dijkstra_csr_by_key(csr, sources, weight, |n| n)
+}
+
+/// [`multi_source_dijkstra_csr`] with equal-distance heap ties broken by
+/// `key(node)` instead of the raw node id.
+///
+/// Distances are tie-independent; **parent chains are not** — the
+/// first-processed node at a given distance claims parenthood of its
+/// unreached neighbors. On a graph that was patched incrementally, node
+/// ids reflect insertion history, so id-based ties would pick different
+/// (equally short) chains than on a freshly rebuilt graph. Keying the
+/// ties by a stable external identity (the data graph passes the node's
+/// `TupleId`) makes the forest — and everything assembled from it —
+/// depend only on graph *content*, which is what the patched ≡ rebuilt
+/// equivalence property needs. Nodes tying on `key` too fall back to the
+/// node id.
+pub fn multi_source_dijkstra_csr_by_key<W, K, F>(
+    csr: &CsrAdjacency,
+    sources: &[NodeId],
+    weight: W,
+    key: F,
+) -> MultiSourceDijkstra
+where
+    W: Fn(EdgeId) -> f64,
+    K: Ord + Copy,
+    F: Fn(NodeId) -> K,
+{
     let mut dist = vec![f64::INFINITY; csr.node_count()];
     let mut parent = vec![None; csr.node_count()];
     let mut origin: Vec<Option<NodeId>> = vec![None; csr.node_count()];
-    let mut heap = BinaryHeap::new();
+    let mut heap: BinaryHeap<KeyedEntry<K>> = BinaryHeap::new();
     for &s in sources {
         if origin[s.index()].is_none() {
             dist[s.index()] = 0.0;
             origin[s.index()] = Some(s);
-            heap.push(HeapEntry { dist: 0.0, node: s });
+            heap.push(KeyedEntry { dist: 0.0, key: key(s), node: s });
         }
     }
-    while let Some(HeapEntry { dist: d, node: n }) = heap.pop() {
+    while let Some(KeyedEntry { dist: d, node: n, .. }) = heap.pop() {
         if d > dist[n.index()] {
             continue; // stale entry
         }
@@ -197,11 +224,40 @@ where
                 dist[m.index()] = nd;
                 parent[m.index()] = Some((n, e));
                 origin[m.index()] = origin[n.index()];
-                heap.push(HeapEntry { dist: nd, node: m });
+                heap.push(KeyedEntry { dist: nd, key: key(m), node: m });
             }
         }
     }
     MultiSourceDijkstra { dist, parent, origin }
+}
+
+/// Max-heap entry ordered by reversed `(dist, key, node)` (so the heap
+/// pops the minimum, ties broken by the external key first).
+struct KeyedEntry<K> {
+    dist: f64,
+    key: K,
+    node: NodeId,
+}
+
+impl<K: Ord> PartialEq for KeyedEntry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<K: Ord> Eq for KeyedEntry<K> {}
+impl<K: Ord> PartialOrd for KeyedEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord> Ord for KeyedEntry<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.node.cmp(&self.node))
+    }
 }
 
 /// Dijkstra over a CSR adjacency (always the undirected view — the CSR

@@ -72,21 +72,37 @@ impl<'g, E> EdgeRef<'g, E> {
 /// Parallel edges and self-loops are permitted; the keyword-search data
 /// graph uses parallel edges when two different foreign keys connect the
 /// same pair of tuples.
+///
+/// Removal is by tombstone: [`Graph::remove_edge`] and
+/// [`Graph::remove_node`] detach the element from every adjacency list
+/// but keep its slot (payload included), so ids stay stable and dense
+/// arrays indexed by `id.index()` keep working. [`Graph::node_count`] and
+/// [`Graph::edge_slots`] count **slots** (for buffer sizing);
+/// [`Graph::edge_count`] and [`Graph::alive_node_count`] count live
+/// elements. Slots are never reused.
 #[derive(Debug, Clone)]
 pub struct Graph<N, E> {
     nodes: Vec<N>,
+    node_alive: Vec<bool>,
     edges: Vec<EdgeRecord<E>>,
+    edge_alive: Vec<bool>,
     out_edges: Vec<Vec<EdgeId>>,
     in_edges: Vec<Vec<EdgeId>>,
+    live_nodes: usize,
+    live_edges: usize,
 }
 
 impl<N, E> Default for Graph<N, E> {
     fn default() -> Self {
         Graph {
             nodes: Vec::new(),
+            node_alive: Vec::new(),
             edges: Vec::new(),
+            edge_alive: Vec::new(),
             out_edges: Vec::new(),
             in_edges: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
         }
     }
 }
@@ -101,9 +117,13 @@ impl<N, E> Graph<N, E> {
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
         Graph {
             nodes: Vec::with_capacity(nodes),
+            node_alive: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
+            edge_alive: Vec::with_capacity(edges),
             out_edges: Vec::with_capacity(nodes),
             in_edges: Vec::with_capacity(nodes),
+            live_nodes: 0,
+            live_edges: 0,
         }
     }
 
@@ -111,6 +131,8 @@ impl<N, E> Graph<N, E> {
     pub fn add_node(&mut self, payload: N) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(payload);
+        self.node_alive.push(true);
+        self.live_nodes += 1;
         self.out_edges.push(Vec::new());
         self.in_edges.push(Vec::new());
         id
@@ -118,25 +140,90 @@ impl<N, E> Graph<N, E> {
 
     /// Add a directed edge `from → to`, returning its id.
     ///
-    /// Panics if either endpoint does not exist (a logic error: ids come
-    /// from [`Graph::add_node`] of the same graph).
+    /// Panics if either endpoint does not exist or was removed (a logic
+    /// error: ids come from [`Graph::add_node`] of the same graph).
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, payload: E) -> EdgeId {
         assert!(from.index() < self.nodes.len(), "edge source {from} out of bounds");
         assert!(to.index() < self.nodes.len(), "edge target {to} out of bounds");
+        assert!(self.node_alive[from.index()], "edge source {from} was removed");
+        assert!(self.node_alive[to.index()], "edge target {to} was removed");
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(EdgeRecord { from, to, payload });
+        self.edge_alive.push(true);
+        self.live_edges += 1;
         self.out_edges[from.index()].push(id);
         self.in_edges[to.index()].push(id);
         id
     }
 
-    /// Number of nodes.
+    /// Detach edge `e` from both endpoints' adjacency lists and
+    /// tombstone it. The record slot (endpoints and payload) stays
+    /// readable through [`Graph::edge`]; the id is never reused.
+    ///
+    /// Panics if `e` is out of bounds or already removed.
+    pub fn remove_edge(&mut self, e: EdgeId) {
+        assert!(self.is_edge_alive(e), "edge {e} does not exist or was already removed");
+        let (from, to) = self.endpoints(e);
+        self.out_edges[from.index()].retain(|&x| x != e);
+        self.in_edges[to.index()].retain(|&x| x != e);
+        self.edge_alive[e.index()] = false;
+        self.live_edges -= 1;
+    }
+
+    /// Remove node `n`: every incident edge is removed first, then the
+    /// node is tombstoned. The payload slot stays readable through
+    /// [`Graph::node`]; the id is never reused and [`Graph::nodes`] keeps
+    /// yielding it (callers reaching nodes through adjacency never see
+    /// it — its adjacency is empty).
+    ///
+    /// Panics if `n` is out of bounds or already removed.
+    pub fn remove_node(&mut self, n: NodeId) {
+        assert!(self.is_node_alive(n), "node {n} does not exist or was already removed");
+        let incident: Vec<EdgeId> = self.out_edges[n.index()]
+            .iter()
+            .chain(&self.in_edges[n.index()])
+            .copied()
+            .collect();
+        for e in incident {
+            // A self-loop appears in both lists; remove once.
+            if self.is_edge_alive(e) {
+                self.remove_edge(e);
+            }
+        }
+        self.node_alive[n.index()] = false;
+        self.live_nodes -= 1;
+    }
+
+    /// `true` while node `n` exists and has not been removed.
+    pub fn is_node_alive(&self, n: NodeId) -> bool {
+        self.node_alive.get(n.index()).copied().unwrap_or(false)
+    }
+
+    /// `true` while edge `e` exists and has not been removed.
+    pub fn is_edge_alive(&self, e: EdgeId) -> bool {
+        self.edge_alive.get(e.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of node **slots** (live and tombstoned) — the right bound
+    /// for `Vec`s indexed by `NodeId::index()`. Equals the live count on
+    /// a graph that never saw a removal.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Number of edges.
+    /// Number of live nodes.
+    pub fn alive_node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges.
     pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Number of edge **slots** (live and tombstoned) — the right bound
+    /// for `Vec`s indexed by `EdgeId::index()`.
+    pub fn edge_slots(&self) -> usize {
         self.edges.len()
     }
 
@@ -162,19 +249,23 @@ impl<N, E> Graph<N, E> {
         (rec.from, rec.to)
     }
 
-    /// Iterate over all node ids.
+    /// Iterate over all node id **slots**, tombstoned ones included
+    /// (their adjacency is empty, so traversals never reach them; use
+    /// [`Graph::is_node_alive`] to filter when enumerating directly).
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// Iterate over all edges as [`EdgeRef`]s.
+    /// Iterate over all **live** edges as [`EdgeRef`]s.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, E>> {
-        self.edges.iter().enumerate().map(|(i, rec)| EdgeRef {
-            id: EdgeId(i as u32),
-            from: rec.from,
-            to: rec.to,
-            payload: &rec.payload,
-        })
+        self.edges.iter().zip(&self.edge_alive).enumerate().filter(|(_, (_, a))| **a).map(
+            |(i, (rec, _))| EdgeRef {
+                id: EdgeId(i as u32),
+                from: rec.from,
+                to: rec.to,
+                payload: &rec.payload,
+            },
+        )
     }
 
     /// Outgoing edges of `n`.
@@ -298,5 +389,75 @@ mod tests {
         let g: Graph<(), ()> = Graph::with_capacity(16, 32);
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn remove_edge_detaches_but_keeps_slot() {
+        let (mut g, ns) = diamond();
+        let (a, b) = (ns[0], ns[1]);
+        let ab = g.incident_edges(a).find(|e| e.other(a) == b).unwrap().id;
+        g.remove_edge(ab);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge_slots(), 4);
+        assert!(!g.is_edge_alive(ab));
+        assert!(g.incident_edges(a).all(|e| e.id != ab));
+        assert!(g.incident_edges(b).all(|e| e.id != ab));
+        assert!(g.edges().all(|e| e.id != ab));
+        // The record slot stays readable (payload preserved).
+        assert_eq!(*g.edge(ab).payload, 1);
+    }
+
+    #[test]
+    fn remove_node_removes_incident_edges() {
+        let (mut g, ns) = diamond();
+        let b = ns[1];
+        g.remove_node(b);
+        assert!(!g.is_node_alive(b));
+        assert_eq!(g.alive_node_count(), 3);
+        assert_eq!(g.node_count(), 4, "slots are kept");
+        assert_eq!(g.edge_count(), 2, "a–b and b–d are gone");
+        assert_eq!(g.degree(b), 0);
+        assert!(g.incident_edges(ns[0]).all(|e| e.other(ns[0]) != b));
+    }
+
+    #[test]
+    fn remove_node_with_self_loop() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a, ());
+        g.add_edge(a, b, ());
+        g.remove_node(a);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_edge_removal_panics() {
+        let (mut g, _) = diamond();
+        g.remove_edge(EdgeId(0));
+        g.remove_edge(EdgeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "was removed")]
+    fn edge_to_removed_node_panics() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.remove_node(b);
+        g.add_edge(a, b, ());
+    }
+
+    #[test]
+    fn ids_stay_stable_across_removals() {
+        let (mut g, ns) = diamond();
+        g.remove_node(ns[2]);
+        let e = g.add_node("e");
+        assert_eq!(e.index(), 4, "slots are never reused");
+        let new_edge = g.add_edge(ns[0], e, 9);
+        assert_eq!(new_edge.index(), 4);
+        assert!(g.incident_edges(ns[0]).any(|er| er.other(ns[0]) == e));
     }
 }

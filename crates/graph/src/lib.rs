@@ -43,7 +43,8 @@ mod unionfind;
 
 pub use csr::CsrAdjacency;
 pub use dijkstra::{
-    dijkstra, dijkstra_csr, multi_source_dijkstra_csr, DijkstraResult, MultiSourceDijkstra,
+    dijkstra, dijkstra_csr, multi_source_dijkstra_csr, multi_source_dijkstra_csr_by_key,
+    DijkstraResult, MultiSourceDijkstra,
 };
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
 pub use paths::{

@@ -1,7 +1,7 @@
 //! The inverted index over tuple text attributes.
 
 use crate::tokenize::Tokenizer;
-use cla_relational::{Database, TupleId};
+use cla_relational::{ChangeSet, Database, TupleId, Value};
 use std::collections::HashMap;
 
 /// One posting: a keyword occurrence inside a tuple attribute.
@@ -40,43 +40,139 @@ impl InvertedIndex {
 
     /// Build with a custom tokenizer.
     pub fn build_with(db: &Database, tokenizer: Tokenizer) -> Self {
-        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
-        let mut indexed_tuples = 0usize;
+        let mut index =
+            InvertedIndex { postings: HashMap::new(), tokenizer, indexed_tuples: 0 };
         for (rel, schema) in db.catalog().iter() {
             let text_attrs = schema.text_attributes();
             if text_attrs.is_empty() {
                 continue;
             }
             for (id, tuple) in db.tuples(rel) {
-                indexed_tuples += 1;
-                for &attr in &text_attrs {
-                    let Some(value) = tuple.get(attr).and_then(|v| v.as_text()) else {
-                        continue;
-                    };
-                    let tokens = tokenizer.tokenize(value);
-                    let mut counts: HashMap<String, u32> = HashMap::new();
-                    for tok in &tokens {
-                        *counts.entry(tok.clone()).or_insert(0) += 1;
-                    }
-                    let whole = tokenizer.normalize_value(value);
-                    if !whole.is_empty() && !counts.contains_key(&whole) {
-                        counts.insert(whole, 1);
-                    }
-                    for (term, frequency) in counts {
-                        postings.entry(term).or_default().push(Posting {
-                            tuple: id,
-                            attribute: attr,
-                            frequency,
-                        });
-                    }
+                index.index_tuple(id, tuple.values(), &text_attrs);
+            }
+        }
+        debug_assert!(index.posting_order_ok());
+        index
+    }
+
+    /// The term → frequency map of one attribute value: every word token
+    /// (via [`Tokenizer::tokenize`]) plus the normalized whole value —
+    /// the single source of truth shared by [`InvertedIndex::build_with`]
+    /// and [`InvertedIndex::apply`], so incremental unindexing always
+    /// regenerates exactly the terms indexing produced.
+    fn terms_of(&self, value: &str) -> HashMap<String, u32> {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for tok in self.tokenizer.tokenize(value) {
+            *counts.entry(tok).or_insert(0) += 1;
+        }
+        let whole = self.tokenizer.normalize_value(value);
+        if !whole.is_empty() && !counts.contains_key(&whole) {
+            counts.insert(whole, 1);
+        }
+        counts
+    }
+
+    /// Add one tuple's postings, keeping every touched list sorted by
+    /// `(tuple, attribute)` (insert position found by binary search — at
+    /// build time tuples arrive in ascending id order, so the probe hits
+    /// the end and the push is O(1) amortized).
+    fn index_tuple(&mut self, id: TupleId, values: &[Value], text_attrs: &[usize]) {
+        self.indexed_tuples += 1;
+        for &attr in text_attrs {
+            let Some(value) = values.get(attr).and_then(Value::as_text) else {
+                continue;
+            };
+            for (term, frequency) in self.terms_of(value) {
+                let posting = Posting { tuple: id, attribute: attr, frequency };
+                let list = self.postings.entry(term).or_default();
+                match list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute)) {
+                    Ok(_) => unreachable!("a (tuple, attribute) pair is indexed once"),
+                    Err(pos) => list.insert(pos, posting),
                 }
             }
         }
-        // Deterministic posting order.
-        for list in postings.values_mut() {
-            list.sort_by_key(|p| (p.tuple, p.attribute));
+    }
+
+    /// Remove one tuple's postings, regenerating its terms from the
+    /// snapshot `values` (the tuple itself may already be gone from the
+    /// database). Terms whose lists drain are dropped entirely so the
+    /// patched index is structurally identical to a fresh build.
+    fn unindex_tuple(&mut self, id: TupleId, values: &[Value], text_attrs: &[usize]) {
+        self.indexed_tuples -= 1;
+        for &attr in text_attrs {
+            let Some(value) = values.get(attr).and_then(Value::as_text) else {
+                continue;
+            };
+            for term in self.terms_of(value).into_keys() {
+                let Some(list) = self.postings.get_mut(&term) else {
+                    debug_assert!(false, "unindexing a term that was never indexed");
+                    continue;
+                };
+                if let Ok(pos) =
+                    list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
+                {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.postings.remove(&term);
+                }
+            }
         }
-        InvertedIndex { postings, tokenizer, indexed_tuples }
+    }
+
+    /// Patch the index in place with a batch of database mutations.
+    ///
+    /// `db` must be the database the changes were drained from (its
+    /// catalog drives which attributes are text); postings of deleted
+    /// tuples are regenerated from the change-time value snapshots, so
+    /// the tuples being tombstoned already is fine. Insert-then-delete
+    /// pairs within the batch cancel out. After the patch the index is
+    /// **equivalent to a fresh [`InvertedIndex::build_with`]** over the
+    /// mutated database with the same tokenizer: identical term set,
+    /// identical posting lists (still sorted by `(tuple, attribute)` —
+    /// the invariant [`InvertedIndex::matching_tuples`]' dedup and all
+    /// df/idf statistics rest on), identical
+    /// [`InvertedIndex::indexed_tuples`].
+    pub fn apply(&mut self, db: &Database, changes: &ChangeSet) {
+        for op in changes.net_ops() {
+            let change = op.change();
+            let Some(schema) = db.catalog().relation(change.id.relation) else {
+                debug_assert!(false, "change for unknown relation {}", change.id.relation);
+                continue;
+            };
+            let text_attrs = schema.text_attributes();
+            if text_attrs.is_empty() {
+                continue; // relation contributes nothing to the index
+            }
+            if op.is_insert() {
+                self.index_tuple(change.id, &change.values, &text_attrs);
+            } else {
+                self.unindex_tuple(change.id, &change.values, &text_attrs);
+            }
+        }
+        debug_assert!(self.posting_order_ok(), "apply must preserve posting order");
+    }
+
+    /// The posting-order invariant, stated explicitly: every posting list
+    /// is strictly sorted by `(tuple, attribute)`. `matching_tuples`
+    /// dedups adjacent tuples and the df/idf statistics count distinct
+    /// tuples under that assumption; incremental patching asserts it in
+    /// debug builds after every [`InvertedIndex::apply`], and tests call
+    /// it directly.
+    pub fn posting_order_ok(&self) -> bool {
+        self.postings.values().all(|list| {
+            !list.is_empty()
+                && list
+                    .windows(2)
+                    .all(|w| (w[0].tuple, w[0].attribute) < (w[1].tuple, w[1].attribute))
+        })
+    }
+
+    /// Iterate over `(term, postings)` pairs in unspecified order (used
+    /// by equivalence tests comparing a patched index against a fresh
+    /// build).
+    pub fn terms(&self) -> impl Iterator<Item = (&str, &[Posting])> {
+        self.postings.iter().map(|(t, l)| (t.as_str(), l.as_slice()))
     }
 
     /// The tokenizer used at build time (queries must normalize the same
@@ -85,16 +181,41 @@ impl InvertedIndex {
         &self.tokenizer
     }
 
-    /// Postings for `keyword` (normalized before lookup). Empty slice if
-    /// the keyword does not occur.
+    /// Postings for `keyword`. Empty slice if the keyword does not occur.
+    ///
+    /// The keyword is normalized **through the index's own tokenizer**,
+    /// mirroring what indexing did to the data (a hardcoded
+    /// `trim().to_lowercase()` here would diverge from indexes built
+    /// `with_stopwords`/`with_min_len` or from punctuated keywords):
+    ///
+    /// * if the keyword tokenizes to exactly **one token**, that token is
+    ///   looked up — so `"XML!"` finds the word postings of `xml`;
+    /// * a **multi-token** keyword (e.g. `DB-project`) can only have been
+    ///   indexed as a whole attribute value, so its
+    ///   [`Tokenizer::normalize_value`] form is looked up (per-token
+    ///   conjunction would need positional data the index does not
+    ///   keep — callers wanting AND-of-words semantics pass the words as
+    ///   separate keywords);
+    /// * a keyword whose tokens are all filtered away (stopword or
+    ///   below `min_len`) falls back to the whole-value form as well,
+    ///   since whole-value terms bypass the token filters at build time.
     pub fn lookup(&self, keyword: &str) -> &[Posting] {
-        let normalized = keyword.trim().to_lowercase();
+        let tokens = self.tokenizer.tokenize(keyword);
+        let normalized = match <[String; 1]>::try_from(tokens) {
+            Ok([single]) => single,
+            Err(_) => self.tokenizer.normalize_value(keyword),
+        };
         self.postings.get(&normalized).map_or(&[], Vec::as_slice)
     }
 
     /// Distinct tuples containing `keyword`, sorted.
     pub fn matching_tuples(&self, keyword: &str) -> Vec<TupleId> {
-        let mut out: Vec<TupleId> = self.lookup(keyword).iter().map(|p| p.tuple).collect();
+        let postings = self.lookup(keyword);
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].tuple <= w[1].tuple),
+            "posting lists must stay sorted by tuple for dedup to count distinct tuples"
+        );
+        let mut out: Vec<TupleId> = postings.iter().map(|p| p.tuple).collect();
         out.dedup(); // postings are sorted by tuple
         out
     }
@@ -261,5 +382,178 @@ mod tests {
         assert!(n > 10);
         let idx2 = InvertedIndex::build(&db());
         assert_eq!(idx2.term_count(), n);
+    }
+
+    /// Regression (lookup/build normalization mismatch): a punctuated
+    /// keyword must normalize through the tokenizer, not a bare
+    /// `trim().to_lowercase()` — `"XML!"` tokenizes to `xml` and must
+    /// find the word postings.
+    #[test]
+    fn punctuated_keyword_normalizes_like_indexing() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.matching_tuples("XML!").len(), 2);
+        assert_eq!(idx.matching_tuples("  xml, ").len(), 2);
+        assert_eq!(idx.matching_tuples("teaching..."), idx.matching_tuples("teaching"));
+    }
+
+    /// Regression: an index built `with_min_len` must apply the same
+    /// filter at query time — and keywords filtered to nothing fall back
+    /// to whole-value semantics, which bypass token filters at build.
+    #[test]
+    fn min_len_index_is_queryable_consistently() {
+        let catalog = SchemaBuilder::new()
+            .relation("R", |r| {
+                r.attr("ID", DataType::Int).attr("T", DataType::Text).primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let r = db.catalog().relation_id("R").unwrap();
+        db.insert(r, vec![1i64.into(), "an IR task".into()]).unwrap();
+        db.insert(r, vec![2i64.into(), "IR".into()]).unwrap();
+        let idx = InvertedIndex::build_with(&db, Tokenizer::new().with_min_len(3));
+        // "task" survives the filter and is indexed as a word.
+        assert_eq!(idx.matching_tuples("task").len(), 1);
+        assert_eq!(idx.matching_tuples("task!").len(), 1);
+        // "IR" is filtered as a word token; only the whole value "ir" of
+        // tuple 2 matches — exactly what indexing produced.
+        assert_eq!(idx.matching_tuples("IR").len(), 1);
+        assert_eq!(idx.matching_tuples(" ir ").len(), 1);
+    }
+
+    /// Regression: stopword indexes drop the word at build time, so a
+    /// stopword keyword only matches whole attribute values.
+    #[test]
+    fn stopword_index_is_queryable_consistently() {
+        let catalog = SchemaBuilder::new()
+            .relation("R", |r| {
+                r.attr("ID", DataType::Int).attr("T", DataType::Text).primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let r = db.catalog().relation_id("R").unwrap();
+        db.insert(r, vec![1i64.into(), "the big answer".into()]).unwrap();
+        db.insert(r, vec![2i64.into(), "The".into()]).unwrap();
+        let idx = InvertedIndex::build_with(&db, Tokenizer::new().with_stopwords(["the"]));
+        assert_eq!(idx.matching_tuples("answer").len(), 1);
+        // Word occurrences of "the" were never indexed; the whole-value
+        // tuple 2 still matches.
+        assert_eq!(idx.matching_tuples("The").len(), 1);
+    }
+
+    /// Multi-token keywords use whole-value semantics (documented on
+    /// `lookup`): `DB-project` matches the whole attribute value, not an
+    /// AND over its word tokens.
+    #[test]
+    fn multi_token_keyword_matches_whole_value_only() {
+        let catalog = SchemaBuilder::new()
+            .relation("P", |r| {
+                r.attr("ID", DataType::Text)
+                    .attr("P_NAME", DataType::Text)
+                    .primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let p = db.catalog().relation_id("P").unwrap();
+        db.insert(p, vec!["p1".into(), "DB-project".into()]).unwrap();
+        db.insert(p, vec!["p2".into(), "the DB-project rocks".into()]).unwrap();
+        let idx = InvertedIndex::build(&db);
+        // Whole-value match on p1 only; p2's value tokenizes around the
+        // hyphen so the exact phrase is not reconstructible.
+        assert_eq!(idx.matching_tuples("DB-project").len(), 1);
+        // The individual words match both.
+        assert_eq!(idx.matching_tuples("db").len(), 2);
+        assert_eq!(idx.matching_tuples("project").len(), 2);
+    }
+
+    #[test]
+    fn apply_patches_inserts_and_deletes_to_rebuild_equivalence() {
+        let mut database = db();
+        let idx0 = InvertedIndex::build(&database);
+        database.take_changes(); // discard the load-time log
+        let mut idx = idx0.clone();
+
+        let emp = database.catalog().relation_id("EMPLOYEE").unwrap();
+        let dept = database.catalog().relation_id("DEPARTMENT").unwrap();
+        let e3 =
+            database.insert(emp, vec!["e3".into(), "Smith".into(), "Xml".into()]).unwrap();
+        let e1 = database.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        database.delete(e1).unwrap();
+        let d3 = database
+            .insert(dept, vec!["d3".into(), "bio".into(), "genomes and XML".into()])
+            .unwrap();
+        database.delete(d3).unwrap(); // insert-then-delete cancels
+
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(idx.posting_order_ok());
+
+        let fresh = InvertedIndex::build(&database);
+        assert_eq!(idx.indexed_tuples(), fresh.indexed_tuples());
+        assert_eq!(idx.term_count(), fresh.term_count());
+        let mut a: Vec<(&str, &[Posting])> = idx.terms().collect();
+        let mut b: Vec<(&str, &[Posting])> = fresh.terms().collect();
+        a.sort_by_key(|(t, _)| *t);
+        b.sort_by_key(|(t, _)| *t);
+        assert_eq!(a, b, "patched index must equal a fresh build");
+
+        // Sanity on semantics: e3 now matches, e1 no longer does.
+        assert!(idx.matching_tuples("smith").contains(&e3));
+        assert!(!idx.matching_tuples("smith").contains(&e1));
+        assert_eq!(idx.frequency_in("xml", e3), 1);
+    }
+
+    #[test]
+    fn apply_preserves_posting_order_with_out_of_order_rows() {
+        // Insert tuples whose ids sort *before* existing postings, so the
+        // sorted-insert path is exercised away from the append fast path.
+        let catalog = SchemaBuilder::new()
+            .relation("A", |r| {
+                r.attr("ID", DataType::Text).attr("T", DataType::Text).primary_key(&["ID"])
+            })
+            .relation("B", |r| {
+                r.attr("ID", DataType::Text).attr("T", DataType::Text).primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut database = Database::new(catalog).unwrap();
+        let a = database.catalog().relation_id("A").unwrap();
+        let b = database.catalog().relation_id("B").unwrap();
+        database.insert(b, vec!["b1".into(), "shared term".into()]).unwrap();
+        let mut idx = InvertedIndex::build(&database);
+        database.take_changes();
+        // New tuple in relation A: its TupleId precedes every B tuple.
+        database.insert(a, vec!["a1".into(), "shared term".into()]).unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(idx.posting_order_ok());
+        let fresh = InvertedIndex::build(&database);
+        assert_eq!(idx.matching_tuples("shared"), fresh.matching_tuples("shared"));
+        assert_eq!(idx.document_frequency("term"), 2);
+    }
+
+    #[test]
+    fn apply_drops_drained_terms_entirely() {
+        let catalog = SchemaBuilder::new()
+            .relation("R", |r| {
+                r.attr("ID", DataType::Text).attr("T", DataType::Text).primary_key(&["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut database = Database::new(catalog).unwrap();
+        let r = database.catalog().relation_id("R").unwrap();
+        let t1 = database.insert(r, vec!["r1".into(), "unique-word".into()]).unwrap();
+        let mut idx = InvertedIndex::build(&database);
+        database.take_changes();
+        let terms_before = idx.term_count();
+        database.delete(t1).unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(idx.lookup("unique-word").is_empty());
+        assert!(idx.term_count() < terms_before);
+        assert_eq!(idx.indexed_tuples(), 0);
+        assert_eq!(idx.term_count(), InvertedIndex::build(&database).term_count());
     }
 }

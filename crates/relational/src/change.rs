@@ -1,0 +1,165 @@
+//! Change tracking for incremental index and data-graph maintenance.
+//!
+//! Every successful [`crate::Database::insert`] and
+//! [`crate::Database::delete`] appends one [`ChangeOp`] to the database's
+//! change log and bumps its version counter. Downstream structures built
+//! from a snapshot (inverted index, data graph, search engine) drain the
+//! log with [`crate::Database::take_changes`] and patch themselves in
+//! place instead of rebuilding from scratch.
+
+use crate::tuple::TupleId;
+use crate::value::Value;
+
+/// Snapshot of one changed tuple: its id, its values at change time, and
+/// the foreign-key edges that resolved at change time.
+///
+/// For deletes the snapshot is authoritative — the tuple is gone from the
+/// database afterwards, so consumers that need its terms or edges must
+/// read them here. For inserts the values always match the stored tuple;
+/// the recorded edges are the *change-time* resolution, which can lag the
+/// final state when a referenced tuple arrives later in the same batch
+/// (references are validated lazily). Graph consumers therefore re-resolve
+/// insert edges against the database at apply time and use the recorded
+/// edges for deletes only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleChange {
+    /// The inserted or deleted tuple.
+    pub id: TupleId,
+    /// The tuple's values at change time, in schema order.
+    pub values: Vec<Value>,
+    /// Resolved outgoing foreign-key references at change time, as
+    /// `(fk index, target tuple)` pairs. NULL and (for inserts)
+    /// not-yet-resolvable references are absent.
+    pub edges: Vec<(usize, TupleId)>,
+}
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeOp {
+    /// A tuple was inserted.
+    Insert(TupleChange),
+    /// A tuple was deleted.
+    Delete(TupleChange),
+}
+
+impl ChangeOp {
+    /// The changed tuple's snapshot, whichever the operation.
+    pub fn change(&self) -> &TupleChange {
+        match self {
+            ChangeOp::Insert(c) | ChangeOp::Delete(c) => c,
+        }
+    }
+
+    /// `true` for inserts.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, ChangeOp::Insert(_))
+    }
+}
+
+/// An ordered batch of mutations, as emitted by a [`crate::Database`].
+///
+/// Order matters: a tuple may be inserted and deleted within the same
+/// batch. Row indices are never reused (the store is append-only with
+/// tombstones), so a [`TupleId`] appearing as both an insert and a later
+/// delete always denotes the *same* short-lived tuple — [`ChangeSet::net_ops`]
+/// cancels such pairs for consumers that only care about the net effect.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChangeSet {
+    ops: Vec<ChangeOp>,
+}
+
+impl ChangeSet {
+    /// An empty change set.
+    pub fn new() -> Self {
+        ChangeSet::default()
+    }
+
+    /// Append one operation (used by the database's mutation methods).
+    pub(crate) fn push(&mut self, op: ChangeOp) {
+        self.ops.push(op);
+    }
+
+    /// The logged operations, in mutation order.
+    pub fn ops(&self) -> &[ChangeOp] {
+        &self.ops
+    }
+
+    /// Number of logged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The inserted tuples' snapshots, in order.
+    pub fn inserted(&self) -> impl Iterator<Item = &TupleChange> {
+        self.ops.iter().filter_map(|op| match op {
+            ChangeOp::Insert(c) => Some(c),
+            ChangeOp::Delete(_) => None,
+        })
+    }
+
+    /// The deleted tuples' snapshots, in order.
+    pub fn deleted(&self) -> impl Iterator<Item = &TupleChange> {
+        self.ops.iter().filter_map(|op| match op {
+            ChangeOp::Delete(c) => Some(c),
+            ChangeOp::Insert(_) => None,
+        })
+    }
+
+    /// The operations with insert-then-delete pairs of the same tuple
+    /// cancelled out (their net effect on any derived structure is nil).
+    /// Relative order of the surviving operations is preserved.
+    pub fn net_ops(&self) -> Vec<&ChangeOp> {
+        use std::collections::HashSet;
+        let inserted: HashSet<TupleId> = self.inserted().map(|c| c.id).collect();
+        let cancelled: HashSet<TupleId> =
+            self.deleted().map(|c| c.id).filter(|id| inserted.contains(id)).collect();
+        self.ops.iter().filter(|op| !cancelled.contains(&op.change().id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::RelationId;
+
+    fn change(rel: u32, row: u32) -> TupleChange {
+        TupleChange {
+            id: TupleId::new(RelationId(rel), row),
+            values: vec![Value::from("x")],
+            edges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accessors_partition_ops() {
+        let mut cs = ChangeSet::new();
+        cs.push(ChangeOp::Insert(change(0, 0)));
+        cs.push(ChangeOp::Delete(change(1, 0)));
+        cs.push(ChangeOp::Insert(change(0, 1)));
+        assert_eq!(cs.len(), 3);
+        assert!(!cs.is_empty());
+        assert_eq!(cs.inserted().count(), 2);
+        assert_eq!(cs.deleted().count(), 1);
+        assert_eq!(cs.net_ops().len(), 3);
+    }
+
+    #[test]
+    fn net_ops_cancels_insert_delete_pairs() {
+        let mut cs = ChangeSet::new();
+        cs.push(ChangeOp::Insert(change(0, 0)));
+        cs.push(ChangeOp::Insert(change(0, 1)));
+        cs.push(ChangeOp::Delete(change(0, 1)));
+        cs.push(ChangeOp::Delete(change(2, 5)));
+        let net = cs.net_ops();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net[0].change().id, TupleId::new(RelationId(0), 0));
+        assert_eq!(net[1].change().id, TupleId::new(RelationId(2), 5));
+        assert!(net[0].is_insert());
+        assert!(!net[1].is_insert());
+    }
+}

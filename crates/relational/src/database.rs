@@ -1,5 +1,6 @@
 //! The database instance: catalog + stored relations + reference navigation.
 
+use crate::change::{ChangeOp, ChangeSet, TupleChange};
 use crate::error::RelationalError;
 use crate::schema::Catalog;
 use crate::storage::RelationData;
@@ -15,10 +16,19 @@ use std::collections::HashMap;
 /// [`Database::validate_references`] so that data can be loaded in any
 /// relation order (the paper's Figure 2 lists `PROJECT` before
 /// `EMPLOYEE`, for example, even though `WORKS_FOR` references both).
+///
+/// The instance is mutable: [`Database::insert`] appends and
+/// [`Database::delete`] tombstones (row indices are stable and never
+/// reused, so [`TupleId`]s stay valid identifiers across mutations).
+/// Every mutation bumps [`Database::version`] and appends to an internal
+/// [`ChangeSet`] that incremental consumers drain with
+/// [`Database::take_changes`].
 #[derive(Debug, Clone)]
 pub struct Database {
     catalog: Catalog,
     data: Vec<RelationData>,
+    version: u64,
+    changes: ChangeSet,
 }
 
 impl Database {
@@ -28,7 +38,35 @@ impl Database {
     pub fn new(catalog: Catalog) -> Result<Self> {
         catalog.validate()?;
         let data = (0..catalog.len()).map(|_| RelationData::new()).collect();
-        Ok(Database { catalog, data })
+        Ok(Database { catalog, data, version: 0, changes: ChangeSet::new() })
+    }
+
+    /// Monotone mutation counter: bumped by every successful insert or
+    /// delete. Structures built from a snapshot record the version they
+    /// saw and compare against it to detect staleness.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Drain and return the mutations logged since the last drain (or
+    /// construction), leaving the log empty. The returned batch feeds
+    /// the incremental `apply` paths of the index, data graph and search
+    /// engine.
+    ///
+    /// The log holds a value snapshot per mutation (deletes genuinely
+    /// need one — the tuple is gone afterwards), so it grows with every
+    /// insert and delete until drained. Consumers that maintain derived
+    /// structures drain it naturally (`SearchEngine::new`/`apply` do);
+    /// standalone bulk loaders that never will should call this
+    /// periodically and drop the result.
+    pub fn take_changes(&mut self) -> ChangeSet {
+        std::mem::take(&mut self.changes)
+    }
+
+    /// The mutations logged since the last [`Database::take_changes`],
+    /// without draining.
+    pub fn pending_changes(&self) -> &ChangeSet {
+        &self.changes
     }
 
     /// The catalog describing this database.
@@ -78,15 +116,71 @@ impl Database {
                 key: format!("{key:?}"),
             });
         }
-        let row = store.tuples.len() as u32;
+        let row = store.push(Tuple::new(values.clone()));
         store.pk_index.insert(key, row);
-        store.tuples.push(Tuple::new(values));
-        Ok(TupleId::new(rel, row))
+        let id = TupleId::new(rel, row);
+        let edges = self.references_from(id);
+        self.version += 1;
+        self.changes.push(ChangeOp::Insert(TupleChange { id, values, edges }));
+        Ok(id)
     }
 
-    /// The tuple with id `id`, if it exists.
+    /// Delete tuple `id` (tombstoning its row; the row index is never
+    /// reused). **Restrict** semantics: the delete fails with
+    /// [`RelationalError::DeleteRestricted`] while any other live tuple
+    /// still references `id` — delete the referencing tuples first.
+    ///
+    /// The restrict check scans the live tuples of every relation with a
+    /// foreign key targeting `id`'s relation (there is no persistent
+    /// reverse-reference index); at the workloads this substrate serves
+    /// that is a few hash probes per candidate row. The logged
+    /// [`TupleChange`] snapshots the tuple's values and resolved edges so
+    /// incremental consumers can unindex it after the fact.
+    pub fn delete(&mut self, id: TupleId) -> Result<()> {
+        let schema = self
+            .catalog
+            .relation(id.relation)
+            .ok_or_else(|| RelationalError::UnknownRelation(id.relation.to_string()))?;
+        let Some(tuple) = self.data[id.relation.index()].get(id.row) else {
+            return Err(RelationalError::TupleNotFound(id.to_string()));
+        };
+        let key: Vec<Value> = tuple.project(&schema.primary_key);
+        let values = tuple.values().to_vec();
+        // Restrict: no live tuple may still reference the victim. A
+        // reference is an FK targeting `id.relation` whose attribute
+        // values equal the victim's primary key.
+        for (rel2, schema2) in self.catalog.iter() {
+            for fk in schema2.foreign_keys.iter().filter(|fk| fk.target == id.relation) {
+                for (rid, t) in self.tuples(rel2) {
+                    if rid == id {
+                        continue; // a self-reference does not block
+                    }
+                    let fk_vals: Vec<&Value> =
+                        fk.attributes.iter().map(|&i| &t.values()[i]).collect();
+                    if fk_vals.iter().any(|v| v.is_null()) {
+                        continue;
+                    }
+                    if fk_vals.iter().zip(&key).all(|(a, b)| **a == *b) {
+                        return Err(RelationalError::DeleteRestricted {
+                            relation: schema.name.clone(),
+                            referenced_by: rid.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let edges = self.references_from(id);
+        let store = &mut self.data[id.relation.index()];
+        store.pk_index.remove(&key);
+        store.tombstone(id.row);
+        self.version += 1;
+        self.changes.push(ChangeOp::Delete(TupleChange { id, values, edges }));
+        Ok(())
+    }
+
+    /// The tuple with id `id`, if it exists and is live.
     pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
-        self.data.get(id.relation.index()).and_then(|d| d.tuples.get(id.row as usize))
+        self.data.get(id.relation.index()).and_then(|d| d.get(id.row))
     }
 
     /// Number of tuples in relation `rel` (0 for unknown relations).
@@ -99,13 +193,16 @@ impl Database {
         self.data.iter().map(RelationData::len).sum()
     }
 
-    /// Iterate over `(id, tuple)` for every tuple of relation `rel`.
+    /// Iterate over `(id, tuple)` for every live tuple of relation `rel`,
+    /// in row order (tombstoned rows are skipped).
     pub fn tuples(&self, rel: RelationId) -> impl Iterator<Item = (TupleId, &Tuple)> {
         self.data.get(rel.index()).into_iter().flat_map(move |d| {
             d.tuples
                 .iter()
+                .zip(&d.alive)
                 .enumerate()
-                .map(move |(row, t)| (TupleId::new(rel, row as u32), t))
+                .filter(|(_, (_, alive))| **alive)
+                .map(move |(row, (t, _))| (TupleId::new(rel, row as u32), t))
         })
     }
 
@@ -337,5 +434,87 @@ mod tests {
     fn all_tuple_ids_covers_every_relation() {
         let (db, _, _) = two_relation_db();
         assert_eq!(db.all_tuple_ids().count(), db.total_tuples());
+    }
+
+    #[test]
+    fn delete_tombstones_and_skips_iteration() {
+        let (mut db, _, emp) = two_relation_db();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        db.delete(e1).unwrap();
+        assert_eq!(db.tuple_count(emp), 1);
+        assert!(db.tuple(e1).is_none());
+        assert!(db.lookup_pk(emp, &[Value::from("e1")]).is_none());
+        assert!(db.tuples(emp).all(|(id, _)| id != e1));
+        // Double delete is an error.
+        assert!(matches!(db.delete(e1), Err(RelationalError::TupleNotFound(_))));
+        // Referential integrity still holds (no one referenced e1).
+        db.validate_references().unwrap();
+    }
+
+    #[test]
+    fn delete_restricted_while_referenced() {
+        let (mut db, dept, emp) = two_relation_db();
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        let err = db.delete(d1).unwrap_err();
+        assert!(matches!(err, RelationalError::DeleteRestricted { .. }));
+        assert!(db.tuple(d1).is_some(), "restricted delete must not tombstone");
+        // After removing the referencing employee the delete goes through.
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        db.delete(e1).unwrap();
+        db.delete(d1).unwrap();
+        assert_eq!(db.tuple_count(dept), 1);
+    }
+
+    #[test]
+    fn delete_frees_pk_for_reinsertion_under_fresh_row() {
+        let (mut db, _, emp) = two_relation_db();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        db.delete(e1).unwrap();
+        let e1b = db.insert(emp, vec!["e1".into(), "Smith".into(), "d1".into()]).unwrap();
+        assert_ne!(e1, e1b, "row indices are never reused");
+        assert_eq!(db.lookup_pk(emp, &[Value::from("e1")]), Some(e1b));
+    }
+
+    #[test]
+    fn version_and_change_log_track_mutations() {
+        let (mut db, _, emp) = two_relation_db();
+        let v0 = db.version();
+        let base = db.take_changes();
+        assert_eq!(base.len(), 4, "initial load logged four inserts");
+        assert!(db.pending_changes().is_empty());
+
+        let e9 = db.insert(emp, vec!["e9".into(), "Ng".into(), "d2".into()]).unwrap();
+        db.delete(e9).unwrap();
+        assert_eq!(db.version(), v0 + 2);
+        let cs = db.take_changes();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.inserted().count(), 1);
+        assert_eq!(cs.deleted().count(), 1);
+        // The delete snapshot carries the values and the resolved edge.
+        let del = cs.deleted().next().unwrap();
+        assert_eq!(del.id, e9);
+        assert_eq!(del.values[1], Value::from("Ng"));
+        assert_eq!(del.edges.len(), 1);
+        // Insert-then-delete of the same tuple cancels out.
+        assert!(cs.net_ops().is_empty());
+    }
+
+    #[test]
+    fn self_reference_does_not_block_delete() {
+        let catalog = SchemaBuilder::new()
+            .relation("NODE", |r| {
+                r.attr("ID", DataType::Text)
+                    .attr_nullable("PARENT", DataType::Text)
+                    .primary_key(&["ID"])
+                    .foreign_key("parent", &["PARENT"], "NODE", &["ID"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let node = db.catalog().relation_id("NODE").unwrap();
+        let root = db.insert(node, vec!["r".into(), "r".into()]).unwrap();
+        // `root` references itself; nothing else references it.
+        db.delete(root).unwrap();
+        assert_eq!(db.tuple_count(node), 0);
     }
 }

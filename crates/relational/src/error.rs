@@ -64,6 +64,18 @@ pub enum RelationalError {
     },
     /// The catalog is structurally invalid (bad indices, empty PK, ...).
     InvalidSchema(String),
+    /// A tuple id was looked up for mutation but does not denote a live
+    /// tuple (never existed, or already deleted).
+    TupleNotFound(String),
+    /// A delete was rejected because other live tuples still reference
+    /// the target (restrict semantics — delete the referencing tuples
+    /// first).
+    DeleteRestricted {
+        /// Relation of the tuple being deleted.
+        relation: String,
+        /// A referencing tuple blocking the delete, rendered.
+        referenced_by: String,
+    },
 }
 
 impl fmt::Display for RelationalError {
@@ -97,6 +109,13 @@ impl fmt::Display for RelationalError {
                 "foreign key `{foreign_key}` of relation `{relation}` violated: {detail}"
             ),
             RelationalError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            RelationalError::TupleNotFound(t) => {
+                write!(f, "tuple {t} does not exist (or was already deleted)")
+            }
+            RelationalError::DeleteRestricted { relation, referenced_by } => write!(
+                f,
+                "cannot delete from `{relation}`: still referenced by tuple {referenced_by}"
+            ),
         }
     }
 }

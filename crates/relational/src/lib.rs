@@ -11,9 +11,13 @@
 //! layer (`cla-core`) only relies on
 //!
 //! * a [`Catalog`] describing relation schemas and their foreign keys,
-//! * a [`Database`] instance with constraint-checked inserts,
+//! * a [`Database`] instance with constraint-checked inserts and
+//!   restrict-checked tombstone deletes,
 //! * navigation along foreign keys in both directions
-//!   ([`Database::references_from`] and [`ReferenceIndex`]).
+//!   ([`Database::references_from`] and [`ReferenceIndex`]),
+//! * change tracking for incremental maintenance: every mutation bumps
+//!   [`Database::version`] and logs a [`ChangeOp`] that downstream
+//!   index/graph structures drain via [`Database::take_changes`].
 //!
 //! ## Example
 //!
@@ -49,6 +53,7 @@
 //! ```
 
 mod builder;
+mod change;
 mod csv;
 mod database;
 mod display;
@@ -60,6 +65,7 @@ mod tuple;
 mod value;
 
 pub use builder::{RelationBuilder, SchemaBuilder};
+pub use change::{ChangeOp, ChangeSet, TupleChange};
 pub use csv::{from_csv, to_csv};
 pub use database::{Database, ReferenceIndex};
 pub use display::{render_database, render_relation};

@@ -6,13 +6,21 @@ use std::collections::HashMap;
 
 /// Row store plus primary-key hash index for a single relation.
 ///
-/// The store is insert-only; row indices are stable and double as the
-/// `row` component of [`crate::TupleId`].
+/// Rows are append-only and deletion is by tombstone: row indices are
+/// stable, are never reused, and double as the `row` component of
+/// [`crate::TupleId`] — a deleted tuple's id therefore never comes back
+/// to denote a different tuple, which is what lets incremental consumers
+/// (inverted index, data graph) patch themselves by id.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RelationData {
-    /// Stored rows in insertion order.
+    /// Stored rows in insertion order (tombstoned rows keep their slot).
     pub tuples: Vec<Tuple>,
-    /// Primary-key values → row index.
+    /// `alive[row]` is `false` once the row is deleted.
+    pub alive: Vec<bool>,
+    /// Number of live rows (`alive.iter().filter(|a| **a).count()`).
+    pub live: usize,
+    /// Primary-key values → row index (live rows only; a delete frees
+    /// the key for later re-insertion under a fresh row).
     pub pk_index: HashMap<Vec<Value>, u32>,
 }
 
@@ -21,9 +29,35 @@ impl RelationData {
         RelationData::default()
     }
 
-    /// Number of stored rows.
+    /// Number of live rows.
     pub(crate) fn len(&self) -> usize {
-        self.tuples.len()
+        self.live
+    }
+
+    /// The row, if it exists and is live.
+    pub(crate) fn get(&self, row: u32) -> Option<&Tuple> {
+        let i = row as usize;
+        if *self.alive.get(i)? {
+            self.tuples.get(i)
+        } else {
+            None
+        }
+    }
+
+    /// Append a live row, returning its index.
+    pub(crate) fn push(&mut self, tuple: Tuple) -> u32 {
+        let row = self.tuples.len() as u32;
+        self.tuples.push(tuple);
+        self.alive.push(true);
+        self.live += 1;
+        row
+    }
+
+    /// Tombstone a live row. Callers check liveness first.
+    pub(crate) fn tombstone(&mut self, row: u32) {
+        debug_assert!(self.alive[row as usize], "double delete of row {row}");
+        self.alive[row as usize] = false;
+        self.live -= 1;
     }
 }
 
@@ -36,5 +70,21 @@ mod tests {
         let d = RelationData::new();
         assert_eq!(d.len(), 0);
         assert!(d.pk_index.is_empty());
+    }
+
+    #[test]
+    fn tombstones_keep_slots_stable() {
+        let mut d = RelationData::new();
+        let r0 = d.push(Tuple::new(vec!["a".into()]));
+        let r1 = d.push(Tuple::new(vec!["b".into()]));
+        assert_eq!((r0, r1), (0, 1));
+        d.tombstone(r0);
+        assert_eq!(d.len(), 1);
+        assert!(d.get(r0).is_none());
+        assert_eq!(d.get(r1).unwrap().get(0), Some(&Value::from("b")));
+        // New rows never reuse the freed slot.
+        let r2 = d.push(Tuple::new(vec!["c".into()]));
+        assert_eq!(r2, 2);
+        assert_eq!(d.len(), 2);
     }
 }
