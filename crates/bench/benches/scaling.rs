@@ -89,15 +89,16 @@ fn parallel_and_topk(c: &mut Criterion) {
     group.finish();
 }
 
-/// B8 (recorded as the PR 3 "B3" experiment in EXPERIMENTS.md):
-/// incremental maintenance — the update-workload scenario class.
+/// B8 (recorded as the PR 3 "B3" and PR 4 "B4" experiments in
+/// EXPERIMENTS.md): incremental maintenance — the update-workload
+/// scenario class.
 ///
-/// `apply_single_tuple/` measures one complete update round trip through
+/// `apply_single_tuple/` measures one complete churn round trip through
 /// the mutation subsystem: insert a dependent + `SearchEngine::apply`,
 /// then delete it + `apply` again — i.e. **two** single-tuple applies
 /// per iteration, postings patched in place, adjacency through the CSR
 /// overlay, deferred compaction included whenever its threshold trips.
-/// The pre-PR baseline for the same round trip is rebuilding the
+/// The pre-PR-3 baseline for the same round trip is rebuilding the
 /// derived structures from scratch: `rebuild_index_graph/` times one
 /// index + data-graph construction (the two structures `apply` patches)
 /// and `rebuild_engine/` the full `SearchEngine::new` including
@@ -106,12 +107,25 @@ fn parallel_and_topk(c: &mut Criterion) {
 /// (and the gap widens with scale: apply cost is per-tuple, rebuild cost
 /// is per-database).
 ///
-/// Slots are tombstoned, never reclaimed, so a long measuring run would
-/// otherwise grow the node/row slot arrays linearly with iteration
-/// count and the deferred compactions with them — the engine is
-/// therefore rebuilt every 4096 iterations, bounding churn bloat at
-/// ~4k tombstone slots (amortized rebuild cost ≪ 1 µs per iteration)
-/// and keeping the measurement stationary across sample counts.
+/// `apply_employee_restrict/` deletes from an FK-*targeted* relation,
+/// paying the restrict check. Since PR 4 that check is one probe of the
+/// database's persistent reverse-FK index (O(incoming references)); the
+/// BENCH_B3 run of the same arm — 13.3 µs at dept16 / 19.5 µs at
+/// dept32, growing with database size because it scanned every
+/// referencing relation's live rows — is the baseline it must beat.
+///
+/// `update_in_place/` and `update_repoint/` measure PR 4's
+/// `Database::update` + apply round trip: a text-only value change
+/// (postings diffed, zero edge churn, zero tombstones — no periodic
+/// rebuild needed) and an FK re-point (one edge removed + one added
+/// through the CSR overlay per iteration).
+///
+/// Slots are tombstoned by insert/delete churn, so those arms rebuild
+/// their engine every 4096 iterations, bounding churn bloat at ~4k
+/// tombstone slots (amortized rebuild cost ≪ 1 µs per iteration) and
+/// keeping the measurement stationary across sample counts.
+/// (`SearchEngine::compact` now reclaims slots in production; the
+/// bench keeps the rebuild so B4 numbers stay comparable to B3's.)
 fn update_maintenance(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/update");
     for departments in [16usize, 32] {
@@ -147,10 +161,11 @@ fn update_maintenance(c: &mut Criterion) {
         });
 
         // Same round trip on an FK-*targeted* relation: deleting an
-        // EMPLOYEE pays the restrict check, which scans the live rows of
-        // every relation referencing EMPLOYEE (WORKS_FOR, DEPENDENT) —
-        // the O(referencing rows) part of delete that the leaf-relation
-        // arm above never exercises.
+        // EMPLOYEE pays the restrict check — one reverse-FK index probe
+        // of the victim's incoming entries, the part of delete the
+        // leaf-relation arm above never exercises (and the arm that
+        // previously scanned every referencing relation's live rows;
+        // BENCH_B3 is that baseline).
         let mut engine2 = synthetic_engine(departments, SEED);
         let dept_id: String = {
             let dept = engine2.db().catalog().relation_id("DEPARTMENT").unwrap();
@@ -185,6 +200,46 @@ fn update_maintenance(c: &mut Criterion) {
                 engine2.db_mut().delete(id).unwrap();
                 engine2.apply().unwrap();
                 black_box(engine2.is_fresh())
+            })
+        });
+
+        // In-place update, text-only: one `Database::update` of a
+        // dependent's name + one apply per iteration. No tombstones, no
+        // edge churn — the engine never needs the periodic rebuild.
+        let mut engine3 = synthetic_engine(departments, SEED);
+        let dep_id = engine3.db().tuples(dep).next().map(|(id, _)| id).expect("dependents");
+        let mut k = 0u64;
+        group.bench_function(BenchmarkId::new("update_in_place", departments), |b| {
+            b.iter(|| {
+                k += 1;
+                let mut values = engine3.db().tuple(dep_id).unwrap().values().to_vec();
+                values[2] = if k.is_multiple_of(2) { "Temp" } else { "Casey" }.into();
+                engine3.db_mut().update(dep_id, values).unwrap();
+                engine3.apply().unwrap();
+                black_box(engine3.is_fresh())
+            })
+        });
+
+        // In-place update, FK re-point: alternate a dependent between
+        // two employees — one edge removed + one added per apply, via
+        // the CSR overlay (deferred compaction trips as it fills).
+        let mut engine4 = synthetic_engine(departments, SEED);
+        let dep_id4 = engine4.db().tuples(dep).next().map(|(id, _)| id).expect("dependents");
+        let essns: Vec<String> = engine4
+            .db()
+            .tuples(emp)
+            .take(2)
+            .map(|(_, t)| t.get(0).and_then(Value::as_text).unwrap().to_owned())
+            .collect();
+        let mut k = 0u64;
+        group.bench_function(BenchmarkId::new("update_repoint", departments), |b| {
+            b.iter(|| {
+                k += 1;
+                let mut values = engine4.db().tuple(dep_id4).unwrap().values().to_vec();
+                values[1] = essns[(k % 2) as usize].as_str().into();
+                engine4.db_mut().update(dep_id4, values).unwrap();
+                engine4.apply().unwrap();
+                black_box(engine4.is_fresh())
             })
         });
 

@@ -9,8 +9,8 @@
 use crate::error::CoreError;
 use cla_er::{FkRole, SchemaMapping};
 use cla_graph::{CsrAdjacency, EdgeId, Graph, NodeId};
-use cla_relational::{ChangeSet, Database, TupleId};
-use std::collections::HashMap;
+use cla_relational::{ChangeSet, Database, TupleId, TupleRemap};
+use std::collections::{HashMap, HashSet};
 
 /// Pending CSR edge edits tolerated before [`DataGraph::apply`] folds
 /// the patch overlay back into flat arrays (see
@@ -76,6 +76,43 @@ impl DataGraph {
         Ok(DataGraph { graph, csr, node_of, middle })
     }
 
+    /// Resolve the out-edges tuple `id` must carry, reading `db`'s
+    /// *final* batch state (plan stage — fallible, mutation-free). A
+    /// target is acceptable when it already has a node or is inserted
+    /// within the batch; a dangling reference is reported as the same
+    /// [`cla_relational::RelationalError::ForeignKeyViolation`] a full
+    /// rebuild's validation would raise.
+    fn resolve_edges(
+        &self,
+        db: &Database,
+        mapping: &SchemaMapping,
+        id: TupleId,
+        batch_inserted: &HashSet<TupleId>,
+    ) -> Result<Vec<(usize, TupleId, FkRole)>, CoreError> {
+        let rel = id.relation;
+        let n_fks = db.catalog().relation(rel).map_or(0, |schema| schema.foreign_keys.len());
+        let mut out = Vec::with_capacity(n_fks);
+        for fk_index in 0..n_fks {
+            let Some(target) = db.fk_target(id, fk_index)? else {
+                continue; // NULL reference
+            };
+            let role =
+                mapping.fk_role(rel, fk_index).ok_or_else(|| CoreError::MissingFkRole {
+                    relation: db
+                        .catalog()
+                        .relation(rel)
+                        .map(|s| s.name.clone())
+                        .unwrap_or_else(|| rel.to_string()),
+                    fk_index,
+                })?;
+            if !self.node_of.contains_key(&target) && !batch_inserted.contains(&target) {
+                return Err(CoreError::UnknownTuple(target.to_string()));
+            }
+            out.push((fk_index, target, role));
+        }
+        Ok(out)
+    }
+
     /// Patch the graph in place with a batch of database mutations,
     /// instead of rebuilding node maps, adjacency and CSR from scratch.
     ///
@@ -84,16 +121,24 @@ impl DataGraph {
     ///   overlay), and the node is tombstoned. Incoming references
     ///   cannot exist at delete time — the database enforces restrict
     ///   semantics — so a deleted node's incident edges are exactly its
-    ///   own resolved references plus references from tuples deleted
-    ///   earlier in the same batch (already detached).
+    ///   own resolved references plus references from tuples deleted or
+    ///   re-pointed earlier in the same batch (already detached).
     /// * **Inserts** append a node slot and resolve the tuple's
     ///   references against `db` *at apply time* (the whole batch is
     ///   present by then, so references to tuples inserted later in the
     ///   batch resolve — the change-time snapshot in the log may lag).
-    ///   A reference that still dangles is reported as the same
-    ///   [`cla_relational::RelationalError::ForeignKeyViolation`] a full
-    ///   rebuild's validation would raise.
-    /// * Insert-then-delete pairs within the batch cancel.
+    /// * **Updates** keep the tuple's node and **rewire only the
+    ///   changed edges**: per foreign key, an edge whose target is
+    ///   unchanged keeps its [`EdgeId`] (and its slot in edge-indexed
+    ///   side tables) untouched; re-pointed, dropped and newly resolved
+    ///   references remove/add exactly those edges. Updates of a tuple
+    ///   the batch later deletes are subsumed by the delete.
+    /// * Insert-then-delete spans within the batch cancel.
+    ///
+    /// The apply is **atomic**: every fallible lookup (dangling
+    /// references, missing mapping roles, unknown tuples) happens in a
+    /// mutation-free plan stage, so an error leaves the graph exactly as
+    /// it was — the engine's atomic apply rests on this contract.
     ///
     /// The CSR absorbs edits through its sparse overlay; once the edits
     /// pending since the last fold exceed a threshold, the overlay is
@@ -111,37 +156,72 @@ impl DataGraph {
         changes: &ChangeSet,
     ) -> Result<Vec<EdgeId>, CoreError> {
         let net_ops = changes.net_ops();
+        // ---- Plan (fallible, mutation-free). ----
+        enum PlanOp {
+            Insert { id: TupleId, edges: Vec<(usize, TupleId, FkRole)> },
+            Delete { id: TupleId },
+            Update { id: TupleId, edges: Vec<(usize, TupleId, FkRole)> },
+        }
+        let mut batch_inserted: HashSet<TupleId> = HashSet::new();
+        let mut batch_deleted: HashSet<TupleId> = HashSet::new();
+        for op in &net_ops {
+            if op.is_insert() {
+                batch_inserted.insert(op.change().id);
+            } else if !op.is_update() {
+                batch_deleted.insert(op.change().id);
+            }
+        }
+        let mut plan: Vec<PlanOp> = Vec::with_capacity(net_ops.len());
+        for op in &net_ops {
+            let id = op.change().id;
+            if op.is_update() {
+                if batch_deleted.contains(&id) {
+                    continue; // the later delete subsumes the rewiring
+                }
+                if !self.node_of.contains_key(&id) && !batch_inserted.contains(&id) {
+                    return Err(CoreError::UnknownTuple(id.to_string()));
+                }
+                let edges = self.resolve_edges(db, mapping, id, &batch_inserted)?;
+                plan.push(PlanOp::Update { id, edges });
+            } else if op.is_insert() {
+                let edges = self.resolve_edges(db, mapping, id, &batch_inserted)?;
+                plan.push(PlanOp::Insert { id, edges });
+            } else {
+                if !self.node_of.contains_key(&id) {
+                    return Err(CoreError::UnknownTuple(id.to_string()));
+                }
+                plan.push(PlanOp::Delete { id });
+            }
+        }
+        // ---- Execute (infallible — every lookup pre-validated). ----
         // Phase 1: create every inserted tuple's node before wiring any
         // edges, so an insert may reference a tuple inserted *later* in
         // the same batch (references are validated lazily — batches can
         // arrive in any relation order, like initial loads). Edge
-        // resolution below then always finds its target node: an edge
-        // can never point at a tuple deleted in the same batch (the
-        // delete would have been restricted by the live referencer).
-        for op in &net_ops {
-            if op.is_insert() {
-                let change = op.change();
-                let n = self.graph.add_node(change.id);
+        // wiring below then always finds its target node: an edge can
+        // never point at a tuple deleted in the same batch (the delete
+        // would have been restricted by the live referencer).
+        for op in &plan {
+            if let PlanOp::Insert { id, .. } = op {
+                let n = self.graph.add_node(*id);
                 let csr_n = self.csr.push_node();
                 debug_assert_eq!(n, csr_n, "graph and CSR slots advance in lockstep");
-                self.node_of.insert(change.id, n);
-                self.middle.push(mapping.is_middle(change.id.relation));
+                self.node_of.insert(*id, n);
+                self.middle.push(mapping.is_middle(id.relation));
             }
         }
-        // Phase 2: detach deletes. Deletes and inserts commute within a
-        // batch — a delete's incident edges are all pre-existing (an
-        // insert-added edge pointing at it would have restricted the
-        // delete, and inserted nodes were net-cancelled), so detaching
-        // first cannot drop an edge phase 3 is about to add.
-        for op in &net_ops {
-            if op.is_insert() {
+        // Phase 2: detach deletes. Deletes commute with the wiring
+        // phases below — a delete's incident edges are all pre-existing
+        // (an insert- or update-added edge pointing at it would have
+        // restricted the delete, and inserted nodes were net-cancelled),
+        // so detaching first cannot drop an edge phase 3 or 4 is about
+        // to add; it *does* detach old edges that phase 4 updates would
+        // otherwise remove, which the per-fk diff there tolerates.
+        for op in &plan {
+            let PlanOp::Delete { id } = op else {
                 continue;
-            }
-            let change = op.change();
-            let n = *self
-                .node_of
-                .get(&change.id)
-                .ok_or_else(|| CoreError::UnknownTuple(change.id.to_string()))?;
+            };
+            let n = self.node_of[id];
             let incident = self.csr.neighbors(n).to_vec();
             for &(m, e) in &incident {
                 self.graph.remove_edge(e);
@@ -158,7 +238,7 @@ impl DataGraph {
             }
             self.csr.patch(n, Vec::new(), incident.len());
             self.graph.remove_node(n);
-            self.node_of.remove(&change.id);
+            self.node_of.remove(id);
         }
         // Phase 3: wire insert edges — each inserted node's own
         // out-edges first (3a), every in-edge appended afterwards (3b),
@@ -170,35 +250,15 @@ impl DataGraph {
         // content — tuple ids — not on adjacency position.)
         let mut added_edges = Vec::new();
         let mut in_patches: Vec<(NodeId, NodeId, EdgeId)> = Vec::new();
-        for op in net_ops {
-            if !op.is_insert() {
+        for op in &plan {
+            let PlanOp::Insert { id, edges } = op else {
                 continue;
-            }
-            let change = op.change();
-            let rel = change.id.relation;
-            let n = self.node_of[&change.id];
+            };
+            let n = self.node_of[id];
             let mut adj_n = self.csr.neighbors(n).to_vec();
             let before = adj_n.len();
-            for fk_index in
-                0..db.catalog().relation(rel).map_or(0, |schema| schema.foreign_keys.len())
-            {
-                let Some(target) = db.fk_target(change.id, fk_index)? else {
-                    continue; // NULL reference
-                };
-                let role = mapping.fk_role(rel, fk_index).ok_or_else(|| {
-                    CoreError::MissingFkRole {
-                        relation: db
-                            .catalog()
-                            .relation(rel)
-                            .map(|s| s.name.clone())
-                            .unwrap_or_else(|| rel.to_string()),
-                        fk_index,
-                    }
-                })?;
-                let to = *self
-                    .node_of
-                    .get(&target)
-                    .ok_or_else(|| CoreError::UnknownTuple(target.to_string()))?;
+            for &(fk_index, target, role) in edges {
+                let to = self.node_of[&target];
                 let e = self.graph.add_edge(n, to, EdgeAnnotation { fk_index, role });
                 added_edges.push(e);
                 adj_n.push((to, e));
@@ -219,6 +279,62 @@ impl DataGraph {
             adj_to.push((n, e));
             self.csr.patch(to, adj_to, 1);
         }
+        // Phase 4: rewire updates as per-fk diffs against the live
+        // graph. The graph is final-state for everything but the
+        // updates themselves by now, and an update's new side was
+        // resolved against the final database — so an edge the diff
+        // keeps is genuinely unchanged, and repeated updates of one
+        // tuple converge (the first diff reaches the final wiring, the
+        // rest are no-ops).
+        for op in &plan {
+            let PlanOp::Update { id, edges } = op else {
+                continue;
+            };
+            let n = self.node_of[id];
+            let old: HashMap<usize, (EdgeId, NodeId)> =
+                self.graph.out_edges(n).map(|e| (e.payload.fk_index, (e.id, e.to))).collect();
+            let mut adj_n = self.csr.neighbors(n).to_vec();
+            let mut edits = 0usize;
+            for (&fk_index, &(e, to)) in &old {
+                let kept = edges
+                    .iter()
+                    .any(|&(fk, target, _)| fk == fk_index && self.node_of[&target] == to);
+                if kept {
+                    continue;
+                }
+                self.graph.remove_edge(e);
+                adj_n.retain(|&(_, ae)| ae != e);
+                if to != n {
+                    let adj_to: Vec<_> = self
+                        .csr
+                        .neighbors(to)
+                        .iter()
+                        .copied()
+                        .filter(|&(_, te)| te != e)
+                        .collect();
+                    self.csr.patch(to, adj_to, 1);
+                }
+                edits += 1;
+            }
+            for &(fk_index, target, role) in edges {
+                let to = self.node_of[&target];
+                if old.get(&fk_index).is_some_and(|&(_, old_to)| old_to == to) {
+                    continue; // unchanged edge keeps its id and slot
+                }
+                let e = self.graph.add_edge(n, to, EdgeAnnotation { fk_index, role });
+                added_edges.push(e);
+                adj_n.push((to, e));
+                if to != n {
+                    let mut adj_to = self.csr.neighbors(to).to_vec();
+                    adj_to.push((n, e));
+                    self.csr.patch(to, adj_to, 1);
+                }
+                edits += 1;
+            }
+            if edits > 0 {
+                self.csr.patch(n, adj_n, edits);
+            }
+        }
         if self.csr.pending_edits() >= CSR_COMPACT_THRESHOLD {
             self.csr.compact();
         }
@@ -231,6 +347,43 @@ impl DataGraph {
     /// measure or pin down both representations.
     pub fn compact_csr(&mut self) {
         self.csr.compact();
+    }
+
+    /// Reclaim every tombstoned node and edge slot left behind by
+    /// deletes and update rewirings, renumbering ids densely: the
+    /// underlying [`Graph::compact`] hands back the node/edge remap
+    /// tables, node payloads are rewritten to the database's
+    /// post-compaction [`TupleId`]s (via `remap`, from
+    /// [`cla_relational::Database::compact`]), the tuple→node map and
+    /// middle flags are rebuilt, and the CSR is rebuilt from the live
+    /// set (dropping its patch overlay and tombstoned slots alike).
+    ///
+    /// Returns the edge remap so callers can renumber edge-indexed side
+    /// tables (the engine's cardinality table). Afterwards
+    /// [`DataGraph::node_count`] equals [`DataGraph::alive_node_count`]
+    /// and the graph is structurally equivalent to a fresh
+    /// [`DataGraph::build`] over the compacted database.
+    pub fn compact(&mut self, remap: &TupleRemap) -> Vec<Option<EdgeId>> {
+        let (node_remap, edge_remap) = self.graph.compact();
+        let mut node_of = HashMap::with_capacity(self.graph.node_count());
+        for i in 0..self.graph.node_count() {
+            let n = NodeId(i as u32);
+            let new_tuple = remap
+                .map(*self.graph.node(n))
+                .expect("a live node's tuple survives database compaction");
+            *self.graph.node_mut(n) = new_tuple;
+            node_of.insert(new_tuple, n);
+        }
+        self.node_of = node_of;
+        let mut middle = vec![false; self.graph.node_count()];
+        for (old, new) in node_remap.iter().enumerate() {
+            if let Some(new) = new {
+                middle[new.index()] = self.middle[old];
+            }
+        }
+        self.middle = middle;
+        self.csr.rebuild(&self.graph);
+        edge_remap
     }
 
     /// The underlying graph.

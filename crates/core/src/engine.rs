@@ -15,7 +15,7 @@ use cla_graph::{
     multi_source_bfs_distances, NodeId, Path,
 };
 use cla_index::{tuple_score, InvertedIndex, KeywordQuery};
-use cla_relational::{Database, TupleId};
+use cla_relational::{Database, TupleId, TupleRemap};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
@@ -300,6 +300,18 @@ pub struct SearchResults {
 }
 
 impl SearchResults {
+    /// The empty result set of a query (no connections, no trees, zero
+    /// traversal stats) — the `k = 0` and unmatched-keyword shapes.
+    fn empty(query: KeywordQuery, display_keywords: Vec<String>) -> Self {
+        SearchResults {
+            query,
+            display_keywords,
+            connections: Vec::new(),
+            trees: Vec::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
     /// Number of path-shaped results.
     pub fn len(&self) -> usize {
         self.connections.len()
@@ -336,9 +348,15 @@ pub struct SearchEngine {
     edge_cards: Vec<Cardinality>,
     /// The database version the index/graph structures reflect.
     version: u64,
-    /// Set when an `apply` failed mid-patch; the engine then refuses
-    /// both searching and further applies (rebuild to recover).
+    /// Set when the engine is unrecoverably out of sync (the change log
+    /// was drained externally — see [`CoreError::ChangeLogDrained`]);
+    /// the engine then refuses searching, applying and compacting
+    /// (rebuild to recover). Recoverable apply failures roll back
+    /// instead of poisoning.
     poisoned: bool,
+    /// Test failpoint: fail the next [`SearchEngine::apply`] after the
+    /// index patch, forcing the rollback path.
+    fail_next_apply: bool,
 }
 
 impl SearchEngine {
@@ -370,6 +388,7 @@ impl SearchEngine {
             edge_cards,
             version,
             poisoned: false,
+            fail_next_apply: false,
         })
     }
 
@@ -393,29 +412,48 @@ impl SearchEngine {
         !self.poisoned && self.version == self.db.version()
     }
 
-    /// `true` when a previous [`SearchEngine::apply`] failed partway and
-    /// left the structures half-patched. A poisoned engine refuses both
-    /// searching and further applies with [`CoreError::EnginePoisoned`];
-    /// rebuild with [`SearchEngine::new`] to recover.
+    /// `true` when the engine is unrecoverably out of sync with its
+    /// database (the change log was drained externally — the lost
+    /// operations can neither be applied nor rolled back). A poisoned
+    /// engine refuses searching, further applies and compaction with
+    /// [`CoreError::EnginePoisoned`]; rebuild with [`SearchEngine::new`]
+    /// to recover. Recoverable apply failures (a dangling reference,
+    /// say) do **not** poison: [`SearchEngine::apply`] rolls back
+    /// atomically instead.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
 
+    /// Make the next [`SearchEngine::apply`] fail *after* the inverted
+    /// index was patched, forcing the rollback path. Test instrumentation
+    /// for the atomicity property — not part of the public contract.
+    #[doc(hidden)]
+    pub fn force_next_apply_failure(&mut self) {
+        self.fail_next_apply = true;
+    }
+
     /// Drain the database's pending mutations and patch every derived
     /// structure in place: inverted-index postings (insert-sorted,
-    /// df-consistent), data-graph nodes/adjacency with its deferred CSR
-    /// rebuild, and the per-edge cardinality table. After a successful
-    /// apply the engine answers exactly like a freshly built
-    /// [`SearchEngine::new`] over the mutated database — the
-    /// rebuild-equivalence property the mutation test suite pins down —
-    /// at per-tuple instead of whole-database cost.
+    /// df-consistent, updates applied as term diffs), data-graph
+    /// nodes/adjacency with its deferred CSR rebuild (updates rewiring
+    /// only their changed edges), and the per-edge cardinality table.
+    /// After a successful apply the engine answers exactly like a
+    /// freshly built [`SearchEngine::new`] over the mutated database —
+    /// the rebuild-equivalence property the mutation test suite pins
+    /// down — at per-tuple instead of whole-database cost.
     ///
-    /// On error (e.g. a dangling reference that a full rebuild's
-    /// validation would also reject) the engine is **poisoned**: the
-    /// drained changes were partially applied, so searching and further
-    /// applies both fail fast with [`CoreError::EnginePoisoned`] rather
-    /// than serving (or stamping fresh) a half-patched state. Rebuild
-    /// with [`SearchEngine::new`] to recover.
+    /// The apply is **atomic**. On error (e.g. a dangling reference
+    /// that a full rebuild's validation would also reject) every
+    /// patched structure is rolled back to the pre-apply state — the
+    /// index through its undo log, the data graph by pre-validating in
+    /// a mutation-free plan stage — and the *database batch itself* is
+    /// rolled back through [`Database::rollback`] (the batch is a
+    /// failed transaction; its mutations are rejected wholesale). The
+    /// error is returned with the engine fresh and **still serving the
+    /// pre-mutation answers**; the caller can fix the offending
+    /// mutation and retry. Only an externally drained change log
+    /// ([`CoreError::ChangeLogDrained`]) still poisons — those
+    /// operations can neither be applied nor undone.
     pub fn apply(&mut self) -> Result<(), CoreError> {
         if self.poisoned {
             return Err(CoreError::EnginePoisoned);
@@ -434,23 +472,92 @@ impl SearchEngine {
                 found_ops: changes.len(),
             });
         }
-        self.index.apply(&self.db, &changes);
-        let added_edges = match self.dg.apply(&self.db, &self.mapping, &changes) {
-            Ok(added) => added,
-            Err(e) => {
-                self.poisoned = true;
-                return Err(e);
-            }
+        let undo = self.index.apply_logged(&self.db, &changes);
+        let result = if self.fail_next_apply {
+            self.fail_next_apply = false;
+            Err(CoreError::Relational("forced mid-apply failure (test failpoint)".into()))
+        } else {
+            // The graph apply pre-validates every fallible lookup before
+            // mutating, so an error here leaves it untouched.
+            self.dg.apply(&self.db, &self.mapping, &changes)
         };
-        // Extend the slot-indexed cardinality table with the edges the
-        // patch added (new edges occupy the next slots, in order).
-        for e in added_edges {
-            debug_assert_eq!(e.index(), self.edge_cards.len(), "edge slots are sequential");
-            let role = self.dg.annotation(e).role;
-            self.edge_cards.push(rdb_edge_cardinality(&self.er_schema, role));
+        match result {
+            Ok(added_edges) => {
+                // Extend the slot-indexed cardinality table with the
+                // edges the patch added (new edges occupy the next
+                // slots, in order).
+                for e in added_edges {
+                    debug_assert_eq!(
+                        e.index(),
+                        self.edge_cards.len(),
+                        "edge slots are sequential"
+                    );
+                    let role = self.dg.annotation(e).role;
+                    self.edge_cards.push(rdb_edge_cardinality(&self.er_schema, role));
+                }
+                self.version = self.db.version();
+                Ok(())
+            }
+            Err(e) => {
+                // Roll every patched structure back: the index via its
+                // undo log (the graph never partially patches), then the
+                // database batch via inverse ops — engine and database
+                // agree on the pre-mutation state again.
+                self.index.undo(undo);
+                self.db.rollback(&changes);
+                self.version = self.db.version();
+                debug_assert!(self.is_fresh());
+                Err(e)
+            }
         }
+    }
+
+    /// Reclaim every tombstoned slot churn left behind, end to end:
+    /// database row slots (via [`Database::compact`]), graph node and
+    /// edge slots, the CSR's flat arrays and the cardinality table —
+    /// with ids renumbered densely behind the returned [`TupleRemap`].
+    /// Postings are rebuilt from the live set (they must speak the new
+    /// tuple ids); display aliases are remapped in place.
+    ///
+    /// **Every outstanding [`TupleId`] is invalidated** — callers
+    /// holding id-keyed state must remap it through the returned table.
+    /// The engine must be fresh (apply pending mutations first; a
+    /// stale engine returns [`CoreError::StaleEngine`]). Afterwards the
+    /// engine is **rebuild-equivalent**: it answers exactly like a
+    /// fresh [`SearchEngine::new`] over the compacted database, with
+    /// zero tombstoned row/node/edge slots.
+    pub fn compact(&mut self) -> Result<TupleRemap, CoreError> {
+        if self.poisoned {
+            return Err(CoreError::EnginePoisoned);
+        }
+        if !self.is_fresh() {
+            return Err(CoreError::StaleEngine {
+                engine_version: self.version,
+                db_version: self.db.version(),
+            });
+        }
+        let remap = self.db.compact()?;
+        // Postings speak tuple ids: rebuild them from the live set under
+        // the same tokenizer (renumbering every posting in place would
+        // also break the sorted-by-tuple invariant, since row order is
+        // preserved but *relative* ids shift across relations).
+        self.index = InvertedIndex::build_with(&self.db, self.index.tokenizer().clone());
+        let edge_remap = self.dg.compact(&remap);
+        // Surviving edges renumber monotonically in slot order, so
+        // collecting the survivors' cards in old order yields the new
+        // dense numbering.
+        self.edge_cards = edge_remap
+            .iter()
+            .enumerate()
+            .filter(|(_, new)| new.is_some())
+            .map(|(old, _)| self.edge_cards[old])
+            .collect();
+        self.aliases = std::mem::take(&mut self.aliases)
+            .into_iter()
+            .filter_map(|(t, alias)| remap.map(t).map(|nt| (nt, alias)))
+            .collect();
         self.version = self.db.version();
-        Ok(())
+        Ok(remap)
     }
 
     /// Fold any pending CSR patch overlay into flat arrays now, without
@@ -764,6 +871,23 @@ impl SearchEngine {
     /// [`SearchEngine::apply`] — searching stale structures would return
     /// silently wrong results (dangling or missing nodes, stale postings
     /// and cardinalities), so the engine refuses instead.
+    ///
+    /// Fails with [`CoreError::EmptyQuery`] — consistently for every
+    /// algorithm — when the query has no keywords at all, or when any
+    /// keyword is **vacuous**: zero word tokens under the index's own
+    /// tokenizer (punctuation-only like `"!!!"`, stopwords-only, below
+    /// its `min_len`) *and* nothing found by the documented whole-value
+    /// fallback of [`InvertedIndex::lookup`]. Such a keyword cannot
+    /// match anything in this index, so under conjunctive semantics the
+    /// result is empty for a degenerate reason — a silent `Ok` would be
+    /// indistinguishable from "searched and found nothing". A
+    /// token-free keyword that *does* match whole attribute values
+    /// (e.g. a stored value `"!!!"`, or a stopword indexed as a whole
+    /// value) keeps answering through the fallback.
+    ///
+    /// `SearchOptions { k: Some(0), .. }` returns empty results
+    /// immediately (no enumeration) for every algorithm; `k:
+    /// Some(usize::MAX)` behaves like an unbounded search.
     pub fn search(
         &self,
         raw_query: &str,
@@ -779,10 +903,25 @@ impl SearchEngine {
             });
         }
         let query = KeywordQuery::parse(raw_query);
-        if query.is_empty() {
-            return Err(CoreError::InvalidQuery("query has no keywords".into()));
+        let tokenizer = self.index.tokenizer();
+        // A keyword is vacuous when it neither tokenizes to any word
+        // nor (via lookup's whole-value fallback) matches anything —
+        // tokenizable keywords without matches are the ordinary
+        // empty-result path, not an error.
+        let vacuous = |kw: &String| {
+            tokenizer.tokenize(kw).is_empty() && self.index.lookup(kw).is_empty()
+        };
+        if query.is_empty() || query.keywords().iter().any(vacuous) {
+            return Err(CoreError::EmptyQuery { query: raw_query.trim().to_owned() });
         }
         let display_keywords = display_forms(raw_query, &query);
+
+        // `k = 0` asks for nothing: every algorithm returns empty
+        // results without enumerating (pinned by the shared edge-case
+        // test alongside `k = usize::MAX`).
+        if options.k == Some(0) {
+            return Ok(SearchResults::empty(query, display_keywords));
+        }
 
         // One index probe per keyword; the tuple lists feed both the
         // match sets and the rendering markers below.
@@ -795,13 +934,7 @@ impl SearchEngine {
             .map(|tuples| tuples.iter().filter_map(|&t| self.dg.node_of(t)).collect())
             .collect();
         if match_sets.iter().any(Vec::is_empty) {
-            return Ok(SearchResults {
-                query,
-                display_keywords,
-                connections: Vec::new(),
-                trees: Vec::new(),
-                stats: SearchStats::default(),
-            });
+            return Ok(SearchResults::empty(query, display_keywords));
         }
 
         let threads = resolved_threads(options.threads);
@@ -1480,7 +1613,76 @@ mod tests {
     #[test]
     fn empty_query_is_an_error() {
         let e = engine();
-        assert!(e.search("   ", &SearchOptions::default()).is_err());
+        assert!(matches!(
+            e.search("   ", &SearchOptions::default()),
+            Err(CoreError::EmptyQuery { .. })
+        ));
+    }
+
+    /// Queries normalizing to zero tokens under the index tokenizer
+    /// (punctuation-only, stopwords-only, below `min_len`) raise
+    /// `EmptyQuery` consistently across all three algorithms instead of
+    /// silently returning nothing — *unless* the keyword's whole-value
+    /// fallback ([`InvertedIndex::lookup`]'s documented semantics)
+    /// still finds postings, in which case the query is answerable and
+    /// must answer.
+    #[test]
+    fn token_free_query_is_empty_query_for_every_algorithm() {
+        let e = engine();
+        for algorithm in [Algorithm::Paths, Algorithm::Banks, Algorithm::Discover] {
+            let opts = SearchOptions { algorithm, ..Default::default() };
+            // Vacuous whether alone or alongside an answerable keyword:
+            // conjunctive semantics make the whole query unanswerable.
+            for q in ["!!!", "... ---", "?!", "Smith !!!"] {
+                let err = e.search(q, &opts);
+                assert!(
+                    matches!(err, Err(CoreError::EmptyQuery { .. })),
+                    "{algorithm:?} `{q}`: got {err:?}"
+                );
+            }
+        }
+
+        // A token-free keyword that matches a *whole attribute value*
+        // is answerable through lookup's fallback, not an error.
+        use cla_er::{map_to_relational, ErSchemaBuilder};
+        use cla_relational::{DataType, Database};
+        let er = ErSchemaBuilder::new()
+            .entity("NOTE", |e| e.key("ID", DataType::Text).attr("BODY", DataType::Text))
+            .build()
+            .unwrap();
+        let mapping = map_to_relational(&er).unwrap();
+        let mut db = Database::new(mapping.catalog().clone()).unwrap();
+        let note = db.catalog().relation_id("NOTE").unwrap();
+        db.insert(note, vec!["n1".into(), "!!!".into()]).unwrap();
+        let symbol_engine = SearchEngine::new(db, er, mapping).unwrap();
+        let hits = symbol_engine.search("!!!", &SearchOptions::default()).unwrap();
+        assert_eq!(hits.len(), 1, "whole-value fallback must keep answering");
+    }
+
+    /// The `k` edge cases, pinned for all three algorithms: `Some(0)`
+    /// returns empty results without enumerating (and without
+    /// panicking); `Some(usize::MAX)` behaves like an unbounded search.
+    #[test]
+    fn k_zero_and_k_max_edge_cases_shared_across_algorithms() {
+        let e = engine();
+        for algorithm in [Algorithm::Paths, Algorithm::Banks, Algorithm::Discover] {
+            let base = SearchOptions { algorithm, threads: 1, ..Default::default() };
+            let zero = e.search("Smith XML", &SearchOptions { k: Some(0), ..base }).unwrap();
+            assert!(zero.connections.is_empty(), "{algorithm:?}");
+            assert!(zero.trees.is_empty(), "{algorithm:?}");
+            assert_eq!(zero.stats.dfs_expansions, 0, "{algorithm:?}: k=0 must not search");
+
+            let unbounded = e.search("Smith XML", &base).unwrap();
+            let maxed = e
+                .search("Smith XML", &SearchOptions { k: Some(usize::MAX), ..base })
+                .unwrap();
+            assert_eq!(
+                unbounded.connections.iter().map(|c| &c.rendering).collect::<Vec<_>>(),
+                maxed.connections.iter().map(|c| &c.rendering).collect::<Vec<_>>(),
+                "{algorithm:?}: k=MAX must equal the unbounded search"
+            );
+            assert_eq!(unbounded.trees.len(), maxed.trees.len(), "{algorithm:?}");
+        }
     }
 
     #[test]
@@ -1673,6 +1875,116 @@ mod tests {
         }
     }
 
+    /// In-place updates flow through apply like any other mutation and
+    /// keep the patched engine rebuild-equivalent.
+    #[test]
+    fn update_applies_and_matches_rebuild() {
+        let c = company();
+        let mut e = SearchEngine::new(c.db.clone(), c.er_schema.clone(), c.mapping.clone())
+            .unwrap()
+            .with_aliases(c.aliases.clone());
+        let e2 = c.tuple("e2").unwrap();
+        // Move e2 (a Smith) from d2 to d1 and rename — same TupleId.
+        e.db_mut()
+            .update(e2, vec!["e2".into(), "Smith".into(), "Barb".into(), "d1".into()])
+            .unwrap();
+        e.apply().unwrap();
+        assert!(e.is_fresh());
+
+        let rebuilt =
+            SearchEngine::new(e.db().clone(), c.er_schema.clone(), c.mapping.clone())
+                .unwrap()
+                .with_aliases(c.aliases.clone());
+        for algorithm in [Algorithm::Paths, Algorithm::Banks, Algorithm::Discover] {
+            let opts = SearchOptions { algorithm, ..Default::default() };
+            let a = e.search("Smith XML", &opts).unwrap();
+            let b = rebuilt.search("Smith XML", &opts).unwrap();
+            assert_eq!(
+                a.connections.iter().map(|r| &r.rendering).collect::<Vec<_>>(),
+                b.connections.iter().map(|r| &r.rendering).collect::<Vec<_>>(),
+                "{algorithm:?}"
+            );
+        }
+        // The alias (keyed by the preserved id) still renders e2.
+        assert!(e
+            .search("Smith XML", &SearchOptions::default())
+            .unwrap()
+            .connections
+            .iter()
+            .any(|r| r.rendering.contains("e2(Smith)")));
+    }
+
+    /// `compact` reclaims every tombstoned slot end to end and leaves
+    /// the engine rebuild-equivalent over the renumbered database.
+    #[test]
+    fn compact_reclaims_slots_and_stays_rebuild_equivalent() {
+        let c = company();
+        let mut e = SearchEngine::new(c.db.clone(), c.er_schema.clone(), c.mapping.clone())
+            .unwrap()
+            .with_aliases(c.aliases.clone());
+        // Churn: delete a dependent and a membership, add an employee.
+        let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
+        e.db_mut().delete(c.tuple("t1").unwrap()).unwrap();
+        e.db_mut().delete(c.tuple("w_f2").unwrap()).unwrap();
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Ada".into(), "d2".into()])
+            .unwrap();
+        e.apply().unwrap();
+        assert!(e.db().total_row_slots() > e.db().total_tuples(), "churn left tombstones");
+
+        // Compacting a stale engine is refused.
+        let mut stale =
+            SearchEngine::new(c.db.clone(), c.er_schema.clone(), c.mapping.clone()).unwrap();
+        stale
+            .db_mut()
+            .insert(emp, vec!["zz".into(), "S".into(), "T".into(), "d1".into()])
+            .unwrap();
+        assert!(matches!(stale.compact(), Err(CoreError::StaleEngine { .. })));
+
+        let before = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        let remap = e.compact().unwrap();
+        assert!(remap.reclaimed() > 0);
+        // Zero tombstoned slots anywhere.
+        assert_eq!(e.db().total_row_slots(), e.db().total_tuples());
+        assert_eq!(e.data_graph().node_count(), e.data_graph().alive_node_count());
+        assert_eq!(e.data_graph().graph().edge_slots(), e.data_graph().edge_count());
+        assert!(!e.data_graph().csr().has_pending_patches());
+
+        // Rebuild equivalence over the compacted database, all three
+        // algorithms — and the pre-compaction ranked output is unchanged
+        // (renderings key on aliases/labels, not raw ids).
+        let rebuilt =
+            SearchEngine::new(e.db().clone(), c.er_schema.clone(), c.mapping.clone())
+                .unwrap()
+                .with_aliases(e.aliases().clone());
+        for algorithm in [Algorithm::Paths, Algorithm::Banks, Algorithm::Discover] {
+            let opts = SearchOptions { algorithm, ..Default::default() };
+            let a = e.search("Smith XML", &opts).unwrap();
+            let b = rebuilt.search("Smith XML", &opts).unwrap();
+            assert_eq!(
+                a.connections
+                    .iter()
+                    .map(|r| (r.rendering.as_str(), r.explanation.as_str()))
+                    .collect::<Vec<_>>(),
+                b.connections
+                    .iter()
+                    .map(|r| (r.rendering.as_str(), r.explanation.as_str()))
+                    .collect::<Vec<_>>(),
+                "{algorithm:?}"
+            );
+        }
+        let after = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        assert_eq!(
+            before.connections.iter().map(|r| &r.rendering).collect::<Vec<_>>(),
+            after.connections.iter().map(|r| &r.rendering).collect::<Vec<_>>()
+        );
+        // Post-compaction mutations keep working against the new ids.
+        let e9 = e.db().lookup_pk(emp, &["e9".into()]).unwrap();
+        e.db_mut().delete(e9).unwrap();
+        e.apply().unwrap();
+        e.search("Smith XML", &SearchOptions::default()).unwrap();
+    }
+
     #[test]
     fn externally_drained_change_log_is_detected() {
         let mut e = engine();
@@ -1701,22 +2013,71 @@ mod tests {
         ));
     }
 
+    /// A failed apply is a rejected transaction: every patched
+    /// structure *and* the database batch roll back, and the engine
+    /// keeps serving the pre-mutation answers (no poisoning).
     #[test]
-    fn failed_apply_poisons_the_engine() {
+    fn failed_apply_rolls_back_and_keeps_serving() {
         let mut e = engine();
+        let before = e.search("Smith XML", &SearchOptions::default()).unwrap();
         let dep = e.db().catalog().relation_id("DEPENDENT").unwrap();
-        // Dangling ESSN: the patch must fail like a rebuild's validation.
+        let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
+        // A good insert and a dangling one in the same batch: the batch
+        // fails wholesale, like a rebuild's validation would.
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
+            .unwrap();
         e.db_mut().insert(dep, vec!["t9".into(), "e-missing".into(), "X".into()]).unwrap();
+        let err = e.apply().unwrap_err();
+        assert!(matches!(err, CoreError::Relational(_)), "got {err:?}");
+        // Engine fresh, not poisoned, serving identical answers.
+        assert!(e.is_fresh());
+        assert!(!e.is_poisoned());
+        let after = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        let render = |r: &SearchResults| {
+            r.connections.iter().map(|c| c.rendering.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(render(&before), render(&after));
+        // The rejected batch is gone from the database too.
+        assert!(e.db().lookup_pk(emp, &["e9".into()]).is_none());
+        assert!(e.db().lookup_pk(dep, &["t9".into()]).is_none());
+        // A corrected batch then applies cleanly.
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
+            .unwrap();
+        e.apply().unwrap();
+        let fixed = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        assert!(fixed.connections.len() > before.connections.len());
+    }
+
+    /// The forced failpoint fires after the index patch, proving the
+    /// index undo log (not just the graph's pre-validation) restores
+    /// the pre-apply state.
+    #[test]
+    fn forced_mid_apply_failure_is_atomic() {
+        let mut e = engine();
+        let before = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
+            .unwrap();
+        e.force_next_apply_failure();
         assert!(e.apply().is_err());
-        assert!(!e.is_fresh());
-        assert!(e.is_poisoned());
-        assert!(matches!(
-            e.search("Smith XML", &SearchOptions::default()),
-            Err(CoreError::EnginePoisoned)
-        ));
-        // Further applies refuse distinctly too — a retry-on-stale loop
-        // must not spin; rebuild is the recovery path.
-        assert!(matches!(e.apply(), Err(CoreError::EnginePoisoned)));
+        assert!(e.is_fresh());
+        assert!(!e.is_poisoned());
+        let after = e.search("Smith XML", &SearchOptions::default()).unwrap();
+        assert_eq!(
+            before.connections.iter().map(|c| &c.rendering).collect::<Vec<_>>(),
+            after.connections.iter().map(|c| &c.rendering).collect::<Vec<_>>()
+        );
+        // The failpoint is one-shot: the same mutation now goes through.
+        e.db_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
+            .unwrap();
+        e.apply().unwrap();
+        assert!(
+            e.search("Smith XML", &SearchOptions::default()).unwrap().len() > before.len()
+        );
     }
 
     #[test]

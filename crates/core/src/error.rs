@@ -17,6 +17,17 @@ pub enum CoreError {
     UnknownTuple(String),
     /// The query cannot be executed as requested.
     InvalidQuery(String),
+    /// The query normalizes to nothing this index can answer from: it
+    /// has no keywords at all, or some keyword produces zero word
+    /// tokens under the index's own tokenizer (punctuation-only like
+    /// `"!!!"`, stopwords-only, or below the tokenizer's `min_len`)
+    /// *and* its whole-value fallback form matches nothing either.
+    /// Raised consistently by every algorithm (Paths/BANKS/DISCOVER)
+    /// instead of silently returning empty results.
+    EmptyQuery {
+        /// The offending raw query, trimmed.
+        query: String,
+    },
     /// Wrapped relational error.
     Relational(String),
     /// The database was mutated after the engine's index and data graph
@@ -40,10 +51,15 @@ pub enum CoreError {
         /// Operations actually present in the log.
         found_ops: usize,
     },
-    /// A previous `SearchEngine::apply` failed partway, leaving the
-    /// engine's structures half-patched. Unlike
-    /// [`CoreError::StaleEngine`], another `apply` cannot recover —
-    /// rebuild the engine with `SearchEngine::new`.
+    /// The engine is unrecoverably out of sync with its database and
+    /// refuses to serve. Recoverable apply failures no longer poison —
+    /// `SearchEngine::apply` is atomic and rolls both the engine's
+    /// structures and the database batch back, leaving the engine
+    /// serving pre-mutation answers. What remains poisonous is an
+    /// externally drained change log ([`CoreError::ChangeLogDrained`]):
+    /// the lost operations can neither be applied nor rolled back, so
+    /// unlike [`CoreError::StaleEngine`] no retry can recover — rebuild
+    /// the engine with `SearchEngine::new`.
     EnginePoisoned,
 }
 
@@ -56,6 +72,11 @@ impl fmt::Display for CoreError {
             ),
             CoreError::UnknownTuple(t) => write!(f, "tuple {t} is not in the data graph"),
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::EmptyQuery { query } => write!(
+                f,
+                "empty query `{query}`: a keyword neither tokenizes to any word under the \
+                 index tokenizer nor matches any whole attribute value"
+            ),
             CoreError::Relational(msg) => write!(f, "relational error: {msg}"),
             CoreError::StaleEngine { engine_version, db_version } => write!(
                 f,

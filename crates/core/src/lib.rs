@@ -22,6 +22,31 @@
 //! * [`explain_connection`] — natural-language readings (§3);
 //! * [`SearchEngine`] — the façade: index → match → connect → rank.
 //!
+//! ## Mutation subsystem
+//!
+//! The engine owns its database and stays **live** under churn: mutate
+//! through [`SearchEngine::db_mut`] — `insert`, in-place `update`
+//! (same `TupleId`; FK edges re-resolved, changed primary keys
+//! re-validated and restrict-checked against the persistent reverse-FK
+//! index) and restrict-checked `delete` — then call
+//! [`SearchEngine::apply`] to patch postings, data-graph adjacency
+//! (updates rewire only their changed edges), the CSR overlay and the
+//! cardinality table in place. Three guarantees, all property-tested in
+//! `crates/core/tests/mutation.rs`:
+//!
+//! * **Rebuild equivalence** — a patched engine answers byte-identically
+//!   to a fresh [`SearchEngine::new`] over the mutated database.
+//! * **Atomic apply** — a failed `apply` (dangling reference, missing
+//!   mapping role) rolls every patched structure back (index undo log,
+//!   mutation-free graph pre-validation) *and* rejects the database
+//!   batch via `Database::rollback`; the error returns with the engine
+//!   fresh and serving the pre-mutation answers. Only an externally
+//!   drained change log still poisons ([`CoreError::EnginePoisoned`]).
+//! * **Slot reclamation** — [`SearchEngine::compact`] reclaims every
+//!   tombstoned row/node/edge slot end to end, renumbering ids behind
+//!   the returned `TupleRemap`, with rebuild equivalence and zero
+//!   remaining tombstones guaranteed afterwards.
+//!
 //! ## Quickstart
 //!
 //! ```

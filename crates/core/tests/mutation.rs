@@ -1,21 +1,28 @@
 //! Rebuild-equivalence property tests for the mutation subsystem.
 //!
-//! The contract under test: after **any** interleaving of tuple inserts
-//! and deletes, `SearchEngine::apply`-patched state is indistinguishable
-//! from building everything from scratch over the mutated database —
+//! The contract under test: after **any** interleaving of tuple
+//! inserts, in-place updates, deletes and slot compactions,
+//! `SearchEngine::apply`-patched state is indistinguishable from
+//! building everything from scratch over the mutated database —
 //!
 //! * inverted-index postings (term set, posting lists, order invariant,
 //!   `indexed_tuples` and therefore every df/idf statistic),
 //! * data-graph adjacency as traversals see it (through the CSR, both
 //!   while the patch overlay is live and after compaction),
-//! * full ranked `search()` output, for all three algorithms.
+//! * full ranked `search()` output, for all three algorithms —
+//!
+//! plus the **atomicity property**: a failed apply (forced mid-apply
+//! failpoint or a genuinely dangling reference) leaves `search()`
+//! answering identically to pre-mutation, with the engine fresh and
+//! un-poisoned.
 //!
 //! Mutations are driven by a seeded generator over the synthetic
-//! company-shaped databases, planting and removing the bench keywords
-//! (`xml`, `smith`, `alice`) so the match sets themselves churn.
+//! company-shaped databases, planting, rewriting and removing the bench
+//! keywords (`xml`, `smith`, `alice`) so the match sets themselves
+//! churn.
 
 use cla_core::{Algorithm, CoreError, DataGraph, SearchEngine, SearchOptions};
-use cla_datagen::{generate_synthetic, SyntheticConfig, SyntheticDb};
+use cla_datagen::{generate_synthetic, SyntheticConfig};
 use cla_index::InvertedIndex;
 use cla_relational::{Database, RelationId, RelationalError, TupleId, Value};
 use proptest::prelude::*;
@@ -82,10 +89,10 @@ impl Mutator {
     }
 
     /// Perform one random mutation; returns `true` if the database
-    /// changed. Restricted deletes and duplicate memberships count as
-    /// no-ops (the dice simply rolled an inapplicable op).
+    /// changed. Restricted deletes/re-keys and duplicate memberships
+    /// count as no-ops (the dice simply rolled an inapplicable op).
     fn random_op(&mut self, db: &mut Database, rng: &mut StdRng) -> bool {
-        match rng.random_range(0..8usize) {
+        match rng.random_range(0..12usize) {
             // Insert a dependent of a random employee.
             0 => {
                 let Some((_, essn)) = Self::pick(db, self.emp, rng) else { return false };
@@ -142,6 +149,51 @@ impl Mutator {
                     Err(e) => panic!("unexpected delete failure: {e}"),
                 }
             }
+            // In-place update of a dependent's name (text-only diff:
+            // flips the `alice` match set under an unchanged TupleId).
+            8 => {
+                let Some((id, _)) = Self::pick(db, self.dep, rng) else { return false };
+                let mut values = db.tuple(id).unwrap().values().to_vec();
+                let name = if rng.random::<f64>() < 0.5 { "Alice" } else { "Casey" };
+                values[2] = name.into();
+                db.update(id, values).unwrap();
+                true
+            }
+            // Re-point a dependent to another employee (graph-only
+            // rewiring: one edge removed, one added, same node).
+            9 => {
+                let Some((id, _)) = Self::pick(db, self.dep, rng) else { return false };
+                let Some((_, essn)) = Self::pick(db, self.emp, rng) else { return false };
+                let mut values = db.tuple(id).unwrap().values().to_vec();
+                values[1] = essn.into();
+                db.update(id, values).unwrap();
+                true
+            }
+            // Update an employee's surname *and* department in one op
+            // (index diff and edge rewiring together).
+            10 => {
+                let Some((id, _)) = Self::pick(db, self.emp, rng) else { return false };
+                let Some((_, d)) = Self::pick(db, self.dept, rng) else { return false };
+                let mut values = db.tuple(id).unwrap().values().to_vec();
+                let surname = if rng.random::<f64>() < 0.5 { "Smith" } else { "Turing" };
+                values[1] = surname.into();
+                values[3] = d.into();
+                db.update(id, values).unwrap();
+                true
+            }
+            // Primary-key change (re-key a project): restricted while a
+            // WORKS_FOR row references it — restrict is part of the
+            // contract, so a blocked re-key is a rolled no-op.
+            11 => {
+                let Some((id, _)) = Self::pick(db, self.proj, rng) else { return false };
+                let mut values = db.tuple(id).unwrap().values().to_vec();
+                values[0] = self.fresh_pk("p").into();
+                match db.update(id, values) {
+                    Ok(()) => true,
+                    Err(RelationalError::UpdateRestricted { .. }) => false,
+                    Err(e) => panic!("unexpected update failure: {e}"),
+                }
+            }
             _ => unreachable!(),
         }
     }
@@ -150,12 +202,10 @@ impl Mutator {
 const QUERIES: &[&str] = &["xml smith", "xml alice", "smith alice"];
 
 /// Compare every observable of the patched engine against an engine
-/// rebuilt from scratch over the same (mutated) database.
-fn assert_matches_rebuild(
-    engine: &SearchEngine,
-    s: &SyntheticDb,
-    context: &str,
-) -> Result<(), TestCaseError> {
+/// rebuilt from scratch over the same (mutated) database. Aliases come
+/// from the engine itself: after a `compact` they are the remapped
+/// ones, which a rebuild over the compacted database must share.
+fn assert_matches_rebuild(engine: &SearchEngine, context: &str) -> Result<(), TestCaseError> {
     // 1. Inverted index: postings and statistics.
     let fresh_index = InvertedIndex::build(engine.db());
     prop_assert!(engine.index().posting_order_ok(), "{context}: posting order violated");
@@ -216,7 +266,7 @@ fn assert_matches_rebuild(
         engine.mapping().clone(),
     )
     .unwrap()
-    .with_aliases(s.aliases.clone());
+    .with_aliases(engine.aliases().clone());
     let render = |r: &cla_core::SearchResults| {
         r.connections
             .iter()
@@ -256,9 +306,10 @@ fn assert_matches_rebuild(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// The headline property: randomized insert/delete interleavings,
-    /// applied batch by batch, keep the patched engine byte-identical to
-    /// a from-scratch rebuild — postings, adjacency and ranked results.
+    /// The headline property: randomized insert/update/delete
+    /// interleavings, applied batch by batch and interleaved with full
+    /// slot compactions, keep the patched engine byte-identical to a
+    /// from-scratch rebuild — postings, adjacency and ranked results.
     #[test]
     fn incremental_apply_equals_rebuild(seed in 0u64..500) {
         let s = generate_synthetic(&small_config(seed));
@@ -292,13 +343,113 @@ proptest! {
             }
             engine.apply().unwrap();
             prop_assert!(engine.is_fresh());
-            assert_matches_rebuild(&engine, &s, &format!("seed {seed} round {round}"))?;
+            assert_matches_rebuild(&engine, &format!("seed {seed} round {round}"))?;
+
+            // Interleaved slot reclamation: renumber ids end to end and
+            // re-verify rebuild equivalence over the compacted state.
+            if rng.random::<f64>() < 0.4 {
+                engine.compact().unwrap();
+                prop_assert_eq!(engine.db().total_row_slots(), engine.db().total_tuples());
+                prop_assert_eq!(
+                    engine.data_graph().node_count(),
+                    engine.data_graph().alive_node_count()
+                );
+                prop_assert_eq!(
+                    engine.data_graph().graph().edge_slots(),
+                    engine.data_graph().edge_count()
+                );
+                assert_matches_rebuild(&engine, &format!("seed {seed} round {round} compacted"))?;
+            }
         }
 
         // Fold the CSR overlay and re-verify: compaction is storage-only.
         engine.compact_csr();
         prop_assert!(!engine.data_graph().csr().has_pending_patches());
-        assert_matches_rebuild(&engine, &s, &format!("seed {seed} post-compaction"))?;
+        assert_matches_rebuild(&engine, &format!("seed {seed} post-compaction"))?;
+    }
+
+    /// Atomicity: a failed apply — whether the forced mid-apply
+    /// failpoint (fires after the index patch) or a genuinely dangling
+    /// reference in the batch — leaves `search()` answering identically
+    /// to pre-mutation for every query and algorithm, with the engine
+    /// fresh, un-poisoned and immediately usable for a corrected batch.
+    #[test]
+    fn failed_apply_serves_pre_mutation_answers(seed in 0u64..500) {
+        let s = generate_synthetic(&small_config(seed));
+        let mut engine = SearchEngine::new(
+            s.db.clone(),
+            s.er_schema.clone(),
+            s.mapping.clone(),
+        )
+        .unwrap()
+        .with_aliases(s.aliases.clone());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97) ^ 0xa70);
+        let mut mutator = Mutator::new(engine.db());
+
+        let render = |r: &cla_core::SearchResults| {
+            r.connections
+                .iter()
+                .map(|c| (c.rendering.clone(), c.explanation.clone(), c.info.clone()))
+                .collect::<Vec<_>>()
+        };
+        let snapshot = |engine: &SearchEngine| {
+            let mut out = Vec::new();
+            for query in QUERIES {
+                for algorithm in [Algorithm::Paths, Algorithm::Banks, Algorithm::Discover] {
+                    let opts = SearchOptions {
+                        algorithm,
+                        max_rdb_length: 3,
+                        threads: 1,
+                        ..Default::default()
+                    };
+                    out.push(render(&engine.search(query, &opts).unwrap()));
+                }
+            }
+            out
+        };
+        let before = snapshot(&engine);
+
+        // A batch of otherwise-good mutations…
+        for _ in 0..rng.random_range(1..6usize) {
+            mutator.random_op(engine.db_mut(), &mut rng);
+        }
+        // …failed either by injection (after the index patched) or by a
+        // genuinely dangling reference the graph plan rejects.
+        if rng.random::<f64>() < 0.5 {
+            engine.force_next_apply_failure();
+        } else {
+            engine
+                .db_mut()
+                .insert(
+                    mutator.dep,
+                    vec![
+                        mutator.fresh_pk("t").as_str().into(),
+                        "no-such-employee".into(),
+                        "Ghost".into(),
+                    ],
+                )
+                .unwrap();
+        }
+        prop_assert!(engine.apply().is_err());
+        prop_assert!(engine.is_fresh(), "rollback must leave the engine fresh");
+        prop_assert!(!engine.is_poisoned(), "recoverable failures must not poison");
+        prop_assert_eq!(
+            snapshot(&engine),
+            before,
+            "seed {}: post-failure answers must equal pre-mutation",
+            seed
+        );
+
+        // The engine is immediately usable: a corrected batch applies
+        // and still matches a from-scratch rebuild.
+        let mut mutated = false;
+        for _ in 0..3 {
+            mutated |= mutator.random_op(engine.db_mut(), &mut rng);
+        }
+        engine.apply().unwrap();
+        if mutated {
+            assert_matches_rebuild(&engine, &format!("seed {seed} post-recovery"))?;
+        }
     }
 
     /// Delete-heavy runs: strip dependents and memberships down to (and
@@ -330,7 +481,7 @@ proptest! {
             }
         }
         engine.apply().unwrap();
-        assert_matches_rebuild(&engine, &s, &format!("seed {seed} wave1"))?;
+        assert_matches_rebuild(&engine, &format!("seed {seed} wave1"))?;
 
         // Wave 2: now employees are mostly unreferenced — delete a few,
         // then repopulate dependents (fresh Alices revive that match set).
@@ -346,7 +497,7 @@ proptest! {
             mutator.random_op(engine.db_mut(), &mut rng);
         }
         engine.apply().unwrap();
-        assert_matches_rebuild(&engine, &s, &format!("seed {seed} wave2"))?;
+        assert_matches_rebuild(&engine, &format!("seed {seed} wave2"))?;
     }
 }
 

@@ -112,6 +112,16 @@ impl CsrAdjacency {
         !self.patched.is_empty()
     }
 
+    /// Replace this adjacency with a fresh build over `g`'s **live**
+    /// set, dropping the patch overlay and every tombstoned slot the old
+    /// flat arrays still carried. This is the CSR half of slot
+    /// reclamation: after [`Graph::compact`] renumbered the graph, the
+    /// old offsets/overlay speak the old numbering and are rebuilt
+    /// rather than remapped.
+    pub fn rebuild<N, E>(&mut self, g: &Graph<N, E>) {
+        *self = CsrAdjacency::build(g);
+    }
+
     /// Fold the overlay into freshly packed flat arrays (`O(V + E)`),
     /// clearing the patch map and the pending-edit counter. Neighbor
     /// lists are unchanged — only their storage moves, so traversal

@@ -293,6 +293,78 @@ impl<N, E> Graph<N, E> {
     pub fn degree(&self, n: NodeId) -> usize {
         self.incident_edges(n).count()
     }
+
+    /// Reclaim every tombstoned node and edge slot, renumbering the
+    /// survivors densely in slot order behind the returned remap tables
+    /// (`remap[old.index()] = Some(new)` for survivors, `None` for
+    /// reclaimed slots).
+    ///
+    /// This is the one operation that moves ids: all outstanding
+    /// [`NodeId`]s/[`EdgeId`]s and any dense side arrays indexed by them
+    /// must be remapped by the caller. Adjacency is preserved exactly —
+    /// per-node edge lists keep their relative order (edge insertion
+    /// order), so traversal results over the compacted graph equal the
+    /// pre-compaction ones modulo renumbering. Afterwards
+    /// [`Graph::node_count`] equals [`Graph::alive_node_count`] and
+    /// [`Graph::edge_slots`] equals [`Graph::edge_count`]: zero
+    /// tombstoned slots.
+    pub fn compact(&mut self) -> (Vec<Option<NodeId>>, Vec<Option<EdgeId>>) {
+        let mut node_remap: Vec<Option<NodeId>> = Vec::with_capacity(self.nodes.len());
+        let mut next = 0u32;
+        for &alive in &self.node_alive {
+            node_remap.push(alive.then(|| {
+                next += 1;
+                NodeId(next - 1)
+            }));
+        }
+        let mut edge_remap: Vec<Option<EdgeId>> = Vec::with_capacity(self.edges.len());
+        let mut next = 0u32;
+        for &alive in &self.edge_alive {
+            edge_remap.push(alive.then(|| {
+                next += 1;
+                EdgeId(next - 1)
+            }));
+        }
+
+        let node_alive = std::mem::take(&mut self.node_alive);
+        let mut i = 0usize;
+        self.nodes.retain(|_| {
+            i += 1;
+            node_alive[i - 1]
+        });
+        let edge_alive = std::mem::take(&mut self.edge_alive);
+        let mut i = 0usize;
+        self.edges.retain(|_| {
+            i += 1;
+            edge_alive[i - 1]
+        });
+        for rec in &mut self.edges {
+            rec.from = node_remap[rec.from.index()].expect("live edge endpoints are live");
+            rec.to = node_remap[rec.to.index()].expect("live edge endpoints are live");
+        }
+        // Per-node lists: keep only surviving nodes' lists (dead nodes'
+        // lists are empty — removal detaches), remap the edge ids. The
+        // retained entries are already in edge insertion order.
+        let remap_lists = |lists: &mut Vec<Vec<EdgeId>>| {
+            let mut i = 0usize;
+            lists.retain(|_| {
+                i += 1;
+                node_alive[i - 1]
+            });
+            for list in lists.iter_mut() {
+                for e in list.iter_mut() {
+                    *e = edge_remap[e.index()].expect("adjacency only lists live edges");
+                }
+            }
+        };
+        remap_lists(&mut self.out_edges);
+        remap_lists(&mut self.in_edges);
+        self.node_alive = vec![true; self.nodes.len()];
+        self.edge_alive = vec![true; self.edges.len()];
+        debug_assert_eq!(self.live_nodes, self.nodes.len());
+        debug_assert_eq!(self.live_edges, self.edges.len());
+        (node_remap, edge_remap)
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +520,64 @@ mod tests {
         let b = g.add_node(());
         g.remove_node(b);
         g.add_edge(a, b, ());
+    }
+
+    #[test]
+    fn compact_reclaims_slots_and_preserves_adjacency() {
+        let (mut g, ns) = diamond();
+        // Remove node c (and with it a–c, c–d), plus edge b–d directly.
+        let bd = g.incident_edges(ns[1]).find(|e| e.other(ns[1]) == ns[3]).unwrap().id;
+        g.remove_edge(bd);
+        g.remove_node(ns[2]);
+        let expected: Vec<(&str, Vec<&str>)> = g
+            .nodes()
+            .filter(|&n| g.is_node_alive(n))
+            .map(|n| (*g.node(n), g.incident_edges(n).map(|e| *g.node(e.other(n))).collect()))
+            .collect();
+
+        let (node_remap, edge_remap) = g.compact();
+        assert_eq!(g.node_count(), g.alive_node_count());
+        assert_eq!(g.edge_slots(), g.edge_count());
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        // Remap tables: dead slots map to None, survivors renumber
+        // densely in slot order.
+        assert_eq!(node_remap[ns[2].index()], None);
+        assert_eq!(node_remap[ns[3].index()], Some(NodeId(2)));
+        assert_eq!(edge_remap.iter().filter(|e| e.is_none()).count(), 3);
+        // Adjacency by payload is unchanged.
+        let after: Vec<(&str, Vec<&str>)> = g
+            .nodes()
+            .map(|n| (*g.node(n), g.incident_edges(n).map(|e| *g.node(e.other(n))).collect()))
+            .collect();
+        assert_eq!(expected, after);
+        // Compacting a clean graph is the identity.
+        let (nr, er) = g.compact();
+        assert!(nr.iter().enumerate().all(|(i, r)| *r == Some(NodeId(i as u32))));
+        assert!(er.iter().enumerate().all(|(i, r)| *r == Some(EdgeId(i as u32))));
+        // New elements extend the compacted numbering densely.
+        let x = g.add_node("x");
+        assert_eq!(x.index(), 3);
+    }
+
+    #[test]
+    fn compact_preserves_parallel_edges_and_self_loops() {
+        let mut g: Graph<(), u8> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let dead = g.add_node(());
+        g.add_edge(a, b, 1);
+        let e2 = g.add_edge(a, b, 2);
+        g.add_edge(b, a, 3);
+        g.add_edge(a, a, 4);
+        g.remove_edge(e2);
+        g.remove_node(dead);
+        let (_, _) = g.compact();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 3);
+        let payloads: Vec<u8> = g.incident_edges(NodeId(0)).map(|e| *e.payload).collect();
+        assert_eq!(payloads, vec![1, 4, 3], "out (insertion order), loop, then in");
+        assert_eq!(g.degree(NodeId(0)), 3);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The inverted index over tuple text attributes.
 
 use crate::tokenize::Tokenizer;
-use cla_relational::{ChangeSet, Database, TupleId, Value};
+use cla_relational::{ChangeOp, ChangeSet, Database, TupleId, Value};
 use std::collections::HashMap;
 
 /// One posting: a keyword occurrence inside a tuple attribute.
@@ -13,6 +13,16 @@ pub struct Posting {
     pub attribute: usize,
     /// Number of occurrences of the term in that attribute value.
     pub frequency: u32,
+}
+
+/// Undo log of one [`InvertedIndex::apply_logged`] batch: the prior
+/// posting lists of every term the batch touched (`None` when the term
+/// did not exist before) plus the prior tuple counter. Feed it back to
+/// [`InvertedIndex::undo`] to restore the pre-apply state exactly.
+#[derive(Debug)]
+pub struct IndexUndo {
+    terms: Vec<(String, Option<Vec<Posting>>)>,
+    tuples: usize,
 }
 
 /// Term → postings index over every text attribute of a database.
@@ -93,6 +103,75 @@ impl InvertedIndex {
         }
     }
 
+    /// Patch one tuple's postings for an in-place update, as a **diff**
+    /// between its old and new value snapshots: per changed attribute,
+    /// terms only in the old value lose their posting, terms only in the
+    /// new value gain one, terms in both adjust their stored frequency
+    /// in place — unchanged attributes (and unchanged terms) are never
+    /// touched, unlike a blind delete + re-insert. `indexed_tuples` is
+    /// unchanged (same tuple, same id).
+    fn update_tuple(
+        &mut self,
+        id: TupleId,
+        old_values: &[Value],
+        new_values: &[Value],
+        text_attrs: &[usize],
+    ) {
+        for &attr in text_attrs {
+            let old_text = old_values.get(attr).and_then(Value::as_text);
+            let new_text = new_values.get(attr).and_then(Value::as_text);
+            if old_text == new_text {
+                continue;
+            }
+            let old_terms = old_text.map(|v| self.terms_of(v)).unwrap_or_default();
+            let new_terms = new_text.map(|v| self.terms_of(v)).unwrap_or_default();
+            for term in old_terms.keys() {
+                if new_terms.contains_key(term) {
+                    continue; // survives; frequency handled below
+                }
+                let Some(list) = self.postings.get_mut(term) else {
+                    debug_assert!(false, "updating a term that was never indexed");
+                    continue;
+                };
+                if let Ok(pos) =
+                    list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
+                {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.postings.remove(term);
+                }
+            }
+            for (term, &frequency) in &new_terms {
+                let posting = Posting { tuple: id, attribute: attr, frequency };
+                match old_terms.get(term) {
+                    None => {
+                        let list = self.postings.entry(term.clone()).or_default();
+                        match list
+                            .binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
+                        {
+                            Ok(_) => {
+                                unreachable!("a (tuple, attribute) pair is indexed once")
+                            }
+                            Err(pos) => list.insert(pos, posting),
+                        }
+                    }
+                    Some(&old_frequency) if old_frequency != frequency => {
+                        let list = self
+                            .postings
+                            .get_mut(term)
+                            .expect("surviving term has a posting list");
+                        let pos = list
+                            .binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
+                            .expect("surviving term has this tuple's posting");
+                        list[pos].frequency = frequency;
+                    }
+                    Some(_) => {} // same term, same frequency: untouched
+                }
+            }
+        }
+    }
+
     /// Remove one tuple's postings, regenerating its terms from the
     /// snapshot `values` (the tuple itself may already be gone from the
     /// database). Terms whose lists drain are dropped entirely so the
@@ -125,8 +204,11 @@ impl InvertedIndex {
     /// `db` must be the database the changes were drained from (its
     /// catalog drives which attributes are text); postings of deleted
     /// tuples are regenerated from the change-time value snapshots, so
-    /// the tuples being tombstoned already is fine. Insert-then-delete
-    /// pairs within the batch cancel out. After the patch the index is
+    /// the tuples being tombstoned already is fine. Updates are applied
+    /// as a **diff** of the old and new snapshots (unchanged attributes
+    /// and terms untouched, frequencies adjusted in place — see
+    /// `update_tuple`). Insert-then-delete spans within the batch cancel
+    /// out, intermediate updates included. After the patch the index is
     /// **equivalent to a fresh [`InvertedIndex::build_with`]** over the
     /// mutated database with the same tokenizer: identical term set,
     /// identical posting lists (still sorted by `(tuple, attribute)` —
@@ -134,7 +216,15 @@ impl InvertedIndex {
     /// df/idf statistics rest on), identical
     /// [`InvertedIndex::indexed_tuples`].
     pub fn apply(&mut self, db: &Database, changes: &ChangeSet) {
-        for op in changes.net_ops() {
+        self.apply_net(db, &changes.net_ops());
+    }
+
+    /// The patch kernel over an already-computed net-op list, shared by
+    /// [`InvertedIndex::apply`] and [`InvertedIndex::apply_logged`] (the
+    /// latter walks the same list for its undo pre-pass, so the
+    /// cancellation sets are built once per batch).
+    fn apply_net(&mut self, db: &Database, net_ops: &[&ChangeOp]) {
+        for op in net_ops {
             let change = op.change();
             let Some(schema) = db.catalog().relation(change.id.relation) else {
                 debug_assert!(false, "change for unknown relation {}", change.id.relation);
@@ -144,13 +234,76 @@ impl InvertedIndex {
             if text_attrs.is_empty() {
                 continue; // relation contributes nothing to the index
             }
-            if op.is_insert() {
+            if let Some((old, new)) = op.update_sides() {
+                self.update_tuple(change.id, &old.values, &new.values, &text_attrs);
+            } else if op.is_insert() {
                 self.index_tuple(change.id, &change.values, &text_attrs);
             } else {
                 self.unindex_tuple(change.id, &change.values, &text_attrs);
             }
         }
         debug_assert!(self.posting_order_ok(), "apply must preserve posting order");
+    }
+
+    /// [`InvertedIndex::apply`] with an **undo log**: the returned
+    /// [`IndexUndo`] snapshots the prior state of exactly the posting
+    /// lists the batch touches (plus the tuple counter), so a caller
+    /// whose multi-structure apply fails elsewhere can roll this index
+    /// back to the pre-apply state with [`InvertedIndex::undo`].
+    pub fn apply_logged(&mut self, db: &Database, changes: &ChangeSet) -> IndexUndo {
+        // Pre-pass: every term any op of the batch could touch (old and
+        // new snapshots alike), snapshotted before the patch mutates it.
+        let net_ops = changes.net_ops();
+        let mut touched: HashMap<String, Option<Vec<Posting>>> = HashMap::new();
+        for op in &net_ops {
+            let change = op.change();
+            let Some(schema) = db.catalog().relation(change.id.relation) else {
+                continue;
+            };
+            let text_attrs = schema.text_attributes();
+            let mut snapshot_terms = |values: &[Value]| {
+                for &attr in &text_attrs {
+                    let Some(value) = values.get(attr).and_then(Value::as_text) else {
+                        continue;
+                    };
+                    for term in self.terms_of(value).into_keys() {
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            touched.entry(term)
+                        {
+                            let prior = self.postings.get(slot.key()).cloned();
+                            slot.insert(prior);
+                        }
+                    }
+                }
+            };
+            if let Some((old, new)) = op.update_sides() {
+                snapshot_terms(&old.values);
+                snapshot_terms(&new.values);
+            } else {
+                snapshot_terms(&change.values);
+            }
+        }
+        let undo =
+            IndexUndo { terms: touched.into_iter().collect(), tuples: self.indexed_tuples };
+        self.apply_net(db, &net_ops);
+        undo
+    }
+
+    /// Roll the index back to the state [`InvertedIndex::apply_logged`]
+    /// captured — the rollback half of an atomic multi-structure apply.
+    pub fn undo(&mut self, undo: IndexUndo) {
+        self.indexed_tuples = undo.tuples;
+        for (term, prior) in undo.terms {
+            match prior {
+                Some(list) => {
+                    self.postings.insert(term, list);
+                }
+                None => {
+                    self.postings.remove(&term);
+                }
+            }
+        }
+        debug_assert!(self.posting_order_ok(), "undo must restore posting order");
     }
 
     /// The posting-order invariant, stated explicitly: every posting list
@@ -532,6 +685,77 @@ mod tests {
         let fresh = InvertedIndex::build(&database);
         assert_eq!(idx.matching_tuples("shared"), fresh.matching_tuples("shared"));
         assert_eq!(idx.document_frequency("term"), 2);
+    }
+
+    #[test]
+    fn apply_patches_updates_as_diffs_to_rebuild_equivalence() {
+        let mut database = db();
+        database.take_changes();
+        let mut idx = InvertedIndex::build(&database);
+
+        let emp = database.catalog().relation_id("EMPLOYEE").unwrap();
+        let dept = database.catalog().relation_id("DEPARTMENT").unwrap();
+        let e1 = database.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        let d1 = database.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        // Rename e1 (term smith → miller under the same id) and rewrite
+        // d1's description (drops `databases`, changes `xml` frequency).
+        database.update(e1, vec!["e1".into(), "Miller".into(), "John".into()]).unwrap();
+        database
+            .update(
+                d1,
+                vec!["d1".into(), "Cs".into(), "XML teaching, more XML and xml".into()],
+            )
+            .unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(idx.posting_order_ok());
+
+        let fresh = InvertedIndex::build(&database);
+        let mut a: Vec<(&str, &[Posting])> = idx.terms().collect();
+        let mut b: Vec<(&str, &[Posting])> = fresh.terms().collect();
+        a.sort_by_key(|(t, _)| *t);
+        b.sort_by_key(|(t, _)| *t);
+        assert_eq!(a, b, "diff-patched index must equal a fresh build");
+        assert_eq!(idx.indexed_tuples(), fresh.indexed_tuples());
+        // Semantics: e1 moved match sets under the same TupleId, the
+        // in-place frequency adjustment took.
+        assert!(idx.matching_tuples("miller").contains(&e1));
+        assert!(!idx.matching_tuples("smith").contains(&e1));
+        assert_eq!(idx.frequency_in("xml", d1), 3);
+        assert!(idx.matching_tuples("databases").is_empty());
+    }
+
+    #[test]
+    fn apply_logged_undo_restores_pre_apply_state() {
+        let mut database = db();
+        database.take_changes();
+        let mut idx = InvertedIndex::build(&database);
+        let before: Vec<(String, Vec<Posting>)> = {
+            let mut v: Vec<_> =
+                idx.terms().map(|(t, l)| (t.to_owned(), l.to_vec())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+
+        let emp = database.catalog().relation_id("EMPLOYEE").unwrap();
+        let e1 = database.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        database.insert(emp, vec!["e3".into(), "Turing".into(), "Alan".into()]).unwrap();
+        database.update(e1, vec!["e1".into(), "Miller".into(), "John".into()]).unwrap();
+        let e2 = database.lookup_pk(emp, &[Value::from("e2")]).unwrap();
+        database.delete(e2).unwrap();
+        let changes = database.take_changes();
+
+        let undo = idx.apply_logged(&database, &changes);
+        assert!(idx.matching_tuples("turing").len() == 1, "apply took effect");
+        idx.undo(undo);
+        let after: Vec<(String, Vec<Posting>)> = {
+            let mut v: Vec<_> =
+                idx.terms().map(|(t, l)| (t.to_owned(), l.to_vec())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        assert_eq!(before, after, "undo must restore every posting list");
+        assert_eq!(idx.indexed_tuples(), 4);
     }
 
     #[test]

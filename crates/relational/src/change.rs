@@ -1,11 +1,11 @@
 //! Change tracking for incremental index and data-graph maintenance.
 //!
-//! Every successful [`crate::Database::insert`] and
-//! [`crate::Database::delete`] appends one [`ChangeOp`] to the database's
-//! change log and bumps its version counter. Downstream structures built
-//! from a snapshot (inverted index, data graph, search engine) drain the
-//! log with [`crate::Database::take_changes`] and patch themselves in
-//! place instead of rebuilding from scratch.
+//! Every successful [`crate::Database::insert`], [`crate::Database::update`]
+//! and [`crate::Database::delete`] appends one [`ChangeOp`] to the
+//! database's change log and bumps its version counter. Downstream
+//! structures built from a snapshot (inverted index, data graph, search
+//! engine) drain the log with [`crate::Database::take_changes`] and patch
+//! themselves in place instead of rebuilding from scratch.
 
 use crate::tuple::TupleId;
 use crate::value::Value;
@@ -40,13 +40,30 @@ pub enum ChangeOp {
     Insert(TupleChange),
     /// A tuple was deleted.
     Delete(TupleChange),
+    /// A tuple was updated in place — same [`TupleId`], new values.
+    ///
+    /// Both sides carry change-time snapshots: `old` is the state the
+    /// tuple had before the update (authoritative, like a delete's
+    /// snapshot — incremental consumers unindex from it), `new` the
+    /// state written (its `edges` are the change-time resolution; graph
+    /// consumers re-resolve against the database at apply time, like
+    /// inserts).
+    Update {
+        /// The tuple's pre-update snapshot.
+        old: TupleChange,
+        /// The tuple's post-update snapshot (same `id` as `old`).
+        new: TupleChange,
+    },
 }
 
 impl ChangeOp {
-    /// The changed tuple's snapshot, whichever the operation.
+    /// The changed tuple's snapshot, whichever the operation. For
+    /// updates this is the **new** (post-update) side; use
+    /// [`ChangeOp::update_sides`] when the old side is needed too.
     pub fn change(&self) -> &TupleChange {
         match self {
             ChangeOp::Insert(c) | ChangeOp::Delete(c) => c,
+            ChangeOp::Update { new, .. } => new,
         }
     }
 
@@ -54,15 +71,30 @@ impl ChangeOp {
     pub fn is_insert(&self) -> bool {
         matches!(self, ChangeOp::Insert(_))
     }
+
+    /// `true` for in-place updates.
+    pub fn is_update(&self) -> bool {
+        matches!(self, ChangeOp::Update { .. })
+    }
+
+    /// The `(old, new)` snapshot pair of an update; `None` for inserts
+    /// and deletes.
+    pub fn update_sides(&self) -> Option<(&TupleChange, &TupleChange)> {
+        match self {
+            ChangeOp::Update { old, new } => Some((old, new)),
+            _ => None,
+        }
+    }
 }
 
 /// An ordered batch of mutations, as emitted by a [`crate::Database`].
 ///
-/// Order matters: a tuple may be inserted and deleted within the same
-/// batch. Row indices are never reused (the store is append-only with
-/// tombstones), so a [`TupleId`] appearing as both an insert and a later
-/// delete always denotes the *same* short-lived tuple — [`ChangeSet::net_ops`]
-/// cancels such pairs for consumers that only care about the net effect.
+/// Order matters: a tuple may be inserted, updated and deleted within the
+/// same batch. Row indices are never reused (the store is append-only
+/// with tombstones), so a [`TupleId`] appearing in several operations
+/// always denotes the *same* short-lived tuple — [`ChangeSet::net_ops`]
+/// cancels insert…delete spans (intermediate updates included) for
+/// consumers that only care about the net effect.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChangeSet {
     ops: Vec<ChangeOp>,
@@ -98,7 +130,7 @@ impl ChangeSet {
     pub fn inserted(&self) -> impl Iterator<Item = &TupleChange> {
         self.ops.iter().filter_map(|op| match op {
             ChangeOp::Insert(c) => Some(c),
-            ChangeOp::Delete(_) => None,
+            _ => None,
         })
     }
 
@@ -106,12 +138,18 @@ impl ChangeSet {
     pub fn deleted(&self) -> impl Iterator<Item = &TupleChange> {
         self.ops.iter().filter_map(|op| match op {
             ChangeOp::Delete(c) => Some(c),
-            ChangeOp::Insert(_) => None,
+            _ => None,
         })
     }
 
-    /// The operations with insert-then-delete pairs of the same tuple
-    /// cancelled out (their net effect on any derived structure is nil).
+    /// The updated tuples' `(old, new)` snapshot pairs, in order.
+    pub fn updated(&self) -> impl Iterator<Item = (&TupleChange, &TupleChange)> {
+        self.ops.iter().filter_map(ChangeOp::update_sides)
+    }
+
+    /// The operations with insert-then-delete spans of the same tuple
+    /// cancelled out (their net effect on any derived structure is nil;
+    /// updates of such a tuple are part of the span and cancel with it).
     /// Relative order of the surviving operations is preserved.
     pub fn net_ops(&self) -> Vec<&ChangeOp> {
         use std::collections::HashSet;
@@ -135,17 +173,25 @@ mod tests {
         }
     }
 
+    fn update(rel: u32, row: u32) -> ChangeOp {
+        let mut new = change(rel, row);
+        new.values = vec![Value::from("y")];
+        ChangeOp::Update { old: change(rel, row), new }
+    }
+
     #[test]
     fn accessors_partition_ops() {
         let mut cs = ChangeSet::new();
         cs.push(ChangeOp::Insert(change(0, 0)));
         cs.push(ChangeOp::Delete(change(1, 0)));
         cs.push(ChangeOp::Insert(change(0, 1)));
-        assert_eq!(cs.len(), 3);
+        cs.push(update(3, 0));
+        assert_eq!(cs.len(), 4);
         assert!(!cs.is_empty());
         assert_eq!(cs.inserted().count(), 2);
         assert_eq!(cs.deleted().count(), 1);
-        assert_eq!(cs.net_ops().len(), 3);
+        assert_eq!(cs.updated().count(), 1);
+        assert_eq!(cs.net_ops().len(), 4);
     }
 
     #[test]
@@ -161,5 +207,30 @@ mod tests {
         assert_eq!(net[1].change().id, TupleId::new(RelationId(2), 5));
         assert!(net[0].is_insert());
         assert!(!net[1].is_insert());
+    }
+
+    #[test]
+    fn net_ops_cancels_updates_inside_insert_delete_spans() {
+        let mut cs = ChangeSet::new();
+        cs.push(ChangeOp::Insert(change(0, 0)));
+        cs.push(update(0, 0));
+        cs.push(ChangeOp::Delete(change(0, 0)));
+        cs.push(update(1, 3)); // pre-existing tuple: survives
+        let net = cs.net_ops();
+        assert_eq!(net.len(), 1);
+        assert!(net[0].is_update());
+        assert_eq!(net[0].change().id, TupleId::new(RelationId(1), 3));
+    }
+
+    #[test]
+    fn update_sides_expose_old_and_new() {
+        let op = update(0, 7);
+        let (old, new) = op.update_sides().expect("an update");
+        assert_eq!(old.id, new.id);
+        assert_eq!(old.values, vec![Value::from("x")]);
+        assert_eq!(new.values, vec![Value::from("y")]);
+        // `change()` is the new side.
+        assert_eq!(op.change().values, vec![Value::from("y")]);
+        assert!(ChangeOp::Insert(change(0, 0)).update_sides().is_none());
     }
 }

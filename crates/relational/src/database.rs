@@ -2,12 +2,21 @@
 
 use crate::change::{ChangeOp, ChangeSet, TupleChange};
 use crate::error::RelationalError;
-use crate::schema::Catalog;
+use crate::schema::{Catalog, RelationSchema};
 use crate::storage::RelationData;
 use crate::tuple::{RelationId, Tuple, TupleId};
 use crate::value::Value;
 use crate::Result;
 use std::collections::HashMap;
+
+/// Key of the persistent reverse-FK index: the *referenced* relation
+/// plus the referenced key values, exactly as stored in the referencing
+/// tuple's FK attributes. Keying by value rather than by resolved
+/// [`TupleId`] keeps the index exact under lazy reference validation —
+/// a forward (or temporarily dangling) reference is recorded the moment
+/// the referencing tuple is inserted, whether or not its target exists
+/// yet.
+type RefKey = (RelationId, Vec<Value>);
 
 /// An in-memory relational database instance.
 ///
@@ -17,18 +26,32 @@ use std::collections::HashMap;
 /// relation order (the paper's Figure 2 lists `PROJECT` before
 /// `EMPLOYEE`, for example, even though `WORKS_FOR` references both).
 ///
-/// The instance is mutable: [`Database::insert`] appends and
-/// [`Database::delete`] tombstones (row indices are stable and never
-/// reused, so [`TupleId`]s stay valid identifiers across mutations).
-/// Every mutation bumps [`Database::version`] and appends to an internal
-/// [`ChangeSet`] that incremental consumers drain with
-/// [`Database::take_changes`].
+/// The instance is mutable: [`Database::insert`] appends,
+/// [`Database::update`] overwrites a live row in place (same
+/// [`TupleId`]) and [`Database::delete`] tombstones (row indices are
+/// stable and never reused, so [`TupleId`]s stay valid identifiers
+/// across mutations; [`Database::compact`] is the one explicit exception
+/// and hands back a remap table). Every mutation bumps
+/// [`Database::version`] and appends to an internal [`ChangeSet`] that
+/// incremental consumers drain with [`Database::take_changes`].
+///
+/// A persistent reverse foreign-key index is maintained by every
+/// mutation, making [`Database::references_to`] and `delete`'s restrict
+/// check O(incoming references) instead of a scan over every
+/// referencing relation.
 #[derive(Debug, Clone)]
 pub struct Database {
     catalog: Catalog,
     data: Vec<RelationData>,
     version: u64,
     changes: ChangeSet,
+    /// Persistent reverse-FK index: for each referenced key, the
+    /// `(referencing tuple, fk index)` entries of every **live** tuple
+    /// whose FK attributes hold that key. Maintained incrementally by
+    /// insert/update/delete (and remapped by compact); entries are
+    /// therefore always live, but a key may have no live target (a
+    /// dangling reference awaiting lazy validation).
+    incoming: HashMap<RefKey, Vec<(TupleId, usize)>>,
 }
 
 impl Database {
@@ -38,12 +61,20 @@ impl Database {
     pub fn new(catalog: Catalog) -> Result<Self> {
         catalog.validate()?;
         let data = (0..catalog.len()).map(|_| RelationData::new()).collect();
-        Ok(Database { catalog, data, version: 0, changes: ChangeSet::new() })
+        Ok(Database {
+            catalog,
+            data,
+            version: 0,
+            changes: ChangeSet::new(),
+            incoming: HashMap::new(),
+        })
     }
 
-    /// Monotone mutation counter: bumped by every successful insert or
-    /// delete. Structures built from a snapshot record the version they
-    /// saw and compare against it to detect staleness.
+    /// Monotone mutation counter: bumped by every successful insert,
+    /// update or delete (and by [`Database::rollback`] and
+    /// [`Database::compact`], which change physical state). Structures
+    /// built from a snapshot record the version they saw and compare
+    /// against it to detect staleness.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -74,15 +105,8 @@ impl Database {
         &self.catalog
     }
 
-    /// Insert a row into relation `rel`.
-    ///
-    /// Checks arity, types, NULL constraints and PK uniqueness; foreign
-    /// keys are *not* checked here (see [`Database::validate_references`]).
-    pub fn insert(&mut self, rel: RelationId, values: Vec<Value>) -> Result<TupleId> {
-        let schema = self
-            .catalog
-            .relation(rel)
-            .ok_or_else(|| RelationalError::UnknownRelation(rel.to_string()))?;
+    /// Arity, type and NULL checks shared by insert and update.
+    fn validate_row(schema: &RelationSchema, values: &[Value]) -> Result<()> {
         if values.len() != schema.arity() {
             return Err(RelationalError::ArityMismatch {
                 relation: schema.name.clone(),
@@ -90,7 +114,7 @@ impl Database {
                 got: values.len(),
             });
         }
-        for (attr, value) in schema.attributes.iter().zip(&values) {
+        for (attr, value) in schema.attributes.iter().zip(values) {
             if value.is_null() {
                 if !attr.nullable {
                     return Err(RelationalError::NullViolation {
@@ -107,8 +131,65 @@ impl Database {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// The reverse-index keys a row of `rel` with `values` contributes:
+    /// one `(fk index, (target relation, key values))` per foreign key
+    /// whose attributes are all non-NULL.
+    fn fk_keys_of(schema: &RelationSchema, values: &[Value]) -> Vec<(usize, RefKey)> {
+        schema
+            .foreign_keys
+            .iter()
+            .enumerate()
+            .filter_map(|(fk_idx, fk)| {
+                let key: Vec<Value> =
+                    fk.attributes.iter().map(|&i| values[i].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    None
+                } else {
+                    Some((fk_idx, (fk.target, key)))
+                }
+            })
+            .collect()
+    }
+
+    /// Record a row's outgoing references (precomputed by
+    /// [`Database::fk_keys_of`]) in the reverse index.
+    fn index_reference_keys(&mut self, id: TupleId, fk_keys: Vec<(usize, RefKey)>) {
+        for (fk_idx, key) in fk_keys {
+            self.incoming.entry(key).or_default().push((id, fk_idx));
+        }
+    }
+
+    /// Remove a row's outgoing references (precomputed by
+    /// [`Database::fk_keys_of`]) from the reverse index.
+    fn unindex_reference_keys(&mut self, id: TupleId, fk_keys: Vec<(usize, RefKey)>) {
+        for (fk_idx, key) in fk_keys {
+            let Some(entries) = self.incoming.get_mut(&key) else {
+                debug_assert!(false, "unindexing a reference that was never indexed");
+                continue;
+            };
+            entries.retain(|&(src, fk)| (src, fk) != (id, fk_idx));
+            if entries.is_empty() {
+                self.incoming.remove(&key);
+            }
+        }
+    }
+
+    /// Insert a row into relation `rel`.
+    ///
+    /// Checks arity, types, NULL constraints and PK uniqueness; foreign
+    /// keys are *not* checked here (see [`Database::validate_references`]).
+    pub fn insert(&mut self, rel: RelationId, values: Vec<Value>) -> Result<TupleId> {
+        let schema = self
+            .catalog
+            .relation(rel)
+            .ok_or_else(|| RelationalError::UnknownRelation(rel.to_string()))?;
+        Self::validate_row(schema, &values)?;
         let key: Vec<Value> = schema.primary_key.iter().map(|&i| values[i].clone()).collect();
         let relation_name = schema.name.clone();
+        let fk_keys = Self::fk_keys_of(schema, &values);
         let store = &mut self.data[rel.index()];
         if store.pk_index.contains_key(&key) {
             return Err(RelationalError::DuplicateKey {
@@ -119,21 +200,100 @@ impl Database {
         let row = store.push(Tuple::new(values.clone()));
         store.pk_index.insert(key, row);
         let id = TupleId::new(rel, row);
+        self.index_reference_keys(id, fk_keys);
         let edges = self.references_from(id);
         self.version += 1;
         self.changes.push(ChangeOp::Insert(TupleChange { id, values, edges }));
         Ok(id)
     }
 
+    /// Overwrite tuple `id`'s values in place, **preserving its
+    /// [`TupleId`]** — the in-place update that a delete + re-insert
+    /// (which churns the id and breaks every id-keyed consumer) cannot
+    /// provide.
+    ///
+    /// Checks arity, types and NULL constraints like an insert. A
+    /// changed primary key is re-validated against the PK index
+    /// (duplicate keys are rejected) and is subject to **restrict**
+    /// semantics like a delete: while any *other* live tuple references
+    /// the old key, the change fails with
+    /// [`RelationalError::UpdateRestricted`] (a tuple's own
+    /// self-reference does not block, mirroring `delete`). Foreign-key
+    /// references of the new values are recorded (and validated lazily,
+    /// like inserts), and the reverse-FK index is re-pointed to match.
+    ///
+    /// Logs a [`ChangeOp::Update`] carrying both the old and the new
+    /// snapshot, so incremental consumers can patch by diff instead of
+    /// delete + re-insert.
+    pub fn update(&mut self, id: TupleId, values: Vec<Value>) -> Result<()> {
+        let schema = self
+            .catalog
+            .relation(id.relation)
+            .ok_or_else(|| RelationalError::UnknownRelation(id.relation.to_string()))?;
+        Self::validate_row(schema, &values)?;
+        let Some(tuple) = self.data[id.relation.index()].get(id.row) else {
+            return Err(RelationalError::TupleNotFound(id.to_string()));
+        };
+        let old_values = tuple.values().to_vec();
+        let old_key: Vec<Value> = tuple.project(&schema.primary_key);
+        let new_key: Vec<Value> =
+            schema.primary_key.iter().map(|&i| values[i].clone()).collect();
+        let relation_name = schema.name.clone();
+        let old_fk_keys = Self::fk_keys_of(schema, &old_values);
+        let new_fk_keys = Self::fk_keys_of(schema, &values);
+        if new_key != old_key {
+            if self.data[id.relation.index()].pk_index.contains_key(&new_key) {
+                return Err(RelationalError::DuplicateKey {
+                    relation: relation_name,
+                    key: format!("{new_key:?}"),
+                });
+            }
+            // Restrict: re-keying the tuple would silently dangle every
+            // live reference to the old key. The tuple's own
+            // self-reference does not block (it dangles only if the
+            // caller chose not to re-point it in the same update, which
+            // lazy validation reports like any other dangling FK).
+            if let Some(blocker) = self
+                .incoming
+                .get(&(id.relation, old_key.clone()))
+                .into_iter()
+                .flatten()
+                .find(|&&(src, _)| src != id)
+            {
+                return Err(RelationalError::UpdateRestricted {
+                    relation: relation_name,
+                    referenced_by: blocker.0.to_string(),
+                });
+            }
+        }
+        let old_edges = self.references_from(id);
+        self.unindex_reference_keys(id, old_fk_keys);
+        let store = &mut self.data[id.relation.index()];
+        store.replace(id.row, Tuple::new(values.clone()));
+        if new_key != old_key {
+            store.pk_index.remove(&old_key);
+            store.pk_index.insert(new_key, id.row);
+        }
+        self.index_reference_keys(id, new_fk_keys);
+        let new_edges = self.references_from(id);
+        self.version += 1;
+        self.changes.push(ChangeOp::Update {
+            old: TupleChange { id, values: old_values, edges: old_edges },
+            new: TupleChange { id, values, edges: new_edges },
+        });
+        Ok(())
+    }
+
     /// Delete tuple `id` (tombstoning its row; the row index is never
     /// reused). **Restrict** semantics: the delete fails with
     /// [`RelationalError::DeleteRestricted`] while any other live tuple
-    /// still references `id` — delete the referencing tuples first.
+    /// still references `id` — delete the referencing tuples first. A
+    /// tuple whose own foreign key targets itself (a self-loop row) does
+    /// not block its own deletion.
     ///
-    /// The restrict check scans the live tuples of every relation with a
-    /// foreign key targeting `id`'s relation (there is no persistent
-    /// reverse-reference index); at the workloads this substrate serves
-    /// that is a few hash probes per candidate row. The logged
+    /// The restrict check is one probe of the persistent reverse-FK
+    /// index — O(incoming references), not a scan over every relation
+    /// with a foreign key targeting `id`'s relation. The logged
     /// [`TupleChange`] snapshots the tuple's values and resolved edges so
     /// incremental consumers can unindex it after the fact.
     pub fn delete(&mut self, id: TupleId) -> Result<()> {
@@ -146,36 +306,123 @@ impl Database {
         };
         let key: Vec<Value> = tuple.project(&schema.primary_key);
         let values = tuple.values().to_vec();
-        // Restrict: no live tuple may still reference the victim. A
-        // reference is an FK targeting `id.relation` whose attribute
-        // values equal the victim's primary key.
-        for (rel2, schema2) in self.catalog.iter() {
-            for fk in schema2.foreign_keys.iter().filter(|fk| fk.target == id.relation) {
-                for (rid, t) in self.tuples(rel2) {
-                    if rid == id {
-                        continue; // a self-reference does not block
-                    }
-                    let fk_vals: Vec<&Value> =
-                        fk.attributes.iter().map(|&i| &t.values()[i]).collect();
-                    if fk_vals.iter().any(|v| v.is_null()) {
-                        continue;
-                    }
-                    if fk_vals.iter().zip(&key).all(|(a, b)| **a == *b) {
-                        return Err(RelationalError::DeleteRestricted {
-                            relation: schema.name.clone(),
-                            referenced_by: rid.to_string(),
-                        });
-                    }
-                }
-            }
+        let relation_name = schema.name.clone();
+        let fk_keys = Self::fk_keys_of(schema, &values);
+        // Restrict: no live tuple may still reference the victim. The
+        // reverse index holds exactly the live tuples whose FK values
+        // equal the victim's primary key; the victim's own
+        // self-reference does not block.
+        if let Some(blocker) = self
+            .incoming
+            .get(&(id.relation, key.clone()))
+            .into_iter()
+            .flatten()
+            .find(|&&(src, _)| src != id)
+        {
+            return Err(RelationalError::DeleteRestricted {
+                relation: relation_name,
+                referenced_by: blocker.0.to_string(),
+            });
         }
         let edges = self.references_from(id);
+        self.unindex_reference_keys(id, fk_keys);
         let store = &mut self.data[id.relation.index()];
         store.pk_index.remove(&key);
         store.tombstone(id.row);
         self.version += 1;
         self.changes.push(ChangeOp::Delete(TupleChange { id, values, edges }));
         Ok(())
+    }
+
+    /// Undo a drained batch of mutations, restoring the database's
+    /// **content** to its pre-batch state (inverse operations applied in
+    /// reverse order: inserts are un-inserted, deletes resurrected under
+    /// their original [`TupleId`], updates written back). This is the
+    /// rollback half of an atomic apply: a consumer that drained the
+    /// batch with [`Database::take_changes`] and failed to patch its
+    /// derived structures calls this to put the database back in the
+    /// state those structures reflect.
+    ///
+    /// `changes` must be exactly the ops drained since the caller's last
+    /// sync, unmodified and not yet rolled back — inverse ops assume the
+    /// current physical state is the batch's outcome. The rollback
+    /// itself logs nothing (there is nothing left to apply) but bumps
+    /// [`Database::version`] once, so any other snapshot of the
+    /// intermediate state fails fast; callers re-sync to the new
+    /// version. Un-inserted rows leave a tombstoned slot behind (slots
+    /// are never reused), which [`Database::compact`] reclaims like any
+    /// other.
+    pub fn rollback(&mut self, changes: &ChangeSet) {
+        let pk_of = |schema: &RelationSchema, values: &[Value]| -> Vec<Value> {
+            schema.primary_key.iter().map(|&i| values[i].clone()).collect()
+        };
+        for op in changes.ops().iter().rev() {
+            let schema = self
+                .catalog
+                .relation(op.change().id.relation)
+                .expect("rolled-back op references a cataloged relation");
+            match op {
+                ChangeOp::Insert(c) => {
+                    let key = pk_of(schema, &c.values);
+                    let fk_keys = Self::fk_keys_of(schema, &c.values);
+                    self.unindex_reference_keys(c.id, fk_keys);
+                    let store = &mut self.data[c.id.relation.index()];
+                    store.pk_index.remove(&key);
+                    store.tombstone(c.id.row);
+                }
+                ChangeOp::Delete(c) => {
+                    let key = pk_of(schema, &c.values);
+                    let fk_keys = Self::fk_keys_of(schema, &c.values);
+                    let store = &mut self.data[c.id.relation.index()];
+                    store.resurrect(c.id.row);
+                    store.pk_index.insert(key, c.id.row);
+                    self.index_reference_keys(c.id, fk_keys);
+                }
+                ChangeOp::Update { old, new } => {
+                    let old_key = pk_of(schema, &old.values);
+                    let new_key = pk_of(schema, &new.values);
+                    let old_fk_keys = Self::fk_keys_of(schema, &old.values);
+                    let new_fk_keys = Self::fk_keys_of(schema, &new.values);
+                    self.unindex_reference_keys(new.id, new_fk_keys);
+                    let store = &mut self.data[old.id.relation.index()];
+                    store.replace(old.id.row, Tuple::new(old.values.clone()));
+                    if new_key != old_key {
+                        store.pk_index.remove(&new_key);
+                        store.pk_index.insert(old_key, old.id.row);
+                    }
+                    self.index_reference_keys(old.id, old_fk_keys);
+                }
+            }
+        }
+        if !changes.is_empty() {
+            self.version += 1;
+        }
+    }
+
+    /// Reclaim every tombstoned row slot, renumbering the surviving rows
+    /// of each relation densely (in slot order) behind the returned
+    /// [`TupleRemap`]. Content is unchanged — only ids move — but every
+    /// outstanding [`TupleId`] is invalidated: consumers holding
+    /// id-keyed state must remap it (or rebuild). The change log must be
+    /// empty (drain — and apply — first), since logged ops refer to the
+    /// old numbering; the version is bumped so stale snapshots fail
+    /// fast.
+    pub fn compact(&mut self) -> Result<TupleRemap> {
+        if !self.changes.is_empty() {
+            return Err(RelationalError::CompactionWithPendingChanges {
+                pending_ops: self.changes.len(),
+            });
+        }
+        let per_rel: Vec<Vec<Option<u32>>> =
+            self.data.iter_mut().map(RelationData::compact).collect();
+        let remap = TupleRemap { per_rel };
+        for entries in self.incoming.values_mut() {
+            for (src, _) in entries.iter_mut() {
+                *src = remap.map(*src).expect("reverse-index entries are live");
+            }
+        }
+        self.version += 1;
+        Ok(remap)
     }
 
     /// The tuple with id `id`, if it exists and is live.
@@ -191,6 +438,13 @@ impl Database {
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.data.iter().map(RelationData::len).sum()
+    }
+
+    /// Total number of row **slots** across all relations (live rows
+    /// plus tombstones; equals [`Database::total_tuples`] right after
+    /// [`Database::compact`]).
+    pub fn total_row_slots(&self) -> usize {
+        self.data.iter().map(RelationData::slot_count).sum()
     }
 
     /// Iterate over `(id, tuple)` for every live tuple of relation `rel`,
@@ -267,6 +521,24 @@ impl Database {
         out
     }
 
+    /// The live tuples referencing `id`, as sorted
+    /// `(source tuple, fk index in source)` pairs — one probe of the
+    /// persistent reverse-FK index, O(incoming references). Always
+    /// current (unlike a [`ReferenceIndex`] snapshot). Empty for dead or
+    /// unknown tuples.
+    pub fn references_to(&self, id: TupleId) -> Vec<(TupleId, usize)> {
+        let Some(schema) = self.catalog.relation(id.relation) else {
+            return Vec::new();
+        };
+        let Some(tuple) = self.tuple(id) else {
+            return Vec::new();
+        };
+        let key = tuple.project(&schema.primary_key);
+        let mut entries = self.incoming.get(&(id.relation, key)).cloned().unwrap_or_default();
+        entries.sort_unstable();
+        entries
+    }
+
     /// Check referential integrity of the whole instance.
     pub fn validate_references(&self) -> Result<()> {
         for (rel, schema) in self.catalog.iter() {
@@ -279,34 +551,101 @@ impl Database {
         Ok(())
     }
 
-    /// Build the reverse reference index (referenced → referencing).
+    /// Snapshot the reverse reference index (referenced → referencing)
+    /// at the current version.
+    ///
+    /// Derived from the persistent reverse-FK index in O(reference
+    /// edges) — no relation scan. The snapshot is version-stamped:
+    /// [`ReferenceIndex::references_to_checked`] fails fast once the
+    /// database moves on. Callers that just want the current incoming
+    /// references of one tuple should use [`Database::references_to`]
+    /// instead.
     pub fn build_reference_index(&self) -> ReferenceIndex {
         let mut incoming: HashMap<TupleId, Vec<(TupleId, usize)>> = HashMap::new();
-        for (rel, _) in self.catalog.iter() {
-            for (id, _) in self.tuples(rel) {
-                for (fk_idx, target) in self.references_from(id) {
-                    incoming.entry(target).or_default().push((id, fk_idx));
-                }
+        for ((rel, key), entries) in &self.incoming {
+            // Keys without a live target are dangling references waiting
+            // on lazy validation; they reverse to no live tuple.
+            if let Some(target) = self.lookup_pk(*rel, key) {
+                let list = incoming.entry(target).or_default();
+                list.extend(entries.iter().copied());
+                list.sort_unstable();
             }
         }
-        ReferenceIndex { incoming }
+        ReferenceIndex { incoming, version: self.version }
     }
 }
 
-/// Reverse foreign-key index: for each tuple, the tuples referencing it.
+/// Remap table returned by [`Database::compact`]: for every pre-compact
+/// [`TupleId`], the id the same tuple carries afterwards (`None` if the
+/// slot was tombstoned and reclaimed).
+#[derive(Debug, Clone)]
+pub struct TupleRemap {
+    /// `per_rel[rel][old row] = Some(new row)` for survivors.
+    per_rel: Vec<Vec<Option<u32>>>,
+}
+
+impl TupleRemap {
+    /// The post-compaction id of pre-compaction tuple `id`, if the
+    /// tuple survived (dead and out-of-range ids map to `None`).
+    pub fn map(&self, id: TupleId) -> Option<TupleId> {
+        let row = *self.per_rel.get(id.relation.index())?.get(id.row as usize)?;
+        row.map(|r| TupleId::new(id.relation, r))
+    }
+
+    /// Number of tombstoned slots the compaction reclaimed.
+    pub fn reclaimed(&self) -> usize {
+        self.per_rel.iter().flatten().filter(|r| r.is_none()).count()
+    }
+
+    /// `true` when no row moved (the database had no tombstones).
+    pub fn is_identity(&self) -> bool {
+        self.reclaimed() == 0
+    }
+}
+
+/// Reverse foreign-key index snapshot: for each tuple, the tuples
+/// referencing it, frozen at one database version.
 ///
-/// Built once per database snapshot with
-/// [`Database::build_reference_index`]; `cla-core` uses it to construct
-/// the undirected data graph.
+/// Built with [`Database::build_reference_index`] from the database's
+/// persistent reverse-FK index (no scan). The snapshot does not follow
+/// later mutations; it records the version it saw, and the checked
+/// accessor fails fast instead of answering from stale state. For
+/// always-current lookups use [`Database::references_to`].
 #[derive(Debug, Clone, Default)]
 pub struct ReferenceIndex {
     incoming: HashMap<TupleId, Vec<(TupleId, usize)>>,
+    version: u64,
 }
 
 impl ReferenceIndex {
-    /// Tuples referencing `id`, as `(source tuple, fk index in source)`.
+    /// Tuples referencing `id`, as sorted
+    /// `(source tuple, fk index in source)` pairs — **as of the
+    /// snapshot's version** (see [`ReferenceIndex::references_to_checked`]
+    /// for the fail-fast accessor).
     pub fn references_to(&self, id: TupleId) -> &[(TupleId, usize)] {
         self.incoming.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// [`ReferenceIndex::references_to`] with a staleness check: fails
+    /// with [`RelationalError::StaleReferenceIndex`] when `db` has moved
+    /// past the version this snapshot was built at.
+    pub fn references_to_checked(
+        &self,
+        db: &Database,
+        id: TupleId,
+    ) -> Result<&[(TupleId, usize)]> {
+        if db.version() != self.version {
+            return Err(RelationalError::StaleReferenceIndex {
+                index_version: self.version,
+                db_version: db.version(),
+            });
+        }
+        Ok(self.references_to(id))
+    }
+
+    /// The database version this snapshot was built at.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Total number of stored reference edges.
@@ -428,6 +767,39 @@ mod tests {
         assert_eq!(idx.references_to(d1), &[(e1, 0)]);
         assert_eq!(idx.edge_count(), 2);
         assert!(idx.references_to(e1).is_empty());
+        // The live accessor agrees.
+        assert_eq!(db.references_to(d1), vec![(e1, 0)]);
+        assert!(db.references_to(e1).is_empty());
+    }
+
+    #[test]
+    fn stale_reference_index_snapshot_fails_fast() {
+        let (mut db, dept, emp) = two_relation_db();
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        let idx = db.build_reference_index();
+        assert_eq!(idx.version(), db.version());
+        idx.references_to_checked(&db, d1).unwrap();
+        db.insert(emp, vec!["e9".into(), "Ng".into(), "d1".into()]).unwrap();
+        let err = idx.references_to_checked(&db, d1).unwrap_err();
+        assert!(matches!(err, RelationalError::StaleReferenceIndex { .. }));
+        // The live accessor follows the mutation.
+        assert_eq!(db.references_to(d1).len(), 2);
+    }
+
+    /// The reverse index must stay exact under lazy validation: a
+    /// reference recorded while dangling blocks the target's delete
+    /// once the target arrives.
+    #[test]
+    fn forward_reference_blocks_delete_of_late_target() {
+        let (mut db, dept, emp) = two_relation_db();
+        db.insert(emp, vec!["e9".into(), "Ng".into(), "d9".into()]).unwrap();
+        // d9 does not exist yet — the reference dangles (lazily).
+        let d9 = db.insert(dept, vec!["d9".into(), "Late".into()]).unwrap();
+        db.validate_references().unwrap();
+        let err = db.delete(d9).unwrap_err();
+        assert!(matches!(err, RelationalError::DeleteRestricted { .. }));
+        let e9 = db.lookup_pk(emp, &[Value::from("e9")]).unwrap();
+        assert_eq!(db.references_to(d9), vec![(e9, 0)]);
     }
 
     #[test]
@@ -500,6 +872,156 @@ mod tests {
     }
 
     #[test]
+    fn update_preserves_tuple_id_and_logs_both_sides() {
+        let (mut db, dept, emp) = two_relation_db();
+        db.take_changes();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        let d2 = db.lookup_pk(dept, &[Value::from("d2")]).unwrap();
+        let v0 = db.version();
+        // Rename and move e1 from d1 to d2 — id unchanged.
+        db.update(e1, vec!["e1".into(), "Smythe".into(), "d2".into()]).unwrap();
+        assert_eq!(db.version(), v0 + 1);
+        assert_eq!(db.lookup_pk(emp, &[Value::from("e1")]), Some(e1));
+        assert_eq!(db.tuple(e1).unwrap().get(1), Some(&Value::from("Smythe")));
+        assert_eq!(db.references_from(e1), vec![(0, d2)]);
+        // Reverse index re-pointed.
+        assert!(db
+            .references_to(db.lookup_pk(dept, &[Value::from("d1")]).unwrap())
+            .is_empty());
+        assert_eq!(db.references_to(d2).len(), 2);
+        // The log carries old and new snapshots under the same id.
+        let cs = db.take_changes();
+        assert_eq!(cs.len(), 1);
+        let (old, new) = cs.updated().next().unwrap();
+        assert_eq!((old.id, new.id), (e1, e1));
+        assert_eq!(old.values[1], Value::from("Smith"));
+        assert_eq!(new.values[1], Value::from("Smythe"));
+        assert_eq!(old.edges.len(), 1);
+        assert_eq!(new.edges, vec![(0, d2)]);
+    }
+
+    #[test]
+    fn update_validates_like_insert() {
+        let (mut db, dept, emp) = two_relation_db();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        assert!(matches!(
+            db.update(e1, vec!["e1".into()]).unwrap_err(),
+            RelationalError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            db.update(e1, vec!["e1".into(), 42i64.into(), "d1".into()]).unwrap_err(),
+            RelationalError::TypeMismatch { .. }
+        ));
+        assert!(matches!(
+            db.update(e1, vec![Value::Null, "Smith".into(), "d1".into()]).unwrap_err(),
+            RelationalError::NullViolation { .. }
+        ));
+        // Re-keying onto an existing PK is a duplicate.
+        assert!(matches!(
+            db.update(e1, vec!["e2".into(), "Smith".into(), "d1".into()]).unwrap_err(),
+            RelationalError::DuplicateKey { .. }
+        ));
+        // A referenced tuple's PK change is restricted (e1 → d1)…
+        assert!(matches!(
+            db.update(d1, vec!["d9".into(), "Cs".into()]).unwrap_err(),
+            RelationalError::UpdateRestricted { .. }
+        ));
+        // …but a same-key update of it is fine.
+        db.update(d1, vec!["d1".into(), "CompSci".into()]).unwrap();
+        assert_eq!(db.tuple(d1).unwrap().get(1), Some(&Value::from("CompSci")));
+        // Dead tuples cannot be updated.
+        db.delete(e1).unwrap();
+        assert!(matches!(
+            db.update(e1, vec!["e1".into(), "S".into(), "d1".into()]).unwrap_err(),
+            RelationalError::TupleNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn update_rekey_allowed_when_unreferenced() {
+        let (mut db, dept, emp) = two_relation_db();
+        let d1 = db.lookup_pk(dept, &[Value::from("d1")]).unwrap();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        // Point e1 elsewhere, then re-key d1 — no live reference blocks.
+        db.update(e1, vec!["e1".into(), "Smith".into(), "d2".into()]).unwrap();
+        db.update(d1, vec!["d9".into(), "Cs".into()]).unwrap();
+        assert_eq!(db.lookup_pk(dept, &[Value::from("d9")]), Some(d1));
+        assert!(db.lookup_pk(dept, &[Value::from("d1")]).is_none());
+        db.validate_references().unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_content_and_reverse_index() {
+        let (mut db, dept, emp) = two_relation_db();
+        db.take_changes();
+        let snapshot = db.clone();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        let e2 = db.lookup_pk(emp, &[Value::from("e2")]).unwrap();
+
+        db.insert(emp, vec!["e9".into(), "Ng".into(), "d1".into()]).unwrap();
+        db.update(e2, vec!["e2".into(), "Moved".into(), "d1".into()]).unwrap();
+        db.delete(e1).unwrap();
+        let d3 = db.insert(dept, vec!["d3".into(), "new".into()]).unwrap();
+        db.update(d3, vec!["d4".into(), "renamed".into()]).unwrap();
+
+        let changes = db.take_changes();
+        db.rollback(&changes);
+
+        // Content identical to the snapshot (slot counts may differ —
+        // un-inserted rows leave tombstones behind).
+        assert_eq!(db.total_tuples(), snapshot.total_tuples());
+        for rel in [dept, emp] {
+            let a: Vec<_> = db.tuples(rel).collect();
+            let b: Vec<_> = snapshot.tuples(rel).collect();
+            assert_eq!(a, b);
+        }
+        assert_eq!(db.tuple(e1).unwrap().get(1), Some(&Value::from("Smith")));
+        assert!(db.lookup_pk(dept, &[Value::from("d3")]).is_none());
+        assert!(db.lookup_pk(dept, &[Value::from("d4")]).is_none());
+        // Reverse index restored exactly.
+        for id in snapshot.all_tuple_ids() {
+            assert_eq!(db.references_to(id), snapshot.references_to(id), "{id}");
+        }
+        // The rollback itself moved the version and logged nothing.
+        assert!(db.version() > snapshot.version());
+        assert!(db.pending_changes().is_empty());
+    }
+
+    #[test]
+    fn compact_renumbers_behind_remap() {
+        let (mut db, dept, emp) = two_relation_db();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        let e2 = db.lookup_pk(emp, &[Value::from("e2")]).unwrap();
+        db.delete(e1).unwrap();
+
+        // Pending changes block compaction.
+        let err = db.compact().unwrap_err();
+        assert!(matches!(err, RelationalError::CompactionWithPendingChanges { .. }));
+
+        db.take_changes();
+        let remap = db.compact().unwrap();
+        assert_eq!(remap.reclaimed(), 1);
+        assert!(!remap.is_identity());
+        assert_eq!(remap.map(e1), None, "deleted tuples do not survive");
+        let e2_new = remap.map(e2).unwrap();
+        assert_eq!(e2_new.row, 0, "surviving rows are renumbered densely");
+        assert_eq!(db.tuple(e2_new).unwrap().get(0), Some(&Value::from("e2")));
+        assert_eq!(db.lookup_pk(emp, &[Value::from("e2")]), Some(e2_new));
+        assert_eq!(db.total_row_slots(), db.total_tuples(), "zero tombstoned slots");
+        // Reverse index remapped: d2 is referenced by the renumbered e2.
+        let d2 = db.lookup_pk(dept, &[Value::from("d2")]).unwrap();
+        assert_eq!(db.references_to(d2), vec![(e2_new, 0)]);
+        db.validate_references().unwrap();
+
+        // A tombstone-free compaction is the identity.
+        db.take_changes();
+        let remap2 = db.compact().unwrap();
+        assert!(remap2.is_identity());
+        assert_eq!(remap2.map(e2_new), Some(e2_new));
+    }
+
+    #[test]
     fn self_reference_does_not_block_delete() {
         let catalog = SchemaBuilder::new()
             .relation("NODE", |r| {
@@ -516,5 +1038,35 @@ mod tests {
         // `root` references itself; nothing else references it.
         db.delete(root).unwrap();
         assert_eq!(db.tuple_count(node), 0);
+
+        // But a reference from any *other* tuple still blocks.
+        let root2 = db.insert(node, vec!["r2".into(), "r2".into()]).unwrap();
+        db.insert(node, vec!["c".into(), "r2".into()]).unwrap();
+        assert!(matches!(db.delete(root2), Err(RelationalError::DeleteRestricted { .. })));
+    }
+
+    /// A self-loop row (employee.manager → self) must not block its own
+    /// PK-changing update either — the restrict check skips the victim
+    /// itself in both delete and update.
+    #[test]
+    fn self_reference_does_not_block_update() {
+        let catalog = SchemaBuilder::new()
+            .relation("EMPLOYEE", |r| {
+                r.attr("SSN", DataType::Text)
+                    .attr_nullable("MANAGER", DataType::Text)
+                    .primary_key(&["SSN"])
+                    .foreign_key("manager", &["MANAGER"], "EMPLOYEE", &["SSN"])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new(catalog).unwrap();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        let boss = db.insert(emp, vec!["b1".into(), "b1".into()]).unwrap();
+        // Re-key the self-managing boss, re-pointing the loop in the
+        // same update: nothing else references b1, so nothing blocks.
+        db.update(boss, vec!["b2".into(), "b2".into()]).unwrap();
+        assert_eq!(db.lookup_pk(emp, &[Value::from("b2")]), Some(boss));
+        assert_eq!(db.references_to(boss), vec![(boss, 0)]);
+        db.validate_references().unwrap();
     }
 }

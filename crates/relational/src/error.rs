@@ -76,6 +76,30 @@ pub enum RelationalError {
         /// A referencing tuple blocking the delete, rendered.
         referenced_by: String,
     },
+    /// An update changing a tuple's primary key was rejected because
+    /// other live tuples still reference the old key (restrict
+    /// semantics — re-point or delete the referencing tuples first).
+    UpdateRestricted {
+        /// Relation of the tuple being updated.
+        relation: String,
+        /// A referencing tuple blocking the key change, rendered.
+        referenced_by: String,
+    },
+    /// A [`crate::ReferenceIndex`] snapshot was consulted after the
+    /// database moved past the version it was built at.
+    StaleReferenceIndex {
+        /// The version the snapshot was built at.
+        index_version: u64,
+        /// The database's current version.
+        db_version: u64,
+    },
+    /// [`crate::Database::compact`] was called while the change log
+    /// still holds undrained mutations — compaction renumbers the ids
+    /// the log refers to, so consumers must drain (and apply) first.
+    CompactionWithPendingChanges {
+        /// Operations still in the log.
+        pending_ops: usize,
+    },
 }
 
 impl fmt::Display for RelationalError {
@@ -115,6 +139,22 @@ impl fmt::Display for RelationalError {
             RelationalError::DeleteRestricted { relation, referenced_by } => write!(
                 f,
                 "cannot delete from `{relation}`: still referenced by tuple {referenced_by}"
+            ),
+            RelationalError::UpdateRestricted { relation, referenced_by } => write!(
+                f,
+                "cannot change the primary key in `{relation}`: still referenced by \
+                 tuple {referenced_by}"
+            ),
+            RelationalError::StaleReferenceIndex { index_version, db_version } => write!(
+                f,
+                "stale reference index: built at database version {index_version} but the \
+                 database is at {db_version} — rebuild the snapshot (or use \
+                 Database::references_to, which is always current)"
+            ),
+            RelationalError::CompactionWithPendingChanges { pending_ops } => write!(
+                f,
+                "cannot compact: {pending_ops} logged mutations have not been drained — \
+                 compaction renumbers tuple ids, take_changes (and apply) first"
             ),
         }
     }

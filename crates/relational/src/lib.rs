@@ -11,13 +11,21 @@
 //! layer (`cla-core`) only relies on
 //!
 //! * a [`Catalog`] describing relation schemas and their foreign keys,
-//! * a [`Database`] instance with constraint-checked inserts and
-//!   restrict-checked tombstone deletes,
-//! * navigation along foreign keys in both directions
-//!   ([`Database::references_from`] and [`ReferenceIndex`]),
+//! * a [`Database`] instance with constraint-checked inserts, in-place
+//!   [`Database::update`]s (same [`TupleId`], restrict-checked key
+//!   changes) and restrict-checked tombstone deletes,
+//! * navigation along foreign keys in both directions:
+//!   [`Database::references_from`] forward, and — backed by a
+//!   persistent reverse-FK index maintained by every mutation —
+//!   [`Database::references_to`] in O(incoming references), with
+//!   [`ReferenceIndex`] as a version-stamped snapshot that fails fast
+//!   once stale,
 //! * change tracking for incremental maintenance: every mutation bumps
 //!   [`Database::version`] and logs a [`ChangeOp`] that downstream
-//!   index/graph structures drain via [`Database::take_changes`].
+//!   index/graph structures drain via [`Database::take_changes`];
+//!   [`Database::rollback`] undoes a drained batch (the rollback half
+//!   of an atomic apply) and [`Database::compact`] reclaims tombstoned
+//!   row slots behind a [`TupleRemap`].
 //!
 //! ## Example
 //!
@@ -67,7 +75,7 @@ mod value;
 pub use builder::{RelationBuilder, SchemaBuilder};
 pub use change::{ChangeOp, ChangeSet, TupleChange};
 pub use csv::{from_csv, to_csv};
-pub use database::{Database, ReferenceIndex};
+pub use database::{Database, ReferenceIndex, TupleRemap};
 pub use display::{render_database, render_relation};
 pub use error::RelationalError;
 pub use query::{hash_join, join_along_fk, project, select, select_all, RowSet};

@@ -10,7 +10,11 @@ use std::collections::HashMap;
 /// stable, are never reused, and double as the `row` component of
 /// [`crate::TupleId`] — a deleted tuple's id therefore never comes back
 /// to denote a different tuple, which is what lets incremental consumers
-/// (inverted index, data graph) patch themselves by id.
+/// (inverted index, data graph) patch themselves by id. The only two
+/// ways a row index moves are [`RelationData::resurrect`] (the rollback
+/// path un-deleting the *same* tuple, id unchanged) and
+/// [`RelationData::compact`] (explicit slot reclamation behind a remap
+/// table).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RelationData {
     /// Stored rows in insertion order (tombstoned rows keep their slot).
@@ -34,6 +38,11 @@ impl RelationData {
         self.live
     }
 
+    /// Number of row **slots** (live rows plus tombstones).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.tuples.len()
+    }
+
     /// The row, if it exists and is live.
     pub(crate) fn get(&self, row: u32) -> Option<&Tuple> {
         let i = row as usize;
@@ -53,11 +62,58 @@ impl RelationData {
         row
     }
 
+    /// Overwrite a live row's values in place (the in-place `update`
+    /// primitive — row index and therefore tuple id are unchanged).
+    /// Callers check liveness first.
+    pub(crate) fn replace(&mut self, row: u32, tuple: Tuple) {
+        debug_assert!(self.alive[row as usize], "replace of dead row {row}");
+        self.tuples[row as usize] = tuple;
+    }
+
     /// Tombstone a live row. Callers check liveness first.
     pub(crate) fn tombstone(&mut self, row: u32) {
         debug_assert!(self.alive[row as usize], "double delete of row {row}");
         self.alive[row as usize] = false;
         self.live -= 1;
+    }
+
+    /// Revive a tombstoned row (the rollback path un-deleting the same
+    /// tuple — values are still in the slot). Callers check deadness
+    /// first.
+    pub(crate) fn resurrect(&mut self, row: u32) {
+        debug_assert!(!self.alive[row as usize], "resurrect of live row {row}");
+        self.alive[row as usize] = true;
+        self.live += 1;
+    }
+
+    /// Drop every tombstoned slot, renumbering the surviving rows
+    /// densely in slot order. Returns `remap[old row] = Some(new row)`
+    /// for survivors, `None` for reclaimed slots. The `pk_index` is
+    /// rewritten to the new numbering.
+    pub(crate) fn compact(&mut self) -> Vec<Option<u32>> {
+        let mut remap: Vec<Option<u32>> = Vec::with_capacity(self.tuples.len());
+        let mut next = 0u32;
+        for &alive in &self.alive {
+            if alive {
+                remap.push(Some(next));
+                next += 1;
+            } else {
+                remap.push(None);
+            }
+        }
+        let alive = std::mem::take(&mut self.alive);
+        let mut old_row = 0usize;
+        self.tuples.retain(|_| {
+            let keep = alive[old_row];
+            old_row += 1;
+            keep
+        });
+        self.alive = vec![true; self.tuples.len()];
+        self.live = self.tuples.len();
+        for row in self.pk_index.values_mut() {
+            *row = remap[*row as usize].expect("pk index only holds live rows");
+        }
+        remap
     }
 }
 
@@ -69,6 +125,7 @@ mod tests {
     fn starts_empty() {
         let d = RelationData::new();
         assert_eq!(d.len(), 0);
+        assert_eq!(d.slot_count(), 0);
         assert!(d.pk_index.is_empty());
     }
 
@@ -80,11 +137,53 @@ mod tests {
         assert_eq!((r0, r1), (0, 1));
         d.tombstone(r0);
         assert_eq!(d.len(), 1);
+        assert_eq!(d.slot_count(), 2);
         assert!(d.get(r0).is_none());
         assert_eq!(d.get(r1).unwrap().get(0), Some(&Value::from("b")));
         // New rows never reuse the freed slot.
         let r2 = d.push(Tuple::new(vec!["c".into()]));
         assert_eq!(r2, 2);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn replace_overwrites_in_place() {
+        let mut d = RelationData::new();
+        let r0 = d.push(Tuple::new(vec!["a".into()]));
+        d.replace(r0, Tuple::new(vec!["z".into()]));
+        assert_eq!(d.get(r0).unwrap().get(0), Some(&Value::from("z")));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn resurrect_revives_the_same_slot() {
+        let mut d = RelationData::new();
+        let r0 = d.push(Tuple::new(vec!["a".into()]));
+        d.tombstone(r0);
+        assert!(d.get(r0).is_none());
+        d.resurrect(r0);
+        assert_eq!(d.get(r0).unwrap().get(0), Some(&Value::from("a")));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn compact_renumbers_and_reclaims() {
+        let mut d = RelationData::new();
+        for v in ["a", "b", "c", "d"] {
+            let r = d.push(Tuple::new(vec![v.into()]));
+            d.pk_index.insert(vec![v.into()], r);
+        }
+        d.tombstone(0);
+        d.tombstone(2);
+        d.pk_index.remove(&vec![Value::from("a")]);
+        d.pk_index.remove(&vec![Value::from("c")]);
+        let remap = d.compact();
+        assert_eq!(remap, vec![None, Some(0), None, Some(1)]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.slot_count(), 2, "tombstoned slots are reclaimed");
+        assert_eq!(d.get(0).unwrap().get(0), Some(&Value::from("b")));
+        assert_eq!(d.get(1).unwrap().get(0), Some(&Value::from("d")));
+        assert_eq!(d.pk_index[&vec![Value::from("b")]], 0);
+        assert_eq!(d.pk_index[&vec![Value::from("d")]], 1);
     }
 }

@@ -91,9 +91,15 @@ fn searching_a_foreign_catalog_fails_with_missing_roles() {
 fn empty_and_overlong_queries_error_cleanly() {
     let c = company();
     let engine = SearchEngine::new(c.db, c.er_schema, c.mapping).unwrap();
+    // Queries with no keywords (or none surviving tokenization) raise
+    // the dedicated `EmptyQuery`, not the generic invalid-query error.
     assert!(matches!(
         engine.search("", &SearchOptions::default()),
-        Err(CoreError::InvalidQuery(_))
+        Err(CoreError::EmptyQuery { .. })
+    ));
+    assert!(matches!(
+        engine.search("!!! ...", &SearchOptions::default()),
+        Err(CoreError::EmptyQuery { .. })
     ));
     assert!(matches!(
         engine.search("Smith XML Alice", &SearchOptions::default()),
