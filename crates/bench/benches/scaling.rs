@@ -4,6 +4,7 @@
 use cla_bench::scale::{coverage, synthetic_engine};
 use cla_core::{
     Algorithm, DataGraph, EdgeWeighting, RankStrategy, SearchEngine, SearchOptions,
+    WitnessStrategy,
 };
 use cla_relational::Value;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -63,9 +64,7 @@ fn parallel_and_topk(c: &mut Criterion) {
         let stream = engine.search(QUERY, &SearchOptions { k: Some(k), ..base }).unwrap();
         eprintln!(
             "topk dept16_len4 k={k}: expansions {} vs full {} (early_terminated={})",
-            stream.stats.dfs_expansions,
-            full.stats.dfs_expansions,
-            stream.stats.early_terminated
+            stream.stats.expansions, full.stats.expansions, stream.stats.early_terminated
         );
     }
 
@@ -153,9 +152,9 @@ fn update_maintenance(c: &mut Criterion) {
                         vec![pk.as_str().into(), essn.as_str().into(), "Temp".into()],
                     )
                     .unwrap();
-                engine.apply().unwrap();
+                let _ = engine.apply().unwrap();
                 engine.db_mut().delete(id).unwrap();
-                engine.apply().unwrap();
+                let _ = engine.apply().unwrap();
                 black_box(engine.is_fresh())
             })
         });
@@ -196,9 +195,9 @@ fn update_maintenance(c: &mut Criterion) {
                         ],
                     )
                     .unwrap();
-                engine2.apply().unwrap();
+                let _ = engine2.apply().unwrap();
                 engine2.db_mut().delete(id).unwrap();
-                engine2.apply().unwrap();
+                let _ = engine2.apply().unwrap();
                 black_box(engine2.is_fresh())
             })
         });
@@ -215,7 +214,7 @@ fn update_maintenance(c: &mut Criterion) {
                 let mut values = engine3.db().tuple(dep_id).unwrap().values().to_vec();
                 values[2] = if k.is_multiple_of(2) { "Temp" } else { "Casey" }.into();
                 engine3.db_mut().update(dep_id, values).unwrap();
-                engine3.apply().unwrap();
+                let _ = engine3.apply().unwrap();
                 black_box(engine3.is_fresh())
             })
         });
@@ -238,7 +237,7 @@ fn update_maintenance(c: &mut Criterion) {
                 let mut values = engine4.db().tuple(dep_id4).unwrap().values().to_vec();
                 values[1] = essns[(k % 2) as usize].as_str().into();
                 engine4.db_mut().update(dep_id4, values).unwrap();
-                engine4.apply().unwrap();
+                let _ = engine4.apply().unwrap();
                 black_box(engine4.is_fresh())
             })
         });
@@ -266,23 +265,63 @@ fn update_maintenance(c: &mut Criterion) {
     group.finish();
 }
 
-/// B7: BANKS backward expansion vs DISCOVER MTJNT enumeration.
+/// B7/B9: BANKS backward expansion vs DISCOVER MTJNT enumeration, and
+/// the streaming-cutoff before/after pairs recorded in EXPERIMENTS.md
+/// B9: each `_k20` arm runs the priority-queue / size-level cutoff,
+/// each `_full` arm the unbounded enumeration (the cost the pre-cutoff
+/// k = 20 search paid, since it materialized everything before
+/// truncating). Expansion counts print alongside so the
+/// strictly-fewer-work claims stay visible in bench logs; the larger
+/// dept64/dept128 shapes are where the cutoffs bite hardest.
 fn banks_vs_discover(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/banks_vs_discover");
-    for departments in [4usize, 8] {
+    for departments in [4usize, 8, 16, 64, 128] {
         let engine = synthetic_engine(departments, SEED);
-        for (name, algorithm) in
-            [("banks", Algorithm::Banks), ("discover", Algorithm::Discover)]
-        {
-            let id = format!("{name}_dept{departments}");
+        let base = SearchOptions {
+            algorithm: Algorithm::Banks,
+            max_rdb_length: 3,
+            compute_instance: false,
+            ..Default::default()
+        };
+        let full = engine.search(QUERY, &base).unwrap();
+        let k20 = engine.search(QUERY, &SearchOptions { k: Some(20), ..base }).unwrap();
+        eprintln!(
+            "banks dept{departments} k=20: {} candidate completions vs {} at full \
+             enumeration (early_terminated={})",
+            k20.stats.expansions, full.stats.expansions, k20.stats.early_terminated
+        );
+        for (suffix, k) in [("k20", Some(20)), ("full", None)] {
+            let id = format!("banks_dept{departments}_{suffix}");
             group.bench_function(BenchmarkId::from_parameter(&id), |b| {
-                let opts = SearchOptions {
-                    algorithm,
-                    max_rdb_length: 3,
-                    k: Some(20),
-                    compute_instance: false,
-                    ..Default::default()
-                };
+                let opts = SearchOptions { k, ..base };
+                b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+            });
+        }
+    }
+    // DISCOVER under the length ranker, whose pure length domination
+    // lets the k = 20 size-level cut saturate from dept16 up (the
+    // close-first bound additionally needs low-ER results on top; it
+    // fires at smaller k — see the property suite).
+    for departments in [8usize, 16] {
+        let engine = synthetic_engine(departments, SEED);
+        let base = SearchOptions {
+            algorithm: Algorithm::Discover,
+            max_rdb_length: 3,
+            ranker: RankStrategy::RdbLength,
+            compute_instance: false,
+            ..Default::default()
+        };
+        let full = engine.search(QUERY, &base).unwrap();
+        let k20 = engine.search(QUERY, &SearchOptions { k: Some(20), ..base }).unwrap();
+        eprintln!(
+            "discover dept{departments} k=20: {} network materializations vs {} at full \
+             enumeration (early_terminated={})",
+            k20.stats.expansions, full.stats.expansions, k20.stats.early_terminated
+        );
+        for (suffix, k) in [("k20", Some(20)), ("full", None)] {
+            let id = format!("discover_dept{departments}_{suffix}");
+            group.bench_function(BenchmarkId::from_parameter(&id), |b| {
+                let opts = SearchOptions { k, ..base };
                 b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
             });
         }
@@ -334,22 +373,34 @@ fn mtjnt_coverage(c: &mut Criterion) {
     group.finish();
 }
 
-/// B5: instance-closeness witness-search cost: disabled, the default
-/// short-circuiting + batched search, and the naive materialize-all
+/// B5/B9: instance-closeness witness-search cost: disabled, the
+/// iterative-deepening search, the bounded-BFS-pruned search (`Auto`
+/// picks between the two by graph size), and the naive materialize-all
 /// witness scan applied to the same result set (the seed behavior).
+/// The `on`/`on_bounded` pair runs at dept8 *and* the large dept64
+/// shape, where the distance map pays for itself (EXPERIMENTS.md B9).
 fn witness_cost(c: &mut Criterion) {
-    let engine = synthetic_engine(8, SEED);
     let mut group = c.benchmark_group("scaling/witness_cost");
-    for (name, compute) in [("off", false), ("on", true)] {
-        group.bench_function(name, |b| {
-            let opts = SearchOptions {
-                max_rdb_length: 3,
-                compute_instance: compute,
-                ..Default::default()
-            };
-            b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
-        });
+    for departments in [8usize, 64] {
+        let engine = synthetic_engine(departments, SEED);
+        for (name, compute, strategy) in [
+            ("off", false, WitnessStrategy::Auto),
+            ("on", true, WitnessStrategy::IterativeDeepening),
+            ("on_bounded", true, WitnessStrategy::BoundedBfs),
+        ] {
+            let id = format!("{name}_dept{departments}");
+            group.bench_function(BenchmarkId::from_parameter(&id), |b| {
+                let opts = SearchOptions {
+                    max_rdb_length: 3,
+                    compute_instance: compute,
+                    witness_strategy: strategy,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+            });
+        }
     }
+    let engine = synthetic_engine(8, SEED);
     group.bench_function("on_naive", |b| {
         let opts = SearchOptions {
             max_rdb_length: 3,

@@ -16,9 +16,10 @@
 use crate::datagraph::{DataGraph, EdgeAnnotation};
 use crate::ranking::f64_sort_bits_asc;
 use cla_er::FkRole;
-use cla_graph::{multi_source_dijkstra_csr_by_key, EdgeId, MultiSourceDijkstra, NodeId};
+use cla_graph::{EdgeId, LazyDijkstra, NodeId};
 use cla_relational::TupleId;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Edge-weight schemes for the expansion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,6 +143,61 @@ impl SteinerTree {
     }
 }
 
+/// Traversal-work accounting of one [`banks_search_counted`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BanksWork {
+    /// Heap settles across all per-set expansions — one per node popped
+    /// from a keyword set's frontier. The full (`k: None`) search
+    /// settles every reachable node once per set; the priority-queue
+    /// cutoff stops as soon as no unfinished frontier entry can matter.
+    pub expansions: u64,
+    /// Candidate roots completed (reached by every keyword set). A full
+    /// run counts exactly the classic BANKS candidate-root set; a cut
+    /// run strictly fewer whenever the cutoff fires.
+    pub candidates: u64,
+    /// `true` when the cutoff stopped expansion before the frontiers
+    /// were exhausted.
+    pub early_terminated: bool,
+}
+
+/// Reusable state of the BANKS expansion — per-set lazy Dijkstra
+/// forests, per-node completion accounting and the candidate heap — so
+/// repeated searches on a live engine re-allocate none of it.
+#[derive(Debug, Clone, Default)]
+pub struct BanksScratch {
+    forests: Vec<LazyDijkstra<TupleId>>,
+    /// Number of keyword sets that settled each node.
+    settled_sets: Vec<u32>,
+    /// Running sum of settled per-set distances per node.
+    total: Vec<f64>,
+    /// Completed candidate roots, keyed ascending by
+    /// `(total bits, root tuple, root)` — the classic BANKS priority.
+    candidates: BinaryHeap<Reverse<(u64, TupleId, NodeId)>>,
+}
+
+impl BanksScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, dg: &DataGraph, keyword_sets: &[Vec<NodeId>]) {
+        let n = dg.csr().node_count();
+        self.forests.truncate(keyword_sets.len());
+        for (i, set) in keyword_sets.iter().enumerate() {
+            match self.forests.get_mut(i) {
+                Some(f) => f.reset(n, set, |v| dg.tuple_of(v)),
+                None => self.forests.push(LazyDijkstra::new(n, set, |v| dg.tuple_of(v))),
+            }
+        }
+        self.settled_sets.clear();
+        self.settled_sets.resize(n, 0);
+        self.total.clear();
+        self.total.resize(n, 0.0);
+        self.candidates.clear();
+    }
+}
+
 /// Run the backward-expansion search.
 ///
 /// `keyword_sets` holds, per keyword, the nodes whose tuples match it.
@@ -153,74 +209,91 @@ impl SteinerTree {
 /// node ids, so the returned trees depend only on graph *content*: an
 /// incrementally patched [`DataGraph`] (different node numbering, same
 /// tuples and edges) yields exactly the trees a freshly built one does.
-///
-/// Each keyword set's expansion is one **multi-source Dijkstra forest**
-/// ([`multi_source_dijkstra_csr`]): walking the parent chain from a root
-/// stays inside a single source's shortest-path tree, so the assembled
-/// edges really form the claimed paths. (The previous per-source-run
-/// min-merge could hand a root a chain spliced from two different
-/// sources' trees: its edge weights no longer summed to the claimed
-/// tree weight and `keyword_nodes` could name a match the walk never
-/// reached.) A tree's `weight` is the sum over its *distinct* edges —
-/// chains from different keyword sets that share a segment pay for it
-/// once.
 pub fn banks_search(
     dg: &DataGraph,
     keyword_sets: &[Vec<NodeId>],
     opts: &BanksOptions,
 ) -> Vec<SteinerTree> {
-    if keyword_sets.is_empty() || keyword_sets.iter().any(Vec::is_empty) {
-        return Vec::new();
+    banks_search_counted(dg, keyword_sets, opts, &mut BanksScratch::new()).0
+}
+
+/// [`banks_search`] as one **heap-driven expansion with a top-k
+/// cutoff**, with work accounting and reusable scratch.
+///
+/// Each keyword set's expansion is a multi-source Dijkstra **forest**
+/// ([`LazyDijkstra`]): walking the parent chain from a root stays
+/// inside a single source's shortest-path tree, so the assembled edges
+/// really form the claimed paths; a tree's `weight` is the sum over its
+/// *distinct* edges — chains sharing a segment pay for it once. Instead
+/// of running every forest to exhaustion and materializing every
+/// candidate root up front, the driver always settles the **globally
+/// cheapest frontier entry** across the sets, completes a candidate
+/// when its last set settles it, and emits candidates in ascending
+/// `(summed distance, root tuple)` order — exactly the order the
+/// exhaustive enumeration sorts them into, because a candidate is
+/// emitted only once every per-set frontier strictly exceeds its total
+/// (no cheaper completion can still appear).
+///
+/// The cutoff: any root not yet **completed** is missing at least one
+/// set, whose chain alone is a subset of its tree's distinct edges —
+/// so its tree weight is at least the global frontier minimum `L`.
+/// Once `L` strictly exceeds the k-th best held weight (or
+/// `max_weight`), the pending completed candidates are drained through
+/// normal processing and expansion stops, with the result provably
+/// equal to the full enumeration truncated at `k` (property-tested;
+/// the dedup-safety argument lives on the cutoff branch below).
+pub fn banks_search_counted(
+    dg: &DataGraph,
+    keyword_sets: &[Vec<NodeId>],
+    opts: &BanksOptions,
+    scratch: &mut BanksScratch,
+) -> (Vec<SteinerTree>, BanksWork) {
+    let mut work = BanksWork::default();
+    if keyword_sets.is_empty() || keyword_sets.iter().any(Vec::is_empty) || opts.k == Some(0)
+    {
+        return (Vec::new(), work);
     }
     let g = dg.graph();
     let csr = dg.csr();
     let weight_of = |e: EdgeId| opts.weighting.weight(g.edge(e).payload);
+    let key = |v: NodeId| dg.tuple_of(v);
+    let num_sets = keyword_sets.len() as f64;
+    let max_weight_bits = f64_sort_bits_asc(opts.max_weight);
+    scratch.reset(dg, keyword_sets);
 
-    let runs: Vec<MultiSourceDijkstra> = keyword_sets
-        .iter()
-        .map(|set| multi_source_dijkstra_csr_by_key(csr, set, weight_of, |n| dg.tuple_of(n)))
-        .collect();
-
-    // Candidate roots: finite distance to every set, visited in
-    // ascending order of summed path distance (the classic BANKS
-    // priority) so node-set dedup keeps the cheapest assembly.
-    let mut candidates: Vec<(f64, NodeId)> = g
-        .nodes()
-        .filter_map(|n| {
-            let total: f64 = runs.iter().map(|r| r.dist[n.index()]).sum();
-            total.is_finite().then_some((total, n))
-        })
-        .collect();
-    candidates.sort_by(|a, b| {
-        a.0.total_cmp(&b.0).then_with(|| dg.tuple_of(a.1).cmp(&dg.tuple_of(b.1)))
-    });
-
-    if opts.k == Some(0) {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
+    let mut out: Vec<SteinerTree> = Vec::new();
     let mut seen: HashSet<BTreeSet<NodeId>> = HashSet::new();
     // Worst of the best k weights collected so far, kept as a max-heap
     // of order-preserving f64 bit images (comparisons happen directly in
-    // bit space) — the early-exit bound below.
-    let mut best_k: std::collections::BinaryHeap<u64> = std::collections::BinaryHeap::new();
-    for (total, root) in candidates {
-        // Early exit: each per-set chain is a subset of the tree's
-        // distinct edges, so `weight >= total / num_sets`, and
-        // candidates come in ascending `total` order. Once that lower
-        // bound exceeds `max_weight`, every remaining candidate would be
-        // filtered; once it strictly exceeds the k-th best weight held,
-        // no remaining candidate can enter the top k — not even on a
-        // tie, hence the strict comparison.
-        let weight_floor = f64_sort_bits_asc(total / keyword_sets.len() as f64);
-        if weight_floor > f64_sort_bits_asc(opts.max_weight) {
-            break;
+    // bit space) — the cutoff bound below.
+    let mut best_k: BinaryHeap<u64> = BinaryHeap::new();
+
+    // Process one emitted candidate exactly like the exhaustive loop:
+    // break checks, tree assembly, max-weight filter, node-set dedup.
+    // Returns `false` to stop the whole search (the break condition
+    // holds for every later candidate too: floors ascend, the held k-th
+    // best only improves).
+    let mut process = |root: NodeId,
+                       total: f64,
+                       best_k: &mut BinaryHeap<u64>,
+                       forests: &[LazyDijkstra<TupleId>]|
+     -> bool {
+        // Each per-set chain is a subset of the tree's distinct edges,
+        // so `weight >= total / num_sets`, and candidates arrive in
+        // ascending `total` order. Once that lower bound exceeds
+        // `max_weight`, every remaining candidate would be filtered;
+        // once it strictly exceeds the k-th best weight held, no
+        // remaining candidate can enter the top k — not even on a tie,
+        // hence the strict comparison.
+        let weight_floor = f64_sort_bits_asc(total / num_sets);
+        if weight_floor > max_weight_bits {
+            return false;
         }
         if let Some(k) = opts.k {
             if best_k.len() >= k
                 && weight_floor > *best_k.peek().expect("k >= 1 and heap at capacity")
             {
-                break;
+                return false;
             }
         }
         // Assemble the tree: walk each keyword set's parent chain from
@@ -230,11 +303,11 @@ pub fn banks_search(
         let mut edges: Vec<(EdgeId, NodeId, NodeId)> = Vec::new();
         let mut edge_set: HashSet<EdgeId> = HashSet::new();
         let mut keyword_nodes = Vec::with_capacity(keyword_sets.len());
-        for run in &runs {
+        for forest in forests {
             let mut current = root;
             // Parent chains point from the origin outward; walk from the
             // root back toward the origin.
-            while let Some((prev, e)) = run.parent[current.index()] {
+            while let Some((prev, e)) = forest.parent[current.index()] {
                 if edge_set.insert(e) {
                     edges.push((e, current, prev));
                 }
@@ -244,7 +317,7 @@ pub fn banks_search(
                 current = prev;
             }
             debug_assert_eq!(
-                run.origin[root.index()],
+                forest.origin[root.index()],
                 Some(current),
                 "consistent forests end every chain at the recorded origin"
             );
@@ -254,7 +327,7 @@ pub fn banks_search(
         // so the weight always equals the assembled tree's edge sum.
         let weight: f64 = edges.iter().map(|&(e, _, _)| weight_of(e)).sum();
         if weight > opts.max_weight {
-            continue;
+            return true;
         }
         if seen.insert(node_set) {
             if let Some(k) = opts.k {
@@ -265,6 +338,90 @@ pub fn banks_search(
             }
             out.push(SteinerTree { root, nodes, edges, keyword_nodes, weight });
         }
+        true
+    };
+
+    'drive: loop {
+        // The global frontier minimum L across sets (`None` = that set
+        // is exhausted). Every not-yet-completed root is missing at
+        // least one set whose settle distance will be >= L, so its
+        // total is >= L — which makes every candidate with total < L
+        // safe to emit in final order.
+        let mut frontier_min = f64::INFINITY;
+        let mut cheapest_set = None;
+        for (i, forest) in scratch.forests.iter_mut().enumerate() {
+            if let Some(d) = forest.frontier_dist() {
+                if d < frontier_min {
+                    frontier_min = d;
+                    cheapest_set = Some(i);
+                }
+            }
+        }
+        let frontier_bits = f64_sort_bits_asc(frontier_min);
+        while let Some(&Reverse((total_bits, _, _))) = scratch.candidates.peek() {
+            if total_bits >= frontier_bits {
+                break; // a cheaper completion could still appear
+            }
+            let Reverse((_, _, root)) = scratch.candidates.pop().expect("peeked");
+            if !process(root, scratch.total[root.index()], &mut best_k, &scratch.forests) {
+                work.early_terminated = cheapest_set.is_some();
+                break 'drive;
+            }
+        }
+        let Some(set) = cheapest_set else {
+            // Frontiers exhausted: every candidate was emitted above
+            // (finite totals all sort below the infinite frontier).
+            debug_assert!(scratch.candidates.is_empty());
+            break;
+        };
+        // Expansion cutoff. Any root not yet completed is missing at
+        // least one set, and that set's chain alone is a subset of its
+        // tree's distinct edges — so its tree weight is at least L
+        // itself (much tighter than the emitted-candidate floor). Once
+        // L strictly exceeds the k-th best held weight (or max_weight),
+        // no incomplete root can enter the top k; completed roots still
+        // pending in the heap are drained through the normal
+        // processing, and expansion stops.
+        //
+        // Dedup safety (why skipping incomplete roots cannot change the
+        // truncated output): a skipped root A could only matter by
+        // *blocking* (via node-set dedup) a pending tree C that belongs
+        // in the top k, i.e. with weight(C) <= kth < L. But then A lies
+        // on C's tree, and C's tree contains a path from A to a member
+        // of every keyword set of weight <= weight(C) < L — so A's
+        // distance to every set is below every frontier, meaning A was
+        // already settled everywhere and is complete, a contradiction.
+        // The same argument (via total(A) <= num_sets · weight(C))
+        // covers candidates skipped by the per-candidate floor break.
+        let dominated = frontier_bits > max_weight_bits
+            || opts.k.is_some_and(|k| {
+                best_k.len() >= k
+                    && frontier_bits > *best_k.peek().expect("k >= 1 and heap at capacity")
+            });
+        if dominated {
+            while let Some(Reverse((_, _, root))) = scratch.candidates.pop() {
+                if !process(root, scratch.total[root.index()], &mut best_k, &scratch.forests)
+                {
+                    break;
+                }
+            }
+            work.early_terminated = true;
+            break;
+        }
+        let (node, d) = scratch.forests[set]
+            .settle_next(csr, weight_of, key)
+            .expect("frontier_dist promised an entry");
+        work.expansions += 1;
+        scratch.total[node.index()] += d;
+        scratch.settled_sets[node.index()] += 1;
+        if scratch.settled_sets[node.index()] as usize == keyword_sets.len() {
+            work.candidates += 1;
+            scratch.candidates.push(Reverse((
+                f64_sort_bits_asc(scratch.total[node.index()]),
+                dg.tuple_of(node),
+                node,
+            )));
+        }
     }
     out.sort_by(|a, b| {
         a.weight
@@ -274,7 +431,7 @@ pub fn banks_search(
     if let Some(k) = opts.k {
         out.truncate(k);
     }
-    out
+    (out, work)
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@
 
 use crate::datagraph::DataGraph;
 use cla_graph::{is_connected_subset_sorted, NodeId};
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashSet};
 
 /// `true` iff `nodes` covers every keyword set (each set contributes at
 /// least one member).
@@ -76,70 +76,149 @@ pub fn mtjnt_filter(
     networks.into_iter().filter(|n| is_mtjnt(dg, n, keyword_sets)).collect()
 }
 
+/// Size-level generator of connected, total joining networks — the
+/// enumeration kernel behind [`enumerate_joining_networks`], exposed so
+/// the engine's streaming top-k mode can consume candidate networks
+/// **one tuple-count level at a time** and cut enumeration as soon as
+/// the held top k dominates every larger network under a
+/// length-monotone ranker (a network of `s` tuples yields a connection
+/// of `s - 1` foreign-key edges, so size is a rank lower bound).
+///
+/// Growth is breadth-first from the members of the smallest keyword
+/// set; candidate networks are keyed by their canonical signature (the
+/// sorted node vector), each materialized exactly once and counted
+/// into [`JoiningNetworkLevels::expansions`] — the "network
+/// materializations" figure `SearchStats` reports for DISCOVER.
+#[derive(Debug)]
+pub struct JoiningNetworkLevels<'a> {
+    dg: &'a DataGraph,
+    keyword_sets: &'a [HashSet<NodeId>],
+    /// Candidate networks of the size [`Self::next_level`] will report
+    /// next (sorted-vector signatures).
+    frontier: Vec<Vec<NodeId>>,
+    visited: HashSet<Box<[NodeId]>>,
+    /// Tuple count of the networks currently in `frontier`.
+    size: usize,
+    /// Growth happens lazily at the *start* of the next call, so a
+    /// caller that cuts enumeration never pays for a level it skips.
+    primed: bool,
+    expansions: u64,
+}
+
+impl<'a> JoiningNetworkLevels<'a> {
+    /// Seed the enumeration. With an empty keyword set (conjunctive
+    /// semantics) the enumerator yields nothing.
+    pub fn new(dg: &'a DataGraph, keyword_sets: &'a [HashSet<NodeId>]) -> Self {
+        let mut levels = JoiningNetworkLevels {
+            dg,
+            keyword_sets,
+            frontier: Vec::new(),
+            visited: HashSet::new(),
+            size: 1,
+            primed: false,
+            expansions: 0,
+        };
+        if keyword_sets.is_empty() || keyword_sets.iter().any(HashSet::is_empty) {
+            return levels;
+        }
+        let seed_set = keyword_sets.iter().min_by_key(|s| s.len()).expect("non-empty list");
+        for &seed in seed_set.iter() {
+            let s = vec![seed];
+            if levels.visited.insert(s.clone().into_boxed_slice()) {
+                levels.expansions += 1;
+                levels.frontier.push(s);
+            }
+        }
+        levels
+    }
+
+    /// Candidate networks materialized so far (each distinct connected
+    /// node set built and enqueued once, total or not).
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    /// The tuple count the next [`Self::next_level`] call will report.
+    pub fn next_size(&self) -> usize {
+        if self.primed {
+            self.size + 1
+        } else {
+            self.size
+        }
+    }
+
+    /// Report every *total* network of the next size level. Returns
+    /// `None` once the frontier is exhausted (no connected candidate of
+    /// that size exists).
+    pub fn next_level(&mut self) -> Option<Vec<BTreeSet<NodeId>>> {
+        if self.primed {
+            self.grow();
+        }
+        self.primed = true;
+        if self.frontier.is_empty() {
+            return None;
+        }
+        let is_total_sorted = |nodes: &[NodeId]| {
+            self.keyword_sets.iter().all(|set| nodes.iter().any(|n| set.contains(n)))
+        };
+        Some(
+            self.frontier
+                .iter()
+                .filter(|nodes| is_total_sorted(nodes))
+                .map(|nodes| nodes.iter().copied().collect())
+                .collect(),
+        )
+    }
+
+    /// Extend every frontier network by every neighbor of any of its
+    /// members, deduplicated by signature. Growth keeps the sorted
+    /// order by inserting each new node in place.
+    fn grow(&mut self) {
+        let csr = self.dg.csr();
+        let mut next_frontier: Vec<Vec<NodeId>> = Vec::new();
+        for current in &self.frontier {
+            let mut neighbors: BTreeSet<NodeId> = BTreeSet::new();
+            for &n in current {
+                for &(m, _) in csr.neighbors(n) {
+                    if current.binary_search(&m).is_err() {
+                        neighbors.insert(m);
+                    }
+                }
+            }
+            for m in neighbors {
+                let mut next = current.clone();
+                let at = next.binary_search(&m).unwrap_err();
+                next.insert(at, m);
+                if self.visited.insert(next.clone().into_boxed_slice()) {
+                    self.expansions += 1;
+                    next_frontier.push(next);
+                }
+            }
+        }
+        self.frontier = next_frontier;
+        self.size += 1;
+    }
+}
+
 /// Enumerate every *connected, total* joining network with at most
 /// `max_tuples` tuples (DISCOVER's size bound `T`), by breadth-first
 /// growth from the members of the smallest keyword set.
 ///
-/// Networks are returned deduplicated, in no particular order. The
-/// search space is exponential in `max_tuples`; intended for the small
-/// bounds DISCOVER uses in practice (T ≤ 5–7).
+/// Networks are returned deduplicated, in ascending size order (no
+/// particular order within a size). The search space is exponential in
+/// `max_tuples`; intended for the small bounds DISCOVER uses in
+/// practice (T ≤ 5–7).
 pub fn enumerate_joining_networks(
     dg: &DataGraph,
     keyword_sets: &[HashSet<NodeId>],
     max_tuples: usize,
 ) -> Vec<BTreeSet<NodeId>> {
-    if keyword_sets.is_empty() || keyword_sets.iter().any(HashSet::is_empty) {
-        return Vec::new();
-    }
-    let seed_set = keyword_sets.iter().min_by_key(|s| s.len()).expect("non-empty list");
-    let csr = dg.csr();
-
-    // Networks are keyed by their canonical signature: the sorted node
-    // vector. One flat allocation per candidate beats cloning whole
-    // `BTreeSet`s, and growth keeps vectors sorted by inserting each new
-    // node in place. Since `visited` admits each signature exactly once,
-    // a network can be dequeued (and therefore recorded) at most once —
-    // no second `recorded` set is needed.
-    let mut results: Vec<BTreeSet<NodeId>> = Vec::new();
-    let mut visited: HashSet<Box<[NodeId]>> = HashSet::new();
-    let mut queue: VecDeque<Vec<NodeId>> = VecDeque::new();
-
-    for &seed in seed_set.iter() {
-        let s = vec![seed];
-        if visited.insert(s.clone().into_boxed_slice()) {
-            queue.push_back(s);
-        }
-    }
-
-    let is_total_sorted = |nodes: &[NodeId]| {
-        keyword_sets.iter().all(|set| nodes.iter().any(|n| set.contains(n)))
-    };
-
-    while let Some(current) = queue.pop_front() {
-        if is_total_sorted(&current) {
-            results.push(current.iter().copied().collect());
-            // A superset of a total network is only interesting for
-            // larger-T studies; keep growing so all ≤T totals appear.
-        }
-        if current.len() >= max_tuples {
-            continue;
-        }
-        // Expand by every neighbor of the current frontier.
-        let mut neighbors: BTreeSet<NodeId> = BTreeSet::new();
-        for &n in &current {
-            for &(m, _) in csr.neighbors(n) {
-                if current.binary_search(&m).is_err() {
-                    neighbors.insert(m);
-                }
-            }
-        }
-        for m in neighbors {
-            let mut next = current.clone();
-            let at = next.binary_search(&m).unwrap_err();
-            next.insert(at, m);
-            if visited.insert(next.clone().into_boxed_slice()) {
-                queue.push_back(next);
-            }
+    let mut levels = JoiningNetworkLevels::new(dg, keyword_sets);
+    let mut results = Vec::new();
+    while levels.next_size() <= max_tuples {
+        match levels.next_level() {
+            Some(totals) => results.extend(totals),
+            None => break,
         }
     }
     results
@@ -151,7 +230,30 @@ pub fn enumerate_mtjnts(
     keyword_sets: &[HashSet<NodeId>],
     max_tuples: usize,
 ) -> Vec<BTreeSet<NodeId>> {
-    mtjnt_filter(dg, enumerate_joining_networks(dg, keyword_sets, max_tuples), keyword_sets)
+    enumerate_mtjnts_counted(dg, keyword_sets, max_tuples, &mut 0)
+}
+
+/// [`enumerate_mtjnts`] with work accounting: `*expansions` grows by
+/// the number of candidate networks materialized, the counter the
+/// engine surfaces through `SearchStats` for the DISCOVER algorithm.
+pub fn enumerate_mtjnts_counted(
+    dg: &DataGraph,
+    keyword_sets: &[HashSet<NodeId>],
+    max_tuples: usize,
+    expansions: &mut u64,
+) -> Vec<BTreeSet<NodeId>> {
+    let mut levels = JoiningNetworkLevels::new(dg, keyword_sets);
+    let mut results = Vec::new();
+    while levels.next_size() <= max_tuples {
+        match levels.next_level() {
+            Some(totals) => {
+                results.extend(totals.into_iter().filter(|n| is_mtjnt(dg, n, keyword_sets)))
+            }
+            None => break,
+        }
+    }
+    *expansions += levels.expansions();
+    results
 }
 
 #[cfg(test)]
@@ -285,6 +387,36 @@ mod tests {
                 assert!(is_joining(&dg, &n));
             }
         }
+    }
+
+    /// The level generator reports networks strictly by size, its
+    /// levels concatenate to the batch enumeration, and cutting it
+    /// early materializes strictly fewer candidates.
+    #[test]
+    fn level_generator_matches_batch_and_counts_materializations() {
+        let (c, dg) = setup();
+        let kw = smith_xml(&c, &dg);
+        let mut levels = JoiningNetworkLevels::new(&dg, &kw);
+        let mut collected: Vec<BTreeSet<NodeId>> = Vec::new();
+        for expect_size in 1..=4usize {
+            assert_eq!(levels.next_size(), expect_size);
+            let totals = levels.next_level().expect("company graph has ≥4-node networks");
+            assert!(totals.iter().all(|n| n.len() == expect_size), "size {expect_size}");
+            collected.extend(totals);
+        }
+        let cut_cost = levels.expansions();
+        let mut batch = enumerate_joining_networks(&dg, &kw, 4);
+        batch.sort();
+        collected.sort();
+        assert_eq!(collected, batch);
+
+        // Running two levels deeper keeps materializing new candidates:
+        // the early cut really skipped that work.
+        levels.next_level();
+        assert!(levels.expansions() > cut_cost);
+        let mut one_level = JoiningNetworkLevels::new(&dg, &kw);
+        one_level.next_level();
+        assert!(one_level.expansions() < cut_cost);
     }
 
     #[test]

@@ -2,23 +2,27 @@
 //! → keyword match sets → connection generation (path enumeration, BANKS
 //! or DISCOVER/MTJNT) → metrics → ranking.
 
-use crate::banks::{banks_search, BanksOptions, EdgeWeighting, SteinerTree};
+use crate::banks::{
+    banks_search_counted, BanksOptions, BanksScratch, EdgeWeighting, SteinerTree,
+};
 use crate::connection::{ConceptualStep, Connection};
 use crate::datagraph::DataGraph;
-use crate::discover::{enumerate_mtjnts, is_mtjnt};
+use crate::discover::{enumerate_mtjnts_counted, is_mtjnt, JoiningNetworkLevels};
 use crate::error::CoreError;
-use crate::instance::{instance_closeness_with_cache, WitnessCache};
+use crate::instance::{instance_closeness_with_cache, WitnessCache, WitnessStrategy};
 use crate::ranking::{ConnectionInfo, RankStrategy};
+use crate::stats::SearchStats;
 use cla_er::{rdb_edge_cardinality, Cardinality, CardinalityChain, ErSchema, SchemaMapping};
 use cla_graph::{
-    enumerate_simple_paths_undirected, for_each_path_to_targets_counted,
-    multi_source_bfs_distances, NodeId, Path,
+    bounded_bfs_distances_into, enumerate_simple_paths_undirected,
+    for_each_path_to_targets_scratch, NodeId, Path, TraversalScratch,
 };
 use cla_index::{tuple_score, InvertedIndex, KeywordQuery};
 use cla_relational::{Database, TupleId, TupleRemap};
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
+use std::sync::Mutex;
 use std::thread;
 
 /// Which connection-generation algorithm to run.
@@ -80,6 +84,12 @@ pub struct SearchOptions {
     /// thread counts: work is split into contiguous chunks and merged
     /// back in order.
     pub threads: usize,
+    /// How the instance-closeness witness search prunes: iterative
+    /// deepening, bounded-BFS distance maps, or (the default) an
+    /// automatic pick by graph size. Verdicts — and therefore ranked
+    /// output — are identical under every strategy; this is a pure
+    /// cost knob (and the property-test/bench A/B switch).
+    pub witness_strategy: WitnessStrategy,
 }
 
 impl Default for SearchOptions {
@@ -95,6 +105,7 @@ impl Default for SearchOptions {
             weighting: EdgeWeighting::Uniform,
             naive_enumeration: false,
             threads: 0,
+            witness_strategy: WitnessStrategy::Auto,
         }
     }
 }
@@ -120,28 +131,6 @@ fn resolved_threads(requested: usize) -> usize {
     })
 }
 
-/// Traversal-work accounting for one search, filled in by the
-/// distance-pruned `Paths` pipeline (zero for the naive enumeration and
-/// the other algorithms). This is how the streaming top-k mode *proves*
-/// its early termination: with `k` set it must expand strictly fewer DFS
-/// nodes than the full enumeration while returning the identical ranked
-/// prefix.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SearchStats {
-    /// Nodes pushed onto a DFS path during connection enumeration,
-    /// summed across sources (and worker threads).
-    pub dfs_expansions: u64,
-    /// The highest length budget (in FK edges) the enumeration ran
-    /// with: the full `max_rdb_length` for the batch pipeline, the last
-    /// streamed level for top-k (pruning may keep the DFS from ever
-    /// reaching this depth; `dfs_expansions` counts the actual work).
-    pub max_length_enumerated: usize,
-    /// `true` when streaming top-k stopped before the full
-    /// `max_rdb_length` budget because the held top `k` dominated every
-    /// unexplored length level.
-    pub early_terminated: bool,
-}
-
 /// Shared read-only inputs of the per-connection metric stage.
 struct RankContext<'a> {
     /// Per-node tf·idf scores for the query.
@@ -152,12 +141,16 @@ struct RankContext<'a> {
     compute_instance: bool,
     /// Witness-path length bound.
     max_witness_length: usize,
+    /// Witness pruning strategy (worker threads build their own caches
+    /// with it).
+    witness_strategy: WitnessStrategy,
 }
 
 /// Per-worker mutable state of the metric stage: reusable buffers and
 /// memoization caches. Caches only affect cost, never results, so each
 /// worker thread owning its own scratch keeps parallel output identical
 /// to sequential.
+#[derive(Debug, Default)]
 struct RankScratch {
     witness: WitnessCache,
     /// Node-indexed rendering labels.
@@ -169,14 +162,61 @@ struct RankScratch {
 }
 
 impl RankScratch {
-    fn new(node_count: usize) -> Self {
-        RankScratch {
-            witness: WitnessCache::new(),
-            labels: vec![None; node_count],
-            descs: vec![None; node_count],
-            csteps: Vec::new(),
-        }
+    fn new(node_count: usize, witness_strategy: WitnessStrategy) -> Self {
+        let mut scratch = RankScratch::default();
+        scratch.reset(node_count, witness_strategy);
+        scratch
     }
+
+    /// Re-arm for a new search: caches dropped (graph content and query
+    /// may have changed), capacity kept.
+    fn reset(&mut self, node_count: usize, witness_strategy: WitnessStrategy) {
+        self.witness.clear();
+        self.witness.set_strategy(witness_strategy);
+        self.labels.clear();
+        self.labels.resize(node_count, None);
+        self.descs.clear();
+        self.descs.resize(node_count, None);
+        self.csteps.clear();
+    }
+}
+
+/// The reusable per-search state of one engine — the **allocation-free
+/// search epoch**. Every buffer the enumeration hot path touches
+/// (target mask, bounded BFS distance map and queue, DFS path stacks,
+/// per-node text scores, BANKS forests and heaps, metric-stage caches)
+/// lives here; [`SearchEngine::search`] checks one scratch out of the
+/// engine's pool and returns it afterwards, so repeated searches on a
+/// warm engine reuse the high-water-mark buffers instead of
+/// re-allocating per query (pinned by the counting-allocator test
+/// `crates/core/tests/alloc.rs`). Worker threads beyond the first
+/// check out (or create) their own scratch, keeping parallel output
+/// byte-identical.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    rank: RankScratch,
+    /// Buffers of the distance-pruned pair enumeration.
+    enumerate: EnumScratch,
+    /// Per-node tf·idf scores of the query.
+    text_scores: Vec<f64>,
+    /// Keyword markers per node for rendering.
+    markers: HashMap<NodeId, Vec<String>>,
+    /// Per-tuple frequency accumulator of the text-score pass.
+    per_tuple: HashMap<TupleId, u32>,
+    /// BANKS lazy forests, completion table and candidate heap.
+    banks: BanksScratch,
+}
+
+/// The buffers of one distance-pruned enumeration: target mask,
+/// bounded BFS distance map (+ frontier queue), and the DFS path
+/// stacks. Grouped so the borrow of the read-only mask/map and the
+/// mutable borrow of the DFS stacks stay visibly disjoint.
+#[derive(Debug, Default)]
+struct EnumScratch {
+    is_target: Vec<bool>,
+    dist: Vec<u32>,
+    bfs_queue: VecDeque<NodeId>,
+    traversal: TraversalScratch,
 }
 
 /// The deterministic final tie-break under any ranking strategy: the
@@ -323,6 +363,39 @@ impl SearchResults {
     }
 }
 
+/// When [`SearchEngine::apply`] reclaims tombstoned slots on its own.
+///
+/// Compaction renumbers **every** outstanding [`TupleId`], so it is
+/// opt-in: the default never compacts behind the caller's back. With
+/// [`CompactionPolicy::TombstoneRatio`], `apply` triggers a full
+/// [`SearchEngine::compact`] whenever the dead-slot fraction reaches
+/// the threshold, surfacing the resulting [`TupleRemap`] through
+/// [`ApplyOutcome::compaction`] so id-keyed caller state can be
+/// remapped instead of silently invalidated.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum CompactionPolicy {
+    /// Never compact automatically; [`SearchEngine::compact`] is the
+    /// caller's explicit, scheduled operation.
+    #[default]
+    Manual,
+    /// Compact when `tombstoned row slots / total row slots` reaches
+    /// this fraction (e.g. `0.25` for the ROADMAP's ≥ 25% trigger).
+    /// Values are clamped to `(0, 1]`; a non-positive threshold would
+    /// compact on every apply.
+    TombstoneRatio(f64),
+}
+
+/// What one successful [`SearchEngine::apply`] did.
+#[must_use = "an auto-compaction may have renumbered every TupleId — check `.compaction` for the remap"]
+#[derive(Debug, Clone, Default)]
+pub struct ApplyOutcome {
+    /// The slot remap of an auto-compaction, when the engine's
+    /// [`CompactionPolicy`] triggered one — **every previously held
+    /// [`TupleId`] must be remapped through it**. `None` on the common
+    /// patch-only path.
+    pub compaction: Option<TupleRemap>,
+}
+
 /// The keyword-search engine over one database.
 ///
 /// The engine owns its database; mutate it through
@@ -331,7 +404,7 @@ impl SearchResults {
 /// no rebuild. Until `apply` runs, [`SearchEngine::search`] refuses with
 /// [`CoreError::StaleEngine`] instead of silently answering from stale
 /// structures (dangling nodes, missing postings, wrong df counts).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SearchEngine {
     db: Database,
     er_schema: ErSchema,
@@ -357,6 +430,37 @@ pub struct SearchEngine {
     /// Test failpoint: fail the next [`SearchEngine::apply`] after the
     /// index patch, forcing the rollback path.
     fail_next_apply: bool,
+    /// Auto-compaction policy consulted by [`SearchEngine::apply`].
+    compaction_policy: CompactionPolicy,
+    /// Pool of reusable per-search scratch states (see
+    /// [`SearchScratch`]). Searches pop one and push it back, so a warm
+    /// engine re-allocates nothing on the enumeration hot path; the
+    /// pool is bounded to keep rarely-used concurrency from pinning
+    /// memory.
+    #[allow(clippy::vec_box)]
+    // moving boxes keeps checkout O(1), not a memcpy of the struct
+    scratch_pool: Mutex<Vec<Box<SearchScratch>>>,
+}
+
+impl Clone for SearchEngine {
+    /// Clones everything but the scratch pool (per-search buffers carry
+    /// no semantic state; the clone starts with an empty pool).
+    fn clone(&self) -> Self {
+        SearchEngine {
+            db: self.db.clone(),
+            er_schema: self.er_schema.clone(),
+            mapping: self.mapping.clone(),
+            index: self.index.clone(),
+            dg: self.dg.clone(),
+            aliases: self.aliases.clone(),
+            edge_cards: self.edge_cards.clone(),
+            version: self.version,
+            poisoned: self.poisoned,
+            fail_next_apply: self.fail_next_apply,
+            compaction_policy: self.compaction_policy,
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl SearchEngine {
@@ -389,6 +493,8 @@ impl SearchEngine {
             version,
             poisoned: false,
             fail_next_apply: false,
+            compaction_policy: CompactionPolicy::default(),
+            scratch_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -396,6 +502,37 @@ impl SearchEngine {
     pub fn with_aliases(mut self, aliases: HashMap<TupleId, String>) -> Self {
         self.aliases = aliases;
         self
+    }
+
+    /// Opt into automatic slot reclamation — see [`CompactionPolicy`].
+    pub fn with_compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction_policy = policy;
+        self
+    }
+
+    /// The engine's auto-compaction policy.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.compaction_policy
+    }
+
+    /// Pop a pooled scratch (or create the first ones on a cold
+    /// engine). A poisoned pool lock — a panicked worker mid-search —
+    /// just means a fresh scratch; the pool never carries semantic
+    /// state.
+    fn checkout_scratch(&self) -> Box<SearchScratch> {
+        self.scratch_pool.lock().ok().and_then(|mut pool| pool.pop()).unwrap_or_default()
+    }
+
+    /// Return a scratch to the pool for the next search. Bounded so a
+    /// one-off burst of concurrent searches cannot pin its high-water
+    /// buffer count forever.
+    fn return_scratch(&self, scratch: Box<SearchScratch>) {
+        const MAX_POOLED: usize = 8;
+        if let Ok(mut pool) = self.scratch_pool.lock() {
+            if pool.len() < MAX_POOLED {
+                pool.push(scratch);
+            }
+        }
     }
 
     /// Mutable access to the owned database, for inserts and deletes.
@@ -454,7 +591,14 @@ impl SearchEngine {
     /// mutation and retry. Only an externally drained change log
     /// ([`CoreError::ChangeLogDrained`]) still poisons — those
     /// operations can neither be applied nor undone.
-    pub fn apply(&mut self) -> Result<(), CoreError> {
+    ///
+    /// With a [`CompactionPolicy::TombstoneRatio`] policy, a successful
+    /// apply that leaves the dead-slot fraction at or above the
+    /// threshold triggers a full [`SearchEngine::compact`]; the remap
+    /// is surfaced through [`ApplyOutcome::compaction`] (under the
+    /// default [`CompactionPolicy::Manual`] it is always `None`, and
+    /// caller-held [`TupleId`]s are never silently invalidated).
+    pub fn apply(&mut self) -> Result<ApplyOutcome, CoreError> {
         if self.poisoned {
             return Err(CoreError::EnginePoisoned);
         }
@@ -496,7 +640,20 @@ impl SearchEngine {
                     self.edge_cards.push(rdb_edge_cardinality(&self.er_schema, role));
                 }
                 self.version = self.db.version();
-                Ok(())
+                let mut outcome = ApplyOutcome::default();
+                if let CompactionPolicy::TombstoneRatio(threshold) = self.compaction_policy {
+                    let total = self.db.total_row_slots();
+                    let dead = total - self.db.total_tuples();
+                    if dead > 0
+                        && dead as f64
+                            >= threshold.clamp(f64::MIN_POSITIVE, 1.0) * total as f64
+                    {
+                        // The engine is fresh right here (just stamped),
+                        // so compaction cannot be refused.
+                        outcome.compaction = Some(self.compact()?);
+                    }
+                }
+                Ok(outcome)
             }
             Err(e) => {
                 // Roll every patched structure back: the index via its
@@ -635,8 +792,21 @@ impl SearchEngine {
         keyword_tuples: &[Vec<TupleId>],
         display_keywords: &[String],
     ) -> HashMap<NodeId, Vec<String>> {
-        let mut markers: HashMap<NodeId, Vec<String>> =
-            HashMap::with_capacity(keyword_tuples.iter().map(Vec::len).sum());
+        let mut markers = HashMap::new();
+        self.markers_from_matches_into(query, keyword_tuples, display_keywords, &mut markers);
+        markers
+    }
+
+    /// [`SearchEngine::markers_from_matches`] into a reused map (the
+    /// pooled scratch's) — cleared, then refilled.
+    fn markers_from_matches_into(
+        &self,
+        query: &KeywordQuery,
+        keyword_tuples: &[Vec<TupleId>],
+        display_keywords: &[String],
+        markers: &mut HashMap<NodeId, Vec<String>>,
+    ) {
+        markers.clear();
         for (i, kw) in query.keywords().iter().enumerate() {
             let display = display_keywords.get(i).cloned().unwrap_or_else(|| kw.clone());
             for &t in &keyword_tuples[i] {
@@ -645,7 +815,6 @@ impl SearchEngine {
                 }
             }
         }
-        markers
     }
 
     /// The connection following exactly the given tuple sequence, if the
@@ -709,17 +878,20 @@ impl SearchEngine {
     }
 
     /// Per-node tf·idf contributions of `query`, computed once per
-    /// search so scoring a connection is one slot read per node instead
-    /// of re-hashing keyword strings for every (node, keyword) pair.
+    /// search (into the pooled scratch's buffers) so scoring a
+    /// connection is one slot read per node instead of re-hashing
+    /// keyword strings for every (node, keyword) pair.
     /// `keyword_tuples[i]` must be the match list of keyword `i`.
-    fn text_scores_by_node(
+    fn text_scores_by_node_into(
         &self,
         query: &KeywordQuery,
         keyword_tuples: &[Vec<TupleId>],
-    ) -> Vec<f64> {
+        scores: &mut Vec<f64>,
+        per_tuple: &mut HashMap<TupleId, u32>,
+    ) {
         let total = self.index.indexed_tuples();
-        let mut scores = vec![0.0; self.dg.node_count()];
-        let mut per_tuple: HashMap<TupleId, u32> = HashMap::new();
+        scores.clear();
+        scores.resize(self.dg.node_count(), 0.0);
         for (i, kw) in query.keywords().iter().enumerate() {
             // `frequency_in` semantics: occurrences summed across the
             // tuple's attributes, tf applied to the sum.
@@ -728,13 +900,12 @@ impl SearchEngine {
                 *per_tuple.entry(p.tuple).or_insert(0) += p.frequency;
             }
             let idf_kw = cla_index::idf(keyword_tuples[i].len(), total);
-            for (&t, &f) in &per_tuple {
+            for (&t, &f) in per_tuple.iter() {
                 if let Some(n) = self.dg.node_of(t) {
                     scores[n.index()] += cla_index::tf(f) * idf_kw;
                 }
             }
         }
-        scores
     }
 
     /// Assemble a [`ConnectionInfo`]: one conceptual pass (left in
@@ -817,20 +988,22 @@ impl SearchEngine {
     /// connections, fanned out over `threads` scoped worker threads in
     /// contiguous chunks and merged back in order — each connection's
     /// result is independent of the others (caches only affect cost), so
-    /// the output is identical to the sequential pass.
+    /// the output is identical to the sequential pass. The sequential
+    /// path (and the head chunk) reuse the pooled `scratch`; extra
+    /// workers build their own.
     fn rank_stage(
         &self,
         conns: Vec<Connection>,
         ctx: &RankContext<'_>,
         threads: usize,
+        scratch: &mut RankScratch,
     ) -> Vec<RankedConnection> {
         let threads = threads.clamp(1, conns.len().max(1));
         // Spawning threads costs more than ranking a handful of
         // connections; small batches stay sequential (the result is the
         // same either way).
         if threads == 1 || conns.len() < 4 * threads {
-            let mut scratch = RankScratch::new(self.dg.node_count());
-            return conns.into_iter().map(|c| self.rank_one(c, ctx, &mut scratch)).collect();
+            return conns.into_iter().map(|c| self.rank_one(c, ctx, scratch)).collect();
         }
         let chunk = conns.len().div_ceil(threads);
         let mut parts: Vec<Vec<Connection>> = Vec::with_capacity(threads);
@@ -848,15 +1021,15 @@ impl SearchEngine {
             let handles: Vec<_> = parts
                 .map(|part| {
                     s.spawn(move || {
-                        let mut scratch = RankScratch::new(self.dg.node_count());
+                        let mut scratch =
+                            RankScratch::new(self.dg.node_count(), ctx.witness_strategy);
                         part.into_iter()
                             .map(|c| self.rank_one(c, ctx, &mut scratch))
                             .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            let mut scratch = RankScratch::new(self.dg.node_count());
-            out.extend(head_part.into_iter().map(|c| self.rank_one(c, ctx, &mut scratch)));
+            out.extend(head_part.into_iter().map(|c| self.rank_one(c, ctx, scratch)));
             for h in handles {
                 out.extend(h.join().expect("metric worker panicked"));
             }
@@ -937,14 +1110,52 @@ impl SearchEngine {
             return Ok(SearchResults::empty(query, display_keywords));
         }
 
+        // Everything below runs on one pooled scratch: a warm engine
+        // re-allocates none of its enumeration buffers per search.
+        let mut scratch = self.checkout_scratch();
+        let result = self.search_core(
+            query,
+            display_keywords,
+            &keyword_tuples,
+            &match_sets,
+            options,
+            &mut scratch,
+        );
+        self.return_scratch(scratch);
+        result
+    }
+
+    /// The search pipeline proper, over a checked-out scratch.
+    fn search_core(
+        &self,
+        query: KeywordQuery,
+        display_keywords: Vec<String>,
+        keyword_tuples: &[Vec<TupleId>],
+        match_sets: &[Vec<NodeId>],
+        options: &SearchOptions,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchResults, CoreError> {
+        let scratch = &mut *scratch;
         let threads = resolved_threads(options.threads);
-        let markers = self.markers_from_matches(&query, &keyword_tuples, &display_keywords);
-        let text_scores = self.text_scores_by_node(&query, &keyword_tuples);
+        scratch.rank.reset(self.dg.node_count(), options.witness_strategy);
+        self.markers_from_matches_into(
+            &query,
+            keyword_tuples,
+            &display_keywords,
+            &mut scratch.markers,
+        );
+        self.text_scores_by_node_into(
+            &query,
+            keyword_tuples,
+            &mut scratch.text_scores,
+            &mut scratch.per_tuple,
+        );
         let ctx = RankContext {
-            text_scores: &text_scores,
-            markers: &markers,
+            text_scores: &scratch.text_scores,
+            markers: &scratch.markers,
             compute_instance: options.compute_instance,
             max_witness_length: options.max_witness_length,
+            witness_strategy: options.witness_strategy,
         };
 
         let mut stats = SearchStats::default();
@@ -982,11 +1193,13 @@ impl SearchEngine {
                     {
                         let (ranked, stats) = self.stream_topk_paths(
                             k,
-                            &match_sets,
+                            match_sets,
                             options,
                             &ctx,
                             threads,
                             connections,
+                            &mut scratch.enumerate,
+                            &mut scratch.rank,
                         );
                         return Ok(SearchResults {
                             query,
@@ -1011,8 +1224,9 @@ impl SearchEngine {
                             options.max_rdb_length,
                             None,
                             threads,
+                            &mut scratch.enumerate,
                         );
-                        stats.dfs_expansions = expansions;
+                        stats.expansions = expansions;
                         stats.max_length_enumerated = options.max_rdb_length;
                         connections.extend(pairs);
                     }
@@ -1024,8 +1238,16 @@ impl SearchEngine {
                     weighting: options.weighting,
                     max_weight: f64::INFINITY,
                 };
-                for tree in banks_search(&self.dg, &match_sets, &banks_opts) {
-                    match self.tree_to_connection(&tree, &match_sets) {
+                let (found, work) = banks_search_counted(
+                    &self.dg,
+                    match_sets,
+                    &banks_opts,
+                    &mut scratch.banks,
+                );
+                stats.expansions = work.candidates;
+                stats.early_terminated = work.early_terminated;
+                for tree in found {
+                    match self.tree_to_connection(&tree, match_sets) {
                         Some(conn) if conn.rdb_length() > 0 => connections.push(conn),
                         Some(_) => {} // single nodes already collected
                         None => trees.push(tree),
@@ -1035,8 +1257,37 @@ impl SearchEngine {
             Algorithm::Discover => {
                 let kw_sets: Vec<HashSet<NodeId>> =
                     match_sets.iter().map(|s| s.iter().copied().collect()).collect();
-                let networks =
-                    enumerate_mtjnts(&self.dg, &kw_sets, options.max_rdb_length + 1);
+                // Streaming top-k: consume candidate networks one size
+                // level at a time and stop once the held top k
+                // dominates every larger network (2-keyword MTJNTs are
+                // always path-shaped, so no tree budget interferes).
+                if let Some(k) = options.k {
+                    if query.len() == 2 && options.ranker.supports_streaming_topk() {
+                        let (ranked, stats) = self.stream_topk_discover(
+                            k,
+                            &kw_sets,
+                            options,
+                            &ctx,
+                            threads,
+                            connections,
+                            &mut scratch.rank,
+                        );
+                        return Ok(SearchResults {
+                            query,
+                            display_keywords,
+                            connections: ranked,
+                            trees,
+                            stats,
+                        });
+                    }
+                }
+                let networks = enumerate_mtjnts_counted(
+                    &self.dg,
+                    &kw_sets,
+                    options.max_rdb_length + 1,
+                    &mut stats.expansions,
+                );
+                stats.max_length_enumerated = options.max_rdb_length;
                 for network in networks {
                     if network.len() == 1 {
                         continue; // singles already collected
@@ -1072,7 +1323,7 @@ impl SearchEngine {
         // for large result sets. Witness searches for instance closeness
         // are shared across connections with equal endpoints (per
         // worker).
-        let mut ranked = self.rank_stage(unique, &ctx, threads);
+        let mut ranked = self.rank_stage(unique, &ctx, threads, &mut scratch.rank);
         sort_ranked(&mut ranked, options.ranker, &self.dg);
         // One k-budget shared across connections and trees: ranked
         // connections first, the remainder to branching answer trees.
@@ -1084,16 +1335,49 @@ impl SearchEngine {
         Ok(SearchResults { query, display_keywords, connections: ranked, trees, stats })
     }
 
+    /// One streamed level of a top-k accumulator: canonical orientation
+    /// with node-sequence dedup, the optional MTJNT filter, the metric
+    /// stage, and the bounded best-k re-sort (a sorted, truncated
+    /// vector, since k is small). Items that fall off the buffer can
+    /// never re-enter the top k (later levels only add candidates,
+    /// never improve dropped ones), so streamed accumulation equals the
+    /// full enumeration's ranked prefix — the equivalence the property
+    /// tests pin down for both the `Paths` and `Discover` modes.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_level(
+        &self,
+        acc: &mut Vec<RankedConnection>,
+        seen: &mut HashSet<Vec<NodeId>>,
+        conns: Vec<Connection>,
+        mtjnt_sets: Option<&[HashSet<NodeId>]>,
+        ctx: &RankContext<'_>,
+        threads: usize,
+        ranker: RankStrategy,
+        k: usize,
+        rank_scratch: &mut RankScratch,
+    ) {
+        let mut fresh: Vec<Connection> = conns
+            .into_iter()
+            .map(|c| canonical_orient(c, &self.dg))
+            .filter(|c| seen.insert(c.nodes().to_vec()))
+            .collect();
+        if let Some(kw) = mtjnt_sets {
+            fresh.retain(|conn| {
+                let set: BTreeSet<NodeId> = conn.nodes().iter().copied().collect();
+                is_mtjnt(&self.dg, &set, kw)
+            });
+        }
+        acc.extend(self.rank_stage(fresh, ctx, threads, rank_scratch));
+        sort_ranked(acc, ranker, &self.dg);
+        acc.truncate(k);
+    }
+
     /// Streaming top-k for the two-keyword `Paths` pipeline: per length
     /// level, fan the per-source exact-length enumeration out over the
-    /// worker threads, push the survivors of dedup/filter through the
-    /// metric stage into a bounded best-k buffer (the "worst-of-heap" —
-    /// a sorted, truncated vector, since k is small), and stop as soon
-    /// as the k-th best connection dominates every unexplored level.
-    /// Items that fall off the buffer can never re-enter the top k
-    /// (later levels only add candidates, never improve dropped ones),
-    /// so the result equals the full enumeration's ranked prefix — the
-    /// equivalence the property tests pin down.
+    /// worker threads, absorb the level into the bounded best-k buffer
+    /// ([`SearchEngine::absorb_level`]), and stop as soon as the k-th
+    /// best connection dominates every unexplored level.
+    #[allow(clippy::too_many_arguments)]
     fn stream_topk_paths(
         &self,
         k: usize,
@@ -1102,12 +1386,14 @@ impl SearchEngine {
         ctx: &RankContext<'_>,
         threads: usize,
         singles: Vec<Connection>,
+        enumerate: &mut EnumScratch,
+        rank_scratch: &mut RankScratch,
     ) -> (Vec<RankedConnection>, SearchStats) {
         if k == 0 {
             return (Vec::new(), SearchStats::default());
         }
         let (set_a, set_b) = (&match_sets[0], &match_sets[1]);
-        let (is_target, dist) = self.target_mask_and_dist(set_b);
+        self.fill_target_mask_and_dist(set_b, options.max_rdb_length, enumerate);
         let kw_sets: Option<Vec<HashSet<NodeId>>> = options
             .mtjnt_only
             .then(|| match_sets.iter().map(|s| s.iter().copied().collect()).collect());
@@ -1115,37 +1401,19 @@ impl SearchEngine {
         let mut stats = SearchStats::default();
         let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
         let mut acc: Vec<RankedConnection> = Vec::new();
-        // Sequential mode keeps one scratch alive across all levels, so
-        // label/description/witness memoization carries over instead of
-        // being rebuilt per level.
-        let mut level_scratch =
-            (threads == 1).then(|| RankScratch::new(self.dg.node_count()));
-        let mut absorb = |acc: &mut Vec<RankedConnection>,
-                          seen: &mut HashSet<Vec<NodeId>>,
-                          conns: Vec<Connection>| {
-            let mut fresh: Vec<Connection> = conns
-                .into_iter()
-                .map(|c| canonical_orient(c, &self.dg))
-                .filter(|c| seen.insert(c.nodes().to_vec()))
-                .collect();
-            if let Some(kw) = &kw_sets {
-                fresh.retain(|conn| {
-                    let set: BTreeSet<NodeId> = conn.nodes().iter().copied().collect();
-                    is_mtjnt(&self.dg, &set, kw)
-                });
-            }
-            match &mut level_scratch {
-                Some(scratch) => {
-                    acc.extend(fresh.into_iter().map(|c| self.rank_one(c, ctx, scratch)));
-                }
-                None => acc.extend(self.rank_stage(fresh, ctx, threads)),
-            }
-            sort_ranked(acc, options.ranker, &self.dg);
-            acc.truncate(k);
-        };
 
         // Level 0: the singles.
-        absorb(&mut acc, &mut seen, singles);
+        self.absorb_level(
+            &mut acc,
+            &mut seen,
+            singles,
+            kw_sets.as_deref(),
+            ctx,
+            threads,
+            options.ranker,
+            k,
+            rank_scratch,
+        );
         for level in 1..=options.max_rdb_length {
             // Any connection still to come has RDB length >= level; if
             // the k-th best already beats the best conceivable such
@@ -1157,24 +1425,121 @@ impl SearchEngine {
             }
             let (conns, expansions) = self.fan_out_connections(
                 set_a,
-                &is_target,
-                &dist,
+                &enumerate.is_target,
+                &enumerate.dist,
                 level,
                 Some(level),
                 threads,
+                &mut enumerate.traversal,
             );
-            stats.dfs_expansions += expansions;
+            stats.expansions += expansions;
             stats.max_length_enumerated = level;
-            absorb(&mut acc, &mut seen, conns);
+            self.absorb_level(
+                &mut acc,
+                &mut seen,
+                conns,
+                kw_sets.as_deref(),
+                ctx,
+                threads,
+                options.ranker,
+                k,
+                rank_scratch,
+            );
         }
         (acc, stats)
     }
 
+    /// Streaming top-k for the two-keyword `Discover` pipeline:
+    /// candidate joining networks are consumed one **size level** at a
+    /// time from [`JoiningNetworkLevels`], MTJNT-filtered, converted to
+    /// connections (two-keyword MTJNTs are always path-shaped: every
+    /// leaf of a minimal network must carry a keyword) and absorbed
+    /// into the bounded best-k buffer; enumeration cuts as soon as the
+    /// held k-th best dominates every larger network — a network of
+    /// `s` tuples yields a connection of `s - 1` edges, so size is a
+    /// rank lower bound under any length-monotone strategy. The prefix
+    /// equals the batch pipeline's (property-tested), at strictly
+    /// fewer network materializations whenever the cut fires.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_topk_discover(
+        &self,
+        k: usize,
+        kw_sets: &[HashSet<NodeId>],
+        options: &SearchOptions,
+        ctx: &RankContext<'_>,
+        threads: usize,
+        singles: Vec<Connection>,
+        rank_scratch: &mut RankScratch,
+    ) -> (Vec<RankedConnection>, SearchStats) {
+        if k == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
+        let mut levels = JoiningNetworkLevels::new(&self.dg, kw_sets);
+        let mut stats = SearchStats::default();
+        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut acc: Vec<RankedConnection> = Vec::new();
+
+        // Size level 1 *is* the singles set (tuples matching every
+        // keyword), already collected by the caller; consume and drop
+        // the duplicate level.
+        self.absorb_level(
+            &mut acc,
+            &mut seen,
+            singles,
+            None,
+            ctx,
+            threads,
+            options.ranker,
+            k,
+            rank_scratch,
+        );
+        let max_tuples = options.max_rdb_length + 1;
+        if levels.next_size() <= max_tuples {
+            let _ = levels.next_level();
+        }
+        while levels.next_size() <= max_tuples {
+            let level_edges = levels.next_size() - 1;
+            // Every network still to come has >= level_edges edges; once
+            // the held k-th best dominates that whole tail, deeper
+            // growth cannot change the top k.
+            if acc.len() == k
+                && options.ranker.dominates_all_longer(&acc[k - 1].info, level_edges)
+            {
+                stats.early_terminated = true;
+                break;
+            }
+            let Some(totals) = levels.next_level() else { break };
+            stats.max_length_enumerated = level_edges;
+            let conns: Vec<Connection> = totals
+                .iter()
+                .filter(|n| is_mtjnt(&self.dg, n, kw_sets))
+                .filter_map(|n| self.network_to_connection(n))
+                .collect();
+            self.absorb_level(
+                &mut acc,
+                &mut seen,
+                conns,
+                None,
+                ctx,
+                threads,
+                options.ranker,
+                k,
+                rank_scratch,
+            );
+        }
+        stats.expansions = levels.expansions();
+        (acc, stats)
+    }
+
     /// All simple-path connections between two keyword match sets, by
-    /// distance-pruned multi-target enumeration: one BFS distance map
-    /// from the target set, then one pruned DFS per **source** (instead
-    /// of one unpruned DFS per (source, target) pair). Produces exactly
-    /// the connections of [`SearchEngine::pair_connections_naive`].
+    /// distance-pruned multi-target enumeration: one **bounded** BFS
+    /// distance map from the target set (capped at the length budget —
+    /// anything farther can never complete a path), then one pruned DFS
+    /// per **source** (instead of one unpruned DFS per (source, target)
+    /// pair). Produces exactly the connections of
+    /// [`SearchEngine::pair_connections_naive`]. Runs on a pooled
+    /// scratch: warm calls perform no allocations in the enumeration
+    /// kernel beyond the returned connections themselves.
     pub fn pair_connections(
         &self,
         set_a: &[NodeId],
@@ -1196,19 +1561,42 @@ impl SearchEngine {
         max_rdb: usize,
         threads: usize,
     ) -> Vec<Connection> {
-        self.pair_enumeration(set_a, set_b, max_rdb, None, threads).0
+        let mut scratch = self.checkout_scratch();
+        let out = self
+            .pair_enumeration(set_a, set_b, max_rdb, None, threads, &mut scratch.enumerate)
+            .0;
+        self.return_scratch(scratch);
+        out
     }
 
-    /// The target mask and shared multi-source BFS distance map for one
-    /// target set — computed once per search and shared across every
-    /// enumeration source (and, in streaming mode, across levels).
-    fn target_mask_and_dist(&self, set_b: &[NodeId]) -> (Vec<bool>, Vec<u32>) {
+    /// Fill the scratch's target mask and shared bounded BFS distance
+    /// map for one target set — computed once per search and shared
+    /// across every enumeration source (and, in streaming mode, across
+    /// levels). The map is capped at `max_edges` hops: the pruned DFS
+    /// can never use a larger distance, so capped-out nodes read as
+    /// unreachable and the traversal result is identical to the full
+    /// map's while the BFS only touches the budget neighborhood.
+    fn fill_target_mask_and_dist(
+        &self,
+        set_b: &[NodeId],
+        max_edges: usize,
+        enumerate: &mut EnumScratch,
+    ) {
         let csr = self.dg.csr();
-        let mut is_target = vec![false; csr.node_count()];
+        enumerate.is_target.clear();
+        enumerate.is_target.resize(csr.node_count(), false);
         for &b in set_b {
-            is_target[b.index()] = true;
+            enumerate.is_target[b.index()] = true;
         }
-        (is_target, multi_source_bfs_distances(csr, set_b))
+        // Saturate rather than truncate: a pathological `usize` budget
+        // must mean "unbounded", not "mod 2^32".
+        bounded_bfs_distances_into(
+            csr,
+            set_b,
+            u32::try_from(max_edges).unwrap_or(u32::MAX),
+            &mut enumerate.dist,
+            &mut enumerate.bfs_queue,
+        );
     }
 
     /// Build the target mask + shared BFS distance map for `set_b` and
@@ -1220,9 +1608,18 @@ impl SearchEngine {
         max_rdb: usize,
         exact: Option<usize>,
         threads: usize,
+        enumerate: &mut EnumScratch,
     ) -> (Vec<Connection>, u64) {
-        let (is_target, dist) = self.target_mask_and_dist(set_b);
-        self.fan_out_connections(set_a, &is_target, &dist, max_rdb, exact, threads)
+        self.fill_target_mask_and_dist(set_b, max_rdb, enumerate);
+        self.fan_out_connections(
+            set_a,
+            &enumerate.is_target,
+            &enumerate.dist,
+            max_rdb,
+            exact,
+            threads,
+            &mut enumerate.traversal,
+        )
     }
 
     /// One distance-pruned DFS per source over an immutable CSR + shared
@@ -1231,7 +1628,9 @@ impl SearchEngine {
     /// per-chunk results concatenated back in source order. The merge is
     /// deterministic: each source's paths are canonically sorted inside
     /// its chunk, so the output is byte-identical to the sequential
-    /// loop's.
+    /// loop's. The sequential path reuses the pooled DFS stacks; worker
+    /// threads own fresh ones (scratch only affects cost, not output).
+    #[allow(clippy::too_many_arguments)]
     fn fan_out_connections(
         &self,
         sources: &[NodeId],
@@ -1240,10 +1639,12 @@ impl SearchEngine {
         max_edges: usize,
         exact: Option<usize>,
         threads: usize,
+        traversal: &mut TraversalScratch,
     ) -> (Vec<Connection>, u64) {
         let threads = threads.clamp(1, sources.len().max(1));
         if threads == 1 {
-            return self.enumerate_chunk(sources, is_target, dist, max_edges, exact);
+            return self
+                .enumerate_chunk(sources, is_target, dist, max_edges, exact, traversal);
         }
         let chunk = sources.len().div_ceil(threads);
         let mut chunks = sources.chunks(chunk);
@@ -1254,11 +1655,20 @@ impl SearchEngine {
             let handles: Vec<_> = chunks
                 .map(|c| {
                     s.spawn(move || {
-                        self.enumerate_chunk(c, is_target, dist, max_edges, exact)
+                        let mut worker = TraversalScratch::new();
+                        self.enumerate_chunk(
+                            c,
+                            is_target,
+                            dist,
+                            max_edges,
+                            exact,
+                            &mut worker,
+                        )
                     })
                 })
                 .collect();
-            let (conns, exp) = self.enumerate_chunk(head, is_target, dist, max_edges, exact);
+            let (conns, exp) =
+                self.enumerate_chunk(head, is_target, dist, max_edges, exact, traversal);
             out.extend(conns);
             expansions += exp;
             for h in handles {
@@ -1283,19 +1693,21 @@ impl SearchEngine {
         dist: &[u32],
         max_edges: usize,
         exact: Option<usize>,
+        traversal: &mut TraversalScratch,
     ) -> (Vec<Connection>, u64) {
         let csr = self.dg.csr();
         let mut out: Vec<Connection> = Vec::new();
         let mut expansions = 0u64;
         for &a in sources {
             let start = out.len();
-            let _ = for_each_path_to_targets_counted(
+            let _ = for_each_path_to_targets_scratch(
                 csr,
                 a,
                 is_target,
                 dist,
                 max_edges,
                 &mut expansions,
+                traversal,
                 |nodes, edges| {
                     if exact.is_none_or(|l| edges.len() == l) {
                         out.push(Connection::from_slices_with_edge_cards(
@@ -1670,7 +2082,7 @@ mod tests {
             let zero = e.search("Smith XML", &SearchOptions { k: Some(0), ..base }).unwrap();
             assert!(zero.connections.is_empty(), "{algorithm:?}");
             assert!(zero.trees.is_empty(), "{algorithm:?}");
-            assert_eq!(zero.stats.dfs_expansions, 0, "{algorithm:?}: k=0 must not search");
+            assert_eq!(zero.stats.expansions, 0, "{algorithm:?}: k=0 must not search");
 
             let unbounded = e.search("Smith XML", &base).unwrap();
             let maxed = e
@@ -1738,7 +2150,7 @@ mod tests {
         let full = e.search("Smith XML", &base).unwrap();
         let stream = e.search("Smith XML", &SearchOptions { k: Some(1), ..base }).unwrap();
         assert!(stream.stats.early_terminated);
-        assert!(stream.stats.dfs_expansions < full.stats.dfs_expansions);
+        assert!(stream.stats.expansions < full.stats.expansions);
         assert_eq!(stream.connections[0].rendering, full.connections[0].rendering);
         // `Combined` has no length bound, so it takes the batch path and
         // still returns the same best result.
@@ -1819,7 +2231,7 @@ mod tests {
         assert!(!e.is_fresh());
         let err = e.search("Smith XML", &SearchOptions::default()).unwrap_err();
         assert!(matches!(err, CoreError::StaleEngine { .. }), "got {err:?}");
-        e.apply().unwrap();
+        let _ = e.apply().unwrap();
         assert!(e.is_fresh());
         let results = e.search("Smith XML", &SearchOptions::default()).unwrap();
         // The new Smith in d1 contributes (at least) the immediate
@@ -1848,7 +2260,7 @@ mod tests {
             .unwrap();
         e.db_mut().insert(wf, vec!["e9".into(), "p1".into(), 12i64.into()]).unwrap();
         e.db_mut().delete(c.tuple("w_f2").unwrap()).unwrap();
-        e.apply().unwrap();
+        let _ = e.apply().unwrap();
 
         let rebuilt =
             SearchEngine::new(e.db().clone(), c.er_schema.clone(), c.mapping.clone())
@@ -1888,7 +2300,7 @@ mod tests {
         e.db_mut()
             .update(e2, vec!["e2".into(), "Smith".into(), "Barb".into(), "d1".into()])
             .unwrap();
-        e.apply().unwrap();
+        let _ = e.apply().unwrap();
         assert!(e.is_fresh());
 
         let rebuilt =
@@ -1929,7 +2341,7 @@ mod tests {
         e.db_mut()
             .insert(emp, vec!["e9".into(), "Smith".into(), "Ada".into(), "d2".into()])
             .unwrap();
-        e.apply().unwrap();
+        let _ = e.apply().unwrap();
         assert!(e.db().total_row_slots() > e.db().total_tuples(), "churn left tombstones");
 
         // Compacting a stale engine is refused.
@@ -1981,8 +2393,43 @@ mod tests {
         // Post-compaction mutations keep working against the new ids.
         let e9 = e.db().lookup_pk(emp, &["e9".into()]).unwrap();
         e.db_mut().delete(e9).unwrap();
-        e.apply().unwrap();
+        let _ = e.apply().unwrap();
         e.search("Smith XML", &SearchOptions::default()).unwrap();
+    }
+
+    /// The opt-in tombstone-ratio policy compacts through `apply` and
+    /// surfaces the remap; the default `Manual` policy never does.
+    #[test]
+    fn auto_compaction_triggers_at_tombstone_ratio_and_surfaces_remap() {
+        let c = company();
+        let mut e = SearchEngine::new(c.db.clone(), c.er_schema.clone(), c.mapping.clone())
+            .unwrap()
+            .with_aliases(c.aliases.clone())
+            .with_compaction_policy(CompactionPolicy::TombstoneRatio(0.05));
+        assert_eq!(
+            e.compaction_policy(),
+            CompactionPolicy::TombstoneRatio(0.05),
+            "policy is recorded"
+        );
+        let e1 = c.tuple("e1").unwrap();
+        e.db_mut().delete(c.tuple("t1").unwrap()).unwrap();
+        let outcome = e.apply().unwrap();
+        let remap = outcome.compaction.expect("one dead slot among ~17 crosses 5%");
+        assert!(remap.reclaimed() > 0);
+        assert_eq!(e.db().total_row_slots(), e.db().total_tuples(), "zero tombstones left");
+        // Caller-held ids route through the surfaced remap.
+        let new_e1 = remap.map(e1).expect("live tuples survive compaction");
+        assert!(e.db().tuple(new_e1).is_some());
+        // The engine keeps answering normally on the renumbered ids.
+        assert!(!e.search("Smith XML", &SearchOptions::default()).unwrap().is_empty());
+
+        // Default policy: same churn, no compaction, tombstone remains.
+        let mut manual =
+            SearchEngine::new(c.db.clone(), c.er_schema.clone(), c.mapping.clone()).unwrap();
+        manual.db_mut().delete(c.tuple("t1").unwrap()).unwrap();
+        let outcome = manual.apply().unwrap();
+        assert!(outcome.compaction.is_none());
+        assert!(manual.db().total_row_slots() > manual.db().total_tuples());
     }
 
     #[test]
@@ -2045,7 +2492,7 @@ mod tests {
         e.db_mut()
             .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
             .unwrap();
-        e.apply().unwrap();
+        let _ = e.apply().unwrap();
         let fixed = e.search("Smith XML", &SearchOptions::default()).unwrap();
         assert!(fixed.connections.len() > before.connections.len());
     }
@@ -2074,7 +2521,7 @@ mod tests {
         e.db_mut()
             .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
             .unwrap();
-        e.apply().unwrap();
+        let _ = e.apply().unwrap();
         assert!(
             e.search("Smith XML", &SearchOptions::default()).unwrap().len() > before.len()
         );

@@ -17,8 +17,10 @@
 use crate::connection::Connection;
 use crate::datagraph::DataGraph;
 use cla_er::{Closeness, ErSchema, SchemaMapping};
-use cla_graph::{enumerate_simple_paths_undirected, NodeId, Path};
-use std::collections::HashMap;
+use cla_graph::{
+    bounded_bfs_distances_into, enumerate_simple_paths_undirected, NodeId, Path,
+};
+use std::collections::{HashMap, VecDeque};
 
 /// The instance-level verdict for a connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,12 +41,123 @@ impl InstanceCloseness {
     }
 }
 
-/// Cache of witness-search outcomes per `(start, end)` endpoint pair.
+/// How the witness search prunes its path exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WitnessStrategy {
+    /// Bounded-BFS distance maps on graphs of at least
+    /// [`WitnessStrategy::AUTO_BOUNDED_MIN_NODES`] nodes, plain
+    /// iterative deepening below (where the map costs more than the
+    /// unpruned search it saves).
+    #[default]
+    Auto,
+    /// Always the plain iterative-deepening DFS — the small-graph fast
+    /// path, kept as the equivalence oracle for the property tests.
+    IterativeDeepening,
+    /// Always the bounded-BFS-pruned search: one k-hop distance map
+    /// from the witness endpoint (cached across pairs sharing it)
+    /// prunes every DFS branch that cannot reach the endpoint within
+    /// the remaining budget.
+    BoundedBfs,
+}
+
+impl WitnessStrategy {
+    /// Node count from which [`WitnessStrategy::Auto`] switches to the
+    /// bounded-BFS map: below it, per-pair iterative deepening touches
+    /// a handful of nodes and wins; above it, dead-end wandering in the
+    /// exact-depth levels dominates and the map pays for itself.
+    pub const AUTO_BOUNDED_MIN_NODES: usize = 256;
+
+    fn use_bounded(self, node_count: usize) -> bool {
+        match self {
+            WitnessStrategy::Auto => node_count >= Self::AUTO_BOUNDED_MIN_NODES,
+            WitnessStrategy::IterativeDeepening => false,
+            WitnessStrategy::BoundedBfs => true,
+        }
+    }
+}
+
+/// Cache of witness-search outcomes per `(start, end)` endpoint pair,
+/// plus the reusable buffers of the bounded-BFS pruned search.
 ///
 /// The witness search depends only on the connection's endpoints and the
 /// length bound, so duplicate endpoint pairs in one result set (common:
-/// many connections link the same two matched tuples) share one search.
-pub type WitnessCache = HashMap<(NodeId, NodeId), Option<Connection>>;
+/// many connections link the same two matched tuples) share one search —
+/// and pairs sharing the *end* node share one bounded distance map. One
+/// cache must only ever see a single `(data graph, length bound)`
+/// combination; the engine keeps one per search (pooled and
+/// [`WitnessCache::clear`]ed between searches).
+#[derive(Debug, Clone, Default)]
+pub struct WitnessCache {
+    verdicts: HashMap<(NodeId, NodeId), Option<Connection>>,
+    strategy: WitnessStrategy,
+    /// One bounded distance map per distinct end node (result sets
+    /// routinely interleave end nodes, so a single most-recent map
+    /// would thrash). All maps share one budget.
+    maps: HashMap<NodeId, Vec<u32>>,
+    /// The hop budget every cached map was computed with.
+    budget: Option<usize>,
+    queue: VecDeque<NodeId>,
+}
+
+impl WitnessCache {
+    /// An empty cache with the [`WitnessStrategy::Auto`] policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache with an explicit pruning strategy.
+    pub fn with_strategy(strategy: WitnessStrategy) -> Self {
+        WitnessCache { strategy, ..Self::default() }
+    }
+
+    /// Switch the pruning strategy. Verdicts are strategy-independent,
+    /// so this is safe mid-lifetime; a pooled scratch pairs it with
+    /// [`WitnessCache::clear`] when re-arming for a new search.
+    pub fn set_strategy(&mut self, strategy: WitnessStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Number of cached endpoint-pair verdicts.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// `true` when no verdict is cached.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Drop every verdict and distance map, keeping the allocated
+    /// container capacity — the reset a pooled scratch performs between
+    /// searches (graph content may have changed in between).
+    pub fn clear(&mut self) {
+        self.verdicts.clear();
+        self.maps.clear();
+        self.budget = None;
+    }
+
+    /// Build the bounded hop-distance map toward `end` unless one is
+    /// already cached for it; a budget change (one cache only ever
+    /// sees a single bound in practice) invalidates all maps.
+    fn ensure_dist_map(&mut self, dg: &DataGraph, end: NodeId, max_rdb: usize) {
+        if self.budget != Some(max_rdb) {
+            self.maps.clear();
+            self.budget = Some(max_rdb);
+        }
+        if !self.maps.contains_key(&end) {
+            let mut dist = Vec::new();
+            // Saturating cast: an oversized budget means unbounded.
+            bounded_bfs_distances_into(
+                dg.csr(),
+                &[end],
+                u32::try_from(max_rdb).unwrap_or(u32::MAX),
+                &mut dist,
+                &mut self.queue,
+            );
+            self.maps.insert(end, dist);
+        }
+    }
+}
 
 /// Compute the instance-level closeness of `conn`, searching for witness
 /// paths of at most `max_witness_rdb` foreign-key edges.
@@ -87,13 +200,26 @@ pub fn instance_closeness_with_cache(
     if conn.closeness(dg, schema, mapping) == Closeness::Close {
         return InstanceCloseness::SchemaClose;
     }
-    let witness = cache
-        .entry((conn.start(), conn.end()))
-        .or_insert_with(|| {
-            find_close_witness(dg, schema, mapping, conn.start(), conn.end(), max_witness_rdb)
-        })
-        .clone();
-    match witness {
+    let key = (conn.start(), conn.end());
+    if !cache.verdicts.contains_key(&key) {
+        let dist = if cache.strategy.use_bounded(dg.csr().node_count()) {
+            cache.ensure_dist_map(dg, conn.end(), max_witness_rdb);
+            Some(cache.maps[&conn.end()].as_slice())
+        } else {
+            None
+        };
+        let witness = find_close_witness(
+            dg,
+            schema,
+            mapping,
+            conn.start(),
+            conn.end(),
+            max_witness_rdb,
+            dist,
+        );
+        cache.verdicts.insert(key, witness);
+    }
+    match cache.verdicts[&key].clone() {
         Some(w) => InstanceCloseness::WitnessClose(w),
         None => InstanceCloseness::Loose,
     }
@@ -140,6 +266,14 @@ pub fn instance_closeness_naive(
 /// materializing the whole bounded path set. Deepening ends as soon as
 /// a level runs to completion without being cut by its budget (no
 /// longer simple path can exist).
+///
+/// With `dist` set (the bounded hop-distance map toward `end`, capped
+/// at `max_rdb`), every branch that cannot reach `end` within the
+/// level's remaining budget is cut. Pruning removes only branches that
+/// complete no path at the current level, so each level visits its
+/// completions in exactly the unpruned order — the returned witness is
+/// **identical** to the iterative-deepening one (property-tested), at
+/// a fraction of the exploration on larger graphs.
 fn find_close_witness(
     dg: &DataGraph,
     schema: &ErSchema,
@@ -147,11 +281,17 @@ fn find_close_witness(
     start: NodeId,
     end: NodeId,
     max_rdb: usize,
+    dist: Option<&[u32]>,
 ) -> Option<Connection> {
     if start == end || max_rdb == 0 {
         // Endpoint pairs of real connections are distinct (a zero-length
         // connection is schema-close and never reaches the search).
         return None;
+    }
+    if let Some(dist) = dist {
+        if dist[start.index()] as usize > max_rdb {
+            return None; // end is out of reach entirely
+        }
     }
     let csr = dg.csr();
     let mut search = WitnessDfs {
@@ -159,6 +299,8 @@ fn find_close_witness(
         schema,
         mapping,
         end,
+        dist,
+        max_rdb,
         nodes: vec![start],
         edges: Vec::new(),
         on_path: vec![false; csr.node_count()],
@@ -185,6 +327,10 @@ struct WitnessDfs<'a> {
     schema: &'a ErSchema,
     mapping: &'a SchemaMapping,
     end: NodeId,
+    /// Bounded hop distances toward `end` (capped at `max_rdb`), when
+    /// the bounded-BFS strategy is active.
+    dist: Option<&'a [u32]>,
+    max_rdb: usize,
     nodes: Vec<NodeId>,
     edges: Vec<cla_graph::EdgeId>,
     on_path: Vec<bool>,
@@ -195,6 +341,19 @@ struct WitnessDfs<'a> {
 }
 
 impl WitnessDfs<'_> {
+    /// `true` when a (possibly deeper) level could still complete a
+    /// path through `next`: without a distance map, always assumed;
+    /// with one, only when `end` lies within the overall `max_rdb`
+    /// budget from there. Over-approximating costs one extra deepening
+    /// level at worst; under-approximating would wrongly end the
+    /// search, so unreachable means *beyond the cap*, never "unknown".
+    fn may_continue_deeper(&self, next: NodeId) -> bool {
+        match self.dist {
+            Some(dist) => (dist[next.index()] as usize) <= self.max_rdb,
+            None => true,
+        }
+    }
+
     /// Explore paths with exactly `budget` more edges; record the first
     /// close `…end` completion into `self.witness` and unwind.
     fn dfs(&mut self, csr: &cla_graph::CsrAdjacency, current: NodeId, budget: usize) {
@@ -216,7 +375,7 @@ impl WitnessDfs<'_> {
                         self.witness = Some(candidate);
                         return;
                     }
-                } else {
+                } else if self.may_continue_deeper(next) {
                     // A longer simple path may continue through here.
                     self.truncated = true;
                 }
@@ -224,6 +383,19 @@ impl WitnessDfs<'_> {
             }
             if next == self.end {
                 continue; // exact-depth levels only; shorter paths were judged
+            }
+            // Distance pruning: with `budget - 1` edges left after the
+            // descent, `end` must lie within that range of `next`. The
+            // cut branch completes nothing at this level, but deeper
+            // levels may still route through it within the overall
+            // budget — flag them.
+            if let Some(dist) = self.dist {
+                if (dist[next.index()] as usize) > budget - 1 {
+                    if self.may_continue_deeper(next) {
+                        self.truncated = true;
+                    }
+                    continue;
+                }
             }
             self.on_path[next.index()] = true;
             self.nodes.push(next);
@@ -352,7 +524,9 @@ mod tests {
     }
 
     /// The short-circuit search agrees with the exhaustive seed
-    /// implementation on every paper connection and budget.
+    /// implementation on every paper connection and budget — under
+    /// every witness strategy, and the bounded-BFS witness is
+    /// *identical* to the iterative-deepening one.
     #[test]
     fn pruned_verdicts_match_naive() {
         let (c, dg) = setup();
@@ -389,8 +563,44 @@ mod tests {
                     assert_eq!(a.rdb_length(), b.rdb_length(), "{aliases:?}");
                     assert_eq!((a.start(), a.end()), (b.start(), b.end()));
                 }
+                // The bounded-BFS leg returns the *identical* verdict,
+                // witness connection included.
+                let bounded = instance_closeness_with_cache(
+                    &cn,
+                    &dg,
+                    &c.er_schema,
+                    &c.mapping,
+                    budget,
+                    &mut WitnessCache::with_strategy(WitnessStrategy::BoundedBfs),
+                );
+                let deepening = instance_closeness_with_cache(
+                    &cn,
+                    &dg,
+                    &c.er_schema,
+                    &c.mapping,
+                    budget,
+                    &mut WitnessCache::with_strategy(WitnessStrategy::IterativeDeepening),
+                );
+                assert_eq!(bounded, deepening, "{aliases:?} at budget {budget}");
             }
         }
+    }
+
+    /// Clearing a cache keeps it usable and forgets stale verdicts and
+    /// distance maps (the pooled-scratch reset between searches).
+    #[test]
+    fn cleared_cache_recomputes_fresh_verdicts() {
+        let (c, dg) = setup();
+        let cn = conn(&c, &dg, &["p2", "d2", "e2"]);
+        let mut cache = WitnessCache::with_strategy(WitnessStrategy::BoundedBfs);
+        let first =
+            instance_closeness_with_cache(&cn, &dg, &c.er_schema, &c.mapping, 4, &mut cache);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        let again =
+            instance_closeness_with_cache(&cn, &dg, &c.er_schema, &c.mapping, 4, &mut cache);
+        assert_eq!(first, again);
     }
 
     /// A shared cache returns the same verdicts as fresh searches.

@@ -74,29 +74,35 @@ mod participation;
 mod ranking;
 mod stats;
 
-pub use banks::{banks_search, BanksOptions, EdgeWeighting, SteinerTree};
+pub use banks::{
+    banks_search, banks_search_counted, BanksOptions, BanksScratch, BanksWork, EdgeWeighting,
+    SteinerTree,
+};
 pub use candidates::{
     evaluate_candidate_network, generate_candidate_networks, mtjnts_via_candidate_networks,
-    CandidateNetwork, CnEdge, CnNode, KeywordRelationMap,
+    mtjnts_via_candidate_networks_topk, CandidateNetwork, CnEdge, CnNode, KeywordRelationMap,
 };
 pub use connection::{ConceptualStep, Connection, ConnectionStep};
 pub use datagraph::{DataGraph, EdgeAnnotation};
 pub use discover::{
-    enumerate_joining_networks, enumerate_mtjnts, is_joining, is_mtjnt, is_total,
-    mtjnt_filter,
+    enumerate_joining_networks, enumerate_mtjnts, enumerate_mtjnts_counted, is_joining,
+    is_mtjnt, is_total, mtjnt_filter, JoiningNetworkLevels,
 };
 pub use engine::{
-    Algorithm, RankedConnection, SearchEngine, SearchOptions, SearchResults, SearchStats,
+    Algorithm, ApplyOutcome, CompactionPolicy, RankedConnection, SearchEngine, SearchOptions,
+    SearchResults,
 };
 pub use error::CoreError;
 pub use explain::explain_connection;
 pub use instance::{
     instance_closeness, instance_closeness_naive, instance_closeness_with_cache,
-    InstanceCloseness, WitnessCache,
+    InstanceCloseness, WitnessCache, WitnessStrategy,
 };
 pub use participation::{
     move_sequence, participation_degree, participation_fanout, reachable_set,
     RelationshipMove,
 };
 pub use ranking::{sort_by_strategy, ConnectionInfo, RankStrategy};
-pub use stats::{close_precision_at_k, kendall_tau, overlap_at_k, ClosenessProfile};
+pub use stats::{
+    close_precision_at_k, kendall_tau, overlap_at_k, ClosenessProfile, SearchStats,
+};

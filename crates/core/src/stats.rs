@@ -1,4 +1,6 @@
-//! Ranking-comparison statistics: quantify how much two strategies
+//! Search statistics: the unified traversal-work accounting every
+//! algorithm reports through ([`SearchStats`]), plus
+//! ranking-comparison statistics — quantify how much two strategies
 //! disagree, and how a result list distributes over closeness classes.
 //!
 //! Used by the experiment harness to report, e.g., that close-first and
@@ -10,6 +12,48 @@ use crate::ranking::ConnectionInfo;
 use cla_er::Closeness;
 use std::collections::HashMap;
 use std::hash::Hash;
+
+/// Traversal-work accounting for one search — the **unified** counter
+/// through which all three algorithms prove their early termination.
+///
+/// [`SearchStats::expansions`] counts each algorithm's unit of
+/// enumeration work:
+///
+/// * `Paths` — DFS descents (nodes pushed onto a path under
+///   exploration), summed across sources and worker threads;
+/// * `Banks` — candidate roots completed by the backward expansion
+///   (each materializes one entry on the candidate priority queue).
+///   The classic formulation materializes *every* root reached by all
+///   keyword sets; the priority-queue cutoff strictly fewer whenever
+///   it fires. (`cla_core::BanksWork` additionally reports the raw
+///   per-set Dijkstra settles.)
+/// * `Discover` — candidate joining networks materialized by the
+///   level-wise growth (total or not); the streaming cutoff stops at
+///   the first dominated size level and never materializes the deeper
+///   ones.
+///
+/// The zero value for the naive `Paths` enumeration (the A/B bench
+/// switch), which does not count its work. With `k` set and a
+/// length-monotone ranker, a streaming run must report strictly fewer
+/// expansions than the full run while returning the identical ranked
+/// prefix — the property suite pins both halves for every algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Units of enumeration work performed (see the type docs for the
+    /// per-algorithm meaning).
+    pub expansions: u64,
+    /// The highest length budget (in FK edges) the enumeration ran
+    /// with: the full `max_rdb_length` for the batch pipelines, the
+    /// last streamed level for top-k (pruning may keep the traversal
+    /// from ever reaching this depth; `expansions` counts the actual
+    /// work). For `Discover` this is the network size bound minus one
+    /// (tuple count and edge count differ by one on path shapes).
+    pub max_length_enumerated: usize,
+    /// `true` when a streaming cutoff stopped enumeration before its
+    /// full budget because the held top `k` dominated every unexplored
+    /// candidate (length level, frontier entry or network size).
+    pub early_terminated: bool,
+}
 
 /// Kendall rank-correlation coefficient τ between two orderings of the
 /// same item set, in `[-1, 1]` (1 = identical order, -1 = reversed).

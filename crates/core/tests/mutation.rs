@@ -341,7 +341,7 @@ proptest! {
                     err.map(|r| r.len())
                 );
             }
-            engine.apply().unwrap();
+            let _ = engine.apply().unwrap();
             prop_assert!(engine.is_fresh());
             assert_matches_rebuild(&engine, &format!("seed {seed} round {round}"))?;
 
@@ -446,7 +446,7 @@ proptest! {
         for _ in 0..3 {
             mutated |= mutator.random_op(engine.db_mut(), &mut rng);
         }
-        engine.apply().unwrap();
+        let _ = engine.apply().unwrap();
         if mutated {
             assert_matches_rebuild(&engine, &format!("seed {seed} post-recovery"))?;
         }
@@ -480,7 +480,7 @@ proptest! {
                 engine.db_mut().delete(id).unwrap();
             }
         }
-        engine.apply().unwrap();
+        let _ = engine.apply().unwrap();
         assert_matches_rebuild(&engine, &format!("seed {seed} wave1"))?;
 
         // Wave 2: now employees are mostly unreferenced — delete a few,
@@ -496,7 +496,7 @@ proptest! {
         for _ in 0..5 {
             mutator.random_op(engine.db_mut(), &mut rng);
         }
-        engine.apply().unwrap();
+        let _ = engine.apply().unwrap();
         assert_matches_rebuild(&engine, &format!("seed {seed} wave2"))?;
     }
 }
@@ -529,7 +529,7 @@ fn csr_compaction_threshold_crossed_by_update_burst() {
             )
             .unwrap();
         engine.db_mut().delete(id).unwrap();
-        engine.apply().unwrap();
+        let _ = engine.apply().unwrap();
     }
     assert!(
         !engine.data_graph().csr().has_pending_patches()

@@ -231,8 +231,145 @@ where
     MultiSourceDijkstra { dist, parent, origin }
 }
 
+/// An **incremental** multi-source Dijkstra: the same shortest-path
+/// forest as [`multi_source_dijkstra_csr_by_key`], settled one node at a
+/// time on demand instead of eagerly to exhaustion.
+///
+/// This is the substrate of heap-driven BANKS-style expansion with a
+/// top-k cutoff: each keyword set owns one `LazyDijkstra`, a driver
+/// settles whichever set's frontier is globally cheapest, and expansion
+/// stops as soon as the frontier distances prove that no future
+/// candidate root can enter the top k. Because each settle performs
+/// exactly the relaxations the eager run would (same `(dist, key,
+/// node)` heap order), the `dist`/`parent`/`origin` arrays of a lazy
+/// run driven to exhaustion are **identical** to the eager forest —
+/// and any prefix of settles is a prefix of that forest.
+///
+/// Buffers are reusable: [`LazyDijkstra::reset`] re-arms the state for
+/// a new source set without re-allocating, so a warm search epoch runs
+/// the whole expansion allocation-free (up to heap growth beyond the
+/// high-water mark).
+#[derive(Debug, Clone)]
+pub struct LazyDijkstra<K> {
+    /// `dist[n]`: settled shortest distance, `f64::INFINITY` while
+    /// unsettled (tentative distances live on the heap only; read
+    /// [`LazyDijkstra::settled`] to distinguish).
+    pub dist: Vec<f64>,
+    /// `parent[n]` on the shortest path toward `origin[n]` — final once
+    /// `n` is settled.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+    /// The source whose tree contains `n` (`None` while unreached).
+    pub origin: Vec<Option<NodeId>>,
+    settled: Vec<bool>,
+    tentative: Vec<f64>,
+    heap: BinaryHeap<KeyedEntry<K>>,
+}
+
+impl<K: Ord + Copy> LazyDijkstra<K> {
+    /// A lazy run over `node_count` slots from `sources` (duplicates
+    /// ignored), heap ties broken by `key` like
+    /// [`multi_source_dijkstra_csr_by_key`].
+    pub fn new<F: Fn(NodeId) -> K>(node_count: usize, sources: &[NodeId], key: F) -> Self {
+        let mut lazy = LazyDijkstra {
+            dist: Vec::new(),
+            parent: Vec::new(),
+            origin: Vec::new(),
+            settled: Vec::new(),
+            tentative: Vec::new(),
+            heap: BinaryHeap::new(),
+        };
+        lazy.reset(node_count, sources, key);
+        lazy
+    }
+
+    /// Re-arm for a fresh run, reusing every buffer.
+    pub fn reset<F: Fn(NodeId) -> K>(
+        &mut self,
+        node_count: usize,
+        sources: &[NodeId],
+        key: F,
+    ) {
+        self.dist.clear();
+        self.dist.resize(node_count, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(node_count, None);
+        self.origin.clear();
+        self.origin.resize(node_count, None);
+        self.settled.clear();
+        self.settled.resize(node_count, false);
+        self.tentative.clear();
+        self.tentative.resize(node_count, f64::INFINITY);
+        self.heap.clear();
+        for &s in sources {
+            if self.origin[s.index()].is_none() {
+                self.tentative[s.index()] = 0.0;
+                self.origin[s.index()] = Some(s);
+                self.heap.push(KeyedEntry { dist: 0.0, key: key(s), node: s });
+            }
+        }
+    }
+
+    /// `true` once `n` was settled (its `dist`/`parent`/`origin` final).
+    pub fn settled(&self, n: NodeId) -> bool {
+        self.settled[n.index()]
+    }
+
+    /// The distance the next [`LazyDijkstra::settle_next`] will settle
+    /// at, or `None` when the frontier is exhausted. Pops stale heap
+    /// entries as a side effect; never settles.
+    pub fn frontier_dist(&mut self) -> Option<f64> {
+        while let Some(top) = self.heap.peek() {
+            if self.settled[top.node.index()] || top.dist > self.tentative[top.node.index()] {
+                self.heap.pop();
+                continue;
+            }
+            return Some(top.dist);
+        }
+        None
+    }
+
+    /// Settle the cheapest frontier node and relax its neighbors,
+    /// returning `(node, dist)` — or `None` when exhausted. `weight` and
+    /// `key` must be the same functions on every call (the forest is
+    /// built across calls).
+    pub fn settle_next<W, F>(
+        &mut self,
+        csr: &CsrAdjacency,
+        weight: W,
+        key: F,
+    ) -> Option<(NodeId, f64)>
+    where
+        W: Fn(EdgeId) -> f64,
+        F: Fn(NodeId) -> K,
+    {
+        let n = loop {
+            let top = self.heap.pop()?;
+            if self.settled[top.node.index()] || top.dist > self.tentative[top.node.index()] {
+                continue; // stale entry
+            }
+            break top.node;
+        };
+        let d = self.tentative[n.index()];
+        self.settled[n.index()] = true;
+        self.dist[n.index()] = d;
+        for &(m, e) in csr.neighbors(n) {
+            let w = weight(e);
+            debug_assert!(w >= 0.0, "negative edge weight {w} on edge {e}");
+            let nd = d + w;
+            if nd < self.tentative[m.index()] {
+                self.tentative[m.index()] = nd;
+                self.parent[m.index()] = Some((n, e));
+                self.origin[m.index()] = self.origin[n.index()];
+                self.heap.push(KeyedEntry { dist: nd, key: key(m), node: m });
+            }
+        }
+        Some((n, d))
+    }
+}
+
 /// Max-heap entry ordered by reversed `(dist, key, node)` (so the heap
 /// pops the minimum, ties broken by the external key first).
+#[derive(Debug, Clone)]
 struct KeyedEntry<K> {
     dist: f64,
     key: K,
@@ -422,6 +559,36 @@ mod tests {
         assert!(ms.dist[b.index()].is_infinite());
         assert_eq!(ms.origin[b.index()], None);
         assert!(ms.path_to(b).is_none());
+    }
+
+    /// A lazy run driven to exhaustion produces exactly the eager
+    /// forest, and any settle prefix agrees with it on settled nodes.
+    #[test]
+    fn lazy_dijkstra_matches_eager_forest() {
+        let (g, ns) = graph();
+        let csr = CsrAdjacency::build(&g);
+        let weight = |e: EdgeId| *g.edge(e).payload;
+        let key = |n: NodeId| n;
+        let eager = multi_source_dijkstra_csr_by_key(&csr, &[ns[1], ns[2]], weight, key);
+        let mut lazy = LazyDijkstra::new(csr.node_count(), &[ns[1], ns[2]], key);
+        let mut settles = 0;
+        while let Some(front) = lazy.frontier_dist() {
+            let (n, d) = lazy.settle_next(&csr, weight, key).unwrap();
+            assert_eq!(d, front, "frontier peek must predict the settle");
+            assert!(lazy.settled(n));
+            assert_eq!(lazy.dist[n.index()], eager.dist[n.index()], "node {n}");
+            assert_eq!(lazy.parent[n.index()], eager.parent[n.index()], "node {n}");
+            assert_eq!(lazy.origin[n.index()], eager.origin[n.index()], "node {n}");
+            settles += 1;
+        }
+        assert_eq!(settles, g.node_count(), "connected graph settles every node");
+        assert!(lazy.settle_next(&csr, weight, key).is_none());
+        // Reset reuses the buffers for a fresh run.
+        lazy.reset(csr.node_count(), &[ns[0]], key);
+        let eager0 = multi_source_dijkstra_csr_by_key(&csr, &[ns[0]], weight, key);
+        while lazy.settle_next(&csr, weight, key).is_some() {}
+        assert_eq!(lazy.dist, eager0.dist);
+        assert_eq!(lazy.parent, eager0.parent);
     }
 
     #[test]

@@ -44,16 +44,17 @@ mod unionfind;
 pub use csr::CsrAdjacency;
 pub use dijkstra::{
     dijkstra, dijkstra_csr, multi_source_dijkstra_csr, multi_source_dijkstra_csr_by_key,
-    DijkstraResult, MultiSourceDijkstra,
+    DijkstraResult, LazyDijkstra, MultiSourceDijkstra,
 };
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
 pub use paths::{
     enumerate_paths_to_targets, enumerate_simple_paths_undirected, for_each_path_to_targets,
-    for_each_path_to_targets_counted, shortest_path_undirected, Path,
+    for_each_path_to_targets_counted, for_each_path_to_targets_scratch,
+    shortest_path_undirected, Path, TraversalScratch,
 };
 pub use traversal::{
-    bfs_distances_csr, bfs_distances_undirected, bfs_tree_undirected,
-    connected_components_undirected, is_connected_subset, is_connected_subset_sorted,
-    multi_source_bfs_distances, BfsTree,
+    bfs_distances_csr, bfs_distances_undirected, bfs_tree_undirected, bounded_bfs_distances,
+    bounded_bfs_distances_into, connected_components_undirected, is_connected_subset,
+    is_connected_subset_sorted, multi_source_bfs_distances, BfsTree,
 };
 pub use unionfind::UnionFind;

@@ -163,6 +163,25 @@ where
     )
 }
 
+/// Reusable buffers of the pruned path DFS: the path stacks and the
+/// on-path bitset. One scratch serves any number of
+/// [`for_each_path_to_targets_scratch`] calls (the DFS restores the
+/// bitset on unwind, break included), so a warm search epoch performs
+/// zero allocations in the enumeration kernel.
+#[derive(Debug, Default, Clone)]
+pub struct TraversalScratch {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+    on_path: Vec<bool>,
+}
+
+impl TraversalScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// [`for_each_path_to_targets`] with work accounting: every DFS descent
 /// (a node pushed onto the path under exploration) increments
 /// `*expansions`. The counter is how the engine's streaming top-k mode
@@ -175,6 +194,36 @@ pub fn for_each_path_to_targets_counted<F>(
     dist_to_target: &[u32],
     max_edges: usize,
     expansions: &mut u64,
+    visit: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId], &[EdgeId]) -> ControlFlow<()>,
+{
+    let mut scratch = TraversalScratch::new();
+    for_each_path_to_targets_scratch(
+        csr,
+        source,
+        is_target,
+        dist_to_target,
+        max_edges,
+        expansions,
+        &mut scratch,
+        visit,
+    )
+}
+
+/// [`for_each_path_to_targets_counted`] over caller-owned scratch
+/// buffers — the allocation-free form the engine's warm search epoch
+/// runs on. Results are identical for any (reused or fresh) scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn for_each_path_to_targets_scratch<F>(
+    csr: &CsrAdjacency,
+    source: NodeId,
+    is_target: &[bool],
+    dist_to_target: &[u32],
+    max_edges: usize,
+    expansions: &mut u64,
+    scratch: &mut TraversalScratch,
     mut visit: F,
 ) -> ControlFlow<()>
 where
@@ -185,23 +234,32 @@ where
     if max_edges == 0 || dist_to_target[source.index()] as usize > max_edges {
         return ControlFlow::Continue(());
     }
-    let mut nodes = vec![source];
-    let mut edges: Vec<EdgeId> = Vec::new();
-    let mut on_path = vec![false; csr.node_count()];
-    on_path[source.index()] = true;
+    scratch.nodes.clear();
+    scratch.nodes.push(source);
+    scratch.edges.clear();
+    // The DFS resets every on-path bit it sets (break included: bits are
+    // cleared before `?` propagates), so between calls the bitset is
+    // all-false and only needs resizing for graph growth.
+    if scratch.on_path.len() < csr.node_count() {
+        scratch.on_path.resize(csr.node_count(), false);
+    }
+    debug_assert!(scratch.on_path.iter().all(|&b| !b), "scratch bitset must be clean");
+    scratch.on_path[source.index()] = true;
     *expansions += 1; // the source itself
-    dfs_to_targets(
+    let flow = dfs_to_targets(
         csr,
         source,
         is_target,
         dist_to_target,
         max_edges,
-        &mut nodes,
-        &mut edges,
-        &mut on_path,
+        &mut scratch.nodes,
+        &mut scratch.edges,
+        &mut scratch.on_path,
         expansions,
         &mut visit,
-    )
+    );
+    scratch.on_path[source.index()] = false;
+    flow
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -67,8 +67,45 @@ pub fn bfs_tree_undirected<N, E>(g: &Graph<N, E>, start: NodeId) -> BfsTree {
 /// ([`crate::for_each_path_to_targets`]): run it once from the target
 /// set, then share the map across every enumeration source.
 pub fn multi_source_bfs_distances(csr: &CsrAdjacency, sources: &[NodeId]) -> Vec<u32> {
-    let mut dist = vec![u32::MAX; csr.node_count()];
-    let mut queue = VecDeque::with_capacity(sources.len());
+    bounded_bfs_distances(csr, sources, u32::MAX)
+}
+
+/// [`multi_source_bfs_distances`] bounded to `max_hops`: the BFS stops
+/// expanding at depth `max_hops`, so nodes farther than that from every
+/// source keep `u32::MAX` — exactly as if they were unreachable.
+///
+/// A pruned traversal with a hop budget of `max_hops` cannot use any
+/// distance larger than its budget, so the bounded map prunes it
+/// identically to the full map while the BFS itself only ever touches
+/// the `max_hops`-neighborhood of the sources — the difference between
+/// `O(V + E)` and output-sensitive work on large graphs. Patch-overlay
+/// aware for free: neighbor reads go through
+/// [`CsrAdjacency::neighbors`].
+pub fn bounded_bfs_distances(
+    csr: &CsrAdjacency,
+    sources: &[NodeId],
+    max_hops: u32,
+) -> Vec<u32> {
+    let mut dist = Vec::new();
+    let mut queue = VecDeque::new();
+    bounded_bfs_distances_into(csr, sources, max_hops, &mut dist, &mut queue);
+    dist
+}
+
+/// [`bounded_bfs_distances`] writing into caller-owned buffers, so a
+/// warm search epoch reuses one distance vector and one queue across
+/// every query instead of re-allocating per search. `dist` is resized
+/// to the node count and reset to `u32::MAX`; `queue` is drained.
+pub fn bounded_bfs_distances_into(
+    csr: &CsrAdjacency,
+    sources: &[NodeId],
+    max_hops: u32,
+    dist: &mut Vec<u32>,
+    queue: &mut VecDeque<NodeId>,
+) {
+    dist.clear();
+    dist.resize(csr.node_count(), u32::MAX);
+    queue.clear();
     for &s in sources {
         if dist[s.index()] == u32::MAX {
             dist[s.index()] = 0;
@@ -77,6 +114,9 @@ pub fn multi_source_bfs_distances(csr: &CsrAdjacency, sources: &[NodeId]) -> Vec
     }
     while let Some(n) = queue.pop_front() {
         let d = dist[n.index()];
+        if d >= max_hops {
+            continue; // deeper levels are outside the budget
+        }
         for &(m, _) in csr.neighbors(n) {
             if dist[m.index()] == u32::MAX {
                 dist[m.index()] = d + 1;
@@ -84,7 +124,6 @@ pub fn multi_source_bfs_distances(csr: &CsrAdjacency, sources: &[NodeId]) -> Vec
             }
         }
     }
-    dist
 }
 
 /// Single-source BFS hop distances over a CSR adjacency
@@ -259,6 +298,30 @@ mod tests {
                 None => assert_eq!(csr_dist[n.index()], u32::MAX),
             }
         }
+    }
+
+    #[test]
+    fn bounded_bfs_caps_depth_and_matches_full_map_within_bound() {
+        let (g, ns) = two_components();
+        let csr = CsrAdjacency::build(&g);
+        let full = multi_source_bfs_distances(&csr, &[ns[0]]);
+        for cap in 0..4u32 {
+            let bounded = bounded_bfs_distances(&csr, &[ns[0]], cap);
+            for n in g.nodes() {
+                if full[n.index()] <= cap {
+                    assert_eq!(bounded[n.index()], full[n.index()], "cap={cap} node {n}");
+                } else {
+                    assert_eq!(bounded[n.index()], u32::MAX, "cap={cap} node {n}");
+                }
+            }
+        }
+        // Buffer reuse leaves no stale state behind.
+        let mut dist = vec![7u32; 1];
+        let mut queue = VecDeque::from([ns[3]]);
+        bounded_bfs_distances_into(&csr, &[ns[0]], 1, &mut dist, &mut queue);
+        assert_eq!(dist.len(), csr.node_count());
+        assert_eq!(dist[ns[1].index()], 1);
+        assert_eq!(dist[ns[2].index()], u32::MAX);
     }
 
     #[test]

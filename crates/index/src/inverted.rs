@@ -15,13 +15,37 @@ pub struct Posting {
     pub frequency: u32,
 }
 
-/// Undo log of one [`InvertedIndex::apply_logged`] batch: the prior
-/// posting lists of every term the batch touched (`None` when the term
-/// did not exist before) plus the prior tuple counter. Feed it back to
-/// [`InvertedIndex::undo`] to restore the pre-apply state exactly.
+/// One inverse operation of the [`IndexUndo`] log, recorded **per
+/// posting** as the patch mutates it.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    /// The patch inserted this posting; undo removes it (dropping the
+    /// term entirely when its list drains, like a fresh build).
+    Inserted { term: String, tuple: TupleId, attribute: usize },
+    /// The patch removed this posting; undo re-inserts it at its
+    /// sorted slot (recreating the term when it was dropped).
+    Removed { term: String, posting: Posting },
+    /// The patch adjusted this posting's frequency in place; undo
+    /// restores the prior value.
+    Frequency { term: String, tuple: TupleId, attribute: usize, old: u32 },
+}
+
+/// Undo log of one [`InvertedIndex::apply_logged`] batch: the exact
+/// inverse of every **posting-level** edit the patch performed, plus
+/// the prior tuple counter. Feed it back to [`InvertedIndex::undo`]
+/// (which replays the inverses in reverse order) to restore the
+/// pre-apply state exactly.
+///
+/// Per-posting entries replace the earlier per-*list* snapshots: a
+/// batch touching one tuple of a high-frequency term used to clone the
+/// term's whole posting list up front; now it logs one entry per
+/// posting actually edited, shrinking the atomicity overhead of
+/// `SearchEngine::apply` on churn-heavy workloads (measured in
+/// EXPERIMENTS.md B9) and making undo cost proportional to the batch,
+/// not to the popularity of the terms it touches.
 #[derive(Debug)]
 pub struct IndexUndo {
-    terms: Vec<(String, Option<Vec<Posting>>)>,
+    ops: Vec<UndoOp>,
     tuples: usize,
 }
 
@@ -58,7 +82,7 @@ impl InvertedIndex {
                 continue;
             }
             for (id, tuple) in db.tuples(rel) {
-                index.index_tuple(id, tuple.values(), &text_attrs);
+                index.index_tuple(id, tuple.values(), &text_attrs, None);
             }
         }
         debug_assert!(index.posting_order_ok());
@@ -85,14 +109,28 @@ impl InvertedIndex {
     /// Add one tuple's postings, keeping every touched list sorted by
     /// `(tuple, attribute)` (insert position found by binary search — at
     /// build time tuples arrive in ascending id order, so the probe hits
-    /// the end and the push is O(1) amortized).
-    fn index_tuple(&mut self, id: TupleId, values: &[Value], text_attrs: &[usize]) {
+    /// the end and the push is O(1) amortized). With `log` set, every
+    /// inserted posting records its inverse.
+    fn index_tuple(
+        &mut self,
+        id: TupleId,
+        values: &[Value],
+        text_attrs: &[usize],
+        mut log: Option<&mut Vec<UndoOp>>,
+    ) {
         self.indexed_tuples += 1;
         for &attr in text_attrs {
             let Some(value) = values.get(attr).and_then(Value::as_text) else {
                 continue;
             };
             for (term, frequency) in self.terms_of(value) {
+                if let Some(log) = log.as_deref_mut() {
+                    log.push(UndoOp::Inserted {
+                        term: term.clone(),
+                        tuple: id,
+                        attribute: attr,
+                    });
+                }
                 let posting = Posting { tuple: id, attribute: attr, frequency };
                 let list = self.postings.entry(term).or_default();
                 match list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute)) {
@@ -116,6 +154,7 @@ impl InvertedIndex {
         old_values: &[Value],
         new_values: &[Value],
         text_attrs: &[usize],
+        mut log: Option<&mut Vec<UndoOp>>,
     ) {
         for &attr in text_attrs {
             let old_text = old_values.get(attr).and_then(Value::as_text);
@@ -136,7 +175,10 @@ impl InvertedIndex {
                 if let Ok(pos) =
                     list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
                 {
-                    list.remove(pos);
+                    let removed = list.remove(pos);
+                    if let Some(log) = log.as_deref_mut() {
+                        log.push(UndoOp::Removed { term: term.clone(), posting: removed });
+                    }
                 }
                 if list.is_empty() {
                     self.postings.remove(term);
@@ -146,6 +188,13 @@ impl InvertedIndex {
                 let posting = Posting { tuple: id, attribute: attr, frequency };
                 match old_terms.get(term) {
                     None => {
+                        if let Some(log) = log.as_deref_mut() {
+                            log.push(UndoOp::Inserted {
+                                term: term.clone(),
+                                tuple: id,
+                                attribute: attr,
+                            });
+                        }
                         let list = self.postings.entry(term.clone()).or_default();
                         match list
                             .binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
@@ -164,6 +213,14 @@ impl InvertedIndex {
                         let pos = list
                             .binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
                             .expect("surviving term has this tuple's posting");
+                        if let Some(log) = log.as_deref_mut() {
+                            log.push(UndoOp::Frequency {
+                                term: term.clone(),
+                                tuple: id,
+                                attribute: attr,
+                                old: list[pos].frequency,
+                            });
+                        }
                         list[pos].frequency = frequency;
                     }
                     Some(_) => {} // same term, same frequency: untouched
@@ -176,7 +233,13 @@ impl InvertedIndex {
     /// snapshot `values` (the tuple itself may already be gone from the
     /// database). Terms whose lists drain are dropped entirely so the
     /// patched index is structurally identical to a fresh build.
-    fn unindex_tuple(&mut self, id: TupleId, values: &[Value], text_attrs: &[usize]) {
+    fn unindex_tuple(
+        &mut self,
+        id: TupleId,
+        values: &[Value],
+        text_attrs: &[usize],
+        mut log: Option<&mut Vec<UndoOp>>,
+    ) {
         self.indexed_tuples -= 1;
         for &attr in text_attrs {
             let Some(value) = values.get(attr).and_then(Value::as_text) else {
@@ -190,7 +253,10 @@ impl InvertedIndex {
                 if let Ok(pos) =
                     list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
                 {
-                    list.remove(pos);
+                    let removed = list.remove(pos);
+                    if let Some(log) = log.as_deref_mut() {
+                        log.push(UndoOp::Removed { term: term.clone(), posting: removed });
+                    }
                 }
                 if list.is_empty() {
                     self.postings.remove(&term);
@@ -216,14 +282,19 @@ impl InvertedIndex {
     /// df/idf statistics rest on), identical
     /// [`InvertedIndex::indexed_tuples`].
     pub fn apply(&mut self, db: &Database, changes: &ChangeSet) {
-        self.apply_net(db, &changes.net_ops());
+        self.apply_net(db, &changes.net_ops(), None);
     }
 
     /// The patch kernel over an already-computed net-op list, shared by
-    /// [`InvertedIndex::apply`] and [`InvertedIndex::apply_logged`] (the
-    /// latter walks the same list for its undo pre-pass, so the
-    /// cancellation sets are built once per batch).
-    fn apply_net(&mut self, db: &Database, net_ops: &[&ChangeOp]) {
+    /// [`InvertedIndex::apply`] and [`InvertedIndex::apply_logged`]
+    /// (the latter passes the undo log the kernel records inverses
+    /// into as it mutates).
+    fn apply_net(
+        &mut self,
+        db: &Database,
+        net_ops: &[&ChangeOp],
+        mut log: Option<&mut Vec<UndoOp>>,
+    ) {
         for op in net_ops {
             let change = op.change();
             let Some(schema) = db.catalog().relation(change.id.relation) else {
@@ -235,74 +306,88 @@ impl InvertedIndex {
                 continue; // relation contributes nothing to the index
             }
             if let Some((old, new)) = op.update_sides() {
-                self.update_tuple(change.id, &old.values, &new.values, &text_attrs);
+                self.update_tuple(
+                    change.id,
+                    &old.values,
+                    &new.values,
+                    &text_attrs,
+                    log.as_deref_mut(),
+                );
             } else if op.is_insert() {
-                self.index_tuple(change.id, &change.values, &text_attrs);
+                self.index_tuple(change.id, &change.values, &text_attrs, log.as_deref_mut());
             } else {
-                self.unindex_tuple(change.id, &change.values, &text_attrs);
+                self.unindex_tuple(
+                    change.id,
+                    &change.values,
+                    &text_attrs,
+                    log.as_deref_mut(),
+                );
             }
         }
         debug_assert!(self.posting_order_ok(), "apply must preserve posting order");
     }
 
     /// [`InvertedIndex::apply`] with an **undo log**: the returned
-    /// [`IndexUndo`] snapshots the prior state of exactly the posting
-    /// lists the batch touches (plus the tuple counter), so a caller
+    /// [`IndexUndo`] records the inverse of every posting-level edit
+    /// the batch performs (plus the prior tuple counter), so a caller
     /// whose multi-structure apply fails elsewhere can roll this index
-    /// back to the pre-apply state with [`InvertedIndex::undo`].
+    /// back to the pre-apply state with [`InvertedIndex::undo`]. No
+    /// snapshot pre-pass and no posting-list clones: logging costs one
+    /// entry per posting actually edited, independent of how long the
+    /// touched terms' lists are.
     pub fn apply_logged(&mut self, db: &Database, changes: &ChangeSet) -> IndexUndo {
-        // Pre-pass: every term any op of the batch could touch (old and
-        // new snapshots alike), snapshotted before the patch mutates it.
-        let net_ops = changes.net_ops();
-        let mut touched: HashMap<String, Option<Vec<Posting>>> = HashMap::new();
-        for op in &net_ops {
-            let change = op.change();
-            let Some(schema) = db.catalog().relation(change.id.relation) else {
-                continue;
-            };
-            let text_attrs = schema.text_attributes();
-            let mut snapshot_terms = |values: &[Value]| {
-                for &attr in &text_attrs {
-                    let Some(value) = values.get(attr).and_then(Value::as_text) else {
-                        continue;
-                    };
-                    for term in self.terms_of(value).into_keys() {
-                        if let std::collections::hash_map::Entry::Vacant(slot) =
-                            touched.entry(term)
-                        {
-                            let prior = self.postings.get(slot.key()).cloned();
-                            slot.insert(prior);
-                        }
-                    }
-                }
-            };
-            if let Some((old, new)) = op.update_sides() {
-                snapshot_terms(&old.values);
-                snapshot_terms(&new.values);
-            } else {
-                snapshot_terms(&change.values);
-            }
-        }
-        let undo =
-            IndexUndo { terms: touched.into_iter().collect(), tuples: self.indexed_tuples };
-        self.apply_net(db, &net_ops);
-        undo
+        let tuples = self.indexed_tuples;
+        let mut ops = Vec::new();
+        self.apply_net(db, &changes.net_ops(), Some(&mut ops));
+        IndexUndo { ops, tuples }
     }
 
     /// Roll the index back to the state [`InvertedIndex::apply_logged`]
-    /// captured — the rollback half of an atomic multi-structure apply.
+    /// captured, replaying the per-posting inverses in reverse order —
+    /// the rollback half of an atomic multi-structure apply.
     pub fn undo(&mut self, undo: IndexUndo) {
-        self.indexed_tuples = undo.tuples;
-        for (term, prior) in undo.terms {
-            match prior {
-                Some(list) => {
-                    self.postings.insert(term, list);
+        for op in undo.ops.into_iter().rev() {
+            match op {
+                UndoOp::Inserted { term, tuple, attribute } => {
+                    let Some(list) = self.postings.get_mut(&term) else {
+                        debug_assert!(false, "undoing an insert into a missing term");
+                        continue;
+                    };
+                    if let Ok(pos) = list
+                        .binary_search_by_key(&(tuple, attribute), |p| (p.tuple, p.attribute))
+                    {
+                        list.remove(pos);
+                    }
+                    if list.is_empty() {
+                        self.postings.remove(&term);
+                    }
                 }
-                None => {
-                    self.postings.remove(&term);
+                UndoOp::Removed { term, posting } => {
+                    let list = self.postings.entry(term).or_default();
+                    match list
+                        .binary_search_by_key(&(posting.tuple, posting.attribute), |p| {
+                            (p.tuple, p.attribute)
+                        }) {
+                        Ok(_) => {
+                            debug_assert!(false, "undoing a removal that never happened")
+                        }
+                        Err(pos) => list.insert(pos, posting),
+                    }
+                }
+                UndoOp::Frequency { term, tuple, attribute, old } => {
+                    let Some(list) = self.postings.get_mut(&term) else {
+                        debug_assert!(false, "undoing a frequency edit of a missing term");
+                        continue;
+                    };
+                    if let Ok(pos) = list
+                        .binary_search_by_key(&(tuple, attribute), |p| (p.tuple, p.attribute))
+                    {
+                        list[pos].frequency = old;
+                    }
                 }
             }
         }
+        self.indexed_tuples = undo.tuples;
         debug_assert!(self.posting_order_ok(), "undo must restore posting order");
     }
 

@@ -34,7 +34,7 @@ fn main() {
         .db_mut()
         .update(e2, vec!["e2".into(), "Smith".into(), "Barbara".into(), "d1".into()])
         .unwrap();
-    engine.apply().unwrap();
+    let _ = engine.apply().unwrap();
     assert_eq!(engine.db().lookup_pk(emp, &["e2".into()]), Some(e2), "TupleId preserved");
     println!("after update (e2 → d1): {} connections", renderings(&engine).len());
 
@@ -59,7 +59,7 @@ fn main() {
         engine.db_mut().delete(d.0).unwrap(); // w_f1, t1 reference e1
     }
     engine.db_mut().delete(e1).unwrap();
-    engine.apply().unwrap();
+    let _ = engine.apply().unwrap();
     let slots_before = engine.db().total_row_slots();
     let remap = engine.compact().unwrap();
     assert_eq!(engine.db().total_row_slots(), engine.db().total_tuples());
