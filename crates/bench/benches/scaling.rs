@@ -3,8 +3,8 @@
 
 use cla_bench::scale::{coverage, synthetic_engine};
 use cla_core::{
-    Algorithm, DataGraph, EdgeWeighting, RankStrategy, SearchEngine, SearchOptions,
-    WitnessStrategy,
+    Algorithm, DataGraph, EdgeWeighting, RankStrategy, SearchBudget, SearchEngine,
+    SearchOptions, WitnessStrategy,
 };
 use cla_relational::Value;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -464,6 +464,50 @@ fn index_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// B10: budget probe overhead at the B1 acceptance shape (dept16/len4).
+/// `off/` runs with the default unlimited budget — every probe is a
+/// single `None` branch, no shared state is even allocated. `armed/`
+/// sets both bounds so high they never fire — the worst case that still
+/// returns complete results: shared state allocated, every probe
+/// charged through the stride logic, `Instant::now()` polled once per
+/// time stride. The acceptance claim is `armed ≤ off · 1.02` per
+/// algorithm.
+fn budget_overhead(c: &mut Criterion) {
+    let engine = synthetic_engine(16, SEED);
+    let mut group = c.benchmark_group("scaling/budget_overhead");
+    for (alg_name, algorithm) in [
+        ("paths", Algorithm::Paths),
+        ("banks", Algorithm::Banks),
+        ("discover", Algorithm::Discover),
+    ] {
+        let base = SearchOptions {
+            algorithm,
+            max_rdb_length: 4,
+            compute_instance: false,
+            threads: 1,
+            ..Default::default()
+        };
+        let armed = SearchOptions {
+            budget: SearchBudget {
+                deadline: Some(std::time::Duration::from_secs(3600)),
+                max_expansions: Some(u64::MAX / 2),
+            },
+            ..base
+        };
+        let complete = engine.search(QUERY, &armed).unwrap();
+        assert!(
+            complete.stats.completeness.is_complete(),
+            "armed-but-unhit budget must not truncate the bench shape"
+        );
+        for (mode, opts) in [("off", base), ("armed", armed)] {
+            group.bench_function(BenchmarkId::new(alg_name, mode), |b| {
+                b.iter(|| black_box(engine.search(QUERY, &opts).unwrap().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     enumerate_scaling,
@@ -473,6 +517,7 @@ criterion_group!(
     ranking_overhead,
     mtjnt_coverage,
     witness_cost,
-    index_scaling
+    index_scaling,
+    budget_overhead
 );
 criterion_main!(benches);

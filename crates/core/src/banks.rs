@@ -248,10 +248,37 @@ pub fn banks_search_counted(
     opts: &BanksOptions,
     scratch: &mut BanksScratch,
 ) -> (Vec<SteinerTree>, BanksWork) {
+    let (out, work, _) =
+        banks_search_budgeted(dg, keyword_sets, opts, scratch, &mut |_| false);
+    (out, work)
+}
+
+/// [`banks_search_counted`] under a cooperative work budget:
+/// `interrupt` is probed with the running settle count after every
+/// frontier settle (the expansion-counting site); returning `true`
+/// stops the expansion. The pending completed candidates are drained
+/// through normal processing, and the third return value carries the
+/// frontier floor `L` at the stop — every root *not* completed by then
+/// has tree weight ≥ `L` (each per-set chain is a subset of its tree's
+/// distinct edges, and every unsettled frontier entry costs ≥ `L`), and
+/// every tree of weight < `L` **was** completed (all its per-set
+/// distances are < `L`, hence already settled). The returned trees are
+/// therefore trimmed to weight strictly < `L` (strict: an undiscovered
+/// root could tie at `L` and win the tuple-id tie-break), making them
+/// exactly the full enumeration's prefix below `L`, in final order.
+/// `None` floor means the interrupt never fired.
+pub fn banks_search_budgeted(
+    dg: &DataGraph,
+    keyword_sets: &[Vec<NodeId>],
+    opts: &BanksOptions,
+    scratch: &mut BanksScratch,
+    interrupt: &mut dyn FnMut(u64) -> bool,
+) -> (Vec<SteinerTree>, BanksWork, Option<f64>) {
     let mut work = BanksWork::default();
+    let mut budget_floor: Option<f64> = None;
     if keyword_sets.is_empty() || keyword_sets.iter().any(Vec::is_empty) || opts.k == Some(0)
     {
-        return (Vec::new(), work);
+        return (Vec::new(), work, None);
     }
     let g = dg.graph();
     let csr = dg.csr();
@@ -422,16 +449,44 @@ pub fn banks_search_counted(
                 node,
             )));
         }
+        // Cooperative budget probe, after the settle's accounting (so a
+        // completion this settle produced is already in the heap). On a
+        // stop, drain every *completed* candidate through normal
+        // processing — cheap, no further settles — then record the
+        // frontier floor for the caller's prefix trim (see
+        // `banks_search_budgeted`).
+        if interrupt(work.expansions) {
+            while let Some(Reverse((_, _, root))) = scratch.candidates.pop() {
+                if !process(root, scratch.total[root.index()], &mut best_k, &scratch.forests)
+                {
+                    break;
+                }
+            }
+            let mut floor = f64::INFINITY;
+            for forest in scratch.forests.iter_mut() {
+                if let Some(d) = forest.frontier_dist() {
+                    floor = floor.min(d);
+                }
+            }
+            budget_floor = Some(floor);
+            break;
+        }
     }
     out.sort_by(|a, b| {
         a.weight
             .total_cmp(&b.weight)
             .then_with(|| dg.tuple_of(a.root).cmp(&dg.tuple_of(b.root)))
     });
+    if let Some(floor) = budget_floor {
+        // Everything at or above the floor could still be displaced (or
+        // tied past) by an undiscovered root; below it the list is the
+        // full enumeration's, in full order.
+        out.retain(|t| t.weight < floor);
+    }
     if let Some(k) = opts.k {
         out.truncate(k);
     }
-    (out, work)
+    (out, work, budget_floor)
 }
 
 #[cfg(test)]

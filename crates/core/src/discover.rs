@@ -103,6 +103,11 @@ pub struct JoiningNetworkLevels<'a> {
     /// caller that cuts enumeration never pays for a level it skips.
     primed: bool,
     expansions: u64,
+    /// Set when a budget interrupt fired mid-growth: the level being
+    /// built was dropped (it was incomplete) and the frontier cleared,
+    /// so enumeration ends. Every level already *reported* was
+    /// complete.
+    truncated: bool,
 }
 
 impl<'a> JoiningNetworkLevels<'a> {
@@ -117,6 +122,7 @@ impl<'a> JoiningNetworkLevels<'a> {
             size: 1,
             primed: false,
             expansions: 0,
+            truncated: false,
         };
         if keyword_sets.is_empty() || keyword_sets.iter().any(HashSet::is_empty) {
             return levels;
@@ -147,12 +153,32 @@ impl<'a> JoiningNetworkLevels<'a> {
         }
     }
 
+    /// `true` iff a budget interrupt cut growth short: the level under
+    /// construction was dropped and enumeration ended early. Levels
+    /// already reported were complete.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
     /// Report every *total* network of the next size level. Returns
     /// `None` once the frontier is exhausted (no connected candidate of
     /// that size exists).
     pub fn next_level(&mut self) -> Option<Vec<BTreeSet<NodeId>>> {
+        self.next_level_budgeted(&mut |_| false)
+    }
+
+    /// [`Self::next_level`] with a cooperative budget probe, called
+    /// with the materialization count after each new candidate. When
+    /// the probe returns `true` the partially built level is dropped
+    /// (reporting it would break the complete-per-level invariant the
+    /// ranked-prefix guarantee rests on), [`Self::truncated`] latches,
+    /// and this and every later call return `None`.
+    pub fn next_level_budgeted(
+        &mut self,
+        interrupt: &mut dyn FnMut(u64) -> bool,
+    ) -> Option<Vec<BTreeSet<NodeId>>> {
         if self.primed {
-            self.grow();
+            self.grow(interrupt);
         }
         self.primed = true;
         if self.frontier.is_empty() {
@@ -173,7 +199,7 @@ impl<'a> JoiningNetworkLevels<'a> {
     /// Extend every frontier network by every neighbor of any of its
     /// members, deduplicated by signature. Growth keeps the sorted
     /// order by inserting each new node in place.
-    fn grow(&mut self) {
+    fn grow(&mut self, interrupt: &mut dyn FnMut(u64) -> bool) {
         let csr = self.dg.csr();
         let mut next_frontier: Vec<Vec<NodeId>> = Vec::new();
         for current in &self.frontier {
@@ -191,6 +217,15 @@ impl<'a> JoiningNetworkLevels<'a> {
                 next.insert(at, m);
                 if self.visited.insert(next.clone().into_boxed_slice()) {
                     self.expansions += 1;
+                    if interrupt(self.expansions) {
+                        // Budget exhausted mid-level: drop the partial
+                        // level and end enumeration. Callers see every
+                        // prior (complete) level only.
+                        self.frontier = Vec::new();
+                        self.size += 1;
+                        self.truncated = true;
+                        return;
+                    }
                     next_frontier.push(next);
                 }
             }
@@ -242,18 +277,40 @@ pub fn enumerate_mtjnts_counted(
     max_tuples: usize,
     expansions: &mut u64,
 ) -> Vec<BTreeSet<NodeId>> {
+    enumerate_mtjnts_budgeted(dg, keyword_sets, max_tuples, expansions, &mut |_| false).0
+}
+
+/// [`enumerate_mtjnts_counted`] under a cooperative budget probe. When
+/// the probe fires, the level being built is dropped and enumeration
+/// stops; the second return value is `Some(s)` where `s` is the size
+/// of the last *complete* level enumerated — every MTJNT of at most
+/// `s` tuples is in the output, and every missing network has at least
+/// `s + 1` tuples (hence at least `s` foreign-key edges), the rank
+/// floor the engine's certified-prefix trim uses. `None` means the
+/// enumeration ran to the size bound untruncated.
+pub fn enumerate_mtjnts_budgeted(
+    dg: &DataGraph,
+    keyword_sets: &[HashSet<NodeId>],
+    max_tuples: usize,
+    expansions: &mut u64,
+    interrupt: &mut dyn FnMut(u64) -> bool,
+) -> (Vec<BTreeSet<NodeId>>, Option<usize>) {
     let mut levels = JoiningNetworkLevels::new(dg, keyword_sets);
     let mut results = Vec::new();
+    let mut completed = 0usize;
     while levels.next_size() <= max_tuples {
-        match levels.next_level() {
+        let size = levels.next_size();
+        match levels.next_level_budgeted(interrupt) {
             Some(totals) => {
+                completed = size;
                 results.extend(totals.into_iter().filter(|n| is_mtjnt(dg, n, keyword_sets)))
             }
             None => break,
         }
     }
     *expansions += levels.expansions();
-    results
+    let floor = levels.truncated().then_some(completed);
+    (results, floor)
 }
 
 #[cfg(test)]

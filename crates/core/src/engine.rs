@@ -3,25 +3,28 @@
 //! or DISCOVER/MTJNT) → metrics → ranking.
 
 use crate::banks::{
-    banks_search_counted, BanksOptions, BanksScratch, EdgeWeighting, SteinerTree,
+    banks_search_budgeted, BanksOptions, BanksScratch, EdgeWeighting, SteinerTree,
 };
+use crate::budget::{BudgetProbe, BudgetShared, SearchBudget};
 use crate::connection::{ConceptualStep, Connection};
 use crate::datagraph::DataGraph;
-use crate::discover::{enumerate_mtjnts_counted, is_mtjnt, JoiningNetworkLevels};
-use crate::error::CoreError;
+use crate::discover::{enumerate_mtjnts_budgeted, is_mtjnt, JoiningNetworkLevels};
+use crate::error::{CoreError, KeywordDiagnostic};
+use crate::failpoints;
 use crate::instance::{instance_closeness_with_cache, WitnessCache, WitnessStrategy};
 use crate::ranking::{ConnectionInfo, RankStrategy};
-use crate::stats::SearchStats;
+use crate::stats::{Completeness, SearchStats, TruncationReason};
 use cla_er::{rdb_edge_cardinality, Cardinality, CardinalityChain, ErSchema, SchemaMapping};
 use cla_graph::{
     bounded_bfs_distances_into, enumerate_simple_paths_undirected,
-    for_each_path_to_targets_scratch, NodeId, Path, TraversalScratch,
+    for_each_path_to_targets_budgeted, NodeId, Path, TraversalScratch,
 };
 use cla_index::{tuple_score, InvertedIndex, KeywordQuery};
 use cla_relational::{Database, TupleId, TupleRemap};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::thread;
 
@@ -90,6 +93,19 @@ pub struct SearchOptions {
     /// output — are identical under every strategy; this is a pure
     /// cost knob (and the property-test/bench A/B switch).
     pub witness_strategy: WitnessStrategy,
+    /// Wall-clock and work bounds for this search (default: unlimited).
+    /// An exhausted budget stops enumeration cooperatively and returns
+    /// the ranked results found so far, labeled through
+    /// [`SearchStats::completeness`]. For every ranker with
+    /// [`RankStrategy::supports_streaming_topk`] the truncated output
+    /// is additionally a **certified ranked prefix** of the unbudgeted
+    /// run (items are kept only while they provably dominate every
+    /// connection the cut could have missed); under
+    /// [`RankStrategy::Combined`] the output is best-effort
+    /// found-so-far. The budget is probed at the pruned pipelines'
+    /// expansion-counting sites; the `naive_enumeration` oracle ignores
+    /// it.
+    pub budget: SearchBudget,
 }
 
 impl Default for SearchOptions {
@@ -106,6 +122,7 @@ impl Default for SearchOptions {
             naive_enumeration: false,
             threads: 0,
             witness_strategy: WitnessStrategy::Auto,
+            budget: SearchBudget::UNLIMITED,
         }
     }
 }
@@ -128,6 +145,22 @@ fn resolved_threads(requested: usize) -> usize {
             }
         }
         thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
+/// Process-wide failpoint opt-in: engines built while `CLA_FAILPOINTS`
+/// is set probe the registry (the variable's points are armed once, on
+/// first use — the CI fault-injection leg's entry point). Resolved once
+/// per process like [`resolved_threads`].
+fn failpoints_enabled_from_env() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if std::env::var_os("CLA_FAILPOINTS").is_some() {
+            failpoints::arm_from_env();
+            true
+        } else {
+            false
+        }
     })
 }
 
@@ -427,9 +460,14 @@ pub struct SearchEngine {
     /// (rebuild to recover). Recoverable apply failures roll back
     /// instead of poisoning.
     poisoned: bool,
-    /// Test failpoint: fail the next [`SearchEngine::apply`] after the
-    /// index patch, forcing the rollback path.
-    fail_next_apply: bool,
+    /// Whether this engine probes the process-global
+    /// [`failpoints`](crate::failpoints) registry (fault-injection
+    /// instrumentation: `apply.mid`, `worker.panic`, `pool.return`,
+    /// `banks.settle`). Off by default so armed points can never leak
+    /// into unrelated engines; enabled per engine via
+    /// [`SearchEngine::enable_failpoints`] or process-wide by setting
+    /// the `CLA_FAILPOINTS` environment variable.
+    failpoints: bool,
     /// Auto-compaction policy consulted by [`SearchEngine::apply`].
     compaction_policy: CompactionPolicy,
     /// Pool of reusable per-search scratch states (see
@@ -456,7 +494,7 @@ impl Clone for SearchEngine {
             edge_cards: self.edge_cards.clone(),
             version: self.version,
             poisoned: self.poisoned,
-            fail_next_apply: self.fail_next_apply,
+            failpoints: self.failpoints,
             compaction_policy: self.compaction_policy,
             scratch_pool: Mutex::new(Vec::new()),
         }
@@ -492,7 +530,7 @@ impl SearchEngine {
             edge_cards,
             version,
             poisoned: false,
-            fail_next_apply: false,
+            failpoints: failpoints_enabled_from_env(),
             compaction_policy: CompactionPolicy::default(),
             scratch_pool: Mutex::new(Vec::new()),
         })
@@ -515,12 +553,26 @@ impl SearchEngine {
         self.compaction_policy
     }
 
+    /// Lock the scratch pool, *recovering* from poison: a panic while
+    /// the lock was held (only possible via the `pool.return` failpoint
+    /// or a bug inside `Vec::push` itself) leaves entries of unknown
+    /// consistency, so they are dropped, the poison flag cleared, and
+    /// the pool serves fresh scratches from then on. Pooled buffers
+    /// carry no semantic state — recovery can never change results.
+    #[allow(clippy::vec_box)] // matches the pool field: boxes move O(1)
+    fn lock_scratch_pool(&self) -> std::sync::MutexGuard<'_, Vec<Box<SearchScratch>>> {
+        self.scratch_pool.lock().unwrap_or_else(|poisoned| {
+            self.scratch_pool.clear_poison();
+            let mut pool = poisoned.into_inner();
+            pool.clear();
+            pool
+        })
+    }
+
     /// Pop a pooled scratch (or create the first ones on a cold
-    /// engine). A poisoned pool lock — a panicked worker mid-search —
-    /// just means a fresh scratch; the pool never carries semantic
-    /// state.
+    /// engine).
     fn checkout_scratch(&self) -> Box<SearchScratch> {
-        self.scratch_pool.lock().ok().and_then(|mut pool| pool.pop()).unwrap_or_default()
+        self.lock_scratch_pool().pop().unwrap_or_default()
     }
 
     /// Return a scratch to the pool for the next search. Bounded so a
@@ -528,10 +580,14 @@ impl SearchEngine {
     /// buffer count forever.
     fn return_scratch(&self, scratch: Box<SearchScratch>) {
         const MAX_POOLED: usize = 8;
-        if let Ok(mut pool) = self.scratch_pool.lock() {
-            if pool.len() < MAX_POOLED {
-                pool.push(scratch);
+        let mut pool = self.lock_scratch_pool();
+        if pool.len() < MAX_POOLED {
+            if self.failpoints && failpoints::triggered("pool.return") {
+                panic!(
+                    "pool.return failpoint: panicking while holding the scratch-pool lock"
+                );
             }
+            pool.push(scratch);
         }
     }
 
@@ -561,12 +617,17 @@ impl SearchEngine {
         self.poisoned
     }
 
-    /// Make the next [`SearchEngine::apply`] fail *after* the inverted
-    /// index was patched, forcing the rollback path. Test instrumentation
-    /// for the atomicity property — not part of the public contract.
-    #[doc(hidden)]
-    pub fn force_next_apply_failure(&mut self) {
-        self.fail_next_apply = true;
+    /// Opt this engine into the process-global
+    /// [`failpoints`](crate::failpoints) registry: armed points fire
+    /// inside this engine's pipelines (`apply.mid` forces the apply
+    /// rollback path, `worker.panic` panics a parallel worker chunk,
+    /// `pool.return` panics while holding the scratch-pool lock,
+    /// `banks.settle` forces a budget trip in the BANKS expansion).
+    /// Fault-injection instrumentation — not part of the search
+    /// contract. Engines built while `CLA_FAILPOINTS` is set are
+    /// enabled automatically.
+    pub fn enable_failpoints(&mut self) {
+        self.failpoints = true;
     }
 
     /// Drain the database's pending mutations and patch every derived
@@ -617,9 +678,10 @@ impl SearchEngine {
             });
         }
         let undo = self.index.apply_logged(&self.db, &changes);
-        let result = if self.fail_next_apply {
-            self.fail_next_apply = false;
-            Err(CoreError::Relational("forced mid-apply failure (test failpoint)".into()))
+        let result = if self.failpoints && failpoints::triggered("apply.mid") {
+            Err(CoreError::Relational(
+                "forced mid-apply failure (apply.mid failpoint)".into(),
+            ))
         } else {
             // The graph apply pre-validates every fallible lookup before
             // mutating, so an error here leaves it untouched.
@@ -991,12 +1053,19 @@ impl SearchEngine {
     /// the output is identical to the sequential pass. The sequential
     /// path (and the head chunk) reuse the pooled `scratch`; extra
     /// workers build their own.
+    ///
+    /// Parallel chunks are **fault-isolated**: a panicking chunk
+    /// (including the `worker.panic` failpoint) drops only its own
+    /// contribution, sets `faulted`, and leaves every other chunk's
+    /// results — and the engine — intact. The sequential path has
+    /// nothing to isolate; its panics propagate.
     fn rank_stage(
         &self,
         conns: Vec<Connection>,
         ctx: &RankContext<'_>,
         threads: usize,
         scratch: &mut RankScratch,
+        faulted: &mut bool,
     ) -> Vec<RankedConnection> {
         let threads = threads.clamp(1, conns.len().max(1));
         // Spawning threads costs more than ranking a handful of
@@ -1021,17 +1090,39 @@ impl SearchEngine {
             let handles: Vec<_> = parts
                 .map(|part| {
                     s.spawn(move || {
-                        let mut scratch =
-                            RankScratch::new(self.dg.node_count(), ctx.witness_strategy);
-                        part.into_iter()
-                            .map(|c| self.rank_one(c, ctx, &mut scratch))
-                            .collect::<Vec<_>>()
+                        panic::catch_unwind(AssertUnwindSafe(|| {
+                            if self.failpoints && failpoints::triggered("worker.panic") {
+                                panic!("worker.panic failpoint: metric worker chunk");
+                            }
+                            let mut scratch =
+                                RankScratch::new(self.dg.node_count(), ctx.witness_strategy);
+                            part.into_iter()
+                                .map(|c| self.rank_one(c, ctx, &mut scratch))
+                                .collect::<Vec<_>>()
+                        }))
                     })
                 })
                 .collect();
-            out.extend(head_part.into_iter().map(|c| self.rank_one(c, ctx, scratch)));
+            let head = panic::catch_unwind(AssertUnwindSafe(|| {
+                head_part
+                    .into_iter()
+                    .map(|c| self.rank_one(c, ctx, scratch))
+                    .collect::<Vec<_>>()
+            }));
+            match head {
+                Ok(ranked) => out.extend(ranked),
+                Err(_) => {
+                    // The pooled scratch was abandoned mid-connection;
+                    // rebuild it before it returns to the pool.
+                    scratch.reset(self.dg.node_count(), ctx.witness_strategy);
+                    *faulted = true;
+                }
+            }
             for h in handles {
-                out.extend(h.join().expect("metric worker panicked"));
+                match h.join() {
+                    Ok(Ok(ranked)) => out.extend(ranked),
+                    _ => *faulted = true,
+                }
             }
         });
         out
@@ -1085,7 +1176,24 @@ impl SearchEngine {
             tokenizer.tokenize(kw).is_empty() && self.index.lookup(kw).is_empty()
         };
         if query.is_empty() || query.keywords().iter().any(vacuous) {
-            return Err(CoreError::EmptyQuery { query: raw_query.trim().to_owned() });
+            // Per-keyword diagnostics: which keyword produced zero
+            // tokens, and the nearest indexed term by edit distance —
+            // the raw material for relaxing the query instead of
+            // failing hard.
+            let diagnostics = query
+                .keywords()
+                .iter()
+                .filter(|kw| vacuous(kw))
+                .map(|kw| KeywordDiagnostic {
+                    keyword: kw.clone(),
+                    tokens: tokenizer.tokenize(kw).len(),
+                    nearest_term: self.index.nearest_term(kw),
+                })
+                .collect();
+            return Err(CoreError::EmptyQuery {
+                query: raw_query.trim().to_owned(),
+                diagnostics,
+            });
         }
         let display_keywords = display_forms(raw_query, &query);
 
@@ -1137,6 +1245,21 @@ impl SearchEngine {
     ) -> Result<SearchResults, CoreError> {
         let scratch = &mut *scratch;
         let threads = resolved_threads(options.threads);
+        // One budget state per search, shared by every worker probe.
+        // Also materialized when failpoints are on, so an engine-forced
+        // trip (the `banks.settle` point) has somewhere to latch; the
+        // unlimited-and-unarmed case keeps probes at one branch each.
+        let budget_shared = (options.budget.is_limited() || self.failpoints)
+            .then(|| BudgetShared::new(&options.budget));
+        let budget = budget_shared.as_ref();
+        // Set when a parallel worker chunk panicked: its contribution
+        // is dropped and the answer degrades to a labeled partial one.
+        let mut faulted = false;
+        // Minimum RDB length any connection missing after a budget cut
+        // can have — the certified-prefix trim floor, sharpened per
+        // algorithm below. Singles are collected from the match-set
+        // intersection before any enumeration, so 1 is always sound.
+        let mut trim_floor: usize = 1;
         scratch.rank.reset(self.dg.node_count(), options.witness_strategy);
         self.markers_from_matches_into(
             &query,
@@ -1200,6 +1323,7 @@ impl SearchEngine {
                             connections,
                             &mut scratch.enumerate,
                             &mut scratch.rank,
+                            budget,
                         );
                         return Ok(SearchResults {
                             query,
@@ -1225,6 +1349,8 @@ impl SearchEngine {
                             None,
                             threads,
                             &mut scratch.enumerate,
+                            budget,
+                            &mut faulted,
                         );
                         stats.expansions = expansions;
                         stats.max_length_enumerated = options.max_rdb_length;
@@ -1238,14 +1364,34 @@ impl SearchEngine {
                     weighting: options.weighting,
                     max_weight: f64::INFINITY,
                 };
-                let (found, work) = banks_search_counted(
+                let fp = self.failpoints;
+                let mut probe = BudgetProbe::new(budget);
+                let mut interrupt = |n: u64| {
+                    if fp && failpoints::triggered("banks.settle") {
+                        // Deterministic truncation for the fault suite:
+                        // force a budget trip at a settle site.
+                        if let Some(b) = budget {
+                            b.trip(TruncationReason::ExpansionCap);
+                        }
+                        return true;
+                    }
+                    probe.check(n)
+                };
+                let (found, work, weight_floor) = banks_search_budgeted(
                     &self.dg,
                     match_sets,
                     &banks_opts,
                     &mut scratch.banks,
+                    &mut interrupt,
                 );
                 stats.expansions = work.candidates;
                 stats.early_terminated = work.early_terminated;
+                if let Some(floor) = weight_floor {
+                    // Every undiscovered tree weighs >= floor; per-edge
+                    // weights never exceed 1.0 under either weighting,
+                    // so its RDB length is >= ceil(floor).
+                    trim_floor = (floor.ceil().max(1.0) as usize).max(1);
+                }
                 for tree in found {
                     match self.tree_to_connection(&tree, match_sets) {
                         Some(conn) if conn.rdb_length() > 0 => connections.push(conn),
@@ -1271,6 +1417,7 @@ impl SearchEngine {
                             threads,
                             connections,
                             &mut scratch.rank,
+                            budget,
                         );
                         return Ok(SearchResults {
                             query,
@@ -1281,12 +1428,20 @@ impl SearchEngine {
                         });
                     }
                 }
-                let networks = enumerate_mtjnts_counted(
+                let mut probe = BudgetProbe::new(budget);
+                let (networks, completed_size) = enumerate_mtjnts_budgeted(
                     &self.dg,
                     &kw_sets,
                     options.max_rdb_length + 1,
                     &mut stats.expansions,
+                    &mut |n| probe.check(n),
                 );
+                if let Some(completed) = completed_size {
+                    // Every level up to `completed` tuples was fully
+                    // enumerated; anything missing has >= completed + 1
+                    // tuples, hence >= completed FK edges.
+                    trim_floor = completed.max(1);
+                }
                 stats.max_length_enumerated = options.max_rdb_length;
                 for network in networks {
                     if network.len() == 1 {
@@ -1323,8 +1478,32 @@ impl SearchEngine {
         // for large result sets. Witness searches for instance closeness
         // are shared across connections with equal endpoints (per
         // worker).
-        let mut ranked = self.rank_stage(unique, &ctx, threads, &mut scratch.rank);
+        let mut ranked =
+            self.rank_stage(unique, &ctx, threads, &mut scratch.rank, &mut faulted);
         sort_ranked(&mut ranked, options.ranker, &self.dg);
+        stats.completeness = if faulted {
+            // A panicked chunk may have dropped connections of any rank
+            // (including singles, in the metric stage), so no prefix
+            // can be certified — the answer is best-effort, labeled.
+            Completeness::Truncated { reason: TruncationReason::WorkerFault }
+        } else if let Some(reason) = budget.and_then(|b| b.reason()) {
+            // Certified-prefix trim: keep the head run whose items
+            // provably outrank every connection the cut could have
+            // missed (anything with >= trim_floor edges). Dominating
+            // items always form a prefix of the sorted list. `Combined`
+            // has no finite length bound (its text component is
+            // unbounded), so it keeps the best-effort found-so-far set.
+            if options.ranker.supports_streaming_topk() {
+                let keep = ranked
+                    .iter()
+                    .take_while(|r| options.ranker.dominates_all_longer(&r.info, trim_floor))
+                    .count();
+                ranked.truncate(keep);
+            }
+            Completeness::Truncated { reason }
+        } else {
+            Completeness::Complete
+        };
         // One k-budget shared across connections and trees: ranked
         // connections first, the remainder to branching answer trees.
         if let Some(k) = options.k {
@@ -1355,6 +1534,7 @@ impl SearchEngine {
         ranker: RankStrategy,
         k: usize,
         rank_scratch: &mut RankScratch,
+        faulted: &mut bool,
     ) {
         let mut fresh: Vec<Connection> = conns
             .into_iter()
@@ -1367,7 +1547,7 @@ impl SearchEngine {
                 is_mtjnt(&self.dg, &set, kw)
             });
         }
-        acc.extend(self.rank_stage(fresh, ctx, threads, rank_scratch));
+        acc.extend(self.rank_stage(fresh, ctx, threads, rank_scratch, faulted));
         sort_ranked(acc, ranker, &self.dg);
         acc.truncate(k);
     }
@@ -1388,6 +1568,7 @@ impl SearchEngine {
         singles: Vec<Connection>,
         enumerate: &mut EnumScratch,
         rank_scratch: &mut RankScratch,
+        budget: Option<&BudgetShared>,
     ) -> (Vec<RankedConnection>, SearchStats) {
         if k == 0 {
             return (Vec::new(), SearchStats::default());
@@ -1401,6 +1582,7 @@ impl SearchEngine {
         let mut stats = SearchStats::default();
         let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
         let mut acc: Vec<RankedConnection> = Vec::new();
+        let mut faulted = false;
 
         // Level 0: the singles.
         self.absorb_level(
@@ -1413,6 +1595,7 @@ impl SearchEngine {
             options.ranker,
             k,
             rank_scratch,
+            &mut faulted,
         );
         for level in 1..=options.max_rdb_length {
             // Any connection still to come has RDB length >= level; if
@@ -1431,8 +1614,26 @@ impl SearchEngine {
                 Some(level),
                 threads,
                 &mut enumerate.traversal,
+                budget,
+                &mut faulted,
             );
             stats.expansions += expansions;
+            if !faulted {
+                if let Some(reason) = budget.and_then(|b| b.reason()) {
+                    // The budget cut this level mid-enumeration:
+                    // discard the partial level and certify the held
+                    // prefix against it — every connection the cut
+                    // could have missed has >= `level` edges (all
+                    // shallower levels were absorbed in full).
+                    let keep = acc
+                        .iter()
+                        .take_while(|r| options.ranker.dominates_all_longer(&r.info, level))
+                        .count();
+                    acc.truncate(keep);
+                    stats.completeness = Completeness::Truncated { reason };
+                    return (acc, stats);
+                }
+            }
             stats.max_length_enumerated = level;
             self.absorb_level(
                 &mut acc,
@@ -1444,7 +1645,19 @@ impl SearchEngine {
                 options.ranker,
                 k,
                 rank_scratch,
+                &mut faulted,
             );
+            if faulted {
+                // A worker chunk panicked somewhere in this level; its
+                // contribution is gone, so no prefix can be certified.
+                stats.completeness =
+                    Completeness::Truncated { reason: TruncationReason::WorkerFault };
+                return (acc, stats);
+            }
+        }
+        if faulted {
+            stats.completeness =
+                Completeness::Truncated { reason: TruncationReason::WorkerFault };
         }
         (acc, stats)
     }
@@ -1470,6 +1683,7 @@ impl SearchEngine {
         threads: usize,
         singles: Vec<Connection>,
         rank_scratch: &mut RankScratch,
+        budget: Option<&BudgetShared>,
     ) -> (Vec<RankedConnection>, SearchStats) {
         if k == 0 {
             return (Vec::new(), SearchStats::default());
@@ -1478,6 +1692,11 @@ impl SearchEngine {
         let mut stats = SearchStats::default();
         let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
         let mut acc: Vec<RankedConnection> = Vec::new();
+        let mut faulted = false;
+        let mut probe = BudgetProbe::new(budget);
+        // Edge count of the last fully absorbed size level — the
+        // certified floor if the budget cuts growth short.
+        let mut completed_edges = 0usize;
 
         // Size level 1 *is* the singles set (tuples matching every
         // keyword), already collected by the caller; consume and drop
@@ -1492,12 +1711,13 @@ impl SearchEngine {
             options.ranker,
             k,
             rank_scratch,
+            &mut faulted,
         );
         let max_tuples = options.max_rdb_length + 1;
         if levels.next_size() <= max_tuples {
-            let _ = levels.next_level();
+            let _ = levels.next_level_budgeted(&mut |n| probe.check(n));
         }
-        while levels.next_size() <= max_tuples {
+        while !faulted && levels.next_size() <= max_tuples {
             let level_edges = levels.next_size() - 1;
             // Every network still to come has >= level_edges edges; once
             // the held k-th best dominates that whole tail, deeper
@@ -1508,7 +1728,9 @@ impl SearchEngine {
                 stats.early_terminated = true;
                 break;
             }
-            let Some(totals) = levels.next_level() else { break };
+            let Some(totals) = levels.next_level_budgeted(&mut |n| probe.check(n)) else {
+                break;
+            };
             stats.max_length_enumerated = level_edges;
             let conns: Vec<Connection> = totals
                 .iter()
@@ -1525,9 +1747,30 @@ impl SearchEngine {
                 options.ranker,
                 k,
                 rank_scratch,
+                &mut faulted,
             );
+            if !faulted {
+                completed_edges = level_edges;
+            }
         }
         stats.expansions = levels.expansions();
+        if faulted {
+            stats.completeness =
+                Completeness::Truncated { reason: TruncationReason::WorkerFault };
+        } else if levels.truncated() {
+            // The generator dropped a partial level: everything missing
+            // has more than `completed_edges` edges, so the held prefix
+            // is certified against `completed_edges + 1`.
+            let reason =
+                budget.and_then(|b| b.reason()).unwrap_or(TruncationReason::ExpansionCap);
+            let floor = completed_edges + 1;
+            let keep = acc
+                .iter()
+                .take_while(|r| options.ranker.dominates_all_longer(&r.info, floor))
+                .count();
+            acc.truncate(keep);
+            stats.completeness = Completeness::Truncated { reason };
+        }
         (acc, stats)
     }
 
@@ -1562,8 +1805,18 @@ impl SearchEngine {
         threads: usize,
     ) -> Vec<Connection> {
         let mut scratch = self.checkout_scratch();
+        let mut faulted = false;
         let out = self
-            .pair_enumeration(set_a, set_b, max_rdb, None, threads, &mut scratch.enumerate)
+            .pair_enumeration(
+                set_a,
+                set_b,
+                max_rdb,
+                None,
+                threads,
+                &mut scratch.enumerate,
+                None,
+                &mut faulted,
+            )
             .0;
         self.return_scratch(scratch);
         out
@@ -1601,6 +1854,7 @@ impl SearchEngine {
 
     /// Build the target mask + shared BFS distance map for `set_b` and
     /// run the (optionally exact-length) fan-out from `set_a`.
+    #[allow(clippy::too_many_arguments)]
     fn pair_enumeration(
         &self,
         set_a: &[NodeId],
@@ -1609,6 +1863,8 @@ impl SearchEngine {
         exact: Option<usize>,
         threads: usize,
         enumerate: &mut EnumScratch,
+        budget: Option<&BudgetShared>,
+        faulted: &mut bool,
     ) -> (Vec<Connection>, u64) {
         self.fill_target_mask_and_dist(set_b, max_rdb, enumerate);
         self.fan_out_connections(
@@ -1619,6 +1875,8 @@ impl SearchEngine {
             exact,
             threads,
             &mut enumerate.traversal,
+            budget,
+            faulted,
         )
     }
 
@@ -1630,6 +1888,11 @@ impl SearchEngine {
     /// its chunk, so the output is byte-identical to the sequential
     /// loop's. The sequential path reuses the pooled DFS stacks; worker
     /// threads own fresh ones (scratch only affects cost, not output).
+    /// Parallel chunks are fault-isolated ([`SearchEngine::rank_stage`]
+    /// documents the policy): a panicking chunk drops its own sources'
+    /// paths, sets `faulted`, and leaves the rest intact. The
+    /// sequential path propagates panics (nothing to isolate; the
+    /// checked-out scratch is simply dropped, never re-pooled).
     #[allow(clippy::too_many_arguments)]
     fn fan_out_connections(
         &self,
@@ -1640,11 +1903,14 @@ impl SearchEngine {
         exact: Option<usize>,
         threads: usize,
         traversal: &mut TraversalScratch,
+        budget: Option<&BudgetShared>,
+        faulted: &mut bool,
     ) -> (Vec<Connection>, u64) {
         let threads = threads.clamp(1, sources.len().max(1));
         if threads == 1 {
-            return self
-                .enumerate_chunk(sources, is_target, dist, max_edges, exact, traversal);
+            return self.enumerate_chunk(
+                sources, is_target, dist, max_edges, exact, traversal, budget,
+            );
         }
         let chunk = sources.len().div_ceil(threads);
         let mut chunks = sources.chunks(chunk);
@@ -1655,26 +1921,50 @@ impl SearchEngine {
             let handles: Vec<_> = chunks
                 .map(|c| {
                     s.spawn(move || {
-                        let mut worker = TraversalScratch::new();
-                        self.enumerate_chunk(
-                            c,
-                            is_target,
-                            dist,
-                            max_edges,
-                            exact,
-                            &mut worker,
-                        )
+                        panic::catch_unwind(AssertUnwindSafe(|| {
+                            if self.failpoints && failpoints::triggered("worker.panic") {
+                                panic!("worker.panic failpoint: enumeration worker chunk");
+                            }
+                            let mut worker = TraversalScratch::new();
+                            self.enumerate_chunk(
+                                c,
+                                is_target,
+                                dist,
+                                max_edges,
+                                exact,
+                                &mut worker,
+                                budget,
+                            )
+                        }))
                     })
                 })
                 .collect();
-            let (conns, exp) =
-                self.enumerate_chunk(head, is_target, dist, max_edges, exact, traversal);
-            out.extend(conns);
-            expansions += exp;
+            let head_result = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.enumerate_chunk(
+                    head, is_target, dist, max_edges, exact, traversal, budget,
+                )
+            }));
+            match head_result {
+                Ok((conns, exp)) => {
+                    out.extend(conns);
+                    expansions += exp;
+                }
+                Err(_) => {
+                    // The pooled DFS scratch was abandoned mid-descent;
+                    // restore its cleared-bitset invariant before it
+                    // returns to the pool.
+                    traversal.reset();
+                    *faulted = true;
+                }
+            }
             for h in handles {
-                let (conns, exp) = h.join().expect("enumeration worker panicked");
-                out.extend(conns);
-                expansions += exp;
+                match h.join() {
+                    Ok(Ok((conns, exp))) => {
+                        out.extend(conns);
+                        expansions += exp;
+                    }
+                    _ => *faulted = true,
+                }
             }
         });
         (out, expansions)
@@ -1686,6 +1976,7 @@ impl SearchEngine {
     /// streaming top-k level shape), canonically sorted per source and
     /// converted to connections against the precomputed edge-cardinality
     /// table. Returns the connections and the DFS expansion count.
+    #[allow(clippy::too_many_arguments)]
     fn enumerate_chunk(
         &self,
         sources: &[NodeId],
@@ -1694,13 +1985,15 @@ impl SearchEngine {
         max_edges: usize,
         exact: Option<usize>,
         traversal: &mut TraversalScratch,
+        budget: Option<&BudgetShared>,
     ) -> (Vec<Connection>, u64) {
         let csr = self.dg.csr();
         let mut out: Vec<Connection> = Vec::new();
         let mut expansions = 0u64;
+        let mut probe = BudgetProbe::new(budget);
         for &a in sources {
             let start = out.len();
-            let _ = for_each_path_to_targets_scratch(
+            let _ = for_each_path_to_targets_budgeted(
                 csr,
                 a,
                 is_target,
@@ -1708,6 +2001,7 @@ impl SearchEngine {
                 max_edges,
                 &mut expansions,
                 traversal,
+                &mut |n| probe.check(n),
                 |nodes, edges| {
                     if exact.is_none_or(|l| edges.len() == l) {
                         out.push(Connection::from_slices_with_edge_cards(
@@ -2497,19 +2791,23 @@ mod tests {
         assert!(fixed.connections.len() > before.connections.len());
     }
 
-    /// The forced failpoint fires after the index patch, proving the
-    /// index undo log (not just the graph's pre-validation) restores
-    /// the pre-apply state.
+    /// The `apply.mid` failpoint fires after the index patch, proving
+    /// the index undo log (not just the graph's pre-validation)
+    /// restores the pre-apply state.
     #[test]
     fn forced_mid_apply_failure_is_atomic() {
+        let _guard = failpoints::exclusive();
+        failpoints::disarm_all();
         let mut e = engine();
+        e.enable_failpoints();
         let before = e.search("Smith XML", &SearchOptions::default()).unwrap();
         let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
         e.db_mut()
             .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
             .unwrap();
-        e.force_next_apply_failure();
+        failpoints::arm("apply.mid", failpoints::FailpointMode::Once);
         assert!(e.apply().is_err());
+        assert_eq!(failpoints::hits("apply.mid"), 1);
         assert!(e.is_fresh());
         assert!(!e.is_poisoned());
         let after = e.search("Smith XML", &SearchOptions::default()).unwrap();

@@ -2,6 +2,21 @@
 
 use std::fmt;
 
+/// Why one keyword of an [`CoreError::EmptyQuery`] matched nothing,
+/// with enough context to relax the query instead of failing hard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordDiagnostic {
+    /// The offending keyword as written in the query.
+    pub keyword: String,
+    /// How many word tokens the index's own tokenizer produced for it
+    /// (0 = punctuation-only, stopwords-only, or below `min_len`).
+    pub tokens: usize,
+    /// The nearest indexed term by Levenshtein edit distance over the
+    /// keyword's normalized form, with the distance — a "did you mean"
+    /// candidate. `None` when the index holds no terms at all.
+    pub nearest_term: Option<(String, usize)>,
+}
+
 /// Errors raised by data-graph construction and search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -27,6 +42,10 @@ pub enum CoreError {
     EmptyQuery {
         /// The offending raw query, trimmed.
         query: String,
+        /// One entry per keyword that matched nothing, in query order —
+        /// the raw material for a relaxation ladder (drop the keyword,
+        /// or retry with the suggested nearest indexed term).
+        diagnostics: Vec<KeywordDiagnostic>,
     },
     /// Wrapped relational error.
     Relational(String),
@@ -72,11 +91,20 @@ impl fmt::Display for CoreError {
             ),
             CoreError::UnknownTuple(t) => write!(f, "tuple {t} is not in the data graph"),
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
-            CoreError::EmptyQuery { query } => write!(
-                f,
-                "empty query `{query}`: a keyword neither tokenizes to any word under the \
-                 index tokenizer nor matches any whole attribute value"
-            ),
+            CoreError::EmptyQuery { query, diagnostics } => {
+                write!(
+                    f,
+                    "empty query `{query}`: a keyword neither tokenizes to any word under the \
+                     index tokenizer nor matches any whole attribute value"
+                )?;
+                for d in diagnostics {
+                    write!(f, "; keyword `{}` produced {} token(s)", d.keyword, d.tokens)?;
+                    if let Some((term, dist)) = &d.nearest_term {
+                        write!(f, ", nearest indexed term `{term}` (edit distance {dist})")?;
+                    }
+                }
+                Ok(())
+            }
             CoreError::Relational(msg) => write!(f, "relational error: {msg}"),
             CoreError::StaleEngine { engine_version, db_version } => write!(
                 f,

@@ -62,6 +62,7 @@
 //! ```
 
 mod banks;
+mod budget;
 mod candidates;
 mod connection;
 mod datagraph;
@@ -74,10 +75,13 @@ mod participation;
 mod ranking;
 mod stats;
 
+pub mod failpoints;
+
 pub use banks::{
-    banks_search, banks_search_counted, BanksOptions, BanksScratch, BanksWork, EdgeWeighting,
-    SteinerTree,
+    banks_search, banks_search_budgeted, banks_search_counted, BanksOptions, BanksScratch,
+    BanksWork, EdgeWeighting, SteinerTree,
 };
+pub use budget::SearchBudget;
 pub use candidates::{
     evaluate_candidate_network, generate_candidate_networks, mtjnts_via_candidate_networks,
     mtjnts_via_candidate_networks_topk, CandidateNetwork, CnEdge, CnNode, KeywordRelationMap,
@@ -85,14 +89,15 @@ pub use candidates::{
 pub use connection::{ConceptualStep, Connection, ConnectionStep};
 pub use datagraph::{DataGraph, EdgeAnnotation};
 pub use discover::{
-    enumerate_joining_networks, enumerate_mtjnts, enumerate_mtjnts_counted, is_joining,
-    is_mtjnt, is_total, mtjnt_filter, JoiningNetworkLevels,
+    enumerate_joining_networks, enumerate_mtjnts, enumerate_mtjnts_budgeted,
+    enumerate_mtjnts_counted, is_joining, is_mtjnt, is_total, mtjnt_filter,
+    JoiningNetworkLevels,
 };
 pub use engine::{
     Algorithm, ApplyOutcome, CompactionPolicy, RankedConnection, SearchEngine, SearchOptions,
     SearchResults,
 };
-pub use error::CoreError;
+pub use error::{CoreError, KeywordDiagnostic};
 pub use explain::explain_connection;
 pub use instance::{
     instance_closeness, instance_closeness_naive, instance_closeness_with_cache,
@@ -104,5 +109,6 @@ pub use participation::{
 };
 pub use ranking::{sort_by_strategy, ConnectionInfo, RankStrategy};
 pub use stats::{
-    close_precision_at_k, kendall_tau, overlap_at_k, ClosenessProfile, SearchStats,
+    close_precision_at_k, kendall_tau, overlap_at_k, ClosenessProfile, Completeness,
+    SearchStats, TruncationReason,
 };

@@ -53,6 +53,49 @@ pub struct SearchStats {
     /// full budget because the held top `k` dominated every unexplored
     /// candidate (length level, frontier entry or network size).
     pub early_terminated: bool,
+    /// Whether this answer is the full answer or a labeled partial one
+    /// (budget exhausted or a worker chunk faulted). A streaming top-k
+    /// cutoff (`early_terminated`) is still [`Completeness::Complete`]:
+    /// the cutoff proves the held prefix equals the full run's.
+    pub completeness: Completeness,
+}
+
+/// Whether a search answered in full or degraded to a labeled partial
+/// answer — callers can never mistake one for the other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every connection the options ask for is present (streaming
+    /// cutoffs included: they return the provably identical prefix).
+    #[default]
+    Complete,
+    /// Enumeration was cut before completion; the results are a ranked
+    /// prefix of what the unbudgeted/unfaulted run would return (for
+    /// prefix-certifiable rankers — see the engine's robustness docs).
+    Truncated {
+        /// What cut the search short.
+        reason: TruncationReason,
+    },
+}
+
+impl Completeness {
+    /// `true` iff nothing was cut.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
+/// Why a search returned a partial answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The wall-clock [`deadline`](crate::SearchBudget::deadline)
+    /// expired.
+    Deadline,
+    /// The [`max_expansions`](crate::SearchBudget::max_expansions) work
+    /// cap was reached.
+    ExpansionCap,
+    /// A worker chunk panicked; its contribution was dropped and the
+    /// remaining chunks' results were kept.
+    WorkerFault,
 }
 
 /// Kendall rank-correlation coefficient τ between two orderings of the

@@ -368,13 +368,18 @@ proptest! {
         assert_matches_rebuild(&engine, &format!("seed {seed} post-compaction"))?;
     }
 
-    /// Atomicity: a failed apply — whether the forced mid-apply
-    /// failpoint (fires after the index patch) or a genuinely dangling
+    /// Atomicity: a failed apply — whether the `apply.mid` failpoint
+    /// (fires after the index patch) or a genuinely dangling
     /// reference in the batch — leaves `search()` answering identically
     /// to pre-mutation for every query and algorithm, with the engine
     /// fresh, un-poisoned and immediately usable for a corrected batch.
     #[test]
     fn failed_apply_serves_pre_mutation_answers(seed in 0u64..500) {
+        // The failpoint registry is process-global; the exclusive guard
+        // keeps concurrently running fault tests from consuming each
+        // other's armed points.
+        let _fp = cla_core::failpoints::exclusive();
+        cla_core::failpoints::disarm_all();
         let s = generate_synthetic(&small_config(seed));
         let mut engine = SearchEngine::new(
             s.db.clone(),
@@ -383,6 +388,7 @@ proptest! {
         )
         .unwrap()
         .with_aliases(s.aliases.clone());
+        engine.enable_failpoints();
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97) ^ 0xa70);
         let mut mutator = Mutator::new(engine.db());
 
@@ -416,7 +422,7 @@ proptest! {
         // …failed either by injection (after the index patched) or by a
         // genuinely dangling reference the graph plan rejects.
         if rng.random::<f64>() < 0.5 {
-            engine.force_next_apply_failure();
+            cla_core::failpoints::arm("apply.mid", cla_core::failpoints::FailpointMode::Once);
         } else {
             engine
                 .db_mut()

@@ -180,6 +180,18 @@ impl TraversalScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Restore the clean-scratch invariant (empty stacks, all-false
+    /// bitset) without dropping capacity. The DFS maintains it on every
+    /// normal exit and on visitor breaks — but a **panic** unwinding
+    /// through the traversal (an injected worker fault, say) skips the
+    /// restore pops, so a caller that catches the unwind must reset the
+    /// scratch before reusing it.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
+        self.on_path.iter_mut().for_each(|b| *b = false);
+    }
 }
 
 /// [`for_each_path_to_targets`] with work accounting: every DFS descent
@@ -224,10 +236,49 @@ pub fn for_each_path_to_targets_scratch<F>(
     max_edges: usize,
     expansions: &mut u64,
     scratch: &mut TraversalScratch,
+    visit: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId], &[EdgeId]) -> ControlFlow<()>,
+{
+    // The no-op interrupt monomorphizes away: this instantiation is the
+    // exact pre-budget DFS, paying nothing for the budgeted variant.
+    for_each_path_to_targets_budgeted(
+        csr,
+        source,
+        is_target,
+        dist_to_target,
+        max_edges,
+        expansions,
+        scratch,
+        &mut |_| false,
+        visit,
+    )
+}
+
+/// [`for_each_path_to_targets_scratch`] under a cooperative work
+/// budget: `interrupt` is called with the running `*expansions` total
+/// after every counted descent (the existing expansion-counting sites);
+/// returning `true` aborts the whole traversal with
+/// [`ControlFlow::Break`], scratch invariants intact (the bitset is
+/// restored on the way out, exactly like a visitor break). The caller
+/// distinguishes a budget abort from a visitor break through its own
+/// interrupt state — the traversal itself treats them identically.
+#[allow(clippy::too_many_arguments)]
+pub fn for_each_path_to_targets_budgeted<F, I>(
+    csr: &CsrAdjacency,
+    source: NodeId,
+    is_target: &[bool],
+    dist_to_target: &[u32],
+    max_edges: usize,
+    expansions: &mut u64,
+    scratch: &mut TraversalScratch,
+    interrupt: &mut I,
     mut visit: F,
 ) -> ControlFlow<()>
 where
     F: FnMut(&[NodeId], &[EdgeId]) -> ControlFlow<()>,
+    I: FnMut(u64) -> bool,
 {
     assert_eq!(is_target.len(), csr.node_count(), "target mask size mismatch");
     assert_eq!(dist_to_target.len(), csr.node_count(), "distance map size mismatch");
@@ -246,24 +297,29 @@ where
     debug_assert!(scratch.on_path.iter().all(|&b| !b), "scratch bitset must be clean");
     scratch.on_path[source.index()] = true;
     *expansions += 1; // the source itself
-    let flow = dfs_to_targets(
-        csr,
-        source,
-        is_target,
-        dist_to_target,
-        max_edges,
-        &mut scratch.nodes,
-        &mut scratch.edges,
-        &mut scratch.on_path,
-        expansions,
-        &mut visit,
-    );
+    let flow = if interrupt(*expansions) {
+        ControlFlow::Break(())
+    } else {
+        dfs_to_targets(
+            csr,
+            source,
+            is_target,
+            dist_to_target,
+            max_edges,
+            &mut scratch.nodes,
+            &mut scratch.edges,
+            &mut scratch.on_path,
+            expansions,
+            interrupt,
+            &mut visit,
+        )
+    };
     scratch.on_path[source.index()] = false;
     flow
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dfs_to_targets<F>(
+fn dfs_to_targets<F, I>(
     csr: &CsrAdjacency,
     current: NodeId,
     is_target: &[bool],
@@ -273,10 +329,12 @@ fn dfs_to_targets<F>(
     edges: &mut Vec<EdgeId>,
     on_path: &mut [bool],
     expansions: &mut u64,
+    interrupt: &mut I,
     visit: &mut F,
 ) -> ControlFlow<()>
 where
     F: FnMut(&[NodeId], &[EdgeId]) -> ControlFlow<()>,
+    I: FnMut(u64) -> bool,
 {
     for &(next, e) in csr.neighbors(current) {
         if on_path[next.index()] {
@@ -297,18 +355,23 @@ where
             nodes.push(next);
             edges.push(e);
             *expansions += 1;
-            let flow = dfs_to_targets(
-                csr,
-                next,
-                is_target,
-                dist_to_target,
-                budget - 1,
-                nodes,
-                edges,
-                on_path,
-                expansions,
-                visit,
-            );
+            let flow = if interrupt(*expansions) {
+                ControlFlow::Break(())
+            } else {
+                dfs_to_targets(
+                    csr,
+                    next,
+                    is_target,
+                    dist_to_target,
+                    budget - 1,
+                    nodes,
+                    edges,
+                    on_path,
+                    expansions,
+                    interrupt,
+                    visit,
+                )
+            };
             edges.pop();
             nodes.pop();
             on_path[next.index()] = false;

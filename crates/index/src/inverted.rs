@@ -413,6 +413,36 @@ impl InvertedIndex {
         self.postings.iter().map(|(t, l)| (t.as_str(), l.as_slice()))
     }
 
+    /// The indexed term nearest to `keyword` by Levenshtein edit
+    /// distance over the keyword's normalized form, with the distance.
+    /// Ties break to the lexicographically smaller term so diagnostics
+    /// are deterministic. `None` on an empty index.
+    ///
+    /// This is the "did you mean" half of a relaxation ladder: when a
+    /// keyword matches nothing, the caller can surface (or silently
+    /// retry with) the closest term the index actually holds.
+    pub fn nearest_term(&self, keyword: &str) -> Option<(String, usize)> {
+        let needle = self.tokenizer.normalize_value(keyword);
+        let mut best: Option<(&str, usize)> = None;
+        for term in self.postings.keys() {
+            // Length difference lower-bounds the edit distance; skip
+            // terms that cannot beat the best found so far.
+            let bound = term.chars().count().abs_diff(needle.chars().count());
+            if let Some((best_term, best_d)) = best {
+                if bound > best_d || (bound == best_d && term.as_str() >= best_term) {
+                    continue;
+                }
+            }
+            let d = levenshtein(&needle, term);
+            match best {
+                Some((t, bd)) if (d, term.as_str()) < (bd, t) => best = Some((term, d)),
+                None => best = Some((term, d)),
+                _ => {}
+            }
+        }
+        best.map(|(t, d)| (t.to_owned(), d))
+    }
+
     /// The tokenizer used at build time (queries must normalize the same
     /// way).
     pub fn tokenizer(&self) -> &Tokenizer {
@@ -480,6 +510,26 @@ impl InvertedIndex {
     pub fn frequency_in(&self, keyword: &str, t: TupleId) -> u32 {
         self.lookup(keyword).iter().filter(|p| p.tuple == t).map(|p| p.frequency).sum()
     }
+}
+
+/// Levenshtein edit distance over Unicode scalar values (two-row DP).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -864,5 +914,31 @@ mod tests {
         assert!(idx.term_count() < terms_before);
         assert_eq!(idx.indexed_tuples(), 0);
         assert_eq!(idx.term_count(), InvertedIndex::build(&database).term_count());
+    }
+
+    #[test]
+    fn levenshtein_distance_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("xml", "xml"), 0);
+        assert_eq!(levenshtein("xlm", "xml"), 2); // adjacent transposition = 2 edits
+    }
+
+    #[test]
+    fn nearest_term_suggests_the_closest_indexed_word() {
+        let idx = InvertedIndex::build(&db());
+        // "xlm" is a typo of the indexed term "xml".
+        let (term, d) = idx.nearest_term("xlm").unwrap();
+        assert_eq!(term, "xml");
+        assert!(d <= 2, "distance {d} should be small for a transposition");
+        // Exact hits come back at distance 0.
+        assert_eq!(idx.nearest_term("XML"), Some(("xml".into(), 0)));
+        // Empty index has nothing to suggest.
+        let empty = InvertedIndex::build(
+            &Database::new(SchemaBuilder::new().build().unwrap()).unwrap(),
+        );
+        assert_eq!(empty.nearest_term("xml"), None);
     }
 }

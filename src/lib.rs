@@ -19,6 +19,42 @@
 //! * [`datagen`] — the paper's Figure 1/2 fixture and synthetic
 //!   generators.
 //!
+//! ## Robustness guarantees
+//!
+//! A search call is **bounded, fault-isolated, and honest about partial
+//! results** (property-tested in `crates/core/tests/{budget,faults}.rs`):
+//!
+//! * **Bounded** — [`core::SearchOptions`] carries a
+//!   [`core::SearchBudget`]: a wall-clock `deadline` and/or a
+//!   `max_expansions` work cap, probed cooperatively at each
+//!   algorithm's expansion-counting sites (Paths DFS descents, BANKS
+//!   frontier settles, DISCOVER network materializations). An exhausted
+//!   budget never errors: enumeration stops at the next probe and the
+//!   results found so far come back ranked, labeled through
+//!   [`core::SearchStats`]'s `completeness` field
+//!   ([`core::Completeness::Truncated`] with the tripping
+//!   [`core::TruncationReason`]). For every length-monotone ranker the
+//!   truncated output is a **certified ranked prefix** of the
+//!   unbudgeted run; under `RankStrategy::Combined` it is best-effort
+//!   found-so-far. The default budget is unlimited and costs one branch
+//!   per probe (≤ 2 % armed-but-unhit, EXPERIMENTS.md B10).
+//! * **Fault-isolated** — parallel worker chunks run under
+//!   `catch_unwind`: a panicking chunk degrades only its own
+//!   contribution (`Truncated { WorkerFault }`) and the engine's pooled
+//!   scratch survives; even a panic while holding the scratch-pool
+//!   mutex only poisons that mutex, which the next search clears and
+//!   rebuilds. The next search answers byte-identically to an unfaulted
+//!   engine. Sequential (`threads: 1`) panics propagate to the caller —
+//!   nothing is swallowed when there is no executor to isolate — and an
+//!   externally drained change log still poisons
+//!   (`CoreError::EnginePoisoned`), by design.
+//! * **Diagnosable** — a query with no usable keyword fails with
+//!   per-keyword diagnostics ([`core::KeywordDiagnostic`]: tokenization
+//!   result plus the nearest indexed term by edit distance), and the
+//!   fault paths above are drivable from tests or triage sessions via
+//!   the [`core::failpoints`] registry (`CLA_FAILPOINTS=name=once,...`:
+//!   `apply.mid`, `worker.panic`, `pool.return`, `banks.settle`).
+//!
 //! ## Quickstart
 //!
 //! ```
