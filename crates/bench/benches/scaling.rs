@@ -508,6 +508,133 @@ fn budget_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// B11: snapshot publish and concurrent-serving costs (the PR 7
+/// engine split into immutable `EngineSnapshot` generations behind a
+/// single `EngineWriter`).
+///
+/// `publish_single_tuple/` is the same churn round trip as
+/// `scaling/update apply_single_tuple` — insert + apply, delete +
+/// apply, i.e. two publishes per iteration — but in the worst serving
+/// posture: a live [`SnapshotHandle`](cla_core::SnapshotHandle) makes
+/// every publish go through the atomic swap cell, and one reader keeps
+/// a generation pinned the whole time, so that retired buffer can never
+/// be recycled and the writer must work around it. The acceptance claim
+/// is `publish_single_tuple ≤ apply_single_tuple · 2` at dept16 (i.e.
+/// snapshot publication costs at most one extra apply's worth over the
+/// façade-only path), with `full_rebuild/` — the `SearchEngine::new`
+/// a per-mutation rebuild would pay — as the contrast arm.
+///
+/// `read_throughput_0w/` vs `read_throughput_1w/` measures one reader's
+/// pin-and-search latency with zero and one concurrent writer looping
+/// single-tuple publishes as fast as it can: the no-read-locks claim,
+/// stated as a before/after pair. The writer compacts every 4096 rounds
+/// to keep tombstone churn bounded (same stationarity device as the
+/// update group).
+fn snapshot_publish(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut group = c.benchmark_group("scaling/snapshot_publish");
+    let departments = 16usize;
+
+    let mut engine = synthetic_engine(departments, SEED);
+    let dep = engine.db().catalog().relation_id("DEPENDENT").unwrap();
+    let emp = engine.db().catalog().relation_id("EMPLOYEE").unwrap();
+    let essn: String = engine
+        .db()
+        .tuples(emp)
+        .next()
+        .and_then(|(_, t)| t.get(0).and_then(Value::as_text).map(str::to_owned))
+        .expect("employees exist");
+    let mut handle = engine.snapshots();
+    let mut pinned = handle.latest();
+    let mut i = 0u64;
+    group.bench_function(BenchmarkId::new("publish_single_tuple", departments), |b| {
+        b.iter(|| {
+            i += 1;
+            if i.is_multiple_of(4096) {
+                engine = synthetic_engine(departments, SEED);
+                handle = engine.snapshots();
+                pinned = handle.latest();
+            }
+            let pk = format!("pz{i}");
+            let id = engine
+                .writer_mut()
+                .insert(dep, vec![pk.as_str().into(), essn.as_str().into(), "Temp".into()])
+                .unwrap();
+            let _ = engine.apply().unwrap();
+            engine.writer_mut().delete(id).unwrap();
+            let _ = engine.apply().unwrap();
+            black_box(handle.latest().generation())
+        })
+    });
+    // The reader really was pinned behind the writer the whole time:
+    // its generation is strictly older than the last published one
+    // (each iteration publishes twice past it).
+    assert!(
+        pinned.generation() < handle.latest().generation(),
+        "the pinned reader must hold an older generation than the writer published"
+    );
+    drop(pinned);
+
+    let base = synthetic_engine(departments, SEED);
+    group.bench_function(BenchmarkId::new("full_rebuild", departments), |b| {
+        b.iter(|| {
+            let e = SearchEngine::new(
+                base.db().clone(),
+                base.er_schema().clone(),
+                base.mapping().clone(),
+            )
+            .unwrap();
+            black_box(e.generation())
+        })
+    });
+
+    let opts = SearchOptions {
+        max_rdb_length: 3,
+        compute_instance: false,
+        threads: 1,
+        k: Some(10),
+        ..Default::default()
+    };
+    let mut engine = synthetic_engine(departments, SEED);
+    let handle = engine.snapshots();
+    group.bench_function("read_throughput_0w", |b| {
+        b.iter(|| black_box(handle.latest().search(QUERY, &opts).unwrap().len()))
+    });
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer_handle = &mut engine;
+        let stop_ref = &stop;
+        let essn = essn.clone();
+        s.spawn(move || {
+            let mut j = 0u64;
+            while !stop_ref.load(Ordering::Relaxed) {
+                j += 1;
+                let pk = format!("wz{j}");
+                let id = writer_handle
+                    .writer_mut()
+                    .insert(
+                        dep,
+                        vec![pk.as_str().into(), essn.as_str().into(), "Temp".into()],
+                    )
+                    .unwrap();
+                let _ = writer_handle.apply().unwrap();
+                writer_handle.writer_mut().delete(id).unwrap();
+                let _ = writer_handle.apply().unwrap();
+                if j.is_multiple_of(4096) {
+                    let _ = writer_handle.compact().unwrap();
+                }
+            }
+        });
+        group.bench_function("read_throughput_1w", |b| {
+            b.iter(|| black_box(handle.latest().search(QUERY, &opts).unwrap().len()))
+        });
+        stop.store(true, Ordering::Relaxed);
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     enumerate_scaling,
@@ -518,6 +645,7 @@ criterion_group!(
     mtjnt_coverage,
     witness_cost,
     index_scaling,
-    budget_overhead
+    budget_overhead,
+    snapshot_publish
 );
 criterion_main!(benches);

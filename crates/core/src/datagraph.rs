@@ -41,6 +41,46 @@ pub struct DataGraph {
     middle: Vec<bool>,
 }
 
+/// One resolved, pre-validated graph mutation — the output of
+/// [`DataGraph::plan`]. Everything fallible (FK target resolution,
+/// mapping roles, tuple existence) happened at plan time; targets are
+/// addressed by [`TupleId`], which is stable across every graph of the
+/// same mutation lineage, so one plan can be executed against any
+/// snapshot buffer sharing that lineage (the writer's replay path).
+#[derive(Debug, Clone)]
+enum PlanOp {
+    Insert {
+        id: TupleId,
+        /// Captured at plan time so execution needs no mapping.
+        middle: bool,
+        edges: Vec<(usize, TupleId, FkRole)>,
+    },
+    Delete {
+        id: TupleId,
+    },
+    Update {
+        id: TupleId,
+        edges: Vec<(usize, TupleId, FkRole)>,
+    },
+}
+
+/// The resolved execution plan of one mutation batch against one graph
+/// state: every lookup pre-validated, every edge target addressed by
+/// stable [`TupleId`]. Produced by [`DataGraph::plan`], consumed —
+/// possibly repeatedly, against different same-lineage buffers — by
+/// [`DataGraph::execute`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphPatch {
+    ops: Vec<PlanOp>,
+}
+
+impl GraphPatch {
+    /// `true` when executing the patch would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
 impl DataGraph {
     /// Build the graph from a database and its mapping provenance.
     ///
@@ -155,13 +195,21 @@ impl DataGraph {
         mapping: &SchemaMapping,
         changes: &ChangeSet,
     ) -> Result<Vec<EdgeId>, CoreError> {
+        let patch = self.plan(db, mapping, changes)?;
+        Ok(self.execute(&patch))
+    }
+
+    /// The fallible, mutation-free half of [`DataGraph::apply`]: net the
+    /// batch, validate every lookup, and resolve each op's edges into a
+    /// [`GraphPatch`] of stable tuple ids. An error leaves the graph
+    /// exactly as it was (nothing was mutated).
+    pub fn plan(
+        &self,
+        db: &Database,
+        mapping: &SchemaMapping,
+        changes: &ChangeSet,
+    ) -> Result<GraphPatch, CoreError> {
         let net_ops = changes.net_ops();
-        // ---- Plan (fallible, mutation-free). ----
-        enum PlanOp {
-            Insert { id: TupleId, edges: Vec<(usize, TupleId, FkRole)> },
-            Delete { id: TupleId },
-            Update { id: TupleId, edges: Vec<(usize, TupleId, FkRole)> },
-        }
         let mut batch_inserted: HashSet<TupleId> = HashSet::new();
         let mut batch_deleted: HashSet<TupleId> = HashSet::new();
         for op in &net_ops {
@@ -171,7 +219,7 @@ impl DataGraph {
                 batch_deleted.insert(op.change().id);
             }
         }
-        let mut plan: Vec<PlanOp> = Vec::with_capacity(net_ops.len());
+        let mut ops: Vec<PlanOp> = Vec::with_capacity(net_ops.len());
         for op in &net_ops {
             let id = op.change().id;
             if op.is_update() {
@@ -182,18 +230,34 @@ impl DataGraph {
                     return Err(CoreError::UnknownTuple(id.to_string()));
                 }
                 let edges = self.resolve_edges(db, mapping, id, &batch_inserted)?;
-                plan.push(PlanOp::Update { id, edges });
+                ops.push(PlanOp::Update { id, edges });
             } else if op.is_insert() {
                 let edges = self.resolve_edges(db, mapping, id, &batch_inserted)?;
-                plan.push(PlanOp::Insert { id, edges });
+                ops.push(PlanOp::Insert {
+                    id,
+                    middle: mapping.is_middle(id.relation),
+                    edges,
+                });
             } else {
                 if !self.node_of.contains_key(&id) {
                     return Err(CoreError::UnknownTuple(id.to_string()));
                 }
-                plan.push(PlanOp::Delete { id });
+                ops.push(PlanOp::Delete { id });
             }
         }
-        // ---- Execute (infallible — every lookup pre-validated). ----
+        Ok(GraphPatch { ops })
+    }
+
+    /// The infallible execution half of [`DataGraph::apply`] — every
+    /// lookup was pre-validated by [`DataGraph::plan`]. The patch is
+    /// addressed by tuple id, so it may be executed against any graph
+    /// of the same mutation lineage (identical tuple content at the
+    /// patch's base generation); node numbering is deterministic within
+    /// a lineage, which is what keeps replayed snapshot buffers
+    /// byte-identical to the originally published ones. Returns the
+    /// added edge ids for edge-indexed side tables.
+    pub fn execute(&mut self, patch: &GraphPatch) -> Vec<EdgeId> {
+        let plan = &patch.ops;
         // Phase 1: create every inserted tuple's node before wiring any
         // edges, so an insert may reference a tuple inserted *later* in
         // the same batch (references are validated lazily — batches can
@@ -201,13 +265,13 @@ impl DataGraph {
         // wiring below then always finds its target node: an edge can
         // never point at a tuple deleted in the same batch (the delete
         // would have been restricted by the live referencer).
-        for op in &plan {
-            if let PlanOp::Insert { id, .. } = op {
+        for op in plan {
+            if let PlanOp::Insert { id, middle, .. } = op {
                 let n = self.graph.add_node(*id);
                 let csr_n = self.csr.push_node();
                 debug_assert_eq!(n, csr_n, "graph and CSR slots advance in lockstep");
                 self.node_of.insert(*id, n);
-                self.middle.push(mapping.is_middle(id.relation));
+                self.middle.push(*middle);
             }
         }
         // Phase 2: detach deletes. Deletes commute with the wiring
@@ -217,7 +281,7 @@ impl DataGraph {
         // so detaching first cannot drop an edge phase 3 or 4 is about
         // to add; it *does* detach old edges that phase 4 updates would
         // otherwise remove, which the per-fk diff there tolerates.
-        for op in &plan {
+        for op in plan {
             let PlanOp::Delete { id } = op else {
                 continue;
             };
@@ -250,8 +314,8 @@ impl DataGraph {
         // content — tuple ids — not on adjacency position.)
         let mut added_edges = Vec::new();
         let mut in_patches: Vec<(NodeId, NodeId, EdgeId)> = Vec::new();
-        for op in &plan {
-            let PlanOp::Insert { id, edges } = op else {
+        for op in plan {
+            let PlanOp::Insert { id, edges, .. } = op else {
                 continue;
             };
             let n = self.node_of[id];
@@ -286,7 +350,7 @@ impl DataGraph {
         // keeps is genuinely unchanged, and repeated updates of one
         // tuple converge (the first diff reaches the final wiring, the
         // rest are no-ops).
-        for op in &plan {
+        for op in plan {
             let PlanOp::Update { id, edges } = op else {
                 continue;
             };
@@ -338,7 +402,7 @@ impl DataGraph {
         if self.csr.pending_edits() >= CSR_COMPACT_THRESHOLD {
             self.csr.compact();
         }
-        Ok(added_edges)
+        added_edges
     }
 
     /// Fold any pending CSR patches into flat arrays now, regardless of

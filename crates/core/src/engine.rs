@@ -1,503 +1,53 @@
-//! The search-engine façade tying the pipeline together: inverted index
-//! → keyword match sets → connection generation (path enumeration, BANKS
-//! or DISCOVER/MTJNT) → metrics → ranking.
+//! The classic single-owner engine façade over the snapshot/writer
+//! split.
+//!
+//! [`SearchEngine`] keeps the pre-concurrency API compiling unchanged:
+//! it owns one [`EngineWriter`] and delegates every read to the latest
+//! published [`EngineSnapshot`] generation, every mutation to the
+//! writer. New code that wants concurrent readers should take a
+//! [`SearchEngine::snapshots`] handle (or use [`EngineWriter`]
+//! directly) — each reader thread pins generations lock-free while this
+//! façade keeps mutating.
 
-use crate::banks::{
-    banks_search_budgeted, BanksOptions, BanksScratch, EdgeWeighting, SteinerTree,
-};
-use crate::budget::{BudgetProbe, BudgetShared, SearchBudget};
-use crate::connection::{ConceptualStep, Connection};
+use crate::connection::Connection;
 use crate::datagraph::DataGraph;
-use crate::discover::{enumerate_mtjnts_budgeted, is_mtjnt, JoiningNetworkLevels};
-use crate::error::{CoreError, KeywordDiagnostic};
-use crate::failpoints;
-use crate::instance::{instance_closeness_with_cache, WitnessCache, WitnessStrategy};
-use crate::ranking::{ConnectionInfo, RankStrategy};
-use crate::stats::{Completeness, SearchStats, TruncationReason};
-use cla_er::{rdb_edge_cardinality, Cardinality, CardinalityChain, ErSchema, SchemaMapping};
-use cla_graph::{
-    bounded_bfs_distances_into, enumerate_simple_paths_undirected,
-    for_each_path_to_targets_budgeted, NodeId, Path, TraversalScratch,
-};
-use cla_index::{tuple_score, InvertedIndex, KeywordQuery};
+use crate::error::CoreError;
+use crate::ranking::ConnectionInfo;
+use crate::snapshot::{EngineSnapshot, SearchOptions, SearchResults};
+use crate::writer::{ApplyOutcome, CompactionPolicy, EngineWriter, SnapshotHandle};
+use cla_er::{ErSchema, SchemaMapping};
+use cla_graph::NodeId;
+use cla_index::{InvertedIndex, KeywordQuery};
 use cla_relational::{Database, TupleId, TupleRemap};
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use std::ops::ControlFlow;
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::Mutex;
-use std::thread;
-
-/// Which connection-generation algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Algorithm {
-    /// Bounded simple-path enumeration between keyword-tuple pairs (the
-    /// paper's §3 result model; two-keyword queries).
-    #[default]
-    Paths,
-    /// BANKS backward expansion (any number of keywords).
-    Banks,
-    /// DISCOVER-style MTJNT enumeration (the semantics the paper
-    /// criticizes).
-    Discover,
-}
-
-/// Options controlling [`SearchEngine::search`].
-#[derive(Debug, Clone, Copy)]
-pub struct SearchOptions {
-    /// Connection-generation algorithm.
-    pub algorithm: Algorithm,
-    /// Maximum connection length in foreign-key edges (for Discover:
-    /// maximum network size is `max_rdb_length + 1` tuples).
-    pub max_rdb_length: usize,
-    /// Ranking strategy.
-    pub ranker: RankStrategy,
-    /// Result budget: `None` returns everything, `Some(k)` at most `k`
-    /// results **in total** — ranked connections first, any remaining
-    /// budget going to branching answer trees. With a length-monotone
-    /// ranker on the `Paths` algorithm, a set `k` also switches the
-    /// engine into streaming top-k mode: connections are enumerated
-    /// length level by length level and the search stops as soon as the
-    /// held top `k` provably dominates every unexplored level (see
-    /// [`RankStrategy::dominates_all_longer`]), skipping both the deeper
-    /// DFS exploration and the metric/rendering work for results that
-    /// could never rank. The returned prefix is identical to running the
-    /// full enumeration and truncating.
-    pub k: Option<usize>,
-    /// Post-filter connections to MTJNTs only (demonstrates the paper's
-    /// §3 loss claim when combined with `Paths`).
-    pub mtjnt_only: bool,
-    /// Compute instance-level closeness for every result.
-    pub compute_instance: bool,
-    /// Witness-path length bound for instance closeness.
-    pub max_witness_length: usize,
-    /// Edge weighting for the BANKS expansion.
-    pub weighting: EdgeWeighting,
-    /// Use the unpruned per-(source, target)-pair enumeration instead of
-    /// the distance-pruned multi-target DFS. The results are identical;
-    /// this exists as the A/B switch for the before/after benchmarks and
-    /// equivalence tests (see EXPERIMENTS.md B1).
-    pub naive_enumeration: bool,
-    /// Worker threads for the parallelizable pipeline stages (the
-    /// per-source enumeration fan-out and the per-connection
-    /// metric/rendering stage). `1` runs fully sequential; `0` (the
-    /// default) resolves to the `CLA_SEARCH_THREADS` environment
-    /// variable if set (the CI determinism knob), else the machine's
-    /// available parallelism. Ranked output is byte-identical across
-    /// thread counts: work is split into contiguous chunks and merged
-    /// back in order.
-    pub threads: usize,
-    /// How the instance-closeness witness search prunes: iterative
-    /// deepening, bounded-BFS distance maps, or (the default) an
-    /// automatic pick by graph size. Verdicts — and therefore ranked
-    /// output — are identical under every strategy; this is a pure
-    /// cost knob (and the property-test/bench A/B switch).
-    pub witness_strategy: WitnessStrategy,
-    /// Wall-clock and work bounds for this search (default: unlimited).
-    /// An exhausted budget stops enumeration cooperatively and returns
-    /// the ranked results found so far, labeled through
-    /// [`SearchStats::completeness`]. For every ranker with
-    /// [`RankStrategy::supports_streaming_topk`] the truncated output
-    /// is additionally a **certified ranked prefix** of the unbudgeted
-    /// run (items are kept only while they provably dominate every
-    /// connection the cut could have missed); under
-    /// [`RankStrategy::Combined`] the output is best-effort
-    /// found-so-far. The budget is probed at the pruned pipelines'
-    /// expansion-counting sites; the `naive_enumeration` oracle ignores
-    /// it.
-    pub budget: SearchBudget,
-}
-
-impl Default for SearchOptions {
-    fn default() -> Self {
-        SearchOptions {
-            algorithm: Algorithm::Paths,
-            max_rdb_length: 4,
-            ranker: RankStrategy::CloseFirst,
-            k: None,
-            mtjnt_only: false,
-            compute_instance: true,
-            max_witness_length: 4,
-            weighting: EdgeWeighting::Uniform,
-            naive_enumeration: false,
-            threads: 0,
-            witness_strategy: WitnessStrategy::Auto,
-            budget: SearchBudget::UNLIMITED,
-        }
-    }
-}
-
-/// Resolve a [`SearchOptions::threads`] request to a concrete count.
-fn resolved_threads(requested: usize) -> usize {
-    if requested != 0 {
-        return requested;
-    }
-    // Resolved once per process: `available_parallelism` inspects
-    // cgroup quotas on Linux (file reads, ~10 µs) — far too slow to
-    // re-run on every search.
-    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *AUTO.get_or_init(|| {
-        if let Some(n) =
-            std::env::var("CLA_SEARCH_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
-        {
-            if n >= 1 {
-                return n;
-            }
-        }
-        thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-    })
-}
-
-/// Process-wide failpoint opt-in: engines built while `CLA_FAILPOINTS`
-/// is set probe the registry (the variable's points are armed once, on
-/// first use — the CI fault-injection leg's entry point). Resolved once
-/// per process like [`resolved_threads`].
-fn failpoints_enabled_from_env() -> bool {
-    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        if std::env::var_os("CLA_FAILPOINTS").is_some() {
-            failpoints::arm_from_env();
-            true
-        } else {
-            false
-        }
-    })
-}
-
-/// Shared read-only inputs of the per-connection metric stage.
-struct RankContext<'a> {
-    /// Per-node tf·idf scores for the query.
-    text_scores: &'a [f64],
-    /// Keyword markers for rendering.
-    markers: &'a HashMap<NodeId, Vec<String>>,
-    /// Whether to run the instance-closeness witness search.
-    compute_instance: bool,
-    /// Witness-path length bound.
-    max_witness_length: usize,
-    /// Witness pruning strategy (worker threads build their own caches
-    /// with it).
-    witness_strategy: WitnessStrategy,
-}
-
-/// Per-worker mutable state of the metric stage: reusable buffers and
-/// memoization caches. Caches only affect cost, never results, so each
-/// worker thread owning its own scratch keeps parallel output identical
-/// to sequential.
-#[derive(Debug, Default)]
-struct RankScratch {
-    witness: WitnessCache,
-    /// Node-indexed rendering labels.
-    labels: Vec<Option<String>>,
-    /// Node-indexed explanation descriptions.
-    descs: Vec<Option<String>>,
-    /// Conceptual-steps buffer, reused across connections.
-    csteps: Vec<ConceptualStep>,
-}
-
-impl RankScratch {
-    fn new(node_count: usize, witness_strategy: WitnessStrategy) -> Self {
-        let mut scratch = RankScratch::default();
-        scratch.reset(node_count, witness_strategy);
-        scratch
-    }
-
-    /// Re-arm for a new search: caches dropped (graph content and query
-    /// may have changed), capacity kept.
-    fn reset(&mut self, node_count: usize, witness_strategy: WitnessStrategy) {
-        self.witness.clear();
-        self.witness.set_strategy(witness_strategy);
-        self.labels.clear();
-        self.labels.resize(node_count, None);
-        self.descs.clear();
-        self.descs.resize(node_count, None);
-        self.csteps.clear();
-    }
-}
-
-/// The reusable per-search state of one engine — the **allocation-free
-/// search epoch**. Every buffer the enumeration hot path touches
-/// (target mask, bounded BFS distance map and queue, DFS path stacks,
-/// per-node text scores, BANKS forests and heaps, metric-stage caches)
-/// lives here; [`SearchEngine::search`] checks one scratch out of the
-/// engine's pool and returns it afterwards, so repeated searches on a
-/// warm engine reuse the high-water-mark buffers instead of
-/// re-allocating per query (pinned by the counting-allocator test
-/// `crates/core/tests/alloc.rs`). Worker threads beyond the first
-/// check out (or create) their own scratch, keeping parallel output
-/// byte-identical.
-#[derive(Debug, Default)]
-struct SearchScratch {
-    rank: RankScratch,
-    /// Buffers of the distance-pruned pair enumeration.
-    enumerate: EnumScratch,
-    /// Per-node tf·idf scores of the query.
-    text_scores: Vec<f64>,
-    /// Keyword markers per node for rendering.
-    markers: HashMap<NodeId, Vec<String>>,
-    /// Per-tuple frequency accumulator of the text-score pass.
-    per_tuple: HashMap<TupleId, u32>,
-    /// BANKS lazy forests, completion table and candidate heap.
-    banks: BanksScratch,
-}
-
-/// The buffers of one distance-pruned enumeration: target mask,
-/// bounded BFS distance map (+ frontier queue), and the DFS path
-/// stacks. Grouped so the borrow of the read-only mask/map and the
-/// mutable borrow of the DFS stacks stay visibly disjoint.
-#[derive(Debug, Default)]
-struct EnumScratch {
-    is_target: Vec<bool>,
-    dist: Vec<u32>,
-    bfs_queue: VecDeque<NodeId>,
-    traversal: TraversalScratch,
-}
-
-/// The deterministic final tie-break under any ranking strategy: the
-/// rendering string, then the **tuple** sequence (unique after dedup,
-/// making the full comparator a total order — a requirement for the
-/// streaming top-k mode to return exactly the batch pipeline's prefix).
-/// Tuples, not node ids: node numbering reflects insertion history on an
-/// incrementally patched graph, while tuple ids are stable — so a
-/// patched engine and a freshly rebuilt one order ties identically.
-fn final_tiebreak(a: &RankedConnection, b: &RankedConnection, dg: &DataGraph) -> Ordering {
-    a.rendering.cmp(&b.rendering).then_with(|| {
-        a.connection
-            .nodes()
-            .iter()
-            .map(|&n| dg.tuple_of(n))
-            .cmp(b.connection.nodes().iter().map(|&n| dg.tuple_of(n)))
-    })
-}
-
-/// FNV-1a, the dedup seen-set's hasher: the keys are short `NodeId`
-/// slices, where FNV beats SipHash's per-call setup without inviting the
-/// HashDoS concerns of user-controlled strings.
-#[derive(Default)]
-struct Fnv1a(u64);
-
-impl std::hash::Hasher for Fnv1a {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.0 = h;
-    }
-}
-
-/// The one canonical orientation rule: a connection runs from its
-/// smaller endpoint **tuple** to its larger (tuple ids, not node ids, so
-/// orientation survives node renumbering between a patched and a
-/// rebuilt graph). Shared by the batch dedup and the streaming top-k
-/// accumulator — both must pick identical representatives for the
-/// streamed prefix to equal the batch pipeline's.
-fn canonical_orient(c: Connection, dg: &DataGraph) -> Connection {
-    if dg.tuple_of(c.end()) < dg.tuple_of(c.start()) {
-        c.reversed()
-    } else {
-        c
-    }
-}
-
-/// Orient every connection canonically ([`canonical_orient`]) and keep
-/// the first occurrence of each node sequence, preserving order. The
-/// seen-set borrows the node slices instead of allocating a key per
-/// connection, and the compaction is in place.
-fn dedup_canonical(connections: Vec<Connection>, dg: &DataGraph) -> Vec<Connection> {
-    let mut connections: Vec<Connection> =
-        connections.into_iter().map(|c| canonical_orient(c, dg)).collect();
-    let mut keep = vec![false; connections.len()];
-    {
-        let mut seen: HashSet<&[NodeId], std::hash::BuildHasherDefault<Fnv1a>> =
-            HashSet::with_capacity_and_hasher(connections.len() * 2, Default::default());
-        for (i, c) in connections.iter().enumerate() {
-            keep[i] = seen.insert(c.nodes());
-        }
-    }
-    let mut i = 0;
-    connections.retain(|_| {
-        i += 1;
-        keep[i - 1]
-    });
-    connections
-}
-
-/// Sort a ranked result set by `strategy` using precomputed packed sort
-/// keys ([`RankStrategy::sort_key`]), falling back to the full
-/// comparison plus [`final_tiebreak`] on key ties. Ordering is identical
-/// to `sort_by_strategy(.., final_tiebreak)`, just cheaper per
-/// comparison.
-fn sort_ranked(ranked: &mut Vec<RankedConnection>, strategy: RankStrategy, dg: &DataGraph) {
-    let mut keyed: Vec<((u128, u64), RankedConnection)> =
-        ranked.drain(..).map(|r| (strategy.sort_key(&r.info), r)).collect();
-    keyed.sort_by(|a, b| {
-        a.0.cmp(&b.0)
-            .then_with(|| strategy.compare(&a.1.info, &b.1.info))
-            .then_with(|| final_tiebreak(&a.1, &b.1, dg))
-    });
-    ranked.extend(keyed.into_iter().map(|(_, r)| r));
-}
-
-/// One ranked search result.
-#[derive(Debug, Clone)]
-pub struct RankedConnection {
-    /// The connection itself.
-    pub connection: Connection,
-    /// Precomputed metrics used by the ranking.
-    pub info: ConnectionInfo,
-    /// Paper-notation rendering, e.g. `d1(XML) – e1(Smith)`.
-    pub rendering: String,
-    /// Natural-language reading (§3), e.g. `employee e1(Smith) works for
-    /// department d1(XML)`.
-    pub explanation: String,
-}
-
-/// The outcome of a search.
-#[derive(Debug, Clone)]
-pub struct SearchResults {
-    /// The normalized query.
-    pub query: KeywordQuery,
-    /// Display forms of the keywords (original casing).
-    pub display_keywords: Vec<String>,
-    /// Ranked connections (paths; the common case).
-    pub connections: Vec<RankedConnection>,
-    /// Branching answer trees, populated for ≥ 3-keyword BANKS searches.
-    pub trees: Vec<SteinerTree>,
-    /// Traversal-work accounting for this search.
-    pub stats: SearchStats,
-}
-
-impl SearchResults {
-    /// The empty result set of a query (no connections, no trees, zero
-    /// traversal stats) — the `k = 0` and unmatched-keyword shapes.
-    fn empty(query: KeywordQuery, display_keywords: Vec<String>) -> Self {
-        SearchResults {
-            query,
-            display_keywords,
-            connections: Vec::new(),
-            trees: Vec::new(),
-            stats: SearchStats::default(),
-        }
-    }
-
-    /// Number of path-shaped results.
-    pub fn len(&self) -> usize {
-        self.connections.len()
-    }
-
-    /// `true` when the search produced nothing at all.
-    pub fn is_empty(&self) -> bool {
-        self.connections.is_empty() && self.trees.is_empty()
-    }
-}
-
-/// When [`SearchEngine::apply`] reclaims tombstoned slots on its own.
-///
-/// Compaction renumbers **every** outstanding [`TupleId`], so it is
-/// opt-in: the default never compacts behind the caller's back. With
-/// [`CompactionPolicy::TombstoneRatio`], `apply` triggers a full
-/// [`SearchEngine::compact`] whenever the dead-slot fraction reaches
-/// the threshold, surfacing the resulting [`TupleRemap`] through
-/// [`ApplyOutcome::compaction`] so id-keyed caller state can be
-/// remapped instead of silently invalidated.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub enum CompactionPolicy {
-    /// Never compact automatically; [`SearchEngine::compact`] is the
-    /// caller's explicit, scheduled operation.
-    #[default]
-    Manual,
-    /// Compact when `tombstoned row slots / total row slots` reaches
-    /// this fraction (e.g. `0.25` for the ROADMAP's ≥ 25% trigger).
-    /// Values are clamped to `(0, 1]`; a non-positive threshold would
-    /// compact on every apply.
-    TombstoneRatio(f64),
-}
-
-/// What one successful [`SearchEngine::apply`] did.
-#[must_use = "an auto-compaction may have renumbered every TupleId — check `.compaction` for the remap"]
-#[derive(Debug, Clone, Default)]
-pub struct ApplyOutcome {
-    /// The slot remap of an auto-compaction, when the engine's
-    /// [`CompactionPolicy`] triggered one — **every previously held
-    /// [`TupleId`] must be remapped through it**. `None` on the common
-    /// patch-only path.
-    pub compaction: Option<TupleRemap>,
-}
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The keyword-search engine over one database.
 ///
-/// The engine owns its database; mutate it through
-/// [`SearchEngine::db_mut`] and then call [`SearchEngine::apply`] to
-/// patch the inverted index, data graph, CSR and side tables in place —
-/// no rebuild. Until `apply` runs, [`SearchEngine::search`] refuses with
+/// The engine owns its database (through an [`EngineWriter`]); mutate
+/// it through [`SearchEngine::db_mut`] and then call
+/// [`SearchEngine::apply`] to publish the next snapshot generation — no
+/// rebuild. Until `apply` runs, [`SearchEngine::search`] refuses with
 /// [`CoreError::StaleEngine`] instead of silently answering from stale
 /// structures (dangling nodes, missing postings, wrong df counts).
+///
+/// Reads answer from the latest **published** [`EngineSnapshot`]: an
+/// immutable, generation-stamped view of everything `search()` needs.
+/// [`SearchEngine::snapshots`] hands out a cloneable
+/// [`SnapshotHandle`] for reader threads; publishes are atomic `Arc`
+/// swaps, so concurrent readers never take a lock and never observe a
+/// half-applied mutation batch.
 #[derive(Debug)]
 pub struct SearchEngine {
-    db: Database,
-    er_schema: ErSchema,
-    mapping: SchemaMapping,
-    index: InvertedIndex,
-    dg: DataGraph,
-    aliases: HashMap<TupleId, String>,
-    /// Per-edge owner→target RDB cardinality (`rdb_edge_cardinality`
-    /// evaluated once per edge slot), so converting enumerated paths
-    /// into connections never probes the schema. Indexed by
-    /// `EdgeId::index()`; extended by [`SearchEngine::apply`] as edges
-    /// are added (tombstoned slots keep their stale entry, which is
-    /// never read — traversals only surface live edges).
-    edge_cards: Vec<Cardinality>,
-    /// The database version the index/graph structures reflect.
-    version: u64,
-    /// Set when the engine is unrecoverably out of sync (the change log
-    /// was drained externally — see [`CoreError::ChangeLogDrained`]);
-    /// the engine then refuses searching, applying and compacting
-    /// (rebuild to recover). Recoverable apply failures roll back
-    /// instead of poisoning.
-    poisoned: bool,
-    /// Whether this engine probes the process-global
-    /// [`failpoints`](crate::failpoints) registry (fault-injection
-    /// instrumentation: `apply.mid`, `worker.panic`, `pool.return`,
-    /// `banks.settle`). Off by default so armed points can never leak
-    /// into unrelated engines; enabled per engine via
-    /// [`SearchEngine::enable_failpoints`] or process-wide by setting
-    /// the `CLA_FAILPOINTS` environment variable.
-    failpoints: bool,
-    /// Auto-compaction policy consulted by [`SearchEngine::apply`].
-    compaction_policy: CompactionPolicy,
-    /// Pool of reusable per-search scratch states (see
-    /// [`SearchScratch`]). Searches pop one and push it back, so a warm
-    /// engine re-allocates nothing on the enumeration hot path; the
-    /// pool is bounded to keep rarely-used concurrency from pinning
-    /// memory.
-    #[allow(clippy::vec_box)]
-    // moving boxes keeps checkout O(1), not a memcpy of the struct
-    scratch_pool: Mutex<Vec<Box<SearchScratch>>>,
+    writer: EngineWriter,
 }
 
 impl Clone for SearchEngine {
-    /// Clones everything but the scratch pool (per-search buffers carry
-    /// no semantic state; the clone starts with an empty pool).
+    /// Clones the database and the published content; the clone is an
+    /// independent engine with its own publication state (fresh
+    /// snapshot handle lineage, empty scratch pool).
     fn clone(&self) -> Self {
-        SearchEngine {
-            db: self.db.clone(),
-            er_schema: self.er_schema.clone(),
-            mapping: self.mapping.clone(),
-            index: self.index.clone(),
-            dg: self.dg.clone(),
-            aliases: self.aliases.clone(),
-            edge_cards: self.edge_cards.clone(),
-            version: self.version,
-            poisoned: self.poisoned,
-            failpoints: self.failpoints,
-            compaction_policy: self.compaction_policy,
-            scratch_pool: Mutex::new(Vec::new()),
-        }
+        SearchEngine { writer: self.writer.clone_writer() }
     }
 }
 
@@ -505,104 +55,87 @@ impl SearchEngine {
     /// Build the engine: validates referential integrity, constructs the
     /// inverted index and the data graph.
     pub fn new(
-        mut db: Database,
+        db: Database,
         er_schema: ErSchema,
         mapping: SchemaMapping,
     ) -> Result<Self, CoreError> {
-        db.validate_references()?;
-        // The load-time change log is subsumed by the fresh build.
-        db.take_changes();
-        let version = db.version();
-        let index = InvertedIndex::build(&db);
-        let dg = DataGraph::build(&db, &mapping)?;
-        let edge_cards = dg
-            .graph()
-            .edges()
-            .map(|e| rdb_edge_cardinality(&er_schema, e.payload.role))
-            .collect();
-        Ok(SearchEngine {
-            db,
-            er_schema,
-            mapping,
-            index,
-            dg,
-            aliases: HashMap::new(),
-            edge_cards,
-            version,
-            poisoned: false,
-            failpoints: failpoints_enabled_from_env(),
-            compaction_policy: CompactionPolicy::default(),
-            scratch_pool: Mutex::new(Vec::new()),
-        })
+        Ok(SearchEngine { writer: EngineWriter::new(db, er_schema, mapping)? })
     }
 
     /// Attach display aliases (`d1`, `e1`, …) for rendering.
     pub fn with_aliases(mut self, aliases: HashMap<TupleId, String>) -> Self {
-        self.aliases = aliases;
+        self.writer = self.writer.with_aliases(aliases);
         self
     }
 
     /// Opt into automatic slot reclamation — see [`CompactionPolicy`].
     pub fn with_compaction_policy(mut self, policy: CompactionPolicy) -> Self {
-        self.compaction_policy = policy;
+        self.writer = self.writer.with_compaction_policy(policy);
         self
     }
 
     /// The engine's auto-compaction policy.
     pub fn compaction_policy(&self) -> CompactionPolicy {
-        self.compaction_policy
+        self.writer.compaction_policy()
     }
 
-    /// Lock the scratch pool, *recovering* from poison: a panic while
-    /// the lock was held (only possible via the `pool.return` failpoint
-    /// or a bug inside `Vec::push` itself) leaves entries of unknown
-    /// consistency, so they are dropped, the poison flag cleared, and
-    /// the pool serves fresh scratches from then on. Pooled buffers
-    /// carry no semantic state — recovery can never change results.
-    #[allow(clippy::vec_box)] // matches the pool field: boxes move O(1)
-    fn lock_scratch_pool(&self) -> std::sync::MutexGuard<'_, Vec<Box<SearchScratch>>> {
-        self.scratch_pool.lock().unwrap_or_else(|poisoned| {
-            self.scratch_pool.clear_poison();
-            let mut pool = poisoned.into_inner();
-            pool.clear();
-            pool
-        })
+    /// The single writer behind this façade, for callers stepping up to
+    /// the explicit snapshot API.
+    pub fn writer(&self) -> &EngineWriter {
+        &self.writer
     }
 
-    /// Pop a pooled scratch (or create the first ones on a cold
-    /// engine).
-    fn checkout_scratch(&self) -> Box<SearchScratch> {
-        self.lock_scratch_pool().pop().unwrap_or_default()
+    /// Mutable access to the writer (typed mutations:
+    /// [`EngineWriter::insert`] / [`EngineWriter::update`] /
+    /// [`EngineWriter::delete`], then [`SearchEngine::apply`]).
+    pub fn writer_mut(&mut self) -> &mut EngineWriter {
+        &mut self.writer
     }
 
-    /// Return a scratch to the pool for the next search. Bounded so a
-    /// one-off burst of concurrent searches cannot pin its high-water
-    /// buffer count forever.
-    fn return_scratch(&self, scratch: Box<SearchScratch>) {
-        const MAX_POOLED: usize = 8;
-        let mut pool = self.lock_scratch_pool();
-        if pool.len() < MAX_POOLED {
-            if self.failpoints && failpoints::triggered("pool.return") {
-                panic!(
-                    "pool.return failpoint: panicking while holding the scratch-pool lock"
-                );
-            }
-            pool.push(scratch);
-        }
+    /// A cloneable, lock-free entry point for reader threads: each
+    /// [`SnapshotHandle::latest`] call pins the most recently published
+    /// generation, which stays alive and byte-stable while this engine
+    /// keeps applying and compacting. See [`EngineSnapshot`] for the
+    /// consistency model.
+    pub fn snapshots(&self) -> SnapshotHandle {
+        self.writer.handle()
+    }
+
+    /// Pin the latest published snapshot directly.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.writer.snapshot()
+    }
+
+    /// The latest published snapshot, by reference.
+    fn current(&self) -> &EngineSnapshot {
+        self.writer.current_ref()
+    }
+
+    /// Publication ordinal of the latest snapshot (0 for a freshly
+    /// built engine, +1 per published apply/compact).
+    pub fn generation(&self) -> u64 {
+        self.writer.generation()
     }
 
     /// Mutable access to the owned database, for inserts and deletes.
     /// Any mutation version-stamps the database ahead of the engine;
     /// call [`SearchEngine::apply`] afterwards (searching meanwhile
     /// returns [`CoreError::StaleEngine`]).
+    ///
+    /// Prefer the typed [`EngineWriter`] mutation path
+    /// ([`SearchEngine::writer_mut`]): raw database access makes it
+    /// possible to drain the change log out from under the engine
+    /// (`take_changes`), which unrecoverably poisons it — see
+    /// [`CoreError::ChangeLogDrained`]. This shim stays for the
+    /// pre-snapshot API; the typed path cannot be misused that way.
     pub fn db_mut(&mut self) -> &mut Database {
-        &mut self.db
+        self.writer.db_mut_raw()
     }
 
-    /// `true` when the engine's structures reflect the database's
+    /// `true` when the published structures reflect the database's
     /// current version.
     pub fn is_fresh(&self) -> bool {
-        !self.poisoned && self.version == self.db.version()
+        self.writer.is_fresh()
     }
 
     /// `true` when the engine is unrecoverably out of sync with its
@@ -614,7 +147,7 @@ impl SearchEngine {
     /// say) do **not** poison: [`SearchEngine::apply`] rolls back
     /// atomically instead.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.writer.is_poisoned()
     }
 
     /// Opt this engine into the process-global
@@ -627,209 +160,75 @@ impl SearchEngine {
     /// contract. Engines built while `CLA_FAILPOINTS` is set are
     /// enabled automatically.
     pub fn enable_failpoints(&mut self) {
-        self.failpoints = true;
+        self.writer.enable_failpoints()
     }
 
-    /// Drain the database's pending mutations and patch every derived
-    /// structure in place: inverted-index postings (insert-sorted,
-    /// df-consistent, updates applied as term diffs), data-graph
-    /// nodes/adjacency with its deferred CSR rebuild (updates rewiring
-    /// only their changed edges), and the per-edge cardinality table.
+    /// Drain the database's pending mutations and publish the next
+    /// snapshot generation — see [`EngineWriter::apply`] for the full
+    /// contract (atomicity, rollback, poisoning, auto-compaction).
     /// After a successful apply the engine answers exactly like a
     /// freshly built [`SearchEngine::new`] over the mutated database —
     /// the rebuild-equivalence property the mutation test suite pins
     /// down — at per-tuple instead of whole-database cost.
-    ///
-    /// The apply is **atomic**. On error (e.g. a dangling reference
-    /// that a full rebuild's validation would also reject) every
-    /// patched structure is rolled back to the pre-apply state — the
-    /// index through its undo log, the data graph by pre-validating in
-    /// a mutation-free plan stage — and the *database batch itself* is
-    /// rolled back through [`Database::rollback`] (the batch is a
-    /// failed transaction; its mutations are rejected wholesale). The
-    /// error is returned with the engine fresh and **still serving the
-    /// pre-mutation answers**; the caller can fix the offending
-    /// mutation and retry. Only an externally drained change log
-    /// ([`CoreError::ChangeLogDrained`]) still poisons — those
-    /// operations can neither be applied nor undone.
-    ///
-    /// With a [`CompactionPolicy::TombstoneRatio`] policy, a successful
-    /// apply that leaves the dead-slot fraction at or above the
-    /// threshold triggers a full [`SearchEngine::compact`]; the remap
-    /// is surfaced through [`ApplyOutcome::compaction`] (under the
-    /// default [`CompactionPolicy::Manual`] it is always `None`, and
-    /// caller-held [`TupleId`]s are never silently invalidated).
     pub fn apply(&mut self) -> Result<ApplyOutcome, CoreError> {
-        if self.poisoned {
-            return Err(CoreError::EnginePoisoned);
-        }
-        let changes = self.db.take_changes();
-        // Every mutation logs exactly one op, so the log must account
-        // for the whole version delta. A shortfall means someone called
-        // `take_changes` on the engine's database directly — those ops
-        // are unrecoverable, and stamping the engine fresh anyway would
-        // silently serve results missing them.
-        let expected_ops = self.db.version() - self.version;
-        if changes.len() as u64 != expected_ops {
-            self.poisoned = true;
-            return Err(CoreError::ChangeLogDrained {
-                expected_ops,
-                found_ops: changes.len(),
-            });
-        }
-        let undo = self.index.apply_logged(&self.db, &changes);
-        let result = if self.failpoints && failpoints::triggered("apply.mid") {
-            Err(CoreError::Relational(
-                "forced mid-apply failure (apply.mid failpoint)".into(),
-            ))
-        } else {
-            // The graph apply pre-validates every fallible lookup before
-            // mutating, so an error here leaves it untouched.
-            self.dg.apply(&self.db, &self.mapping, &changes)
-        };
-        match result {
-            Ok(added_edges) => {
-                // Extend the slot-indexed cardinality table with the
-                // edges the patch added (new edges occupy the next
-                // slots, in order).
-                for e in added_edges {
-                    debug_assert_eq!(
-                        e.index(),
-                        self.edge_cards.len(),
-                        "edge slots are sequential"
-                    );
-                    let role = self.dg.annotation(e).role;
-                    self.edge_cards.push(rdb_edge_cardinality(&self.er_schema, role));
-                }
-                self.version = self.db.version();
-                let mut outcome = ApplyOutcome::default();
-                if let CompactionPolicy::TombstoneRatio(threshold) = self.compaction_policy {
-                    let total = self.db.total_row_slots();
-                    let dead = total - self.db.total_tuples();
-                    if dead > 0
-                        && dead as f64
-                            >= threshold.clamp(f64::MIN_POSITIVE, 1.0) * total as f64
-                    {
-                        // The engine is fresh right here (just stamped),
-                        // so compaction cannot be refused.
-                        outcome.compaction = Some(self.compact()?);
-                    }
-                }
-                Ok(outcome)
-            }
-            Err(e) => {
-                // Roll every patched structure back: the index via its
-                // undo log (the graph never partially patches), then the
-                // database batch via inverse ops — engine and database
-                // agree on the pre-mutation state again.
-                self.index.undo(undo);
-                self.db.rollback(&changes);
-                self.version = self.db.version();
-                debug_assert!(self.is_fresh());
-                Err(e)
-            }
-        }
+        self.writer.apply()
     }
 
-    /// Reclaim every tombstoned slot churn left behind, end to end:
-    /// database row slots (via [`Database::compact`]), graph node and
-    /// edge slots, the CSR's flat arrays and the cardinality table —
-    /// with ids renumbered densely behind the returned [`TupleRemap`].
-    /// Postings are rebuilt from the live set (they must speak the new
-    /// tuple ids); display aliases are remapped in place.
-    ///
-    /// **Every outstanding [`TupleId`] is invalidated** — callers
-    /// holding id-keyed state must remap it through the returned table.
-    /// The engine must be fresh (apply pending mutations first; a
-    /// stale engine returns [`CoreError::StaleEngine`]). Afterwards the
-    /// engine is **rebuild-equivalent**: it answers exactly like a
-    /// fresh [`SearchEngine::new`] over the compacted database, with
-    /// zero tombstoned row/node/edge slots.
+    /// Reclaim every tombstoned slot end to end and publish the
+    /// compacted state — see [`EngineWriter::compact`]. **Every
+    /// outstanding [`TupleId`] is invalidated**; remap id-keyed caller
+    /// state through the returned table.
     pub fn compact(&mut self) -> Result<TupleRemap, CoreError> {
-        if self.poisoned {
-            return Err(CoreError::EnginePoisoned);
-        }
-        if !self.is_fresh() {
-            return Err(CoreError::StaleEngine {
-                engine_version: self.version,
-                db_version: self.db.version(),
-            });
-        }
-        let remap = self.db.compact()?;
-        // Postings speak tuple ids: rebuild them from the live set under
-        // the same tokenizer (renumbering every posting in place would
-        // also break the sorted-by-tuple invariant, since row order is
-        // preserved but *relative* ids shift across relations).
-        self.index = InvertedIndex::build_with(&self.db, self.index.tokenizer().clone());
-        let edge_remap = self.dg.compact(&remap);
-        // Surviving edges renumber monotonically in slot order, so
-        // collecting the survivors' cards in old order yields the new
-        // dense numbering.
-        self.edge_cards = edge_remap
-            .iter()
-            .enumerate()
-            .filter(|(_, new)| new.is_some())
-            .map(|(old, _)| self.edge_cards[old])
-            .collect();
-        self.aliases = std::mem::take(&mut self.aliases)
-            .into_iter()
-            .filter_map(|(t, alias)| remap.map(t).map(|nt| (nt, alias)))
-            .collect();
-        self.version = self.db.version();
-        Ok(remap)
+        self.writer.compact()
     }
 
     /// Fold any pending CSR patch overlay into flat arrays now, without
     /// waiting for the deferred-rebuild threshold. Purely a storage
     /// operation — adjacency (and therefore search output) is unchanged.
     pub fn compact_csr(&mut self) {
-        self.dg.compact_csr();
+        self.writer.compact_csr()
     }
 
     /// The underlying database.
     pub fn db(&self) -> &Database {
-        &self.db
+        self.writer.db()
     }
 
     /// The ER schema.
     pub fn er_schema(&self) -> &ErSchema {
-        &self.er_schema
+        self.current().er_schema()
     }
 
     /// The mapping provenance.
     pub fn mapping(&self) -> &SchemaMapping {
-        &self.mapping
+        self.current().mapping()
     }
 
-    /// The inverted index.
+    /// The inverted index (of the latest published generation).
     pub fn index(&self) -> &InvertedIndex {
-        &self.index
+        self.current().index()
     }
 
-    /// The data graph.
+    /// The data graph (of the latest published generation).
     pub fn data_graph(&self) -> &DataGraph {
-        &self.dg
+        self.current().data_graph()
     }
 
     /// Display aliases.
     pub fn aliases(&self) -> &HashMap<TupleId, String> {
-        &self.aliases
+        self.current().aliases()
     }
 
     /// Tuples matching each keyword of `query`, in keyword order.
     ///
-    /// Like every read path, answers from the engine's built structures:
-    /// after a [`SearchEngine::db_mut`] mutation the result reflects the
+    /// Like every read path, answers from the published snapshot: after
+    /// a [`SearchEngine::db_mut`] mutation the result reflects the
     /// pre-mutation state until [`SearchEngine::apply`] runs
     /// (debug-asserted; [`SearchEngine::search`] is the checked entry
     /// point and refuses with [`CoreError::StaleEngine`]).
     pub fn keyword_matches(&self, query: &KeywordQuery) -> Vec<(String, Vec<TupleId>)> {
         debug_assert!(self.is_fresh(), "keyword_matches on a stale engine — apply() first");
-        query
-            .keywords()
-            .iter()
-            .map(|kw| (kw.clone(), self.index.matching_tuples(kw)))
-            .collect()
+        self.current().keyword_matches(query)
     }
 
     /// Keyword markers per node for rendering: which display keywords
@@ -840,80 +239,26 @@ impl SearchEngine {
         display_keywords: &[String],
     ) -> HashMap<NodeId, Vec<String>> {
         debug_assert!(self.is_fresh(), "markers on a stale engine — apply() first");
-        let keyword_tuples: Vec<Vec<TupleId>> =
-            query.keywords().iter().map(|kw| self.index.matching_tuples(kw)).collect();
-        self.markers_from_matches(query, &keyword_tuples, display_keywords)
-    }
-
-    /// [`SearchEngine::markers`] over already-fetched per-keyword match
-    /// lists, so `search` resolves each keyword against the index once
-    /// and reuses the lists for both match sets and markers.
-    fn markers_from_matches(
-        &self,
-        query: &KeywordQuery,
-        keyword_tuples: &[Vec<TupleId>],
-        display_keywords: &[String],
-    ) -> HashMap<NodeId, Vec<String>> {
-        let mut markers = HashMap::new();
-        self.markers_from_matches_into(query, keyword_tuples, display_keywords, &mut markers);
-        markers
-    }
-
-    /// [`SearchEngine::markers_from_matches`] into a reused map (the
-    /// pooled scratch's) — cleared, then refilled.
-    fn markers_from_matches_into(
-        &self,
-        query: &KeywordQuery,
-        keyword_tuples: &[Vec<TupleId>],
-        display_keywords: &[String],
-        markers: &mut HashMap<NodeId, Vec<String>>,
-    ) {
-        markers.clear();
-        for (i, kw) in query.keywords().iter().enumerate() {
-            let display = display_keywords.get(i).cloned().unwrap_or_else(|| kw.clone());
-            for &t in &keyword_tuples[i] {
-                if let Some(n) = self.dg.node_of(t) {
-                    markers.entry(n).or_default().push(display.clone());
-                }
-            }
-        }
+        self.current().markers(query, display_keywords)
     }
 
     /// The connection following exactly the given tuple sequence, if the
     /// corresponding foreign-key path exists. Used by the experiment
     /// harness to address the paper's connections 1–9 by name. Answers
-    /// from the built structures — stale after an un-applied mutation
+    /// from the published snapshot — stale after an un-applied mutation
     /// (debug-asserted; see [`SearchEngine::apply`]).
     pub fn connection_following(&self, tuples: &[TupleId]) -> Option<Connection> {
         debug_assert!(
             self.is_fresh(),
             "connection_following on a stale engine — apply() first"
         );
-        let want: Option<Vec<NodeId>> = tuples.iter().map(|&t| self.dg.node_of(t)).collect();
-        let want = want?;
-        if want.is_empty() {
-            return None;
-        }
-        if want.len() == 1 {
-            return Some(Connection::single(want[0]));
-        }
-        let paths = enumerate_simple_paths_undirected(
-            self.dg.graph(),
-            want[0],
-            *want.last().expect("non-empty"),
-            want.len() - 1,
-            None,
-        );
-        paths
-            .iter()
-            .map(|p| Connection::from_path(p, &self.dg, &self.er_schema))
-            .find(|c| c.nodes() == want.as_slice())
+        self.current().connection_following(tuples)
     }
 
     /// Compute the ranking metrics of a connection for a query.
     ///
-    /// Reads postings/df and graph annotations from the built
-    /// structures — stale after an un-applied mutation (debug-asserted;
+    /// Reads postings/df and graph annotations from the published
+    /// snapshot — stale after an un-applied mutation (debug-asserted;
     /// [`SearchEngine::search`] is the checked entry point).
     pub fn connection_info(
         &self,
@@ -923,880 +268,48 @@ impl SearchEngine {
         max_witness_length: usize,
     ) -> ConnectionInfo {
         debug_assert!(self.is_fresh(), "connection_info on a stale engine — apply() first");
-        let text_score = conn
-            .nodes()
-            .iter()
-            .map(|&n| tuple_score(&self.index, self.dg.tuple_of(n), query))
-            .sum();
-        let mut csteps = Vec::new();
-        self.info_with(
-            conn,
-            &mut csteps,
-            text_score,
-            compute_instance,
-            max_witness_length,
-            &mut WitnessCache::new(),
-        )
+        self.current().connection_info(conn, query, compute_instance, max_witness_length)
     }
 
-    /// Per-node tf·idf contributions of `query`, computed once per
-    /// search (into the pooled scratch's buffers) so scoring a
-    /// connection is one slot read per node instead of re-hashing
-    /// keyword strings for every (node, keyword) pair.
-    /// `keyword_tuples[i]` must be the match list of keyword `i`.
-    fn text_scores_by_node_into(
-        &self,
-        query: &KeywordQuery,
-        keyword_tuples: &[Vec<TupleId>],
-        scores: &mut Vec<f64>,
-        per_tuple: &mut HashMap<TupleId, u32>,
-    ) {
-        let total = self.index.indexed_tuples();
-        scores.clear();
-        scores.resize(self.dg.node_count(), 0.0);
-        for (i, kw) in query.keywords().iter().enumerate() {
-            // `frequency_in` semantics: occurrences summed across the
-            // tuple's attributes, tf applied to the sum.
-            per_tuple.clear();
-            for p in self.index.lookup(kw) {
-                *per_tuple.entry(p.tuple).or_insert(0) += p.frequency;
-            }
-            let idf_kw = cla_index::idf(keyword_tuples[i].len(), total);
-            for (&t, &f) in per_tuple.iter() {
-                if let Some(n) = self.dg.node_of(t) {
-                    scores[n.index()] += cla_index::tf(f) * idf_kw;
-                }
-            }
-        }
-    }
-
-    /// Assemble a [`ConnectionInfo`]: one conceptual pass (left in
-    /// `csteps` for reuse by the explanation stage), the ER chain
-    /// derived from it, and the optional witness search batched through
-    /// `witness` (connections sharing an endpoint pair in one result set
-    /// share one search).
-    fn info_with(
-        &self,
-        conn: &Connection,
-        csteps: &mut Vec<ConceptualStep>,
-        text_score: f64,
-        compute_instance: bool,
-        max_witness_length: usize,
-        witness: &mut WitnessCache,
-    ) -> ConnectionInfo {
-        conn.conceptual_steps_into(csteps, &self.dg, &self.er_schema, &self.mapping);
-        let er_chain: CardinalityChain = csteps.iter().map(|s| s.cardinality).collect();
-        let instance_close = compute_instance.then(|| {
-            instance_closeness_with_cache(
-                conn,
-                &self.dg,
-                &self.er_schema,
-                &self.mapping,
-                max_witness_length,
-                witness,
-            )
-            .is_close()
-        });
-        let class = er_chain.classify();
-        ConnectionInfo {
-            rdb_length: conn.rdb_length(),
-            er_length: er_chain.len(),
-            class,
-            closeness: class.closeness(),
-            nm_count: er_chain.transitive_nm_count(),
-            er_chain,
-            text_score,
-            instance_close,
-        }
-    }
-
-    /// Compute metrics, rendering and explanation for one connection,
-    /// reusing the per-worker scratch buffers and caches.
-    fn rank_one(
-        &self,
-        connection: Connection,
-        ctx: &RankContext<'_>,
-        scratch: &mut RankScratch,
-    ) -> RankedConnection {
-        let text_score = connection.nodes().iter().map(|&n| ctx.text_scores[n.index()]).sum();
-        let info = self.info_with(
-            &connection,
-            &mut scratch.csteps,
-            text_score,
-            ctx.compute_instance,
-            ctx.max_witness_length,
-            &mut scratch.witness,
-        );
-        let rendering = connection.render_cached(
-            &self.dg,
-            &self.aliases,
-            ctx.markers,
-            &mut scratch.labels,
-        );
-        let explanation = crate::explain::explain_connection_from_steps(
-            &connection,
-            &mut scratch.csteps,
-            &self.dg,
-            &self.er_schema,
-            &self.mapping,
-            &self.aliases,
-            ctx.markers,
-            &mut scratch.descs,
-        );
-        RankedConnection { connection, info, rendering, explanation }
-    }
-
-    /// The per-connection metric/rendering stage over a batch of
-    /// connections, fanned out over `threads` scoped worker threads in
-    /// contiguous chunks and merged back in order — each connection's
-    /// result is independent of the others (caches only affect cost), so
-    /// the output is identical to the sequential pass. The sequential
-    /// path (and the head chunk) reuse the pooled `scratch`; extra
-    /// workers build their own.
-    ///
-    /// Parallel chunks are **fault-isolated**: a panicking chunk
-    /// (including the `worker.panic` failpoint) drops only its own
-    /// contribution, sets `faulted`, and leaves every other chunk's
-    /// results — and the engine — intact. The sequential path has
-    /// nothing to isolate; its panics propagate.
-    fn rank_stage(
-        &self,
-        conns: Vec<Connection>,
-        ctx: &RankContext<'_>,
-        threads: usize,
-        scratch: &mut RankScratch,
-        faulted: &mut bool,
-    ) -> Vec<RankedConnection> {
-        let threads = threads.clamp(1, conns.len().max(1));
-        // Spawning threads costs more than ranking a handful of
-        // connections; small batches stay sequential (the result is the
-        // same either way).
-        if threads == 1 || conns.len() < 4 * threads {
-            return conns.into_iter().map(|c| self.rank_one(c, ctx, scratch)).collect();
-        }
-        let chunk = conns.len().div_ceil(threads);
-        let mut parts: Vec<Vec<Connection>> = Vec::with_capacity(threads);
-        let mut rest = conns;
-        while rest.len() > chunk {
-            let tail = rest.split_off(chunk);
-            parts.push(rest);
-            rest = tail;
-        }
-        parts.push(rest);
-        let mut parts = parts.into_iter();
-        let head_part = parts.next().expect("at least one chunk");
-        let mut out = Vec::new();
-        thread::scope(|s| {
-            let handles: Vec<_> = parts
-                .map(|part| {
-                    s.spawn(move || {
-                        panic::catch_unwind(AssertUnwindSafe(|| {
-                            if self.failpoints && failpoints::triggered("worker.panic") {
-                                panic!("worker.panic failpoint: metric worker chunk");
-                            }
-                            let mut scratch =
-                                RankScratch::new(self.dg.node_count(), ctx.witness_strategy);
-                            part.into_iter()
-                                .map(|c| self.rank_one(c, ctx, &mut scratch))
-                                .collect::<Vec<_>>()
-                        }))
-                    })
-                })
-                .collect();
-            let head = panic::catch_unwind(AssertUnwindSafe(|| {
-                head_part
-                    .into_iter()
-                    .map(|c| self.rank_one(c, ctx, scratch))
-                    .collect::<Vec<_>>()
-            }));
-            match head {
-                Ok(ranked) => out.extend(ranked),
-                Err(_) => {
-                    // The pooled scratch was abandoned mid-connection;
-                    // rebuild it before it returns to the pool.
-                    scratch.reset(self.dg.node_count(), ctx.witness_strategy);
-                    *faulted = true;
-                }
-            }
-            for h in handles {
-                match h.join() {
-                    Ok(Ok(ranked)) => out.extend(ranked),
-                    _ => *faulted = true,
-                }
-            }
-        });
-        out
-    }
-
-    /// Run a keyword search.
+    /// Run a keyword search on the latest published generation.
     ///
     /// Fails with [`CoreError::StaleEngine`] when the database was
     /// mutated (through [`SearchEngine::db_mut`]) without a subsequent
     /// [`SearchEngine::apply`] — searching stale structures would return
-    /// silently wrong results (dangling or missing nodes, stale postings
-    /// and cardinalities), so the engine refuses instead.
-    ///
-    /// Fails with [`CoreError::EmptyQuery`] — consistently for every
-    /// algorithm — when the query has no keywords at all, or when any
-    /// keyword is **vacuous**: zero word tokens under the index's own
-    /// tokenizer (punctuation-only like `"!!!"`, stopwords-only, below
-    /// its `min_len`) *and* nothing found by the documented whole-value
-    /// fallback of [`InvertedIndex::lookup`]. Such a keyword cannot
-    /// match anything in this index, so under conjunctive semantics the
-    /// result is empty for a degenerate reason — a silent `Ok` would be
-    /// indistinguishable from "searched and found nothing". A
-    /// token-free keyword that *does* match whole attribute values
-    /// (e.g. a stored value `"!!!"`, or a stopword indexed as a whole
-    /// value) keeps answering through the fallback.
-    ///
-    /// `SearchOptions { k: Some(0), .. }` returns empty results
-    /// immediately (no enumeration) for every algorithm; `k:
-    /// Some(usize::MAX)` behaves like an unbounded search.
+    /// silently wrong results, so the engine refuses instead. Fails with
+    /// [`CoreError::EnginePoisoned`] on a poisoned engine. Reader
+    /// threads that pinned a snapshot are exempt from both: a pinned
+    /// generation is always internally consistent, by construction
+    /// (see [`EngineSnapshot::search`] for the query contract —
+    /// `EmptyQuery` semantics, `k` edge cases).
     pub fn search(
         &self,
         raw_query: &str,
         options: &SearchOptions,
     ) -> Result<SearchResults, CoreError> {
-        if self.poisoned {
+        if self.is_poisoned() {
             return Err(CoreError::EnginePoisoned);
         }
         if !self.is_fresh() {
-            return Err(CoreError::StaleEngine {
-                engine_version: self.version,
-                db_version: self.db.version(),
-            });
+            return Err(self.writer.stale_error());
         }
-        let query = KeywordQuery::parse(raw_query);
-        let tokenizer = self.index.tokenizer();
-        // A keyword is vacuous when it neither tokenizes to any word
-        // nor (via lookup's whole-value fallback) matches anything —
-        // tokenizable keywords without matches are the ordinary
-        // empty-result path, not an error.
-        let vacuous = |kw: &String| {
-            tokenizer.tokenize(kw).is_empty() && self.index.lookup(kw).is_empty()
-        };
-        if query.is_empty() || query.keywords().iter().any(vacuous) {
-            // Per-keyword diagnostics: which keyword produced zero
-            // tokens, and the nearest indexed term by edit distance —
-            // the raw material for relaxing the query instead of
-            // failing hard.
-            let diagnostics = query
-                .keywords()
-                .iter()
-                .filter(|kw| vacuous(kw))
-                .map(|kw| KeywordDiagnostic {
-                    keyword: kw.clone(),
-                    tokens: tokenizer.tokenize(kw).len(),
-                    nearest_term: self.index.nearest_term(kw),
-                })
-                .collect();
-            return Err(CoreError::EmptyQuery {
-                query: raw_query.trim().to_owned(),
-                diagnostics,
-            });
-        }
-        let display_keywords = display_forms(raw_query, &query);
-
-        // `k = 0` asks for nothing: every algorithm returns empty
-        // results without enumerating (pinned by the shared edge-case
-        // test alongside `k = usize::MAX`).
-        if options.k == Some(0) {
-            return Ok(SearchResults::empty(query, display_keywords));
-        }
-
-        // One index probe per keyword; the tuple lists feed both the
-        // match sets and the rendering markers below.
-        let keyword_tuples: Vec<Vec<TupleId>> =
-            query.keywords().iter().map(|kw| self.index.matching_tuples(kw)).collect();
-
-        // Per-keyword node sets (conjunctive semantics: all must match).
-        let match_sets: Vec<Vec<NodeId>> = keyword_tuples
-            .iter()
-            .map(|tuples| tuples.iter().filter_map(|&t| self.dg.node_of(t)).collect())
-            .collect();
-        if match_sets.iter().any(Vec::is_empty) {
-            return Ok(SearchResults::empty(query, display_keywords));
-        }
-
-        // Everything below runs on one pooled scratch: a warm engine
-        // re-allocates none of its enumeration buffers per search.
-        let mut scratch = self.checkout_scratch();
-        let result = self.search_core(
-            query,
-            display_keywords,
-            &keyword_tuples,
-            &match_sets,
-            options,
-            &mut scratch,
-        );
-        self.return_scratch(scratch);
-        result
+        self.current().search(raw_query, options)
     }
 
-    /// The search pipeline proper, over a checked-out scratch.
-    fn search_core(
-        &self,
-        query: KeywordQuery,
-        display_keywords: Vec<String>,
-        keyword_tuples: &[Vec<TupleId>],
-        match_sets: &[Vec<NodeId>],
-        options: &SearchOptions,
-        scratch: &mut SearchScratch,
-    ) -> Result<SearchResults, CoreError> {
-        let scratch = &mut *scratch;
-        let threads = resolved_threads(options.threads);
-        // One budget state per search, shared by every worker probe.
-        // Also materialized when failpoints are on, so an engine-forced
-        // trip (the `banks.settle` point) has somewhere to latch; the
-        // unlimited-and-unarmed case keeps probes at one branch each.
-        let budget_shared = (options.budget.is_limited() || self.failpoints)
-            .then(|| BudgetShared::new(&options.budget));
-        let budget = budget_shared.as_ref();
-        // Set when a parallel worker chunk panicked: its contribution
-        // is dropped and the answer degrades to a labeled partial one.
-        let mut faulted = false;
-        // Minimum RDB length any connection missing after a budget cut
-        // can have — the certified-prefix trim floor, sharpened per
-        // algorithm below. Singles are collected from the match-set
-        // intersection before any enumeration, so 1 is always sound.
-        let mut trim_floor: usize = 1;
-        scratch.rank.reset(self.dg.node_count(), options.witness_strategy);
-        self.markers_from_matches_into(
-            &query,
-            keyword_tuples,
-            &display_keywords,
-            &mut scratch.markers,
-        );
-        self.text_scores_by_node_into(
-            &query,
-            keyword_tuples,
-            &mut scratch.text_scores,
-            &mut scratch.per_tuple,
-        );
-        let ctx = RankContext {
-            text_scores: &scratch.text_scores,
-            markers: &scratch.markers,
-            compute_instance: options.compute_instance,
-            max_witness_length: options.max_witness_length,
-            witness_strategy: options.witness_strategy,
-        };
-
-        let mut stats = SearchStats::default();
-        let mut connections: Vec<Connection> = Vec::new();
-        let mut trees: Vec<SteinerTree> = Vec::new();
-
-        // Tuples matching every keyword stand alone as zero-length
-        // connections.
-        let mut all: HashSet<NodeId> = match_sets[0].iter().copied().collect();
-        for set in &match_sets[1..] {
-            let s: HashSet<NodeId> = set.iter().copied().collect();
-            all.retain(|n| s.contains(n));
-        }
-        let mut singles: Vec<NodeId> = all.into_iter().collect();
-        singles.sort();
-        connections.extend(singles.into_iter().map(Connection::single));
-
-        match options.algorithm {
-            Algorithm::Paths => {
-                if query.len() > 2 {
-                    return Err(CoreError::InvalidQuery(format!(
-                        "the Paths algorithm handles at most 2 keywords, got {} — use Banks or Discover",
-                        query.len()
-                    )));
-                }
-                // Streaming top-k: enumerate length level by length
-                // level and stop once the held top k dominates every
-                // unexplored level. Only sound for rankers with a
-                // length-monotone bound; the returned prefix is exactly
-                // the full pipeline's.
-                if let Some(k) = options.k {
-                    if query.len() == 2
-                        && !options.naive_enumeration
-                        && options.ranker.supports_streaming_topk()
-                    {
-                        let (ranked, stats) = self.stream_topk_paths(
-                            k,
-                            match_sets,
-                            options,
-                            &ctx,
-                            threads,
-                            connections,
-                            &mut scratch.enumerate,
-                            &mut scratch.rank,
-                            budget,
-                        );
-                        return Ok(SearchResults {
-                            query,
-                            display_keywords,
-                            connections: ranked,
-                            trees,
-                            stats,
-                        });
-                    }
-                }
-                if query.len() == 2 {
-                    if options.naive_enumeration {
-                        connections.extend(self.pair_connections_naive(
-                            &match_sets[0],
-                            &match_sets[1],
-                            options.max_rdb_length,
-                        ));
-                    } else {
-                        let (pairs, expansions) = self.pair_enumeration(
-                            &match_sets[0],
-                            &match_sets[1],
-                            options.max_rdb_length,
-                            None,
-                            threads,
-                            &mut scratch.enumerate,
-                            budget,
-                            &mut faulted,
-                        );
-                        stats.expansions = expansions;
-                        stats.max_length_enumerated = options.max_rdb_length;
-                        connections.extend(pairs);
-                    }
-                }
-            }
-            Algorithm::Banks => {
-                let banks_opts = BanksOptions {
-                    k: options.k,
-                    weighting: options.weighting,
-                    max_weight: f64::INFINITY,
-                };
-                let fp = self.failpoints;
-                let mut probe = BudgetProbe::new(budget);
-                let mut interrupt = |n: u64| {
-                    if fp && failpoints::triggered("banks.settle") {
-                        // Deterministic truncation for the fault suite:
-                        // force a budget trip at a settle site.
-                        if let Some(b) = budget {
-                            b.trip(TruncationReason::ExpansionCap);
-                        }
-                        return true;
-                    }
-                    probe.check(n)
-                };
-                let (found, work, weight_floor) = banks_search_budgeted(
-                    &self.dg,
-                    match_sets,
-                    &banks_opts,
-                    &mut scratch.banks,
-                    &mut interrupt,
-                );
-                stats.expansions = work.candidates;
-                stats.early_terminated = work.early_terminated;
-                if let Some(floor) = weight_floor {
-                    // Every undiscovered tree weighs >= floor; per-edge
-                    // weights never exceed 1.0 under either weighting,
-                    // so its RDB length is >= ceil(floor).
-                    trim_floor = (floor.ceil().max(1.0) as usize).max(1);
-                }
-                for tree in found {
-                    match self.tree_to_connection(&tree, match_sets) {
-                        Some(conn) if conn.rdb_length() > 0 => connections.push(conn),
-                        Some(_) => {} // single nodes already collected
-                        None => trees.push(tree),
-                    }
-                }
-            }
-            Algorithm::Discover => {
-                let kw_sets: Vec<HashSet<NodeId>> =
-                    match_sets.iter().map(|s| s.iter().copied().collect()).collect();
-                // Streaming top-k: consume candidate networks one size
-                // level at a time and stop once the held top k
-                // dominates every larger network (2-keyword MTJNTs are
-                // always path-shaped, so no tree budget interferes).
-                if let Some(k) = options.k {
-                    if query.len() == 2 && options.ranker.supports_streaming_topk() {
-                        let (ranked, stats) = self.stream_topk_discover(
-                            k,
-                            &kw_sets,
-                            options,
-                            &ctx,
-                            threads,
-                            connections,
-                            &mut scratch.rank,
-                            budget,
-                        );
-                        return Ok(SearchResults {
-                            query,
-                            display_keywords,
-                            connections: ranked,
-                            trees,
-                            stats,
-                        });
-                    }
-                }
-                let mut probe = BudgetProbe::new(budget);
-                let (networks, completed_size) = enumerate_mtjnts_budgeted(
-                    &self.dg,
-                    &kw_sets,
-                    options.max_rdb_length + 1,
-                    &mut stats.expansions,
-                    &mut |n| probe.check(n),
-                );
-                if let Some(completed) = completed_size {
-                    // Every level up to `completed` tuples was fully
-                    // enumerated; anything missing has >= completed + 1
-                    // tuples, hence >= completed FK edges.
-                    trim_floor = completed.max(1);
-                }
-                stats.max_length_enumerated = options.max_rdb_length;
-                for network in networks {
-                    if network.len() == 1 {
-                        continue; // singles already collected
-                    }
-                    match self.network_to_connection(&network) {
-                        Some(conn) => connections.push(conn),
-                        None => {
-                            // Branching MTJNT (≥ 3 keywords): report as a
-                            // tree with pseudo-weight = edge count.
-                            if let Some(tree) = self.network_to_tree(&network, &kw_sets) {
-                                trees.push(tree);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // Canonical orientation + dedup.
-        let mut unique = dedup_canonical(connections, &self.dg);
-
-        // Optional MTJNT post-filter.
-        if options.mtjnt_only {
-            let kw_sets: Vec<HashSet<NodeId>> =
-                match_sets.iter().map(|s| s.iter().copied().collect()).collect();
-            unique.retain(|conn| {
-                let set: BTreeSet<NodeId> = conn.nodes().iter().copied().collect();
-                is_mtjnt(&self.dg, &set, &kw_sets)
-            });
-        }
-
-        // Metrics, rendering, ranking — fanned out across worker threads
-        // for large result sets. Witness searches for instance closeness
-        // are shared across connections with equal endpoints (per
-        // worker).
-        let mut ranked =
-            self.rank_stage(unique, &ctx, threads, &mut scratch.rank, &mut faulted);
-        sort_ranked(&mut ranked, options.ranker, &self.dg);
-        stats.completeness = if faulted {
-            // A panicked chunk may have dropped connections of any rank
-            // (including singles, in the metric stage), so no prefix
-            // can be certified — the answer is best-effort, labeled.
-            Completeness::Truncated { reason: TruncationReason::WorkerFault }
-        } else if let Some(reason) = budget.and_then(|b| b.reason()) {
-            // Certified-prefix trim: keep the head run whose items
-            // provably outrank every connection the cut could have
-            // missed (anything with >= trim_floor edges). Dominating
-            // items always form a prefix of the sorted list. `Combined`
-            // has no finite length bound (its text component is
-            // unbounded), so it keeps the best-effort found-so-far set.
-            if options.ranker.supports_streaming_topk() {
-                let keep = ranked
-                    .iter()
-                    .take_while(|r| options.ranker.dominates_all_longer(&r.info, trim_floor))
-                    .count();
-                ranked.truncate(keep);
-            }
-            Completeness::Truncated { reason }
-        } else {
-            Completeness::Complete
-        };
-        // One k-budget shared across connections and trees: ranked
-        // connections first, the remainder to branching answer trees.
-        if let Some(k) = options.k {
-            ranked.truncate(k);
-            trees.truncate(k.saturating_sub(ranked.len()));
-        }
-
-        Ok(SearchResults { query, display_keywords, connections: ranked, trees, stats })
-    }
-
-    /// One streamed level of a top-k accumulator: canonical orientation
-    /// with node-sequence dedup, the optional MTJNT filter, the metric
-    /// stage, and the bounded best-k re-sort (a sorted, truncated
-    /// vector, since k is small). Items that fall off the buffer can
-    /// never re-enter the top k (later levels only add candidates,
-    /// never improve dropped ones), so streamed accumulation equals the
-    /// full enumeration's ranked prefix — the equivalence the property
-    /// tests pin down for both the `Paths` and `Discover` modes.
-    #[allow(clippy::too_many_arguments)]
-    fn absorb_level(
-        &self,
-        acc: &mut Vec<RankedConnection>,
-        seen: &mut HashSet<Vec<NodeId>>,
-        conns: Vec<Connection>,
-        mtjnt_sets: Option<&[HashSet<NodeId>]>,
-        ctx: &RankContext<'_>,
-        threads: usize,
-        ranker: RankStrategy,
-        k: usize,
-        rank_scratch: &mut RankScratch,
-        faulted: &mut bool,
-    ) {
-        let mut fresh: Vec<Connection> = conns
-            .into_iter()
-            .map(|c| canonical_orient(c, &self.dg))
-            .filter(|c| seen.insert(c.nodes().to_vec()))
-            .collect();
-        if let Some(kw) = mtjnt_sets {
-            fresh.retain(|conn| {
-                let set: BTreeSet<NodeId> = conn.nodes().iter().copied().collect();
-                is_mtjnt(&self.dg, &set, kw)
-            });
-        }
-        acc.extend(self.rank_stage(fresh, ctx, threads, rank_scratch, faulted));
-        sort_ranked(acc, ranker, &self.dg);
-        acc.truncate(k);
-    }
-
-    /// Streaming top-k for the two-keyword `Paths` pipeline: per length
-    /// level, fan the per-source exact-length enumeration out over the
-    /// worker threads, absorb the level into the bounded best-k buffer
-    /// ([`SearchEngine::absorb_level`]), and stop as soon as the k-th
-    /// best connection dominates every unexplored level.
-    #[allow(clippy::too_many_arguments)]
-    fn stream_topk_paths(
-        &self,
-        k: usize,
-        match_sets: &[Vec<NodeId>],
-        options: &SearchOptions,
-        ctx: &RankContext<'_>,
-        threads: usize,
-        singles: Vec<Connection>,
-        enumerate: &mut EnumScratch,
-        rank_scratch: &mut RankScratch,
-        budget: Option<&BudgetShared>,
-    ) -> (Vec<RankedConnection>, SearchStats) {
-        if k == 0 {
-            return (Vec::new(), SearchStats::default());
-        }
-        let (set_a, set_b) = (&match_sets[0], &match_sets[1]);
-        self.fill_target_mask_and_dist(set_b, options.max_rdb_length, enumerate);
-        let kw_sets: Option<Vec<HashSet<NodeId>>> = options
-            .mtjnt_only
-            .then(|| match_sets.iter().map(|s| s.iter().copied().collect()).collect());
-
-        let mut stats = SearchStats::default();
-        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
-        let mut acc: Vec<RankedConnection> = Vec::new();
-        let mut faulted = false;
-
-        // Level 0: the singles.
-        self.absorb_level(
-            &mut acc,
-            &mut seen,
-            singles,
-            kw_sets.as_deref(),
-            ctx,
-            threads,
-            options.ranker,
-            k,
-            rank_scratch,
-            &mut faulted,
-        );
-        for level in 1..=options.max_rdb_length {
-            // Any connection still to come has RDB length >= level; if
-            // the k-th best already beats the best conceivable such
-            // connection, deeper enumeration cannot change the top k.
-            if acc.len() == k && options.ranker.dominates_all_longer(&acc[k - 1].info, level)
-            {
-                stats.early_terminated = true;
-                break;
-            }
-            let (conns, expansions) = self.fan_out_connections(
-                set_a,
-                &enumerate.is_target,
-                &enumerate.dist,
-                level,
-                Some(level),
-                threads,
-                &mut enumerate.traversal,
-                budget,
-                &mut faulted,
-            );
-            stats.expansions += expansions;
-            if !faulted {
-                if let Some(reason) = budget.and_then(|b| b.reason()) {
-                    // The budget cut this level mid-enumeration:
-                    // discard the partial level and certify the held
-                    // prefix against it — every connection the cut
-                    // could have missed has >= `level` edges (all
-                    // shallower levels were absorbed in full).
-                    let keep = acc
-                        .iter()
-                        .take_while(|r| options.ranker.dominates_all_longer(&r.info, level))
-                        .count();
-                    acc.truncate(keep);
-                    stats.completeness = Completeness::Truncated { reason };
-                    return (acc, stats);
-                }
-            }
-            stats.max_length_enumerated = level;
-            self.absorb_level(
-                &mut acc,
-                &mut seen,
-                conns,
-                kw_sets.as_deref(),
-                ctx,
-                threads,
-                options.ranker,
-                k,
-                rank_scratch,
-                &mut faulted,
-            );
-            if faulted {
-                // A worker chunk panicked somewhere in this level; its
-                // contribution is gone, so no prefix can be certified.
-                stats.completeness =
-                    Completeness::Truncated { reason: TruncationReason::WorkerFault };
-                return (acc, stats);
-            }
-        }
-        if faulted {
-            stats.completeness =
-                Completeness::Truncated { reason: TruncationReason::WorkerFault };
-        }
-        (acc, stats)
-    }
-
-    /// Streaming top-k for the two-keyword `Discover` pipeline:
-    /// candidate joining networks are consumed one **size level** at a
-    /// time from [`JoiningNetworkLevels`], MTJNT-filtered, converted to
-    /// connections (two-keyword MTJNTs are always path-shaped: every
-    /// leaf of a minimal network must carry a keyword) and absorbed
-    /// into the bounded best-k buffer; enumeration cuts as soon as the
-    /// held k-th best dominates every larger network — a network of
-    /// `s` tuples yields a connection of `s - 1` edges, so size is a
-    /// rank lower bound under any length-monotone strategy. The prefix
-    /// equals the batch pipeline's (property-tested), at strictly
-    /// fewer network materializations whenever the cut fires.
-    #[allow(clippy::too_many_arguments)]
-    fn stream_topk_discover(
-        &self,
-        k: usize,
-        kw_sets: &[HashSet<NodeId>],
-        options: &SearchOptions,
-        ctx: &RankContext<'_>,
-        threads: usize,
-        singles: Vec<Connection>,
-        rank_scratch: &mut RankScratch,
-        budget: Option<&BudgetShared>,
-    ) -> (Vec<RankedConnection>, SearchStats) {
-        if k == 0 {
-            return (Vec::new(), SearchStats::default());
-        }
-        let mut levels = JoiningNetworkLevels::new(&self.dg, kw_sets);
-        let mut stats = SearchStats::default();
-        let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
-        let mut acc: Vec<RankedConnection> = Vec::new();
-        let mut faulted = false;
-        let mut probe = BudgetProbe::new(budget);
-        // Edge count of the last fully absorbed size level — the
-        // certified floor if the budget cuts growth short.
-        let mut completed_edges = 0usize;
-
-        // Size level 1 *is* the singles set (tuples matching every
-        // keyword), already collected by the caller; consume and drop
-        // the duplicate level.
-        self.absorb_level(
-            &mut acc,
-            &mut seen,
-            singles,
-            None,
-            ctx,
-            threads,
-            options.ranker,
-            k,
-            rank_scratch,
-            &mut faulted,
-        );
-        let max_tuples = options.max_rdb_length + 1;
-        if levels.next_size() <= max_tuples {
-            let _ = levels.next_level_budgeted(&mut |n| probe.check(n));
-        }
-        while !faulted && levels.next_size() <= max_tuples {
-            let level_edges = levels.next_size() - 1;
-            // Every network still to come has >= level_edges edges; once
-            // the held k-th best dominates that whole tail, deeper
-            // growth cannot change the top k.
-            if acc.len() == k
-                && options.ranker.dominates_all_longer(&acc[k - 1].info, level_edges)
-            {
-                stats.early_terminated = true;
-                break;
-            }
-            let Some(totals) = levels.next_level_budgeted(&mut |n| probe.check(n)) else {
-                break;
-            };
-            stats.max_length_enumerated = level_edges;
-            let conns: Vec<Connection> = totals
-                .iter()
-                .filter(|n| is_mtjnt(&self.dg, n, kw_sets))
-                .filter_map(|n| self.network_to_connection(n))
-                .collect();
-            self.absorb_level(
-                &mut acc,
-                &mut seen,
-                conns,
-                None,
-                ctx,
-                threads,
-                options.ranker,
-                k,
-                rank_scratch,
-                &mut faulted,
-            );
-            if !faulted {
-                completed_edges = level_edges;
-            }
-        }
-        stats.expansions = levels.expansions();
-        if faulted {
-            stats.completeness =
-                Completeness::Truncated { reason: TruncationReason::WorkerFault };
-        } else if levels.truncated() {
-            // The generator dropped a partial level: everything missing
-            // has more than `completed_edges` edges, so the held prefix
-            // is certified against `completed_edges + 1`.
-            let reason =
-                budget.and_then(|b| b.reason()).unwrap_or(TruncationReason::ExpansionCap);
-            let floor = completed_edges + 1;
-            let keep = acc
-                .iter()
-                .take_while(|r| options.ranker.dominates_all_longer(&r.info, floor))
-                .count();
-            acc.truncate(keep);
-            stats.completeness = Completeness::Truncated { reason };
-        }
-        (acc, stats)
-    }
-
-    /// All simple-path connections between two keyword match sets, by
-    /// distance-pruned multi-target enumeration: one **bounded** BFS
-    /// distance map from the target set (capped at the length budget —
-    /// anything farther can never complete a path), then one pruned DFS
-    /// per **source** (instead of one unpruned DFS per (source, target)
-    /// pair). Produces exactly the connections of
-    /// [`SearchEngine::pair_connections_naive`]. Runs on a pooled
-    /// scratch: warm calls perform no allocations in the enumeration
-    /// kernel beyond the returned connections themselves.
+    /// All acyclic connections between two node sets within the RDB
+    /// distance bound — see [`EngineSnapshot::pair_connections`].
     pub fn pair_connections(
         &self,
         set_a: &[NodeId],
         set_b: &[NodeId],
         max_rdb: usize,
     ) -> Vec<Connection> {
-        self.pair_connections_threaded(set_a, set_b, max_rdb, 1)
+        self.current().pair_connections(set_a, set_b, max_rdb)
     }
 
-    /// [`SearchEngine::pair_connections`] with the independent
-    /// per-source DFS runs fanned out over `threads` scoped worker
-    /// threads (contiguous source chunks, merged back in source order).
-    /// Output is byte-identical to the sequential call for every thread
-    /// count.
+    /// [`SearchEngine::pair_connections`] fanned out over `threads`
+    /// scoped worker threads; output is byte-identical to the
+    /// sequential call for every thread count.
     pub fn pair_connections_threaded(
         &self,
         set_a: &[NodeId],
@@ -1804,222 +317,7 @@ impl SearchEngine {
         max_rdb: usize,
         threads: usize,
     ) -> Vec<Connection> {
-        let mut scratch = self.checkout_scratch();
-        let mut faulted = false;
-        let out = self
-            .pair_enumeration(
-                set_a,
-                set_b,
-                max_rdb,
-                None,
-                threads,
-                &mut scratch.enumerate,
-                None,
-                &mut faulted,
-            )
-            .0;
-        self.return_scratch(scratch);
-        out
-    }
-
-    /// Fill the scratch's target mask and shared bounded BFS distance
-    /// map for one target set — computed once per search and shared
-    /// across every enumeration source (and, in streaming mode, across
-    /// levels). The map is capped at `max_edges` hops: the pruned DFS
-    /// can never use a larger distance, so capped-out nodes read as
-    /// unreachable and the traversal result is identical to the full
-    /// map's while the BFS only touches the budget neighborhood.
-    fn fill_target_mask_and_dist(
-        &self,
-        set_b: &[NodeId],
-        max_edges: usize,
-        enumerate: &mut EnumScratch,
-    ) {
-        let csr = self.dg.csr();
-        enumerate.is_target.clear();
-        enumerate.is_target.resize(csr.node_count(), false);
-        for &b in set_b {
-            enumerate.is_target[b.index()] = true;
-        }
-        // Saturate rather than truncate: a pathological `usize` budget
-        // must mean "unbounded", not "mod 2^32".
-        bounded_bfs_distances_into(
-            csr,
-            set_b,
-            u32::try_from(max_edges).unwrap_or(u32::MAX),
-            &mut enumerate.dist,
-            &mut enumerate.bfs_queue,
-        );
-    }
-
-    /// Build the target mask + shared BFS distance map for `set_b` and
-    /// run the (optionally exact-length) fan-out from `set_a`.
-    #[allow(clippy::too_many_arguments)]
-    fn pair_enumeration(
-        &self,
-        set_a: &[NodeId],
-        set_b: &[NodeId],
-        max_rdb: usize,
-        exact: Option<usize>,
-        threads: usize,
-        enumerate: &mut EnumScratch,
-        budget: Option<&BudgetShared>,
-        faulted: &mut bool,
-    ) -> (Vec<Connection>, u64) {
-        self.fill_target_mask_and_dist(set_b, max_rdb, enumerate);
-        self.fan_out_connections(
-            set_a,
-            &enumerate.is_target,
-            &enumerate.dist,
-            max_rdb,
-            exact,
-            threads,
-            &mut enumerate.traversal,
-            budget,
-            faulted,
-        )
-    }
-
-    /// One distance-pruned DFS per source over an immutable CSR + shared
-    /// distance map — embarrassingly parallel, so sources are split into
-    /// contiguous chunks across `threads` scoped worker threads and the
-    /// per-chunk results concatenated back in source order. The merge is
-    /// deterministic: each source's paths are canonically sorted inside
-    /// its chunk, so the output is byte-identical to the sequential
-    /// loop's. The sequential path reuses the pooled DFS stacks; worker
-    /// threads own fresh ones (scratch only affects cost, not output).
-    /// Parallel chunks are fault-isolated ([`SearchEngine::rank_stage`]
-    /// documents the policy): a panicking chunk drops its own sources'
-    /// paths, sets `faulted`, and leaves the rest intact. The
-    /// sequential path propagates panics (nothing to isolate; the
-    /// checked-out scratch is simply dropped, never re-pooled).
-    #[allow(clippy::too_many_arguments)]
-    fn fan_out_connections(
-        &self,
-        sources: &[NodeId],
-        is_target: &[bool],
-        dist: &[u32],
-        max_edges: usize,
-        exact: Option<usize>,
-        threads: usize,
-        traversal: &mut TraversalScratch,
-        budget: Option<&BudgetShared>,
-        faulted: &mut bool,
-    ) -> (Vec<Connection>, u64) {
-        let threads = threads.clamp(1, sources.len().max(1));
-        if threads == 1 {
-            return self.enumerate_chunk(
-                sources, is_target, dist, max_edges, exact, traversal, budget,
-            );
-        }
-        let chunk = sources.len().div_ceil(threads);
-        let mut chunks = sources.chunks(chunk);
-        let head = chunks.next().unwrap_or(&[]);
-        let mut out = Vec::new();
-        let mut expansions = 0u64;
-        thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .map(|c| {
-                    s.spawn(move || {
-                        panic::catch_unwind(AssertUnwindSafe(|| {
-                            if self.failpoints && failpoints::triggered("worker.panic") {
-                                panic!("worker.panic failpoint: enumeration worker chunk");
-                            }
-                            let mut worker = TraversalScratch::new();
-                            self.enumerate_chunk(
-                                c,
-                                is_target,
-                                dist,
-                                max_edges,
-                                exact,
-                                &mut worker,
-                                budget,
-                            )
-                        }))
-                    })
-                })
-                .collect();
-            let head_result = panic::catch_unwind(AssertUnwindSafe(|| {
-                self.enumerate_chunk(
-                    head, is_target, dist, max_edges, exact, traversal, budget,
-                )
-            }));
-            match head_result {
-                Ok((conns, exp)) => {
-                    out.extend(conns);
-                    expansions += exp;
-                }
-                Err(_) => {
-                    // The pooled DFS scratch was abandoned mid-descent;
-                    // restore its cleared-bitset invariant before it
-                    // returns to the pool.
-                    traversal.reset();
-                    *faulted = true;
-                }
-            }
-            for h in handles {
-                match h.join() {
-                    Ok(Ok((conns, exp))) => {
-                        out.extend(conns);
-                        expansions += exp;
-                    }
-                    _ => *faulted = true,
-                }
-            }
-        });
-        (out, expansions)
-    }
-
-    /// The sequential enumeration kernel: one pruned DFS per source in
-    /// `sources`, collecting every target-ending path (or, with
-    /// `exact = Some(l)`, only paths of exactly `l` edges — the
-    /// streaming top-k level shape), canonically sorted per source and
-    /// converted to connections against the precomputed edge-cardinality
-    /// table. Returns the connections and the DFS expansion count.
-    #[allow(clippy::too_many_arguments)]
-    fn enumerate_chunk(
-        &self,
-        sources: &[NodeId],
-        is_target: &[bool],
-        dist: &[u32],
-        max_edges: usize,
-        exact: Option<usize>,
-        traversal: &mut TraversalScratch,
-        budget: Option<&BudgetShared>,
-    ) -> (Vec<Connection>, u64) {
-        let csr = self.dg.csr();
-        let mut out: Vec<Connection> = Vec::new();
-        let mut expansions = 0u64;
-        let mut probe = BudgetProbe::new(budget);
-        for &a in sources {
-            let start = out.len();
-            let _ = for_each_path_to_targets_budgeted(
-                csr,
-                a,
-                is_target,
-                dist,
-                max_edges,
-                &mut expansions,
-                traversal,
-                &mut |n| probe.check(n),
-                |nodes, edges| {
-                    if exact.is_none_or(|l| edges.len() == l) {
-                        out.push(Connection::from_slices_with_edge_cards(
-                            nodes,
-                            edges,
-                            &self.dg,
-                            &self.edge_cards,
-                        ));
-                    }
-                    ControlFlow::Continue(())
-                },
-            );
-            // Canonical order per source, so downstream node-sequence
-            // dedup picks the same representative among parallel-edge
-            // variants as the per-pair enumeration.
-            out[start..].sort_by(Connection::canonical_cmp);
-        }
-        (out, expansions)
+        self.current().pair_connections_threaded(set_a, set_b, max_rdb, threads)
     }
 
     /// The seed implementation of [`SearchEngine::pair_connections`]:
@@ -2032,170 +330,16 @@ impl SearchEngine {
         set_b: &[NodeId],
         max_rdb: usize,
     ) -> Vec<Connection> {
-        let mut out = Vec::new();
-        for &a in set_a {
-            for &b in set_b {
-                if a == b {
-                    continue;
-                }
-                for p in
-                    enumerate_simple_paths_undirected(self.dg.graph(), a, b, max_rdb, None)
-                {
-                    out.push(Connection::from_path(&p, &self.dg, &self.er_schema));
-                }
-            }
-        }
-        out
+        self.current().pair_connections_naive(set_a, set_b, max_rdb)
     }
-
-    /// Convert a path-shaped Steiner tree into a connection; `None` if
-    /// it branches.
-    fn tree_to_connection(
-        &self,
-        tree: &SteinerTree,
-        match_sets: &[Vec<NodeId>],
-    ) -> Option<Connection> {
-        if tree.edges.is_empty() {
-            return Some(Connection::single(tree.root));
-        }
-        // Endpoints: degree-1 nodes. Prefer starting from a node in the
-        // first keyword set for stable orientation.
-        let mut degree: HashMap<NodeId, usize> = HashMap::new();
-        for &(_, a, b) in &tree.edges {
-            *degree.entry(a).or_insert(0) += 1;
-            *degree.entry(b).or_insert(0) += 1;
-        }
-        // Endpoint choice is deterministic in graph *content*: sort by
-        // tuple id (HashMap iteration order and node numbering both vary
-        // across patched vs rebuilt engines).
-        let mut endpoints: Vec<NodeId> =
-            degree.iter().filter(|(_, &d)| d == 1).map(|(&n, _)| n).collect();
-        endpoints.sort_by_key(|&n| self.dg.tuple_of(n));
-        let first_set: HashSet<NodeId> =
-            match_sets.first().map(|s| s.iter().copied().collect()).unwrap_or_default();
-        let start = endpoints
-            .iter()
-            .copied()
-            .find(|n| first_set.contains(n))
-            .or_else(|| endpoints.first().copied())?;
-        let (nodes, edges) = tree.linearize(start)?;
-        let path = Path { nodes, edges };
-        Some(Connection::from_path(&path, &self.dg, &self.er_schema))
-    }
-
-    /// Convert a path-shaped joining network (node set) into a
-    /// connection; `None` if the induced network branches.
-    fn network_to_connection(&self, network: &BTreeSet<NodeId>) -> Option<Connection> {
-        // Collect induced adjacency (lowest edge id per node pair).
-        let csr = self.dg.csr();
-        let mut adj: HashMap<NodeId, Vec<(NodeId, cla_graph::EdgeId)>> = HashMap::new();
-        for &n in network {
-            for &(m, e) in csr.neighbors(n) {
-                if network.contains(&m) && m != n {
-                    adj.entry(n).or_default().push((m, e));
-                }
-            }
-        }
-        for list in adj.values_mut() {
-            list.sort();
-            list.dedup_by_key(|(m, _)| *m); // keep lowest edge per neighbor
-        }
-        let endpoints: Vec<NodeId> =
-            network.iter().copied().filter(|n| adj.get(n).map_or(0, Vec::len) == 1).collect();
-        if network.len() == 1 {
-            return Some(Connection::single(*network.iter().next().expect("one")));
-        }
-        if endpoints.len() != 2 {
-            return None;
-        }
-        if network.iter().any(|n| adj.get(n).map_or(0, Vec::len) > 2) {
-            return None;
-        }
-        // Orient from the endpoint with the smaller tuple id (stable
-        // across node renumbering).
-        let start = if self.dg.tuple_of(endpoints[0]) <= self.dg.tuple_of(endpoints[1]) {
-            endpoints[0]
-        } else {
-            endpoints[1]
-        };
-        let mut nodes = vec![start];
-        let mut edges = Vec::new();
-        let mut prev: Option<NodeId> = None;
-        let mut current = start;
-        while nodes.len() < network.len() {
-            let (next, e) = *adj[&current].iter().find(|(m, _)| Some(*m) != prev)?;
-            edges.push(e);
-            nodes.push(next);
-            prev = Some(current);
-            current = next;
-        }
-        let path = Path { nodes, edges };
-        Some(Connection::from_path(&path, &self.dg, &self.er_schema))
-    }
-
-    /// Wrap a branching joining network as a pseudo Steiner tree (for
-    /// uniform reporting of ≥ 3-keyword DISCOVER results).
-    fn network_to_tree(
-        &self,
-        network: &BTreeSet<NodeId>,
-        kw_sets: &[HashSet<NodeId>],
-    ) -> Option<SteinerTree> {
-        let csr = self.dg.csr();
-        let root = network.iter().copied().min_by_key(|&n| self.dg.tuple_of(n))?;
-        // Spanning tree of the induced subgraph via BFS. Neighbors are
-        // visited in tuple order, not CSR position: adjacency-list
-        // position differs between a patched and a rebuilt graph, and
-        // which cycle edge the spanning tree drops must not.
-        let mut edges = Vec::new();
-        let mut seen: HashSet<NodeId> = [root].into();
-        let mut queue = std::collections::VecDeque::from([root]);
-        let mut nodes = vec![root];
-        while let Some(n) = queue.pop_front() {
-            let mut adjacent: Vec<(NodeId, cla_graph::EdgeId)> = csr
-                .neighbors(n)
-                .iter()
-                .copied()
-                .filter(|&(m, _)| m != n && network.contains(&m))
-                .collect();
-            adjacent
-                .sort_by_key(|&(m, e)| (self.dg.tuple_of(m), self.dg.annotation(e).fk_index));
-            for (m, e) in adjacent {
-                if seen.insert(m) {
-                    edges.push((e, n, m));
-                    nodes.push(m);
-                    queue.push_back(m);
-                }
-            }
-        }
-        let keyword_nodes = kw_sets
-            .iter()
-            .map(|set| nodes.iter().copied().find(|n| set.contains(n)).unwrap_or(root))
-            .collect();
-        let weight = edges.len() as f64;
-        Some(SteinerTree { root, nodes, edges, keyword_nodes, weight })
-    }
-}
-
-/// Pair each normalized keyword with its first original-case occurrence
-/// in the raw query (`"Smith XML"` → `["Smith", "XML"]`).
-fn display_forms(raw: &str, query: &KeywordQuery) -> Vec<String> {
-    let originals: Vec<&str> = raw.split_whitespace().collect();
-    query
-        .keywords()
-        .iter()
-        .map(|kw| {
-            originals
-                .iter()
-                .find(|o| o.to_lowercase() == *kw)
-                .map(|o| (*o).to_owned())
-                .unwrap_or_else(|| kw.clone())
-        })
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoints;
+    use crate::ranking::RankStrategy;
+    use crate::snapshot::{Algorithm, RankedConnection};
     use cla_datagen::company;
     use cla_er::Closeness;
 
@@ -2724,6 +868,46 @@ mod tests {
         let outcome = manual.apply().unwrap();
         assert!(outcome.compaction.is_none());
         assert!(manual.db().total_row_slots() > manual.db().total_tuples());
+    }
+
+    /// The typed writer mutation path — the one that cannot drain the
+    /// change log — stages, applies and publishes like `db_mut`, and
+    /// each publish bumps the snapshot generation without disturbing
+    /// previously pinned generations.
+    #[test]
+    fn typed_writer_path_mutates_and_publishes_generations() {
+        let mut e = engine();
+        assert_eq!(e.generation(), 0);
+        let before = e.snapshot();
+        let emp = e.db().catalog().relation_id("EMPLOYEE").unwrap();
+        let id = e
+            .writer_mut()
+            .insert(emp, vec!["e9".into(), "Smith".into(), "Zoe".into(), "d1".into()])
+            .unwrap();
+        // Staged but unpublished: the façade refuses, the pinned
+        // snapshot still answers.
+        assert!(matches!(
+            e.search("Zoe", &SearchOptions::default()),
+            Err(CoreError::StaleEngine { .. })
+        ));
+        assert!(before.search("Smith XML", &SearchOptions::default()).is_ok());
+        let outcome = e.apply().unwrap();
+        assert!(outcome.compaction.is_none());
+        assert_eq!(e.generation(), 1);
+        assert!(!e.search("Zoe", &SearchOptions::default()).unwrap().is_empty());
+        // In-place update and delete through the same path.
+        e.writer_mut()
+            .update(id, vec!["e9".into(), "Smith".into(), "Zia".into(), "d1".into()])
+            .unwrap();
+        let _ = e.apply().unwrap();
+        assert!(!e.search("Zia", &SearchOptions::default()).unwrap().is_empty());
+        e.writer_mut().delete(id).unwrap();
+        let _ = e.apply().unwrap();
+        assert_eq!(e.generation(), 3);
+        assert!(e.search("Zia", &SearchOptions::default()).unwrap().is_empty());
+        // The generation-0 pin never moved.
+        assert_eq!(before.generation(), 0);
+        assert!(before.search("Zia", &SearchOptions::default()).unwrap().is_empty());
     }
 
     #[test]

@@ -25,13 +25,15 @@
 //! ## Mutation subsystem
 //!
 //! The engine owns its database and stays **live** under churn: mutate
-//! through [`SearchEngine::db_mut`] — `insert`, in-place `update`
-//! (same `TupleId`; FK edges re-resolved, changed primary keys
-//! re-validated and restrict-checked against the persistent reverse-FK
-//! index) and restrict-checked `delete` — then call
-//! [`SearchEngine::apply`] to patch postings, data-graph adjacency
-//! (updates rewire only their changed edges), the CSR overlay and the
-//! cardinality table in place. Three guarantees, all property-tested in
+//! through the writer's typed ops ([`EngineWriter::insert`], in-place
+//! [`EngineWriter::update`] — same `TupleId`; FK edges re-resolved,
+//! changed primary keys re-validated and restrict-checked against the
+//! persistent reverse-FK index — and restrict-checked
+//! [`EngineWriter::delete`]; [`SearchEngine::db_mut`] remains as the
+//! raw shim), then call [`SearchEngine::apply`] to patch postings,
+//! data-graph adjacency (updates rewire only their changed edges), the
+//! CSR overlay and the cardinality table into the **next published
+//! snapshot generation**. Three guarantees, all property-tested in
 //! `crates/core/tests/mutation.rs`:
 //!
 //! * **Rebuild equivalence** — a patched engine answers byte-identically
@@ -46,6 +48,20 @@
 //!   tombstoned row/node/edge slot end to end, renumbering ids behind
 //!   the returned `TupleRemap`, with rebuild equivalence and zero
 //!   remaining tombstones guaranteed afterwards.
+//!
+//! ## Concurrent snapshot serving
+//!
+//! Everything `search()` reads lives in an immutable, Arc-shared
+//! [`EngineSnapshot`]; [`SearchEngine`] is a thin façade over one
+//! [`EngineWriter`] that builds and atomically publishes the next
+//! generation per `apply`/`compact` (no lock on the read path, no
+//! full-engine deep clone per publish — retired snapshot buffers are
+//! recycled by patch replay). Reader threads pin generations through a
+//! cloneable [`SnapshotHandle`] and keep answering from their pinned
+//! generation, byte-identically to a from-scratch engine at that
+//! generation, while the writer keeps publishing
+//! (`crates/core/tests/concurrent.rs`;
+//! `examples/concurrent_serving.rs`).
 //!
 //! ## Quickstart
 //!
@@ -73,7 +89,10 @@ mod explain;
 mod instance;
 mod participation;
 mod ranking;
+mod snapshot;
 mod stats;
+mod swap;
+mod writer;
 
 pub mod failpoints;
 
@@ -87,16 +106,14 @@ pub use candidates::{
     mtjnts_via_candidate_networks_topk, CandidateNetwork, CnEdge, CnNode, KeywordRelationMap,
 };
 pub use connection::{ConceptualStep, Connection, ConnectionStep};
+pub use datagraph::GraphPatch;
 pub use datagraph::{DataGraph, EdgeAnnotation};
 pub use discover::{
     enumerate_joining_networks, enumerate_mtjnts, enumerate_mtjnts_budgeted,
     enumerate_mtjnts_counted, is_joining, is_mtjnt, is_total, mtjnt_filter,
     JoiningNetworkLevels,
 };
-pub use engine::{
-    Algorithm, ApplyOutcome, CompactionPolicy, RankedConnection, SearchEngine, SearchOptions,
-    SearchResults,
-};
+pub use engine::SearchEngine;
 pub use error::{CoreError, KeywordDiagnostic};
 pub use explain::explain_connection;
 pub use instance::{
@@ -108,7 +125,12 @@ pub use participation::{
     RelationshipMove,
 };
 pub use ranking::{sort_by_strategy, ConnectionInfo, RankStrategy};
+pub use snapshot::{
+    Algorithm, EngineSnapshot, RankedConnection, SearchOptions, SearchResults,
+};
 pub use stats::{
     close_precision_at_k, kendall_tau, overlap_at_k, ClosenessProfile, Completeness,
     SearchStats, TruncationReason,
 };
+pub use swap::SwapCell;
+pub use writer::{ApplyOutcome, CompactionPolicy, EngineWriter, SnapshotHandle};

@@ -1,0 +1,639 @@
+//! The mutating half of the engine: one writer building and publishing
+//! immutable snapshot generations.
+//!
+//! [`EngineWriter`] owns the [`Database`] and its ChangeSet log — it is
+//! the **only mutation path**. `apply`/`compact` reuse the atomic-apply
+//! machinery (index undo log, mutation-free graph planning,
+//! [`Database::rollback`], [`TupleRemap`]) as the commit point, build
+//! the next [`EngineSnapshot`] generation in a private buffer, and
+//! publish it with an atomic `Arc` swap through the shared
+//! [`SwapCell`](crate::SwapCell). Readers holding a
+//! [`SnapshotHandle`] pin generations lock-free and are never blocked —
+//! or invalidated — by a publish.
+//!
+//! ## Publish without deep clone
+//!
+//! A publish must not deep-clone the whole engine (postings + CSR +
+//! node tables), so the writer recycles **retired snapshot buffers**:
+//! when the previously published snapshot drops to a single owner (no
+//! reader pins it anymore), its buffer is reclaimed with
+//! `Arc::try_unwrap` and **caught up by replaying the missed
+//! generations' patches** — the self-contained [`ChangeSet`] against
+//! the inverted index, the pre-resolved [`GraphPatch`] against the data
+//! graph. Node numbering is deterministic within a mutation lineage, so
+//! a replayed buffer is byte-identical to the snapshot it recycles
+//! into. In the steady single-writer state this alternates between two
+//! buffers and each publish costs two incremental patch applications
+//! (every buffer eventually sees every op — the amortized floor).
+//! Deep-cloning the current snapshot is the fallback when every retired
+//! buffer is still pinned by readers, and the documented cost of the
+//! first apply after a [`EngineWriter::compact`] (id renumbering
+//! invalidates replay, so compaction drops the recycling state).
+
+use crate::datagraph::{DataGraph, GraphPatch};
+use crate::error::CoreError;
+use crate::failpoints;
+use crate::snapshot::{failpoints_enabled_from_env, EngineSnapshot};
+use crate::swap::SwapCell;
+use cla_er::{rdb_edge_cardinality, ErSchema, SchemaMapping};
+use cla_index::InvertedIndex;
+use cla_relational::{ChangeSet, Database, RelationId, TupleId, TupleRemap, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Retired snapshots kept as buffer-recycling candidates. Beyond this
+/// the oldest is released outright (it frees when its readers unpin);
+/// replaying a long-lagging buffer would cost more than the deep-clone
+/// fallback anyway, and the bound also caps the replay history.
+const MAX_RETIRED: usize = 4;
+
+/// How many generations a retired buffer may lag behind the write
+/// frontier before the writer gives up recycling it (see
+/// [`EngineWriter::prune_history`]) — the bound on both the replay
+/// log's length and the per-publish catch-up scan.
+const MAX_HISTORY: u64 = 32;
+
+/// When [`EngineWriter::apply`] (and the [`SearchEngine`] façade's
+/// `apply`) reclaims tombstoned slots on its own.
+///
+/// Compaction renumbers **every** outstanding [`TupleId`], so it is
+/// opt-in: the default never compacts behind the caller's back. With
+/// [`CompactionPolicy::TombstoneRatio`], `apply` triggers a full
+/// [`EngineWriter::compact`] whenever the dead-slot fraction reaches
+/// the threshold, surfacing the resulting [`TupleRemap`] through
+/// [`ApplyOutcome::compaction`] so id-keyed caller state can be
+/// remapped instead of silently invalidated.
+///
+/// [`SearchEngine`]: crate::SearchEngine
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum CompactionPolicy {
+    /// Never compact automatically; [`EngineWriter::compact`] is the
+    /// caller's explicit, scheduled operation.
+    #[default]
+    Manual,
+    /// Compact when `tombstoned row slots / total row slots` reaches
+    /// this fraction (e.g. `0.25` for the ROADMAP's ≥ 25% trigger).
+    /// Values are clamped to `(0, 1]`; a non-positive threshold would
+    /// compact on every apply.
+    TombstoneRatio(f64),
+}
+
+/// What one successful [`EngineWriter::apply`] did.
+#[must_use = "an auto-compaction may have renumbered every TupleId — check `.compaction` for the remap"]
+#[derive(Debug, Clone, Default)]
+pub struct ApplyOutcome {
+    /// The slot remap of an auto-compaction, when the engine's
+    /// [`CompactionPolicy`] triggered one — **every previously held
+    /// [`TupleId`] must be remapped through it**. `None` on the common
+    /// patch-only path.
+    pub compaction: Option<TupleRemap>,
+}
+
+/// A cloneable, `Send + Sync` entry point for reader threads: pins the
+/// latest published [`EngineSnapshot`] generation, lock-free.
+///
+/// Obtain one from [`EngineWriter::handle`] (or the façade's
+/// `SearchEngine::snapshots`), clone it into as many reader threads as
+/// needed, and call [`SnapshotHandle::latest`] per request — or hold a
+/// pinned `Arc<EngineSnapshot>` across several searches for a stable
+/// multi-query view. The handle stays valid after the writer advances
+/// (readers just keep seeing the generations they pinned) and even
+/// after the writer is dropped (the cell keeps the last published
+/// generation alive).
+#[derive(Clone, Debug)]
+pub struct SnapshotHandle {
+    cell: Arc<SwapCell<EngineSnapshot>>,
+}
+
+impl SnapshotHandle {
+    /// Pin the latest published generation. Lock-free: two atomic
+    /// counter bumps and a pointer read — never blocked by the writer
+    /// or by other readers.
+    pub fn latest(&self) -> Arc<EngineSnapshot> {
+        self.cell.load()
+    }
+}
+
+/// One published generation's replay delta: the self-contained change
+/// batch (for the inverted index) and the pre-resolved graph patch.
+#[derive(Debug)]
+struct HistoryEntry {
+    generation: u64,
+    changes: ChangeSet,
+    patch: GraphPatch,
+}
+
+/// The single writer over one database: owns the change log, builds
+/// the next snapshot generation per `apply`/`compact`, and publishes it
+/// atomically — see the module docs for the buffer-recycling protocol.
+#[derive(Debug)]
+pub struct EngineWriter {
+    db: Database,
+    /// The writer's own pin of the latest published snapshot.
+    current: Arc<EngineSnapshot>,
+    /// The publication cell readers load from; created lazily on the
+    /// first [`EngineWriter::handle`] so purely single-threaded use
+    /// (and the construction-time builders) never pays for sharing.
+    cell: OnceLock<Arc<SwapCell<EngineSnapshot>>>,
+    /// Retired snapshot Arcs kept as recycling candidates, oldest
+    /// first.
+    retired: Vec<Arc<EngineSnapshot>>,
+    /// A build buffer already at the current generation (left over from
+    /// a failed — rolled back — apply).
+    spare: Option<Box<EngineSnapshot>>,
+    /// Replay deltas for the generations the retired buffers have not
+    /// seen yet; pruned as buffers are reclaimed or released.
+    history: VecDeque<HistoryEntry>,
+    /// Publication ordinal of `current`.
+    generation: u64,
+    /// The database version the published structures reflect.
+    published_version: u64,
+    /// Set when the writer is unrecoverably out of sync (the change log
+    /// was drained externally — see [`CoreError::ChangeLogDrained`]);
+    /// it then refuses applying and compacting, and the façade refuses
+    /// searching. Recoverable apply failures roll back instead.
+    poisoned: bool,
+    /// Whether this engine probes the process-global
+    /// [`failpoints`](crate::failpoints) registry; propagated into
+    /// every published snapshot.
+    failpoints: bool,
+    /// Auto-compaction policy consulted by [`EngineWriter::apply`].
+    compaction_policy: CompactionPolicy,
+}
+
+impl EngineWriter {
+    /// Build the writer and its generation-0 snapshot: validates
+    /// referential integrity, constructs the inverted index and the
+    /// data graph.
+    pub fn new(
+        mut db: Database,
+        er_schema: ErSchema,
+        mapping: SchemaMapping,
+    ) -> Result<Self, CoreError> {
+        db.validate_references()?;
+        // The load-time change log is subsumed by the fresh build.
+        db.take_changes();
+        let published_version = db.version();
+        let index = InvertedIndex::build(&db);
+        let dg = DataGraph::build(&db, &mapping)?;
+        let edge_cards = dg
+            .graph()
+            .edges()
+            .map(|e| rdb_edge_cardinality(&er_schema, e.payload.role))
+            .collect();
+        let failpoints = failpoints_enabled_from_env();
+        let snapshot = EngineSnapshot {
+            er_schema,
+            mapping,
+            index,
+            dg,
+            aliases: HashMap::new(),
+            edge_cards,
+            generation: 0,
+            failpoints: AtomicBool::new(failpoints),
+            scratch_pool: Mutex::new(Vec::new()),
+        };
+        Ok(EngineWriter {
+            db,
+            current: Arc::new(snapshot),
+            cell: OnceLock::new(),
+            retired: Vec::new(),
+            spare: None,
+            history: VecDeque::new(),
+            generation: 0,
+            published_version,
+            poisoned: false,
+            failpoints,
+            compaction_policy: CompactionPolicy::default(),
+        })
+    }
+
+    /// Attach display aliases (`d1`, `e1`, …) for rendering.
+    pub fn with_aliases(mut self, aliases: HashMap<TupleId, String>) -> Self {
+        self.edit_snapshot(|snap| snap.aliases = aliases);
+        self
+    }
+
+    /// Opt into automatic slot reclamation — see [`CompactionPolicy`].
+    pub fn with_compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction_policy = policy;
+        self
+    }
+
+    /// The writer's auto-compaction policy.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.compaction_policy
+    }
+
+    /// Apply a construction-time edit to the snapshot. In-place while
+    /// the snapshot is still unshared (the builder pattern's normal
+    /// shape); republishes a copy if a handle or snapshot pin already
+    /// escaped.
+    fn edit_snapshot(&mut self, f: impl FnOnce(&mut EngineSnapshot)) {
+        if self.cell.get().is_none() {
+            if let Some(snap) = Arc::get_mut(&mut self.current) {
+                f(snap);
+                return;
+            }
+        }
+        let mut copy = self.current.clone_contents();
+        f(&mut copy);
+        // Published under the same data generation: the contents edit
+        // (aliases) is presentation state, not a mutation batch — but
+        // it must go through the cell so pinned readers keep their
+        // pre-edit view and new loads see the edit.
+        self.publish(copy, ChangeSet::default(), GraphPatch::default());
+    }
+
+    /// The shared publication cell, created on first use.
+    fn cell(&self) -> &Arc<SwapCell<EngineSnapshot>> {
+        self.cell.get_or_init(|| Arc::new(SwapCell::new(Arc::clone(&self.current))))
+    }
+
+    /// A cloneable, lock-free entry point for reader threads — see
+    /// [`SnapshotHandle`].
+    pub fn handle(&self) -> SnapshotHandle {
+        SnapshotHandle { cell: Arc::clone(self.cell()) }
+    }
+
+    /// Pin the latest published snapshot directly (the writer's own
+    /// reference — no cell involved).
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.current)
+    }
+
+    /// The latest published snapshot, by reference (for the façade's
+    /// borrowing accessors).
+    pub(crate) fn current_ref(&self) -> &EngineSnapshot {
+        &self.current
+    }
+
+    /// Publication ordinal of the latest snapshot (0 for a freshly
+    /// built engine, +1 per published apply/compact).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Raw mutable database access for the façade's `db_mut` shim. Not
+    /// public: external code mutates through the typed
+    /// [`EngineWriter::insert`]/[`EngineWriter::update`]/
+    /// [`EngineWriter::delete`] path, which cannot drain the change
+    /// log out from under `apply`.
+    pub(crate) fn db_mut_raw(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Stage an insert in the owned database (logged in the change
+    /// set; call [`EngineWriter::apply`] to publish).
+    pub fn insert(
+        &mut self,
+        relation: RelationId,
+        values: Vec<Value>,
+    ) -> Result<TupleId, CoreError> {
+        Ok(self.db.insert(relation, values)?)
+    }
+
+    /// Stage an in-place update (same [`TupleId`]; FK edges re-resolved
+    /// at apply time).
+    pub fn update(&mut self, id: TupleId, values: Vec<Value>) -> Result<(), CoreError> {
+        Ok(self.db.update(id, values)?)
+    }
+
+    /// Stage a restrict-checked delete.
+    pub fn delete(&mut self, id: TupleId) -> Result<(), CoreError> {
+        Ok(self.db.delete(id)?)
+    }
+
+    /// `true` when the published structures reflect the database's
+    /// current version (no staged-but-unapplied mutations).
+    pub fn is_fresh(&self) -> bool {
+        !self.poisoned && self.published_version == self.db.version()
+    }
+
+    /// The [`CoreError::StaleEngine`] for the current version gap (the
+    /// façade's checked `search` entry point reports it).
+    pub(crate) fn stale_error(&self) -> CoreError {
+        CoreError::StaleEngine {
+            engine_version: self.published_version,
+            db_version: self.db.version(),
+        }
+    }
+
+    /// `true` when the writer is unrecoverably out of sync with its
+    /// database — see [`CoreError::ChangeLogDrained`]. Rebuild with
+    /// [`EngineWriter::new`] to recover; recoverable apply failures
+    /// roll back instead of poisoning.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Opt this engine into the process-global
+    /// [`failpoints`](crate::failpoints) registry, including the
+    /// already-published snapshot. Fault-injection instrumentation —
+    /// not part of the search contract.
+    pub fn enable_failpoints(&mut self) {
+        self.failpoints = true;
+        self.current.failpoints.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// Drain the database's pending mutations, patch every derived
+    /// structure into the **next snapshot generation** and publish it
+    /// atomically: inverted-index postings (insert-sorted,
+    /// df-consistent, updates applied as term diffs), data-graph
+    /// nodes/adjacency with its deferred CSR rebuild (updates rewiring
+    /// only their changed edges), and the per-edge cardinality table.
+    /// After a successful apply the published snapshot answers exactly
+    /// like a freshly built engine over the mutated database — the
+    /// rebuild-equivalence property the mutation test suite pins down —
+    /// at per-tuple instead of whole-database cost, and **readers
+    /// pinned to older generations are untouched** (their snapshots
+    /// stay alive and byte-stable until they drop them).
+    ///
+    /// The apply is **atomic**. On error (e.g. a dangling reference
+    /// that a full rebuild's validation would also reject) nothing is
+    /// published: the build buffer rolls back through the index undo
+    /// log (the graph never partially patches — its plan stage
+    /// pre-validates), the *database batch itself* is rolled back
+    /// through [`Database::rollback`] (the batch is a failed
+    /// transaction; its mutations are rejected wholesale), and the
+    /// error is returned with the engine fresh and **still serving the
+    /// pre-mutation answers**. Only an externally drained change log
+    /// ([`CoreError::ChangeLogDrained`]) still poisons — those
+    /// operations can neither be applied nor undone.
+    ///
+    /// With a [`CompactionPolicy::TombstoneRatio`] policy, a successful
+    /// apply that leaves the dead-slot fraction at or above the
+    /// threshold triggers a full [`EngineWriter::compact`]; the remap
+    /// is surfaced through [`ApplyOutcome::compaction`].
+    pub fn apply(&mut self) -> Result<ApplyOutcome, CoreError> {
+        if self.poisoned {
+            return Err(CoreError::EnginePoisoned);
+        }
+        let changes = self.db.take_changes();
+        // Every mutation logs exactly one op, so the log must account
+        // for the whole version delta. A shortfall means someone called
+        // `take_changes` on the engine's database directly — those ops
+        // are unrecoverable, and stamping the engine fresh anyway would
+        // silently serve results missing them.
+        let expected_ops = self.db.version() - self.published_version;
+        if changes.len() as u64 != expected_ops {
+            self.poisoned = true;
+            return Err(CoreError::ChangeLogDrained {
+                expected_ops,
+                found_ops: changes.len(),
+            });
+        }
+        let mut buf = self.build_buffer();
+        let undo = buf.index.apply_logged(&self.db, &changes);
+        let result = if self.failpoints && failpoints::triggered("apply.mid") {
+            Err(CoreError::Relational(
+                "forced mid-apply failure (apply.mid failpoint)".into(),
+            ))
+        } else {
+            // The plan stage pre-validates every fallible lookup before
+            // anything mutates, so an error leaves the graph untouched.
+            // The mapping is immutable schema state, identical in every
+            // snapshot of the lineage — read it off the buffer.
+            buf.dg.plan(&self.db, &buf.mapping, &changes)
+        };
+        match result {
+            Ok(patch) => {
+                let added_edges = buf.dg.execute(&patch);
+                Self::extend_edge_cards(&mut buf, &added_edges);
+                self.published_version = self.db.version();
+                self.publish(*buf, changes, patch);
+                let mut outcome = ApplyOutcome::default();
+                if let CompactionPolicy::TombstoneRatio(threshold) = self.compaction_policy {
+                    let total = self.db.total_row_slots();
+                    let dead = total - self.db.total_tuples();
+                    if dead > 0
+                        && dead as f64
+                            >= threshold.clamp(f64::MIN_POSITIVE, 1.0) * total as f64
+                    {
+                        // The engine is fresh right here (just
+                        // published), so compaction cannot be refused.
+                        outcome.compaction = Some(self.compact()?);
+                    }
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                // Roll the build buffer back via the index undo log and
+                // reject the database batch via inverse ops — engine
+                // and database agree on the pre-mutation state again,
+                // and the buffer (back at the current generation) is
+                // kept as the next apply's spare.
+                buf.index.undo(undo);
+                self.db.rollback(&changes);
+                self.published_version = self.db.version();
+                self.spare = Some(buf);
+                debug_assert!(self.is_fresh());
+                Err(e)
+            }
+        }
+    }
+
+    /// Extend the slot-indexed cardinality table with the edges a patch
+    /// execution added (new edges occupy the next slots, in order).
+    fn extend_edge_cards(buf: &mut EngineSnapshot, added_edges: &[cla_graph::EdgeId]) {
+        for &e in added_edges {
+            debug_assert_eq!(e.index(), buf.edge_cards.len(), "edge slots are sequential");
+            let role = buf.dg.annotation(e).role;
+            buf.edge_cards.push(rdb_edge_cardinality(&buf.er_schema, role));
+        }
+    }
+
+    /// Acquire the next build buffer **without deep-cloning the
+    /// engine** whenever possible: the spare from a failed apply (
+    /// already current), else the newest retired snapshot no longer
+    /// pinned by any reader (reclaimed via `Arc::try_unwrap` and caught
+    /// up by patch replay), else — only when every retired buffer is
+    /// still pinned, or after a compact dropped the recycling state — a
+    /// deep copy of the current snapshot.
+    fn build_buffer(&mut self) -> Box<EngineSnapshot> {
+        if let Some(mut spare) = self.spare.take() {
+            self.catch_up(&mut spare);
+            return spare;
+        }
+        for i in (0..self.retired.len()).rev() {
+            let arc = self.retired.remove(i);
+            match Arc::try_unwrap(arc) {
+                Ok(snap) => {
+                    let mut buf = Box::new(snap);
+                    self.catch_up(&mut buf);
+                    return buf;
+                }
+                Err(arc) => self.retired.insert(i, arc),
+            }
+        }
+        Box::new(self.current.clone_contents())
+    }
+
+    /// Replay every published generation `buf` has not seen yet, in
+    /// order: the self-contained change batch against the index, the
+    /// pre-resolved graph patch against the graph, the added edges into
+    /// the cardinality table. Deterministic node numbering within the
+    /// lineage makes the result byte-identical to the published
+    /// snapshots it fast-forwards through.
+    fn catch_up(&self, buf: &mut EngineSnapshot) {
+        for entry in &self.history {
+            if entry.generation <= buf.generation {
+                continue;
+            }
+            buf.index.apply(&self.db, &entry.changes);
+            let added = buf.dg.execute(&entry.patch);
+            Self::extend_edge_cards(buf, &added);
+            buf.generation = entry.generation;
+        }
+        debug_assert_eq!(
+            buf.generation, self.generation,
+            "replay history covers every generation a recycled buffer missed"
+        );
+    }
+
+    /// Publish `buf` as the next generation: bump the ordinal, swap it
+    /// into the cell (readers switch lock-free), retire the previous
+    /// snapshot as a recycling candidate and record the replay delta.
+    fn publish(&mut self, mut buf: EngineSnapshot, changes: ChangeSet, patch: GraphPatch) {
+        self.generation += 1;
+        buf.generation = self.generation;
+        *buf.failpoints.get_mut() = self.failpoints;
+        let new_arc = Arc::new(buf);
+        let old = std::mem::replace(&mut self.current, Arc::clone(&new_arc));
+        if let Some(cell) = self.cell.get() {
+            // The cell's previous Arc is the same snapshot as `old`;
+            // retiring one pin and dropping the other leaves exactly
+            // the retired count.
+            drop(cell.store(new_arc));
+        }
+        self.retired.push(old);
+        if self.retired.len() > MAX_RETIRED {
+            // Give up recycling the oldest candidate — it frees when
+            // its readers unpin.
+            self.retired.remove(0);
+        }
+        self.history.push_back(HistoryEntry { generation: self.generation, changes, patch });
+        self.prune_history();
+    }
+
+    /// Drop replay deltas no recyclable buffer still needs.
+    fn prune_history(&mut self) {
+        // A candidate parked too far behind the write frontier (a
+        // long-held reader pin blocks its `try_unwrap` while churn
+        // races ahead) is not worth the replay log it keeps alive:
+        // retaining it would grow `history` without bound *and* make
+        // every future catch-up scan that unbounded log. Dropping it
+        // from `retired` costs at most one future deep clone; the
+        // buffer itself frees when its readers unpin.
+        let cutoff = self.generation.saturating_sub(MAX_HISTORY);
+        self.retired.retain(|s| s.generation >= cutoff);
+        let floor = self
+            .retired
+            .iter()
+            .map(|s| s.generation)
+            .chain(self.spare.as_deref().map(|s| s.generation))
+            .min();
+        match floor {
+            Some(f) => {
+                while self.history.front().is_some_and(|e| e.generation <= f) {
+                    self.history.pop_front();
+                }
+            }
+            None => self.history.clear(),
+        }
+    }
+
+    /// Reclaim every tombstoned slot churn left behind, end to end:
+    /// database row slots (via [`Database::compact`]), graph node and
+    /// edge slots, the CSR's flat arrays and the cardinality table —
+    /// with ids renumbered densely behind the returned [`TupleRemap`] —
+    /// and publish the compacted state as the next snapshot generation.
+    /// Postings are rebuilt from the live set (they must speak the new
+    /// tuple ids); display aliases are remapped in place.
+    ///
+    /// **Every outstanding [`TupleId`] is invalidated** — callers
+    /// holding id-keyed state must remap it through the returned table.
+    /// Readers pinned to pre-compaction snapshots are unaffected: their
+    /// generations still speak the old ids consistently. The engine
+    /// must be fresh (apply pending mutations first; a stale engine
+    /// returns [`CoreError::StaleEngine`]). Compaction renumbers the
+    /// whole lineage, so the buffer-recycling state is dropped — the
+    /// next apply pays one deep clone, then recycling resumes.
+    pub fn compact(&mut self) -> Result<TupleRemap, CoreError> {
+        if self.poisoned {
+            return Err(CoreError::EnginePoisoned);
+        }
+        if !self.is_fresh() {
+            return Err(CoreError::StaleEngine {
+                engine_version: self.published_version,
+                db_version: self.db.version(),
+            });
+        }
+        let remap = self.db.compact()?;
+        let mut buf = self.build_buffer();
+        // Postings speak tuple ids: rebuild them from the live set under
+        // the same tokenizer (renumbering every posting in place would
+        // also break the sorted-by-tuple invariant, since row order is
+        // preserved but *relative* ids shift across relations).
+        buf.index = InvertedIndex::build_with(&self.db, buf.index.tokenizer().clone());
+        let edge_remap = buf.dg.compact(&remap);
+        // Surviving edges renumber monotonically in slot order, so
+        // collecting the survivors' cards in old order yields the new
+        // dense numbering.
+        buf.edge_cards = edge_remap
+            .iter()
+            .enumerate()
+            .filter(|(_, new)| new.is_some())
+            .map(|(old, _)| buf.edge_cards[old])
+            .collect();
+        buf.aliases = std::mem::take(&mut buf.aliases)
+            .into_iter()
+            .filter_map(|(t, alias)| remap.map(t).map(|nt| (nt, alias)))
+            .collect();
+        self.published_version = self.db.version();
+        self.publish(*buf, ChangeSet::default(), GraphPatch::default());
+        // Pre-compaction buffers speak renumbered-away ids — they can
+        // never be replayed into the new lineage.
+        self.retired.clear();
+        self.spare = None;
+        self.history.clear();
+        Ok(remap)
+    }
+
+    /// Fold the current snapshot's pending CSR patch overlay into flat
+    /// arrays now, without waiting for the deferred-rebuild threshold,
+    /// and publish the folded state. Purely a storage operation —
+    /// adjacency (and therefore search output) is unchanged, so the
+    /// replay delta for this generation is empty (recycled sibling
+    /// buffers may keep their overlay; they answer identically).
+    pub fn compact_csr(&mut self) {
+        let mut buf = self.build_buffer();
+        buf.dg.compact_csr();
+        self.publish(*buf, ChangeSet::default(), GraphPatch::default());
+    }
+
+    /// Clone for the façade's `Clone`: same database and published
+    /// content, fresh publication state (own cell, empty recycling
+    /// pool).
+    pub(crate) fn clone_writer(&self) -> Self {
+        EngineWriter {
+            db: self.db.clone(),
+            current: Arc::new(self.current.clone_contents()),
+            cell: OnceLock::new(),
+            retired: Vec::new(),
+            spare: None,
+            history: VecDeque::new(),
+            generation: self.generation,
+            published_version: self.published_version,
+            poisoned: self.poisoned,
+            failpoints: self.failpoints,
+            compaction_policy: self.compaction_policy,
+        }
+    }
+}

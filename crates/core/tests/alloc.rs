@@ -68,7 +68,7 @@ fn bench_shape() -> SyntheticConfig {
 #[test]
 fn warm_engine_reuses_buffers_instead_of_allocating() {
     let s = generate_synthetic(&bench_shape());
-    let engine =
+    let mut engine =
         SearchEngine::new(s.db, s.er_schema, s.mapping).unwrap().with_aliases(s.aliases);
     let dg = engine.data_graph();
     let sets: Vec<Vec<NodeId>> = ["xml", "smith"]
@@ -158,4 +158,57 @@ fn warm_engine_reuses_buffers_instead_of_allocating() {
             "{algorithm:?} k={k:?}: steady-state searches must not grow the heap"
         );
     }
+
+    // ── Part 3: the same steady state holds under concurrency — with
+    // `threads > 1` (worker scratches checked out of the snapshot's
+    // pool, not re-created per call) and with **two live generations**
+    // (a reader pinned to generation 0 while the writer published
+    // generation 1). Thread spawning itself allocates, so the pins are
+    // zero *net* heap growth plus a constant warm per-call allocation
+    // count — growth in either would mean per-call buffer re-creation
+    // or a generation leaking memory query over query.
+    let pinned = engine.snapshots().latest();
+    assert_eq!(pinned.generation(), 0);
+    let emp = engine.db().catalog().relation_id("EMPLOYEE").unwrap();
+    engine
+        .writer_mut()
+        .insert(emp, vec!["ez1".into(), "Smith".into(), "Ada".into(), "d1".into()])
+        .unwrap();
+    let _ = engine.apply().unwrap();
+    let latest = engine.snapshots().latest();
+    assert_eq!(latest.generation(), 1);
+
+    let opts = SearchOptions {
+        k: Some(5),
+        max_rdb_length: 3,
+        threads: 2,
+        witness_strategy: WitnessStrategy::BoundedBfs,
+        ..Default::default()
+    };
+    // Warm both generations' pools and high-water marks.
+    for _ in 0..4 {
+        let _ = pinned.search("xml smith", &opts).unwrap();
+        let _ = latest.search("xml smith", &opts).unwrap();
+    }
+    // Preallocated so the bookkeeping itself stays out of the
+    // measurement window.
+    let mut counts: Vec<u64> = Vec::with_capacity(64);
+    let baseline = net_bytes();
+    for _ in 0..64 {
+        let before = allocations();
+        let a = pinned.search("xml smith", &opts).unwrap();
+        let b = latest.search("xml smith", &opts).unwrap();
+        assert!(!a.is_empty() && !b.is_empty());
+        drop((a, b));
+        counts.push(allocations() - before);
+    }
+    assert_eq!(
+        net_bytes() - baseline,
+        0,
+        "two live generations searched with threads=2 must not grow the heap"
+    );
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "warm threaded searches must allocate a constant amount per call: {counts:?}"
+    );
 }

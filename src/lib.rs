@@ -54,6 +54,27 @@
 //!   fault paths above are drivable from tests or triage sessions via
 //!   the [`core::failpoints`] registry (`CLA_FAILPOINTS=name=once,...`:
 //!   `apply.mid`, `worker.panic`, `pool.return`, `banks.settle`).
+//! * **Snapshot-consistent under concurrency** — the engine is split
+//!   into an immutable, generation-stamped [`core::EngineSnapshot`]
+//!   (everything `search()` reads) and a single [`core::EngineWriter`]
+//!   that builds and publishes the next generation per
+//!   `apply`/`compact`. The consistency model: a reader pins the
+//!   latest generation through a cloneable [`core::SnapshotHandle`]
+//!   (`engine.snapshots().latest()`) with **no lock on the read path**
+//!   — publication is an atomic `Arc` swap — and a pinned generation
+//!   is (1) always a complete published batch, never a half-applied
+//!   one, (2) byte-identical to a from-scratch engine over the
+//!   database at that generation, and (3) immutable for as long as the
+//!   reader holds it, across any number of later publishes and even
+//!   `compact()`'s id renumbering. Readers holding a pin therefore
+//!   never see `StaleEngine`; staleness is a property of the façade's
+//!   owned current generation only. Writes remain single-writer:
+//!   `EngineWriter`'s typed `insert`/`update`/`delete` ops are the
+//!   mutation path (they cannot drain the change log out from under
+//!   `apply`), and a publish recycles retired snapshot buffers by
+//!   patch replay instead of deep-cloning the engine (pinned in
+//!   `crates/core/tests/{concurrent,alloc}.rs`; demonstrated in
+//!   `examples/concurrent_serving.rs`).
 //!
 //! ## Quickstart
 //!
