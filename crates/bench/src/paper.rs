@@ -3,6 +3,7 @@
 //! Experiment ids follow DESIGN.md: F1/F2 (figures), T1–T3 (tables),
 //! E4 (ranking), E5 (instance closeness), E6 (MTJNT loss).
 
+// lint: allow-file(unwrap, bench harness over the fixed company schema; a failed lookup or query is a broken benchmark, not a recoverable error)
 use crate::tablefmt::{format_table, Check};
 use cla_core::{
     instance_closeness, is_mtjnt, Connection, InstanceCloseness, RankStrategy, SearchEngine,

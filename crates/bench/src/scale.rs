@@ -24,6 +24,7 @@ pub fn synthetic_engine(departments: usize, seed: u64) -> SearchEngine {
     };
     let s = generate_synthetic(&config);
     SearchEngine::new(s.db, s.er_schema, s.mapping)
+        // lint: allow(unwrap, the synthetic generator always produces a valid database)
         .expect("synthetic database is valid")
         .with_aliases(s.aliases)
 }

@@ -318,6 +318,7 @@ pub fn banks_search_budgeted(
         }
         if let Some(k) = opts.k {
             if best_k.len() >= k
+                // lint: allow(unwrap, guarded by best_k.len() >= k with k >= 1)
                 && weight_floor > *best_k.peek().expect("k >= 1 and heap at capacity")
             {
                 return false;
@@ -389,6 +390,7 @@ pub fn banks_search_budgeted(
             if total_bits >= frontier_bits {
                 break; // a cheaper completion could still appear
             }
+            // lint: allow(unwrap, pop follows a successful peek on the same queue)
             let Reverse((_, _, root)) = scratch.candidates.pop().expect("peeked");
             if !process(root, scratch.total[root.index()], &mut best_k, &scratch.forests) {
                 work.early_terminated = cheapest_set.is_some();
@@ -423,6 +425,7 @@ pub fn banks_search_budgeted(
         let dominated = frontier_bits > max_weight_bits
             || opts.k.is_some_and(|k| {
                 best_k.len() >= k
+                    // lint: allow(unwrap, guarded by best_k.len() >= k with k >= 1)
                     && frontier_bits > *best_k.peek().expect("k >= 1 and heap at capacity")
             });
         if dominated {
@@ -437,6 +440,7 @@ pub fn banks_search_budgeted(
         }
         let (node, d) = scratch.forests[set]
             .settle_next(csr, weight_of, key)
+            // lint: allow(unwrap, frontier_dist returned Some for this set just above)
             .expect("frontier_dist promised an entry");
         work.expansions += 1;
         scratch.total[node.index()] += d;

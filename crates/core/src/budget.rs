@@ -105,9 +105,13 @@ impl BudgetShared {
             // budget; tripping the budget just stops the other workers.
             TruncationReason::WorkerFault => TRIP_CAP,
         };
+        // `tripped` is a standalone monotone flag (NONE -> code, first
+        // writer wins); no other memory is published through it,
+        // workers only use it to stop early.
         let _ = self.tripped.compare_exchange(
             TRIP_NONE,
             code,
+            // ordering: Relaxed — see the flag note above.
             Ordering::Relaxed,
             Ordering::Relaxed,
         );
@@ -115,6 +119,8 @@ impl BudgetShared {
 
     /// The reason the budget tripped, if it did.
     pub(crate) fn reason(&self) -> Option<TruncationReason> {
+        // ordering: Relaxed — read after the parallel phase joins (or
+        // sequentially); the join itself is the synchronization edge.
         match self.tripped.load(Ordering::Relaxed) {
             TRIP_DEADLINE => Some(TruncationReason::Deadline),
             TRIP_CAP => Some(TruncationReason::ExpansionCap),
@@ -123,6 +129,8 @@ impl BudgetShared {
     }
 
     fn tripped_fast(&self) -> bool {
+        // ordering: Relaxed — advisory early-exit hint; a stale `false`
+        // only delays the stop by one probe stride.
         self.tripped.load(Ordering::Relaxed) != TRIP_NONE
     }
 }
@@ -168,6 +176,9 @@ impl<'a> BudgetProbe<'a> {
     fn probe_slow(&mut self, shared: &BudgetShared, local: u64) -> bool {
         let delta = local - self.flushed;
         self.flushed = local;
+        // ordering: Relaxed — `spent` is a pure counter; the RMW is
+        // atomic regardless of ordering and nothing is published
+        // through it.
         let spent = shared.spent.fetch_add(delta, Ordering::Relaxed) + delta;
         if spent >= shared.cap {
             shared.trip(TruncationReason::ExpansionCap);

@@ -160,6 +160,7 @@ impl Connection {
 
     /// Last node.
     pub fn end(&self) -> NodeId {
+        // lint: allow(unwrap, Connection is non-empty by construction)
         *self.nodes.last().expect("connections are non-empty")
     }
 
@@ -231,6 +232,7 @@ impl Connection {
                 ) = (s.role, t.role)
                 {
                     if ra == rb && t.from == s.to {
+                        // lint: allow(unwrap, FkRole::Middle only stores mapped relationship ids)
                         let rel = schema.relationship(ra).expect("mapped relationship");
                         let from_entity =
                             mapping.relation_entity(dg.tuple_of(s.from).relation);

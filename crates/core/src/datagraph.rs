@@ -434,6 +434,7 @@ impl DataGraph {
             let n = NodeId(i as u32);
             let new_tuple = remap
                 .map(*self.graph.node(n))
+                // lint: allow(unwrap, compaction remaps every live tuple and graph nodes are live)
                 .expect("a live node's tuple survives database compaction");
             *self.graph.node_mut(n) = new_tuple;
             node_of.insert(new_tuple, n);

@@ -127,7 +127,9 @@ impl<'a> JoiningNetworkLevels<'a> {
         if keyword_sets.is_empty() || keyword_sets.iter().any(HashSet::is_empty) {
             return levels;
         }
-        let seed_set = keyword_sets.iter().min_by_key(|s| s.len()).expect("non-empty list");
+        let Some(seed_set) = keyword_sets.iter().min_by_key(|s| s.len()) else {
+            return levels;
+        };
         for &seed in seed_set.iter() {
             let s = vec![seed];
             if levels.visited.insert(s.clone().into_boxed_slice()) {

@@ -118,6 +118,7 @@ pub(crate) fn explain_connection_from_steps(
             // reading forward in both directions, exactly like
             // `Connection::reversed().conceptual_steps(..)`.
             let forward = if s.via.is_some() {
+                // lint: allow(unwrap, steps only reference relationship ids from the mapping)
                 let rel = schema.relationship(s.relationship).expect("mapped relationship");
                 mapping.relation_entity(dg.tuple_of(s.to).relation) == Some(rel.left)
             } else {
@@ -140,6 +141,7 @@ pub(crate) fn explain_connection_from_steps(
         out.push_str(label);
     };
     for (i, step) in steps.iter().enumerate() {
+        // lint: allow(unwrap, steps only reference relationship ids from the mapping)
         let rel = schema.relationship(step.relationship).expect("mapped relationship");
         let verb = if step.forward { &rel.verb } else { &rel.reverse_verb };
         if i == 0 {

@@ -38,6 +38,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
+/// Every failpoint name compiled into the engine. The `cla-xtask`
+/// failpoint lint cross-checks names referenced in tests and CI
+/// workflows against this list, so a renamed or removed hook can't
+/// leave dangling references behind.
+pub const REGISTERED: &[&str] = &["apply.mid", "worker.panic", "banks.settle", "pool.return"];
+
 /// How an armed failpoint fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailpointMode {
@@ -78,6 +84,9 @@ fn lock() -> MutexGuard<'static, Registry> {
 }
 
 fn sync_armed(reg: &Registry) {
+    // ordering: Relaxed — ARMED is a hint (writers hold the registry
+    // mutex); a stale read on the probe fast path only costs taking
+    // the lock, or misses a fire the test never synchronized with.
     ARMED.store(reg.modes.len(), Ordering::Relaxed);
 }
 
@@ -113,6 +122,8 @@ pub fn disarm_all() {
 /// disarm on their first `true`. The disarmed fast path is a single
 /// relaxed atomic load.
 pub fn triggered(name: &str) -> bool {
+    // ordering: Relaxed — pure fast-path hint; the authoritative check
+    // re-reads `modes` under the mutex below.
     if ARMED.load(Ordering::Relaxed) == 0 {
         return false;
     }

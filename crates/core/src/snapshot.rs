@@ -26,6 +26,7 @@ use crate::failpoints;
 use crate::instance::{instance_closeness_with_cache, WitnessCache, WitnessStrategy};
 use crate::ranking::{ConnectionInfo, RankStrategy};
 use crate::stats::{Completeness, SearchStats, TruncationReason};
+use crate::sync::Mutex;
 use cla_er::{Cardinality, CardinalityChain, ErSchema, SchemaMapping};
 use cla_graph::{
     bounded_bfs_distances_into, enumerate_simple_paths_undirected,
@@ -38,7 +39,6 @@ use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::Mutex;
 use std::thread;
 
 /// Which connection-generation algorithm to run.
@@ -456,6 +456,9 @@ impl EngineSnapshot {
 
     /// Whether searches on this snapshot probe the failpoint registry.
     pub(crate) fn failpoints(&self) -> bool {
+        // ordering: Relaxed — instrumentation opt-in flag, set before
+        // the snapshot is shared (or under the engine's &mut); searches
+        // only use it to decide whether to probe the registry.
         self.failpoints.load(AtomicOrdering::Relaxed)
     }
 
@@ -483,7 +486,7 @@ impl EngineSnapshot {
     /// the pool serves fresh scratches from then on. Pooled buffers
     /// carry no semantic state — recovery can never change results.
     #[allow(clippy::vec_box)] // matches the pool field: boxes move O(1)
-    fn lock_scratch_pool(&self) -> std::sync::MutexGuard<'_, Vec<Box<SearchScratch>>> {
+    fn lock_scratch_pool(&self) -> crate::sync::MutexGuard<'_, Vec<Box<SearchScratch>>> {
         self.scratch_pool.lock().unwrap_or_else(|poisoned| {
             self.scratch_pool.clear_poison();
             let mut pool = poisoned.into_inner();
@@ -609,7 +612,7 @@ impl EngineSnapshot {
         let paths = enumerate_simple_paths_undirected(
             self.dg.graph(),
             want[0],
-            *want.last().expect("non-empty"),
+            want[want.len() - 1],
             want.len() - 1,
             None,
         );
@@ -788,6 +791,7 @@ impl EngineSnapshot {
         }
         parts.push(rest);
         let mut parts = parts.into_iter();
+        // lint: allow(unwrap, the loop above always pushes at least one chunk)
         let head_part = parts.next().expect("at least one chunk");
         let mut out = Vec::new();
         thread::scope(|s| {
@@ -1815,7 +1819,7 @@ impl EngineSnapshot {
         let endpoints: Vec<NodeId> =
             network.iter().copied().filter(|n| adj.get(n).map_or(0, Vec::len) == 1).collect();
         if network.len() == 1 {
-            return Some(Connection::single(*network.iter().next().expect("one")));
+            return Some(Connection::single(*network.iter().next()?));
         }
         if endpoints.len() != 2 {
             return None;

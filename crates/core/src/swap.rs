@@ -37,10 +37,54 @@
 //! event, and the read side's two `SeqCst` ops are still orders of
 //! magnitude cheaper than the search that follows. Writers serialize
 //! among themselves on a `Mutex` the read path never touches.
+//!
+//! ## Verification
+//!
+//! This module is written against the [`crate::sync`] facade, never
+//! `std::sync` directly, so the *same source* runs under the vendored
+//! `loom-lite` model checker: `RUSTFLAGS='--cfg cla_model_check' cargo
+//! test -p cla-core --test model` exhaustively explores reader/writer
+//! interleavings of this exact protocol and proves the absence of
+//! use-after-free, double-free, leak, and non-monotone publication —
+//! see `crates/core/tests/model.rs`.
 
+use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use crate::sync::{Arc, Mutex};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+
+/// Spins a writer burns in [`SwapCell::store`]'s drain loop before
+/// falling back to `yield_now`: straggling readers are normally a few
+/// instructions from their decrement, but if one is preempted exactly
+/// between its increment and decrement, pure spinning would burn a full
+/// timeslice on a single-core host before the reader can run again.
+/// Zero under the model checker: the fair scheduler immediately
+/// deprioritizes a spinning thread, so consecutive spins collapse into
+/// one schedule anyway — a zero budget makes the yield fallback the
+/// modeled drain behavior and keeps the schedule tree small.
+#[cfg(not(cla_model_check))]
+const SPIN_LIMIT: u32 = 64;
+#[cfg(cla_model_check)]
+const SPIN_LIMIT: u32 = 0;
+
+/// Wait for a slot's reader count to drain to zero: spin briefly (the
+/// common case resolves in a handful of iterations), then yield the
+/// timeslice so a preempted straggler can reach its decrement. Returns
+/// the number of yields, which the bounded-spin regression tests
+/// assert on.
+fn drain_readers(readers: &AtomicUsize) -> u64 {
+    let mut spins = 0u32;
+    let mut yields = 0u64;
+    while readers.load(SeqCst) != 0 {
+        if spins < SPIN_LIMIT {
+            spins += 1;
+            crate::sync::hint::spin_loop();
+        } else {
+            yields += 1;
+            crate::sync::thread::yield_now();
+        }
+    }
+    yields
+}
 
 struct Slot<T> {
     /// Raw pointer of the slot's `Arc` (one strong count is owned by
@@ -135,11 +179,10 @@ impl<T> SwapCell<T> {
         next_slot.ptr.store(Arc::into_raw(new).cast_mut(), SeqCst);
         self.current.store(next, SeqCst);
         // Drain stragglers whose increment predates the flip; each is
-        // at most a few instructions from its decrement.
+        // at most a few instructions from its decrement (bounded spin,
+        // then yield — see `drain_readers`).
         let old_slot = &self.slots[cur];
-        while old_slot.readers.load(SeqCst) != 0 {
-            std::hint::spin_loop();
-        }
+        drain_readers(&old_slot.readers);
         let old_ptr = old_slot.ptr.swap(std::ptr::null_mut(), SeqCst);
         // SAFETY: `old_ptr` is the `Arc::into_raw` pointer this cell
         // owned for the previous generation; after the flip and drain
@@ -150,6 +193,14 @@ impl<T> SwapCell<T> {
 
 impl<T> Drop for SwapCell<T> {
     fn drop(&mut self) {
+        // Model builds only: when a violating execution aborts, its
+        // threads unwind with cells still alive; touching the shim
+        // registry from inside this Drop would double-panic and abort
+        // the process instead of reporting the violation.
+        #[cfg(cla_model_check)]
+        if std::thread::panicking() {
+            return;
+        }
         for slot in &self.slots {
             let ptr = slot.ptr.load(SeqCst);
             if !ptr.is_null() {
@@ -167,10 +218,38 @@ impl<T> std::fmt::Debug for SwapCell<T> {
     }
 }
 
-#[cfg(test)]
+// Unit tests drive the std build of the protocol (the model build is
+// exercised by `tests/model.rs` instead — these threads would need the
+// scheduler).
+#[cfg(all(test, not(cla_model_check)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    /// The drain loop's bounded spin falls back to `yield_now` when a
+    /// reader sits between its increment and decrement for longer than
+    /// the spin budget (e.g. preempted on a loaded single-core host).
+    #[test]
+    fn drain_falls_back_to_yield_after_spin_limit() {
+        let readers = AtomicUsize::new(1);
+        let yields = std::thread::scope(|s| {
+            let h = s.spawn(|| drain_readers(&readers));
+            // Hold the count up long past any spin budget, like a
+            // straggler parked at the protocol's preemption point.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            readers.store(0, SeqCst);
+            h.join().expect("drain thread")
+        });
+        assert!(yields > 0, "a 20ms straggler must push the writer past spinning");
+    }
+
+    /// No straggler: the drain resolves within the spin budget and
+    /// never yields (the hot path stays syscall-free).
+    #[test]
+    fn drain_does_not_yield_when_uncontended() {
+        let readers = AtomicUsize::new(0);
+        assert_eq!(drain_readers(&readers), 0);
+    }
 
     #[test]
     fn load_returns_the_stored_value() {

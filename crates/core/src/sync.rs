@@ -1,0 +1,57 @@
+//! The synchronization facade the lock-free core is written against.
+//!
+//! Every type the [`crate::SwapCell`] protocol (and the snapshot
+//! scratch-pool lock) touches is imported from here, never from
+//! `std::sync` directly. Under the default cfg the module is a pure
+//! re-export of `std` — zero cost, byte-identical codegen. Under
+//! `--cfg cla_model_check` the same names resolve to the vendored
+//! `loom-lite` shims, whose every operation is a deterministic
+//! scheduling point: `cargo test -p cla-core --test model` with
+//! `RUSTFLAGS='--cfg cla_model_check'` then model-checks the *real*
+//! protocol source, not a transliteration of it.
+//!
+//! Rules of the facade (machine-enforced by `cargo run -p cla-xtask --
+//! lint`, rule `sync-facade`):
+//!
+//! * `swap.rs` must not name `std::sync` / `std::hint` / `std::thread`
+//!   primitives directly — only `crate::sync::{...}` paths.
+//! * Only API surface that exists in **both** worlds may be re-exported
+//!   here (no `OnceLock`, no `Condvar`, no poison plumbing beyond
+//!   `lock()`'s `LockResult`).
+//! * The modeled protocol sticks to `SeqCst` (the shims model nothing
+//!   weaker; the `ordering` lint keeps the production source honest).
+
+#[cfg(not(cla_model_check))]
+pub use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Atomic types (`AtomicUsize`, `AtomicBool`, `AtomicPtr`, `Ordering`).
+#[cfg(not(cla_model_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+}
+
+/// `spin_loop` — a backoff hint in production, a fairness-yielding
+/// scheduling point under the model checker.
+#[cfg(not(cla_model_check))]
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+/// `yield_now` — the bounded-spin fallback in [`crate::SwapCell`]'s
+/// drain loop.
+#[cfg(not(cla_model_check))]
+pub mod thread {
+    pub use std::thread::yield_now;
+}
+
+#[cfg(cla_model_check)]
+pub use loom_lite::sync::{Arc, Mutex, MutexGuard};
+
+#[cfg(cla_model_check)]
+pub use loom_lite::sync::atomic;
+
+#[cfg(cla_model_check)]
+pub use loom_lite::hint;
+
+#[cfg(cla_model_check)]
+pub use loom_lite::thread;

@@ -339,6 +339,9 @@ impl EngineWriter {
     /// not part of the search contract.
     pub fn enable_failpoints(&mut self) {
         self.failpoints = true;
+        // ordering: Relaxed — instrumentation flag behind `&mut self`;
+        // readers treat a stale value as "probe later", nothing is
+        // published through it.
         self.current.failpoints.store(true, AtomicOrdering::Relaxed);
     }
 

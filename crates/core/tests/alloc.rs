@@ -6,6 +6,11 @@
 //! Kept as a single `#[test]` so no sibling test thread pollutes the
 //! global counters while a measurement window is open.
 
+// The whole file is std-build only: under the loom-lite model cfg
+// (`--cfg cla_model_check`) the engine above the lock-free core is
+// not compiled (see `tests/model.rs`).
+#![cfg(not(cla_model_check))]
+
 use cla_core::{SearchEngine, SearchOptions, WitnessStrategy};
 use cla_datagen::{generate_synthetic, SyntheticConfig};
 use cla_graph::NodeId;
@@ -29,12 +34,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         NET_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; pass through.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         NET_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; pass through.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

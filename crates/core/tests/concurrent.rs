@@ -18,6 +18,11 @@
 //!   pinned to pre-compaction generations keep answering in the old id
 //!   space, consistently.
 
+// The whole file is std-build only: under the loom-lite model cfg
+// (`--cfg cla_model_check`) the engine above the lock-free core is
+// not compiled (see `tests/model.rs`).
+#![cfg(not(cla_model_check))]
+
 use cla_core::failpoints;
 use cla_core::{Algorithm, SearchEngine, SearchOptions};
 use cla_datagen::{generate_synthetic, SyntheticConfig};

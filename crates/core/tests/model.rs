@@ -1,0 +1,339 @@
+//! Model-checking suite for the lock-free [`cla_core::SwapCell`]
+//! protocol, driven by the vendored `loom-lite` interleaving explorer.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS='--cfg cla_model_check' cargo test -p cla-core --test model -- --nocapture
+//! ```
+//!
+//! Under that cfg the `cla_core::sync` facade resolves to the loom-lite
+//! shims, so the checks below explore the **real protocol source** in
+//! `crates/core/src/swap.rs` — not a transliteration. What the checker
+//! proves per explored schedule:
+//!
+//! * **No reclamation race** — a writer never frees a generation while
+//!   a reader sits between its slot increment and decrement (any such
+//!   schedule would trip the registry as a use-after-free).
+//! * **Every generation dropped exactly once** — a missed drop is a
+//!   `Leak` at end of execution, a repeated one a `DoubleFree`.
+//! * **Monotone publication** — a reader never observes an older
+//!   generation than one it already saw (asserted in the closures;
+//!   assertion failures surface as `Panic` violations with a seed).
+//!
+//! The `mutants` module then re-introduces the three historic bugs the
+//! protocol exists to prevent and asserts each is *caught* with a
+//! replayable seed — the checker's teeth are themselves under test.
+
+#![cfg(cla_model_check)]
+
+use cla_core::sync::{thread, Arc};
+use cla_core::SwapCell;
+use loom_lite::model::Builder;
+use loom_lite::ViolationKind;
+use std::sync::Arc as StdArc;
+
+fn full() -> Builder {
+    Builder { preemption_bound: None, ..Builder::default() }
+}
+
+fn bounded(preemptions: usize) -> Builder {
+    Builder { preemption_bound: Some(preemptions), ..Builder::default() }
+}
+
+// ---- the real protocol ------------------------------------------------
+
+/// 1 reader × 1 writer × 1 store, **fully explored** (no preemption
+/// bound): every interleaving of the publication hand-off is visited,
+/// and none frees early, frees twice, or leaks.
+#[test]
+fn full_exploration_one_reader_one_writer() {
+    let report = full().check(|| {
+        let cell = StdArc::new(SwapCell::new(Arc::new(0u64)));
+        let c2 = StdArc::clone(&cell);
+        let reader = thread::spawn(move || {
+            let snap = c2.load();
+            assert!(*snap <= 1, "reader saw an unpublished value {}", *snap);
+        });
+        drop(cell.store(Arc::new(1u64)));
+        reader.join().unwrap();
+    });
+    println!(
+        "swapcell 1r/1w/1gen: {} schedules fully explored, {} drain yields",
+        report.schedules, report.yields
+    );
+    assert!(report.violation.is_none(), "real protocol violated: {:?}", report.violation);
+    assert!(report.complete, "full exploration must exhaust the tree");
+    assert!(
+        report.schedules > 1_000,
+        "suspiciously small tree ({} schedules) — are the shims wired through?",
+        report.schedules
+    );
+}
+
+/// The bounded-spin satellite, observed from the model: some fully
+/// explored schedule parks the reader between its increment and
+/// decrement while the writer drains, which must push the writer onto
+/// the `yield_now` fallback (counted by the scheduler).
+#[test]
+fn drain_yields_when_a_reader_is_parked_mid_load() {
+    let report = full().check(|| {
+        let cell = StdArc::new(SwapCell::new(Arc::new(0u64)));
+        let c2 = StdArc::clone(&cell);
+        let reader = thread::spawn(move || {
+            drop(c2.load());
+        });
+        drop(cell.store(Arc::new(1u64)));
+        reader.join().unwrap();
+    });
+    assert!(report.violation.is_none(), "real protocol violated: {:?}", report.violation);
+    assert!(report.complete);
+    assert!(
+        report.yields > 0,
+        "no explored schedule drove the writer's drain onto the yield fallback"
+    );
+}
+
+/// 2 readers × 1 writer × 2 generations with a preemption bound of 3
+/// (CHESS-style: nearly all real concurrency bugs need ≤2 preemptions).
+/// Readers load twice and assert monotone publication.
+#[test]
+fn bounded_two_readers_two_generations() {
+    let report = bounded(3).check(|| {
+        let cell = StdArc::new(SwapCell::new(Arc::new(0u64)));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let c = StdArc::clone(&cell);
+            readers.push(thread::spawn(move || {
+                let first = *c.load();
+                let second = *c.load();
+                assert!(second >= first, "publication went backwards: {first} then {second}");
+            }));
+        }
+        drop(cell.store(Arc::new(1u64)));
+        drop(cell.store(Arc::new(2u64)));
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+    println!(
+        "swapcell 2r/1w/2gen (preemption bound 3): {} schedules, {} drain yields",
+        report.schedules, report.yields
+    );
+    assert!(report.violation.is_none(), "real protocol violated: {:?}", report.violation);
+    assert!(report.complete, "bounded exploration must exhaust the bounded tree");
+    assert!(
+        report.schedules > 1_000,
+        "bound 3 should still visit >1000 schedules, got {}",
+        report.schedules
+    );
+}
+
+/// 3 readers × 1 writer × 2 generations at preemption bound 2 — wider
+/// thread fan-in, shallower bound, still violation-free.
+#[test]
+fn bounded_three_readers_two_generations() {
+    let report = bounded(2).check(|| {
+        let cell = StdArc::new(SwapCell::new(Arc::new(0u64)));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let c = StdArc::clone(&cell);
+            readers.push(thread::spawn(move || {
+                let snap = c.load();
+                assert!(*snap <= 2);
+            }));
+        }
+        drop(cell.store(Arc::new(1u64)));
+        drop(cell.store(Arc::new(2u64)));
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+    println!(
+        "swapcell 3r/1w/2gen (preemption bound 2): {} schedules, {} drain yields",
+        report.schedules, report.yields
+    );
+    assert!(report.violation.is_none(), "real protocol violated: {:?}", report.violation);
+    assert!(report.complete);
+}
+
+// ---- mutation-kill: the checker must catch the classic bugs -----------
+
+/// Deliberately broken variants of the two-slot protocol. Each mutant
+/// removes or reorders exactly one load-bearing line of
+/// `SwapCell::{load,store}`; the tests below prove the model checker
+/// catches every one of them (so a future regression of the real
+/// protocol cannot slip through the suite).
+mod mutants {
+    use cla_core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+    use cla_core::sync::{Arc, Mutex};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Bug {
+        /// Reader skips the `current` re-check after its increment.
+        SkipRecheck,
+        /// Writer reclaims without draining the old slot's readers.
+        SkipDrain,
+        /// Reader decrements its slot count *before* materializing its
+        /// own strong count.
+        DecrementBeforeMaterialize,
+        /// Writer forgets to reclaim the swapped-out generation.
+        ForgetOldGeneration,
+    }
+
+    pub struct MutantCell<T> {
+        slots: [(AtomicPtr<T>, AtomicUsize); 2],
+        current: AtomicUsize,
+        write_lock: Mutex<()>,
+        bug: Bug,
+    }
+
+    impl<T> MutantCell<T> {
+        pub fn new(initial: Arc<T>, bug: Bug) -> Self {
+            let cell = MutantCell {
+                slots: [
+                    (AtomicPtr::new(std::ptr::null_mut()), AtomicUsize::new(0)),
+                    (AtomicPtr::new(std::ptr::null_mut()), AtomicUsize::new(0)),
+                ],
+                current: AtomicUsize::new(0),
+                write_lock: Mutex::new(()),
+                bug,
+            };
+            cell.slots[0].0.store(Arc::into_raw(initial).cast_mut(), SeqCst);
+            cell
+        }
+
+        pub fn load(&self) -> Arc<T> {
+            loop {
+                let i = self.current.load(SeqCst);
+                let slot = &self.slots[i];
+                slot.1.fetch_add(1, SeqCst);
+                if self.bug != Bug::SkipRecheck && self.current.load(SeqCst) != i {
+                    slot.1.fetch_sub(1, SeqCst);
+                    continue;
+                }
+                let ptr = slot.0.load(SeqCst);
+                if self.bug == Bug::DecrementBeforeMaterialize {
+                    // Mutated order: the slot count drops while the
+                    // reader has only a raw pointer in hand.
+                    slot.1.fetch_sub(1, SeqCst);
+                    // SAFETY: intentionally unsound — this is the bug.
+                    return unsafe {
+                        Arc::increment_strong_count(ptr);
+                        Arc::from_raw(ptr)
+                    };
+                }
+                // SAFETY: sound only when the re-check above ran — the
+                // `SkipRecheck` mutant makes this the caught defect.
+                let arc = unsafe {
+                    Arc::increment_strong_count(ptr);
+                    Arc::from_raw(ptr)
+                };
+                slot.1.fetch_sub(1, SeqCst);
+                return arc;
+            }
+        }
+
+        /// Publish `new`; returns the retired generation unless the
+        /// mutant forgets it.
+        pub fn store(&self, new: Arc<T>) -> Option<Arc<T>> {
+            let _guard = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+            let cur = self.current.load(SeqCst);
+            let next = 1 - cur;
+            self.slots[next].0.store(Arc::into_raw(new).cast_mut(), SeqCst);
+            self.current.store(next, SeqCst);
+            if self.bug != Bug::SkipDrain {
+                while self.slots[cur].1.load(SeqCst) != 0 {
+                    cla_core::sync::thread::yield_now();
+                }
+            }
+            let old = self.slots[cur].0.swap(std::ptr::null_mut(), SeqCst);
+            if self.bug == Bug::ForgetOldGeneration {
+                return None; // the retired strong count is never dropped
+            }
+            // SAFETY: reclaiming the count the cell owned; unsound under
+            // `SkipDrain` (a reader may still hold the raw pointer).
+            Some(unsafe { Arc::from_raw(old) })
+        }
+    }
+
+    impl<T> Drop for MutantCell<T> {
+        fn drop(&mut self) {
+            // An aborted execution (the expected outcome for every
+            // mutant) unwinds with the cell alive; stay away from the
+            // registry then — the violation is already recorded.
+            if std::thread::panicking() {
+                return;
+            }
+            for slot in &self.slots {
+                let ptr = slot.0.load(SeqCst);
+                if !ptr.is_null() {
+                    // SAFETY: reclaiming the cell's own strong count.
+                    unsafe { drop(Arc::from_raw(ptr)) };
+                }
+            }
+        }
+    }
+}
+
+use mutants::{Bug, MutantCell};
+
+/// Drive one reader and one writer over a mutant cell; every mutant
+/// must produce a violation, and its seed must replay to the same
+/// violation class deterministically.
+fn check_mutant(bug: Bug, expect: &[ViolationKind]) {
+    let scenario = move || {
+        let cell = StdArc::new(MutantCell::new(Arc::new(0u64), bug));
+        let c2 = StdArc::clone(&cell);
+        let reader = thread::spawn(move || {
+            drop(c2.load());
+        });
+        drop(cell.store(Arc::new(1u64)));
+        reader.join().unwrap();
+    };
+    let report = full().check(scenario);
+    let v = report.violation.unwrap_or_else(|| {
+        panic!("{bug:?} survived {} schedules undetected", report.schedules)
+    });
+    println!(
+        "{bug:?}: caught as {} after {} schedules (seed {})",
+        v.kind, report.schedules, v.seed
+    );
+    assert!(expect.contains(&v.kind), "{bug:?}: expected one of {expect:?}, got {v}");
+    let replayed = full().replay(&v.seed, scenario);
+    let rv = replayed
+        .violation
+        .unwrap_or_else(|| panic!("{bug:?}: seed {} did not replay", v.seed));
+    assert_eq!(rv.kind, v.kind, "{bug:?}: replay diverged: {rv}");
+}
+
+/// Without the reader's re-check, the writer can flip + drain + free
+/// while the reader is still on its way to the pointer.
+#[test]
+fn mutant_skipping_recheck_is_caught() {
+    check_mutant(Bug::SkipRecheck, &[ViolationKind::UseAfterFree]);
+}
+
+/// Without the drain, the writer frees a generation a mid-load reader
+/// still references.
+#[test]
+fn mutant_skipping_drain_is_caught() {
+    check_mutant(Bug::SkipDrain, &[ViolationKind::UseAfterFree]);
+}
+
+/// Decrementing before materializing reopens exactly the window the
+/// two-slot protocol exists to close.
+#[test]
+fn mutant_decrementing_before_materialize_is_caught() {
+    check_mutant(
+        Bug::DecrementBeforeMaterialize,
+        &[ViolationKind::UseAfterFree, ViolationKind::DoubleFree],
+    );
+}
+
+/// A forgotten retirement is flagged by the end-of-execution leak
+/// check on the very first schedule.
+#[test]
+fn mutant_forgetting_old_generation_is_caught() {
+    check_mutant(Bug::ForgetOldGeneration, &[ViolationKind::Leak]);
+}

@@ -8,6 +8,7 @@
 //! configurable selectivity, so benchmark queries have known, tunable
 //! match-set sizes.
 
+// lint: allow-file(unwrap, generator over the fixed company schema; ids are unique by construction and lookups statically known)
 use crate::company::company_er_schema;
 use crate::text::TextGenerator;
 use crate::zipf::Zipf;

@@ -39,6 +39,7 @@ impl Zipf {
     /// Sample a value in `1..=n`.
     pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
+        // lint: allow(unwrap, cdf entries are finite probabilities by construction)
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }

@@ -18,6 +18,7 @@
 //! *conceptual* length of a connection and to annotate data-graph edges
 //! with cardinalities.
 
+// lint: allow-file(unwrap, mapping runs on a schema that passed Schema::validate; every id it dereferences was validated there)
 use crate::cardinality::{Cardinality, Side};
 use crate::error::ErError;
 use crate::model::{EntityTypeId, ErSchema, RelationshipId};

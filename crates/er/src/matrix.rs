@@ -72,6 +72,7 @@ impl ClosenessMatrix {
                 let mut best_close: Option<SchemaPath> = None;
                 let mut best_loose: Option<SchemaPath> = None;
                 for p in &paths {
+                    // lint: allow(unwrap, paths come from enumerate over the same schema)
                     let chain = p.cardinality_chain(schema).expect("valid enumeration");
                     let slot = match chain.closeness() {
                         Closeness::Close => &mut best_close,

@@ -49,6 +49,7 @@ impl SchemaPath {
     /// Returns `None` if a step references an unknown relationship or a
     /// relationship not incident to the current entity (schema mismatch).
     pub fn end(&self, schema: &ErSchema) -> Option<EntityTypeId> {
+        // lint: allow(unwrap, entities() yields one entry per step plus the start)
         self.entities(schema).map(|es| *es.last().expect("non-empty"))
     }
 

@@ -1,5 +1,6 @@
 //! Rendering ER schemas (the paper's Figure 1) as Graphviz DOT or ASCII.
 
+// lint: allow-file(unwrap, rendering runs on a validated schema; entity/relationship ids cannot dangle)
 use crate::cardinality::Side;
 use crate::model::ErSchema;
 

@@ -88,6 +88,7 @@ impl CsrAdjacency {
     /// [`Graph::add_node`]). Cheap: extends the offset array only.
     pub fn push_node(&mut self) -> NodeId {
         let id = NodeId(self.node_count() as u32);
+        // lint: allow(unwrap, offsets starts as vec![0] and only grows)
         self.offsets.push(*self.offsets.last().expect("offsets are never empty"));
         id
     }

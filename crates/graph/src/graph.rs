@@ -1,5 +1,6 @@
 //! The directed multigraph container.
 
+// lint: allow-file(unwrap, compaction remaps are total over live nodes/edges; the expects document those invariants)
 use std::fmt;
 
 /// Dense node identifier.

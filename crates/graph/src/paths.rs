@@ -28,11 +28,13 @@ impl Path {
 
     /// First node.
     pub fn start(&self) -> NodeId {
+        // lint: allow(unwrap, Path is non-empty by construction)
         *self.nodes.first().expect("paths are non-empty")
     }
 
     /// Last node.
     pub fn end(&self) -> NodeId {
+        // lint: allow(unwrap, Path is non-empty by construction)
         *self.nodes.last().expect("paths are non-empty")
     }
 

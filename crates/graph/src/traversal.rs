@@ -47,6 +47,7 @@ pub fn bfs_tree_undirected<N, E>(g: &Graph<N, E>, start: NodeId) -> BfsTree {
     dist[start.index()] = Some(0);
     queue.push_back(start);
     while let Some(n) = queue.pop_front() {
+        // lint: allow(unwrap, a node is queued only after its distance is set)
         let d = dist[n.index()].expect("queued nodes have distances");
         for e in g.incident_edges(n) {
             let m = e.other(n);

@@ -209,9 +209,11 @@ impl InvertedIndex {
                         let list = self
                             .postings
                             .get_mut(term)
+                            // lint: allow(unwrap, term survived the df filter above)
                             .expect("surviving term has a posting list");
                         let pos = list
                             .binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
+                            // lint: allow(unwrap, the tuple was indexed under this term)
                             .expect("surviving term has this tuple's posting");
                         if let Some(log) = log.as_deref_mut() {
                             log.push(UndoOp::Frequency {

@@ -360,6 +360,7 @@ impl Database {
             let schema = self
                 .catalog
                 .relation(op.change().id.relation)
+                // lint: allow(unwrap, the op was validated against the catalog when applied)
                 .expect("rolled-back op references a cataloged relation");
             match op {
                 ChangeOp::Insert(c) => {
@@ -418,6 +419,7 @@ impl Database {
         let remap = TupleRemap { per_rel };
         for entries in self.incoming.values_mut() {
             for (src, _) in entries.iter_mut() {
+                // lint: allow(unwrap, unindex removes reverse entries before tuples die)
                 *src = remap.map(*src).expect("reverse-index entries are live");
             }
         }

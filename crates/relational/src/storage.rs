@@ -111,6 +111,7 @@ impl RelationData {
         self.alive = vec![true; self.tuples.len()];
         self.live = self.tuples.len();
         for row in self.pk_index.values_mut() {
+            // lint: allow(unwrap, pk entries are removed on delete so indexed rows stay live)
             *row = remap[*row as usize].expect("pk index only holds live rows");
         }
         remap

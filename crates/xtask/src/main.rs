@@ -1,0 +1,3 @@
+fn main() {
+    std::process::exit(cla_xtask::run(std::env::args().skip(1)));
+}

@@ -1,0 +1,212 @@
+//! End-to-end tests for `cla-xtask lint`: process-level exit codes on
+//! synthetic violation trees, and a whole-repository clean run — the
+//! acceptance contract the CI analysis leg relies on.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A throwaway lint root under the target directory; unique per test so
+/// `cargo test`'s parallel threads never collide.
+struct TempTree {
+    root: PathBuf,
+}
+
+static NEXT_TREE: AtomicU32 = AtomicU32::new(0);
+
+impl TempTree {
+    fn new() -> Self {
+        let n = NEXT_TREE.fetch_add(1, Ordering::Relaxed);
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR"))
+            .join(format!("lint-tree-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&root).expect("create temp tree");
+        TempTree { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) -> &Self {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("file has a parent"))
+            .expect("create parent dirs");
+        std::fs::write(path, contents).expect("write tree file");
+        self
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn lint(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cla-xtask"))
+        .args(["lint", &root.display().to_string()])
+        .output()
+        .expect("run cla-xtask")
+}
+
+fn assert_clean(out: &Output) {
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+fn assert_finding(out: &Output, rule: &str) {
+    assert_eq!(out.status.code(), Some(1), "expected exit 1 (findings)");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!("[{rule}]")),
+        "expected a [{rule}] finding, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let t = TempTree::new();
+    t.write("src/lib.rs", "pub fn double(x: u32) -> u32 {\n    x * 2\n}\n");
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
+fn removed_safety_comment_exits_nonzero() {
+    let t = TempTree::new();
+    // With the SAFETY comment present: clean.
+    t.write(
+        "src/lib.rs",
+        "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+    );
+    assert_clean(&lint(&t.root));
+    // Remove the comment: the same tree must now fail.
+    t.write("src/lib.rs", "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n");
+    assert_finding(&lint(&t.root), "safety-comment");
+}
+
+#[test]
+fn unsafe_fn_signature_is_exempt_but_body_blocks_are_not() {
+    let t = TempTree::new();
+    t.write(
+        "src/lib.rs",
+        "/// # Safety\n/// Caller checks `p`.\npub unsafe fn f(p: *const u32) -> u32 {\n    // SAFETY: contract forwarded from the caller.\n    unsafe { *p }\n}\n",
+    );
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
+fn unannotated_unwrap_in_library_code_exits_nonzero() {
+    let t = TempTree::new();
+    t.write("src/lib.rs", "pub fn head(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n");
+    assert_finding(&lint(&t.root), "unwrap");
+}
+
+#[test]
+fn annotated_unwrap_and_test_code_unwrap_are_allowed() {
+    let t = TempTree::new();
+    t.write(
+        "src/lib.rs",
+        concat!(
+            "pub fn head(v: &[u32]) -> u32 {\n",
+            "    // lint: allow(unwrap, callers pass non-empty slices by contract)\n",
+            "    *v.first().unwrap()\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        assert_eq!(super::head(&[1]), \"1\".parse::<u32>().unwrap());\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    // Integration tests are exempt from the unwrap rule entirely.
+    t.write("tests/it.rs", "#[test]\nfn t() {\n    \"7\".parse::<u32>().unwrap();\n}\n");
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
+fn allow_file_silences_a_whole_file() {
+    let t = TempTree::new();
+    t.write(
+        "src/lib.rs",
+        concat!(
+            "// lint: allow-file(unwrap, fixture builder; every lookup is statically known)\n",
+            "pub fn a(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n",
+            "pub fn b(v: &[u32]) -> u32 {\n    *v.last().unwrap()\n}\n",
+        ),
+    );
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
+fn unjustified_relaxed_ordering_exits_nonzero() {
+    let t = TempTree::new();
+    t.write(
+        "src/lib.rs",
+        concat!(
+            "use std::sync::atomic::{AtomicUsize, Ordering};\n",
+            "pub static N: AtomicUsize = AtomicUsize::new(0);\n",
+            "pub fn bump() {\n    N.fetch_add(1, Ordering::Relaxed);\n}\n",
+        ),
+    );
+    assert_finding(&lint(&t.root), "ordering");
+    t.write(
+        "src/lib.rs",
+        concat!(
+            "use std::sync::atomic::{AtomicUsize, Ordering};\n",
+            "pub static N: AtomicUsize = AtomicUsize::new(0);\n",
+            "pub fn bump() {\n",
+            "    // ordering: Relaxed — pure statistics counter.\n",
+            "    N.fetch_add(1, Ordering::Relaxed);\n",
+            "}\n",
+        ),
+    );
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
+fn unscoped_thread_spawn_exits_nonzero() {
+    let t = TempTree::new();
+    t.write("src/lib.rs", "pub fn go() {\n    std::thread::spawn(|| {}).join().ok();\n}\n");
+    assert_finding(&lint(&t.root), "thread-spawn");
+}
+
+#[test]
+fn unregistered_failpoint_reference_exits_nonzero() {
+    let t = TempTree::new();
+    t.write(
+        "crates/core/src/failpoints.rs",
+        "pub const REGISTERED: &[&str] = &[\"real.point\"];\n",
+    );
+    t.write(
+        "tests/faults.rs",
+        concat!(
+            "#[test]\nfn t() {\n",
+            "    assert!(!cla_core::failpoints::triggered(\"ghost.point\"));\n",
+            "}\n",
+        ),
+    );
+    assert_finding(&lint(&t.root), "failpoint");
+    // Referencing the registered name is clean.
+    t.write(
+        "tests/faults.rs",
+        concat!(
+            "#[test]\nfn t() {\n",
+            "    assert!(!cla_core::failpoints::triggered(\"real.point\"));\n",
+            "}\n",
+        ),
+    );
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
+fn whole_repository_is_lint_clean() {
+    // The acceptance bar: the shipped tree itself passes its own lint.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    assert_clean(&lint(repo));
+}

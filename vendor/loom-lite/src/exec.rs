@@ -1,0 +1,571 @@
+//! The deterministic cooperative scheduler one model execution runs on.
+//!
+//! Model threads are real OS threads, but **exactly one is ever
+//! runnable**: every shimmed operation calls back into [`Execution`],
+//! which parks the caller on a condvar until the scheduler hands it the
+//! baton. The sequence of hand-off decisions *is* the explored
+//! interleaving; [`crate::model`] drives a DFS over the decision tree
+//! by replaying a forced prefix of choices and branching on the first
+//! free decision.
+//!
+//! The scheduler also owns the **object registry** behind the
+//! [`crate::sync::Arc`] shim: every allocation is tracked by address
+//! with a manual strong count, so a use-after-free, double free, or
+//! leak is detected *structurally* (the allocation is quarantined until
+//! the end of the execution — addresses are never reused mid-run).
+
+use std::collections::HashMap;
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// The panic payload used to unwind model threads once an execution
+/// aborts (violation found). Never user-visible: thread wrappers catch
+/// it and finish silently.
+pub(crate) struct Abort;
+
+/// The class of protocol violation an execution detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A tracked allocation was dereferenced, revived
+    /// (`Arc::increment_strong_count` / `Arc::from_raw`), or cloned
+    /// after its strong count had already dropped to zero — or through
+    /// a null/untracked pointer.
+    UseAfterFree,
+    /// A tracked allocation's strong count was decremented past zero.
+    DoubleFree,
+    /// A tracked allocation was still alive when the execution (all
+    /// threads joined, all locals dropped) ended.
+    Leak,
+    /// Every unfinished thread was blocked (mutex / join cycle).
+    Deadlock,
+    /// The execution exceeded the per-run scheduling-point budget —
+    /// some thread spins without ever yielding.
+    Livelock,
+    /// A model thread panicked (an assertion inside the closure).
+    Panic,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViolationKind::UseAfterFree => "use-after-free",
+            ViolationKind::DoubleFree => "double-free",
+            ViolationKind::Leak => "leak",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::Livelock => "livelock",
+            ViolationKind::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduling decision: which of the candidate threads ran next.
+#[derive(Debug, Clone)]
+pub(crate) struct Branch {
+    /// Threads that were eligible at this point (deterministic order).
+    pub cands: Vec<usize>,
+    /// Index into `cands` that was taken.
+    pub chosen: usize,
+    /// The thread that was running when the decision was made.
+    pub prev: usize,
+    /// Preemption count *before* this decision (for bounded search).
+    pub preemptions_before: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for the shim mutex at this address to unlock.
+    BlockedMutex(usize),
+    /// Waiting for thread `tid` to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    /// Set by `yield_now`/`spin_loop`: the fair scheduler will not pick
+    /// this thread again while another non-yielded thread is runnable.
+    yielded: bool,
+}
+
+/// A tracked `Arc` allocation.
+struct ObjState {
+    strong: usize,
+    freed: bool,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    abort: bool,
+    steps: usize,
+    preemptions: usize,
+    /// Choice indices to replay before exploring freely.
+    forced: Vec<usize>,
+    pub(crate) trace: Vec<Branch>,
+    pub(crate) violation: Option<(ViolationKind, String)>,
+    objects: HashMap<usize, ObjState>,
+    /// Deallocators for every tracked allocation, run at teardown
+    /// (allocations are quarantined until then so a stale pointer can
+    /// never alias a recycled address mid-run).
+    teardown: Vec<Box<dyn FnOnce() + Send>>,
+    /// `thread::yield_now` calls observed this execution.
+    pub(crate) yields: u64,
+    max_steps: usize,
+}
+
+impl ExecState {
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+}
+
+pub(crate) struct Execution {
+    pub(crate) state: StdMutex<ExecState>,
+    cv: Condvar,
+    pub(crate) handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Execution {
+    pub(crate) fn new(forced: Vec<usize>, max_steps: usize) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                abort: false,
+                steps: 0,
+                preemptions: 0,
+                forced,
+                trace: Vec::new(),
+                violation: None,
+                objects: HashMap::new(),
+                teardown: Vec::new(),
+                yields: 0,
+                max_steps,
+            }),
+            cv: Condvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        // A model thread can unwind (Abort) while holding nothing, but
+        // a user assertion panic can poison; the state itself is never
+        // left mid-update.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Record a violation, abort the execution, and wake every parked
+    /// thread so it can unwind.
+    fn violate(&self, st: &mut ExecState, kind: ViolationKind, message: String) {
+        if st.violation.is_none() {
+            st.violation = Some((kind, message));
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Record a violation from outside the scheduler (thread wrapper
+    /// catching a user panic).
+    pub(crate) fn violate_external(&self, kind: ViolationKind, message: String) {
+        let mut st = self.lock();
+        self.violate(&mut st, kind, message);
+    }
+
+    pub(crate) fn aborted(&self) -> bool {
+        self.lock().abort
+    }
+
+    /// Register a new model thread; returns its tid. The thread starts
+    /// runnable but does not run until the scheduler picks it.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(ThreadState { status: Status::Runnable, yielded: false });
+        st.threads.len() - 1
+    }
+
+    /// Pick the next thread to run. `prev` is the thread making the
+    /// decision (it may already be blocked or finished).
+    fn pick_next(&self, st: &mut ExecState, prev: usize) {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if !st.all_finished() {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, t)| format!("thread {i} {:?}", t.status))
+                    .collect();
+                self.violate(
+                    st,
+                    ViolationKind::Deadlock,
+                    format!("every unfinished thread is blocked: {}", blocked.join(", ")),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Fairness: a thread that yielded steps aside while any
+        // non-yielded thread can run; once only yielded threads remain,
+        // the slate is wiped. This is what makes spin loops (which must
+        // yield) explorable without unbounded writer-spins-forever
+        // schedules.
+        let fresh: Vec<usize> =
+            runnable.iter().copied().filter(|&t| !st.threads[t].yielded).collect();
+        let mut cands = if fresh.is_empty() {
+            for t in &mut st.threads {
+                t.yielded = false;
+            }
+            runnable
+        } else {
+            fresh
+        };
+        // Canonical candidate order: the currently running thread first,
+        // the rest by tid. The DFS in `model::next_prefix` only explores
+        // alternatives *after* the chosen index, so the default choice
+        // (continue `prev` — never a preemption) must always sit at
+        // index 0 or the earlier candidates would be silently skipped.
+        if let Some(p) = cands.iter().position(|&t| t == prev) {
+            cands.remove(p);
+            cands.insert(0, prev);
+        }
+        let step_idx = st.trace.len();
+        let chosen = if step_idx < st.forced.len() {
+            // Replaying a prefix (or a seed): the recorded choice. The
+            // clamp only matters for hand-written seeds; recorded ones
+            // regenerate identical candidate sets.
+            st.forced[step_idx].min(cands.len() - 1)
+        } else {
+            0
+        };
+        let is_preempt = cands[chosen] != prev && cands.contains(&prev);
+        st.trace.push(Branch {
+            cands: cands.clone(),
+            chosen,
+            prev,
+            preemptions_before: st.preemptions,
+        });
+        if is_preempt {
+            st.preemptions += 1;
+        }
+        let tid = cands[chosen];
+        st.threads[tid].yielded = false;
+        st.active = tid;
+        self.cv.notify_all();
+    }
+
+    /// Park `me` until the scheduler hands it the baton (or the
+    /// execution aborts, in which case the caller unwinds).
+    fn wait_my_turn(&self, mut st: StdMutexGuard<'_, ExecState>, me: usize) {
+        while !(st.abort || (st.active == me && st.threads[me].status == Status::Runnable)) {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// One shared-memory operation boundary: a scheduling point where
+    /// any other runnable thread may be interleaved *before* the
+    /// caller's next operation executes. `yields` marks the caller as
+    /// having stepped aside (`spin_loop`/`yield_now`); `count_yield`
+    /// additionally counts it in the execution stats (`yield_now`
+    /// only — the stat backs the bounded-spin regression test).
+    pub(crate) fn op_point(&self, me: usize, yields: bool, count_yield: bool) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let max = st.max_steps;
+            self.violate(
+                &mut st,
+                ViolationKind::Livelock,
+                format!(
+                    "no termination after {max} scheduling points — \
+                     a thread is spinning without yielding"
+                ),
+            );
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        if yields {
+            st.threads[me].yielded = true;
+            if count_yield {
+                st.yields += 1;
+            }
+        }
+        self.pick_next(&mut st, me);
+        self.wait_my_turn(st, me);
+    }
+
+    /// Park a freshly spawned model thread until the scheduler first
+    /// picks it (its registration made it a candidate; its OS thread
+    /// must not run user code before being chosen).
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        let st = self.lock();
+        self.wait_my_turn(st, me);
+    }
+
+    /// Block `me` on the shim mutex at `addr` until it is unlocked (and
+    /// the scheduler picks `me` again).
+    pub(crate) fn block_on_mutex(&self, me: usize, addr: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.threads[me].status = Status::BlockedMutex(addr);
+        self.pick_next(&mut st, me);
+        self.wait_my_turn(st, me);
+    }
+
+    /// Wake every thread blocked on the shim mutex at `addr` (they
+    /// re-attempt the acquire when scheduled).
+    pub(crate) fn mutex_unlocked(&self, me: usize, addr: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            return;
+        }
+        for t in &mut st.threads {
+            if t.status == Status::BlockedMutex(addr) {
+                t.status = Status::Runnable;
+            }
+        }
+        // Releasing a lock is itself a scheduling point: a woken waiter
+        // may grab it before the releaser's next operation.
+        st.steps += 1;
+        self.pick_next(&mut st, me);
+        self.wait_my_turn(st, me);
+    }
+
+    /// Block `me` until thread `target` finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        if st.threads[target].status != Status::Finished {
+            st.threads[me].status = Status::BlockedJoin(target);
+            self.pick_next(&mut st, me);
+            self.wait_my_turn(st, me);
+        }
+    }
+
+    /// Mark `me` finished (normal completion): wake its joiners and
+    /// hand the baton on.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        for t in &mut st.threads {
+            if t.status == Status::BlockedJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, me);
+    }
+
+    /// Mark `me` finished during an abort unwind — no scheduling, just
+    /// wake everyone so the driver can reap.
+    pub(crate) fn finish_abort(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        for t in &mut st.threads {
+            if t.status == Status::BlockedJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wait until every registered model thread has finished.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while !st.all_finished() {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    // ---- object registry (Arc tracking) ------------------------------
+
+    /// Track a fresh allocation (strong count 1). `dealloc` frees the
+    /// quarantined shell at teardown.
+    pub(crate) fn register_object(&self, addr: usize, dealloc: Box<dyn FnOnce() + Send>) {
+        let mut st = self.lock();
+        st.objects.insert(addr, ObjState { strong: 1, freed: false });
+        st.teardown.push(dealloc);
+    }
+
+    /// Validate a raw-pointer revival (`Arc::from_raw` without a count
+    /// change): the address must be a live tracked allocation.
+    pub(crate) fn object_check_live(&self, addr: usize, what: &str) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let bad = match st.objects.get(&addr) {
+            None => Some(if addr == 0 {
+                format!("{what} through a null pointer")
+            } else {
+                format!("{what} through an untracked pointer {addr:#x}")
+            }),
+            Some(o) if o.freed => {
+                Some(format!("{what} on an allocation already dropped to zero"))
+            }
+            Some(_) => None,
+        };
+        if let Some(msg) = bad {
+            self.violate(&mut st, ViolationKind::UseAfterFree, msg);
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// Increment a tracked strong count (clone /
+    /// `increment_strong_count`).
+    pub(crate) fn object_incr(&self, addr: usize, what: &str) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let bad = match st.objects.get_mut(&addr) {
+            None => Some(if addr == 0 {
+                format!("{what} through a null pointer")
+            } else {
+                format!("{what} through an untracked pointer {addr:#x}")
+            }),
+            Some(o) if o.freed => {
+                Some(format!("{what} on an allocation already dropped to zero"))
+            }
+            Some(o) => {
+                o.strong += 1;
+                None
+            }
+        };
+        if let Some(msg) = bad {
+            self.violate(&mut st, ViolationKind::UseAfterFree, msg);
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// Decrement a tracked strong count; returns `true` when it hit
+    /// zero (the caller must drop the payload value in place).
+    pub(crate) fn object_decr(&self, addr: usize) -> bool {
+        let mut st = self.lock();
+        if st.abort {
+            return false;
+        }
+        enum Outcome {
+            Freed,
+            Alive,
+            Bad(String),
+        }
+        let outcome = match st.objects.get_mut(&addr) {
+            None => Outcome::Bad(format!("drop through an untracked pointer {addr:#x}")),
+            Some(o) if o.freed => {
+                Outcome::Bad("strong count decremented past zero".to_owned())
+            }
+            Some(o) => {
+                o.strong -= 1;
+                if o.strong == 0 {
+                    o.freed = true;
+                    Outcome::Freed
+                } else {
+                    Outcome::Alive
+                }
+            }
+        };
+        match outcome {
+            Outcome::Freed => true,
+            Outcome::Alive => false,
+            Outcome::Bad(msg) => {
+                self.violate(&mut st, ViolationKind::DoubleFree, msg);
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+        }
+    }
+
+    /// End-of-execution leak check: every tracked allocation must have
+    /// dropped to zero. Returns the number of leaked allocations.
+    pub(crate) fn leak_check(&self) -> usize {
+        let mut st = self.lock();
+        let leaked: Vec<usize> =
+            st.objects.values().filter(|o| !o.freed).map(|o| o.strong).collect();
+        if !leaked.is_empty() && st.violation.is_none() {
+            let n = leaked.len();
+            st.violation = Some((
+                ViolationKind::Leak,
+                format!(
+                    "{n} tracked allocation(s) still alive at the end of the \
+                     execution (strong counts {leaked:?})"
+                ),
+            ));
+        }
+        leaked.len()
+    }
+
+    /// Free every quarantined allocation shell. Runs after all threads
+    /// joined; payload values were dropped when their counts hit zero.
+    pub(crate) fn teardown(&self) {
+        let dealloc = {
+            let mut st = self.lock();
+            st.objects.clear();
+            std::mem::take(&mut st.teardown)
+        };
+        for f in dealloc {
+            f();
+        }
+    }
+}
+
+// ---- thread-local execution context ---------------------------------
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: StdArc<Execution>,
+    pub tid: usize,
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Run `f` with the calling thread's model context. Panics (with a
+/// diagnostic) when called from outside a model run — the shims are
+/// only meaningful under the scheduler.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        // lint: allow(unwrap, deliberate usage-error panic with an actionable message)
+        let ctx = b.as_ref().expect(
+            "loom-lite sync primitive used outside loom_lite::model::check \
+             (build without --cfg cla_model_check for the std types)",
+        );
+        f(ctx)
+    })
+}
+
+/// Whether the calling thread is inside a model run (guards shim `Drop`
+/// impls, which must not schedule during non-model unwinds).
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}

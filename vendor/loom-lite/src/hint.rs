@@ -1,0 +1,12 @@
+//! Shimmed `std::hint` surface.
+
+use crate::exec::{self, Ctx};
+
+/// Modeled exactly like [`crate::thread::yield_now`] minus the stat:
+/// a spin iteration is a scheduling point that steps aside, so a
+/// spinning thread can never starve the thread it waits on (and an
+/// unyielding spin is reported as a livelock instead of hanging the
+/// explorer).
+pub fn spin_loop() {
+    exec::with_ctx(|ctx: &Ctx| ctx.exec.op_point(ctx.tid, true, false));
+}

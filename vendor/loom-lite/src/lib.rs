@@ -1,0 +1,67 @@
+//! # loom-lite — a vendored, dependency-free model checker
+//!
+//! A stand-in for the `loom` crate (the build environment has no
+//! network access), covering exactly the surface this workspace's
+//! lock-free core needs: shimmed
+//! [`sync::atomic::AtomicUsize`]/[`sync::atomic::AtomicPtr`],
+//! [`sync::Mutex`], and a strong-count-tracked [`sync::Arc`], all
+//! routed through a deterministic cooperative scheduler that explores
+//! thread interleavings by DFS over scheduling decisions.
+//!
+//! ## What it explores
+//!
+//! Every shimmed operation (atomic access, lock acquire/release, `Arc`
+//! count transition, `yield`) is a **scheduling point**: the explorer
+//! may interleave any other runnable thread there. Executions are
+//! sequentially consistent — exactly one thread runs between points —
+//! so the state space is the set of operation interleavings, explored
+//! exhaustively either in full ([`model::Builder::preemption_bound`]
+//! `= None`) or under a **preemption bound** (CHESS-style: at most *k*
+//! switches away from a still-runnable thread; switches at blocking or
+//! yielding points are free). Weak memory orderings are *not* modeled —
+//! they are treated as `SeqCst`, which is exact for all-`SeqCst`
+//! protocols.
+//!
+//! ## What it detects
+//!
+//! * **Use-after-free / double-free / leak** — [`sync::Arc`]'s strong
+//!   count lives in a per-execution registry; allocations are
+//!   quarantined (never reused mid-run), so a stale
+//!   `Arc::increment_strong_count` / `from_raw` / deref is caught
+//!   structurally.
+//! * **Deadlock** — all unfinished threads blocked.
+//! * **Livelock** — a per-execution scheduling-point budget (a spin
+//!   loop that never yields exhausts it).
+//! * **Panics** — any assertion failing inside the model closure.
+//!
+//! Every violation carries a **replayable seed** (the failing
+//! schedule's choice list) accepted by [`model::Builder::replay`].
+//!
+//! ## Example
+//!
+//! ```
+//! use loom_lite::model::Builder;
+//! use loom_lite::sync::atomic::{AtomicUsize, Ordering};
+//! use loom_lite::thread;
+//! use std::sync::Arc;
+//!
+//! let report = Builder::default().check(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = thread::spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.violation.is_none());
+//! assert!(report.schedules > 1); // both interleavings explored
+//! ```
+
+mod exec;
+pub mod hint;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use exec::ViolationKind;
+pub use model::{check, Builder, Report, Violation};

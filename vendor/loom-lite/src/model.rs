@@ -1,0 +1,271 @@
+//! The exploration driver: DFS over scheduling decisions.
+//!
+//! [`Builder::check`] runs the model closure once per schedule. Each
+//! run replays a **forced prefix** of choice indices and then continues
+//! with the default choice (keep running the current thread) while
+//! recording every decision's candidate set. Backtracking pops the
+//! deepest decision with an unexplored alternative — skipping
+//! alternatives that would exceed the preemption bound — and re-runs
+//! with the extended prefix. The search is exhaustive over the decision
+//! tree *within the bound* (`preemption_bound: None` removes the bound
+//! entirely).
+//!
+//! Any violation aborts the current execution and is reported with a
+//! **replayable seed**: the full choice list of the failing schedule,
+//! printable as `0.0.1.2…` and accepted by [`Builder::replay`].
+
+use crate::exec::{Abort, Branch, Ctx, Execution, ViolationKind};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, OnceLock};
+
+/// A violation found by the explorer, with the schedule that produced
+/// it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub message: String,
+    /// Replayable schedule: choice indices joined with `.` — feed back
+    /// through [`Builder::replay`] to reproduce deterministically.
+    pub seed: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} (replay seed: {})", self.kind, self.message, self.seed)
+    }
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of complete schedules executed.
+    pub schedules: u64,
+    /// The first violation found, if any (exploration stops there).
+    pub violation: Option<Violation>,
+    /// `true` when the decision tree was exhausted (within the
+    /// preemption bound) without hitting `max_schedules`.
+    pub complete: bool,
+    /// Total `thread::yield_now` calls observed across all schedules
+    /// (spin-loop fallback instrumentation).
+    pub yields: u64,
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum preemptive context switches per schedule (`None` = full
+    /// exploration). A preemption is a switch away from a thread that
+    /// was still runnable and had not yielded; switches at blocking or
+    /// yield points are always free.
+    pub preemption_bound: Option<usize>,
+    /// Scheduling-point budget per execution; exceeding it is reported
+    /// as a livelock.
+    pub max_steps: usize,
+    /// Safety cap on explored schedules; hitting it clears
+    /// [`Report::complete`].
+    pub max_schedules: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { preemption_bound: Some(3), max_steps: 10_000, max_schedules: 2_000_000 }
+    }
+}
+
+struct RunOutcome {
+    trace: Vec<Branch>,
+    violation: Option<(ViolationKind, String)>,
+    yields: u64,
+}
+
+impl Builder {
+    /// Explore `f` under this configuration. The closure runs once per
+    /// schedule; everything it models must be created inside it.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_hook();
+        let f: StdArc<dyn Fn() + Send + Sync> = StdArc::new(f);
+        let mut forced: Vec<usize> = Vec::new();
+        let mut schedules = 0u64;
+        let mut yields = 0u64;
+        loop {
+            let outcome = run_once(forced.clone(), self.max_steps, StdArc::clone(&f));
+            schedules += 1;
+            yields += outcome.yields;
+            if let Some((kind, message)) = outcome.violation {
+                return Report {
+                    schedules,
+                    violation: Some(Violation {
+                        kind,
+                        message,
+                        seed: encode_seed(&outcome.trace),
+                    }),
+                    complete: false,
+                    yields,
+                };
+            }
+            if schedules >= self.max_schedules {
+                return Report { schedules, violation: None, complete: false, yields };
+            }
+            match self.next_prefix(outcome.trace) {
+                Some(next) => forced = next,
+                None => return Report { schedules, violation: None, complete: true, yields },
+            }
+        }
+    }
+
+    /// Re-run a single recorded schedule (a [`Violation::seed`]).
+    pub fn replay<F>(&self, seed: &str, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_hook();
+        let outcome = run_once(decode_seed(seed), self.max_steps, StdArc::new(f));
+        Report {
+            schedules: 1,
+            violation: outcome.violation.map(|(kind, message)| Violation {
+                kind,
+                message,
+                seed: encode_seed(&outcome.trace),
+            }),
+            complete: false,
+            yields: outcome.yields,
+        }
+    }
+
+    /// The deepest-first next unexplored prefix, honoring the
+    /// preemption bound; `None` when the tree is exhausted.
+    fn next_prefix(&self, mut trace: Vec<Branch>) -> Option<Vec<usize>> {
+        loop {
+            let br = trace.pop()?;
+            let prev_in_cands = br.cands.contains(&br.prev);
+            let mut next = br.chosen + 1;
+            while next < br.cands.len() {
+                let is_preempt = prev_in_cands && br.cands[next] != br.prev;
+                let within = match self.preemption_bound {
+                    Some(b) => br.preemptions_before + usize::from(is_preempt) <= b,
+                    None => true,
+                };
+                if within {
+                    let mut prefix: Vec<usize> = trace.iter().map(|b| b.chosen).collect();
+                    prefix.push(next);
+                    return Some(prefix);
+                }
+                next += 1;
+            }
+        }
+    }
+}
+
+/// Explore with the default [`Builder`], panicking on any violation —
+/// the `loom::model` convenience shape.
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = Builder::default().check(f);
+    if let Some(v) = &report.violation {
+        panic!(
+            "loom-lite: {} violation after {} schedule(s): {} (replay seed: {})",
+            v.kind, report.schedules, v.message, v.seed
+        );
+    }
+    report
+}
+
+fn run_once(
+    forced: Vec<usize>,
+    max_steps: usize,
+    f: StdArc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let exec = StdArc::new(Execution::new(forced, max_steps));
+    let root = exec.register_thread();
+    debug_assert_eq!(root, 0);
+    spawn_model_thread(&exec, root, move || f());
+    exec.wait_all_finished();
+    let joins: Vec<_> =
+        std::mem::take(&mut *exec.handles.lock().unwrap_or_else(|p| p.into_inner()));
+    for h in joins {
+        let _ = h.join();
+    }
+    exec.leak_check();
+    exec.teardown();
+    let st = exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    RunOutcome { trace: st.trace.clone(), violation: st.violation.clone(), yields: st.yields }
+}
+
+/// Spawn the OS thread backing model thread `tid` (already registered).
+pub(crate) fn spawn_model_thread(
+    exec: &StdArc<Execution>,
+    tid: usize,
+    f: impl FnOnce() + Send + 'static,
+) {
+    let exec2 = StdArc::clone(exec);
+    let handle = std::thread::Builder::new()
+        // The name prefix is what the quiet panic hook keys on.
+        .name(format!("loom-lite-{tid}"))
+        .spawn(move || {
+            crate::exec::set_ctx(Some(Ctx { exec: StdArc::clone(&exec2), tid }));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                exec2.wait_first_schedule(tid);
+                f()
+            }));
+            crate::exec::set_ctx(None);
+            match result {
+                Ok(()) => exec2.finish_thread(tid),
+                Err(payload) => {
+                    if !payload.is::<Abort>() {
+                        // `&*payload`, not `&payload`: coercing the
+                        // `Box` itself to `dyn Any` would defeat the
+                        // downcast to the inner `String`.
+                        exec2.violate_external(
+                            ViolationKind::Panic,
+                            payload_message(&*payload),
+                        );
+                    }
+                    exec2.finish_abort(tid);
+                }
+            }
+        })
+        // lint: allow(unwrap, model threads are few and tiny; spawn failure is unrecoverable)
+        .expect("loom-lite: failed to spawn a model thread");
+    exec.handles.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_owned()
+    }
+}
+
+fn encode_seed(trace: &[Branch]) -> String {
+    trace.iter().map(|b| b.chosen.to_string()).collect::<Vec<_>>().join(".")
+}
+
+fn decode_seed(seed: &str) -> Vec<usize> {
+    seed.split('.').filter(|s| !s.is_empty()).map(|s| s.parse().unwrap_or(0)).collect()
+}
+
+/// Install (once per process) a panic hook that silences the expected
+/// unwinds inside model threads — violations panic *by design*, and the
+/// default hook would spray a backtrace per aborted thread. Panics on
+/// any other thread keep the previous hook's behavior.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let on_model_thread =
+                std::thread::current().name().is_some_and(|n| n.starts_with("loom-lite-"));
+            if !on_model_thread {
+                previous(info);
+            }
+        }));
+    });
+}

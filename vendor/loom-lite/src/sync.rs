@@ -1,0 +1,391 @@
+//! Shimmed `std::sync` surface: every operation is a scheduling point.
+//!
+//! Semantics are **sequentially consistent**: because exactly one model
+//! thread runs between scheduling points, every shimmed operation
+//! executes atomically in the global interleaving order the explorer
+//! chose. `Ordering` arguments are accepted (API compatibility) and
+//! ignored — weaker orderings are modeled as `SeqCst`, which is exact
+//! for the code this workspace checks (its protocol is all-`SeqCst`,
+//! machine-enforced by `cla-xtask`'s ordering lint).
+//!
+//! [`Arc`] is the checker's memory model: a manual strong count over a
+//! quarantined allocation, so `from_raw` / `increment_strong_count` /
+//! `drop` misuse surfaces as a structural use-after-free / double-free
+//! / leak instead of silent heap corruption.
+
+use crate::exec::{self, Ctx};
+use std::cell::UnsafeCell;
+use std::mem::{offset_of, ManuallyDrop};
+
+/// One pre-operation scheduling point for the calling model thread.
+fn op() {
+    exec::with_ctx(|ctx: &Ctx| ctx.exec.op_point(ctx.tid, false, false));
+}
+
+pub mod atomic {
+    use super::op;
+    pub use std::sync::atomic::Ordering;
+
+    /// Shimmed `AtomicUsize`: plain storage, every access a scheduling
+    /// point.
+    #[derive(Debug, Default)]
+    pub struct AtomicUsize {
+        v: std::sync::atomic::AtomicUsize,
+    }
+
+    impl AtomicUsize {
+        pub const fn new(v: usize) -> Self {
+            AtomicUsize { v: std::sync::atomic::AtomicUsize::new(v) }
+        }
+
+        pub fn load(&self, _: Ordering) -> usize {
+            op();
+            self.v.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn store(&self, val: usize, _: Ordering) {
+            op();
+            self.v.store(val, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        pub fn swap(&self, val: usize, _: Ordering) -> usize {
+            op();
+            self.v.swap(val, std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn fetch_add(&self, val: usize, _: Ordering) -> usize {
+            op();
+            self.v.fetch_add(val, std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn fetch_sub(&self, val: usize, _: Ordering) -> usize {
+            op();
+            self.v.fetch_sub(val, std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            _: Ordering,
+            _: Ordering,
+        ) -> Result<usize, usize> {
+            op();
+            self.v.compare_exchange(
+                current,
+                new,
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+            )
+        }
+
+        pub fn get_mut(&mut self) -> &mut usize {
+            self.v.get_mut()
+        }
+    }
+
+    /// Shimmed `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool { v: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        pub fn load(&self, _: Ordering) -> bool {
+            op();
+            self.v.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn store(&self, val: bool, _: Ordering) {
+            op();
+            self.v.store(val, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        pub fn swap(&self, val: bool, _: Ordering) -> bool {
+            op();
+            self.v.swap(val, std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.v.get_mut()
+        }
+    }
+
+    /// Shimmed `AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        v: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        pub const fn new(p: *mut T) -> Self {
+            AtomicPtr { v: std::sync::atomic::AtomicPtr::new(p) }
+        }
+
+        pub fn load(&self, _: Ordering) -> *mut T {
+            op();
+            self.v.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        pub fn store(&self, p: *mut T, _: Ordering) {
+            op();
+            self.v.store(p, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        pub fn swap(&self, p: *mut T, _: Ordering) -> *mut T {
+            op();
+            self.v.swap(p, std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+}
+
+// ---- Mutex -----------------------------------------------------------
+
+/// Shimmed `Mutex`: acquisition order is a scheduler decision; a held
+/// lock blocks (deterministically) instead of spinning. Never poisons —
+/// a panic aborts the whole execution first.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    held: std::sync::atomic::AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler serializes all access — only the one active
+// model thread touches `data`, and only while holding the shim lock.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above; `&Mutex<T>` only exposes `T` through the guard,
+// which the model's mutual-exclusion protocol makes exclusive.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex { held: std::sync::atomic::AtomicBool::new(false), data: UnsafeCell::new(t) }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        loop {
+            op();
+            // Exclusive between scheduling points: no real race here.
+            if !self.held.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                return Ok(MutexGuard { lock: self });
+            }
+            // Re-mark held (we clobbered nothing: it was already true)
+            // and park until the holder releases.
+            exec::with_ctx(|ctx| ctx.exec.block_on_mutex(ctx.tid, self.addr()));
+        }
+    }
+
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the shim lock; the scheduler
+        // serializes all model threads.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive while the guard lives.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.held.store(false, std::sync::atomic::Ordering::SeqCst);
+        // During an abort unwind (or outside a model run) the scheduler
+        // is done with us — releasing the flag above is enough.
+        if std::thread::panicking() || !exec::in_model() {
+            return;
+        }
+        exec::with_ctx(|ctx| {
+            if ctx.exec.aborted() {
+                return;
+            }
+            ctx.exec.mutex_unlocked(ctx.tid, self.lock.addr());
+        });
+    }
+}
+
+// ---- Arc -------------------------------------------------------------
+
+#[repr(C)]
+struct Inner<T> {
+    /// Tracked allocation address is the `Inner` address itself; this
+    /// field keeps the layout honest for `from_raw` recovery.
+    value: ManuallyDrop<T>,
+}
+
+/// Shimmed `Arc`: the strong count lives in the execution's object
+/// registry, so every lifecycle transition is checked and every
+/// count-touching operation is a scheduling point.
+pub struct Arc<T> {
+    ptr: *const Inner<T>,
+}
+
+// SAFETY: the shim is a tracked strong reference with the same sharing
+// contract as `std::sync::Arc` — the payload is only shared by `&T`.
+unsafe impl<T: Send + Sync> Send for Arc<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for Arc<T> {}
+
+struct SendPtr(*mut ());
+// SAFETY: the pointer is only moved into the teardown closure and
+// dereferenced by the single driver thread after all model threads
+// joined.
+unsafe impl Send for SendPtr {}
+
+impl<T> Arc<T> {
+    fn addr(&self) -> usize {
+        self.ptr as usize
+    }
+
+    fn inner_from_value(ptr: *const T) -> *const Inner<T> {
+        if ptr.is_null() {
+            return std::ptr::null();
+        }
+        // SAFETY: pointer arithmetic only — recovering the container
+        // address `into_raw` derived the value pointer from; validity
+        // is checked against the registry before any dereference.
+        unsafe { ptr.byte_sub(offset_of!(Inner<T>, value)).cast() }
+    }
+
+    /// Drop the payload in place (strong count hit zero). The shell
+    /// stays quarantined until execution teardown.
+    fn drop_value(inner: *const Inner<T>) {
+        // SAFETY: the registry just transitioned this allocation to
+        // freed, so this is the unique drop of the payload; the shell
+        // allocation itself remains valid until teardown.
+        unsafe { ManuallyDrop::drop(&mut (*(inner as *mut Inner<T>)).value) }
+    }
+}
+
+impl<T: Send + 'static> Arc<T> {
+    pub fn new(value: T) -> Self {
+        let raw = Box::into_raw(Box::new(Inner { value: ManuallyDrop::new(value) }));
+        let shell = SendPtr(raw.cast());
+        exec::with_ctx(|ctx| {
+            ctx.exec.register_object(
+                raw as usize,
+                Box::new(move || {
+                    // Capture the whole wrapper, not the raw field —
+                    // edition-2021 disjoint capture would otherwise pull
+                    // in the bare `*mut ()` and lose the `Send` impl.
+                    let shell = shell;
+                    // SAFETY: teardown runs once, after every model
+                    // thread joined; `ManuallyDrop` suppresses a second
+                    // payload drop, so this only frees the shell.
+                    unsafe { drop(Box::from_raw(shell.0 as *mut Inner<T>)) };
+                }),
+            );
+        });
+        Arc { ptr: raw }
+    }
+}
+
+impl<T> Arc<T> {
+    pub fn into_raw(this: Self) -> *const T {
+        // SAFETY: `this.ptr` is a live tracked allocation (the shim
+        // never constructs a dangling `Arc`); deriving the value
+        // pointer does not dereference the payload.
+        let p = unsafe { std::ptr::addr_of!((*this.ptr).value).cast::<T>() };
+        std::mem::forget(this);
+        p
+    }
+
+    /// # Safety
+    /// As `std::sync::Arc::from_raw`: `ptr` must come from `into_raw`
+    /// and the count it represents must still be owned. (The model
+    /// checker validates this at runtime — that is its purpose.)
+    pub unsafe fn from_raw(ptr: *const T) -> Self {
+        let inner = Self::inner_from_value(ptr);
+        exec::with_ctx(|ctx| ctx.exec.object_check_live(inner as usize, "Arc::from_raw"));
+        Arc { ptr: inner }
+    }
+
+    /// # Safety
+    /// As `std::sync::Arc::increment_strong_count` — checked by the
+    /// model at runtime.
+    pub unsafe fn increment_strong_count(ptr: *const T) {
+        let inner = Self::inner_from_value(ptr);
+        exec::with_ctx(|ctx| {
+            ctx.exec.op_point(ctx.tid, false, false);
+            ctx.exec.object_incr(inner as usize, "Arc::increment_strong_count");
+        });
+    }
+
+    pub fn ptr_eq(this: &Self, other: &Self) -> bool {
+        this.ptr == other.ptr
+    }
+}
+
+impl<T> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        exec::with_ctx(|ctx| {
+            ctx.exec.op_point(ctx.tid, false, false);
+            ctx.exec.object_incr(self.addr(), "Arc::clone");
+        });
+        Arc { ptr: self.ptr }
+    }
+}
+
+impl<T> std::ops::Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        exec::with_ctx(|ctx| ctx.exec.object_check_live(self.addr(), "Arc deref"));
+        // SAFETY: the registry just confirmed the payload is alive, and
+        // no other thread can free it before this thread's next
+        // scheduling point.
+        unsafe { &(*self.ptr).value }
+    }
+}
+
+impl<T> Drop for Arc<T> {
+    fn drop(&mut self) {
+        if !exec::in_model() {
+            // Dropped after the execution tore down (shouldn't happen
+            // for well-scoped closures) — teardown owns the memory.
+            return;
+        }
+        let freed = exec::with_ctx(|ctx| {
+            if ctx.exec.aborted() {
+                return false;
+            }
+            if !std::thread::panicking() {
+                ctx.exec.op_point(ctx.tid, false, false);
+            }
+            ctx.exec.object_decr(self.addr())
+        });
+        if freed {
+            Self::drop_value(self.ptr);
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}

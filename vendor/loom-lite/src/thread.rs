@@ -1,0 +1,56 @@
+//! Shimmed `std::thread` surface: model threads under the scheduler.
+
+use crate::exec::{self, Ctx};
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+/// Handle to a model thread; [`JoinHandle::join`] is a blocking
+/// scheduling point.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: StdArc<StdMutex<Option<T>>>,
+}
+
+/// Spawn a model thread. The spawn itself is a scheduling point: the
+/// child may run before the parent's next operation.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = StdArc::new(StdMutex::new(None));
+    let slot = StdArc::clone(&result);
+    let (exec, parent) = exec::with_ctx(|ctx: &Ctx| (StdArc::clone(&ctx.exec), ctx.tid));
+    let tid = exec.register_thread();
+    crate::model::spawn_model_thread(&exec, tid, move || {
+        let value = f();
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+    });
+    exec.op_point(parent, false, false);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish; mirrors `std::thread::JoinHandle`
+    /// (the `Err` case is unreachable — a panicking model thread aborts
+    /// the whole execution first).
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = exec::with_ctx(|ctx: &Ctx| (StdArc::clone(&ctx.exec), ctx.tid));
+        exec.join_thread(me, self.tid);
+        let value = self
+            .result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            // lint: allow(unwrap, the scheduler parks join until the result is stored)
+            .expect("loom-lite: joined thread finished without a result");
+        Ok(value)
+    }
+}
+
+/// Fair-scheduler yield: the caller steps aside until every other
+/// runnable thread has had a chance to run. Spin-wait fallbacks must
+/// call this (or [`crate::hint::spin_loop`]) or the explorer reports a
+/// livelock.
+pub fn yield_now() {
+    exec::with_ctx(|ctx: &Ctx| ctx.exec.op_point(ctx.tid, true, true));
+}
