@@ -1,0 +1,27 @@
+//! Write the paper's company engine to a snapshot image on disk.
+//!
+//! ```text
+//! cargo run -p cla-bench --bin snapshot -- /tmp/company.snap
+//! ```
+//!
+//! The CI cold-start leg runs this in one process, then opens the file
+//! from a *fresh* process (`tests/cold_start.rs` with `CLA_SNAPSHOT`
+//! pointing at it) and replays the whole paper-reproduction suite over
+//! the opened engine — so the save → open boundary is exercised across
+//! a real process lifetime, not just within one address space.
+
+use cla_bench::paper;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "company.snap".to_owned());
+    let h = paper::harness();
+    if let Err(e) = h.engine.save(&path) {
+        eprintln!("failed to save snapshot to {path}: {e}");
+        std::process::exit(1);
+    }
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {path}: generation {} of the company engine, {bytes} bytes",
+        h.engine.generation()
+    );
+}

@@ -34,6 +34,17 @@ pub fn harness() -> Harness {
     Harness { engine, by_alias }
 }
 
+/// Wrap an already-constructed engine — e.g. one cold-started from a
+/// snapshot image via `SearchEngine::open` — as a paper harness. The
+/// alias → tuple map is recovered by inverting the engine's own alias
+/// table (the company fixture keeps them as exact inverses), so every
+/// check runs against precisely what the engine carries, not a freshly
+/// rebuilt fixture.
+pub fn harness_from(engine: SearchEngine) -> Harness {
+    let by_alias = engine.aliases().iter().map(|(t, a)| (a.clone(), *t)).collect();
+    Harness { engine, by_alias }
+}
+
 impl Harness {
     /// The connection following the given aliases (paper's connection
     /// notation, e.g. `["p1", "w_f1", "e1"]`).

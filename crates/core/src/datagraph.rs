@@ -7,9 +7,10 @@
 //! conceptual lengths (§3 of the paper).
 
 use crate::error::CoreError;
-use cla_er::{FkRole, SchemaMapping};
+use cla_er::{FkRole, RelationshipId, SchemaMapping};
 use cla_graph::{CsrAdjacency, EdgeId, Graph, NodeId};
-use cla_relational::{ChangeSet, Database, TupleId, TupleRemap};
+use cla_relational::{ChangeSet, Database, RelationId, TupleId, TupleRemap};
+use cla_storage::{ByteReader, ByteWriter, StorageError};
 use std::collections::{HashMap, HashSet};
 
 /// Pending CSR edge edits tolerated before [`DataGraph::apply`] folds
@@ -451,6 +452,168 @@ impl DataGraph {
         edge_remap
     }
 
+    /// Serialize the graph half of this data graph into one flat
+    /// snapshot section: every node and edge **slot** (tombstones
+    /// included, so [`TupleId`]-keyed state and [`EdgeId`]-indexed side
+    /// tables survive a save/open round trip) plus the per-slot middle
+    /// flags. The tuple→node map is derived and rebuilt on decode.
+    pub(crate) fn encode_graph(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.len(self.graph.node_count());
+        for n in self.graph.nodes() {
+            let t = self.graph.node(n);
+            w.u32(t.relation.0);
+            w.u32(t.row);
+            w.bool(self.graph.is_node_alive(n));
+            w.bool(self.middle[n.index()]);
+        }
+        w.len(self.graph.edge_slots());
+        for i in 0..self.graph.edge_slots() {
+            let e = EdgeId(i as u32);
+            let (from, to) = self.graph.endpoints(e);
+            let ann = self.graph.edge(e).payload;
+            w.u32(from.0);
+            w.u32(to.0);
+            w.bool(self.graph.is_edge_alive(e));
+            w.len(ann.fk_index);
+            match ann.role {
+                FkRole::Direct { relationship, owner_is_left } => {
+                    w.u8(0);
+                    w.u32(relationship.0);
+                    w.bool(owner_is_left);
+                }
+                FkRole::Middle { relationship, to_left } => {
+                    w.u8(1);
+                    w.u32(relationship.0);
+                    w.bool(to_left);
+                }
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Serialize the CSR into one flat snapshot section: the offset
+    /// array and the flat neighbor array, **with any pending patch
+    /// overlay folded in logically** — the section is built per node
+    /// from [`CsrAdjacency::neighbors`] (which consults the overlay), so
+    /// an uncompacted snapshot and its compacted twin encode
+    /// byte-identically and the reopened CSR starts overlay-free.
+    pub(crate) fn encode_csr(&self) -> Vec<u8> {
+        let mut offsets: Vec<u32> = Vec::with_capacity(self.csr.node_count() + 1);
+        let mut flat: Vec<(NodeId, EdgeId)> = Vec::new();
+        offsets.push(0);
+        for i in 0..self.csr.node_count() {
+            flat.extend_from_slice(self.csr.neighbors(NodeId(i as u32)));
+            offsets.push(flat.len() as u32);
+        }
+        let mut w = ByteWriter::new();
+        w.len(offsets.len());
+        for o in offsets {
+            w.u32(o);
+        }
+        w.len(flat.len());
+        for (m, e) in flat {
+            w.u32(m.0);
+            w.u32(e.0);
+        }
+        w.into_vec()
+    }
+
+    /// Rebuild a data graph from its two [`DataGraph::encode_graph`] /
+    /// [`DataGraph::encode_csr`] sections. Both payloads are validated,
+    /// never trusted: slot arrays must be mutually consistent
+    /// ([`Graph::from_slots`]), the CSR must be a well-formed offset
+    /// array over in-bounds **live** edges and must agree with the
+    /// graph's slot counts, and live nodes must carry distinct tuple
+    /// ids. Corrupt input is a typed error, never a panic.
+    pub(crate) fn decode(graph_bytes: &[u8], csr_bytes: &[u8]) -> Result<Self, StorageError> {
+        let mut r = ByteReader::new(graph_bytes);
+        let n_nodes = r.len_of(10)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut node_alive = Vec::with_capacity(n_nodes);
+        let mut middle = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let relation = RelationId(r.u32()?);
+            let row = r.u32()?;
+            nodes.push(TupleId::new(relation, row));
+            node_alive.push(r.bool()?);
+            middle.push(r.bool()?);
+        }
+        let n_edges = r.len_of(16)?;
+        let mut edges = Vec::with_capacity(n_edges);
+        let mut edge_alive = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let from = NodeId(r.u32()?);
+            let to = NodeId(r.u32()?);
+            edge_alive.push(r.bool()?);
+            let fk_index = r.len()?;
+            let role = match r.u8()? {
+                0 => FkRole::Direct {
+                    relationship: RelationshipId(r.u32()?),
+                    owner_is_left: r.bool()?,
+                },
+                1 => FkRole::Middle {
+                    relationship: RelationshipId(r.u32()?),
+                    to_left: r.bool()?,
+                },
+                tag => {
+                    return Err(StorageError::Malformed(format!("unknown fk role tag {tag}")))
+                }
+            };
+            edges.push((from, to, EdgeAnnotation { fk_index, role }));
+        }
+        r.finish()?;
+
+        let graph = Graph::from_slots(nodes, node_alive, edges, edge_alive.clone())
+            .ok_or_else(|| {
+                StorageError::Malformed("inconsistent graph slot arrays".into())
+            })?;
+        let mut node_of = HashMap::with_capacity(graph.alive_node_count());
+        for n in graph.nodes() {
+            if graph.is_node_alive(n) && node_of.insert(*graph.node(n), n).is_some() {
+                return Err(StorageError::Malformed(format!(
+                    "tuple {} appears at two live nodes",
+                    graph.node(n)
+                )));
+            }
+        }
+
+        let mut r = ByteReader::new(csr_bytes);
+        let n_offsets = r.len_of(4)?;
+        if n_offsets != n_nodes + 1 {
+            return Err(StorageError::Malformed(format!(
+                "CSR has {n_offsets} offsets for {n_nodes} node slots"
+            )));
+        }
+        let mut offsets = Vec::with_capacity(n_offsets);
+        for _ in 0..n_offsets {
+            offsets.push(r.u32()?);
+        }
+        let n_flat = r.len_of(8)?;
+        let mut flat = Vec::with_capacity(n_flat);
+        for _ in 0..n_flat {
+            let m = NodeId(r.u32()?);
+            let e = EdgeId(r.u32()?);
+            if m.index() >= n_nodes {
+                return Err(StorageError::Malformed(format!(
+                    "CSR neighbor node {m:?} out of range"
+                )));
+            }
+            if !edge_alive.get(e.index()).copied().unwrap_or(false) {
+                return Err(StorageError::Malformed(format!(
+                    "CSR references dead or out-of-range edge {e:?}"
+                )));
+            }
+            flat.push((m, e));
+        }
+        r.finish()?;
+        let csr = CsrAdjacency::from_parts(offsets, flat).ok_or_else(|| {
+            StorageError::Malformed("CSR offset array is not monotone from zero".into())
+        })?;
+
+        Ok(DataGraph { graph, csr, node_of, middle })
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &Graph<TupleId, EdgeAnnotation> {
         &self.graph
@@ -560,6 +723,56 @@ mod tests {
             let expect: Vec<_> =
                 dg.graph().incident_edges(n).map(|e| (e.other(n), e.id)).collect();
             assert_eq!(dg.csr().neighbors(n), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_with_overlay_and_tombstones() {
+        let c = company();
+        let mut db = c.db.clone();
+        let mut dg = DataGraph::build(&db, &c.mapping).unwrap();
+        db.take_changes();
+        // Leave both tombstones and a pending CSR overlay behind.
+        let dep = db.catalog().relation_id("DEPENDENT").unwrap();
+        db.insert(dep, vec!["t9".into(), "e1".into(), "Zoe".into()]).unwrap();
+        db.delete(c.tuple("t1").unwrap()).unwrap();
+        let changes = db.take_changes();
+        dg.apply(&db, &c.mapping, &changes).unwrap();
+        assert!(dg.csr().has_pending_patches(), "test wants a dirty overlay");
+
+        let graph_bytes = dg.encode_graph();
+        let csr_bytes = dg.encode_csr();
+        let back = DataGraph::decode(&graph_bytes, &csr_bytes).unwrap();
+
+        assert_eq!(back.node_count(), dg.node_count());
+        assert_eq!(back.alive_node_count(), dg.alive_node_count());
+        assert_eq!(back.edge_count(), dg.edge_count());
+        assert!(!back.csr().has_pending_patches(), "overlay folded at encode");
+        for n in dg.graph().nodes() {
+            assert_eq!(back.graph().is_node_alive(n), dg.graph().is_node_alive(n));
+            if dg.graph().is_node_alive(n) {
+                assert_eq!(back.tuple_of(n), dg.tuple_of(n));
+                assert_eq!(back.is_middle(n), dg.is_middle(n));
+                assert_eq!(back.node_of(dg.tuple_of(n)), Some(n));
+                assert_eq!(back.csr().neighbors(n), dg.csr().neighbors(n));
+            }
+        }
+        for e in dg.graph().edges() {
+            assert_eq!(back.annotation(e.id), dg.annotation(e.id));
+        }
+        // The uncompacted graph and its compacted-overlay twin encode
+        // byte-identically: the CSR section is logically folded.
+        let mut folded = dg.clone();
+        folded.compact_csr();
+        assert_eq!(folded.encode_csr(), csr_bytes);
+        assert_eq!(folded.encode_graph(), graph_bytes);
+
+        // Corrupt payloads are typed errors, never panics.
+        for cut in 0..graph_bytes.len() {
+            assert!(DataGraph::decode(&graph_bytes[..cut], &csr_bytes).is_err());
+        }
+        for cut in 0..csr_bytes.len() {
+            assert!(DataGraph::decode(&graph_bytes, &csr_bytes[..cut]).is_err());
         }
     }
 

@@ -74,6 +74,24 @@ impl SearchEngine {
         self
     }
 
+    /// Save the engine's published state as one offset-addressable,
+    /// checksummed snapshot image at `path` (atomic rename; staged
+    /// mutations must be applied first — see [`EngineWriter::save`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        self.writer.save(path)
+    }
+
+    /// Cold-start an engine from a snapshot image written by
+    /// [`SearchEngine::save`]: section reads plus validation instead of
+    /// the whole build pipeline, answering byte-identically to a
+    /// rebuilt engine and staying fully mutable ([`SearchEngine::apply`]
+    /// and [`SearchEngine::compact`] work on the opened engine).
+    /// Corrupt or version-incompatible files are rejected with
+    /// [`CoreError::Snapshot`] — never a panic.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        Ok(SearchEngine { writer: EngineWriter::open(path)? })
+    }
+
     /// The engine's auto-compaction policy.
     pub fn compaction_policy(&self) -> CompactionPolicy {
         self.writer.compaction_policy()

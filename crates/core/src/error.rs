@@ -49,6 +49,11 @@ pub enum CoreError {
     },
     /// Wrapped relational error.
     Relational(String),
+    /// Saving or opening a snapshot image failed: an I/O error, or a
+    /// file that is truncated, checksum-corrupt, from an unsupported
+    /// format version, or internally inconsistent. Corruption is always
+    /// reported through this variant — never a panic.
+    Snapshot(cla_storage::StorageError),
     /// The database was mutated after the engine's index and data graph
     /// were built (or last patched); searching would silently return
     /// wrong results. Call `SearchEngine::apply` to patch the engine up
@@ -106,6 +111,7 @@ impl fmt::Display for CoreError {
                 Ok(())
             }
             CoreError::Relational(msg) => write!(f, "relational error: {msg}"),
+            CoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             CoreError::StaleEngine { engine_version, db_version } => write!(
                 f,
                 "stale engine: database is at version {db_version} but the engine reflects \
@@ -130,6 +136,12 @@ impl std::error::Error for CoreError {}
 impl From<cla_relational::RelationalError> for CoreError {
     fn from(e: cla_relational::RelationalError) -> Self {
         CoreError::Relational(e.to_string())
+    }
+}
+
+impl From<cla_storage::StorageError> for CoreError {
+    fn from(e: cla_storage::StorageError) -> Self {
+        CoreError::Snapshot(e)
     }
 }
 

@@ -63,6 +63,29 @@
 //! (`crates/core/tests/concurrent.rs`;
 //! `examples/concurrent_serving.rs`).
 //!
+//! ## Cold start from disk
+//!
+//! [`SearchEngine::save`] serializes the published snapshot plus its
+//! database into one offset-addressable, checksummed image (see
+//! `cla-storage` and `ANALYSIS.md` for the file format);
+//! [`SearchEngine::open`] cold-starts from that file with section reads
+//! plus validation instead of the tokenize → index → graph → CSR build
+//! pipeline. Guarantees, property-tested in
+//! `crates/core/tests/roundtrip.rs`:
+//!
+//! * **Round-trip equivalence** — an opened engine answers
+//!   byte-identically (rankings, explanations, stats) to one rebuilt
+//!   from the same database, for all three algorithms.
+//! * **Typed rejection** — truncated, checksum-corrupt,
+//!   version-incompatible, or internally inconsistent files fail with
+//!   [`CoreError::Snapshot`] (wrapping a [`StorageError`] reason);
+//!   hostile bytes never panic and are never trusted unchecked (the
+//!   whole stack is `forbid(unsafe_code)`-clean, all reads
+//!   bounds-checked).
+//! * **Still live** — the opened engine keeps mutating: `apply`,
+//!   `compact`, alias edits, and a further `save` all work, with the
+//!   generation ordinal continuing across the save/open boundary.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -105,6 +128,8 @@ mod instance;
 #[cfg(not(cla_model_check))]
 mod participation;
 #[cfg(not(cla_model_check))]
+mod persist;
+#[cfg(not(cla_model_check))]
 mod ranking;
 #[cfg(not(cla_model_check))]
 mod snapshot;
@@ -145,6 +170,10 @@ pub use discover::{
 pub use engine::SearchEngine;
 #[cfg(not(cla_model_check))]
 pub use error::{CoreError, KeywordDiagnostic};
+// The typed corruption reasons behind [`CoreError::Snapshot`], for
+// callers matching on *why* an image was rejected.
+#[cfg(not(cla_model_check))]
+pub use cla_storage::StorageError;
 #[cfg(not(cla_model_check))]
 pub use explain::explain_connection;
 #[cfg(not(cla_model_check))]

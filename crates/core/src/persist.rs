@@ -1,0 +1,409 @@
+//! Offset-addressable snapshot persistence: one flat-buffer image per
+//! published engine generation, for cold starts that skip the whole
+//! build pipeline (tokenize → index → graph → CSR).
+//!
+//! The image is a [`cla_storage::SnapshotImage`]: a checksummed,
+//! versioned container of independently addressable sections. Every
+//! derived structure is stored in (or reconstructed from) the flat form
+//! it already serves searches from — the sorted term dictionary and
+//! contiguous posting arrays of the inverted index, the CSR offset and
+//! neighbor arrays, the tombstone-preserving row/node/edge slot arrays
+//! — so opening is section reads plus validation, not a rebuild. Two
+//! structures are deliberately *not* stored: the relational catalog and
+//! the [`SchemaMapping`](cla_er::SchemaMapping) are recomputed from the
+//! decoded ER schema by the same pure [`cla_er::map_to_relational`]
+//! call a fresh build runs, which is what keeps an opened engine
+//! answering byte-identically to a rebuilt one.
+//!
+//! Overlay state never reaches disk: the index's patch overlay and the
+//! CSR's patch overlay are folded *logically* while encoding (the
+//! in-memory snapshot is immutable and stays untouched), so an
+//! uncompacted snapshot and its compacted twin produce byte-identical
+//! images and every reopened structure starts overlay-free.
+//!
+//! Instrumentation state is recomputed, not persisted: the failpoint
+//! opt-in is re-read from `CLA_FAILPOINTS` on open, and the scratch
+//! pool starts empty (it refills on first search).
+
+use crate::datagraph::DataGraph;
+use crate::error::CoreError;
+use crate::snapshot::{failpoints_enabled_from_env, EngineSnapshot};
+use cla_er::{map_to_relational, Cardinality, Side};
+use cla_index::InvertedIndex;
+use cla_relational::{Database, RelationId, TupleId};
+use cla_storage::{ByteReader, ByteWriter, ImageBuilder, SnapshotImage, StorageError};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
+
+/// Engine-level metadata: the snapshot's publication ordinal.
+const SECTION_META: u32 = 1;
+/// The [`cla_er::ErSchema`] declaration (catalog and mapping are
+/// recomputed from it on open).
+const SECTION_ER_SCHEMA: u32 = 2;
+/// The database's row slots (tombstones included) and version counter.
+const SECTION_DATABASE: u32 = 3;
+/// The inverted index: tokenizer config, term dictionary, postings.
+const SECTION_INDEX: u32 = 4;
+/// The data graph's node and edge slot arrays with annotations.
+const SECTION_GRAPH: u32 = 5;
+/// The CSR adjacency: offsets and flat neighbor array, overlay folded.
+const SECTION_CSR: u32 = 6;
+/// Display aliases, sorted by tuple id.
+const SECTION_ALIASES: u32 = 7;
+/// The per-edge-slot RDB cardinality table.
+const SECTION_EDGE_CARDS: u32 = 8;
+
+fn encode_side(w: &mut ByteWriter, side: Side) {
+    w.u8(match side {
+        Side::One => 0,
+        Side::Many => 1,
+    });
+}
+
+fn decode_side(r: &mut ByteReader<'_>) -> Result<Side, StorageError> {
+    match r.u8()? {
+        0 => Ok(Side::One),
+        1 => Ok(Side::Many),
+        tag => Err(StorageError::Malformed(format!("unknown side tag {tag}"))),
+    }
+}
+
+fn encode_aliases(aliases: &HashMap<TupleId, String>) -> Vec<u8> {
+    let mut sorted: Vec<(&TupleId, &String)> = aliases.iter().collect();
+    sorted.sort_unstable_by_key(|(t, _)| **t);
+    let mut w = ByteWriter::new();
+    w.len(sorted.len());
+    for (t, alias) in sorted {
+        w.u32(t.relation.0);
+        w.u32(t.row);
+        w.str(alias);
+    }
+    w.into_vec()
+}
+
+fn decode_aliases(bytes: &[u8]) -> Result<HashMap<TupleId, String>, StorageError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len_of(9)?;
+    let mut aliases = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let t = TupleId::new(RelationId(r.u32()?), r.u32()?);
+        let alias = r.str()?;
+        if aliases.insert(t, alias).is_some() {
+            return Err(StorageError::Malformed(format!("duplicate alias for {t}")));
+        }
+    }
+    r.finish()?;
+    Ok(aliases)
+}
+
+fn encode_edge_cards(cards: &[Cardinality]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.len(cards.len());
+    for c in cards {
+        encode_side(&mut w, c.left);
+        encode_side(&mut w, c.right);
+    }
+    w.into_vec()
+}
+
+fn decode_edge_cards(bytes: &[u8]) -> Result<Vec<Cardinality>, StorageError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len_of(2)?;
+    let mut cards = Vec::with_capacity(n);
+    for _ in 0..n {
+        cards.push(Cardinality::new(decode_side(&mut r)?, decode_side(&mut r)?));
+    }
+    r.finish()?;
+    Ok(cards)
+}
+
+fn build_image(snapshot: &EngineSnapshot, db: &Database) -> ImageBuilder {
+    let mut meta = ByteWriter::new();
+    meta.u64(snapshot.generation);
+    let mut builder = ImageBuilder::new();
+    builder
+        .section(SECTION_META, meta.into_vec())
+        .section(SECTION_ER_SCHEMA, snapshot.er_schema.encode())
+        .section(SECTION_DATABASE, db.encode_flat())
+        .section(SECTION_INDEX, snapshot.index.encode())
+        .section(SECTION_GRAPH, snapshot.dg.encode_graph())
+        .section(SECTION_CSR, snapshot.dg.encode_csr())
+        .section(SECTION_ALIASES, encode_aliases(&snapshot.aliases))
+        .section(SECTION_EDGE_CARDS, encode_edge_cards(&snapshot.edge_cards));
+    builder
+}
+
+/// Serialize one published generation plus the database it reflects
+/// into an in-memory snapshot image (the byte content of
+/// [`EngineSnapshot::save`]'s file). Production code always goes
+/// through [`write_image`]; the in-memory twin exists for the
+/// byte-identity assertions in the unit tests below.
+#[cfg(test)]
+pub(crate) fn encode_image(snapshot: &EngineSnapshot, db: &Database) -> Vec<u8> {
+    build_image(snapshot, db).finish()
+}
+
+/// Write the image of one published generation to `path` (via a
+/// temporary sibling file and an atomic rename).
+pub(crate) fn write_image(
+    snapshot: &EngineSnapshot,
+    db: &Database,
+    path: &Path,
+) -> Result<(), CoreError> {
+    build_image(snapshot, db).write_to(path)?;
+    Ok(())
+}
+
+/// Decode a parsed image back into `(snapshot, database, generation)`,
+/// re-running the pure ER→relational mapping and cross-validating the
+/// sections against each other (the image is authenticated by its CRC,
+/// but a *well-formed* image could still be internally inconsistent —
+/// every such inconsistency is a typed error, never a panic or UB).
+pub(crate) fn decode_image(
+    image: &SnapshotImage,
+) -> Result<(EngineSnapshot, Database, u64), CoreError> {
+    let mut meta = ByteReader::new(image.section(SECTION_META)?);
+    let generation = meta.u64()?;
+    meta.finish()?;
+
+    let er_schema = cla_er::ErSchema::decode(image.section(SECTION_ER_SCHEMA)?)?;
+    let mapping = map_to_relational(&er_schema)
+        .map_err(|e| StorageError::Malformed(format!("schema does not map: {e}")))?;
+
+    // The remaining sections decode independently of each other (only
+    // the database needs the recomputed catalog), so the two heaviest —
+    // row storage and the inverted index — run on scoped threads while
+    // this thread decodes the graph, CSR, aliases and cardinality
+    // table. Cold open is the one latency-critical moment this engine
+    // has; overlapping the section decodes takes a visible bite out of
+    // it (the B12 numbers in EXPERIMENTS.md include this overlap).
+    let (db, index, dg, aliases, edge_cards) = std::thread::scope(|s| {
+        let catalog = mapping.catalog().clone();
+        let db_bytes = image.section(SECTION_DATABASE)?;
+        let db_task = s.spawn(move || Database::decode_flat(catalog, db_bytes));
+        let index_bytes = image.section(SECTION_INDEX)?;
+        let index_task = s.spawn(move || InvertedIndex::decode(index_bytes));
+        let dg =
+            DataGraph::decode(image.section(SECTION_GRAPH)?, image.section(SECTION_CSR)?)?;
+        let aliases = decode_aliases(image.section(SECTION_ALIASES)?)?;
+        let edge_cards = decode_edge_cards(image.section(SECTION_EDGE_CARDS)?)?;
+        // Both closures are panic-free by construction (the decoders
+        // return typed errors for every malformed input), so a join
+        // failure would be a bug in this crate, not bad input.
+        // lint: allow(unwrap, decoders are panic-free; a join failure is a crate bug)
+        let db = db_task.join().expect("database decode thread panicked")?;
+        // lint: allow(unwrap, decoders are panic-free; a join failure is a crate bug)
+        let index = index_task.join().expect("index decode thread panicked")?;
+        Ok::<_, CoreError>((db, index, dg, aliases, edge_cards))
+    })?;
+
+    // Cross-section consistency: the graph must cover exactly the
+    // database's live tuples, and the slot-indexed cardinality table
+    // must cover every edge slot.
+    if dg.alive_node_count() != db.total_tuples() {
+        return Err(CoreError::Snapshot(StorageError::Malformed(format!(
+            "graph has {} live nodes for {} live tuples",
+            dg.alive_node_count(),
+            db.total_tuples()
+        ))));
+    }
+    for id in db.all_tuple_ids() {
+        if dg.node_of(id).is_none() {
+            return Err(CoreError::Snapshot(StorageError::Malformed(format!(
+                "live tuple {id} has no graph node"
+            ))));
+        }
+    }
+    if edge_cards.len() != dg.graph().edge_slots() {
+        return Err(CoreError::Snapshot(StorageError::Malformed(format!(
+            "cardinality table has {} entries for {} edge slots",
+            edge_cards.len(),
+            dg.graph().edge_slots()
+        ))));
+    }
+
+    let snapshot = EngineSnapshot {
+        er_schema,
+        mapping,
+        index,
+        dg,
+        aliases,
+        edge_cards,
+        generation,
+        failpoints: AtomicBool::new(failpoints_enabled_from_env()),
+        scratch_pool: Mutex::new(Vec::new()),
+    };
+    Ok((snapshot, db, generation))
+}
+
+impl EngineSnapshot {
+    /// Save this published generation — together with `db`, the
+    /// database instance it reflects — as one offset-addressable,
+    /// checksummed snapshot image at `path` (written to a temporary
+    /// sibling and atomically renamed into place).
+    ///
+    /// `db` must be the instance this snapshot was built or patched
+    /// from, with no staged-but-unapplied mutations; the
+    /// [`EngineWriter::save`](crate::EngineWriter::save) and
+    /// `SearchEngine::save` entry points enforce that freshness and
+    /// should be preferred. Saving never mutates the snapshot: pending
+    /// index/CSR overlays are folded into the *encoded* flat arrays
+    /// only, so concurrent readers of this generation are unaffected.
+    pub fn save(&self, db: &Database, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        write_image(self, db, path.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchEngine;
+    use crate::snapshot::SearchOptions;
+    use cla_datagen::company;
+    use cla_relational::Value;
+
+    fn company_engine() -> SearchEngine {
+        let c = company();
+        SearchEngine::new(c.db, c.er_schema, c.mapping).unwrap().with_aliases(c.aliases)
+    }
+
+    fn render(r: &crate::snapshot::SearchResults) -> Vec<(String, String)> {
+        r.connections.iter().map(|c| (c.rendering.clone(), c.explanation.clone())).collect()
+    }
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cla_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.snap", std::process::id()))
+    }
+
+    /// Stage one employee insert (under a fresh primary key) so the
+    /// applied snapshot carries dirty index and CSR overlays.
+    fn stage_insert(engine: &mut SearchEngine, pk: &str) {
+        let db = engine.db();
+        let emp = db.catalog().relation_id("EMPLOYEE").unwrap();
+        let dept = db.catalog().relation_id("DEPARTMENT").unwrap();
+        let d = db.all_tuple_ids().find(|t| t.relation == dept).unwrap();
+        let d_pk = db.tuple(d).unwrap().values()[0].clone();
+        let values: Vec<Value> = vec![pk.into(), "Smith".into(), "Zara".into(), d_pk];
+        engine.writer_mut().insert(emp, values).unwrap();
+    }
+
+    #[test]
+    fn image_round_trips_byte_identically() {
+        let engine = company_engine();
+        let bytes = encode_image(&engine.snapshot(), engine.db());
+        let image = SnapshotImage::parse(bytes.clone()).unwrap();
+        let (snap, db, generation) = decode_image(&image).unwrap();
+        assert_eq!(generation, 0);
+        assert_eq!(encode_image(&snap, &db), bytes, "decode re-encodes byte-identically");
+    }
+
+    #[test]
+    fn encode_folds_overlays_and_open_starts_overlay_free() {
+        let mut engine = company_engine();
+        stage_insert(&mut engine, "e_z1");
+        let _ = engine.apply().unwrap();
+        let snap = engine.snapshot();
+        assert!(
+            snap.index.pending_edits() > 0 || snap.dg.csr().has_pending_patches(),
+            "test wants a dirty overlay on the published snapshot"
+        );
+        let bytes = encode_image(&snap, engine.db());
+        let image = SnapshotImage::parse(bytes.clone()).unwrap();
+        let (opened, db, generation) = decode_image(&image).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(opened.index.pending_edits(), 0, "index overlay folded at encode");
+        assert!(!opened.dg.csr().has_pending_patches(), "CSR overlay folded at encode");
+        assert_eq!(encode_image(&opened, &db), bytes, "folded twin encodes identically");
+    }
+
+    #[test]
+    fn save_open_preserves_answers_and_stays_mutable() {
+        let mut engine = company_engine();
+        stage_insert(&mut engine, "e_z1");
+        let _ = engine.apply().unwrap();
+        let path = temp_file("save_open");
+        engine.save(&path).unwrap();
+        let mut opened = SearchEngine::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(opened.writer().generation(), engine.writer().generation());
+        assert_eq!(opened.db().version(), engine.db().version());
+        let opts = SearchOptions { threads: 1, ..Default::default() };
+        for query in ["Smith XML", "Zara research"] {
+            let a = engine.search(query, &opts).unwrap();
+            let b = opened.search(query, &opts).unwrap();
+            assert_eq!(render(&a), render(&b), "query `{query}` diverged after reopen");
+        }
+
+        // The opened engine keeps mutating: a further apply publishes
+        // the next generation on top of the restored ordinal.
+        stage_insert(&mut opened, "e_z2");
+        let err = opened.save(&path).unwrap_err();
+        assert!(matches!(err, CoreError::StaleEngine { .. }), "staged mutations refuse save");
+        let _ = opened.apply().unwrap();
+        assert_eq!(opened.writer().generation(), engine.writer().generation() + 1);
+        opened.save(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_files_with_typed_errors() {
+        let engine = company_engine();
+        let path = temp_file("corrupt");
+        engine.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncation, anywhere.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(SearchEngine::open(&path), Err(CoreError::Snapshot(_))));
+
+        // A flipped payload bit fails the checksum.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            SearchEngine::open(&path),
+            Err(CoreError::Snapshot(StorageError::ChecksumMismatch { .. }))
+        ));
+
+        // A future format version is refused outright.
+        let mut versioned = good.clone();
+        versioned[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &versioned).unwrap();
+        assert!(matches!(
+            SearchEngine::open(&path),
+            Err(CoreError::Snapshot(StorageError::UnsupportedVersion { .. }))
+        ));
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn decode_rejects_cross_section_inconsistency() {
+        let engine = company_engine();
+        let bytes = encode_image(&engine.snapshot(), engine.db());
+        let image = SnapshotImage::parse(bytes).unwrap();
+        // Rebuild the image with an empty cardinality table: every
+        // section is individually well-formed, but the table no longer
+        // covers the graph's edge slots.
+        let mut builder = ImageBuilder::new();
+        for id in image.section_ids() {
+            let payload = if id == SECTION_EDGE_CARDS {
+                encode_edge_cards(&[])
+            } else {
+                image.section(id).unwrap().to_vec()
+            };
+            builder.section(id, payload);
+        }
+        let inconsistent = SnapshotImage::parse(builder.finish()).unwrap();
+        assert!(matches!(
+            decode_image(&inconsistent),
+            Err(CoreError::Snapshot(StorageError::Malformed(_)))
+        ));
+    }
+}

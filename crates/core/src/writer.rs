@@ -333,6 +333,56 @@ impl EngineWriter {
         self.poisoned
     }
 
+    /// Save the published generation and its database as one
+    /// offset-addressable snapshot image at `path` — the cold-start
+    /// counterpart of [`EngineWriter::open`].
+    ///
+    /// Refuses a poisoned writer ([`CoreError::EnginePoisoned`]) and a
+    /// stale one ([`CoreError::StaleEngine`] — staged mutations are not
+    /// published yet, so saving would silently drop them; call
+    /// [`EngineWriter::apply`] first).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        if self.poisoned {
+            return Err(CoreError::EnginePoisoned);
+        }
+        if !self.is_fresh() {
+            return Err(self.stale_error());
+        }
+        self.current.save(&self.db, path)
+    }
+
+    /// Cold-start a writer from a snapshot image written by
+    /// [`EngineWriter::save`]: section reads plus validation instead of
+    /// the tokenize → index → graph → CSR build pipeline.
+    ///
+    /// The opened writer is fully operational — `apply`, `compact`,
+    /// `handle`, and another `save` all work — and its published
+    /// snapshot answers **byte-identically** to one rebuilt from the
+    /// same database (the round-trip property test suite pins this
+    /// down). The saved publication ordinal is restored so generation
+    /// counts keep ascending across the save/open boundary. A file that
+    /// is truncated, checksum-corrupt, from an unsupported format
+    /// version, or internally inconsistent is rejected with
+    /// [`CoreError::Snapshot`] — never a panic.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        let image = cla_storage::SnapshotImage::open(path.as_ref())?;
+        let (snapshot, db, generation) = crate::persist::decode_image(&image)?;
+        let published_version = db.version();
+        Ok(EngineWriter {
+            db,
+            current: Arc::new(snapshot),
+            cell: OnceLock::new(),
+            retired: Vec::new(),
+            spare: None,
+            history: VecDeque::new(),
+            generation,
+            published_version,
+            poisoned: false,
+            failpoints: failpoints_enabled_from_env(),
+            compaction_policy: CompactionPolicy::default(),
+        })
+    }
+
     /// Opt this engine into the process-global
     /// [`failpoints`](crate::failpoints) registry, including the
     /// already-published snapshot. Fault-injection instrumentation —
@@ -504,6 +554,12 @@ impl EngineWriter {
     /// into the cell (readers switch lock-free), retire the previous
     /// snapshot as a recycling candidate and record the replay delta.
     fn publish(&mut self, mut buf: EngineSnapshot, changes: ChangeSet, patch: GraphPatch) {
+        // Fold the index's patch overlay into the flat term dictionary
+        // once it has grown past its threshold — the publish-time twin
+        // of the CSR overlay compaction in `DataGraph::execute`. Only
+        // this private build buffer is touched; published (shared)
+        // snapshots stay immutable.
+        buf.index.maybe_compact();
         self.generation += 1;
         buf.generation = self.generation;
         *buf.failpoints.get_mut() = self.failpoints;

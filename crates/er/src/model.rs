@@ -1,9 +1,10 @@
 //! ER schema model: entity types and binary relationship types.
 
-use crate::cardinality::Cardinality;
+use crate::cardinality::{Cardinality, Side};
 use crate::error::ErError;
 use crate::Result;
 use cla_relational::DataType;
+use cla_storage::{ByteReader, ByteWriter, StorageError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -276,6 +277,187 @@ impl ErSchema {
     ) -> impl Iterator<Item = (RelationshipId, &RelationshipType)> {
         self.relationships().filter(move |(_, r)| r.left == e || r.right == e)
     }
+
+    /// Serialize the schema declaration into one flat snapshot section.
+    ///
+    /// Only the declaration is stored — the relational [`crate::Catalog`]
+    /// and [`crate::SchemaMapping`] derived from it are recomputed by
+    /// [`crate::map_to_relational`] after [`ErSchema::decode`], which is
+    /// what keeps a reopened engine byte-compatible with a rebuilt one:
+    /// both run the identical (pure) mapping.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.len(self.entities.len());
+        for entity in &self.entities {
+            w.str(&entity.name);
+            encode_attributes(&mut w, &entity.attributes);
+        }
+        w.len(self.relationships.len());
+        for rel in &self.relationships {
+            w.str(&rel.name);
+            w.str(&rel.verb);
+            w.str(&rel.reverse_verb);
+            w.u32(rel.left.0);
+            w.u32(rel.right.0);
+            encode_side(&mut w, rel.cardinality.left);
+            encode_side(&mut w, rel.cardinality.right);
+            encode_attributes(&mut w, &rel.attributes);
+            let h = &rel.hints;
+            encode_opt_strs(&mut w, h.fk_column_names.as_deref());
+            match h.fk_position {
+                None => w.bool(false),
+                Some(pos) => {
+                    w.bool(true);
+                    w.len(pos);
+                }
+            }
+            w.bool(h.nullable_fk);
+            match &h.middle_relation_name {
+                None => w.bool(false),
+                Some(name) => {
+                    w.bool(true);
+                    w.str(name);
+                }
+            }
+            encode_opt_strs(&mut w, h.middle_left_columns.as_deref());
+            encode_opt_strs(&mut w, h.middle_right_columns.as_deref());
+        }
+        w.into_vec()
+    }
+
+    /// Rebuild a schema from an [`ErSchema::encode`]d payload by
+    /// replaying the declarations through [`ErSchema::add_entity`] and
+    /// [`ErSchema::add_relationship`] in id order — the decoded schema
+    /// passes exactly the validation a hand-built one does, and ids come
+    /// out identical. Corrupt payloads are a typed error, never a panic.
+    pub fn decode(bytes: &[u8]) -> std::result::Result<Self, StorageError> {
+        let invalid = |e: ErError| StorageError::Malformed(e.to_string());
+        let mut r = ByteReader::new(bytes);
+        let mut schema = ErSchema::new();
+        let n_entities = r.len_of(2)?;
+        for _ in 0..n_entities {
+            let name = r.str()?;
+            let attributes = decode_attributes(&mut r)?;
+            schema.add_entity(EntityType { name, attributes }).map_err(invalid)?;
+        }
+        let n_relationships = r.len_of(2)?;
+        for _ in 0..n_relationships {
+            let name = r.str()?;
+            let verb = r.str()?;
+            let reverse_verb = r.str()?;
+            let left = EntityTypeId(r.u32()?);
+            let right = EntityTypeId(r.u32()?);
+            let cardinality = Cardinality::new(decode_side(&mut r)?, decode_side(&mut r)?);
+            let attributes = decode_attributes(&mut r)?;
+            let fk_column_names = decode_opt_strs(&mut r)?;
+            let fk_position = if r.bool()? { Some(r.len()?) } else { None };
+            let nullable_fk = r.bool()?;
+            let middle_relation_name = if r.bool()? { Some(r.str()?) } else { None };
+            let middle_left_columns = decode_opt_strs(&mut r)?;
+            let middle_right_columns = decode_opt_strs(&mut r)?;
+            schema
+                .add_relationship(RelationshipType {
+                    name,
+                    verb,
+                    reverse_verb,
+                    left,
+                    right,
+                    cardinality,
+                    attributes,
+                    hints: MappingHintsDecl {
+                        fk_column_names,
+                        fk_position,
+                        nullable_fk,
+                        middle_relation_name,
+                        middle_left_columns,
+                        middle_right_columns,
+                    },
+                })
+                .map_err(invalid)?;
+        }
+        r.finish()?;
+        Ok(schema)
+    }
+}
+
+fn encode_side(w: &mut ByteWriter, side: Side) {
+    w.u8(match side {
+        Side::One => 0,
+        Side::Many => 1,
+    });
+}
+
+fn decode_side(r: &mut ByteReader<'_>) -> std::result::Result<Side, StorageError> {
+    match r.u8()? {
+        0 => Ok(Side::One),
+        1 => Ok(Side::Many),
+        tag => Err(StorageError::Malformed(format!("unknown cardinality side tag {tag}"))),
+    }
+}
+
+fn encode_attributes(w: &mut ByteWriter, attrs: &[ErAttribute]) {
+    w.len(attrs.len());
+    for a in attrs {
+        w.str(&a.name);
+        w.u8(match a.data_type {
+            DataType::Bool => 0,
+            DataType::Int => 1,
+            DataType::Float => 2,
+            DataType::Text => 3,
+        });
+        w.bool(a.key);
+        w.bool(a.nullable);
+    }
+}
+
+fn decode_attributes(
+    r: &mut ByteReader<'_>,
+) -> std::result::Result<Vec<ErAttribute>, StorageError> {
+    let n = r.len_of(4)?;
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let data_type = match r.u8()? {
+            0 => DataType::Bool,
+            1 => DataType::Int,
+            2 => DataType::Float,
+            3 => DataType::Text,
+            tag => {
+                return Err(StorageError::Malformed(format!("unknown data type tag {tag}")))
+            }
+        };
+        let key = r.bool()?;
+        let nullable = r.bool()?;
+        attrs.push(ErAttribute { name, data_type, key, nullable });
+    }
+    Ok(attrs)
+}
+
+fn encode_opt_strs(w: &mut ByteWriter, strs: Option<&[String]>) {
+    match strs {
+        None => w.bool(false),
+        Some(list) => {
+            w.bool(true);
+            w.len(list.len());
+            for s in list {
+                w.str(s);
+            }
+        }
+    }
+}
+
+fn decode_opt_strs(
+    r: &mut ByteReader<'_>,
+) -> std::result::Result<Option<Vec<String>>, StorageError> {
+    if !r.bool()? {
+        return Ok(None);
+    }
+    let n = r.len_of(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.str()?);
+    }
+    Ok(Some(out))
 }
 
 /// Builder for one entity type, used inside [`ErSchemaBuilder::entity`].
@@ -583,6 +765,84 @@ mod tests {
             .unwrap();
         let r = s.relationship(s.relationship_id("WORKS_ON").unwrap()).unwrap();
         assert_eq!(r.verb, "works on");
+    }
+
+    #[test]
+    fn encode_decode_round_trips_declarations() {
+        let s = ErSchemaBuilder::new()
+            .entity("DEPARTMENT", |e| {
+                e.key("ID", DataType::Text)
+                    .attr("NAME", DataType::Text)
+                    .attr_nullable("BUDGET", DataType::Float)
+            })
+            .entity("EMPLOYEE", |e| e.key("SSN", DataType::Text))
+            .entity("PROJECT", |e| e.key("P_ID", DataType::Int))
+            .relationship(
+                "WORKS_FOR",
+                "DEPARTMENT",
+                "EMPLOYEE",
+                Cardinality::ONE_TO_MANY,
+                |r| {
+                    r.verb("employs")
+                        .reverse_verb("works for")
+                        .fk_columns(&["D_ID"])
+                        .fk_position(1)
+                        .nullable_fk()
+                },
+            )
+            .relationship("WORKS_ON", "EMPLOYEE", "PROJECT", Cardinality::MANY_TO_MANY, |r| {
+                r.attr("HOURS", DataType::Int)
+                    .middle_name("ASSIGNMENT")
+                    .middle_left_columns(&["E_SSN"])
+                    .middle_right_columns(&["P_ID"])
+            })
+            .build()
+            .unwrap();
+
+        let bytes = s.encode();
+        let back = ErSchema::decode(&bytes).unwrap();
+
+        assert_eq!(back.entity_count(), s.entity_count());
+        assert_eq!(back.relationship_count(), s.relationship_count());
+        for (id, entity) in s.entities() {
+            assert_eq!(back.entity(id).unwrap(), entity);
+            assert_eq!(back.entity_id(&entity.name), Some(id));
+        }
+        for (id, rel) in s.relationships() {
+            assert_eq!(back.relationship(id).unwrap(), rel);
+            assert_eq!(back.relationship_id(&rel.name), Some(id));
+        }
+        // Deterministic: re-encoding the decoded schema is byte-identical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_payloads() {
+        let s = two_entity_schema();
+        let bytes = s.encode();
+        for cut in 0..bytes.len() {
+            assert!(ErSchema::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(7);
+        assert!(ErSchema::decode(&long).is_err());
+        // Replayed declarations are validated like hand-built ones: a
+        // payload declaring the same entity twice is malformed.
+        let mut w = ByteWriter::new();
+        w.len(2);
+        for _ in 0..2 {
+            w.str("A");
+            w.len(1);
+            w.str("ID");
+            w.u8(1);
+            w.bool(true);
+            w.bool(false);
+        }
+        w.len(0);
+        assert!(matches!(
+            ErSchema::decode(&w.into_vec()).unwrap_err(),
+            StorageError::Malformed(_)
+        ));
     }
 
     #[test]

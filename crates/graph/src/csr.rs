@@ -123,6 +123,41 @@ impl CsrAdjacency {
         *self = CsrAdjacency::build(g);
     }
 
+    /// The flat offset array (`node_count() + 1` entries): node `n`'s
+    /// group is `neighbors_flat()[offsets()[n]..offsets()[n + 1]]`.
+    /// This is the serializable half of the CSR; callers saving a
+    /// snapshot fold the overlay first (or walk
+    /// [`CsrAdjacency::neighbors`] per node).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat `(neighbor, edge)` array the offsets index. Pending
+    /// overlay patches are **not** reflected here — check
+    /// [`CsrAdjacency::has_pending_patches`] before treating the flat
+    /// arrays as the effective adjacency.
+    pub fn neighbors_flat(&self) -> &[(NodeId, EdgeId)] {
+        &self.neighbors
+    }
+
+    /// Reassemble a CSR from serialized flat arrays (empty overlay).
+    /// Validates the offset invariants — first entry 0, monotone
+    /// non-decreasing, last entry equal to `neighbors.len()` — and
+    /// returns `None` on any violation, so corrupt input cannot
+    /// construct an adjacency whose reads would index out of bounds.
+    pub fn from_parts(offsets: Vec<u32>, neighbors: Vec<(NodeId, EdgeId)>) -> Option<Self> {
+        if offsets.first() != Some(&0) {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        if *offsets.last()? as usize != neighbors.len() {
+            return None;
+        }
+        Some(CsrAdjacency { offsets, neighbors, patched: HashMap::new(), pending_edits: 0 })
+    }
+
     /// Fold the overlay into freshly packed flat arrays (`O(V + E)`),
     /// clearing the patch map and the pending-edit counter. Neighbor
     /// lists are unchanged — only their storage moves, so traversal
@@ -249,6 +284,25 @@ mod tests {
         assert_eq!(csr.degree(n), 1);
         csr.compact();
         assert_eq!(csr.neighbors(n), &[(NodeId(0), EdgeId(99))]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let (g, _) = diamond();
+        let csr = CsrAdjacency::build(&g);
+        let back =
+            CsrAdjacency::from_parts(csr.offsets().to_vec(), csr.neighbors_flat().to_vec())
+                .unwrap();
+        for n in g.nodes() {
+            assert_eq!(back.neighbors(n), csr.neighbors(n));
+        }
+        // Invalid offset shapes are rejected, not trusted.
+        assert!(CsrAdjacency::from_parts(vec![], vec![]).is_none());
+        assert!(CsrAdjacency::from_parts(vec![1, 2], vec![(NodeId(0), EdgeId(0))]).is_none());
+        assert!(
+            CsrAdjacency::from_parts(vec![0, 2, 1], vec![(NodeId(0), EdgeId(0))]).is_none()
+        );
+        assert!(CsrAdjacency::from_parts(vec![0, 5], vec![(NodeId(0), EdgeId(0))]).is_none());
     }
 
     #[test]

@@ -128,6 +128,62 @@ impl<N, E> Graph<N, E> {
         }
     }
 
+    /// Reassemble a graph from serialized slot arrays: every node and
+    /// edge slot (tombstones included, so ids keep their lineage-stable
+    /// numbering), with adjacency lists rebuilt from the live edges in
+    /// id order.
+    ///
+    /// That rebuild is exact, not approximate: adjacency lists only
+    /// ever grow in edge-id order ([`Graph::add_edge`] appends the
+    /// freshly allocated — hence largest — id) and shrink through the
+    /// order-preserving `retain` in [`Graph::remove_edge`], so a live
+    /// graph's adjacency is always the id-sorted list of its live
+    /// incident edges.
+    ///
+    /// Returns `None` if the arrays are inconsistent (length mismatch,
+    /// an endpoint out of bounds, or a live edge touching a dead node)
+    /// — serialized input is validated, never trusted.
+    pub fn from_slots(
+        nodes: Vec<N>,
+        node_alive: Vec<bool>,
+        edges: Vec<(NodeId, NodeId, E)>,
+        edge_alive: Vec<bool>,
+    ) -> Option<Self> {
+        if node_alive.len() != nodes.len() || edge_alive.len() != edges.len() {
+            return None;
+        }
+        let mut out_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); nodes.len()];
+        let mut in_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); nodes.len()];
+        let mut live_edges = 0;
+        let mut records = Vec::with_capacity(edges.len());
+        for (i, (from, to, payload)) in edges.into_iter().enumerate() {
+            if from.index() >= nodes.len() || to.index() >= nodes.len() {
+                return None;
+            }
+            if edge_alive[i] {
+                if !node_alive[from.index()] || !node_alive[to.index()] {
+                    return None;
+                }
+                let id = EdgeId(i as u32);
+                out_edges[from.index()].push(id);
+                in_edges[to.index()].push(id);
+                live_edges += 1;
+            }
+            records.push(EdgeRecord { from, to, payload });
+        }
+        let live_nodes = node_alive.iter().filter(|&&a| a).count();
+        Some(Graph {
+            nodes,
+            node_alive,
+            edges: records,
+            edge_alive,
+            out_edges,
+            in_edges,
+            live_nodes,
+            live_edges,
+        })
+    }
+
     /// Add a node, returning its id.
     pub fn add_node(&mut self, payload: N) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
@@ -384,6 +440,72 @@ mod tests {
         g.add_edge(b, d, 3);
         g.add_edge(c, d, 4);
         (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn from_slots_round_trips_with_tombstones() {
+        let (mut g, ns) = diamond();
+        // Tombstone one edge and one node so the slot arrays are sparse.
+        let ab = g.out_edges(ns[0]).find(|e| e.to == ns[1]).unwrap().id;
+        g.remove_edge(ab);
+        g.remove_node(ns[1]);
+
+        let nodes: Vec<&'static str> =
+            (0..g.node_count()).map(|i| *g.node(NodeId(i as u32))).collect();
+        let node_alive: Vec<bool> = g.nodes().map(|n| g.is_node_alive(n)).collect();
+        let edges: Vec<(NodeId, NodeId, u32)> = (0..g.edge_slots())
+            .map(|i| {
+                let e = g.edge(EdgeId(i as u32));
+                (e.from, e.to, *e.payload)
+            })
+            .collect();
+        let edge_alive: Vec<bool> =
+            (0..g.edge_slots()).map(|i| g.is_edge_alive(EdgeId(i as u32))).collect();
+
+        let back = Graph::from_slots(
+            nodes.clone(),
+            node_alive.clone(),
+            edges.clone(),
+            edge_alive.clone(),
+        )
+        .unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.alive_node_count(), g.alive_node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.edge_slots(), g.edge_slots());
+        for n in g.nodes() {
+            assert_eq!(back.is_node_alive(n), g.is_node_alive(n));
+            let orig_out: Vec<(EdgeId, NodeId)> =
+                g.out_edges(n).map(|e| (e.id, e.to)).collect();
+            let back_out: Vec<(EdgeId, NodeId)> =
+                back.out_edges(n).map(|e| (e.id, e.to)).collect();
+            assert_eq!(back_out, orig_out);
+            let orig_in: Vec<EdgeId> = g.in_edges(n).map(|e| e.id).collect();
+            let back_in: Vec<EdgeId> = back.in_edges(n).map(|e| e.id).collect();
+            assert_eq!(back_in, orig_in);
+        }
+
+        // Inconsistent inputs are rejected, not trusted.
+        assert!(Graph::from_slots(
+            nodes.clone(),
+            vec![true],
+            edges.clone(),
+            edge_alive.clone()
+        )
+        .is_none());
+        let mut oob = edges.clone();
+        oob[0].0 = NodeId(99);
+        assert!(Graph::from_slots(
+            nodes.clone(),
+            node_alive.clone(),
+            oob,
+            edge_alive.clone()
+        )
+        .is_none());
+        // A live edge pointing at the tombstoned node is corrupt.
+        let mut revived = edge_alive.clone();
+        revived[0] = true; // edge 0 was a→b and b is dead
+        assert!(Graph::from_slots(nodes, node_alive, edges, revived).is_none());
     }
 
     #[test]

@@ -1,7 +1,18 @@
 //! The inverted index over tuple text attributes.
+//!
+//! The base representation is **flat**: one sorted term dictionary (a
+//! string arena plus offset bounds) and one contiguous posting array
+//! grouped by term — the offset-addressable layout the snapshot file
+//! serializes directly. Mutations never edit the flat arrays
+//! structurally; they go through a small patch `overlay` (term →
+//! effective posting list, empty list = term deleted from the base)
+//! that the engine folds back into the arrays once enough edits
+//! accumulate ([`InvertedIndex::maybe_compact`] at publish time),
+//! mirroring the CSR adjacency's deferred-compaction design.
 
 use crate::tokenize::Tokenizer;
-use cla_relational::{ChangeOp, ChangeSet, Database, TupleId, Value};
+use cla_relational::{ChangeOp, ChangeSet, Database, RelationId, TupleId, Value};
+use cla_storage::{ByteReader, ByteWriter, StorageError};
 use std::collections::HashMap;
 
 /// One posting: a keyword occurrence inside a tuple attribute.
@@ -60,10 +71,35 @@ pub struct IndexUndo {
 ///   value".
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    /// Concatenated sorted terms (the dictionary's string arena).
+    term_arena: String,
+    /// `base_len() + 1` byte offsets into `term_arena`.
+    term_bounds: Vec<u32>,
+    /// `base_len() + 1` offsets into `postings`: term `i`'s group.
+    posting_bounds: Vec<u32>,
+    /// Contiguous postings grouped by term, each group strictly sorted
+    /// by `(tuple, attribute)`.
+    postings: Vec<Posting>,
+    /// 257-entry first-byte accelerator: `first_byte[b]` is the index
+    /// of the first term whose leading byte is ≥ `b`, so a dictionary
+    /// probe binary-searches only its own first-byte bucket.
+    first_byte: Vec<u32>,
+    /// Patch overlay: terms whose effective posting list diverged from
+    /// the flat base (an empty list tombstones a base term).
+    overlay: HashMap<String, Vec<Posting>>,
+    /// Structural posting edits recorded in the overlay since the last
+    /// compaction (drives [`InvertedIndex::maybe_compact`]).
+    pending_edits: usize,
     tokenizer: Tokenizer,
     indexed_tuples: usize,
+    /// Distinct live terms, maintained across overlay transitions so
+    /// [`InvertedIndex::term_count`] stays O(1).
+    live_terms: usize,
 }
+
+/// Overlay edits that trigger a deferred fold-back into the flat
+/// arrays, mirroring the CSR adjacency's compaction threshold.
+const COMPACT_THRESHOLD: usize = 128;
 
 impl InvertedIndex {
     /// Build the index over all text attributes of `db` with the default
@@ -74,8 +110,7 @@ impl InvertedIndex {
 
     /// Build with a custom tokenizer.
     pub fn build_with(db: &Database, tokenizer: Tokenizer) -> Self {
-        let mut index =
-            InvertedIndex { postings: HashMap::new(), tokenizer, indexed_tuples: 0 };
+        let mut index = InvertedIndex::empty(tokenizer);
         for (rel, schema) in db.catalog().iter() {
             let text_attrs = schema.text_attributes();
             if text_attrs.is_empty() {
@@ -85,8 +120,167 @@ impl InvertedIndex {
                 index.index_tuple(id, tuple.values(), &text_attrs, None);
             }
         }
+        index.compact();
         debug_assert!(index.posting_order_ok());
         index
+    }
+
+    /// An index over nothing: empty flat base, empty overlay.
+    fn empty(tokenizer: Tokenizer) -> Self {
+        InvertedIndex {
+            term_arena: String::new(),
+            term_bounds: vec![0],
+            posting_bounds: vec![0],
+            postings: Vec::new(),
+            first_byte: vec![0; 257],
+            overlay: HashMap::new(),
+            pending_edits: 0,
+            tokenizer,
+            indexed_tuples: 0,
+            live_terms: 0,
+        }
+    }
+
+    /// Number of terms in the flat base (live or tombstoned).
+    fn base_len(&self) -> usize {
+        self.term_bounds.len() - 1
+    }
+
+    /// Base term `i`'s text.
+    fn base_term(&self, i: usize) -> &str {
+        &self.term_arena[self.term_bounds[i] as usize..self.term_bounds[i + 1] as usize]
+    }
+
+    /// Base term `i`'s posting group.
+    fn base_postings(&self, i: usize) -> &[Posting] {
+        &self.postings[self.posting_bounds[i] as usize..self.posting_bounds[i + 1] as usize]
+    }
+
+    /// Dictionary probe: binary search within the term's first-byte
+    /// bucket of the sorted flat dictionary.
+    fn base_find(&self, term: &str) -> Option<usize> {
+        let &first = term.as_bytes().first()?;
+        let mut lo = self.first_byte[first as usize] as usize;
+        let mut hi = self.first_byte[first as usize + 1] as usize;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.base_term(mid).cmp(term) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// The effective posting list of `term`: the overlay entry when the
+    /// term diverged, the flat base group otherwise. `None` when the
+    /// term holds no postings (absent or tombstoned).
+    fn effective(&self, term: &str) -> Option<&[Posting]> {
+        if let Some(list) = self.overlay.get(term) {
+            return if list.is_empty() { None } else { Some(list) };
+        }
+        self.base_find(term).map(|i| self.base_postings(i))
+    }
+
+    /// Whether either representation has ever heard of `term` (used by
+    /// the debug asserts guarding impossible unindex paths).
+    fn knows_term(&self, term: &str) -> bool {
+        self.overlay.contains_key(term) || self.base_find(term).is_some()
+    }
+
+    /// Materialize `term`'s effective list into the overlay and return
+    /// it mutably — structural edits never touch the flat base in
+    /// place.
+    fn overlay_entry(&mut self, term: &str) -> &mut Vec<Posting> {
+        if !self.overlay.contains_key(term) {
+            let base = self
+                .base_find(term)
+                .map(|i| self.base_postings(i).to_vec())
+                .unwrap_or_default();
+            self.overlay.insert(term.to_owned(), base);
+        }
+        // lint: allow(unwrap, the entry was inserted just above)
+        self.overlay.get_mut(term).expect("overlay entry materialized above")
+    }
+
+    /// Insert `posting` at its sorted slot in `term`'s list. Panics if
+    /// the `(tuple, attribute)` pair is already present — a pair is
+    /// indexed exactly once.
+    fn insert_posting(&mut self, term: &str, posting: Posting) {
+        self.pending_edits += 1;
+        let list = self.overlay_entry(term);
+        let was_empty = list.is_empty();
+        match list.binary_search_by_key(&(posting.tuple, posting.attribute), |p| {
+            (p.tuple, p.attribute)
+        }) {
+            Ok(_) => unreachable!("a (tuple, attribute) pair is indexed once"),
+            Err(pos) => list.insert(pos, posting),
+        }
+        if was_empty {
+            self.live_terms += 1;
+        }
+    }
+
+    /// Remove the `(tuple, attribute)` posting of `term`, returning it
+    /// (`None` when no such posting exists). A drained term stays in
+    /// the overlay as an empty tombstone when the base knows it, and is
+    /// dropped entirely otherwise.
+    fn remove_posting(
+        &mut self,
+        term: &str,
+        tuple: TupleId,
+        attribute: usize,
+    ) -> Option<Posting> {
+        if !self.knows_term(term) {
+            return None;
+        }
+        self.pending_edits += 1;
+        let (removed, now_empty) = {
+            let list = self.overlay_entry(term);
+            let removed = match list
+                .binary_search_by_key(&(tuple, attribute), |p| (p.tuple, p.attribute))
+            {
+                Ok(pos) => Some(list.remove(pos)),
+                Err(_) => None,
+            };
+            (removed, list.is_empty())
+        };
+        if removed.is_some() && now_empty {
+            self.live_terms -= 1;
+        }
+        if now_empty && self.base_find(term).is_none() {
+            self.overlay.remove(term);
+        }
+        removed
+    }
+
+    /// Point a posting's frequency at a new value, in whichever
+    /// representation currently holds it. Frequency edits preserve sort
+    /// order, so the flat base is patched in place — no overlay
+    /// materialization, no pending-edit charge. Returns the prior
+    /// value.
+    fn set_frequency(
+        &mut self,
+        term: &str,
+        tuple: TupleId,
+        attribute: usize,
+        frequency: u32,
+    ) -> Option<u32> {
+        let key = (tuple, attribute);
+        if let Some(list) = self.overlay.get_mut(term) {
+            let pos = list.binary_search_by_key(&key, |p| (p.tuple, p.attribute)).ok()?;
+            let old = list[pos].frequency;
+            list[pos].frequency = frequency;
+            return Some(old);
+        }
+        let i = self.base_find(term)?;
+        let (lo, hi) = (self.posting_bounds[i] as usize, self.posting_bounds[i + 1] as usize);
+        let group = &mut self.postings[lo..hi];
+        let pos = group.binary_search_by_key(&key, |p| (p.tuple, p.attribute)).ok()?;
+        let old = group[pos].frequency;
+        group[pos].frequency = frequency;
+        Some(old)
     }
 
     /// The term → frequency map of one attribute value: every word token
@@ -107,10 +301,8 @@ impl InvertedIndex {
     }
 
     /// Add one tuple's postings, keeping every touched list sorted by
-    /// `(tuple, attribute)` (insert position found by binary search — at
-    /// build time tuples arrive in ascending id order, so the probe hits
-    /// the end and the push is O(1) amortized). With `log` set, every
-    /// inserted posting records its inverse.
+    /// `(tuple, attribute)` (insert position found by binary search).
+    /// With `log` set, every inserted posting records its inverse.
     fn index_tuple(
         &mut self,
         id: TupleId,
@@ -131,12 +323,7 @@ impl InvertedIndex {
                         attribute: attr,
                     });
                 }
-                let posting = Posting { tuple: id, attribute: attr, frequency };
-                let list = self.postings.entry(term).or_default();
-                match list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute)) {
-                    Ok(_) => unreachable!("a (tuple, attribute) pair is indexed once"),
-                    Err(pos) => list.insert(pos, posting),
-                }
+                self.insert_posting(&term, Posting { tuple: id, attribute: attr, frequency });
             }
         }
     }
@@ -168,24 +355,17 @@ impl InvertedIndex {
                 if new_terms.contains_key(term) {
                     continue; // survives; frequency handled below
                 }
-                let Some(list) = self.postings.get_mut(term) else {
+                if !self.knows_term(term) {
                     debug_assert!(false, "updating a term that was never indexed");
                     continue;
-                };
-                if let Ok(pos) =
-                    list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
-                {
-                    let removed = list.remove(pos);
+                }
+                if let Some(removed) = self.remove_posting(term, id, attr) {
                     if let Some(log) = log.as_deref_mut() {
                         log.push(UndoOp::Removed { term: term.clone(), posting: removed });
                     }
                 }
-                if list.is_empty() {
-                    self.postings.remove(term);
-                }
             }
             for (term, &frequency) in &new_terms {
-                let posting = Posting { tuple: id, attribute: attr, frequency };
                 match old_terms.get(term) {
                     None => {
                         if let Some(log) = log.as_deref_mut() {
@@ -195,24 +375,14 @@ impl InvertedIndex {
                                 attribute: attr,
                             });
                         }
-                        let list = self.postings.entry(term.clone()).or_default();
-                        match list
-                            .binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
-                        {
-                            Ok(_) => {
-                                unreachable!("a (tuple, attribute) pair is indexed once")
-                            }
-                            Err(pos) => list.insert(pos, posting),
-                        }
+                        self.insert_posting(
+                            term,
+                            Posting { tuple: id, attribute: attr, frequency },
+                        );
                     }
                     Some(&old_frequency) if old_frequency != frequency => {
-                        let list = self
-                            .postings
-                            .get_mut(term)
-                            // lint: allow(unwrap, term survived the df filter above)
-                            .expect("surviving term has a posting list");
-                        let pos = list
-                            .binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
+                        let old = self
+                            .set_frequency(term, id, attr, frequency)
                             // lint: allow(unwrap, the tuple was indexed under this term)
                             .expect("surviving term has this tuple's posting");
                         if let Some(log) = log.as_deref_mut() {
@@ -220,10 +390,9 @@ impl InvertedIndex {
                                 term: term.clone(),
                                 tuple: id,
                                 attribute: attr,
-                                old: list[pos].frequency,
+                                old,
                             });
                         }
-                        list[pos].frequency = frequency;
                     }
                     Some(_) => {} // same term, same frequency: untouched
                 }
@@ -248,20 +417,14 @@ impl InvertedIndex {
                 continue;
             };
             for term in self.terms_of(value).into_keys() {
-                let Some(list) = self.postings.get_mut(&term) else {
+                if !self.knows_term(&term) {
                     debug_assert!(false, "unindexing a term that was never indexed");
                     continue;
-                };
-                if let Ok(pos) =
-                    list.binary_search_by_key(&(id, attr), |p| (p.tuple, p.attribute))
-                {
-                    let removed = list.remove(pos);
-                    if let Some(log) = log.as_deref_mut() {
-                        log.push(UndoOp::Removed { term: term.clone(), posting: removed });
-                    }
                 }
-                if list.is_empty() {
-                    self.postings.remove(&term);
+                if let Some(removed) = self.remove_posting(&term, id, attr) {
+                    if let Some(log) = log.as_deref_mut() {
+                        log.push(UndoOp::Removed { term, posting: removed });
+                    }
                 }
             }
         }
@@ -351,21 +514,16 @@ impl InvertedIndex {
         for op in undo.ops.into_iter().rev() {
             match op {
                 UndoOp::Inserted { term, tuple, attribute } => {
-                    let Some(list) = self.postings.get_mut(&term) else {
+                    if !self.knows_term(&term) {
                         debug_assert!(false, "undoing an insert into a missing term");
                         continue;
-                    };
-                    if let Ok(pos) = list
-                        .binary_search_by_key(&(tuple, attribute), |p| (p.tuple, p.attribute))
-                    {
-                        list.remove(pos);
                     }
-                    if list.is_empty() {
-                        self.postings.remove(&term);
-                    }
+                    self.remove_posting(&term, tuple, attribute);
                 }
                 UndoOp::Removed { term, posting } => {
-                    let list = self.postings.entry(term).or_default();
+                    self.pending_edits += 1;
+                    let list = self.overlay_entry(&term);
+                    let was_empty = list.is_empty();
                     match list
                         .binary_search_by_key(&(posting.tuple, posting.attribute), |p| {
                             (p.tuple, p.attribute)
@@ -373,19 +531,20 @@ impl InvertedIndex {
                         Ok(_) => {
                             debug_assert!(false, "undoing a removal that never happened")
                         }
-                        Err(pos) => list.insert(pos, posting),
+                        Err(pos) => {
+                            list.insert(pos, posting);
+                            if was_empty {
+                                self.live_terms += 1;
+                            }
+                        }
                     }
                 }
                 UndoOp::Frequency { term, tuple, attribute, old } => {
-                    let Some(list) = self.postings.get_mut(&term) else {
+                    if !self.knows_term(&term) {
                         debug_assert!(false, "undoing a frequency edit of a missing term");
                         continue;
-                    };
-                    if let Ok(pos) = list
-                        .binary_search_by_key(&(tuple, attribute), |p| (p.tuple, p.attribute))
-                    {
-                        list[pos].frequency = old;
                     }
+                    self.set_frequency(&term, tuple, attribute, old);
                 }
             }
         }
@@ -400,19 +559,39 @@ impl InvertedIndex {
     /// debug builds after every [`InvertedIndex::apply`], and tests call
     /// it directly.
     pub fn posting_order_ok(&self) -> bool {
-        self.postings.values().all(|list| {
-            !list.is_empty()
-                && list
-                    .windows(2)
-                    .all(|w| (w[0].tuple, w[0].attribute) < (w[1].tuple, w[1].attribute))
-        })
+        fn strictly_sorted(list: &[Posting]) -> bool {
+            list.windows(2)
+                .all(|w| (w[0].tuple, w[0].attribute) < (w[1].tuple, w[1].attribute))
+        }
+        let base_ok = (0..self.base_len()).all(|i| {
+            let list = self.base_postings(i);
+            !list.is_empty() && strictly_sorted(list)
+        });
+        let dictionary_ok =
+            (1..self.base_len()).all(|i| self.base_term(i - 1) < self.base_term(i));
+        // Overlay lists stay sorted too; an empty one is only legal as a
+        // tombstone of a term the base holds.
+        let overlay_ok = self.overlay.iter().all(|(term, list)| {
+            strictly_sorted(list) && (!list.is_empty() || self.base_find(term).is_some())
+        });
+        base_ok && dictionary_ok && overlay_ok
     }
 
     /// Iterate over `(term, postings)` pairs in unspecified order (used
     /// by equivalence tests comparing a patched index against a fresh
-    /// build).
+    /// build). Overlay entries shadow their base groups; tombstoned
+    /// terms are skipped — callers always see the *effective* index.
     pub fn terms(&self) -> impl Iterator<Item = (&str, &[Posting])> {
-        self.postings.iter().map(|(t, l)| (t.as_str(), l.as_slice()))
+        let base = (0..self.base_len()).filter_map(move |i| {
+            let term = self.base_term(i);
+            (!self.overlay.contains_key(term)).then(|| (term, self.base_postings(i)))
+        });
+        let patched = self
+            .overlay
+            .iter()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(term, list)| (term.as_str(), list.as_slice()));
+        base.chain(patched)
     }
 
     /// The indexed term nearest to `keyword` by Levenshtein edit
@@ -426,18 +605,18 @@ impl InvertedIndex {
     pub fn nearest_term(&self, keyword: &str) -> Option<(String, usize)> {
         let needle = self.tokenizer.normalize_value(keyword);
         let mut best: Option<(&str, usize)> = None;
-        for term in self.postings.keys() {
+        for (term, _) in self.terms() {
             // Length difference lower-bounds the edit distance; skip
             // terms that cannot beat the best found so far.
             let bound = term.chars().count().abs_diff(needle.chars().count());
             if let Some((best_term, best_d)) = best {
-                if bound > best_d || (bound == best_d && term.as_str() >= best_term) {
+                if bound > best_d || (bound == best_d && term >= best_term) {
                     continue;
                 }
             }
             let d = levenshtein(&needle, term);
             match best {
-                Some((t, bd)) if (d, term.as_str()) < (bd, t) => best = Some((term, d)),
+                Some((t, bd)) if (d, term) < (bd, t) => best = Some((term, d)),
                 None => best = Some((term, d)),
                 _ => {}
             }
@@ -475,7 +654,7 @@ impl InvertedIndex {
             Ok([single]) => single,
             Err(_) => self.tokenizer.normalize_value(keyword),
         };
-        self.postings.get(&normalized).map_or(&[], Vec::as_slice)
+        self.effective(&normalized).unwrap_or(&[])
     }
 
     /// Distinct tuples containing `keyword`, sorted.
@@ -498,7 +677,7 @@ impl InvertedIndex {
 
     /// Number of distinct indexed terms.
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.live_terms
     }
 
     /// Number of tuples that were scanned for indexing (tuples of
@@ -511,6 +690,190 @@ impl InvertedIndex {
     /// (0 when absent).
     pub fn frequency_in(&self, keyword: &str, t: TupleId) -> u32 {
         self.lookup(keyword).iter().filter(|p| p.tuple == t).map(|p| p.frequency).sum()
+    }
+
+    /// Structural posting edits accumulated in the overlay since the
+    /// last compaction.
+    pub fn pending_edits(&self) -> usize {
+        self.pending_edits
+    }
+
+    /// Fold the patch overlay back into the flat arrays: tombstoned
+    /// terms vanish, diverged lists replace their base groups, new
+    /// terms merge into the sorted dictionary. Afterwards the overlay
+    /// is empty and the index is byte-for-byte what a fresh
+    /// [`InvertedIndex::build_with`] over the same content produces.
+    pub fn compact(&mut self) {
+        if self.overlay.is_empty() {
+            self.pending_edits = 0;
+            return;
+        }
+        let mut overlay = std::mem::take(&mut self.overlay);
+        let mut entries: Vec<(String, Vec<Posting>)> =
+            Vec::with_capacity(self.base_len() + overlay.len());
+        for i in 0..self.base_len() {
+            let term = self.base_term(i);
+            match overlay.remove(term) {
+                Some(list) if list.is_empty() => {} // tombstoned
+                Some(list) => entries.push((term.to_owned(), list)),
+                None => entries.push((term.to_owned(), self.base_postings(i).to_vec())),
+            }
+        }
+        for (term, list) in overlay {
+            if !list.is_empty() {
+                entries.push((term, list));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        self.install_base(entries);
+    }
+
+    /// Deferred compaction: fold the overlay once enough structural
+    /// edits accumulated, mirroring the CSR adjacency's threshold.
+    /// Called by the engine at publish time; returns whether a fold
+    /// ran.
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.pending_edits >= COMPACT_THRESHOLD {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install `entries` (strictly sorted by term, lists non-empty and
+    /// sorted) as the new flat base, clearing the overlay.
+    fn install_base(&mut self, entries: Vec<(String, Vec<Posting>)>) {
+        let mut arena = String::new();
+        let mut term_bounds = Vec::with_capacity(entries.len() + 1);
+        let mut posting_bounds = Vec::with_capacity(entries.len() + 1);
+        let mut postings =
+            Vec::with_capacity(entries.iter().map(|(_, l)| l.len()).sum::<usize>());
+        term_bounds.push(0);
+        posting_bounds.push(0);
+        for (term, list) in &entries {
+            arena.push_str(term);
+            term_bounds.push(arena.len() as u32);
+            postings.extend_from_slice(list);
+            posting_bounds.push(postings.len() as u32);
+        }
+        self.live_terms = entries.len();
+        self.term_arena = arena;
+        self.term_bounds = term_bounds;
+        self.posting_bounds = posting_bounds;
+        self.postings = postings;
+        self.overlay.clear();
+        self.pending_edits = 0;
+        self.rebuild_first_byte();
+    }
+
+    /// Recompute the 257-entry first-byte bucket index over the sorted
+    /// dictionary (a counting pass + prefix sum).
+    fn rebuild_first_byte(&mut self) {
+        let mut counts = [0u32; 256];
+        for i in 0..self.base_len() {
+            counts[self.base_term(i).as_bytes()[0] as usize] += 1;
+        }
+        let mut fb = vec![0u32; 257];
+        for b in 0..256 {
+            fb[b + 1] = fb[b] + counts[b];
+        }
+        self.first_byte = fb;
+    }
+
+    /// Serialize into a snapshot-section payload: tokenizer config,
+    /// tuple counter, then the sorted term dictionary with each term's
+    /// posting group. The overlay is folded *logically* during the walk
+    /// — encoding never mutates `self` — so an uncompacted index and
+    /// its compacted twin encode byte-identically.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.len(self.tokenizer.min_len());
+        let stopwords = self.tokenizer.stopwords_sorted();
+        w.len(stopwords.len());
+        for word in stopwords {
+            w.str(word);
+        }
+        w.len(self.indexed_tuples);
+        let mut entries: Vec<(&str, &[Posting])> = self.terms().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        w.len(entries.len());
+        for (term, list) in entries {
+            w.str(term);
+            w.len(list.len());
+            for p in list {
+                w.u32(p.tuple.relation.0);
+                w.u32(p.tuple.row);
+                w.len(p.attribute);
+                w.u32(p.frequency);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode a payload written by [`InvertedIndex::encode`]. Every
+    /// count, ordering, and non-emptiness invariant is re-validated, so
+    /// corrupt input yields a typed error — never a panic, never a
+    /// structurally broken index.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
+        let mut r = ByteReader::new(bytes);
+        let min_len = r.u32()? as usize;
+        let n_stop = r.len_of(4)?;
+        let mut words = Vec::with_capacity(n_stop);
+        for _ in 0..n_stop {
+            words.push(r.str()?);
+        }
+        let tokenizer = Tokenizer::new().with_min_len(min_len).with_stopwords(words);
+        let indexed_tuples = r.u32()? as usize;
+        // Each term costs ≥ 8 bytes (len prefix + posting count).
+        let n_terms = r.len_of(8)?;
+        let mut entries: Vec<(String, Vec<Posting>)> = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let term = r.str()?;
+            if term.is_empty() {
+                return Err(StorageError::Malformed("empty term in dictionary".into()));
+            }
+            if let Some((prev, _)) = entries.last() {
+                if prev.as_str() >= term.as_str() {
+                    return Err(StorageError::Malformed(format!(
+                        "term dictionary not sorted at {term:?}"
+                    )));
+                }
+            }
+            let n_post = r.len_of(16)?;
+            if n_post == 0 {
+                return Err(StorageError::Malformed(format!(
+                    "term {term:?} has an empty posting list"
+                )));
+            }
+            let mut list = Vec::with_capacity(n_post);
+            for _ in 0..n_post {
+                let relation = RelationId(r.u32()?);
+                let row = r.u32()?;
+                let attribute = r.u32()? as usize;
+                let frequency = r.u32()?;
+                list.push(Posting {
+                    tuple: TupleId::new(relation, row),
+                    attribute,
+                    frequency,
+                });
+            }
+            let sorted = list
+                .windows(2)
+                .all(|w| (w[0].tuple, w[0].attribute) < (w[1].tuple, w[1].attribute));
+            if !sorted {
+                return Err(StorageError::Malformed(format!(
+                    "postings of term {term:?} not sorted"
+                )));
+            }
+            entries.push((term, list));
+        }
+        r.finish()?;
+        let mut index = InvertedIndex::empty(tokenizer);
+        index.indexed_tuples = indexed_tuples;
+        index.install_base(entries);
+        debug_assert!(index.posting_order_ok());
+        Ok(index)
     }
 }
 
@@ -916,6 +1279,175 @@ mod tests {
         assert!(idx.term_count() < terms_before);
         assert_eq!(idx.indexed_tuples(), 0);
         assert_eq!(idx.term_count(), InvertedIndex::build(&database).term_count());
+    }
+
+    /// Canonical sorted view of an index's effective content.
+    fn contents(idx: &InvertedIndex) -> Vec<(String, Vec<Posting>)> {
+        let mut v: Vec<_> = idx.terms().map(|(t, l)| (t.to_owned(), l.to_vec())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    #[test]
+    fn compact_folds_overlay_without_changing_content() {
+        let mut database = db();
+        database.take_changes();
+        let mut idx = InvertedIndex::build(&database);
+        assert_eq!(idx.pending_edits(), 0, "a fresh build is compacted");
+
+        let emp = database.catalog().relation_id("EMPLOYEE").unwrap();
+        let e1 = database.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        database.insert(emp, vec!["e3".into(), "Turing".into(), "Alan".into()]).unwrap();
+        database.update(e1, vec!["e1".into(), "Miller".into(), "John".into()]).unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(idx.pending_edits() > 0, "patches land in the overlay");
+
+        let before = contents(&idx);
+        let term_count = idx.term_count();
+        idx.compact();
+        assert_eq!(idx.pending_edits(), 0);
+        assert!(idx.posting_order_ok());
+        assert_eq!(contents(&idx), before, "compaction must not change content");
+        assert_eq!(idx.term_count(), term_count);
+        // And the compacted index equals a fresh flat build exactly.
+        assert_eq!(contents(&idx), contents(&InvertedIndex::build(&database)));
+    }
+
+    #[test]
+    fn maybe_compact_fires_at_the_threshold_only() {
+        let mut database = db();
+        database.take_changes();
+        let mut idx = InvertedIndex::build(&database);
+        let emp = database.catalog().relation_id("EMPLOYEE").unwrap();
+        // One small batch stays under the threshold.
+        database.insert(emp, vec!["e9".into(), "Lovelace".into(), "Ada".into()]).unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(!idx.maybe_compact(), "a small overlay is kept");
+        assert!(idx.pending_edits() > 0);
+        // Enough churn trips the deferred fold.
+        for i in 0..64 {
+            database
+                .insert(
+                    emp,
+                    vec![
+                        format!("x{i}").into(),
+                        format!("last{i}").into(),
+                        format!("first{i}").into(),
+                    ],
+                )
+                .unwrap();
+        }
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(idx.maybe_compact(), "a large overlay is folded");
+        assert_eq!(idx.pending_edits(), 0);
+        assert_eq!(contents(&idx), contents(&InvertedIndex::build(&database)));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let database = db();
+        let idx = InvertedIndex::build_with(
+            &database,
+            Tokenizer::new().with_min_len(2).with_stopwords(["the", "of"]),
+        );
+        let bytes = idx.encode();
+        let back = InvertedIndex::decode(&bytes).unwrap();
+        assert_eq!(contents(&back), contents(&idx));
+        assert_eq!(back.indexed_tuples(), idx.indexed_tuples());
+        assert_eq!(back.term_count(), idx.term_count());
+        assert_eq!(back.tokenizer().min_len(), 2);
+        assert_eq!(back.tokenizer().stopwords_sorted(), vec!["of", "the"]);
+        // Same queries, same answers, and re-encoding is byte-stable.
+        assert_eq!(back.matching_tuples("teaching"), idx.matching_tuples("teaching"));
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn encode_folds_overlay_logically() {
+        let mut database = db();
+        database.take_changes();
+        let mut idx = InvertedIndex::build(&database);
+        let emp = database.catalog().relation_id("EMPLOYEE").unwrap();
+        database.insert(emp, vec!["e3".into(), "Hopper".into(), "Grace".into()]).unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(idx.pending_edits() > 0);
+        let encoded_dirty = idx.encode();
+        let mut compacted = idx.clone();
+        compacted.compact();
+        assert_eq!(
+            encoded_dirty,
+            compacted.encode(),
+            "overlay and compacted twins must encode identically"
+        );
+        let back = InvertedIndex::decode(&encoded_dirty).unwrap();
+        assert_eq!(contents(&back), contents(&idx));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_payloads() {
+        let idx = InvertedIndex::build(&db());
+        let bytes = idx.encode();
+        // Truncations anywhere must fail typed, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                InvertedIndex::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage is corruption too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(InvertedIndex::decode(&padded).is_err());
+        // An unsorted dictionary is structural corruption: encode two
+        // terms out of order by swapping the payload of a hand-built
+        // image of two single-posting terms.
+        let mut w = cla_storage::ByteWriter::new();
+        w.u32(0); // min_len
+        w.len(0); // stopwords
+        w.len(1); // indexed_tuples
+        w.len(2); // terms
+        for term in ["zebra", "apple"] {
+            w.str(term);
+            w.len(1);
+            w.u32(0);
+            w.u32(0);
+            w.len(0);
+            w.u32(1);
+        }
+        assert!(matches!(
+            InvertedIndex::decode(&w.into_vec()),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_hits_flat_base_and_overlay_consistently() {
+        let mut database = db();
+        database.take_changes();
+        let mut idx = InvertedIndex::build(&database);
+        // Flat-base hit.
+        assert_eq!(idx.matching_tuples("xml").len(), 2);
+        // Overlay shadow: delete a tuple, the base keeps stale postings
+        // but the overlay tombstones/filters them.
+        let emp = database.catalog().relation_id("EMPLOYEE").unwrap();
+        let e1 = database.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        database.delete(e1).unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert!(!idx.matching_tuples("smith").contains(&e1));
+        assert!(!idx.matching_tuples("john").contains(&e1));
+        // A term added only via the overlay resolves before compaction.
+        database.insert(emp, vec!["e4".into(), "Dijkstra".into(), "Edsger".into()]).unwrap();
+        let changes = database.take_changes();
+        idx.apply(&database, &changes);
+        assert_eq!(idx.matching_tuples("dijkstra").len(), 1);
+        idx.compact();
+        assert_eq!(idx.matching_tuples("dijkstra").len(), 1);
+        assert!(!idx.matching_tuples("smith").contains(&e1));
     }
 
     #[test]

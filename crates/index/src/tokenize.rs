@@ -46,6 +46,20 @@ impl Tokenizer {
     pub fn normalize_value(&self, text: &str) -> String {
         text.trim().to_lowercase()
     }
+
+    /// The minimum token length filter (0 = no filter). Part of the
+    /// serialized index configuration: an index reopened from disk must
+    /// normalize queries exactly like the build that saved it.
+    pub fn min_len(&self) -> usize {
+        self.min_len
+    }
+
+    /// The stopword list, sorted for deterministic serialization.
+    pub fn stopwords_sorted(&self) -> Vec<&str> {
+        let mut words: Vec<&str> = self.stopwords.iter().map(String::as_str).collect();
+        words.sort_unstable();
+        words
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use crate::storage::RelationData;
 use crate::tuple::{RelationId, Tuple, TupleId};
 use crate::value::Value;
 use crate::Result;
+use cla_storage::{ByteReader, ByteWriter, StorageError};
 use std::collections::HashMap;
 
 /// Key of the persistent reverse-FK index: the *referenced* relation
@@ -553,6 +554,104 @@ impl Database {
         Ok(())
     }
 
+    /// Serialize the instance's row storage into one flat snapshot
+    /// section: the version counter, then every relation's row **slots**
+    /// in catalog order — tombstones included, so [`TupleId`]s survive a
+    /// save/open round trip and mutations keep working on the reopened
+    /// instance.
+    ///
+    /// The catalog itself is *not* part of the payload (the caller
+    /// serializes the ER schema it was derived from and recomputes it);
+    /// neither are the PK index, the reverse-FK index, or the change
+    /// log: the first two are derived and rebuilt by
+    /// [`Database::decode_flat`], and a snapshot is only taken when the
+    /// log is drained.
+    pub fn encode_flat(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.version);
+        w.len(self.data.len());
+        for store in &self.data {
+            w.len(store.tuples.len());
+            for (tuple, &alive) in store.tuples.iter().zip(&store.alive) {
+                w.bool(alive);
+                w.len(tuple.values().len());
+                for value in tuple.values() {
+                    value.encode(&mut w);
+                }
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Rebuild an instance from an [`Database::encode_flat`] payload and
+    /// the (recomputed) catalog it was saved under.
+    ///
+    /// The payload is validated, never trusted: the relation count must
+    /// match the catalog, every live row must pass the same arity, type,
+    /// NULL and PK-uniqueness checks an insert would, and the payload
+    /// must be consumed exactly. The PK and reverse-FK indexes are
+    /// rebuilt from the live rows; the change log starts empty.
+    pub fn decode_flat(
+        catalog: Catalog,
+        bytes: &[u8],
+    ) -> std::result::Result<Self, StorageError> {
+        let malformed = |e: &dyn std::fmt::Display| StorageError::Malformed(e.to_string());
+        catalog.validate().map_err(|e| malformed(&e))?;
+        let mut r = ByteReader::new(bytes);
+        let version = r.u64()?;
+        let n_rel = r.len_of(1)?;
+        if n_rel != catalog.len() {
+            return Err(StorageError::Malformed(format!(
+                "snapshot has {n_rel} relations, catalog has {}",
+                catalog.len()
+            )));
+        }
+        let mut db = Database::new(catalog).map_err(|e| malformed(&e))?;
+        db.version = version;
+        for rel_idx in 0..n_rel {
+            let rel = RelationId(rel_idx as u32);
+            let n_slots = r.len_of(2)?;
+            // Cold-start sizing: one PK entry per live slot and roughly
+            // one reverse-FK key per row; reserving up front keeps the
+            // rebuild loop out of incremental rehashing.
+            db.data[rel_idx].pk_index.reserve(n_slots);
+            db.data[rel_idx].tuples.reserve(n_slots);
+            db.data[rel_idx].alive.reserve(n_slots);
+            db.incoming.reserve(n_slots);
+            for row in 0..n_slots {
+                let alive = r.bool()?;
+                let n_values = r.len_of(1)?;
+                let mut values = Vec::with_capacity(n_values);
+                for _ in 0..n_values {
+                    values.push(Value::decode(&mut r)?);
+                }
+                if alive {
+                    // lint: allow(unwrap, relation ids 0..catalog.len() are always cataloged)
+                    let schema = db.catalog.relation(rel).expect("relation id in range");
+                    Self::validate_row(schema, &values).map_err(|e| malformed(&e))?;
+                    let key: Vec<Value> =
+                        schema.primary_key.iter().map(|&i| values[i].clone()).collect();
+                    let fk_keys = Self::fk_keys_of(schema, &values);
+                    let store = &mut db.data[rel_idx];
+                    if store.pk_index.insert(key, row as u32).is_some() {
+                        return Err(StorageError::Malformed(format!(
+                            "duplicate primary key in relation {rel_idx} row {row}"
+                        )));
+                    }
+                    store.push(Tuple::new(values));
+                    db.index_reference_keys(TupleId::new(rel, row as u32), fk_keys);
+                } else {
+                    let store = &mut db.data[rel_idx];
+                    store.push(Tuple::new(values));
+                    store.tombstone(row as u32);
+                }
+            }
+        }
+        r.finish()?;
+        db.changes = ChangeSet::new();
+        Ok(db)
+    }
+
     /// Snapshot the reverse reference index (referenced → referencing)
     /// at the current version.
     ///
@@ -1021,6 +1120,72 @@ mod tests {
         let remap2 = db.compact().unwrap();
         assert!(remap2.is_identity());
         assert_eq!(remap2.map(e2_new), Some(e2_new));
+    }
+
+    #[test]
+    fn encode_flat_round_trips_with_tombstones() {
+        let (mut db, dept, emp) = two_relation_db();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        db.delete(e1).unwrap();
+        db.insert(emp, vec!["e3".into(), "Ng".into(), Value::Null]).unwrap();
+        db.take_changes();
+
+        let bytes = db.encode_flat();
+        let back = Database::decode_flat(db.catalog().clone(), &bytes).unwrap();
+
+        assert_eq!(back.version(), db.version());
+        assert_eq!(back.total_tuples(), db.total_tuples());
+        assert_eq!(back.total_row_slots(), db.total_row_slots(), "tombstones survive");
+        for rel in [dept, emp] {
+            let a: Vec<_> = db.tuples(rel).collect();
+            let b: Vec<_> = back.tuples(rel).collect();
+            assert_eq!(a, b);
+        }
+        // Derived structures are rebuilt, not stored.
+        for id in db.all_tuple_ids() {
+            assert_eq!(back.references_to(id), db.references_to(id), "{id}");
+        }
+        assert!(back.pending_changes().is_empty());
+        // The reopened instance stays mutable: the tombstoned slot is
+        // still dead, ids line up, inserts land on fresh rows.
+        let mut back = back;
+        assert!(back.tuple(e1).is_none());
+        let e4 = back.insert(emp, vec!["e4".into(), "Ito".into(), "d1".into()]).unwrap();
+        assert_eq!(db.tuple_count(emp) + 1, back.tuple_count(emp));
+        assert!(back.tuple(e4).is_some());
+
+        // Deterministic: same content, same bytes.
+        assert_eq!(db.encode_flat(), bytes);
+    }
+
+    #[test]
+    fn decode_flat_rejects_corrupt_payloads() {
+        let (mut db, _, _) = two_relation_db();
+        db.take_changes();
+        let bytes = db.encode_flat();
+
+        // Any truncation is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(Database::decode_flat(db.catalog().clone(), &bytes[..cut]).is_err());
+        }
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Database::decode_flat(db.catalog().clone(), &long).is_err());
+        // A duplicated live row means a duplicate primary key.
+        let mut w = ByteWriter::new();
+        w.u64(db.version());
+        w.len(db.catalog().len());
+        w.len(2);
+        for _ in 0..2 {
+            w.bool(true);
+            w.len(2);
+            Value::from("d1").encode(&mut w);
+            Value::from("Cs").encode(&mut w);
+        }
+        w.len(0);
+        let err = Database::decode_flat(db.catalog().clone(), &w.into_vec()).unwrap_err();
+        assert!(matches!(err, StorageError::Malformed(_)));
     }
 
     #[test]

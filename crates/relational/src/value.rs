@@ -1,5 +1,6 @@
 //! Attribute values and data types.
 
+use cla_storage::{ByteReader, ByteWriter, StorageError};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -116,6 +117,45 @@ impl Value {
             Value::Float(_) => 3,
             Value::Text(_) => 4,
         }
+    }
+
+    /// Append this value to a snapshot section: one tag byte (equal to
+    /// [`Value::type_rank`], which is therefore part of the file format)
+    /// followed by the payload. Floats are stored by bit pattern, so a
+    /// NaN round-trips to the identical NaN.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Value::Null => w.u8(0),
+            Value::Bool(b) => {
+                w.u8(1);
+                w.bool(*b);
+            }
+            Value::Int(i) => {
+                w.u8(2);
+                w.i64(*i);
+            }
+            Value::Float(x) => {
+                w.u8(3);
+                w.f64(*x);
+            }
+            Value::Text(s) => {
+                w.u8(4);
+                w.str(s);
+            }
+        }
+    }
+
+    /// Read one [`Value::encode`]d value. Unknown tags are
+    /// [`StorageError::Malformed`], never a panic.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Value, StorageError> {
+        Ok(match r.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(r.bool()?),
+            2 => Value::Int(r.i64()?),
+            3 => Value::Float(r.f64()?),
+            4 => Value::Text(r.str()?),
+            tag => return Err(StorageError::Malformed(format!("unknown value tag {tag}"))),
+        })
     }
 }
 

@@ -18,6 +18,7 @@
 //! | `failpoint` | every failpoint name referenced by tests or CI workflows exists in the `cla_core::failpoints` `REGISTERED` list. |
 //! | `thread-spawn` | no `std::thread::spawn` (unscoped, leak-prone) — use `std::thread::scope`. |
 //! | `sync-facade` | `crates/core/src/swap.rs` never names `std::sync` / `std::hint` directly — only the `crate::sync` facade, so the model build checks the real source. |
+//! | `doc-comment` | no degraded doc comments: a line starting with `////` (four slashes are a *plain* comment to rustdoc — the doc text silently vanishes) or a stray `/ ` line inside a comment block (a `///` that lost slashes in an edit; the prose leaks into code and breaks the build or the docs). |
 //!
 //! ## Annotations
 //!
@@ -129,6 +130,7 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Finding>, String> {
 
         check_safety_comments(&scan, &rel, &mut findings);
         check_thread_spawn(&scan, &rel, &mut findings);
+        check_doc_comments(&scan, &rel, &mut findings);
         if kind == FileKind::Lib {
             check_unwrap(&scan, &rel, &mut findings);
             check_ordering(&scan, &rel, &mut findings);
@@ -331,6 +333,60 @@ fn check_thread_spawn(scan: &FileScan, rel: &str, findings: &mut Vec<Finding>) {
                           thread is joined (or annotate why detaching is sound)"
                     .to_owned(),
             });
+        }
+    }
+}
+
+// ---- rule: doc-comment ------------------------------------------------
+
+/// `true` for a raw line that is (or opens) a line comment of any
+/// flavor — the anchor for spotting degraded neighbors.
+fn is_comment_line(raw: &str) -> bool {
+    let t = raw.trim_start();
+    t.starts_with("//") || t.starts_with("/ ")
+}
+
+fn check_doc_comments(scan: &FileScan, rel: &str, findings: &mut Vec<Finding>) {
+    if allowed_file(scan, "doc-comment") {
+        return;
+    }
+    for (i, raw) in scan.raw.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        if allowed(scan, i, "doc-comment") {
+            continue;
+        }
+        // Four or more slashes: rustdoc parses `////` as a plain
+        // comment, so intended documentation silently disappears from
+        // the rendered docs. Only comment-only lines are considered
+        // (a `////` inside a string literal leaves code on the line).
+        if trimmed.starts_with("////") && scan.code[i].trim().is_empty() {
+            findings.push(Finding {
+                path: rel.to_owned(),
+                line: i + 1,
+                rule: "doc-comment",
+                message: "`////` is a plain comment to rustdoc, not documentation — \
+                          use `///` (or `//` for a non-doc note)"
+                    .to_owned(),
+            });
+            continue;
+        }
+        // A `/ `-prefixed line is a doc comment that lost slashes when
+        // it sits in a comment block (its neighbor is a comment): the
+        // prose leaks into code. A lone `/ ` continuation elsewhere is
+        // rustfmt's line-broken division and stays exempt.
+        if trimmed.starts_with("/ ") && !trimmed.starts_with("//") {
+            let prev_comment = i > 0 && is_comment_line(&scan.raw[i - 1]);
+            let next_comment = i + 1 < scan.raw.len() && is_comment_line(&scan.raw[i + 1]);
+            if prev_comment || next_comment {
+                findings.push(Finding {
+                    path: rel.to_owned(),
+                    line: i + 1,
+                    rule: "doc-comment",
+                    message: "stray `/ ` line inside a comment block — a doc comment \
+                              missing its slashes (`///`)"
+                        .to_owned(),
+                });
+            }
         }
     }
 }

@@ -202,6 +202,60 @@ fn unregistered_failpoint_reference_exits_nonzero() {
 }
 
 #[test]
+fn four_slash_comment_exits_nonzero() {
+    let t = TempTree::new();
+    t.write(
+        "src/lib.rs",
+        "//// Doubles the input (rustdoc drops this line).\npub fn double(x: u32) -> u32 {\n    x * 2\n}\n",
+    );
+    assert_finding(&lint(&t.root), "doc-comment");
+    // The same text as a real doc comment is clean.
+    t.write(
+        "src/lib.rs",
+        "/// Doubles the input.\npub fn double(x: u32) -> u32 {\n    x * 2\n}\n",
+    );
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
+fn degraded_doc_comment_line_exits_nonzero() {
+    let t = TempTree::new();
+    // A `///` block where one line lost its slashes: the stray line
+    // neighbors real comments, so it is flagged.
+    t.write(
+        "src/lib.rs",
+        concat!(
+            "/// Build the engine: validates referential integrity,\n",
+            "/ constructs the inverted index and the data graph.\n",
+            "pub fn build() {}\n",
+        ),
+    );
+    assert_finding(&lint(&t.root), "doc-comment");
+    // rustfmt's line-broken division (`/` opening a continuation line
+    // between code lines) is exempt.
+    t.write(
+        "src/lib.rs",
+        concat!(
+            "pub fn ratio(hits: u64, total: u64) -> f64 {\n",
+            "    hits as f64\n",
+            "        / total as f64\n",
+            "}\n",
+        ),
+    );
+    assert_clean(&lint(&t.root));
+    // The annotation escape hatch works like every other rule's.
+    t.write(
+        "src/lib.rs",
+        concat!(
+            "// lint: allow(doc-comment, fixture reproducing the degraded form)\n",
+            "/ degraded on purpose\n",
+            "pub fn build() {}\n",
+        ),
+    );
+    assert_clean(&lint(&t.root));
+}
+
+#[test]
 fn whole_repository_is_lint_clean() {
     // The acceptance bar: the shipped tree itself passes its own lint.
     let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
