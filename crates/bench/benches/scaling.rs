@@ -660,19 +660,24 @@ fn snapshot_publish(c: &mut Criterion) {
     group.finish();
 }
 
-/// B12: cold start from a snapshot image vs rebuilding from source.
+/// B12/B13: cold start from a snapshot image vs rebuilding from source.
 ///
 /// Every arm ends at the same place — a ranked answer for `QUERY` — but
 /// starts differently. `open_first_answer/` reads the saved image back
-/// with [`SearchEngine::open`] (one file read, checksum, section
-/// decodes, cross-validation). `regen_first_answer/` is the true
-/// cold-process alternative: nothing exists but the data source, so it
-/// regenerates the database *and* runs the tokenize → index → graph →
-/// CSR build pipeline. `rebuild_first_answer/` is the generous lower
-/// bound for the rebuild side — the database is already in memory and
-/// only the engine build runs. The open-vs-regen gap is the B12 claim
-/// in EXPERIMENTS.md; the `scaling/index` lookup bench above keeps the
-/// flat dictionary's warm-read parity on record separately.
+/// with [`SearchEngine::open`]: one file read, checksum, and the
+/// zero-copy section parse — POD arrays (postings, CSR, graph slots)
+/// decode once, while the term/alias arenas, the tuple→node map and the
+/// relational rows stay as borrowed views over the image buffer, with
+/// the owned database and its hash indexes deferred to the first
+/// mutation. `regen_first_answer/` is the true cold-process
+/// alternative: nothing exists but the data source, so it regenerates
+/// the database *and* runs the tokenize → index → graph → CSR build
+/// pipeline. `rebuild_first_answer/` is the generous lower bound for
+/// the rebuild side — the database is already in memory and only the
+/// engine build runs. The open-vs-regen gap is the B13 claim in
+/// EXPERIMENTS.md (the dept1024 arm pins that open stays flat while
+/// regen keeps growing); the `scaling/index` lookup bench above keeps
+/// the flat dictionary's warm-read parity on record separately.
 fn cold_open(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/cold_open");
     let opts = SearchOptions {
@@ -682,7 +687,7 @@ fn cold_open(c: &mut Criterion) {
         k: Some(10),
         ..Default::default()
     };
-    for departments in [16usize, 64, 128] {
+    for departments in [16usize, 64, 128, 1024] {
         let engine = synthetic_engine(departments, SEED);
         let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
             .join(format!("cold_open_{departments}_{}.snap", std::process::id()));

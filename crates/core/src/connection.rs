@@ -19,6 +19,7 @@
 //! own); only interior middle tuples entered and left through their two
 //! foreign keys collapse.
 
+use crate::aliases::AliasLookup;
 use crate::datagraph::DataGraph;
 use cla_er::{
     rdb_edge_cardinality, Cardinality, CardinalityChain, ChainClass, Closeness, ErSchema,
@@ -336,7 +337,7 @@ impl Connection {
     pub fn render(
         &self,
         dg: &DataGraph,
-        aliases: &HashMap<TupleId, String>,
+        aliases: &impl AliasLookup,
         markers: &HashMap<NodeId, Vec<String>>,
     ) -> String {
         self.render_cached(dg, aliases, markers, &mut vec![None; dg.node_count()])
@@ -350,7 +351,7 @@ impl Connection {
     pub fn render_cached(
         &self,
         dg: &DataGraph,
-        aliases: &HashMap<TupleId, String>,
+        aliases: &impl AliasLookup,
         markers: &HashMap<NodeId, Vec<String>>,
         cache: &mut [Option<String>],
     ) -> String {
@@ -371,7 +372,7 @@ impl Connection {
     pub fn render_with_cardinalities(
         &self,
         dg: &DataGraph,
-        aliases: &HashMap<TupleId, String>,
+        aliases: &impl AliasLookup,
         markers: &HashMap<NodeId, Vec<String>>,
     ) -> String {
         let mut out = render_node(self.nodes[0], dg, aliases, markers);
@@ -386,11 +387,11 @@ impl Connection {
 fn render_node(
     n: NodeId,
     dg: &DataGraph,
-    aliases: &HashMap<TupleId, String>,
+    aliases: &impl AliasLookup,
     markers: &HashMap<NodeId, Vec<String>>,
 ) -> String {
     let t = dg.tuple_of(n);
-    let alias = aliases.get(&t).cloned().unwrap_or_else(|| t.to_string());
+    let alias = aliases.alias_of(t).map(str::to_owned).unwrap_or_else(|| t.to_string());
     match markers.get(&n) {
         Some(kws) if !kws.is_empty() => format!("{alias}({})", kws.join(", ")),
         _ => alias,

@@ -10,7 +10,7 @@ use crate::error::CoreError;
 use cla_er::{FkRole, RelationshipId, SchemaMapping};
 use cla_graph::{CsrAdjacency, EdgeId, Graph, NodeId};
 use cla_relational::{ChangeSet, Database, RelationId, TupleId, TupleRemap};
-use cla_storage::{ByteReader, ByteWriter, StorageError};
+use cla_storage::{ByteReader, ByteWriter, SharedBytes, StorageError};
 use std::collections::{HashMap, HashSet};
 
 /// Pending CSR edge edits tolerated before [`DataGraph::apply`] folds
@@ -38,8 +38,98 @@ pub struct DataGraph {
     /// algorithm (path enumeration, BFS frontiers, BANKS expansion,
     /// MTJNT growth) walks this instead of the nested edge lists.
     csr: CsrAdjacency,
-    node_of: HashMap<TupleId, NodeId>,
+    /// Tuple → node lookup: owned hash map on built graphs, a borrowed
+    /// image view straight after decode (promoted by the first patch).
+    node_of: NodeIndex,
     middle: Vec<bool>,
+}
+
+/// The tuple→node lookup behind [`DataGraph::node_of`].
+///
+/// A freshly opened snapshot serves lookups by binary search over the
+/// image's `NODE_MAP` section — 12-byte `(rel, row, node)` records
+/// strictly sorted by `(rel, row)`, validated once at decode — and only
+/// the first structural mutation pays for the owned hash map.
+#[derive(Debug, Clone)]
+enum NodeIndex {
+    /// Owned map (post-build, post-promotion, post-compaction).
+    Map(HashMap<TupleId, NodeId>),
+    /// Borrowed view of the validated `NODE_MAP` records.
+    Image(SharedBytes),
+}
+
+/// The `(rel, row)` key of image record `i`.
+fn node_map_key(recs: &SharedBytes, i: usize) -> (u32, u32) {
+    // lint: allow(unwrap, decode sized the record view to exactly n records)
+    let rec = recs.record(i, 12).expect("node map index is in bounds");
+    let rel = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+    let row = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+    (rel, row)
+}
+
+/// The node id of image record `i`.
+fn node_map_node(recs: &SharedBytes, i: usize) -> NodeId {
+    // lint: allow(unwrap, decode sized the record view to exactly n records)
+    let rec = recs.record(i, 12).expect("node map index is in bounds");
+    NodeId(u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]))
+}
+
+impl NodeIndex {
+    fn get(&self, t: TupleId) -> Option<NodeId> {
+        match self {
+            NodeIndex::Map(m) => m.get(&t).copied(),
+            NodeIndex::Image(recs) => {
+                let n = recs.len() / 12;
+                let target = (t.relation.0, t.row);
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if node_map_key(recs, mid) < target {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (lo < n && node_map_key(recs, lo) == target).then(|| node_map_node(recs, lo))
+            }
+        }
+    }
+
+    fn contains(&self, t: TupleId) -> bool {
+        self.get(t).is_some()
+    }
+
+    /// Materialize the owned map (no-op when already owned) — the
+    /// promotion point for the first structural mutation.
+    fn promote(&mut self) {
+        if let NodeIndex::Image(recs) = self {
+            let n = recs.len() / 12;
+            let mut m = HashMap::with_capacity(n);
+            for i in 0..n {
+                let (rel, row) = node_map_key(recs, i);
+                m.insert(TupleId::new(RelationId(rel), row), node_map_node(recs, i));
+            }
+            *self = NodeIndex::Map(m);
+        }
+    }
+
+    fn insert(&mut self, t: TupleId, n: NodeId) {
+        self.promote();
+        if let NodeIndex::Map(m) = self {
+            m.insert(t, n);
+        }
+    }
+
+    fn remove(&mut self, t: &TupleId) {
+        self.promote();
+        if let NodeIndex::Map(m) = self {
+            m.remove(t);
+        }
+    }
+
+    fn is_image_backed(&self) -> bool {
+        matches!(self, NodeIndex::Image(_))
+    }
 }
 
 /// One resolved, pre-validated graph mutation — the output of
@@ -114,7 +204,7 @@ impl DataGraph {
             }
         }
         let csr = CsrAdjacency::build(&graph);
-        Ok(DataGraph { graph, csr, node_of, middle })
+        Ok(DataGraph { graph, csr, node_of: NodeIndex::Map(node_of), middle })
     }
 
     /// Resolve the out-edges tuple `id` must carry, reading `db`'s
@@ -146,7 +236,7 @@ impl DataGraph {
                         .unwrap_or_else(|| rel.to_string()),
                     fk_index,
                 })?;
-            if !self.node_of.contains_key(&target) && !batch_inserted.contains(&target) {
+            if !self.node_of.contains(target) && !batch_inserted.contains(&target) {
                 return Err(CoreError::UnknownTuple(target.to_string()));
             }
             out.push((fk_index, target, role));
@@ -227,7 +317,7 @@ impl DataGraph {
                 if batch_deleted.contains(&id) {
                     continue; // the later delete subsumes the rewiring
                 }
-                if !self.node_of.contains_key(&id) && !batch_inserted.contains(&id) {
+                if !self.node_of.contains(id) && !batch_inserted.contains(&id) {
                     return Err(CoreError::UnknownTuple(id.to_string()));
                 }
                 let edges = self.resolve_edges(db, mapping, id, &batch_inserted)?;
@@ -240,7 +330,7 @@ impl DataGraph {
                     edges,
                 });
             } else {
-                if !self.node_of.contains_key(&id) {
+                if !self.node_of.contains(id) {
                     return Err(CoreError::UnknownTuple(id.to_string()));
                 }
                 ops.push(PlanOp::Delete { id });
@@ -259,6 +349,11 @@ impl DataGraph {
     /// added edge ids for edge-indexed side tables.
     pub fn execute(&mut self, patch: &GraphPatch) -> Vec<EdgeId> {
         let plan = &patch.ops;
+        // First mutation after a zero-copy open: promote the image-backed
+        // tuple→node view to an owned map before any structural edit.
+        if !plan.is_empty() {
+            self.node_of.promote();
+        }
         // Phase 1: create every inserted tuple's node before wiring any
         // edges, so an insert may reference a tuple inserted *later* in
         // the same batch (references are validated lazily — batches can
@@ -286,7 +381,7 @@ impl DataGraph {
             let PlanOp::Delete { id } = op else {
                 continue;
             };
-            let n = self.node_of[id];
+            let n = self.node_of_existing(*id);
             let incident = self.csr.neighbors(n).to_vec();
             for &(m, e) in &incident {
                 self.graph.remove_edge(e);
@@ -319,11 +414,11 @@ impl DataGraph {
             let PlanOp::Insert { id, edges, .. } = op else {
                 continue;
             };
-            let n = self.node_of[id];
+            let n = self.node_of_existing(*id);
             let mut adj_n = self.csr.neighbors(n).to_vec();
             let before = adj_n.len();
             for &(fk_index, target, role) in edges {
-                let to = self.node_of[&target];
+                let to = self.node_of_existing(target);
                 let e = self.graph.add_edge(n, to, EdgeAnnotation { fk_index, role });
                 added_edges.push(e);
                 adj_n.push((to, e));
@@ -355,15 +450,15 @@ impl DataGraph {
             let PlanOp::Update { id, edges } = op else {
                 continue;
             };
-            let n = self.node_of[id];
+            let n = self.node_of_existing(*id);
             let old: HashMap<usize, (EdgeId, NodeId)> =
                 self.graph.out_edges(n).map(|e| (e.payload.fk_index, (e.id, e.to))).collect();
             let mut adj_n = self.csr.neighbors(n).to_vec();
             let mut edits = 0usize;
             for (&fk_index, &(e, to)) in &old {
-                let kept = edges
-                    .iter()
-                    .any(|&(fk, target, _)| fk == fk_index && self.node_of[&target] == to);
+                let kept = edges.iter().any(|&(fk, target, _)| {
+                    fk == fk_index && self.node_of_existing(target) == to
+                });
                 if kept {
                     continue;
                 }
@@ -382,7 +477,7 @@ impl DataGraph {
                 edits += 1;
             }
             for &(fk_index, target, role) in edges {
-                let to = self.node_of[&target];
+                let to = self.node_of_existing(target);
                 if old.get(&fk_index).is_some_and(|&(_, old_to)| old_to == to) {
                     continue; // unchanged edge keeps its id and slot
                 }
@@ -440,7 +535,7 @@ impl DataGraph {
             *self.graph.node_mut(n) = new_tuple;
             node_of.insert(new_tuple, n);
         }
-        self.node_of = node_of;
+        self.node_of = NodeIndex::Map(node_of);
         let mut middle = vec![false; self.graph.node_count()];
         for (old, new) in node_remap.iter().enumerate() {
             if let Some(new) = new {
@@ -452,11 +547,35 @@ impl DataGraph {
         edge_remap
     }
 
+    /// Serialize the tuple→node map as the `NODE_MAP` snapshot section:
+    /// record count, then 12-byte `(rel, row, node)` records strictly
+    /// sorted by tuple id — one per **live** node. Decode validates the
+    /// section against the graph and then binary-searches it in place
+    /// instead of rebuilding a hash map.
+    pub(crate) fn encode_node_map(&self) -> Vec<u8> {
+        let mut recs: Vec<(TupleId, NodeId)> = self
+            .graph
+            .nodes()
+            .filter(|&n| self.graph.is_node_alive(n))
+            .map(|n| (*self.graph.node(n), n))
+            .collect();
+        recs.sort_by_key(|&(t, _)| t);
+        let mut w = ByteWriter::new();
+        w.len(recs.len());
+        for (t, n) in recs {
+            w.u32(t.relation.0);
+            w.u32(t.row);
+            w.u32(n.0);
+        }
+        w.into_vec()
+    }
+
     /// Serialize the graph half of this data graph into one flat
     /// snapshot section: every node and edge **slot** (tombstones
     /// included, so [`TupleId`]-keyed state and [`EdgeId`]-indexed side
     /// tables survive a save/open round trip) plus the per-slot middle
-    /// flags. The tuple→node map is derived and rebuilt on decode.
+    /// flags. The tuple→node map rides in its own
+    /// [`DataGraph::encode_node_map`] section.
     pub(crate) fn encode_graph(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.len(self.graph.node_count());
@@ -519,43 +638,57 @@ impl DataGraph {
         w.into_vec()
     }
 
-    /// Rebuild a data graph from its two [`DataGraph::encode_graph`] /
-    /// [`DataGraph::encode_csr`] sections. Both payloads are validated,
-    /// never trusted: slot arrays must be mutually consistent
-    /// ([`Graph::from_slots`]), the CSR must be a well-formed offset
-    /// array over in-bounds **live** edges and must agree with the
-    /// graph's slot counts, and live nodes must carry distinct tuple
-    /// ids. Corrupt input is a typed error, never a panic.
-    pub(crate) fn decode(graph_bytes: &[u8], csr_bytes: &[u8]) -> Result<Self, StorageError> {
+    /// Rebuild a data graph from its [`DataGraph::encode_graph`],
+    /// [`DataGraph::encode_csr`] and [`DataGraph::encode_node_map`]
+    /// sections. Every payload is validated, never trusted: slot arrays
+    /// must be mutually consistent ([`Graph::from_slots`]), the CSR must
+    /// be a well-formed offset array over in-bounds **live** edges that
+    /// agrees with the graph's slot counts, and the node map must be a
+    /// strictly-sorted bijection onto the live nodes (see below). The
+    /// accepted node-map records are then kept as a borrowed view and
+    /// binary-searched per lookup — no hash map is built until the first
+    /// mutation. Corrupt input is a typed error, never a panic.
+    pub(crate) fn decode(
+        graph_bytes: &[u8],
+        csr_bytes: &[u8],
+        node_map: SharedBytes,
+    ) -> Result<Self, StorageError> {
+        // Both slot arrays are fixed-stride records (nodes 10 bytes,
+        // edges 19 — the two fk-role variants serialize identically
+        // sized), so each is grabbed as one raw region and decoded with
+        // `chunks_exact` instead of per-field cursor reads.
+        let flag = |b: u8| match b {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Malformed(format!("bool byte {other}"))),
+        };
         let mut r = ByteReader::new(graph_bytes);
         let n_nodes = r.len_of(10)?;
+        let node_bytes = r.raw(n_nodes * 10)?;
         let mut nodes = Vec::with_capacity(n_nodes);
         let mut node_alive = Vec::with_capacity(n_nodes);
         let mut middle = Vec::with_capacity(n_nodes);
-        for _ in 0..n_nodes {
-            let relation = RelationId(r.u32()?);
-            let row = r.u32()?;
+        for c in node_bytes.chunks_exact(10) {
+            let relation = RelationId(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            let row = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
             nodes.push(TupleId::new(relation, row));
-            node_alive.push(r.bool()?);
-            middle.push(r.bool()?);
+            node_alive.push(flag(c[8])?);
+            middle.push(flag(c[9])?);
         }
         let n_edges = r.len_of(16)?;
+        let edge_bytes = r.raw(n_edges * 19)?;
         let mut edges = Vec::with_capacity(n_edges);
         let mut edge_alive = Vec::with_capacity(n_edges);
-        for _ in 0..n_edges {
-            let from = NodeId(r.u32()?);
-            let to = NodeId(r.u32()?);
-            edge_alive.push(r.bool()?);
-            let fk_index = r.len()?;
-            let role = match r.u8()? {
-                0 => FkRole::Direct {
-                    relationship: RelationshipId(r.u32()?),
-                    owner_is_left: r.bool()?,
-                },
-                1 => FkRole::Middle {
-                    relationship: RelationshipId(r.u32()?),
-                    to_left: r.bool()?,
-                },
+        for c in edge_bytes.chunks_exact(19) {
+            let from = NodeId(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            let to = NodeId(u32::from_le_bytes([c[4], c[5], c[6], c[7]]));
+            edge_alive.push(flag(c[8])?);
+            let fk_index = u32::from_le_bytes([c[9], c[10], c[11], c[12]]) as usize;
+            let relationship =
+                RelationshipId(u32::from_le_bytes([c[14], c[15], c[16], c[17]]));
+            let role = match c[13] {
+                0 => FkRole::Direct { relationship, owner_is_left: flag(c[18])? },
+                1 => FkRole::Middle { relationship, to_left: flag(c[18])? },
                 tag => {
                     return Err(StorageError::Malformed(format!("unknown fk role tag {tag}")))
                 }
@@ -568,15 +701,51 @@ impl DataGraph {
             .ok_or_else(|| {
                 StorageError::Malformed("inconsistent graph slot arrays".into())
             })?;
-        let mut node_of = HashMap::with_capacity(graph.alive_node_count());
-        for n in graph.nodes() {
-            if graph.is_node_alive(n) && node_of.insert(*graph.node(n), n).is_some() {
+
+        // NODE_MAP: strictly-sorted `(tuple → node)` records, one per
+        // live node. Validation proves a bijection without building a
+        // hash map: keys strictly ascend (hence are distinct), every
+        // record's node is a live slot whose stored tuple equals the key
+        // (so two records can never share a node), and the record count
+        // equals the live-node count — together, every live node appears
+        // exactly once and no tuple labels two live nodes.
+        let mut r = ByteReader::new(node_map.as_slice());
+        let n_map = r.len_of(12)?;
+        if n_map != graph.alive_node_count() {
+            return Err(StorageError::Malformed(format!(
+                "node map has {n_map} records for {} live nodes",
+                graph.alive_node_count()
+            )));
+        }
+        let records_start = r.position();
+        let map_bytes = r.raw(n_map * 12)?;
+        let mut prev: Option<(u32, u32)> = None;
+        for c in map_bytes.chunks_exact(12) {
+            let key = (
+                u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            );
+            if prev.is_some_and(|p| p >= key) {
+                return Err(StorageError::Malformed(
+                    "node map keys must be strictly sorted".into(),
+                ));
+            }
+            prev = Some(key);
+            let node = NodeId(u32::from_le_bytes([c[8], c[9], c[10], c[11]]));
+            if node.index() >= n_nodes || !graph.is_node_alive(node) {
                 return Err(StorageError::Malformed(format!(
-                    "tuple {} appears at two live nodes",
-                    graph.node(n)
+                    "node map references dead or out-of-range node {node}"
+                )));
+            }
+            if *graph.node(node) != TupleId::new(RelationId(key.0), key.1) {
+                return Err(StorageError::Malformed(format!(
+                    "node map key does not match node {node}'s tuple"
                 )));
             }
         }
+        let records_end = r.position();
+        r.finish()?;
+        let node_of = NodeIndex::Image(node_map.slice(records_start..records_end)?);
 
         let mut r = ByteReader::new(csr_bytes);
         let n_offsets = r.len_of(4)?;
@@ -585,15 +754,17 @@ impl DataGraph {
                 "CSR has {n_offsets} offsets for {n_nodes} node slots"
             )));
         }
+        let off_bytes = r.raw(n_offsets * 4)?;
         let mut offsets = Vec::with_capacity(n_offsets);
-        for _ in 0..n_offsets {
-            offsets.push(r.u32()?);
-        }
+        offsets.extend(
+            off_bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
         let n_flat = r.len_of(8)?;
+        let flat_bytes = r.raw(n_flat * 8)?;
         let mut flat = Vec::with_capacity(n_flat);
-        for _ in 0..n_flat {
-            let m = NodeId(r.u32()?);
-            let e = EdgeId(r.u32()?);
+        for c in flat_bytes.chunks_exact(8) {
+            let m = NodeId(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            let e = EdgeId(u32::from_le_bytes([c[4], c[5], c[6], c[7]]));
             if m.index() >= n_nodes {
                 return Err(StorageError::Malformed(format!(
                     "CSR neighbor node {m:?} out of range"
@@ -626,7 +797,20 @@ impl DataGraph {
 
     /// Node for tuple `t`, if present.
     pub fn node_of(&self, t: TupleId) -> Option<NodeId> {
-        self.node_of.get(&t).copied()
+        self.node_of.get(t)
+    }
+
+    /// Node of a tuple the patch pre-validated (plan stage guarantees
+    /// presence).
+    fn node_of_existing(&self, t: TupleId) -> NodeId {
+        // lint: allow(unwrap, plan pre-validated every tuple the patch references)
+        self.node_of.get(t).expect("patch references only planned tuples")
+    }
+
+    /// `true` while the tuple→node lookup still serves from the
+    /// snapshot image (no patch has promoted it to an owned map).
+    pub fn node_map_is_image_backed(&self) -> bool {
+        self.node_of.is_image_backed()
     }
 
     /// Tuple stored at node `n`.
@@ -742,7 +926,13 @@ mod tests {
 
         let graph_bytes = dg.encode_graph();
         let csr_bytes = dg.encode_csr();
-        let back = DataGraph::decode(&graph_bytes, &csr_bytes).unwrap();
+        let nm_bytes = dg.encode_node_map();
+        let decode = |g: &[u8], c: &[u8], m: &[u8]| {
+            DataGraph::decode(g, c, SharedBytes::from_vec(m.to_vec()))
+        };
+        let back = decode(&graph_bytes, &csr_bytes, &nm_bytes).unwrap();
+        assert!(back.node_map_is_image_backed(), "decode must not build the hash map");
+        assert!(!dg.node_map_is_image_backed(), "built graphs own their map");
 
         assert_eq!(back.node_count(), dg.node_count());
         assert_eq!(back.alive_node_count(), dg.alive_node_count());
@@ -766,14 +956,44 @@ mod tests {
         folded.compact_csr();
         assert_eq!(folded.encode_csr(), csr_bytes);
         assert_eq!(folded.encode_graph(), graph_bytes);
+        assert_eq!(folded.encode_node_map(), nm_bytes);
+        // A decoded (image-backed) graph re-encodes its node map
+        // byte-identically and promotes on its first patch.
+        assert_eq!(back.encode_node_map(), nm_bytes);
+        let mut promoted = back.clone();
+        db.insert(dep, vec!["t12".into(), "e2".into(), "Ira".into()]).unwrap();
+        let changes = db.take_changes();
+        promoted.apply(&db, &c.mapping, &changes).unwrap();
+        assert!(!promoted.node_map_is_image_backed(), "first patch promotes");
+        let fresh = DataGraph::build(&db, &c.mapping).unwrap();
+        assert_eq!(tuple_adjacency(&db, &promoted), tuple_adjacency(&db, &fresh));
 
         // Corrupt payloads are typed errors, never panics.
         for cut in 0..graph_bytes.len() {
-            assert!(DataGraph::decode(&graph_bytes[..cut], &csr_bytes).is_err());
+            assert!(decode(&graph_bytes[..cut], &csr_bytes, &nm_bytes).is_err());
         }
         for cut in 0..csr_bytes.len() {
-            assert!(DataGraph::decode(&graph_bytes, &csr_bytes[..cut]).is_err());
+            assert!(decode(&graph_bytes, &csr_bytes[..cut], &nm_bytes).is_err());
         }
+        for cut in 0..nm_bytes.len() {
+            assert!(decode(&graph_bytes, &csr_bytes, &nm_bytes[..cut]).is_err());
+        }
+        // Node-map faults the truncation sweep cannot reach: swapped
+        // (unsorted) records, a record pointing at the wrong node, and
+        // a key that matches no live tuple.
+        let mut swapped = nm_bytes.clone();
+        for i in 0..12 {
+            swapped.swap(4 + i, 16 + i);
+        }
+        assert!(decode(&graph_bytes, &csr_bytes, &swapped).is_err());
+        let mut wrong_node = nm_bytes.clone();
+        let node_off = 4 + 8; // first record's node field
+        let old = u32::from_le_bytes(wrong_node[node_off..node_off + 4].try_into().unwrap());
+        wrong_node[node_off..node_off + 4].copy_from_slice(&(old + 1).to_le_bytes());
+        assert!(decode(&graph_bytes, &csr_bytes, &wrong_node).is_err());
+        let mut wrong_key = nm_bytes.clone();
+        wrong_key[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&graph_bytes, &csr_bytes, &wrong_key).is_err());
     }
 
     /// Tuple-level adjacency view for rebuild-equivalence comparisons

@@ -207,9 +207,17 @@ impl SearchEngine {
         self.writer.compact_csr()
     }
 
-    /// The underlying database.
+    /// The underlying database (materializes a zero-copy-opened
+    /// engine's lazy store on first call).
     pub fn db(&self) -> &Database {
         self.writer.db()
+    }
+
+    /// `true` once the owned database (with its PK/reverse-FK hash
+    /// indexes) exists — immediately for a built engine, only after the
+    /// first mutation or `db()` borrow for a zero-copy-opened one.
+    pub fn db_materialized(&self) -> bool {
+        self.writer.db_materialized()
     }
 
     /// The ER schema.

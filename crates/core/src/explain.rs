@@ -15,11 +15,11 @@
 //! main clause followed by ", that …" continuations. Forward steps use
 //! the relationship's `verb`, backward steps its `reverse_verb`.
 
+use crate::aliases::AliasLookup;
 use crate::connection::{ConceptualStep, Connection};
 use crate::datagraph::DataGraph;
 use cla_er::{ErSchema, SchemaMapping};
 use cla_graph::NodeId;
-use cla_relational::TupleId;
 use std::collections::HashMap;
 
 /// Render node `n` as `entity-type alias(markers)`, e.g.
@@ -29,7 +29,7 @@ fn describe_node(
     dg: &DataGraph,
     mapping: &SchemaMapping,
     schema: &ErSchema,
-    aliases: &HashMap<TupleId, String>,
+    aliases: &impl AliasLookup,
     markers: &HashMap<NodeId, Vec<String>>,
 ) -> String {
     let t = dg.tuple_of(n);
@@ -38,7 +38,7 @@ fn describe_node(
         .and_then(|e| schema.entity(e))
         .map(|e| e.name.to_lowercase())
         .unwrap_or_else(|| "record".to_owned());
-    let alias = aliases.get(&t).cloned().unwrap_or_else(|| t.to_string());
+    let alias = aliases.alias_of(t).map(str::to_owned).unwrap_or_else(|| t.to_string());
     match markers.get(&n) {
         Some(kws) if !kws.is_empty() => format!("{kind} {alias}({})", kws.join(", ")),
         _ => format!("{kind} {alias}"),
@@ -55,7 +55,7 @@ pub fn explain_connection(
     dg: &DataGraph,
     schema: &ErSchema,
     mapping: &SchemaMapping,
-    aliases: &HashMap<TupleId, String>,
+    aliases: &impl AliasLookup,
     markers: &HashMap<NodeId, Vec<String>>,
 ) -> String {
     let mut steps = conn.conceptual_steps(dg, schema, mapping);
@@ -84,7 +84,7 @@ pub(crate) fn explain_connection_from_steps(
     dg: &DataGraph,
     schema: &ErSchema,
     mapping: &SchemaMapping,
-    aliases: &HashMap<TupleId, String>,
+    aliases: &impl AliasLookup,
     markers: &HashMap<NodeId, Vec<String>>,
     cache: &mut [Option<String>],
 ) -> String {

@@ -68,14 +68,22 @@
 //! [`SearchEngine::save`] serializes the published snapshot plus its
 //! database into one offset-addressable, checksummed image (see
 //! `cla-storage` and `ANALYSIS.md` for the file format);
-//! [`SearchEngine::open`] cold-starts from that file with section reads
-//! plus validation instead of the tokenize → index → graph → CSR build
-//! pipeline. Guarantees, property-tested in
-//! `crates/core/tests/roundtrip.rs`:
+//! [`SearchEngine::open`] cold-starts from that file **zero-copy**:
+//! every section is bounds-validated once, then generation 0 serves
+//! searches straight out of the shared image buffer — term and alias
+//! arenas, the tuple→node map, and the relational rows stay borrowed,
+//! and the handful of alignment-sensitive POD arrays (postings, CSR,
+//! graph slots) decode with a constant number of allocations. Derived
+//! owned structures are **lazy**: the relational store with its PK and
+//! reverse-FK hash indexes, the tuple→node hash map, and the owned
+//! term dictionary are materialized only when a mutation first needs
+//! them. Guarantees, property-tested in `crates/core/tests/roundtrip.rs`
+//! and `crates/core/tests/zero_copy.rs`:
 //!
 //! * **Round-trip equivalence** — an opened engine answers
 //!   byte-identically (rankings, explanations, stats) to one rebuilt
-//!   from the same database, for all three algorithms.
+//!   from the same database, for all three algorithms — both before and
+//!   after the first mutation promotes the lazy structures to owned.
 //! * **Typed rejection** — truncated, checksum-corrupt,
 //!   version-incompatible, or internally inconsistent files fail with
 //!   [`CoreError::Snapshot`] (wrapping a [`StorageError`] reason);
@@ -84,7 +92,9 @@
 //!   bounds-checked).
 //! * **Still live** — the opened engine keeps mutating: `apply`,
 //!   `compact`, alias edits, and a further `save` all work, with the
-//!   generation ordinal continuing across the save/open boundary.
+//!   generation ordinal continuing across the save/open boundary; the
+//!   first write pays the deferred materialization, searches never
+//!   notice the backing switch.
 //!
 //! ## Quickstart
 //!
@@ -105,6 +115,8 @@
 // compile: the search stack above it is irrelevant to interleaving
 // exploration and would multiply build time for every explored-schedule
 // iteration cycle.
+#[cfg(not(cla_model_check))]
+mod aliases;
 #[cfg(not(cla_model_check))]
 mod banks;
 #[cfg(not(cla_model_check))]
@@ -142,6 +154,8 @@ mod writer;
 pub mod failpoints;
 pub mod sync;
 
+#[cfg(not(cla_model_check))]
+pub use aliases::{AliasLookup, Aliases};
 #[cfg(not(cla_model_check))]
 pub use banks::{
     banks_search, banks_search_budgeted, banks_search_counted, BanksOptions, BanksScratch,

@@ -28,11 +28,11 @@
 use crate::datagraph::DataGraph;
 use crate::error::CoreError;
 use crate::snapshot::{failpoints_enabled_from_env, EngineSnapshot};
+use crate::writer::LazyDb;
 use cla_er::{map_to_relational, Cardinality, Side};
 use cla_index::InvertedIndex;
-use cla_relational::{Database, RelationId, TupleId};
-use cla_storage::{ByteReader, ByteWriter, ImageBuilder, SnapshotImage, StorageError};
-use std::collections::HashMap;
+use cla_relational::{Database, TupleId};
+use cla_storage::{ByteReader, ByteWriter, ImageBuilder, SharedImage, StorageError};
 use std::path::Path;
 use std::sync::atomic::AtomicBool;
 use std::sync::Mutex;
@@ -50,10 +50,13 @@ const SECTION_INDEX: u32 = 4;
 const SECTION_GRAPH: u32 = 5;
 /// The CSR adjacency: offsets and flat neighbor array, overlay folded.
 const SECTION_CSR: u32 = 6;
-/// Display aliases, sorted by tuple id.
+/// Display aliases: sorted keys, arena bounds, string arena.
 const SECTION_ALIASES: u32 = 7;
 /// The per-edge-slot RDB cardinality table.
 const SECTION_EDGE_CARDS: u32 = 8;
+/// The tuple→node map: strictly-sorted `(rel, row, node)` records, one
+/// per live graph node, binary-searched in place after open.
+const SECTION_NODE_MAP: u32 = 9;
 
 fn encode_side(w: &mut ByteWriter, side: Side) {
     w.u8(match side {
@@ -68,34 +71,6 @@ fn decode_side(r: &mut ByteReader<'_>) -> Result<Side, StorageError> {
         1 => Ok(Side::Many),
         tag => Err(StorageError::Malformed(format!("unknown side tag {tag}"))),
     }
-}
-
-fn encode_aliases(aliases: &HashMap<TupleId, String>) -> Vec<u8> {
-    let mut sorted: Vec<(&TupleId, &String)> = aliases.iter().collect();
-    sorted.sort_unstable_by_key(|(t, _)| **t);
-    let mut w = ByteWriter::new();
-    w.len(sorted.len());
-    for (t, alias) in sorted {
-        w.u32(t.relation.0);
-        w.u32(t.row);
-        w.str(alias);
-    }
-    w.into_vec()
-}
-
-fn decode_aliases(bytes: &[u8]) -> Result<HashMap<TupleId, String>, StorageError> {
-    let mut r = ByteReader::new(bytes);
-    let n = r.len_of(9)?;
-    let mut aliases = HashMap::with_capacity(n);
-    for _ in 0..n {
-        let t = TupleId::new(RelationId(r.u32()?), r.u32()?);
-        let alias = r.str()?;
-        if aliases.insert(t, alias).is_some() {
-            return Err(StorageError::Malformed(format!("duplicate alias for {t}")));
-        }
-    }
-    r.finish()?;
-    Ok(aliases)
 }
 
 fn encode_edge_cards(cards: &[Cardinality]) -> Vec<u8> {
@@ -130,8 +105,9 @@ fn build_image(snapshot: &EngineSnapshot, db: &Database) -> ImageBuilder {
         .section(SECTION_INDEX, snapshot.index.encode())
         .section(SECTION_GRAPH, snapshot.dg.encode_graph())
         .section(SECTION_CSR, snapshot.dg.encode_csr())
-        .section(SECTION_ALIASES, encode_aliases(&snapshot.aliases))
-        .section(SECTION_EDGE_CARDS, encode_edge_cards(&snapshot.edge_cards));
+        .section(SECTION_ALIASES, snapshot.aliases.encode())
+        .section(SECTION_EDGE_CARDS, encode_edge_cards(&snapshot.edge_cards))
+        .section(SECTION_NODE_MAP, snapshot.dg.encode_node_map());
     builder
 }
 
@@ -156,66 +132,124 @@ pub(crate) fn write_image(
     Ok(())
 }
 
-/// Decode a parsed image back into `(snapshot, database, generation)`,
-/// re-running the pure ER→relational mapping and cross-validating the
-/// sections against each other (the image is authenticated by its CRC,
-/// but a *well-formed* image could still be internally inconsistent —
-/// every such inconsistency is a typed error, never a panic or UB).
+/// Decode a shared image into `(snapshot, lazy database, generation)`
+/// **zero-copy**: sections are bounds-validated once, then generation 0
+/// serves straight out of the shared buffer. The term and alias arenas,
+/// the tuple→node map, and the relational rows stay borrowed views; the
+/// alignment-sensitive POD arrays (postings, CSR, graph slots) decode
+/// with a constant number of allocations; and the owned [`Database`]
+/// with its PK/reverse-FK hash indexes is **not built here at all** —
+/// the returned [`LazyDb`] materializes it on first mutation.
+///
+/// The image is authenticated by its checksum, but a *well-formed* image
+/// could still be internally inconsistent — every such inconsistency is
+/// a typed error, never a panic or UB. The DATABASE payload is
+/// validated check-for-check with [`Database::decode_flat`] via
+/// [`Database::validate_flat`], so the deferred materialization is
+/// guaranteed to succeed; the same pass merge-walks the strictly-sorted
+/// NODE_MAP records against the live rows (both enumerate live tuples
+/// in ascending `(relation, row)` order), proving record-by-record that
+/// the graph covers exactly the database's live tuples.
 pub(crate) fn decode_image(
-    image: &SnapshotImage,
-) -> Result<(EngineSnapshot, Database, u64), CoreError> {
-    let mut meta = ByteReader::new(image.section(SECTION_META)?);
-    let generation = meta.u64()?;
-    meta.finish()?;
+    image: &SharedImage,
+) -> Result<(EngineSnapshot, LazyDb, u64), CoreError> {
+    // Four independent lanes: the whole-body checksum (deferred by
+    // `EngineWriter::open`'s `parse_deferred`), the index decode (plus
+    // the small alias and cardinality sections), the graph decode, and
+    // the schema decode followed by the database validation walk. On a
+    // multi-core host the first three run on scoped threads while the
+    // main lane runs here; on a single core the spawns would only add
+    // overhead (tens of microseconds against a sub-millisecond open),
+    // so the lanes run inline instead. Every decoder already treats
+    // its bytes as hostile (typed errors, never a panic — the property
+    // suite pins this), so decoding before the checksum verdict lands
+    // is safe; the verdict is checked *first* below, which keeps the
+    // observable error of a corrupt image identical to an
+    // eager-checksum parse. Lane results are consumed in a fixed
+    // order, so error precedence is deterministic regardless of
+    // thread timing.
+    let checksum_lane = || image.verify_checksum();
+    let index_lane = || -> Result<_, CoreError> {
+        let index = InvertedIndex::decode(image.section(SECTION_INDEX)?)?;
+        let aliases = crate::aliases::Aliases::decode(image.section(SECTION_ALIASES)?)?;
+        let edge_cards = decode_edge_cards(image.section(SECTION_EDGE_CARDS)?.as_slice())?;
+        Ok((index, aliases, edge_cards))
+    };
+    let graph_lane = || -> Result<_, CoreError> {
+        Ok(DataGraph::decode(
+            image.section(SECTION_GRAPH)?.as_slice(),
+            image.section(SECTION_CSR)?.as_slice(),
+            image.section(SECTION_NODE_MAP)?,
+        )?)
+    };
+    let main_lane = || -> Result<_, CoreError> {
+        let meta_section = image.section(SECTION_META)?;
+        let mut meta = ByteReader::new(meta_section.as_slice());
+        let generation = meta.u64()?;
+        meta.finish()?;
+        let er_schema =
+            cla_er::ErSchema::decode(image.section(SECTION_ER_SCHEMA)?.as_slice())?;
+        let mapping = map_to_relational(&er_schema)
+            .map_err(|e| StorageError::Malformed(format!("schema does not map: {e}")))?;
 
-    let er_schema = cla_er::ErSchema::decode(image.section(SECTION_ER_SCHEMA)?)?;
-    let mapping = map_to_relational(&er_schema)
-        .map_err(|e| StorageError::Malformed(format!("schema does not map: {e}")))?;
+        // Re-slice the node-map records region for the merge walk
+        // below (the graph lane validates the same section
+        // structurally, in parallel).
+        let node_map = image.section(SECTION_NODE_MAP)?;
+        let mut nm_reader = ByteReader::new(node_map.as_slice());
+        let n_map = nm_reader.len_of(12)?;
+        let records_start = nm_reader.position();
+        let records = node_map.slice(records_start..records_start + n_map * 12)?;
 
-    // The remaining sections decode independently of each other (only
-    // the database needs the recomputed catalog), so the two heaviest —
-    // row storage and the inverted index — run on scoped threads while
-    // this thread decodes the graph, CSR, aliases and cardinality
-    // table. Cold open is the one latency-critical moment this engine
-    // has; overlapping the section decodes takes a visible bite out of
-    // it (the B12 numbers in EXPERIMENTS.md include this overlap).
-    let (db, index, dg, aliases, edge_cards) = std::thread::scope(|s| {
         let catalog = mapping.catalog().clone();
         let db_bytes = image.section(SECTION_DATABASE)?;
-        let db_task = s.spawn(move || Database::decode_flat(catalog, db_bytes));
-        let index_bytes = image.section(SECTION_INDEX)?;
-        let index_task = s.spawn(move || InvertedIndex::decode(index_bytes));
-        let dg =
-            DataGraph::decode(image.section(SECTION_GRAPH)?, image.section(SECTION_CSR)?)?;
-        let aliases = decode_aliases(image.section(SECTION_ALIASES)?)?;
-        let edge_cards = decode_edge_cards(image.section(SECTION_EDGE_CARDS)?)?;
-        // Both closures are panic-free by construction (the decoders
-        // return typed errors for every malformed input), so a join
-        // failure would be a bug in this crate, not bad input.
-        // lint: allow(unwrap, decoders are panic-free; a join failure is a crate bug)
-        let db = db_task.join().expect("database decode thread panicked")?;
-        // lint: allow(unwrap, decoders are panic-free; a join failure is a crate bug)
-        let index = index_task.join().expect("index decode thread panicked")?;
-        Ok::<_, CoreError>((db, index, dg, aliases, edge_cards))
-    })?;
-
-    // Cross-section consistency: the graph must cover exactly the
-    // database's live tuples, and the slot-indexed cardinality table
-    // must cover every edge slot.
-    if dg.alive_node_count() != db.total_tuples() {
-        return Err(CoreError::Snapshot(StorageError::Malformed(format!(
-            "graph has {} live nodes for {} live tuples",
-            dg.alive_node_count(),
-            db.total_tuples()
-        ))));
-    }
-    for id in db.all_tuple_ids() {
-        if dg.node_of(id).is_none() {
+        let mut cursor = 0usize;
+        let summary = Database::validate_flat(&catalog, db_bytes.as_slice(), |rel, row| {
+            let expected = records.record(cursor, 12).map(|rec| {
+                (
+                    u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]),
+                    u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]),
+                )
+            });
+            if expected == Some((rel.0, row)) {
+                cursor += 1;
+                Ok(())
+            } else {
+                Err(format!("live tuple {} has no graph node", TupleId::new(rel, row)))
+            }
+        })?;
+        debug_assert_eq!(summary.live_rows, cursor);
+        if cursor != n_map {
             return Err(CoreError::Snapshot(StorageError::Malformed(format!(
-                "live tuple {id} has no graph node"
+                "graph has {n_map} live nodes for {cursor} live tuples"
             ))));
         }
+        Ok((generation, er_schema, mapping, catalog, db_bytes, summary))
+    };
+    // A decoder panic would be a bug, not a data condition; surface
+    // it unchanged instead of swallowing it.
+    fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+        match h.join() {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
+    let multicore = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+    let (checksum, index_res, graph_res, main_res) = if multicore {
+        std::thread::scope(|s| {
+            let crc = s.spawn(checksum_lane);
+            let index = s.spawn(index_lane);
+            let graph = s.spawn(graph_lane);
+            let main = main_lane();
+            (join(crc), join(index), join(graph), main)
+        })
+    } else {
+        (checksum_lane(), index_lane(), graph_lane(), main_lane())
+    };
+    checksum.map_err(CoreError::Snapshot)?;
+    let (generation, er_schema, mapping, catalog, db_bytes, summary) = main_res?;
+    let (index, aliases, edge_cards) = index_res?;
+    let dg = graph_res?;
     if edge_cards.len() != dg.graph().edge_slots() {
         return Err(CoreError::Snapshot(StorageError::Malformed(format!(
             "cardinality table has {} entries for {} edge slots",
@@ -224,6 +258,7 @@ pub(crate) fn decode_image(
         ))));
     }
 
+    let db = LazyDb::from_image(catalog, db_bytes, summary.version);
     let snapshot = EngineSnapshot {
         er_schema,
         mapping,
@@ -263,6 +298,7 @@ mod tests {
     use crate::snapshot::SearchOptions;
     use cla_datagen::company;
     use cla_relational::Value;
+    use cla_storage::SnapshotImage;
 
     fn company_engine() -> SearchEngine {
         let c = company();
@@ -295,10 +331,15 @@ mod tests {
     fn image_round_trips_byte_identically() {
         let engine = company_engine();
         let bytes = encode_image(&engine.snapshot(), engine.db());
-        let image = SnapshotImage::parse(bytes.clone()).unwrap();
+        let image = SnapshotImage::parse(bytes.clone()).unwrap().into_shared();
         let (snap, db, generation) = decode_image(&image).unwrap();
         assert_eq!(generation, 0);
-        assert_eq!(encode_image(&snap, &db), bytes, "decode re-encodes byte-identically");
+        assert!(!db.is_materialized(), "decode must not build the database eagerly");
+        assert_eq!(
+            encode_image(&snap, db.get()),
+            bytes,
+            "decode re-encodes byte-identically"
+        );
     }
 
     #[test]
@@ -312,12 +353,12 @@ mod tests {
             "test wants a dirty overlay on the published snapshot"
         );
         let bytes = encode_image(&snap, engine.db());
-        let image = SnapshotImage::parse(bytes.clone()).unwrap();
+        let image = SnapshotImage::parse(bytes.clone()).unwrap().into_shared();
         let (opened, db, generation) = decode_image(&image).unwrap();
         assert_eq!(generation, 1);
         assert_eq!(opened.index.pending_edits(), 0, "index overlay folded at encode");
         assert!(!opened.dg.csr().has_pending_patches(), "CSR overlay folded at encode");
-        assert_eq!(encode_image(&opened, &db), bytes, "folded twin encodes identically");
+        assert_eq!(encode_image(&opened, db.get()), bytes, "folded twin encodes identically");
     }
 
     #[test]
@@ -383,27 +424,83 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// Rebuild `image` with section `target`'s payload rewritten by `f`
+    /// (the builder re-stamps the checksum, so the result is a structurally
+    /// authentic image carrying hostile section bytes).
+    fn rewrite_section(
+        image: &SnapshotImage,
+        target: u32,
+        f: impl Fn(Vec<u8>) -> Vec<u8>,
+    ) -> SharedImage {
+        let mut builder = ImageBuilder::new();
+        for id in image.section_ids() {
+            let payload = image.section(id).unwrap().to_vec();
+            builder.section(id, if id == target { f(payload) } else { payload });
+        }
+        SnapshotImage::parse(builder.finish()).unwrap().into_shared()
+    }
+
     #[test]
     fn decode_rejects_cross_section_inconsistency() {
         let engine = company_engine();
         let bytes = encode_image(&engine.snapshot(), engine.db());
         let image = SnapshotImage::parse(bytes).unwrap();
-        // Rebuild the image with an empty cardinality table: every
-        // section is individually well-formed, but the table no longer
-        // covers the graph's edge slots.
-        let mut builder = ImageBuilder::new();
-        for id in image.section_ids() {
-            let payload = if id == SECTION_EDGE_CARDS {
-                encode_edge_cards(&[])
-            } else {
-                image.section(id).unwrap().to_vec()
-            };
-            builder.section(id, payload);
-        }
-        let inconsistent = SnapshotImage::parse(builder.finish()).unwrap();
+        // An empty cardinality table: every section is individually
+        // well-formed, but the table no longer covers the graph's edge
+        // slots.
+        let inconsistent =
+            rewrite_section(&image, SECTION_EDGE_CARDS, |_| encode_edge_cards(&[]));
         assert!(matches!(
             decode_image(&inconsistent),
             Err(CoreError::Snapshot(StorageError::Malformed(_)))
         ));
+        // An empty node map: the graph decodes, but the merge walk
+        // against the database's live rows fails on the first tuple.
+        let mut w = ByteWriter::new();
+        w.len(0);
+        let empty_map = w.into_vec();
+        let unmapped = rewrite_section(&image, SECTION_NODE_MAP, move |_| empty_map.clone());
+        assert!(matches!(
+            decode_image(&unmapped),
+            Err(CoreError::Snapshot(StorageError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_hostile_rewritten_sections() {
+        let engine = company_engine();
+        let bytes = encode_image(&engine.snapshot(), engine.db());
+        let image = SnapshotImage::parse(bytes).unwrap();
+        // NODE_MAP with its first two records swapped breaks the strict
+        // key ordering the binary-search accessor relies on.
+        let swapped = rewrite_section(&image, SECTION_NODE_MAP, |mut p| {
+            for i in 0..12 {
+                p.swap(4 + i, 16 + i);
+            }
+            p
+        });
+        assert!(matches!(
+            decode_image(&swapped),
+            Err(CoreError::Snapshot(StorageError::Malformed(_)))
+        ));
+        // A truncated ALIASES payload is caught by the section decoder.
+        let clipped = rewrite_section(&image, SECTION_ALIASES, |mut p| {
+            p.truncate(p.len() - 1);
+            p
+        });
+        assert!(matches!(decode_image(&clipped), Err(CoreError::Snapshot(_))));
+        // A truncated INDEX payload likewise.
+        let clipped = rewrite_section(&image, SECTION_INDEX, |mut p| {
+            p.truncate(p.len() - 1);
+            p
+        });
+        assert!(matches!(decode_image(&clipped), Err(CoreError::Snapshot(_))));
+        // A truncated DATABASE payload is caught by the materialization-
+        // free validation pass.
+        let clipped = rewrite_section(&image, SECTION_DATABASE, |mut p| {
+            p.truncate(p.len() - 1);
+            p
+        });
+        assert!(matches!(decode_image(&clipped), Err(CoreError::Snapshot(_))));
     }
 }

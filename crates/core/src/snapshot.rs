@@ -14,6 +14,7 @@
 //! `Arc<EngineSnapshot>` keeps exactly its generation's answers alive
 //! no matter how far the writer advances.
 
+use crate::aliases::Aliases;
 use crate::banks::{
     banks_search_budgeted, BanksOptions, BanksScratch, EdgeWeighting, SteinerTree,
 };
@@ -415,7 +416,9 @@ pub struct EngineSnapshot {
     pub(crate) mapping: SchemaMapping,
     pub(crate) index: InvertedIndex,
     pub(crate) dg: DataGraph,
-    pub(crate) aliases: HashMap<TupleId, String>,
+    /// Display aliases — image-backed views after a zero-copy open,
+    /// an owned map otherwise (see [`crate::Aliases`]).
+    pub(crate) aliases: Aliases,
     /// Per-edge owner→target RDB cardinality (`rdb_edge_cardinality`
     /// evaluated once per edge slot), so converting enumerated paths
     /// into connections never probes the schema. Indexed by
@@ -537,9 +540,17 @@ impl EngineSnapshot {
         &self.dg
     }
 
-    /// Display aliases.
+    /// Display aliases as a map (materialized and cached on first call
+    /// when this snapshot is image-backed; rendering itself reads the
+    /// backing directly and never pays for this).
     pub fn aliases(&self) -> &HashMap<TupleId, String> {
-        &self.aliases
+        self.aliases.as_map()
+    }
+
+    /// `true` while the alias table still serves from borrowed image
+    /// views (zero-copy open introspection).
+    pub fn aliases_image_backed(&self) -> bool {
+        self.aliases.is_image_backed()
     }
 
     /// Tuples matching each keyword of `query`, in keyword order.

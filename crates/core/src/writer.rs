@@ -30,6 +30,7 @@
 //! first apply after a [`EngineWriter::compact`] (id renumbering
 //! invalidates replay, so compaction drops the recycling state).
 
+use crate::aliases::Aliases;
 use crate::datagraph::{DataGraph, GraphPatch};
 use crate::error::CoreError;
 use crate::failpoints;
@@ -37,7 +38,8 @@ use crate::snapshot::{failpoints_enabled_from_env, EngineSnapshot};
 use crate::swap::SwapCell;
 use cla_er::{rdb_edge_cardinality, ErSchema, SchemaMapping};
 use cla_index::InvertedIndex;
-use cla_relational::{ChangeSet, Database, RelationId, TupleId, TupleRemap, Value};
+use cla_relational::{Catalog, ChangeSet, Database, RelationId, TupleId, TupleRemap, Value};
+use cla_storage::SharedBytes;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -124,12 +126,99 @@ struct HistoryEntry {
     patch: GraphPatch,
 }
 
+/// The writer's database slot: either an already-owned [`Database`] or
+/// a validated raw DATABASE image section awaiting first use.
+///
+/// The zero-copy open path defers materialization — `decode_flat`, with
+/// its value copies and PK/reverse-FK hash index builds, is the single
+/// most expensive part of a cold start — until a mutation (or a
+/// caller's `db()` borrow) actually needs the owned store. Searches
+/// never do: they run entirely off the published snapshot, so an
+/// opened, read-only engine never pays for the database at all.
+///
+/// Invariant: `image` is `Some` whenever the cell is empty, and
+/// [`Database::validate_flat`] ran check-for-check over the image bytes
+/// at open, so the deferred [`Database::decode_flat`] cannot fail.
+#[derive(Debug)]
+pub(crate) struct LazyDb {
+    cell: OnceLock<Database>,
+    image: Option<DbImage>,
+}
+
+/// The raw, already-validated DATABASE section plus what a deferred
+/// decode needs: the recomputed catalog and the stored version counter
+/// (answerable without materializing — freshness checks rely on it).
+#[derive(Debug, Clone)]
+struct DbImage {
+    catalog: Catalog,
+    bytes: SharedBytes,
+    version: u64,
+}
+
+impl LazyDb {
+    /// Wrap an already-built database (the fresh-build path).
+    pub(crate) fn ready(db: Database) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(db);
+        LazyDb { cell, image: None }
+    }
+
+    /// Defer materialization of a validated image section (the
+    /// zero-copy open path).
+    pub(crate) fn from_image(catalog: Catalog, bytes: SharedBytes, version: u64) -> Self {
+        LazyDb { cell: OnceLock::new(), image: Some(DbImage { catalog, bytes, version }) }
+    }
+
+    /// The owned database, materialized from the image section on first
+    /// use.
+    pub(crate) fn get(&self) -> &Database {
+        self.cell.get_or_init(|| {
+            // lint: allow(unwrap, `image` is Some whenever the cell is empty)
+            let img = self.image.as_ref().expect("lazy database has an image");
+            let db = Database::decode_flat(img.catalog.clone(), img.bytes.as_slice());
+            // lint: allow(unwrap, validate_flat mirrored every decode_flat check at open)
+            db.expect("image bytes were validated check-for-check at open")
+        })
+    }
+
+    /// Mutable access; materializes first like [`LazyDb::get`].
+    pub(crate) fn get_mut(&mut self) -> &mut Database {
+        self.get();
+        // lint: allow(unwrap, the get() above initialized the cell)
+        self.cell.get_mut().expect("cell initialized above")
+    }
+
+    /// The database's mutation counter, without materializing.
+    pub(crate) fn version(&self) -> u64 {
+        match self.cell.get() {
+            Some(db) => db.version(),
+            // lint: allow(unwrap, `image` is Some whenever the cell is empty)
+            None => self.image.as_ref().expect("lazy database has an image").version,
+        }
+    }
+
+    /// `true` once the owned store (with its PK/reverse-FK hash
+    /// indexes) has been built.
+    pub(crate) fn is_materialized(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}
+
+impl Clone for LazyDb {
+    fn clone(&self) -> Self {
+        match self.cell.get() {
+            Some(db) => LazyDb::ready(db.clone()),
+            None => LazyDb { cell: OnceLock::new(), image: self.image.clone() },
+        }
+    }
+}
+
 /// The single writer over one database: owns the change log, builds
 /// the next snapshot generation per `apply`/`compact`, and publishes it
 /// atomically — see the module docs for the buffer-recycling protocol.
 #[derive(Debug)]
 pub struct EngineWriter {
-    db: Database,
+    db: LazyDb,
     /// The writer's own pin of the latest published snapshot.
     current: Arc<EngineSnapshot>,
     /// The publication cell readers load from; created lazily on the
@@ -188,14 +277,14 @@ impl EngineWriter {
             mapping,
             index,
             dg,
-            aliases: HashMap::new(),
+            aliases: Aliases::default(),
             edge_cards,
             generation: 0,
             failpoints: AtomicBool::new(failpoints),
             scratch_pool: Mutex::new(Vec::new()),
         };
         Ok(EngineWriter {
-            db,
+            db: LazyDb::ready(db),
             current: Arc::new(snapshot),
             cell: OnceLock::new(),
             retired: Vec::new(),
@@ -211,7 +300,7 @@ impl EngineWriter {
 
     /// Attach display aliases (`d1`, `e1`, …) for rendering.
     pub fn with_aliases(mut self, aliases: HashMap<TupleId, String>) -> Self {
-        self.edit_snapshot(|snap| snap.aliases = aliases);
+        self.edit_snapshot(|snap| snap.aliases = aliases.into());
         self
     }
 
@@ -275,9 +364,17 @@ impl EngineWriter {
         self.generation
     }
 
-    /// The underlying database.
+    /// The underlying database (materializes a zero-copy-opened
+    /// engine's lazy store on first call — see [`LazyDb`]).
     pub fn db(&self) -> &Database {
-        &self.db
+        self.db.get()
+    }
+
+    /// `true` once the owned database (with its PK/reverse-FK hash
+    /// indexes) exists — immediately for a built engine, only after the
+    /// first mutation (or `db()` borrow) for a zero-copy-opened one.
+    pub fn db_materialized(&self) -> bool {
+        self.db.is_materialized()
     }
 
     /// Raw mutable database access for the façade's `db_mut` shim. Not
@@ -286,7 +383,7 @@ impl EngineWriter {
     /// [`EngineWriter::delete`] path, which cannot drain the change
     /// log out from under `apply`.
     pub(crate) fn db_mut_raw(&mut self) -> &mut Database {
-        &mut self.db
+        self.db.get_mut()
     }
 
     /// Stage an insert in the owned database (logged in the change
@@ -296,23 +393,25 @@ impl EngineWriter {
         relation: RelationId,
         values: Vec<Value>,
     ) -> Result<TupleId, CoreError> {
-        Ok(self.db.insert(relation, values)?)
+        Ok(self.db.get_mut().insert(relation, values)?)
     }
 
     /// Stage an in-place update (same [`TupleId`]; FK edges re-resolved
     /// at apply time).
     pub fn update(&mut self, id: TupleId, values: Vec<Value>) -> Result<(), CoreError> {
-        Ok(self.db.update(id, values)?)
+        Ok(self.db.get_mut().update(id, values)?)
     }
 
     /// Stage a restrict-checked delete.
     pub fn delete(&mut self, id: TupleId) -> Result<(), CoreError> {
-        Ok(self.db.delete(id)?)
+        Ok(self.db.get_mut().delete(id)?)
     }
 
     /// `true` when the published structures reflect the database's
     /// current version (no staged-but-unapplied mutations).
     pub fn is_fresh(&self) -> bool {
+        // `LazyDb::version` answers from the image header when the
+        // store is unmaterialized — freshness never forces a decode.
         !self.poisoned && self.published_version == self.db.version()
     }
 
@@ -348,7 +447,7 @@ impl EngineWriter {
         if !self.is_fresh() {
             return Err(self.stale_error());
         }
-        self.current.save(&self.db, path)
+        self.current.save(self.db.get(), path)
     }
 
     /// Cold-start a writer from a snapshot image written by
@@ -365,7 +464,11 @@ impl EngineWriter {
     /// version, or internally inconsistent is rejected with
     /// [`CoreError::Snapshot`] — never a panic.
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
-        let image = cla_storage::SnapshotImage::open(path.as_ref())?;
+        // Checksum deferred: `decode_image` overlaps the whole-body hash
+        // with the section decodes and checks its verdict first, so the
+        // observable errors match an eager parse.
+        let bytes = std::fs::read(path.as_ref()).map_err(cla_storage::StorageError::from)?;
+        let image = cla_storage::SnapshotImage::parse_deferred(bytes)?.into_shared();
         let (snapshot, db, generation) = crate::persist::decode_image(&image)?;
         let published_version = db.version();
         Ok(EngineWriter {
@@ -428,7 +531,7 @@ impl EngineWriter {
         if self.poisoned {
             return Err(CoreError::EnginePoisoned);
         }
-        let changes = self.db.take_changes();
+        let changes = self.db.get_mut().take_changes();
         // Every mutation logs exactly one op, so the log must account
         // for the whole version delta. A shortfall means someone called
         // `take_changes` on the engine's database directly — those ops
@@ -443,7 +546,7 @@ impl EngineWriter {
             });
         }
         let mut buf = self.build_buffer();
-        let undo = buf.index.apply_logged(&self.db, &changes);
+        let undo = buf.index.apply_logged(self.db.get(), &changes);
         let result = if self.failpoints && failpoints::triggered("apply.mid") {
             Err(CoreError::Relational(
                 "forced mid-apply failure (apply.mid failpoint)".into(),
@@ -453,7 +556,7 @@ impl EngineWriter {
             // anything mutates, so an error leaves the graph untouched.
             // The mapping is immutable schema state, identical in every
             // snapshot of the lineage — read it off the buffer.
-            buf.dg.plan(&self.db, &buf.mapping, &changes)
+            buf.dg.plan(self.db.get(), &buf.mapping, &changes)
         };
         match result {
             Ok(patch) => {
@@ -463,8 +566,8 @@ impl EngineWriter {
                 self.publish(*buf, changes, patch);
                 let mut outcome = ApplyOutcome::default();
                 if let CompactionPolicy::TombstoneRatio(threshold) = self.compaction_policy {
-                    let total = self.db.total_row_slots();
-                    let dead = total - self.db.total_tuples();
+                    let total = self.db.get().total_row_slots();
+                    let dead = total - self.db.get().total_tuples();
                     if dead > 0
                         && dead as f64
                             >= threshold.clamp(f64::MIN_POSITIVE, 1.0) * total as f64
@@ -483,7 +586,7 @@ impl EngineWriter {
                 // and the buffer (back at the current generation) is
                 // kept as the next apply's spare.
                 buf.index.undo(undo);
-                self.db.rollback(&changes);
+                self.db.get_mut().rollback(&changes);
                 self.published_version = self.db.version();
                 self.spare = Some(buf);
                 debug_assert!(self.is_fresh());
@@ -539,7 +642,7 @@ impl EngineWriter {
             if entry.generation <= buf.generation {
                 continue;
             }
-            buf.index.apply(&self.db, &entry.changes);
+            buf.index.apply(self.db.get(), &entry.changes);
             let added = buf.dg.execute(&entry.patch);
             Self::extend_edge_cards(buf, &added);
             buf.generation = entry.generation;
@@ -634,13 +737,13 @@ impl EngineWriter {
                 db_version: self.db.version(),
             });
         }
-        let remap = self.db.compact()?;
+        let remap = self.db.get_mut().compact()?;
         let mut buf = self.build_buffer();
         // Postings speak tuple ids: rebuild them from the live set under
         // the same tokenizer (renumbering every posting in place would
         // also break the sorted-by-tuple invariant, since row order is
         // preserved but *relative* ids shift across relations).
-        buf.index = InvertedIndex::build_with(&self.db, buf.index.tokenizer().clone());
+        buf.index = InvertedIndex::build_with(self.db.get(), buf.index.tokenizer().clone());
         let edge_remap = buf.dg.compact(&remap);
         // Surviving edges renumber monotonically in slot order, so
         // collecting the survivors' cards in old order yields the new
@@ -652,9 +755,11 @@ impl EngineWriter {
             .map(|(old, _)| buf.edge_cards[old])
             .collect();
         buf.aliases = std::mem::take(&mut buf.aliases)
+            .into_owned()
             .into_iter()
             .filter_map(|(t, alias)| remap.map(t).map(|nt| (nt, alias)))
-            .collect();
+            .collect::<HashMap<_, _>>()
+            .into();
         self.published_version = self.db.version();
         self.publish(*buf, ChangeSet::default(), GraphPatch::default());
         // Pre-compaction buffers speak renumbered-away ids — they can

@@ -327,7 +327,7 @@ proptest! {
     }
 
     /// Any single corrupted byte is rejected with a typed error (the
-    /// CRC authenticates everything after the magic/version prefix;
+    /// checksum authenticates everything after the magic/version prefix;
     /// magic and version corruption have their own variants).
     #[test]
     fn corrupted_images_are_rejected(pos in 0usize..10_000, flip in 1u8..=255) {
@@ -370,13 +370,13 @@ fn company_image() -> Vec<u8> {
 #[test]
 fn future_format_version_is_refused() {
     let mut bytes = company_image();
-    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
     let path = snap_path("version", 0);
     std::fs::write(&path, &bytes).unwrap();
     let result = SearchEngine::open(&path);
     std::fs::remove_file(&path).unwrap();
     assert!(matches!(
         result,
-        Err(CoreError::Snapshot(StorageError::UnsupportedVersion { found: 2, .. }))
+        Err(CoreError::Snapshot(StorageError::UnsupportedVersion { found: 3, .. }))
     ));
 }

@@ -81,16 +81,72 @@ impl<'g, E> EdgeRef<'g, E> {
 /// [`Graph::edge_slots`] count **slots** (for buffer sizing);
 /// [`Graph::edge_count`] and [`Graph::alive_node_count`] count live
 /// elements. Slots are never reused.
+///
+/// Adjacency is stored intrusively: per-node head/tail cursors plus a
+/// per-edge `next` pointer for each direction. Appending keeps lists in
+/// edge-insertion order (which is also id order — fresh ids are always
+/// the largest), and the whole structure is six flat `Vec`s, so
+/// reassembling a graph from serialized slots costs a constant number
+/// of allocations regardless of size.
 #[derive(Debug, Clone)]
 pub struct Graph<N, E> {
     nodes: Vec<N>,
     node_alive: Vec<bool>,
     edges: Vec<EdgeRecord<E>>,
     edge_alive: Vec<bool>,
-    out_edges: Vec<Vec<EdgeId>>,
-    in_edges: Vec<Vec<EdgeId>>,
+    first_out: Vec<Option<EdgeId>>,
+    last_out: Vec<Option<EdgeId>>,
+    first_in: Vec<Option<EdgeId>>,
+    last_in: Vec<Option<EdgeId>>,
+    next_out: Vec<Option<EdgeId>>,
+    next_in: Vec<Option<EdgeId>>,
     live_nodes: usize,
     live_edges: usize,
+}
+
+/// Append edge `e` to a node's intrusive adjacency list, keeping
+/// insertion order.
+fn list_append(
+    first: &mut [Option<EdgeId>],
+    last: &mut [Option<EdgeId>],
+    next: &mut [Option<EdgeId>],
+    node: usize,
+    e: EdgeId,
+) {
+    match last[node] {
+        Some(tail) => next[tail.index()] = Some(e),
+        None => first[node] = Some(e),
+    }
+    last[node] = Some(e);
+}
+
+/// Unlink edge `e` from a node's intrusive adjacency list (no-op if the
+/// edge is not on the list).
+fn list_unlink(
+    first: &mut [Option<EdgeId>],
+    last: &mut [Option<EdgeId>],
+    next: &mut [Option<EdgeId>],
+    node: usize,
+    e: EdgeId,
+) {
+    let mut prev: Option<EdgeId> = None;
+    let mut cur = first[node];
+    while let Some(c) = cur {
+        if c == e {
+            let after = next[c.index()];
+            match prev {
+                Some(p) => next[p.index()] = after,
+                None => first[node] = after,
+            }
+            if last[node] == Some(e) {
+                last[node] = prev;
+            }
+            next[c.index()] = None;
+            return;
+        }
+        prev = cur;
+        cur = next[c.index()];
+    }
 }
 
 impl<N, E> Default for Graph<N, E> {
@@ -100,8 +156,12 @@ impl<N, E> Default for Graph<N, E> {
             node_alive: Vec::new(),
             edges: Vec::new(),
             edge_alive: Vec::new(),
-            out_edges: Vec::new(),
-            in_edges: Vec::new(),
+            first_out: Vec::new(),
+            last_out: Vec::new(),
+            first_in: Vec::new(),
+            last_in: Vec::new(),
+            next_out: Vec::new(),
+            next_in: Vec::new(),
             live_nodes: 0,
             live_edges: 0,
         }
@@ -121,8 +181,12 @@ impl<N, E> Graph<N, E> {
             node_alive: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
             edge_alive: Vec::with_capacity(edges),
-            out_edges: Vec::with_capacity(nodes),
-            in_edges: Vec::with_capacity(nodes),
+            first_out: Vec::with_capacity(nodes),
+            last_out: Vec::with_capacity(nodes),
+            first_in: Vec::with_capacity(nodes),
+            last_in: Vec::with_capacity(nodes),
+            next_out: Vec::with_capacity(edges),
+            next_in: Vec::with_capacity(edges),
             live_nodes: 0,
             live_edges: 0,
         }
@@ -152,8 +216,12 @@ impl<N, E> Graph<N, E> {
         if node_alive.len() != nodes.len() || edge_alive.len() != edges.len() {
             return None;
         }
-        let mut out_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); nodes.len()];
-        let mut in_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); nodes.len()];
+        let mut first_out: Vec<Option<EdgeId>> = vec![None; nodes.len()];
+        let mut last_out: Vec<Option<EdgeId>> = vec![None; nodes.len()];
+        let mut first_in: Vec<Option<EdgeId>> = vec![None; nodes.len()];
+        let mut last_in: Vec<Option<EdgeId>> = vec![None; nodes.len()];
+        let mut next_out: Vec<Option<EdgeId>> = vec![None; edges.len()];
+        let mut next_in: Vec<Option<EdgeId>> = vec![None; edges.len()];
         let mut live_edges = 0;
         let mut records = Vec::with_capacity(edges.len());
         for (i, (from, to, payload)) in edges.into_iter().enumerate() {
@@ -165,8 +233,8 @@ impl<N, E> Graph<N, E> {
                     return None;
                 }
                 let id = EdgeId(i as u32);
-                out_edges[from.index()].push(id);
-                in_edges[to.index()].push(id);
+                list_append(&mut first_out, &mut last_out, &mut next_out, from.index(), id);
+                list_append(&mut first_in, &mut last_in, &mut next_in, to.index(), id);
                 live_edges += 1;
             }
             records.push(EdgeRecord { from, to, payload });
@@ -177,8 +245,12 @@ impl<N, E> Graph<N, E> {
             node_alive,
             edges: records,
             edge_alive,
-            out_edges,
-            in_edges,
+            first_out,
+            last_out,
+            first_in,
+            last_in,
+            next_out,
+            next_in,
             live_nodes,
             live_edges,
         })
@@ -190,8 +262,10 @@ impl<N, E> Graph<N, E> {
         self.nodes.push(payload);
         self.node_alive.push(true);
         self.live_nodes += 1;
-        self.out_edges.push(Vec::new());
-        self.in_edges.push(Vec::new());
+        self.first_out.push(None);
+        self.last_out.push(None);
+        self.first_in.push(None);
+        self.last_in.push(None);
         id
     }
 
@@ -208,8 +282,16 @@ impl<N, E> Graph<N, E> {
         self.edges.push(EdgeRecord { from, to, payload });
         self.edge_alive.push(true);
         self.live_edges += 1;
-        self.out_edges[from.index()].push(id);
-        self.in_edges[to.index()].push(id);
+        self.next_out.push(None);
+        self.next_in.push(None);
+        list_append(
+            &mut self.first_out,
+            &mut self.last_out,
+            &mut self.next_out,
+            from.index(),
+            id,
+        );
+        list_append(&mut self.first_in, &mut self.last_in, &mut self.next_in, to.index(), id);
         id
     }
 
@@ -221,8 +303,14 @@ impl<N, E> Graph<N, E> {
     pub fn remove_edge(&mut self, e: EdgeId) {
         assert!(self.is_edge_alive(e), "edge {e} does not exist or was already removed");
         let (from, to) = self.endpoints(e);
-        self.out_edges[from.index()].retain(|&x| x != e);
-        self.in_edges[to.index()].retain(|&x| x != e);
+        list_unlink(
+            &mut self.first_out,
+            &mut self.last_out,
+            &mut self.next_out,
+            from.index(),
+            e,
+        );
+        list_unlink(&mut self.first_in, &mut self.last_in, &mut self.next_in, to.index(), e);
         self.edge_alive[e.index()] = false;
         self.live_edges -= 1;
     }
@@ -236,11 +324,8 @@ impl<N, E> Graph<N, E> {
     /// Panics if `n` is out of bounds or already removed.
     pub fn remove_node(&mut self, n: NodeId) {
         assert!(self.is_node_alive(n), "node {n} does not exist or was already removed");
-        let incident: Vec<EdgeId> = self.out_edges[n.index()]
-            .iter()
-            .chain(&self.in_edges[n.index()])
-            .copied()
-            .collect();
+        let incident: Vec<EdgeId> =
+            self.out_edges(n).map(|e| e.id).chain(self.in_edges(n).map(|e| e.id)).collect();
         for e in incident {
             // A self-loop appears in both lists; remove once.
             if self.is_edge_alive(e) {
@@ -325,24 +410,23 @@ impl<N, E> Graph<N, E> {
         )
     }
 
-    /// Outgoing edges of `n`.
+    /// Outgoing edges of `n`, in insertion (id) order.
     pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
-        self.out_edges[n.index()].iter().map(move |&e| self.edge(e))
+        std::iter::successors(self.first_out[n.index()], |e| self.next_out[e.index()])
+            .map(move |e| self.edge(e))
     }
 
-    /// Incoming edges of `n`.
+    /// Incoming edges of `n`, in insertion (id) order.
     pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
-        self.in_edges[n.index()].iter().map(move |&e| self.edge(e))
+        std::iter::successors(self.first_in[n.index()], |e| self.next_in[e.index()])
+            .map(move |e| self.edge(e))
     }
 
     /// All edges incident to `n` in the undirected view (self-loops are
     /// reported once per direction they were stored in).
     pub fn incident_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
         self.out_edges(n).chain(
-            self.in_edges[n.index()]
-                .iter()
-                .map(move |&e| self.edge(e))
-                .filter(move |er| er.from != n), // avoid double-reporting loops
+            self.in_edges(n).filter(move |er| er.from != n), // avoid double-reporting loops
         )
     }
 
@@ -399,23 +483,35 @@ impl<N, E> Graph<N, E> {
             rec.from = node_remap[rec.from.index()].expect("live edge endpoints are live");
             rec.to = node_remap[rec.to.index()].expect("live edge endpoints are live");
         }
-        // Per-node lists: keep only surviving nodes' lists (dead nodes'
-        // lists are empty — removal detaches), remap the edge ids. The
-        // retained entries are already in edge insertion order.
-        let remap_lists = |lists: &mut Vec<Vec<EdgeId>>| {
-            let mut i = 0usize;
-            lists.retain(|_| {
-                i += 1;
-                node_alive[i - 1]
-            });
-            for list in lists.iter_mut() {
-                for e in list.iter_mut() {
-                    *e = edge_remap[e.index()].expect("adjacency only lists live edges");
-                }
-            }
-        };
-        remap_lists(&mut self.out_edges);
-        remap_lists(&mut self.in_edges);
+        // Rebuild the intrusive adjacency from scratch in new-id order.
+        // New ids preserve relative order and a live graph's per-node
+        // list is always id-sorted (appends take the largest id, unlinks
+        // preserve order), so this reproduces adjacency exactly.
+        let n = self.nodes.len();
+        self.first_out = vec![None; n];
+        self.last_out = vec![None; n];
+        self.first_in = vec![None; n];
+        self.last_in = vec![None; n];
+        self.next_out = vec![None; self.edges.len()];
+        self.next_in = vec![None; self.edges.len()];
+        for i in 0..self.edges.len() {
+            let (from, to) = (self.edges[i].from, self.edges[i].to);
+            let id = EdgeId(i as u32);
+            list_append(
+                &mut self.first_out,
+                &mut self.last_out,
+                &mut self.next_out,
+                from.index(),
+                id,
+            );
+            list_append(
+                &mut self.first_in,
+                &mut self.last_in,
+                &mut self.next_in,
+                to.index(),
+                id,
+            );
+        }
         self.node_alive = vec![true; self.nodes.len()];
         self.edge_alive = vec![true; self.edges.len()];
         debug_assert_eq!(self.live_nodes, self.nodes.len());

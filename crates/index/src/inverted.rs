@@ -12,7 +12,7 @@
 
 use crate::tokenize::Tokenizer;
 use cla_relational::{ChangeOp, ChangeSet, Database, RelationId, TupleId, Value};
-use cla_storage::{ByteReader, ByteWriter, StorageError};
+use cla_storage::{ByteReader, ByteWriter, SharedBytes, StorageError, StrArena};
 use std::collections::HashMap;
 
 /// One posting: a keyword occurrence inside a tuple attribute.
@@ -72,7 +72,11 @@ pub struct IndexUndo {
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
     /// Concatenated sorted terms (the dictionary's string arena).
-    term_arena: String,
+    /// Either owned (built or promoted) or a shared view over the
+    /// snapshot image (zero-copy open); [`InvertedIndex::install_base`]
+    /// always installs an owned arena, so the first compaction after a
+    /// mutated open promotes the dictionary off the image.
+    term_arena: StrArena,
     /// `base_len() + 1` byte offsets into `term_arena`.
     term_bounds: Vec<u32>,
     /// `base_len() + 1` offsets into `postings`: term `i`'s group.
@@ -128,7 +132,7 @@ impl InvertedIndex {
     /// An index over nothing: empty flat base, empty overlay.
     fn empty(tokenizer: Tokenizer) -> Self {
         InvertedIndex {
-            term_arena: String::new(),
+            term_arena: StrArena::empty(),
             term_bounds: vec![0],
             posting_bounds: vec![0],
             postings: Vec::new(),
@@ -148,7 +152,16 @@ impl InvertedIndex {
 
     /// Base term `i`'s text.
     fn base_term(&self, i: usize) -> &str {
-        &self.term_arena[self.term_bounds[i] as usize..self.term_bounds[i + 1] as usize]
+        self.term_arena
+            .get(self.term_bounds[i], self.term_bounds[i + 1])
+            // lint: allow(unwrap, every term slice was bounds- and UTF-8-validated at decode; owned arenas are built from strs)
+            .expect("term bounds validated at decode")
+    }
+
+    /// Whether the flat base still reads out of the snapshot image
+    /// (true only for an opened, not-yet-compacted dictionary).
+    pub fn base_is_image_backed(&self) -> bool {
+        matches!(self.term_arena, StrArena::Shared(_))
     }
 
     /// Base term `i`'s posting group.
@@ -758,7 +771,7 @@ impl InvertedIndex {
             posting_bounds.push(postings.len() as u32);
         }
         self.live_terms = entries.len();
-        self.term_arena = arena;
+        self.term_arena = StrArena::Owned(arena);
         self.term_bounds = term_bounds;
         self.posting_bounds = posting_bounds;
         self.postings = postings;
@@ -768,11 +781,14 @@ impl InvertedIndex {
     }
 
     /// Recompute the 257-entry first-byte bucket index over the sorted
-    /// dictionary (a counting pass + prefix sum).
+    /// dictionary (a counting pass + prefix sum). Reads leading bytes
+    /// straight off the arena — no per-term `str` materialization, so
+    /// the zero-copy open pays no UTF-8 re-validation here.
     fn rebuild_first_byte(&mut self) {
+        let arena = self.term_arena.as_bytes();
         let mut counts = [0u32; 256];
         for i in 0..self.base_len() {
-            counts[self.base_term(i).as_bytes()[0] as usize] += 1;
+            counts[arena[self.term_bounds[i] as usize] as usize] += 1;
         }
         let mut fb = vec![0u32; 257];
         for b in 0..256 {
@@ -781,9 +797,12 @@ impl InvertedIndex {
         self.first_byte = fb;
     }
 
-    /// Serialize into a snapshot-section payload: tokenizer config,
-    /// tuple counter, then the sorted term dictionary with each term's
-    /// posting group. The overlay is folded *logically* during the walk
+    /// Serialize into a snapshot-section payload (format v2): tokenizer
+    /// config and tuple counter, then the flat dictionary **in its
+    /// in-memory shape** — one string arena, `n+1` term bounds, `n+1`
+    /// posting bounds, one contiguous posting array — so a decoder can
+    /// keep the arena as a view over the image instead of re-building
+    /// owned strings. The overlay is folded *logically* during the walk
     /// — encoding never mutates `self` — so an uncompacted index and
     /// its compacted twin encode byte-identically.
     pub fn encode(&self) -> Vec<u8> {
@@ -798,10 +817,27 @@ impl InvertedIndex {
         let mut entries: Vec<(&str, &[Posting])> = self.terms().collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
         w.len(entries.len());
-        for (term, list) in entries {
-            w.str(term);
-            w.len(list.len());
-            for p in list {
+        let arena_len: usize = entries.iter().map(|(t, _)| t.len()).sum();
+        let mut arena = String::with_capacity(arena_len);
+        for (term, _) in &entries {
+            arena.push_str(term);
+        }
+        w.bytes(arena.as_bytes());
+        let mut bound = 0u32;
+        w.u32(bound);
+        for (term, _) in &entries {
+            bound += term.len() as u32;
+            w.u32(bound);
+        }
+        let mut bound = 0u32;
+        w.u32(bound);
+        for (_, list) in &entries {
+            bound += list.len() as u32;
+            w.u32(bound);
+        }
+        w.len(entries.iter().map(|(_, l)| l.len()).sum::<usize>());
+        for (_, list) in &entries {
+            for p in *list {
                 w.u32(p.tuple.relation.0);
                 w.u32(p.tuple.row);
                 w.len(p.attribute);
@@ -811,12 +847,18 @@ impl InvertedIndex {
         w.into_vec()
     }
 
-    /// Decode a payload written by [`InvertedIndex::encode`]. Every
-    /// count, ordering, and non-emptiness invariant is re-validated, so
-    /// corrupt input yields a typed error — never a panic, never a
-    /// structurally broken index.
-    pub fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
-        let mut r = ByteReader::new(bytes);
+    /// Decode a payload written by [`InvertedIndex::encode`], keeping
+    /// the term arena as a **shared view over the section bytes** — no
+    /// per-term `String`. Every count, ordering, UTF-8, and
+    /// non-emptiness invariant is validated here, once, so corrupt
+    /// input yields a typed error — never a panic, never a structurally
+    /// broken index — and post-validation accessors can trust the
+    /// bounds. Postings and bounds are decoded into owned `Vec`s (a
+    /// handful of capacity-reserved allocations, independent of
+    /// database size) because safe Rust cannot reinterpret raw bytes as
+    /// typed arrays.
+    pub fn decode(section: SharedBytes) -> Result<Self, StorageError> {
+        let mut r = ByteReader::new(section.as_slice());
         let min_len = r.u32()? as usize;
         let n_stop = r.len_of(4)?;
         let mut words = Vec::with_capacity(n_stop);
@@ -825,53 +867,95 @@ impl InvertedIndex {
         }
         let tokenizer = Tokenizer::new().with_min_len(min_len).with_stopwords(words);
         let indexed_tuples = r.u32()? as usize;
-        // Each term costs ≥ 8 bytes (len prefix + posting count).
-        let n_terms = r.len_of(8)?;
-        let mut entries: Vec<(String, Vec<Posting>)> = Vec::with_capacity(n_terms);
-        for _ in 0..n_terms {
-            let term = r.str()?;
-            if term.is_empty() {
-                return Err(StorageError::Malformed("empty term in dictionary".into()));
+        // Each term costs ≥ 9 bytes (one arena byte + two u32 bounds).
+        let n_terms = r.len_of(9)?;
+        let arena = r.bytes()?;
+        let arena_start = r.position() - arena.len();
+        // One UTF-8 validation over the whole arena; the per-term checks
+        // below then reduce to char-boundary probes plus adjacent
+        // byte-slice comparisons (UTF-8 byte order equals `str`
+        // lexicographic order, which is the order probe lookups rely
+        // on).
+        let arena_str = std::str::from_utf8(arena)
+            .map_err(|_| StorageError::Malformed("invalid UTF-8 in term arena".into()))?;
+        let tb_bytes = r.raw((n_terms + 1) * 4)?;
+        let mut term_bounds = Vec::with_capacity(n_terms + 1);
+        term_bounds.extend(
+            tb_bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        if term_bounds[0] != 0 || term_bounds[n_terms] as usize != arena.len() {
+            return Err(StorageError::Malformed(format!(
+                "term bounds must span 0..{} exactly",
+                arena.len()
+            )));
+        }
+        let mut prev_term: &[u8] = &[];
+        for win in term_bounds.windows(2) {
+            let (lo, hi) = (win[0] as usize, win[1] as usize);
+            // `lo < hi` for every window makes the bounds strictly
+            // monotone, so with the 0 / arena-len endpoints above every
+            // bound is in range; a wild `hi` fails the boundary probe.
+            if lo >= hi || !arena_str.is_char_boundary(hi) {
+                return Err(StorageError::Malformed(
+                    "empty or unordered term in dictionary".into(),
+                ));
             }
-            if let Some((prev, _)) = entries.last() {
-                if prev.as_str() >= term.as_str() {
-                    return Err(StorageError::Malformed(format!(
-                        "term dictionary not sorted at {term:?}"
-                    )));
-                }
-            }
-            let n_post = r.len_of(16)?;
-            if n_post == 0 {
+            let term = &arena[lo..hi];
+            if prev_term >= term {
                 return Err(StorageError::Malformed(format!(
-                    "term {term:?} has an empty posting list"
+                    "term dictionary not sorted at {:?}",
+                    &arena_str[lo..hi]
                 )));
             }
-            let mut list = Vec::with_capacity(n_post);
-            for _ in 0..n_post {
-                let relation = RelationId(r.u32()?);
-                let row = r.u32()?;
-                let attribute = r.u32()? as usize;
-                let frequency = r.u32()?;
-                list.push(Posting {
-                    tuple: TupleId::new(relation, row),
-                    attribute,
-                    frequency,
-                });
-            }
-            let sorted = list
+            prev_term = term;
+        }
+        let pb_bytes = r.raw((n_terms + 1) * 4)?;
+        let mut posting_bounds = Vec::with_capacity(n_terms + 1);
+        posting_bounds.extend(
+            pb_bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        let n_post = r.len_of(16)?;
+        if posting_bounds[0] != 0 || posting_bounds[n_terms] as usize != n_post {
+            return Err(StorageError::Malformed(format!(
+                "posting bounds must span 0..{n_post} exactly"
+            )));
+        }
+        if posting_bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StorageError::Malformed(
+                "a term has an empty or unordered posting group".into(),
+            ));
+        }
+        let post_bytes = r.raw(n_post * 16)?;
+        let mut postings = Vec::with_capacity(n_post);
+        postings.extend(post_bytes.chunks_exact(16).map(|c| Posting {
+            tuple: TupleId::new(
+                RelationId(u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            ),
+            attribute: u32::from_le_bytes([c[8], c[9], c[10], c[11]]) as usize,
+            frequency: u32::from_le_bytes([c[12], c[13], c[14], c[15]]),
+        }));
+        for win in posting_bounds.windows(2) {
+            let group = &postings[win[0] as usize..win[1] as usize];
+            let sorted = group
                 .windows(2)
                 .all(|w| (w[0].tuple, w[0].attribute) < (w[1].tuple, w[1].attribute));
             if !sorted {
-                return Err(StorageError::Malformed(format!(
-                    "postings of term {term:?} not sorted"
-                )));
+                return Err(StorageError::Malformed(
+                    "a posting group is not sorted by (tuple, attribute)".into(),
+                ));
             }
-            entries.push((term, list));
         }
         r.finish()?;
+        let arena_view = section.slice(arena_start..arena_start + arena.len())?;
         let mut index = InvertedIndex::empty(tokenizer);
+        index.term_arena = StrArena::Shared(arena_view);
+        index.term_bounds = term_bounds;
+        index.posting_bounds = posting_bounds;
+        index.postings = postings;
+        index.live_terms = n_terms;
         index.indexed_tuples = indexed_tuples;
-        index.install_base(entries);
+        index.rebuild_first_byte();
         debug_assert!(index.posting_order_ok());
         Ok(index)
     }
@@ -1346,6 +1430,12 @@ mod tests {
         assert_eq!(contents(&idx), contents(&InvertedIndex::build(&database)));
     }
 
+    /// Decode from an owned buffer (tests exercise the same shared-view
+    /// path the open pipeline uses).
+    fn decode(bytes: &[u8]) -> Result<InvertedIndex, StorageError> {
+        InvertedIndex::decode(SharedBytes::from_vec(bytes.to_vec()))
+    }
+
     #[test]
     fn encode_decode_round_trips_exactly() {
         let database = db();
@@ -1354,7 +1444,7 @@ mod tests {
             Tokenizer::new().with_min_len(2).with_stopwords(["the", "of"]),
         );
         let bytes = idx.encode();
-        let back = InvertedIndex::decode(&bytes).unwrap();
+        let back = decode(&bytes).unwrap();
         assert_eq!(contents(&back), contents(&idx));
         assert_eq!(back.indexed_tuples(), idx.indexed_tuples());
         assert_eq!(back.term_count(), idx.term_count());
@@ -1383,8 +1473,59 @@ mod tests {
             compacted.encode(),
             "overlay and compacted twins must encode identically"
         );
-        let back = InvertedIndex::decode(&encoded_dirty).unwrap();
+        let back = decode(&encoded_dirty).unwrap();
         assert_eq!(contents(&back), contents(&idx));
+    }
+
+    /// A decoded dictionary reads straight out of the section view; its
+    /// first compaction installs an owned arena without changing
+    /// content — the promotion contract of the zero-copy open path.
+    #[test]
+    fn decoded_arena_is_image_backed_until_compaction() {
+        let idx = InvertedIndex::build(&db());
+        assert!(!idx.base_is_image_backed(), "a built index owns its arena");
+        let mut back = decode(&idx.encode()).unwrap();
+        assert!(back.base_is_image_backed(), "a decoded index borrows the section");
+        assert_eq!(contents(&back), contents(&idx));
+        assert_eq!(back.matching_tuples("xml"), idx.matching_tuples("xml"));
+        // compact() on an overlay-free index is a no-op (stays shared);
+        // force a fold through install_base via a real edit cycle.
+        back.compact();
+        assert!(back.base_is_image_backed(), "no-op compaction keeps the view");
+        let entries: Vec<(String, Vec<Posting>)> = contents(&back);
+        back.install_base(entries);
+        assert!(!back.base_is_image_backed(), "a fold promotes to an owned arena");
+        assert_eq!(contents(&back), contents(&idx));
+    }
+
+    /// Assemble a v2 section payload from raw parts, so corruption
+    /// tests can violate any single invariant in isolation.
+    fn v2_payload(
+        arena: &[u8],
+        term_bounds: &[u32],
+        posting_bounds: &[u32],
+        postings: &[(u32, u32, u32, u32)],
+    ) -> Vec<u8> {
+        let mut w = cla_storage::ByteWriter::new();
+        w.u32(0); // min_len
+        w.u32(0); // stopwords
+        w.u32(1); // indexed_tuples
+        w.u32((term_bounds.len() - 1) as u32);
+        w.bytes(arena);
+        for &b in term_bounds {
+            w.u32(b);
+        }
+        for &b in posting_bounds {
+            w.u32(b);
+        }
+        w.u32(postings.len() as u32);
+        for &(rel, row, attr, freq) in postings {
+            w.u32(rel);
+            w.u32(row);
+            w.u32(attr);
+            w.u32(freq);
+        }
+        w.into_vec()
     }
 
     #[test]
@@ -1393,35 +1534,61 @@ mod tests {
         let bytes = idx.encode();
         // Truncations anywhere must fail typed, never panic.
         for cut in 0..bytes.len() {
-            assert!(
-                InvertedIndex::decode(&bytes[..cut]).is_err(),
-                "truncation at {cut} must be rejected"
-            );
+            assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut} must be rejected");
         }
         // Trailing garbage is corruption too.
         let mut padded = bytes.clone();
         padded.push(0);
-        assert!(InvertedIndex::decode(&padded).is_err());
-        // An unsorted dictionary is structural corruption: encode two
-        // terms out of order by swapping the payload of a hand-built
-        // image of two single-posting terms.
-        let mut w = cla_storage::ByteWriter::new();
-        w.u32(0); // min_len
-        w.len(0); // stopwords
-        w.len(1); // indexed_tuples
-        w.len(2); // terms
-        for term in ["zebra", "apple"] {
-            w.str(term);
-            w.len(1);
-            w.u32(0);
-            w.u32(0);
-            w.len(0);
-            w.u32(1);
+        assert!(decode(&padded).is_err());
+        // Sanity: a minimal well-formed hand-built payload decodes.
+        let postings = [(0, 0, 0, 1), (0, 1, 0, 1)];
+        let ok = v2_payload(b"applezebra", &[0, 5, 10], &[0, 1, 2], &postings);
+        assert!(decode(&ok).is_ok());
+        // Every single-invariant violation must yield a typed error.
+        let corrupt: Vec<(&str, Vec<u8>)> = vec![
+            (
+                "unsorted dictionary",
+                v2_payload(b"zebraapple", &[0, 5, 10], &[0, 1, 2], &postings),
+            ),
+            ("duplicate term", v2_payload(b"appleapple", &[0, 5, 10], &[0, 1, 2], &postings)),
+            ("empty term", v2_payload(b"apple", &[0, 5, 5], &[0, 1, 2], &postings)),
+            (
+                "term bound past arena end",
+                v2_payload(b"applezebra", &[0, 5, 11], &[0, 1, 2], &postings),
+            ),
+            (
+                "term bound not starting at zero",
+                v2_payload(b"applezebra", &[1, 5, 10], &[0, 1, 2], &postings),
+            ),
+            ("non-UTF-8 arena", v2_payload(&[0xff, 0xfe], &[0, 1, 2], &[0, 1, 2], &postings)),
+            (
+                "split UTF-8 boundary",
+                // "é" is two bytes; a bound through the middle is invalid.
+                v2_payload("aé".as_bytes(), &[0, 2, 3], &[0, 1, 2], &postings),
+            ),
+            (
+                "empty posting group",
+                v2_payload(b"applezebra", &[0, 5, 10], &[0, 0, 2], &postings),
+            ),
+            (
+                "posting bounds not spanning the array",
+                v2_payload(b"applezebra", &[0, 5, 10], &[0, 1, 3], &postings),
+            ),
+            (
+                "unsorted posting group",
+                v2_payload(b"apple", &[0, 5], &[0, 2], &[(0, 1, 0, 1), (0, 0, 0, 1)]),
+            ),
+            (
+                "duplicate (tuple, attribute) in group",
+                v2_payload(b"apple", &[0, 5], &[0, 2], &[(0, 0, 0, 1), (0, 0, 0, 2)]),
+            ),
+        ];
+        for (what, payload) in corrupt {
+            assert!(
+                matches!(decode(&payload), Err(StorageError::Malformed(_))),
+                "{what} must be rejected with a typed error"
+            );
         }
-        assert!(matches!(
-            InvertedIndex::decode(&w.into_vec()),
-            Err(StorageError::Malformed(_))
-        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::error::RelationalError;
 use crate::schema::{Catalog, RelationSchema};
 use crate::storage::RelationData;
 use crate::tuple::{RelationId, Tuple, TupleId};
-use crate::value::Value;
+use crate::value::{Value, ValueView};
 use crate::Result;
 use cla_storage::{ByteReader, ByteWriter, StorageError};
 use std::collections::HashMap;
@@ -652,6 +652,169 @@ impl Database {
         Ok(db)
     }
 
+    /// Validate an [`Database::encode_flat`] payload **without
+    /// materializing it**: every check [`Database::decode_flat`] would
+    /// perform runs here — relation count against the catalog, slot
+    /// structure, per-value decode, arity/type/NULL constraints and
+    /// primary-key uniqueness of live rows, exact payload consumption —
+    /// but no `Database` is built, no value is copied, and the
+    /// allocation count is O(1) in database size (a few reused scratch
+    /// buffers). The zero-copy open path runs this at open so a later
+    /// lazy [`Database::decode_flat`] of the same bytes is
+    /// **guaranteed to succeed**; the two functions must stay in
+    /// lockstep check-for-check.
+    ///
+    /// `on_live_row` is invoked once per live row in storage order
+    /// (catalog relation order, ascending row); returning an error
+    /// message surfaces as [`StorageError::Malformed`] — callers use it
+    /// to cross-check the payload against sibling sections.
+    ///
+    /// Primary-key uniqueness is checked without building an index:
+    /// live rows are hashed over their PK attributes' encoded bytes
+    /// (an FNV-style mix folding eight bytes per step — collisions
+    /// only cost a re-check, so speed beats distribution here),
+    /// sorted, and equal-hash neighbors re-parsed and compared
+    /// byte-exactly ([`Value::encode`] is injective up to value
+    /// equality — floats are stored and compared by bit pattern — so
+    /// byte equality of the encoded key *is* key equality).
+    pub fn validate_flat(
+        catalog: &Catalog,
+        bytes: &[u8],
+        mut on_live_row: impl FnMut(RelationId, u32) -> std::result::Result<(), String>,
+    ) -> std::result::Result<FlatSummary, StorageError> {
+        let malformed = |e: &dyn std::fmt::Display| StorageError::Malformed(e.to_string());
+        catalog.validate().map_err(|e| malformed(&e))?;
+        let mut r = ByteReader::new(bytes);
+        let version = r.u64()?;
+        let n_rel = r.len_of(1)?;
+        if n_rel != catalog.len() {
+            return Err(StorageError::Malformed(format!(
+                "snapshot has {n_rel} relations, catalog has {}",
+                catalog.len()
+            )));
+        }
+        let mut live_rows = 0usize;
+        // Scratch buffers reused across every relation and row: the
+        // whole pass allocates a constant number of times regardless of
+        // how many rows the payload holds.
+        let mut pk_rows: Vec<(u64, u32, u32)> = Vec::new();
+        let mut spans_a: Vec<(usize, usize)> = Vec::new();
+        let mut spans_b: Vec<(usize, usize)> = Vec::new();
+        for rel_idx in 0..n_rel {
+            let rel = RelationId(rel_idx as u32);
+            // lint: allow(unwrap, relation ids 0..catalog.len() are always cataloged)
+            let schema = catalog.relation(rel).expect("relation id in range");
+            let n_slots = r.len_of(2)?;
+            pk_rows.clear();
+            pk_rows.reserve(n_slots);
+            for row in 0..n_slots {
+                let alive = r.bool()?;
+                let values_start = r.position();
+                let n_values = r.len_of(1)?;
+                if alive && n_values != schema.arity() {
+                    return Err(StorageError::Malformed(format!(
+                        "relation {rel_idx} row {row} has {n_values} values, arity {}",
+                        schema.arity()
+                    )));
+                }
+                // FNV-style mix over the PK attributes' encoded bytes,
+                // folded eight bytes per step (encoded values are
+                // length-prefixed, hence self-delimiting, so chunked
+                // folding stays injective enough — any collision is
+                // resolved byte-exactly below).
+                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                for attr_idx in 0..n_values {
+                    let before = r.position();
+                    let view = ValueView::decode(&mut r)?;
+                    if !alive {
+                        continue;
+                    }
+                    let attr = &schema.attributes[attr_idx];
+                    if view.is_null() {
+                        if !attr.nullable {
+                            return Err(StorageError::Malformed(format!(
+                                "NULL in non-nullable {}.{}",
+                                schema.name, attr.name
+                            )));
+                        }
+                    } else if !view.matches_type(attr.data_type) {
+                        return Err(StorageError::Malformed(format!(
+                            "type mismatch in {}.{}",
+                            schema.name, attr.name
+                        )));
+                    }
+                    if schema.primary_key.contains(&attr_idx) {
+                        let span = &bytes[before..r.position()];
+                        let mut chunks = span.chunks_exact(8);
+                        for c in &mut chunks {
+                            let w = u64::from_le_bytes([
+                                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                            ]);
+                            hash = (hash ^ w).wrapping_mul(0x100_0000_01b3);
+                        }
+                        let mut tail = span.len() as u64;
+                        for &b in chunks.remainder() {
+                            tail = (tail << 8) | u64::from(b);
+                        }
+                        hash = (hash ^ tail).wrapping_mul(0x100_0000_01b3);
+                    }
+                }
+                if alive {
+                    live_rows += 1;
+                    pk_rows.push((hash, row as u32, values_start as u32));
+                    on_live_row(rel, row as u32).map_err(StorageError::Malformed)?;
+                }
+            }
+            // Equal hashes are only a candidate set; the verdict is an
+            // exact byte comparison of the re-parsed key spans, so an
+            // adversarial hash collision cannot smuggle a duplicate in.
+            pk_rows.sort_unstable();
+            for i in 1..pk_rows.len() {
+                for j in (0..i).rev() {
+                    if pk_rows[j].0 != pk_rows[i].0 {
+                        break;
+                    }
+                    Self::flat_pk_spans(schema, bytes, pk_rows[i].2 as usize, &mut spans_a)?;
+                    Self::flat_pk_spans(schema, bytes, pk_rows[j].2 as usize, &mut spans_b)?;
+                    let equal = spans_a.len() == spans_b.len()
+                        && spans_a
+                            .iter()
+                            .zip(&spans_b)
+                            .all(|(&(a0, a1), &(b0, b1))| bytes[a0..a1] == bytes[b0..b1]);
+                    if equal {
+                        return Err(StorageError::Malformed(format!(
+                            "duplicate primary key in relation {rel_idx} row {}",
+                            pk_rows[i].1.max(pk_rows[j].1)
+                        )));
+                    }
+                }
+            }
+        }
+        r.finish()?;
+        Ok(FlatSummary { version, live_rows })
+    }
+
+    /// Re-parse one live row's primary-key attribute byte spans into
+    /// `spans` (only reached when two rows' key hashes collide).
+    fn flat_pk_spans(
+        schema: &RelationSchema,
+        bytes: &[u8],
+        values_start: usize,
+        spans: &mut Vec<(usize, usize)>,
+    ) -> std::result::Result<(), StorageError> {
+        spans.clear();
+        let mut r = ByteReader::new(&bytes[values_start..]);
+        let n_values = r.len_of(1)?;
+        for attr_idx in 0..n_values {
+            let before = values_start + r.position();
+            ValueView::decode(&mut r)?;
+            if schema.primary_key.contains(&attr_idx) {
+                spans.push((before, values_start + r.position()));
+            }
+        }
+        Ok(())
+    }
+
     /// Snapshot the reverse reference index (referenced → referencing)
     /// at the current version.
     ///
@@ -674,6 +837,16 @@ impl Database {
         }
         ReferenceIndex { incoming, version: self.version }
     }
+}
+
+/// What [`Database::validate_flat`] learned about a payload without
+/// materializing it.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatSummary {
+    /// The stored mutation counter ([`Database::version`] at save time).
+    pub version: u64,
+    /// Live (non-tombstoned) rows across all relations.
+    pub live_rows: usize,
 }
 
 /// Remap table returned by [`Database::compact`]: for every pre-compact
@@ -1186,6 +1359,80 @@ mod tests {
         w.len(0);
         let err = Database::decode_flat(db.catalog().clone(), &w.into_vec()).unwrap_err();
         assert!(matches!(err, StorageError::Malformed(_)));
+    }
+
+    /// `validate_flat` must agree with `decode_flat` verdict-for-verdict
+    /// (accept ⇒ decode succeeds is what the lazy-open `expect` rests
+    /// on), report the right summary, and visit live rows in storage
+    /// order.
+    #[test]
+    fn validate_flat_is_in_lockstep_with_decode_flat() {
+        let (mut db, _, emp) = two_relation_db();
+        let e1 = db.lookup_pk(emp, &[Value::from("e1")]).unwrap();
+        db.delete(e1).unwrap();
+        db.insert(emp, vec!["e3".into(), "Ng".into(), Value::Null]).unwrap();
+        db.take_changes();
+        let bytes = db.encode_flat();
+
+        let mut visited = Vec::new();
+        let summary = Database::validate_flat(db.catalog(), &bytes, |rel, row| {
+            visited.push(TupleId::new(rel, row));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(summary.version, db.version());
+        assert_eq!(summary.live_rows, db.total_tuples());
+        let expected: Vec<_> = db.all_tuple_ids().collect();
+        assert_eq!(visited, expected, "live rows visited in storage order");
+        // The visitor's error becomes a typed Malformed.
+        let err = Database::validate_flat(db.catalog(), &bytes, |_, _| Err("nope".into()))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Malformed(m) if m == "nope"));
+
+        // Verdict lockstep over every truncation and over trailing
+        // garbage: wherever decode rejects, validate rejects.
+        let accept = |b: &[u8]| {
+            let v = Database::validate_flat(db.catalog(), b, |_, _| Ok(())).is_ok();
+            let d = Database::decode_flat(db.catalog().clone(), b).is_ok();
+            assert_eq!(v, d, "validate/decode verdicts diverged on {} bytes", b.len());
+            v
+        };
+        assert!(accept(&bytes));
+        for cut in 0..bytes.len() {
+            assert!(!accept(&bytes[..cut]), "truncation at {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(!accept(&long));
+
+        // Duplicate primary keys are caught by the hash + exact-compare
+        // path without building an index.
+        let mut w = ByteWriter::new();
+        w.u64(db.version());
+        w.len(db.catalog().len());
+        w.len(2);
+        for _ in 0..2 {
+            w.bool(true);
+            w.len(2);
+            Value::from("d1").encode(&mut w);
+            Value::from("Cs").encode(&mut w);
+        }
+        w.len(0);
+        assert!(!accept(&w.into_vec()));
+
+        // Tombstoned duplicates are legal (dead rows carry no PK).
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        w.len(db.catalog().len());
+        w.len(2);
+        for alive in [false, true] {
+            w.bool(alive);
+            w.len(2);
+            Value::from("d1").encode(&mut w);
+            Value::from("Cs").encode(&mut w);
+        }
+        w.len(0);
+        assert!(accept(&w.into_vec()));
     }
 
     #[test]

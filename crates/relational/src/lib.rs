@@ -75,13 +75,13 @@ mod value;
 pub use builder::{RelationBuilder, SchemaBuilder};
 pub use change::{ChangeOp, ChangeSet, TupleChange};
 pub use csv::{from_csv, to_csv};
-pub use database::{Database, ReferenceIndex, TupleRemap};
+pub use database::{Database, FlatSummary, ReferenceIndex, TupleRemap};
 pub use display::{render_database, render_relation};
 pub use error::RelationalError;
 pub use query::{hash_join, join_along_fk, project, select, select_all, RowSet};
 pub use schema::{AttributeDef, Catalog, ForeignKeyDef, RelationSchema};
 pub use tuple::{RelationId, Tuple, TupleId};
-pub use value::{DataType, Value};
+pub use value::{DataType, Value, ValueView};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RelationalError>;

@@ -148,14 +148,75 @@ impl Value {
     /// Read one [`Value::encode`]d value. Unknown tags are
     /// [`StorageError::Malformed`], never a panic.
     pub fn decode(r: &mut ByteReader<'_>) -> Result<Value, StorageError> {
+        Ok(ValueView::decode(r)?.to_owned())
+    }
+}
+
+/// A borrowed view of one encoded [`Value`]: the same five variants,
+/// with text borrowing the underlying buffer. Validate-only passes
+/// (the zero-copy open path walks every stored row without building a
+/// `Database`) decode through this type so that checking a value costs
+/// no allocation; [`ValueView::to_owned`] produces the owning `Value`
+/// when materialization is actually wanted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueView<'a> {
+    /// SQL NULL.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// Text value, borrowed from the encoded buffer.
+    Text(&'a str),
+}
+
+impl<'a> ValueView<'a> {
+    /// Read one encoded value without copying its payload. The byte
+    /// format (and tag space) is exactly [`Value::encode`]'s.
+    pub fn decode(r: &mut ByteReader<'a>) -> Result<ValueView<'a>, StorageError> {
         Ok(match r.u8()? {
-            0 => Value::Null,
-            1 => Value::Bool(r.bool()?),
-            2 => Value::Int(r.i64()?),
-            3 => Value::Float(r.f64()?),
-            4 => Value::Text(r.str()?),
+            0 => ValueView::Null,
+            1 => ValueView::Bool(r.bool()?),
+            2 => ValueView::Int(r.i64()?),
+            3 => ValueView::Float(r.f64()?),
+            4 => ValueView::Text(r.str_view()?),
             tag => return Err(StorageError::Malformed(format!("unknown value tag {tag}"))),
         })
+    }
+
+    /// The [`DataType`] of this view, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            ValueView::Null => None,
+            ValueView::Bool(_) => Some(DataType::Bool),
+            ValueView::Int(_) => Some(DataType::Int),
+            ValueView::Float(_) => Some(DataType::Float),
+            ValueView::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    /// `true` iff the view is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueView::Null)
+    }
+
+    /// Whether this view may be stored in an attribute of type `ty`
+    /// (same rule as [`Value::matches_type`]).
+    pub fn matches_type(&self, ty: DataType) -> bool {
+        self.data_type().is_none_or(|t| t == ty)
+    }
+
+    /// Materialize the owning [`Value`].
+    pub fn to_owned(&self) -> Value {
+        match self {
+            ValueView::Null => Value::Null,
+            ValueView::Bool(b) => Value::Bool(*b),
+            ValueView::Int(i) => Value::Int(*i),
+            ValueView::Float(x) => Value::Float(*x),
+            ValueView::Text(s) => Value::Text((*s).to_owned()),
+        }
     }
 }
 
@@ -346,5 +407,38 @@ mod tests {
     fn from_option_maps_none_to_null() {
         assert_eq!(Value::from(None::<i64>), Value::Null);
         assert_eq!(Value::from(Some(3i64)), Value::from(3i64));
+    }
+
+    #[test]
+    fn value_view_round_trips_every_variant() {
+        let values = [
+            Value::Null,
+            Value::from(true),
+            Value::from(-7i64),
+            Value::Float(f64::NAN),
+            Value::from("héllo"),
+        ];
+        let mut w = ByteWriter::new();
+        for v in &values {
+            v.encode(&mut w);
+        }
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        for v in &values {
+            let view = ValueView::decode(&mut r).unwrap();
+            assert_eq!(&view.to_owned(), v);
+            assert_eq!(view.data_type(), v.data_type());
+            assert_eq!(view.is_null(), v.is_null());
+        }
+        r.finish().unwrap();
+        // Type checks agree with the owning value's.
+        let mut r = ByteReader::new(&buf);
+        let null = ValueView::decode(&mut r).unwrap();
+        assert!(null.matches_type(DataType::Int) && null.matches_type(DataType::Text));
+        let b = ValueView::decode(&mut r).unwrap();
+        assert!(b.matches_type(DataType::Bool) && !b.matches_type(DataType::Int));
+        // Unknown tags are typed errors through the view path too.
+        let mut r = ByteReader::new(&[9]);
+        assert!(matches!(ValueView::decode(&mut r), Err(StorageError::Malformed(_))));
     }
 }

@@ -2,7 +2,7 @@
 //! byte buffer that every `EngineSnapshot` component serializes into.
 //!
 //! The format is deliberately boring — all scalars little-endian, all
-//! lengths explicit, one CRC over the whole body — so that a reopened
+//! lengths explicit, one checksum over the whole body — so that a reopened
 //! file either parses into exactly the bytes that were saved or fails
 //! with a typed [`StorageError`]. There is **no `unsafe` anywhere in
 //! this crate**: section views are plain `&[u8]` slices and every typed
@@ -15,8 +15,9 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"CLASNAP\0"
-//! 8       4     format version (u32 LE)            — currently 1
-//! 12      4     CRC-32 (IEEE) of everything below  — u32 LE
+//! 8       4     format version (u32 LE)            — currently 2
+//! 12      4     checksum of everything below       — u32 LE
+//!               ([`image_checksum`], xxHash-style multiply-mix)
 //! 16      4     section count N (u32 LE)
 //! 20      20*N  section table: (id u32, offset u64, len u64) LE
 //! ...           section payloads (offsets are absolute file offsets)
@@ -31,12 +32,17 @@
 use std::fmt;
 use std::ops::Range;
 use std::path::Path;
+use std::sync::Arc;
 
 /// First eight bytes of every snapshot image.
 pub const MAGIC: [u8; 8] = *b"CLASNAP\0";
 
 /// Current on-disk format version. Bump on any encoding change.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 restructured the index and alias sections into
+/// arena + bounds form addressable in place, added the node-map
+/// section, and replaced the CRC-32 body checksum with the faster
+/// [`image_checksum`] mix — together enabling zero-copy open.
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 8 + 4 + 4 + 4;
 const SECTION_ENTRY_LEN: usize = 4 + 8 + 8;
@@ -45,15 +51,17 @@ const SECTION_ENTRY_LEN: usize = 4 + 8 + 8;
 /// to one of these — decoding never panics and never produces UB.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
-    /// Underlying filesystem failure (message carries the `io::Error`).
-    Io(String),
+    /// Underlying filesystem failure. The original [`std::io::ErrorKind`]
+    /// is preserved so callers can distinguish a missing file from, say,
+    /// a permission error without parsing the message.
+    Io { kind: std::io::ErrorKind, message: String },
     /// The buffer ended before a read of `expected` more bytes.
     Truncated { expected: usize, available: usize },
     /// The file does not start with [`MAGIC`].
     BadMagic,
     /// The file's format version is not the one this build reads.
     UnsupportedVersion { found: u32, supported: u32 },
-    /// The body bytes do not hash to the stored CRC-32.
+    /// The body bytes do not hash to the stored checksum.
     ChecksumMismatch { stored: u32, computed: u32 },
     /// A section the decoder requires is absent from the image.
     MissingSection(u32),
@@ -67,7 +75,7 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Io(msg) => write!(f, "snapshot i/o error: {msg}"),
+            StorageError::Io { message, .. } => write!(f, "snapshot i/o error: {message}"),
             StorageError::Truncated { expected, available } => write!(
                 f,
                 "snapshot truncated: needed {expected} more bytes, {available} available"
@@ -96,68 +104,65 @@ impl std::error::Error for StorageError {}
 
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
-        StorageError::Io(e.to_string())
+        StorageError::Io { kind: e.kind(), message: e.to_string() }
     }
 }
 
-/// CRC-32 lookup tables (IEEE 802.3 polynomial, reflected), computed at
-/// compile time. `TABLES[0]` is the classic per-byte table; `TABLES[k]`
-/// advances a byte through `k` additional zero bytes, which lets the
-/// slice-by-8 loop fold eight input bytes per step.
-const CRC_TABLES: [[u32; 256]; 8] = {
-    let mut tables = [[0u32; 256]; 8];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-            bit += 1;
-        }
-        tables[0][i] = crc;
-        i += 1;
-    }
-    let mut t = 1;
-    while t < 8 {
-        let mut i = 0;
-        while i < 256 {
-            let prev = tables[t - 1][i];
-            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
-            i += 1;
-        }
-        t += 1;
-    }
-    tables
-};
+/// Whole-image checksum: an xxHash-style four-lane multiply-rotate mix
+/// over 64-bit words, folded to 32 bits for the header slot. The open
+/// path hashes the entire image body before trusting a byte of it, so
+/// checksum throughput is a direct term in cold start. A table-driven
+/// CRC-32 tops out at the L1-resident lookup ceiling (~2 GB/s here —
+/// still a quarter of a dept64 open), while the multiply form streams
+/// near memory speed in safe, portable Rust; framing with an
+/// xxHash-family mix instead of CRC is the same trade LZ4 and zstd
+/// make. This guards against corruption and truncation, not
+/// adversaries — nothing here is cryptographic.
+pub fn image_checksum(bytes: &[u8]) -> u32 {
+    const P1: u64 = 0x9e37_79b1_85eb_ca87;
+    const P2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    const P3: u64 = 0x1656_67b1_9e37_79f9;
+    const P4: u64 = 0x85eb_ca77_c2b2_ae63;
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected), the ubiquitous zlib/PNG
-/// checksum. Slice-by-8 table form: the open path hashes the whole
-/// image body before trusting a byte of it, so at snapshot sizes
-/// (hundreds of kilobytes and up) the per-byte cost of the naive
-/// bitwise loop would dominate cold start — measured ~2 ms of a ~5 ms
-/// dept64 open before this form replaced it.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xffff_ffff;
-    let mut chunks = bytes.chunks_exact(8);
-    for chunk in &mut chunks {
-        // lint: allow(unwrap, chunks_exact(8) yields exactly 8 bytes)
-        let lo = u32::from_le_bytes(chunk[..4].try_into().unwrap()) ^ crc;
-        // lint: allow(unwrap, chunks_exact(8) yields exactly 8 bytes)
-        let hi = u32::from_le_bytes(chunk[4..].try_into().unwrap());
-        crc = CRC_TABLES[7][(lo & 0xff) as usize]
-            ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
-            ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
-            ^ CRC_TABLES[4][(lo >> 24) as usize]
-            ^ CRC_TABLES[3][(hi & 0xff) as usize]
-            ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
-            ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
-            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    /// One lane step: absorb eight bytes, multiply, rotate. The three
+    /// independent sibling lanes hide this chain's latency.
+    #[inline]
+    fn round(lane: u64, word: u64) -> u64 {
+        lane.wrapping_add(word.wrapping_mul(P2)).rotate_left(31).wrapping_mul(P1)
     }
+
+    #[inline]
+    fn word(c: &[u8]) -> u64 {
+        u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+    }
+
+    let (mut l0, mut l1, mut l2, mut l3) = (P1, P2, P3, P4);
+    let mut chunks = bytes.chunks_exact(32);
+    for c in &mut chunks {
+        l0 = round(l0, word(&c[0..8]));
+        l1 = round(l1, word(&c[8..16]));
+        l2 = round(l2, word(&c[16..24]));
+        l3 = round(l3, word(&c[24..32]));
+    }
+    let mut acc = l0
+        .rotate_left(1)
+        .wrapping_add(l1.rotate_left(7))
+        .wrapping_add(l2.rotate_left(12))
+        .wrapping_add(l3.rotate_left(18));
+    // Length participates so that images differing only by trailing
+    // truncation at a 32-byte boundary still diverge.
+    acc ^= bytes.len() as u64;
     for &b in chunks.remainder() {
-        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(b)) & 0xff) as usize];
+        acc =
+            acc.wrapping_add(u64::from(b).wrapping_mul(P3)).rotate_left(11).wrapping_mul(P1);
     }
-    !crc
+    // Final avalanche, then fold the halves into the 32-bit header slot.
+    acc ^= acc >> 33;
+    acc = acc.wrapping_mul(P2);
+    acc ^= acc >> 29;
+    acc = acc.wrapping_mul(P3);
+    acc ^= acc >> 32;
+    (acc as u32) ^ ((acc >> 32) as u32)
 }
 
 /// Little-endian append-only byte sink used by every section encoder.
@@ -240,6 +245,13 @@ impl<'a> ByteReader<'a> {
         self.data.len() - self.pos
     }
 
+    /// Byte offset of the read cursor from the start of the payload.
+    /// Lets a decoder note where a sub-range began so it can keep a
+    /// [`SharedBytes`] view over it instead of copying.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
         if self.remaining() < n {
             return Err(StorageError::Truncated { expected: n, available: self.remaining() });
@@ -310,17 +322,33 @@ impl<'a> ByteReader<'a> {
         Ok(n)
     }
 
-    /// Length-prefixed UTF-8 string.
-    pub fn str(&mut self) -> Result<String, StorageError> {
+    /// Length-prefixed UTF-8 string, borrowed from the underlying
+    /// buffer. Use this on validate-only passes or when the caller can
+    /// hold the borrow — no copy is made.
+    pub fn str_view(&mut self) -> Result<&'a str, StorageError> {
         let n = self.len()?;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
+        std::str::from_utf8(bytes)
             .map_err(|_| StorageError::Malformed("invalid UTF-8 in string".into()))
+    }
+
+    /// Length-prefixed UTF-8 string, copied into an owned `String`.
+    pub fn str(&mut self) -> Result<String, StorageError> {
+        Ok(self.str_view()?.to_owned())
     }
 
     /// Length-prefixed raw bytes.
     pub fn bytes(&mut self) -> Result<&'a [u8], StorageError> {
         let n = self.len()?;
+        self.take(n)
+    }
+
+    /// Exactly `n` raw bytes, borrowed — the bulk form of the typed
+    /// accessors. Decoders reading fixed-stride arrays grab the whole
+    /// region once and iterate it with `chunks_exact`, which compiles
+    /// to a straight-line loop instead of per-element cursor
+    /// bookkeeping (the constant factor that dominates cold open).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
         self.take(n)
     }
 
@@ -368,7 +396,7 @@ impl ImageBuilder {
         let mut out = Vec::with_capacity(HEADER_LEN + table_len + payload_len);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&0u32.to_le_bytes()); // CRC patched below
+        out.extend_from_slice(&0u32.to_le_bytes()); // checksum patched below
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         let mut offset = (HEADER_LEN + table_len) as u64;
         for (id, payload) in &self.sections {
@@ -380,8 +408,8 @@ impl ImageBuilder {
         for (_, payload) in &self.sections {
             out.extend_from_slice(payload);
         }
-        let crc = crc32(&out[HEADER_LEN - 4..]);
-        out[12..16].copy_from_slice(&crc.to_le_bytes());
+        let sum = image_checksum(&out[HEADER_LEN - 4..]);
+        out[12..16].copy_from_slice(&sum.to_le_bytes());
         out
     }
 
@@ -395,6 +423,17 @@ impl ImageBuilder {
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
+}
+
+/// Compare an image's stored checksum against the recomputed body hash.
+/// Callers have already established `data.len() >= HEADER_LEN`.
+fn check_crc(data: &[u8]) -> Result<(), StorageError> {
+    let stored = u32::from_le_bytes([data[12], data[13], data[14], data[15]]);
+    let computed = image_checksum(&data[HEADER_LEN - 4..]);
+    if stored != computed {
+        return Err(StorageError::ChecksumMismatch { stored, computed });
+    }
+    Ok(())
 }
 
 /// A parsed snapshot image: validated header + section table over the
@@ -416,6 +455,22 @@ impl SnapshotImage {
     /// offsets are bounds-checked here, so [`SnapshotImage::section`]
     /// can slice without further checks.
     pub fn parse(data: Vec<u8>) -> Result<Self, StorageError> {
+        Self::parse_inner(data, true)
+    }
+
+    /// [`SnapshotImage::parse`] with the whole-body checksum pass
+    /// **deferred**: magic, version, and the bounds-validated section
+    /// table are checked here, but the checksum is not computed. The caller
+    /// must run [`SharedImage::verify_checksum`] before reporting the
+    /// open as successful — the zero-copy open path overlaps that pass
+    /// with the section decodes (each of which already treats its bytes
+    /// as hostile), then gives the checksum verdict precedence over any
+    /// decode error, so the observable errors match the eager form.
+    pub fn parse_deferred(data: Vec<u8>) -> Result<Self, StorageError> {
+        Self::parse_inner(data, false)
+    }
+
+    fn parse_inner(data: Vec<u8>, eager_crc: bool) -> Result<Self, StorageError> {
         if data.len() < HEADER_LEN {
             return Err(StorageError::Truncated {
                 expected: HEADER_LEN,
@@ -432,11 +487,24 @@ impl SnapshotImage {
                 supported: FORMAT_VERSION,
             });
         }
-        let stored = u32::from_le_bytes([data[12], data[13], data[14], data[15]]);
-        let computed = crc32(&data[HEADER_LEN - 4..]);
-        if stored != computed {
-            return Err(StorageError::ChecksumMismatch { stored, computed });
+        if eager_crc {
+            check_crc(&data)?;
         }
+        Self::parse_table(&data)
+            .map_err(|e| {
+                // The deferred form must still report corruption the same
+                // way the eager one does: a broken section table on a
+                // checksum-failing image is a checksum mismatch first.
+                if eager_crc {
+                    e
+                } else {
+                    check_crc(&data).err().unwrap_or(e)
+                }
+            })
+            .map(|sections| Self { data, sections })
+    }
+
+    fn parse_table(data: &[u8]) -> Result<Vec<(u32, Range<usize>)>, StorageError> {
         let count = u32::from_le_bytes([data[16], data[17], data[18], data[19]]) as usize;
         let table_end =
             HEADER_LEN
@@ -499,7 +567,7 @@ impl SnapshotImage {
             }
             sections.push((id, off..end));
         }
-        Ok(Self { data, sections })
+        Ok(sections)
     }
 
     /// Borrow a required section's payload.
@@ -514,6 +582,188 @@ impl SnapshotImage {
     /// All section ids present, in table order.
     pub fn section_ids(&self) -> impl Iterator<Item = u32> + '_ {
         self.sections.iter().map(|(id, _)| *id)
+    }
+
+    /// Convert into a reference-counted image whose sections can be
+    /// held as cheap [`SharedBytes`] views for the life of an opened
+    /// engine. The buffer is shared, never re-copied.
+    pub fn into_shared(self) -> SharedImage {
+        SharedImage { data: Arc::new(self.data), sections: self.sections }
+    }
+}
+
+/// A parsed snapshot image behind an `Arc`: the zero-copy open path
+/// holds the whole file buffer once and hands out [`SharedBytes`]
+/// section views that keep it alive. Cloning a view is two pointer
+/// copies, not a byte copy.
+#[derive(Debug, Clone)]
+pub struct SharedImage {
+    data: Arc<Vec<u8>>,
+    sections: Vec<(u32, Range<usize>)>,
+}
+
+impl SharedImage {
+    /// Recompute the whole-body checksum and compare it against the stored
+    /// header field. A no-op discovery for images from
+    /// [`SnapshotImage::parse`]; the required completion step for
+    /// [`SnapshotImage::parse_deferred`], where the open path runs it
+    /// concurrently with the section decodes.
+    pub fn verify_checksum(&self) -> Result<(), StorageError> {
+        check_crc(&self.data)
+    }
+
+    /// A required section's payload as a shared view.
+    pub fn section(&self, id: u32) -> Result<SharedBytes, StorageError> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, range)| SharedBytes {
+                data: Arc::clone(&self.data),
+                range: range.clone(),
+            })
+            .ok_or(StorageError::MissingSection(id))
+    }
+
+    /// All section ids present, in table order.
+    pub fn section_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.sections.iter().map(|(id, _)| *id)
+    }
+}
+
+/// A reference-counted byte range: an `Arc`'d buffer plus the window
+/// this view exposes. This is the safe-Rust zero-copy primitive — no
+/// lifetimes escape, no `unsafe`, and every sub-slice operation is
+/// bounds-checked with a typed error.
+#[derive(Clone)]
+pub struct SharedBytes {
+    data: Arc<Vec<u8>>,
+    range: Range<usize>,
+}
+
+impl SharedBytes {
+    /// Wrap an owned buffer (used by tests and by encoders that build
+    /// a section in memory before validating it through a decoder).
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        let range = 0..data.len();
+        Self { data: Arc::new(data), range }
+    }
+
+    /// An empty view (the backing for freshly built, image-less state).
+    pub fn empty() -> Self {
+        Self::from_vec(Vec::new())
+    }
+
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.range.clone()]
+    }
+
+    /// Narrow this view to `sub` (relative to this view's start).
+    /// Out-of-range requests are data errors, not panics.
+    pub fn slice(&self, sub: Range<usize>) -> Result<SharedBytes, StorageError> {
+        if sub.start > sub.end || sub.end > self.len() {
+            return Err(StorageError::Malformed(format!(
+                "sub-range {}..{} outside view of {} bytes",
+                sub.start,
+                sub.end,
+                self.len()
+            )));
+        }
+        Ok(SharedBytes {
+            data: Arc::clone(&self.data),
+            range: self.range.start + sub.start..self.range.start + sub.end,
+        })
+    }
+
+    /// A fixed-width record view: bytes `[i*width, (i+1)*width)`, or
+    /// `None` when `i` is out of range. Never panics — callers decide
+    /// whether `None` is a typed error or a lookup miss.
+    pub fn record(&self, i: usize, width: usize) -> Option<&[u8]> {
+        let start = i.checked_mul(width)?;
+        let end = start.checked_add(width)?;
+        self.as_slice().get(start..end)
+    }
+}
+
+impl std::ops::Deref for SharedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedBytes({} bytes)", self.len())
+    }
+}
+
+/// The backing for a string arena: either an owned buffer (a built or
+/// promoted structure) or a shared view over the snapshot image (a
+/// freshly opened, unmutated structure). Accessors are identical in
+/// both cases; only the first write to the owning structure swaps
+/// `Shared` for `Owned`, and searches never observe the difference.
+///
+/// The `Shared` arm stores raw bytes, so slice boundaries are
+/// re-checked for UTF-8 validity on access; decoders are expected to
+/// have validated every slice once up front, making `get` misses after
+/// validation a corruption signal, not a normal path.
+#[derive(Clone)]
+pub enum StrArena {
+    Owned(String),
+    Shared(SharedBytes),
+}
+
+impl StrArena {
+    pub fn empty() -> Self {
+        StrArena::Owned(String::new())
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            StrArena::Owned(s) => s.len(),
+            StrArena::Shared(b) => b.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            StrArena::Owned(s) => s.as_bytes(),
+            StrArena::Shared(b) => b.as_slice(),
+        }
+    }
+
+    /// The string at byte range `lo..hi`, or `None` when the range is
+    /// out of bounds or does not hold valid UTF-8 at those boundaries.
+    /// The `Shared` arm validates the slice on access (slices here are
+    /// short — terms and aliases — so this is nanoseconds); the `Owned`
+    /// arm only checks `char` boundaries.
+    pub fn get(&self, lo: u32, hi: u32) -> Option<&str> {
+        let (lo, hi) = (lo as usize, hi as usize);
+        match self {
+            StrArena::Owned(s) => s.get(lo..hi),
+            StrArena::Shared(b) => std::str::from_utf8(b.as_slice().get(lo..hi)?).ok(),
+        }
+    }
+}
+
+impl fmt::Debug for StrArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrArena::Owned(s) => write!(f, "StrArena::Owned({} bytes)", s.len()),
+            StrArena::Shared(b) => write!(f, "StrArena::Shared({} bytes)", b.len()),
+        }
     }
 }
 
@@ -538,10 +788,22 @@ mod tests {
     }
 
     #[test]
-    fn crc32_matches_known_vector() {
-        // The canonical IEEE check value.
-        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
-        assert_eq!(crc32(b""), 0);
+    fn image_checksum_is_pinned() {
+        // Pinned outputs: any change to the mix silently invalidates
+        // every saved image, so an accidental tweak must fail loudly
+        // here rather than in a cold-open integration test. The 100-byte
+        // vector exercises the four-lane loop plus a remainder tail; the
+        // short ones exercise the remainder-only path and the seed.
+        let long: Vec<u8> = (0u8..100).collect();
+        assert_eq!(image_checksum(&long), 0xccbb_5b9b);
+        assert_eq!(image_checksum(b"123456789"), 0x426f_249f);
+        assert_eq!(image_checksum(b""), 0xd515_7bc0);
+        // Truncating at the 32-byte lane boundary must still change the
+        // hash (the length fold), as must a single flipped bit.
+        assert_ne!(image_checksum(&long[..64]), image_checksum(&long[..32]));
+        let mut flipped = long.clone();
+        flipped[50] ^= 0x01;
+        assert_ne!(image_checksum(&flipped), image_checksum(&long));
     }
 
     #[test]
@@ -555,8 +817,8 @@ mod tests {
     fn rejects_wrong_version() {
         let mut bytes = sample();
         bytes[8] = 99;
-        // CRC covers the body only, so a header version flip surfaces as
-        // UnsupportedVersion, not a checksum failure.
+        // The checksum covers the body only, so a header version flip
+        // surfaces as UnsupportedVersion, not a checksum failure.
         assert!(matches!(
             SnapshotImage::parse(bytes),
             Err(StorageError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION })
@@ -650,12 +912,81 @@ mod tests {
     fn rejects_out_of_range_section_offset() {
         let mut bytes = sample();
         // Point section 0's offset past the end of the file, then
-        // re-stamp the CRC so only the table corruption is visible.
+        // re-stamp the checksum so only the table corruption is visible.
         let huge = (bytes.len() as u64 + 100).to_le_bytes();
         bytes[24..32].copy_from_slice(&huge);
-        let crc = crc32(&bytes[HEADER_LEN - 4..]).to_le_bytes();
-        bytes[12..16].copy_from_slice(&crc);
+        let sum = image_checksum(&bytes[HEADER_LEN - 4..]).to_le_bytes();
+        bytes[12..16].copy_from_slice(&sum);
         assert!(matches!(SnapshotImage::parse(bytes), Err(StorageError::Malformed(_))));
+    }
+
+    #[test]
+    fn open_missing_file_reports_not_found_kind() {
+        let path = std::env::temp_dir().join("cla_storage_no_such_file.snap");
+        let _ = std::fs::remove_file(&path);
+        match SnapshotImage::open(&path) {
+            Err(StorageError::Io { kind, .. }) => {
+                assert_eq!(kind, std::io::ErrorKind::NotFound)
+            }
+            other => panic!("expected Io {{ NotFound }}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn str_view_borrows_and_matches_owned() {
+        let mut w = ByteWriter::new();
+        w.str("héllo");
+        w.str("world");
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.str_view().unwrap(), "héllo");
+        assert_eq!(r.str().unwrap(), "world");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn shared_bytes_rejects_out_of_bounds() {
+        let b = SharedBytes::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let mid = b.slice(1..4).unwrap();
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        // Sub-slices are relative to the view, not the backing buffer.
+        assert_eq!(mid.slice(1..2).unwrap().as_slice(), &[3]);
+        assert!(matches!(b.slice(2..6), Err(StorageError::Malformed(_))));
+        assert!(matches!(mid.slice(0..4), Err(StorageError::Malformed(_))));
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert!(matches!(b.slice(3..2), Err(StorageError::Malformed(_))));
+        }
+        assert_eq!(b.record(1, 2), Some(&[3u8, 4][..]));
+        assert_eq!(b.record(2, 2), None, "record straddling the end is a miss");
+        assert_eq!(b.record(usize::MAX, 2), None, "index overflow is a miss, not a panic");
+    }
+
+    #[test]
+    fn shared_image_sections_match_borrowed_sections() {
+        let img = SnapshotImage::parse(sample()).unwrap();
+        let shared = SnapshotImage::parse(sample()).unwrap().into_shared();
+        for id in [1u32, 7, 2] {
+            assert_eq!(shared.section(id).unwrap().as_slice(), img.section(id).unwrap());
+        }
+        assert!(matches!(shared.section(9), Err(StorageError::MissingSection(9))));
+        assert_eq!(shared.section_ids().collect::<Vec<_>>(), vec![1, 7, 2]);
+    }
+
+    #[test]
+    fn str_arena_owned_and_shared_agree() {
+        let text = "abcdéf";
+        let owned = StrArena::Owned(text.to_string());
+        let shared = StrArena::Shared(SharedBytes::from_vec(text.as_bytes().to_vec()));
+        for arena in [&owned, &shared] {
+            assert_eq!(arena.len(), text.len());
+            assert_eq!(arena.get(0, 3), Some("abc"));
+            assert_eq!(arena.get(4, 6), Some("é"));
+            assert_eq!(arena.get(4, 5), None, "split UTF-8 boundary is a miss");
+            assert_eq!(arena.get(0, 99), None, "out of bounds is a miss, never a panic");
+            assert_eq!(arena.get(5, 3), None, "inverted range is a miss");
+        }
     }
 
     #[test]
